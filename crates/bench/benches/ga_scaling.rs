@@ -1,0 +1,88 @@
+//! GA scaling ablations behind Fig. 4 and §3.3:
+//!
+//! * cost is `O(G × P)` — time scales linearly in each;
+//! * parallel population evaluation (crossbeam) vs serial, which only pays
+//!   off for large windows/populations (§3.2.2's "can be accelerated by
+//!   leveraging parallel processing").
+//!
+//! Run: `cargo bench -p bbsched-bench --bench ga_scaling`
+
+use bbsched_core::problem::{CpuBbProblem, JobDemand};
+use bbsched_core::{GaConfig, MooGa};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn window(w: usize) -> CpuBbProblem {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let demands: Vec<JobDemand> = (0..w)
+        .map(|_| JobDemand::cpu_bb(rng.random_range(8..200), rng.random_range(0.0..30_000.0)))
+        .collect();
+    CpuBbProblem::new(demands, 800, 60_000.0)
+}
+
+fn bench_generations(c: &mut Criterion) {
+    let p = window(20);
+    let mut group = c.benchmark_group("generations_p20");
+    group.sample_size(10);
+    for g in [100usize, 250, 500, 1000] {
+        let solver = MooGa::new(GaConfig { generations: g, ..GaConfig::default() });
+        group.bench_with_input(BenchmarkId::from_parameter(g), &solver, |b, s| {
+            b.iter(|| s.solve(std::hint::black_box(&p)).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_population(c: &mut Criterion) {
+    let p = window(20);
+    let mut group = c.benchmark_group("population_g500");
+    group.sample_size(10);
+    for pop in [10usize, 20, 50, 100] {
+        let solver = MooGa::new(GaConfig { population: pop, ..GaConfig::default() });
+        group.bench_with_input(BenchmarkId::from_parameter(pop), &solver, |b, s| {
+            b.iter(|| s.solve(std::hint::black_box(&p)).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    // Honest negative result: even at w=256/P=128 the per-generation
+    // thread spawns cost more than the cheap knapsack evaluations save;
+    // parallelism only pays for expensive evaluate() implementations.
+    let p = window(256);
+    let mut group = c.benchmark_group("parallel_w256_p128");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let solver = MooGa::new(GaConfig {
+            population: 128,
+            generations: 100,
+            threads,
+            ..GaConfig::default()
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &solver, |b, s| {
+            b.iter(|| s.solve(std::hint::black_box(&p)).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_saturation(c: &mut Criterion) {
+    // Saturation polish costs O(w) feasibility checks per child; measure
+    // the overhead (its GD payoff is printed by examples/parameter_tuning
+    // and tested in core).
+    let p = window(20);
+    let mut group = c.benchmark_group("saturation_w20_g500");
+    group.sample_size(10);
+    for (label, saturate) in [("plain", false), ("saturate", true)] {
+        let solver = MooGa::new(GaConfig { saturate, ..GaConfig::default() });
+        group.bench_function(label, |b| {
+            b.iter(|| solver.solve(std::hint::black_box(&p)).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generations, bench_population, bench_parallel, bench_saturation);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Micro-benchmarks of the MOO core primitives: dominance tests, Pareto
+//! front maintenance, chromosome operations, and repair — the inner loops
+//! behind every scheduling decision.
+//!
+//! Run: `cargo bench -p bbsched-bench --bench pareto_ops`
+
+use bbsched_core::chromosome::Chromosome;
+use bbsched_core::pareto::{dominates, ParetoFront, Solution};
+use bbsched_core::problem::{CpuBbProblem, JobDemand, MooProblem};
+use bbsched_core::Objectives;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn random_points(n: usize, seed: u64) -> Vec<[f64; 2]> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| [rng.random_range(0.0..1000.0), rng.random_range(0.0..1000.0)]).collect()
+}
+
+fn bench_dominates(c: &mut Criterion) {
+    let pts = random_points(1_000, 3);
+    c.bench_function("dominates_1k_pairs", |b| {
+        b.iter(|| {
+            let mut count = 0usize;
+            for pair in pts.windows(2) {
+                if dominates(&pair[0], &pair[1]) {
+                    count += 1;
+                }
+            }
+            count
+        })
+    });
+}
+
+fn bench_front_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("front_from_pool");
+    for n in [40usize, 200, 1_000] {
+        let pts = random_points(n, 9);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| {
+                let mut front = ParetoFront::new();
+                for (i, p) in pts.iter().enumerate() {
+                    let mut chrom = Chromosome::zeros(16);
+                    chrom.set(i % 16, true);
+                    front.insert(Solution {
+                        chromosome: chrom,
+                        objectives: Objectives::from_slice(p),
+                    });
+                }
+                front.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_chromosome_ops(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let mut a = Chromosome::zeros(64);
+    let mut b2 = Chromosome::zeros(64);
+    for i in 0..64 {
+        if rng.random_bool(0.5) {
+            a.set(i, true);
+        }
+        if rng.random_bool(0.5) {
+            b2.set(i, true);
+        }
+    }
+    c.bench_function("crossover_w64", |b| {
+        b.iter(|| {
+            let (x, y) = a.crossover(&b2, 32);
+            x.count_ones() + y.count_ones()
+        })
+    });
+    c.bench_function("selected_iter_w64", |b| {
+        b.iter(|| a.selected().sum::<usize>())
+    });
+}
+
+fn bench_repair(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(13);
+    let demands: Vec<JobDemand> = (0..50)
+        .map(|_| JobDemand::cpu_bb(rng.random_range(8..200), rng.random_range(0.0..30_000.0)))
+        .collect();
+    // Tight capacity: nearly everything needs repair.
+    let problem = CpuBbProblem::new(demands, 300, 20_000.0);
+    let mut over = Chromosome::zeros(50);
+    for i in 0..50 {
+        over.set(i, true);
+    }
+    c.bench_function("repair_w50_oversubscribed", |b| {
+        b.iter(|| {
+            let mut x = over.clone();
+            problem.repair(&mut x);
+            x.count_ones()
+        })
+    });
+}
+
+criterion_group!(benches, bench_dominates, bench_front_insert, bench_chromosome_ops, bench_repair);
+criterion_main!(benches);

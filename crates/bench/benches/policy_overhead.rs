@@ -1,0 +1,66 @@
+//! §4.4 "Scheduling Overheads": per-decision time of every method on a
+//! 50-job window (the paper's largest), including BBSched at `G = 2000`.
+//!
+//! The paper's bar to clear: "Current HPC systems typically require a
+//! scheduler to respond in 15-30 seconds"; its measurements: Bin_Packing
+//! ~0.1 s at w=50, BBSched under 2 s at G=2000, w=50.
+//!
+//! Run: `cargo bench -p bbsched-bench --bench policy_overhead`
+
+use bbsched_core::pools::PoolState;
+use bbsched_core::problem::JobDemand;
+use bbsched_policies::{GaParams, PolicyKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn window(w: usize) -> Vec<JobDemand> {
+    let mut rng = SmallRng::seed_from_u64(11);
+    (0..w)
+        .map(|_| {
+            JobDemand::cpu_bb(
+                rng.random_range(8..200),
+                if rng.random_bool(0.75) { rng.random_range(100.0..30_000.0) } else { 0.0 },
+            )
+        })
+        .collect()
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let w = window(50);
+    let avail = PoolState::cpu_bb(800, 60_000.0);
+    let mut group = c.benchmark_group("decision_w50");
+    group.sample_size(10);
+    for kind in PolicyKind::main_roster() {
+        let ga = GaParams { generations: 500, ..GaParams::default() };
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            let mut policy = kind.build(ga);
+            let mut inv = 0u64;
+            b.iter(|| {
+                inv += 1;
+                policy.select(std::hint::black_box(&w), &avail, inv).len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bbsched_g2000(c: &mut Criterion) {
+    let w = window(50);
+    let avail = PoolState::cpu_bb(800, 60_000.0);
+    let mut group = c.benchmark_group("bbsched_g2000_w50");
+    group.sample_size(10);
+    group.bench_function("BBSched", |b| {
+        let ga = GaParams { generations: 2_000, ..GaParams::default() };
+        let mut policy = PolicyKind::BbSched.build(ga);
+        let mut inv = 0u64;
+        b.iter(|| {
+            inv += 1;
+            policy.select(std::hint::black_box(&w), &avail, inv).len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_bbsched_g2000);
+criterion_main!(benches);

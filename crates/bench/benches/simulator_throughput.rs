@@ -1,0 +1,67 @@
+//! Simulator throughput: end-to-end events per second for small traces
+//! under cheap (Baseline) and expensive (BBSched) policies, plus the
+//! backfill-scope ablation.
+//!
+//! Run: `cargo bench -p bbsched-bench --bench simulator_throughput`
+
+use bbsched_policies::{GaParams, PolicyKind};
+use bbsched_sim::{BackfillScope, SimConfig, Simulator};
+use bbsched_workloads::{generate, GeneratorConfig, MachineProfile, Trace};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn trace(n: usize) -> (MachineProfile, Trace) {
+    let profile = MachineProfile::theta().scaled(0.05);
+    let t = generate(
+        &profile,
+        &GeneratorConfig { n_jobs: n, seed: 21, load_factor: 1.1, ..GeneratorConfig::default() },
+    );
+    (profile, t)
+}
+
+fn bench_baseline_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_baseline");
+    group.sample_size(10);
+    for n in [200usize, 500] {
+        let (profile, t) = trace(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &t, |b, t| {
+            b.iter(|| {
+                let sim = Simulator::new(&profile.system, t, SimConfig::default()).unwrap();
+                sim.run(PolicyKind::Baseline.build(GaParams::default())).records.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bbsched_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_bbsched_g100");
+    group.sample_size(10);
+    let (profile, t) = trace(200);
+    let ga = GaParams { generations: 100, ..GaParams::default() };
+    group.bench_function("n200", |b| {
+        b.iter(|| {
+            let sim = Simulator::new(&profile.system, &t, SimConfig::default()).unwrap();
+            sim.run(PolicyKind::BbSched.build(ga)).records.len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_backfill_scope(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backfill_scope_n500");
+    group.sample_size(10);
+    let (profile, t) = trace(500);
+    for (label, scope) in [("window", BackfillScope::Window), ("queue", BackfillScope::Queue)] {
+        let cfg = SimConfig { backfill: scope, ..SimConfig::default() };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let sim = Simulator::new(&profile.system, &t, cfg.clone()).unwrap();
+                sim.run(PolicyKind::Baseline.build(GaParams::default())).records.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baseline_sim, bench_bbsched_sim, bench_backfill_scope);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench behind Fig. 2: exhaustive vs genetic solver time as the
+//! window grows.
+//!
+//! Run: `cargo bench -p bbsched-bench --bench solver_time`
+
+use bbsched_core::problem::{CpuBbProblem, JobDemand};
+use bbsched_core::{exhaustive, GaConfig, MooGa};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn window(w: usize, seed: u64) -> CpuBbProblem {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let demands: Vec<JobDemand> = (0..w)
+        .map(|_| {
+            JobDemand::cpu_bb(
+                rng.random_range(8..200),
+                if rng.random_bool(0.75) { rng.random_range(100.0..30_000.0) } else { 0.0 },
+            )
+        })
+        .collect();
+    CpuBbProblem::new(demands, 800, 60_000.0)
+}
+
+fn bench_exhaustive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exhaustive");
+    for w in [8usize, 12, 16, 20] {
+        let p = window(w, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(w), &p, |b, p| {
+            b.iter(|| exhaustive::solve(std::hint::black_box(p)).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_ga(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ga_g500_p20");
+    group.sample_size(10);
+    for w in [8usize, 20, 50] {
+        let p = window(w, 42);
+        let solver = MooGa::new(GaConfig::default());
+        group.bench_with_input(BenchmarkId::from_parameter(w), &p, |b, p| {
+            b.iter(|| solver.solve(std::hint::black_box(p)).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exhaustive, bench_ga);
+criterion_main!(benches);

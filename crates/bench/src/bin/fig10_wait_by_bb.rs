@@ -1,0 +1,58 @@
+//! Figure 10: breakdown of average job wait time by burst-buffer request
+//! (Theta-S4).
+//!
+//! Paper shape: jobs with burst-buffer requests wait far longer than jobs
+//! without; BBSched and the weighted methods cut the waits of
+//! BB-requesting jobs most; Constrained_CPU *increases* them (it optimizes
+//! nodes only and lets BB jobs pile up).
+//!
+//! Burst-buffer bins are the paper's 0 / 0–100 TB / 100–200 TB / >200 TB
+//! classes, scaled by the machine factor.
+//!
+//! Run: `cargo run --release -p bbsched-bench --bin fig10_wait_by_bb`
+
+use bbsched_bench::experiments::{cell_result, Machine, Scale};
+use bbsched_bench::report::{hours, Table};
+use bbsched_metrics::{breakdown_by, Bin, MeasurementWindow};
+use bbsched_policies::PolicyKind;
+use bbsched_workloads::{Workload, GB_PER_TB};
+
+fn main() {
+    let scale = Scale::from_env();
+    let f = scale.system_factor;
+    let t100 = 100.0 * GB_PER_TB * f;
+    let t200 = 200.0 * GB_PER_TB * f;
+    let bins = vec![
+        Bin::new(0.0, f64::MIN_POSITIVE, "no BB"),
+        Bin::new(f64::MIN_POSITIVE, t100, "0-100TB*"),
+        Bin::new(t100, t200, "100-200TB*"),
+        Bin::new(t200, f64::INFINITY, ">200TB*"),
+    ];
+
+    println!(
+        "Figure 10: average wait time by burst-buffer request on Theta-S4\n\
+         (* paper-scale TB classes, scaled by factor {f})\n"
+    );
+    let mut table =
+        Table::new(vec!["Method", "no BB", "0-100TB*", "100-200TB*", ">200TB*"]);
+    let window = MeasurementWindow::default();
+    for kind in PolicyKind::main_roster() {
+        let result = cell_result(Machine::Theta, Workload::S4, kind, &scale);
+        let (t0, t1) = window.interval(&result.records);
+        let measured: Vec<_> = result
+            .records
+            .iter()
+            .filter(|r| window.contains(r, t0, t1))
+            .cloned()
+            .collect();
+        let rows = breakdown_by(&measured, &bins, |r| r.bb_gb);
+        let mut out = vec![kind.name().to_string()];
+        out.extend(rows.iter().map(|(_, avg, n)| format!("{} (n={})", hours(*avg), n)));
+        table.row(out);
+    }
+    table.print();
+    println!(
+        "\nExpected shape: waits grow with the BB request under every method; BBSched\n\
+         and Weighted_BB shrink the BB classes most; Constrained_CPU helps only 'no BB'."
+    );
+}

@@ -1,0 +1,49 @@
+//! Figure 11: breakdown of average job wait time by job runtime
+//! (Theta-S4).
+//!
+//! Paper shape: wait times rise with runtime (WFP prioritizes short
+//! walltimes and EASY backfills short jobs); the optimization methods
+//! reduce waits of *long* jobs but can lengthen the *short* jobs' waits —
+//! better packing leaves fewer idle holes to backfill into.
+//!
+//! Run: `cargo run --release -p bbsched-bench --bin fig11_wait_by_runtime`
+
+use bbsched_bench::experiments::{cell_result, Machine, Scale};
+use bbsched_bench::report::{hours, Table};
+use bbsched_metrics::{breakdown_by, Bin, MeasurementWindow};
+use bbsched_policies::PolicyKind;
+use bbsched_workloads::Workload;
+
+fn main() {
+    let scale = Scale::from_env();
+    let h = 3_600.0;
+    let bins = vec![
+        Bin::new(0.0, h, "<1h"),
+        Bin::new(h, 4.0 * h, "1-4h"),
+        Bin::new(4.0 * h, 12.0 * h, "4-12h"),
+        Bin::new(12.0 * h, f64::INFINITY, ">12h"),
+    ];
+
+    println!("Figure 11: average wait time by job runtime on Theta-S4\n");
+    let mut table = Table::new(vec!["Method", "<1h", "1-4h", "4-12h", ">12h"]);
+    let window = MeasurementWindow::default();
+    for kind in PolicyKind::main_roster() {
+        let result = cell_result(Machine::Theta, Workload::S4, kind, &scale);
+        let (t0, t1) = window.interval(&result.records);
+        let measured: Vec<_> = result
+            .records
+            .iter()
+            .filter(|r| window.contains(r, t0, t1))
+            .cloned()
+            .collect();
+        let rows = breakdown_by(&measured, &bins, |r| r.runtime);
+        let mut out = vec![kind.name().to_string()];
+        out.extend(rows.iter().map(|(_, avg, n)| format!("{} (n={})", hours(*avg), n)));
+        table.row(out);
+    }
+    table.print();
+    println!(
+        "\nExpected shape: waits increase with runtime; optimization methods cut long-job\n\
+         waits (better usage) while short jobs lose some backfilling opportunities."
+    );
+}

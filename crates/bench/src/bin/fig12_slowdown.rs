@@ -1,0 +1,18 @@
+//! Figure 12: average (filtered) job slowdown of all eight methods across
+//! all ten workloads (lower is better).
+//!
+//! Paper shape: trends mirror wait time (Fig. 8); S4 workloads show the
+//! highest slowdowns because burst-buffer contention idles nodes.
+//!
+//! Run: `cargo run --release -p bbsched-bench --bin fig12_slowdown`
+
+use bbsched_bench::experiments::Scale;
+use bbsched_bench::figures::print_metric_grid;
+use bbsched_bench::report::fixed;
+
+fn main() {
+    let scale = Scale::from_env();
+    print_metric_grid("Figure 12: average bounded slowdown", &scale, |s| {
+        fixed(s.avg_slowdown, 2)
+    });
+}

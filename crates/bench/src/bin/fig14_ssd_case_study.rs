@@ -1,0 +1,91 @@
+//! Figure 14 / §5: the local-SSD case study.
+//!
+//! Systems get the §5 hardware split (50% of nodes with 128 GB SSDs, 50%
+//! with 256 GB); workloads S5–S7 add per-node SSD requests on top of S2;
+//! seven methods compete; the Kiviat gains two extra axes (SSD
+//! utilization, 1/wasted-SSD).
+//!
+//! Paper shape: BBSched has the best overall area; Constrained_CPU and
+//! Constrained_SSD do well on node+SSD utilization (they're correlated)
+//! but waste SSD; Constrained_BB collapses node/SSD axes; Weighted is
+//! balanced but below BBSched.
+//!
+//! Run: `cargo run --release -p bbsched-bench --bin fig14_ssd_case_study`
+
+use bbsched_bench::experiments::{cell_summary, Machine, Scale};
+use bbsched_bench::report::{fixed, pct, Table};
+use bbsched_metrics::{kiviat_area, normalize_axes, safe_reciprocal};
+use bbsched_policies::PolicyKind;
+use bbsched_workloads::Workload;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!(
+        "Figure 14: SSD case study — six-axis Kiviat areas\n\
+         (node, BB, SSD util, 1/SSD-waste, 1/wait, 1/slowdown; larger = better)\n"
+    );
+
+    for machine in Machine::both() {
+        let roster = PolicyKind::ssd_roster();
+        let mut header = vec!["Method".to_string()];
+        header.extend(
+            Workload::ssd_grid().iter().map(|w| format!("{}-{}", machine.name(), w.name())),
+        );
+        let mut area_table = Table::new(header);
+        let mut detail = Table::new(vec![
+            "Method (S6)",
+            "Node",
+            "BB",
+            "SSD util",
+            "SSD wasted",
+            "Wait (h)",
+        ]);
+
+        let mut areas = vec![vec![0.0f64; roster.len()]; Workload::ssd_grid().len()];
+        for (wi, workload) in Workload::ssd_grid().into_iter().enumerate() {
+            let summaries: Vec<_> =
+                roster.iter().map(|&k| cell_summary(machine, workload, k, &scale)).collect();
+            let node = normalize_axes(&summaries.iter().map(|s| s.node_usage).collect::<Vec<_>>());
+            let bb = normalize_axes(&summaries.iter().map(|s| s.bb_usage).collect::<Vec<_>>());
+            let ssd = normalize_axes(&summaries.iter().map(|s| s.ssd_usage).collect::<Vec<_>>());
+            let waste = normalize_axes(
+                &summaries.iter().map(|s| safe_reciprocal(s.ssd_wasted)).collect::<Vec<_>>(),
+            );
+            let wait = normalize_axes(
+                &summaries.iter().map(|s| safe_reciprocal(s.avg_wait)).collect::<Vec<_>>(),
+            );
+            let slow = normalize_axes(
+                &summaries.iter().map(|s| safe_reciprocal(s.avg_slowdown)).collect::<Vec<_>>(),
+            );
+            for pi in 0..roster.len() {
+                areas[wi][pi] = kiviat_area(&[
+                    node[pi], bb[pi], ssd[pi], waste[pi], wait[pi], slow[pi],
+                ]);
+            }
+            if workload == Workload::S6 {
+                for (pi, kind) in roster.iter().enumerate() {
+                    detail.row(vec![
+                        kind.name().to_string(),
+                        pct(summaries[pi].node_usage),
+                        pct(summaries[pi].bb_usage),
+                        pct(summaries[pi].ssd_usage),
+                        pct(summaries[pi].ssd_wasted),
+                        fixed(summaries[pi].avg_wait / 3600.0, 2),
+                    ]);
+                }
+            }
+        }
+        for (pi, kind) in roster.iter().enumerate() {
+            let mut row = vec![kind.name().to_string()];
+            for area_row in areas.iter().take(Workload::ssd_grid().len()) {
+                row.push(fixed(area_row[pi], 3));
+            }
+            area_table.row(row);
+        }
+        println!("--- {} Kiviat areas ---", machine.name());
+        area_table.print();
+        println!("\n--- {} raw metrics on S6 ---", machine.name());
+        detail.print();
+        println!();
+    }
+}

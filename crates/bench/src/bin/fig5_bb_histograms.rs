@@ -1,0 +1,54 @@
+//! Figure 5: histograms of burst-buffer request distributions for all ten
+//! workloads (two systems × {Original, S1–S4}).
+//!
+//! The paper uses 10 TB bins at full machine scale; bins scale with the
+//! configured system factor so the histogram shape is comparable. Each
+//! workload's caption carries the aggregated requested volume, as in the
+//! paper.
+//!
+//! Run: `cargo run --release -p bbsched-bench --bin fig5_bb_histograms`
+
+use bbsched_bench::experiments::{base_trace, Machine, Scale};
+use bbsched_workloads::{Workload, GB_PER_TB};
+
+fn main() {
+    let scale = Scale::from_env();
+    let bin_gb = 10.0 * GB_PER_TB * scale.system_factor;
+    println!(
+        "Figure 5: burst-buffer request histograms (bin = {:.1} TB at scale {})\n",
+        bin_gb / GB_PER_TB,
+        scale.system_factor
+    );
+
+    for machine in Machine::both() {
+        let base = base_trace(machine, &scale);
+        for workload in Workload::main_grid() {
+            let trace = workload.apply_scaled(&base, scale.seed ^ 0x5eed, scale.system_factor);
+            let stats = trace.stats();
+            println!(
+                "--- {}-{} (aggregate {:.1} TB requested, {} of {} jobs) ---",
+                machine.name(),
+                workload.name(),
+                stats.total_bb_gb / GB_PER_TB,
+                stats.jobs_with_bb,
+                stats.n_jobs,
+            );
+            let hist = trace.bb_histogram(bin_gb);
+            let max = hist.iter().map(|&(_, c)| c).max().unwrap_or(1);
+            for (lo, count) in &hist {
+                let bar_len = (count * 48).div_ceil(max);
+                println!(
+                    "  [{:>7.1} TB) {:>6}  {}",
+                    lo / GB_PER_TB,
+                    count,
+                    "#".repeat(bar_len)
+                );
+            }
+            println!();
+        }
+    }
+    println!(
+        "Expected shape: S3/S4 shift mass to larger requests than S1/S2; S2/S4 have more\n\
+         requesting jobs than S1/S3; Original has very few requesters (especially Cori)."
+    );
+}

@@ -1,0 +1,17 @@
+//! Figure 6: node usage of all eight methods across all ten workloads.
+//!
+//! Paper shape: BBSched yields the best node usage on most workloads and
+//! its lead grows with burst-buffer pressure (S3/S4); Constrained_CPU is
+//! competitive when burst buffer is abundant; Weighted_BB/Constrained_BB
+//! trade node usage away.
+//!
+//! Run: `cargo run --release -p bbsched-bench --bin fig6_node_usage`
+
+use bbsched_bench::experiments::Scale;
+use bbsched_bench::figures::print_metric_grid;
+use bbsched_bench::report::pct;
+
+fn main() {
+    let scale = Scale::from_env();
+    print_metric_grid("Figure 6: node usage", &scale, |s| pct(s.node_usage));
+}

@@ -1,0 +1,17 @@
+//! Figure 7: burst-buffer usage of all eight methods across all ten
+//! workloads.
+//!
+//! Paper shape: every method except Constrained_CPU improves burst-buffer
+//! usage over the baseline; BBSched is best on all workloads (up to
+//! +15.46% over baseline in the paper).
+//!
+//! Run: `cargo run --release -p bbsched-bench --bin fig7_bb_usage`
+
+use bbsched_bench::experiments::Scale;
+use bbsched_bench::figures::print_metric_grid;
+use bbsched_bench::report::pct;
+
+fn main() {
+    let scale = Scale::from_env();
+    print_metric_grid("Figure 7: burst buffer usage", &scale, |s| pct(s.bb_usage));
+}

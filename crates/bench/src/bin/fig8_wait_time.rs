@@ -1,0 +1,36 @@
+//! Figure 8: average job wait time of all eight methods across all ten
+//! workloads (lower is better).
+//!
+//! Paper shape: all methods beat the baseline; BBSched achieves the
+//! largest reductions (up to 33.44% on Cori, 41% on Theta), and the gains
+//! grow with burst-buffer pressure (Original -> S4).
+//!
+//! Run: `cargo run --release -p bbsched-bench --bin fig8_wait_time`
+
+use bbsched_bench::experiments::{cell_summary, Machine, Scale};
+use bbsched_bench::figures::{print_metric_grid, reduction_pct};
+use bbsched_bench::report::hours;
+use bbsched_policies::PolicyKind;
+use bbsched_workloads::Workload;
+
+fn main() {
+    let scale = Scale::from_env();
+    print_metric_grid("Figure 8: average job wait time", &scale, |s| hours(s.avg_wait));
+
+    println!("BBSched wait-time reduction vs Baseline:");
+    for machine in Machine::both() {
+        let mut best: f64 = f64::NEG_INFINITY;
+        for workload in Workload::main_grid() {
+            let base = cell_summary(machine, workload, PolicyKind::Baseline, &scale);
+            let bb = cell_summary(machine, workload, PolicyKind::BbSched, &scale);
+            let red = reduction_pct(base.avg_wait, bb.avg_wait);
+            println!("  {}-{}: {red:+.2}%", machine.name(), workload.name());
+            best = best.max(red);
+        }
+        println!(
+            "  => best on {}: {best:+.2}% (paper: up to {}%)\n",
+            machine.name(),
+            if machine == Machine::Cori { "33.44" } else { "41" }
+        );
+    }
+}

@@ -1,0 +1,305 @@
+//! Shared experiment grid driver with on-disk result caching.
+
+use bbsched_metrics::{MeasurementWindow, MethodSummary};
+use bbsched_policies::{GaParams, PolicyKind};
+use bbsched_sim::{BaseScheduler, SimConfig, SimResult, Simulator};
+use bbsched_workloads::{generate, GeneratorConfig, MachineProfile, Trace, Workload};
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+
+/// The two evaluation systems (Table 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Machine {
+    /// Cori (NERSC): capacity computing, Slurm, FCFS base.
+    Cori,
+    /// Theta (ALCF): capability computing, Cobalt, WFP base.
+    Theta,
+}
+
+impl Machine {
+    /// Both machines.
+    pub fn both() -> [Machine; 2] {
+        [Machine::Cori, Machine::Theta]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Machine::Cori => "Cori",
+            Machine::Theta => "Theta",
+        }
+    }
+
+    /// The paper's base scheduler pairing (§4.3).
+    pub fn base(&self) -> BaseScheduler {
+        match self {
+            Machine::Cori => BaseScheduler::Fcfs,
+            Machine::Theta => BaseScheduler::Wfp,
+        }
+    }
+
+    /// Calibrated generator profile, scaled by `factor`.
+    pub fn profile(&self, factor: f64) -> MachineProfile {
+        let p = match self {
+            Machine::Cori => MachineProfile::cori(),
+            Machine::Theta => MachineProfile::theta(),
+        };
+        if (factor - 1.0).abs() < f64::EPSILON {
+            p
+        } else {
+            p.scaled(factor)
+        }
+    }
+}
+
+/// Experiment scale knobs (see crate docs for the environment variables).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Scale {
+    /// Jobs per generated trace.
+    pub n_jobs: usize,
+    /// Machine scale factor in (0, 1].
+    pub system_factor: f64,
+    /// GA generations per scheduling invocation.
+    pub generations: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Target offered load of generated traces.
+    pub load_factor: f64,
+    /// Window size (paper default 20).
+    pub window: usize,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Self {
+            n_jobs: 5_000,
+            system_factor: 0.05,
+            generations: 500,
+            seed: 7,
+            load_factor: 1.15,
+            window: 20,
+        }
+    }
+}
+
+impl Scale {
+    /// Reads the scale from `BBSCHED_*` environment variables, falling back
+    /// to defaults.
+    pub fn from_env() -> Self {
+        fn var<T: std::str::FromStr>(name: &str, default: T) -> T {
+            std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+        }
+        let d = Self::default();
+        Self {
+            n_jobs: var("BBSCHED_JOBS", d.n_jobs),
+            system_factor: var("BBSCHED_SCALE", d.system_factor),
+            generations: var("BBSCHED_GENS", d.generations),
+            seed: var("BBSCHED_SEED", d.seed),
+            load_factor: var("BBSCHED_LOAD", d.load_factor),
+            window: var("BBSCHED_WINDOW", d.window),
+        }
+    }
+
+    /// GA hyper-parameters implied by this scale.
+    pub fn ga(&self) -> GaParams {
+        GaParams {
+            generations: self.generations,
+            base_seed: self.seed ^ 0xbb5c,
+            ..GaParams::default()
+        }
+    }
+}
+
+/// Builds the base ("Original") trace for a machine at this scale.
+pub fn base_trace(machine: Machine, scale: &Scale) -> Trace {
+    let profile = machine.profile(scale.system_factor);
+    generate(
+        &profile,
+        &GeneratorConfig {
+            n_jobs: scale.n_jobs,
+            seed: scale.seed ^ (machine as u64).wrapping_mul(0x9e37),
+            load_factor: scale.load_factor,
+            ..GeneratorConfig::default()
+        },
+    )
+}
+
+/// Builds the trace for a workload variant of a machine. The S1–S4 pool
+/// thresholds scale with the machine factor.
+pub fn workload_trace(machine: Machine, workload: Workload, scale: &Scale) -> Trace {
+    let base = base_trace(machine, scale);
+    workload.apply_scaled(&base, scale.seed ^ 0x5eed, scale.system_factor)
+}
+
+fn cache_dir() -> PathBuf {
+    std::env::var("BBSCHED_CACHE")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("target/bbsched_cache"))
+}
+
+fn cache_key(machine: Machine, workload: Workload, kind: PolicyKind, scale: &Scale, window_override: Option<usize>) -> String {
+    format!(
+        "{}-{}-{}-j{}-f{}-g{}-s{}-l{}-w{}",
+        machine.name(),
+        workload.name(),
+        kind.name(),
+        scale.n_jobs,
+        scale.system_factor,
+        scale.generations,
+        scale.seed,
+        scale.load_factor,
+        window_override.unwrap_or(scale.window),
+    )
+}
+
+/// Simulates one `machine × workload × policy` cell, reading/writing the
+/// on-disk cache. `window_override` changes the window size (Table 3).
+pub fn cell_result_with_window(
+    machine: Machine,
+    workload: Workload,
+    kind: PolicyKind,
+    scale: &Scale,
+    window_override: Option<usize>,
+) -> SimResult {
+    cell_result_in(&cache_dir(), machine, workload, kind, scale, window_override)
+}
+
+/// Like [`cell_result_with_window`] with an explicit cache directory
+/// (avoids process-global environment mutation; used by tests).
+pub fn cell_result_in(
+    dir: &std::path::Path,
+    machine: Machine,
+    workload: Workload,
+    kind: PolicyKind,
+    scale: &Scale,
+    window_override: Option<usize>,
+) -> SimResult {
+    let path = dir.join(format!(
+        "{}.json",
+        cache_key(machine, workload, kind, scale, window_override)
+    ));
+    if let Ok(bytes) = std::fs::read(&path) {
+        if let Ok(result) = serde_json::from_slice::<SimResult>(&bytes) {
+            return result;
+        }
+    }
+
+    let trace = workload_trace(machine, workload, scale);
+    let mut profile = machine.profile(scale.system_factor);
+    let ssd_workload = matches!(workload, Workload::S5 | Workload::S6 | Workload::S7);
+    if ssd_workload {
+        profile.system = profile.system.with_ssd_split();
+    }
+    let mut window = bbsched_core::window::WindowConfig::default();
+    window.size = window_override.unwrap_or(scale.window);
+    let cfg = SimConfig { base: machine.base(), window, ..SimConfig::default() };
+    let result = Simulator::new(&profile.system, &trace, cfg)
+        .expect("simulation setup failed")
+        .run(kind.build(scale.ga()));
+
+    if std::fs::create_dir_all(dir).is_ok() {
+        if let Ok(bytes) = serde_json::to_vec(&result) {
+            let _ = std::fs::write(&path, bytes);
+        }
+    }
+    result
+}
+
+/// Cached cell simulation at the scale's default window size.
+pub fn cell_result(
+    machine: Machine,
+    workload: Workload,
+    kind: PolicyKind,
+    scale: &Scale,
+) -> SimResult {
+    cell_result_with_window(machine, workload, kind, scale, None)
+}
+
+/// Cached cell summary (§4.2 metrics with warm-up/cool-down trimming).
+pub fn cell_summary(
+    machine: Machine,
+    workload: Workload,
+    kind: PolicyKind,
+    scale: &Scale,
+) -> MethodSummary {
+    MethodSummary::from_result(
+        &cell_result(machine, workload, kind, scale),
+        MeasurementWindow::default(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale {
+            n_jobs: 60,
+            system_factor: 0.01,
+            generations: 20,
+            seed: 3,
+            load_factor: 1.0,
+            window: 10,
+        }
+    }
+
+    #[test]
+    fn machines_pair_with_paper_bases() {
+        assert_eq!(Machine::Cori.base(), BaseScheduler::Fcfs);
+        assert_eq!(Machine::Theta.base(), BaseScheduler::Wfp);
+    }
+
+    #[test]
+    fn traces_are_deterministic_per_machine() {
+        let s = tiny();
+        assert_eq!(base_trace(Machine::Cori, &s), base_trace(Machine::Cori, &s));
+        assert_ne!(base_trace(Machine::Cori, &s), base_trace(Machine::Theta, &s));
+    }
+
+    fn test_cache(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("bbsched_cache_{tag}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn cell_runs_and_caches() {
+        let s = tiny();
+        let dir = test_cache("roundtrip");
+        std::fs::remove_dir_all(&dir).ok();
+        let a = cell_result_in(&dir, Machine::Theta, Workload::Original, PolicyKind::Baseline, &s, None);
+        assert_eq!(a.records.len(), 60);
+        // Second call must hit the cache and agree.
+        let b = cell_result_in(&dir, Machine::Theta, Workload::Original, PolicyKind::Baseline, &s, None);
+        assert_eq!(a.records, b.records);
+        // Determinism: a fresh computation in an empty cache also agrees.
+        let dir2 = test_cache("fresh");
+        std::fs::remove_dir_all(&dir2).ok();
+        let c = cell_result_in(&dir2, Machine::Theta, Workload::Original, PolicyKind::Baseline, &s, None);
+        assert_eq!(a.records, c.records);
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&dir2).ok();
+    }
+
+    #[test]
+    fn summary_has_sane_ranges() {
+        let s = tiny();
+        let dir = test_cache("summary");
+        let r = cell_result_in(&dir, Machine::Cori, Workload::S1, PolicyKind::BinPacking, &s, None);
+        let m = bbsched_metrics::MethodSummary::from_result(
+            &r,
+            bbsched_metrics::MeasurementWindow::default(),
+        );
+        assert!((0.0..=1.0 + 1e-9).contains(&m.node_usage), "node usage {}", m.node_usage);
+        assert!((0.0..=1.0 + 1e-9).contains(&m.bb_usage), "bb usage {}", m.bb_usage);
+        assert!(m.avg_wait >= 0.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ssd_workloads_get_ssd_system() {
+        let s = tiny();
+        let dir = test_cache("ssd");
+        let r = cell_result_in(&dir, Machine::Theta, Workload::S5, PolicyKind::Baseline, &s, None);
+        assert!(r.system.has_local_ssd());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,76 @@
+//! Shared rendering for the figure binaries.
+//!
+//! Figures 6, 7, 8, and 12 are the same experiment grid (2 machines ×
+//! 5 workloads × 8 policies) viewed through different metrics;
+//! [`print_metric_grid`] runs the grid once (via the shared cache) and
+//! prints one table per machine with policies as rows and workloads as
+//! columns, mirroring the paper's bar-group layout.
+
+use crate::experiments::{cell_summary, Machine, Scale};
+use crate::report::Table;
+use bbsched_metrics::MethodSummary;
+use bbsched_policies::PolicyKind;
+use bbsched_workloads::Workload;
+
+/// Prints the standard `machine × workload × policy` grid for one metric.
+pub fn print_metric_grid<F>(title: &str, scale: &Scale, metric: F)
+where
+    F: Fn(&MethodSummary) -> String,
+{
+    println!("{title}");
+    println!("scale: {scale:?}\n");
+    for machine in Machine::both() {
+        let mut header: Vec<String> = vec!["Method".to_string()];
+        header.extend(
+            Workload::main_grid().iter().map(|w| format!("{}-{}", machine.name(), w.name())),
+        );
+        let mut table = Table::new(header);
+        for kind in PolicyKind::main_roster() {
+            let mut row = vec![kind.name().to_string()];
+            for workload in Workload::main_grid() {
+                let summary = cell_summary(machine, workload, kind, scale);
+                row.push(metric(&summary));
+            }
+            table.row(row);
+        }
+        println!("--- {} (base: {}) ---", machine.name(), machine.base().name());
+        table.print();
+        println!();
+    }
+}
+
+/// Collects the full grid of summaries for a machine (policy-major order).
+pub fn machine_grid(machine: Machine, scale: &Scale) -> Vec<(PolicyKind, Vec<MethodSummary>)> {
+    PolicyKind::main_roster()
+        .into_iter()
+        .map(|kind| {
+            let row = Workload::main_grid()
+                .into_iter()
+                .map(|w| cell_summary(machine, w, kind, scale))
+                .collect();
+            (kind, row)
+        })
+        .collect()
+}
+
+/// Percentage improvement of `new` over `baseline` where *smaller is
+/// better* (wait time, slowdown): positive = improvement.
+pub fn reduction_pct(baseline: f64, new: f64) -> f64 {
+    if baseline <= 0.0 {
+        0.0
+    } else {
+        (baseline - new) / baseline * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_math() {
+        assert_eq!(reduction_pct(100.0, 59.0), 41.0);
+        assert_eq!(reduction_pct(0.0, 10.0), 0.0);
+        assert!(reduction_pct(50.0, 60.0) < 0.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Minimal `--key value` argument parsing.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Args {
+    /// The subcommand ("generate", "simulate", ...).
+    pub command: String,
+    options: BTreeMap<String, String>,
+    /// Bare `--flag` switches (no value).
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `argv` (excluding the program name).
+    ///
+    /// Grammar: `<command> (--key value | --flag)*`. A `--key` followed by
+    /// another `--...` token or end of input is a flag.
+    pub fn parse<I, S>(argv: I) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let tokens: Vec<String> = argv.into_iter().map(Into::into).collect();
+        let mut args = Args::default();
+        let mut it = tokens.into_iter().peekable();
+        args.command = match it.next() {
+            Some(c) if !c.starts_with("--") => c,
+            Some(c) => return Err(format!("expected a subcommand, got option '{c}'")),
+            None => return Err("no subcommand given (try 'help')".into()),
+        };
+        while let Some(tok) = it.next() {
+            let key = tok
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --option, got '{tok}'"))?
+                .to_string();
+            if key.is_empty() {
+                return Err("empty option name".into());
+            }
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    let v = it.next().expect("peeked value vanished");
+                    if args.options.insert(key.clone(), v).is_some() {
+                        return Err(format!("duplicate option --{key}"));
+                    }
+                }
+                _ => args.flags.push(key),
+            }
+        }
+        Ok(args)
+    }
+
+    /// String option, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// String option with a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// Required string option.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// Parsed numeric/typed option with a default.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse '{v}' as {}", std::any::type_name::<T>())),
+        }
+    }
+
+    /// Whether a bare `--flag` was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Rejects unknown options (catch typos early). `known` lists valid
+    /// option keys and flags.
+    pub fn check_known(&self, known: &[&str]) -> Result<(), String> {
+        for k in self.options.keys().chain(self.flags.iter()) {
+            if !known.contains(&k.as_str()) {
+                return Err(format!(
+                    "unknown option --{k} for '{}' (valid: {})",
+                    self.command,
+                    known.join(", ")
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_command_and_options() {
+        let a = Args::parse(["simulate", "--machine", "theta", "--jobs", "100"]).unwrap();
+        assert_eq!(a.command, "simulate");
+        assert_eq!(a.get("machine"), Some("theta"));
+        assert_eq!(a.get_parsed("jobs", 0usize).unwrap(), 100);
+        assert_eq!(a.get("missing"), None);
+    }
+
+    #[test]
+    fn parses_flags() {
+        let a = Args::parse(["generate", "--swf", "--jobs", "5", "--verbose"]).unwrap();
+        assert!(a.flag("swf"));
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+        assert_eq!(a.get("jobs"), Some("5"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Args::parse(Vec::<String>::new()).is_err());
+        assert!(Args::parse(["--oops"]).is_err());
+        assert!(Args::parse(["cmd", "stray"]).is_err());
+        assert!(Args::parse(["cmd", "--a", "1", "--a", "2"]).is_err());
+    }
+
+    #[test]
+    fn require_and_defaults() {
+        let a = Args::parse(["x", "--k", "v"]).unwrap();
+        assert_eq!(a.require("k").unwrap(), "v");
+        assert!(a.require("nope").is_err());
+        assert_eq!(a.get_or("nope", "d"), "d");
+        assert_eq!(a.get_parsed("bad", 3u32).unwrap(), 3);
+        let a = Args::parse(["x", "--n", "abc"]).unwrap();
+        assert!(a.get_parsed("n", 0u32).is_err());
+    }
+
+    #[test]
+    fn unknown_option_detection() {
+        let a = Args::parse(["sim", "--machine", "cori", "--typo", "x"]).unwrap();
+        assert!(a.check_known(&["machine"]).is_err());
+        assert!(a.check_known(&["machine", "typo"]).is_ok());
+    }
+}

@@ -1,0 +1,454 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use bbsched_metrics::{DistributionStats, MeasurementWindow, MethodSummary, UsageKind};
+use bbsched_policies::{GaParams, PolicyKind, SelectionPolicy};
+use bbsched_sim::{BackfillAlgorithm, BaseScheduler, SimConfig, SimResult, Simulator};
+use bbsched_workloads::{
+    generate, swf, GeneratorConfig, MachineProfile, Trace, Workload,
+};
+use std::path::Path;
+
+/// Top-level dispatch; returns the process exit code.
+pub fn run(args: &Args) -> Result<(), String> {
+    match args.command.as_str() {
+        "generate" => cmd_generate(args),
+        "stats" => cmd_stats(args),
+        "simulate" => cmd_simulate(args),
+        "compare" => cmd_compare(args),
+        "timeline" => cmd_timeline(args),
+        "gantt" => cmd_gantt(args),
+        "help" | "--help" | "-h" => {
+            print!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n\n{}", usage())),
+    }
+}
+
+/// Usage text.
+pub fn usage() -> String {
+    "\
+bbsched — multi-resource HPC scheduling toolkit (BBSched, HPDC'19)
+
+USAGE: bbsched <command> [--option value]... [--flag]...
+
+COMMANDS
+  generate   Generate a calibrated synthetic trace
+             --machine cori|theta  --jobs N  --seed S  --scale F
+             --load F  --workload Original|S1..S7  --out PATH  [--swf]
+  stats      Print trace statistics (Table-2 style)
+             --trace PATH
+  simulate   Run one policy over a trace and print its metrics
+             --trace PATH | (--machine + --jobs [--workload])
+             --machine cori|theta  --scale F  --policy NAME
+             --window N  --gens G  [--conservative] [--queue-backfill]
+             [--out result.json]
+  compare    Run the full §4.3 roster on one workload and print the grid
+             --machine cori|theta  --workload W  --jobs N  --scale F
+             --gens G
+  timeline   Export a utilization timeline CSV from a saved result
+             --result PATH  --resource nodes|bb  --dt SECONDS  --out PATH
+  gantt      ASCII utilization chart of a saved result
+             --result PATH  [--width N]  [--resource nodes|bb|ssd]
+  help       This text.
+
+Policies: Baseline, Weighted, Weighted_CPU, Weighted_BB, Constrained_CPU,
+Constrained_BB, Constrained_SSD, Bin_Packing, BBSched
+"
+    .to_string()
+}
+
+fn parse_machine(name: &str) -> Result<MachineProfile, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "cori" => Ok(MachineProfile::cori()),
+        "theta" => Ok(MachineProfile::theta()),
+        other => Err(format!("unknown machine '{other}' (cori|theta)")),
+    }
+}
+
+fn parse_workload(name: &str) -> Result<Workload, String> {
+    match name.to_ascii_uppercase().as_str() {
+        "ORIGINAL" => Ok(Workload::Original),
+        "S1" => Ok(Workload::S1),
+        "S2" => Ok(Workload::S2),
+        "S3" => Ok(Workload::S3),
+        "S4" => Ok(Workload::S4),
+        "S5" => Ok(Workload::S5),
+        "S6" => Ok(Workload::S6),
+        "S7" => Ok(Workload::S7),
+        other => Err(format!("unknown workload '{other}' (Original, S1..S7)")),
+    }
+}
+
+fn parse_policy(name: &str) -> Result<PolicyKind, String> {
+    let all = [
+        PolicyKind::Baseline,
+        PolicyKind::Weighted,
+        PolicyKind::WeightedCpu,
+        PolicyKind::WeightedBb,
+        PolicyKind::ConstrainedCpu,
+        PolicyKind::ConstrainedBb,
+        PolicyKind::ConstrainedSsd,
+        PolicyKind::BinPacking,
+        PolicyKind::BbSched,
+    ];
+    all.into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown policy '{name}'"))
+}
+
+fn load_trace(path: &str) -> Result<Trace, String> {
+    let p = Path::new(path);
+    let result = if path.ends_with(".swf") {
+        swf::read_swf(p)
+    } else {
+        Trace::load_jsonl(p)
+    };
+    result.map_err(|e| format!("cannot load trace '{path}': {e}"))
+}
+
+/// Builds a trace either from `--trace` or by generation.
+fn trace_from_args(args: &Args) -> Result<(Trace, MachineProfile), String> {
+    let scale: f64 = args.get_parsed("scale", 0.05)?;
+    let machine = parse_machine(args.get_or("machine", "theta"))?;
+    let profile = if (scale - 1.0).abs() < f64::EPSILON { machine } else { machine.scaled(scale) };
+    let trace = match args.get("trace") {
+        Some(path) => load_trace(path)?,
+        None => {
+            let n_jobs = args.get_parsed("jobs", 1_000usize)?;
+            let seed = args.get_parsed("seed", 7u64)?;
+            let load_factor = args.get_parsed("load", 1.15f64)?;
+            let base = generate(&profile, &GeneratorConfig { n_jobs, seed, load_factor, ..GeneratorConfig::default() });
+            let workload = parse_workload(args.get_or("workload", "Original"))?;
+            workload.apply_scaled(&base, seed ^ 0x5eed, scale)
+        }
+    };
+    Ok((trace, profile))
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    args.check_known(&[
+        "machine", "jobs", "seed", "scale", "load", "workload", "out", "swf",
+    ])?;
+    let (trace, _) = trace_from_args(args)?;
+    let out = args.require("out")?;
+    let result = if args.flag("swf") || out.ends_with(".swf") {
+        swf::write_swf(&trace, Path::new(out))
+    } else {
+        trace.save_jsonl(Path::new(out))
+    };
+    result.map_err(|e| format!("cannot write '{out}': {e}"))?;
+    let s = trace.stats();
+    println!(
+        "wrote {} jobs to {out} ({:.2}% with burst buffer, span {:.1} days)",
+        s.n_jobs,
+        s.bb_fraction() * 100.0,
+        s.span_seconds / 86_400.0
+    );
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    args.check_known(&["trace"])?;
+    let trace = load_trace(args.require("trace")?)?;
+    let s = trace.stats();
+    println!("jobs:                {}", s.n_jobs);
+    println!("span:                {:.2} days", s.span_seconds / 86_400.0);
+    println!("node-seconds:        {:.3e}", s.total_node_seconds);
+    println!("jobs with BB:        {} ({:.3}%)", s.jobs_with_bb, s.bb_fraction() * 100.0);
+    println!("jobs with BB > 1TB:  {}", s.jobs_with_bb_over_1tb);
+    println!("jobs with local SSD: {}", s.jobs_with_ssd);
+    match s.bb_range_gb {
+        Some((lo, hi)) => println!("BB range:            [{lo:.1} GB, {:.2} TB]", hi / 1000.0),
+        None => println!("BB range:            -"),
+    }
+    println!("aggregate BB:        {:.2} TB", s.total_bb_gb / 1000.0);
+    Ok(())
+}
+
+#[allow(clippy::field_reassign_with_default)]
+fn sim_config(args: &Args, machine: &MachineProfile) -> Result<SimConfig, String> {
+    let mut cfg = SimConfig::default();
+    cfg.base = match args.get_or(
+        "base",
+        if machine.system.name == "theta" { "wfp" } else { "fcfs" },
+    ) {
+        b if b.eq_ignore_ascii_case("fcfs") => BaseScheduler::Fcfs,
+        b if b.eq_ignore_ascii_case("wfp") => BaseScheduler::Wfp,
+        other => return Err(format!("unknown base scheduler '{other}' (fcfs|wfp)")),
+    };
+    cfg.window.size = args.get_parsed("window", cfg.window.size)?;
+    if args.flag("conservative") {
+        cfg.backfill_algorithm = BackfillAlgorithm::Conservative;
+    }
+    if args.flag("queue-backfill") {
+        cfg.backfill = bbsched_sim::BackfillScope::Queue;
+    }
+    Ok(cfg)
+}
+
+fn print_summary(result: &SimResult) {
+    let m = MethodSummary::from_result(result, MeasurementWindow::default());
+    let waits = DistributionStats::of_waits(&result.records);
+    println!("policy:          {} (base {})", result.policy, result.base);
+    println!("jobs:            {} ({} backfilled, {} starvation-forced)",
+        result.records.len(), result.backfilled, result.starvation_forced);
+    println!("node usage:      {:.2}%", m.node_usage * 100.0);
+    println!("BB usage:        {:.2}%", m.bb_usage * 100.0);
+    if result.system.has_local_ssd() {
+        println!("SSD usage:       {:.2}% (wasted {:.2}%)", m.ssd_usage * 100.0, m.ssd_wasted * 100.0);
+    }
+    println!("avg wait:        {:.2} h", m.avg_wait / 3600.0);
+    println!("wait P50/P90/P99: {:.2} / {:.2} / {:.2} h",
+        waits.p50 / 3600.0, waits.p90 / 3600.0, waits.p99 / 3600.0);
+    println!("avg slowdown:    {:.2}", m.avg_slowdown);
+    println!("makespan:        {:.2} days", result.makespan / 86_400.0);
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    args.check_known(&[
+        "trace", "machine", "jobs", "seed", "scale", "load", "workload", "policy", "base",
+        "window", "gens", "out", "conservative", "queue-backfill",
+    ])?;
+    let (trace, profile) = trace_from_args(args)?;
+    let kind = parse_policy(args.get_or("policy", "BBSched"))?;
+    let cfg = sim_config(args, &profile)?;
+    let ga = GaParams {
+        generations: args.get_parsed("gens", 500usize)?,
+        base_seed: args.get_parsed("seed", 7u64)?,
+        ..GaParams::default()
+    };
+    let policy: Box<dyn SelectionPolicy> = kind.build(ga);
+    let result = Simulator::new(&profile.system, &trace, cfg)?.run(policy);
+    print_summary(&result);
+    if let Some(out) = args.get("out") {
+        let bytes = serde_json::to_vec_pretty(&result)
+            .map_err(|e| format!("serialize: {e}"))?;
+        std::fs::write(out, bytes).map_err(|e| format!("cannot write '{out}': {e}"))?;
+        println!("full result written to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> Result<(), String> {
+    args.check_known(&[
+        "trace", "machine", "jobs", "seed", "scale", "load", "workload", "base", "window",
+        "gens", "conservative", "queue-backfill",
+    ])?;
+    let (trace, profile) = trace_from_args(args)?;
+    let cfg = sim_config(args, &profile)?;
+    let ga = GaParams {
+        generations: args.get_parsed("gens", 200usize)?,
+        base_seed: args.get_parsed("seed", 7u64)?,
+        ..GaParams::default()
+    };
+    let roster: Vec<PolicyKind> = if profile.system.has_local_ssd() {
+        PolicyKind::ssd_roster().to_vec()
+    } else {
+        PolicyKind::main_roster().to_vec()
+    };
+    println!(
+        "{:<16} {:>9} {:>9} {:>10} {:>10}",
+        "Method", "Node", "BB", "Avg wait", "Slowdown"
+    );
+    for kind in roster {
+        let result = Simulator::new(&profile.system, &trace, cfg.clone())?
+            .run(kind.build(ga));
+        let m = MethodSummary::from_result(&result, MeasurementWindow::default());
+        println!(
+            "{:<16} {:>8.2}% {:>8.2}% {:>9.2}h {:>10.2}",
+            kind.name(),
+            m.node_usage * 100.0,
+            m.bb_usage * 100.0,
+            m.avg_wait / 3600.0,
+            m.avg_slowdown
+        );
+    }
+    Ok(())
+}
+
+fn cmd_timeline(args: &Args) -> Result<(), String> {
+    args.check_known(&["result", "resource", "dt", "out"])?;
+    let path = args.require("result")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    let result: SimResult =
+        serde_json::from_slice(&bytes).map_err(|e| format!("cannot parse '{path}': {e}"))?;
+    let kind = match args.get_or("resource", "nodes") {
+        "nodes" => UsageKind::Nodes,
+        "bb" => UsageKind::BurstBuffer,
+        "ssd" => UsageKind::LocalSsdUsed,
+        other => return Err(format!("unknown resource '{other}' (nodes|bb|ssd)")),
+    };
+    let dt: f64 = args.get_parsed("dt", 600.0)?;
+    let t1 = result.makespan;
+    let series = bbsched_metrics::stats::utilization_timeline(
+        &result.records,
+        &result.system,
+        kind,
+        0.0,
+        t1,
+        dt,
+    );
+    let out = args.require("out")?;
+    bbsched_metrics::stats::write_timeline_csv(&series, Path::new(out))
+        .map_err(|e| format!("cannot write '{out}': {e}"))?;
+    println!("wrote {} samples to {out}", series.len());
+    Ok(())
+}
+
+fn cmd_gantt(args: &Args) -> Result<(), String> {
+    args.check_known(&["result", "width", "resource"])?;
+    let path = args.require("result")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    let result: SimResult =
+        serde_json::from_slice(&bytes).map_err(|e| format!("cannot parse '{path}': {e}"))?;
+    let width: usize = args.get_parsed("width", 72usize)?;
+    let kind = match args.get_or("resource", "nodes") {
+        "nodes" => UsageKind::Nodes,
+        "bb" => UsageKind::BurstBuffer,
+        "ssd" => UsageKind::LocalSsdUsed,
+        other => return Err(format!("unknown resource '{other}' (nodes|bb|ssd)")),
+    };
+    let t1 = result.makespan.max(1.0);
+    let dt = t1 / width.max(1) as f64;
+    let series = bbsched_metrics::stats::utilization_timeline(
+        &result.records,
+        &result.system,
+        kind,
+        0.0,
+        t1,
+        dt,
+    );
+    println!(
+        "{} utilization over {:.2} days ({} on {}, each column {:.1} h):\n",
+        args.get_or("resource", "nodes"),
+        t1 / 86_400.0,
+        result.policy,
+        result.system.name,
+        dt / 3_600.0,
+    );
+    const LEVELS: &[char] = &[' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    for row in (0..5).rev() {
+        let lo = row as f64 * 0.2;
+        let mut line = String::with_capacity(width + 8);
+        line.push_str(&format!("{:>3.0}% |", (lo + 0.2) * 100.0));
+        for &(_, u) in series.iter().take(width) {
+            let within = ((u - lo) / 0.2).clamp(0.0, 1.0);
+            let idx = (within * (LEVELS.len() - 1) as f64).round() as usize;
+            line.push(LEVELS[idx]);
+        }
+        println!("{line}");
+    }
+    println!("     +{}", "-".repeat(width));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parsers_accept_paper_names() {
+        assert!(parse_machine("Cori").is_ok());
+        assert!(parse_machine("THETA").is_ok());
+        assert!(parse_machine("summit").is_err());
+        assert!(parse_workload("s4").is_ok());
+        assert!(parse_workload("original").is_ok());
+        assert!(parse_workload("s9").is_err());
+        assert_eq!(parse_policy("bbsched").unwrap(), PolicyKind::BbSched);
+        assert_eq!(parse_policy("Bin_Packing").unwrap(), PolicyKind::BinPacking);
+        assert!(parse_policy("magic").is_err());
+    }
+
+    #[test]
+    fn generate_stats_simulate_pipeline() {
+        let dir = std::env::temp_dir().join(format!("bbsched_cli_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("t.jsonl");
+        let args = Args::parse([
+            "generate",
+            "--machine", "theta",
+            "--jobs", "80",
+            "--scale", "0.02",
+            "--workload", "S2",
+            "--out", trace_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        run(&args).unwrap();
+        assert!(trace_path.exists());
+
+        let args =
+            Args::parse(["stats", "--trace", trace_path.to_str().unwrap()]).unwrap();
+        run(&args).unwrap();
+
+        let result_path = dir.join("r.json");
+        let args = Args::parse([
+            "simulate",
+            "--trace", trace_path.to_str().unwrap(),
+            "--machine", "theta",
+            "--scale", "0.02",
+            "--policy", "Baseline",
+            "--out", result_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        run(&args).unwrap();
+        assert!(result_path.exists());
+
+        let csv_path = dir.join("tl.csv");
+        let args = Args::parse([
+            "timeline",
+            "--result", result_path.to_str().unwrap(),
+            "--resource", "nodes",
+            "--dt", "1000",
+            "--out", csv_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        run(&args).unwrap();
+        assert!(csv_path.exists());
+
+        let args = Args::parse([
+            "gantt",
+            "--result", result_path.to_str().unwrap(),
+            "--width", "40",
+        ])
+        .unwrap();
+        run(&args).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn swf_generation() {
+        let dir = std::env::temp_dir().join(format!("bbsched_cli_swf_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.swf");
+        let args = Args::parse([
+            "generate",
+            "--machine", "cori",
+            "--jobs", "50",
+            "--scale", "0.02",
+            "--out", path.to_str().unwrap(),
+        ])
+        .unwrap();
+        run(&args).unwrap();
+        let trace = load_trace(path.to_str().unwrap()).unwrap();
+        assert_eq!(trace.len(), 50);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_command_and_typo_errors() {
+        let args = Args::parse(["frobnicate"]).unwrap();
+        assert!(run(&args).is_err());
+        let args = Args::parse(["stats", "--trase", "x"]).unwrap();
+        assert!(run(&args).is_err());
+    }
+
+    #[test]
+    fn usage_mentions_every_command() {
+        let u = usage();
+        for cmd in ["generate", "stats", "simulate", "compare", "timeline"] {
+            assert!(u.contains(cmd), "usage must document '{cmd}'");
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! # bbsched-cli
+//!
+//! Command-line front end for the BBSched workspace. Everything the
+//! figure binaries do programmatically is available ad hoc:
+//!
+//! ```text
+//! bbsched generate --machine theta --jobs 2000 --workload S4 --out t.jsonl
+//! bbsched stats    --trace t.jsonl
+//! bbsched simulate --trace t.jsonl --machine theta --policy BBSched
+//! bbsched compare  --machine theta --workload S4 --jobs 1000
+//! ```
+//!
+//! Argument parsing is hand-rolled (`--key value` pairs after a
+//! subcommand) to keep the dependency set at the workspace's approved
+//! list; [`Args`] is the reusable, testable parser.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::Args;

@@ -1,0 +1,16 @@
+//! The `bbsched` command-line tool. See `bbsched help`.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match bbsched_cli::Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", bbsched_cli::commands::usage());
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = bbsched_cli::commands::run(&args) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

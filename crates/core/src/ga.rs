@@ -1,0 +1,723 @@
+//! The multi-objective genetic algorithm of §3.2.2.
+//!
+//! The solver mimics natural selection over a constant-size population of
+//! `P` chromosomes for `G` generations:
+//!
+//! * **crossover** — two children from two random parents, swapping genes
+//!   after a random cut point;
+//! * **mutation** — each child gene bit-flips with low probability `p_m`;
+//! * **selection** — the pool (parents + children) is split into the Pareto
+//!   solutions (*Set 1*) and the rest (*Set 2*); Set 1 passes to the next
+//!   generation first, then the *newest* chromosomes of Set 2; if Set 1
+//!   alone exceeds `P`, the newest of Set 1 are kept. Survivor ages
+//!   increment every generation, children start at age 0.
+//!
+//! Every chromosome is kept feasible via [`MooProblem::repair`], so the
+//! capacity constraints of the MOO formulation always hold.
+//!
+//! A scalarized mode ([`SolveMode::Scalar`]) reuses the same evolutionary
+//! machinery with "keep the best `P` by weighted sum" selection; this powers
+//! the *weighted* and *constrained* comparison policies of §4.3, which the
+//! paper describes as single-objective conversions of the same problem.
+
+use crate::chromosome::Chromosome;
+use crate::parallel;
+use crate::pareto::{dominates, ParetoFront, Solution};
+use crate::problem::MooProblem;
+use crate::Objectives;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// How the GA turns objective vectors into survivor choices.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SolveMode {
+    /// Multi-objective Pareto selection (BBSched proper, §3.2.2):
+    /// non-dominated Set 1 survives first, then the newest of the rest.
+    Pareto,
+    /// NSGA-II-style variant: like [`SolveMode::Pareto`], but overflowing
+    /// or tying choices are settled by *crowding distance* instead of age,
+    /// preserving front diversity. An ablation of the paper's age rule.
+    ParetoCrowding,
+    /// Single-objective selection by weighted sum of *normalized*
+    /// objectives (weights are applied after dividing each objective by the
+    /// problem's [`MooProblem::normalizers`]). Used by the weighted and
+    /// constrained comparison methods.
+    Scalar(Vec<f64>),
+}
+
+/// GA hyper-parameters. Paper defaults (§4.3): window 20, `G = 500`,
+/// `P = 20`, `p_m = 0.05 %`.
+#[derive(Clone, Debug)]
+pub struct GaConfig {
+    /// Population size `P`.
+    pub population: usize,
+    /// Number of generations `G`.
+    pub generations: usize,
+    /// Per-gene bit-flip probability `p_m`.
+    pub mutation_rate: f64,
+    /// RNG seed; equal seeds give identical runs.
+    pub seed: u64,
+    /// Selection mode.
+    pub mode: SolveMode,
+    /// Worker threads for population evaluation (1 = serial). The paper
+    /// notes the GA "can be accelerated by leveraging parallel processing".
+    pub threads: usize,
+    /// Saturation polish: after each child is repaired, greedily select any
+    /// still-fitting window job (front-of-window first). Every *exact*
+    /// Pareto point of the §3.2.1/§5 problems is saturated — objectives are
+    /// monotone in the selection — so polishing weakly dominates the
+    /// unpolished chromosome and can only improve the approximation. Off by
+    /// default for strict fidelity to the paper's operator set; the
+    /// `ga_scaling` ablation quantifies the gain.
+    pub saturate: bool,
+    /// External Pareto archive: accumulate every individual ever evaluated
+    /// into a best-ever front and return *that* instead of the final
+    /// generation's Set 1. Immune to the drift where a good point is found
+    /// mid-run and later lost. Off by default (the paper returns "the
+    /// chromosomes in Set 1 in the final generation").
+    pub archive: bool,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        Self {
+            population: 20,
+            generations: 500,
+            mutation_rate: 0.0005,
+            seed: 0x5eed_b00c,
+            mode: SolveMode::Pareto,
+            threads: 1,
+            saturate: false,
+            archive: false,
+        }
+    }
+}
+
+impl GaConfig {
+    /// Validates the configuration, returning a human-readable error for
+    /// nonsensical settings.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.population < 2 {
+            return Err(format!("population must be >= 2, got {}", self.population));
+        }
+        if !(0.0..=1.0).contains(&self.mutation_rate) {
+            return Err(format!("mutation_rate must be in [0, 1], got {}", self.mutation_rate));
+        }
+        if self.threads == 0 {
+            return Err("threads must be >= 1".into());
+        }
+        if let SolveMode::Scalar(w) = &self.mode {
+            if w.is_empty() {
+                return Err("scalar mode requires at least one weight".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One member of the GA population.
+#[derive(Clone, Debug)]
+struct Individual {
+    chrom: Chromosome,
+    objs: Objectives,
+    /// Generations survived; children are born with age 0, and "newer
+    /// chromosomes have higher priorities" during selection.
+    age: u32,
+}
+
+/// The multi-objective genetic solver.
+#[derive(Clone, Debug)]
+pub struct MooGa {
+    config: GaConfig,
+}
+
+impl MooGa {
+    /// Creates a solver with the given configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see [`GaConfig::validate`]).
+    pub fn new(config: GaConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid GaConfig: {e}");
+        }
+        Self { config }
+    }
+
+    /// The solver configuration.
+    pub fn config(&self) -> &GaConfig {
+        &self.config
+    }
+
+    /// Runs the GA and returns the Pareto front of the final generation
+    /// (Set 1, §3.2.2). In scalar mode the returned front holds the single
+    /// best solution by weighted sum.
+    pub fn solve<P: MooProblem + ?Sized>(&self, problem: &P) -> ParetoFront {
+        self.solve_traced(problem, &[]).final_front
+    }
+
+    /// Like [`MooGa::solve`], but additionally snapshots the front after
+    /// each generation count listed in `checkpoints` (must be sorted
+    /// ascending). Used to reproduce Fig. 4 (GD vs. `G`) in one run.
+    pub fn solve_traced<P: MooProblem + ?Sized>(&self, problem: &P, checkpoints: &[usize]) -> GaTrace {
+        debug_assert!(checkpoints.windows(2).all(|w| w[0] <= w[1]));
+        let w = problem.len();
+        let mut trace = GaTrace::default();
+        if w == 0 {
+            for &c in checkpoints {
+                trace.checkpoints.push((c, ParetoFront::new()));
+            }
+            return trace;
+        }
+
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        let p = self.config.population;
+        let mut pop = self.initial_population(problem, &mut rng);
+        let mut archive = ParetoFront::new();
+        if self.config.archive {
+            for ind in &pop {
+                archive.insert(Solution { chromosome: ind.chrom.clone(), objectives: ind.objs });
+            }
+        }
+        let mut next_checkpoint = 0usize;
+
+        // Snapshot before any evolution if generation 0 is requested.
+        while next_checkpoint < checkpoints.len() && checkpoints[next_checkpoint] == 0 {
+            trace.checkpoints.push((0, self.extract_front(problem, &pop)));
+            next_checkpoint += 1;
+        }
+
+        let mut children_chroms: Vec<Chromosome> = Vec::with_capacity(p + 1);
+        for gen in 1..=self.config.generations {
+            // --- crossover + mutation -> P children ---
+            children_chroms.clear();
+            while children_chroms.len() < p {
+                let pa = rng.random_range(0..pop.len());
+                let pb = rng.random_range(0..pop.len());
+                let point = rng.random_range(0..=w);
+                let (mut c1, mut c2) = pop[pa].chrom.crossover(&pop[pb].chrom, point);
+                self.mutate(&mut c1, &mut rng);
+                self.mutate(&mut c2, &mut rng);
+                children_chroms.push(c1);
+                if children_chroms.len() < p {
+                    children_chroms.push(c2);
+                }
+            }
+
+            // --- repair + evaluate (optionally in parallel) ---
+            let objs = parallel::repair_and_evaluate(
+                problem,
+                &mut children_chroms,
+                self.config.threads,
+                self.config.saturate,
+            );
+            let children: Vec<Individual> = children_chroms
+                .drain(..)
+                .zip(objs)
+                .map(|(chrom, objs)| Individual { chrom, objs, age: 0 })
+                .collect();
+            if self.config.archive {
+                for ind in &children {
+                    archive.insert(Solution {
+                        chromosome: ind.chrom.clone(),
+                        objectives: ind.objs,
+                    });
+                }
+            }
+
+            // --- selection over parents + children ---
+            let mut pool: Vec<Individual> = pop;
+            pool.extend(children);
+            pop = match &self.config.mode {
+                SolveMode::Pareto => select_pareto(pool, p),
+                SolveMode::ParetoCrowding => select_crowding(pool, p),
+                SolveMode::Scalar(weights) => {
+                    select_scalar(pool, p, weights, problem.normalizers().as_slice())
+                }
+            };
+            for ind in &mut pop {
+                ind.age += 1;
+            }
+
+            while next_checkpoint < checkpoints.len() && checkpoints[next_checkpoint] == gen {
+                trace.checkpoints.push((gen, self.extract_front(problem, &pop)));
+                next_checkpoint += 1;
+            }
+        }
+
+        trace.final_front = if self.config.archive {
+            archive
+        } else {
+            self.extract_front(problem, &pop)
+        };
+        trace
+    }
+
+    /// Convenience for scalarized policies: returns the single best
+    /// solution by the configured weights.
+    ///
+    /// # Panics
+    /// Panics if called on a Pareto-mode solver.
+    pub fn solve_scalar<P: MooProblem + ?Sized>(&self, problem: &P) -> Solution {
+        assert!(
+            matches!(self.config.mode, SolveMode::Scalar(_)),
+            "solve_scalar requires SolveMode::Scalar"
+        );
+        let front = self.solve(problem);
+        front
+            .into_solutions()
+            .into_iter()
+            .next()
+            .unwrap_or_else(|| Solution {
+                chromosome: Chromosome::zeros(problem.len().max(1)),
+                objectives: problem.evaluate(&Chromosome::zeros(problem.len().max(1))),
+            })
+    }
+
+    fn initial_population<P: MooProblem + ?Sized>(
+        &self,
+        problem: &P,
+        rng: &mut SmallRng,
+    ) -> Vec<Individual> {
+        let w = problem.len();
+        let mut chroms: Vec<Chromosome> = (0..self.config.population)
+            .map(|_| {
+                let mut c = Chromosome::zeros(w);
+                for i in 0..w {
+                    if rng.random_bool(0.5) {
+                        c.set(i, true);
+                    }
+                }
+                c
+            })
+            .collect();
+        let objs = parallel::repair_and_evaluate(
+            problem,
+            &mut chroms,
+            self.config.threads,
+            self.config.saturate,
+        );
+        chroms
+            .into_iter()
+            .zip(objs)
+            .map(|(chrom, objs)| Individual { chrom, objs, age: 0 })
+            .collect()
+    }
+
+    #[inline]
+    fn mutate(&self, c: &mut Chromosome, rng: &mut SmallRng) {
+        let pm = self.config.mutation_rate;
+        if pm <= 0.0 {
+            return;
+        }
+        for i in 0..c.len() {
+            if rng.random_bool(pm) {
+                c.flip(i);
+            }
+        }
+    }
+
+    fn extract_front<P: MooProblem + ?Sized>(&self, problem: &P, pop: &[Individual]) -> ParetoFront {
+        match &self.config.mode {
+            SolveMode::Pareto | SolveMode::ParetoCrowding => {
+                ParetoFront::from_pool(pop.iter().map(|i| Solution {
+                    chromosome: i.chrom.clone(),
+                    objectives: i.objs,
+                }))
+            }
+            SolveMode::Scalar(weights) => {
+                let norm = problem.normalizers();
+                let best = pop.iter().max_by(|a, b| {
+                    scalar_fitness(&a.objs, weights, norm.as_slice())
+                        .partial_cmp(&scalar_fitness(&b.objs, weights, norm.as_slice()))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        // Ties: prefer front-of-window selections.
+                        .then_with(|| b.chrom.front_preference(&a.chrom))
+                });
+                let mut front = ParetoFront::new();
+                if let Some(b) = best {
+                    front.insert(Solution { chromosome: b.chrom.clone(), objectives: b.objs });
+                }
+                front
+            }
+        }
+    }
+}
+
+/// Result of a traced GA run.
+#[derive(Debug, Default)]
+pub struct GaTrace {
+    /// `(generation, front)` snapshots at the requested checkpoints.
+    pub checkpoints: Vec<(usize, ParetoFront)>,
+    /// Front after the final generation.
+    pub final_front: ParetoFront,
+}
+
+#[inline]
+fn scalar_fitness(objs: &Objectives, weights: &[f64], norm: &[f64]) -> f64 {
+    objs.as_slice()
+        .iter()
+        .zip(norm)
+        .zip(weights)
+        .map(|((&v, &n), &w)| w * v / n)
+        .sum()
+}
+
+/// Indices of the non-dominated members of `pool`. Equal objective vectors
+/// are both retained (the paper keeps all Set-1 chromosomes).
+fn nondominated_indices(pool: &[Individual]) -> Vec<bool> {
+    let n = pool.len();
+    let mut in_set1 = vec![true; n];
+    for i in 0..n {
+        if !in_set1[i] {
+            continue;
+        }
+        for j in 0..n {
+            if i != j && dominates(pool[j].objs.as_slice(), pool[i].objs.as_slice()) {
+                in_set1[i] = false;
+                break;
+            }
+        }
+    }
+    in_set1
+}
+
+/// The §3.2.2 selection: Set 1 (Pareto) first, then newest of Set 2; if
+/// Set 1 overflows `p`, keep its newest members.
+///
+/// One refinement over the paper's prose: within Set 1, *distinct objective
+/// points* take priority over duplicates. Without this, a burst of
+/// identical age-0 children (crossover of converged parents) can evict an
+/// older elite that is the only representative of a better objective point,
+/// and the front silently degrades — the textbook elitism-loss failure.
+/// Duplicated points only fill leftover slots, newest first, exactly as the
+/// paper's age rule prescribes.
+fn select_pareto(pool: Vec<Individual>, p: usize) -> Vec<Individual> {
+    let in_set1 = nondominated_indices(&pool);
+    let mut set1 = Vec::new();
+    let mut set2 = Vec::new();
+    for (ind, is1) in pool.into_iter().zip(in_set1) {
+        if is1 {
+            set1.push(ind);
+        } else {
+            set2.push(ind);
+        }
+    }
+
+    // Partition Set 1 into one representative per distinct objective vector
+    // (newest representative wins) and the remaining duplicates.
+    set1.sort_by_key(|i| i.age);
+    let mut representatives: Vec<Individual> = Vec::with_capacity(set1.len());
+    let mut duplicates: Vec<Individual> = Vec::new();
+    'outer: for ind in set1 {
+        for rep in &representatives {
+            if rep.objs.as_slice() == ind.objs.as_slice() {
+                duplicates.push(ind);
+                continue 'outer;
+            }
+        }
+        representatives.push(ind);
+    }
+
+    let mut next = representatives;
+    if next.len() >= p {
+        // More distinct Pareto points than slots: keep the newest ones
+        // (ages ascending already).
+        next.truncate(p);
+        return next;
+    }
+    // Fill with Set-1 duplicates (already age-sorted), then newest of Set 2.
+    let need = p - next.len();
+    if duplicates.len() >= need {
+        next.extend(duplicates.into_iter().take(need));
+        return next;
+    }
+    next.extend(duplicates);
+    set2.sort_by_key(|i| i.age);
+    let need = p - next.len();
+    next.extend(set2.into_iter().take(need));
+    next
+}
+
+/// NSGA-II-style selection: non-dominated sorting into successive fronts;
+/// fronts fill the next generation in rank order, and the last,
+/// overflowing front is truncated by descending crowding distance.
+fn select_crowding(mut pool: Vec<Individual>, p: usize) -> Vec<Individual> {
+    let mut next: Vec<Individual> = Vec::with_capacity(p);
+    while next.len() < p && !pool.is_empty() {
+        let in_front = nondominated_indices(&pool);
+        let mut front = Vec::new();
+        let mut rest = Vec::new();
+        for (ind, is_front) in pool.into_iter().zip(in_front) {
+            if is_front {
+                front.push(ind);
+            } else {
+                rest.push(ind);
+            }
+        }
+        if next.len() + front.len() <= p {
+            next.extend(front);
+        } else {
+            let points: Vec<&[f64]> = front.iter().map(|i| i.objs.as_slice()).collect();
+            let dist = crate::pareto::crowding_distance(&points);
+            let mut order: Vec<usize> = (0..front.len()).collect();
+            order.sort_by(|&a, &b| {
+                dist[b]
+                    .partial_cmp(&dist[a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| front[a].age.cmp(&front[b].age))
+            });
+            let need = p - next.len();
+            let keep: std::collections::HashSet<usize> =
+                order.into_iter().take(need).collect();
+            for (i, ind) in front.into_iter().enumerate() {
+                if keep.contains(&i) {
+                    next.push(ind);
+                }
+            }
+        }
+        pool = rest;
+    }
+    next
+}
+
+/// Scalarized selection: top `p` by weighted normalized sum, newest first on
+/// ties.
+fn select_scalar(
+    mut pool: Vec<Individual>,
+    p: usize,
+    weights: &[f64],
+    norm: &[f64],
+) -> Vec<Individual> {
+    pool.sort_by(|a, b| {
+        scalar_fitness(&b.objs, weights, norm)
+            .partial_cmp(&scalar_fitness(&a.objs, weights, norm))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.age.cmp(&b.age))
+    });
+    pool.truncate(p);
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{CpuBbProblem, JobDemand};
+
+    fn table1_problem() -> CpuBbProblem {
+        CpuBbProblem::new(
+            vec![
+                JobDemand::cpu_bb(80, 20_000.0),
+                JobDemand::cpu_bb(10, 85_000.0),
+                JobDemand::cpu_bb(40, 5_000.0),
+                JobDemand::cpu_bb(10, 0.0),
+                JobDemand::cpu_bb(20, 0.0),
+            ],
+            100,
+            100_000.0,
+        )
+    }
+
+    #[test]
+    fn finds_table1_pareto_set() {
+        // Paper defaults (G = 500, P = 20, p_m = 0.05%) find both Table-1(b)
+        // Pareto points for 49/50 seeds on this toy window; pin a good seed.
+        let ga = MooGa::new(GaConfig { generations: 500, seed: 42, ..GaConfig::default() });
+        let mut front = ga.solve(&table1_problem());
+        front.sort_by_first_objective();
+        let points: Vec<Vec<f64>> =
+            front.objective_vectors().map(|v| v.to_vec()).collect();
+        // Must contain the two Table-1(b) Pareto points.
+        assert!(points.contains(&vec![100.0, 20_000.0]), "missing (100, 20TB): {points:?}");
+        assert!(points.contains(&vec![80.0, 90_000.0]), "missing (80, 90TB): {points:?}");
+        assert!(front.is_mutually_nondominated());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let p = table1_problem();
+        let cfg = GaConfig { generations: 50, seed: 42, ..GaConfig::default() };
+        let a = MooGa::new(cfg.clone()).solve(&p);
+        let b = MooGa::new(cfg).solve(&p);
+        let va: Vec<Vec<f64>> = a.objective_vectors().map(|v| v.to_vec()).collect();
+        let vb: Vec<Vec<f64>> = b.objective_vectors().map(|v| v.to_vec()).collect();
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn all_front_solutions_feasible() {
+        let p = table1_problem();
+        let ga = MooGa::new(GaConfig { generations: 100, ..GaConfig::default() });
+        let front = ga.solve(&p);
+        use crate::problem::MooProblem;
+        for s in front.solutions() {
+            assert!(p.is_feasible(&s.chromosome));
+        }
+    }
+
+    #[test]
+    fn empty_window_yields_empty_front() {
+        let p = CpuBbProblem::new(vec![], 10, 10.0);
+        let front = MooGa::new(GaConfig::default()).solve(&p);
+        assert!(front.is_empty());
+    }
+
+    #[test]
+    fn scalar_mode_maximizes_weighted_objective() {
+        let p = table1_problem();
+        // Pure node weight: the optimum is 100 nodes.
+        let cfg = GaConfig {
+            generations: 200,
+            mode: SolveMode::Scalar(vec![1.0, 0.0]),
+            ..GaConfig::default()
+        };
+        let best = MooGa::new(cfg).solve_scalar(&p);
+        assert_eq!(best.objectives[0], 100.0);
+        // Pure BB weight: the optimum is 90 TB.
+        let cfg = GaConfig {
+            generations: 200,
+            mode: SolveMode::Scalar(vec![0.0, 1.0]),
+            ..GaConfig::default()
+        };
+        let best = MooGa::new(cfg).solve_scalar(&p);
+        assert_eq!(best.objectives[1], 90_000.0);
+    }
+
+    #[test]
+    fn traced_checkpoints_are_recorded() {
+        let p = table1_problem();
+        let ga = MooGa::new(GaConfig { generations: 30, ..GaConfig::default() });
+        let trace = ga.solve_traced(&p, &[0, 10, 30]);
+        let gens: Vec<usize> = trace.checkpoints.iter().map(|(g, _)| *g).collect();
+        assert_eq!(gens, vec![0, 10, 30]);
+        assert!(!trace.final_front.is_empty());
+    }
+
+    #[test]
+    fn parallel_matches_serial_feasibility() {
+        let p = table1_problem();
+        let cfg = GaConfig { generations: 50, threads: 4, ..GaConfig::default() };
+        let front = MooGa::new(cfg).solve(&p);
+        assert!(!front.is_empty());
+        use crate::problem::MooProblem;
+        for s in front.solutions() {
+            assert!(p.is_feasible(&s.chromosome));
+        }
+    }
+
+    #[test]
+    fn archive_front_is_at_least_as_good() {
+        use crate::quality::hypervolume_2d;
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(77);
+        for trial in 0..4 {
+            let window: Vec<JobDemand> = (0..18)
+                .map(|_| {
+                    JobDemand::cpu_bb(
+                        rng.random_range(8..200),
+                        rng.random_range(0.0..30_000.0),
+                    )
+                })
+                .collect();
+            let p = CpuBbProblem::new(window, 500, 80_000.0);
+            let solve = |archive: bool| {
+                let cfg = GaConfig {
+                    generations: 80,
+                    seed: 2_000 + trial,
+                    archive,
+                    ..GaConfig::default()
+                };
+                MooGa::new(cfg).solve(&p)
+            };
+            let plain = solve(false);
+            let archived = solve(true);
+            assert!(archived.is_mutually_nondominated());
+            // The archive contains everything the final generation saw, so
+            // its hypervolume can never be smaller.
+            let hv_plain = hypervolume_2d(&plain, 0.0, 0.0);
+            let hv_arch = hypervolume_2d(&archived, 0.0, 0.0);
+            assert!(
+                hv_arch >= hv_plain - 1e-9,
+                "trial {trial}: archive lost quality {hv_plain} -> {hv_arch}"
+            );
+        }
+    }
+
+    #[test]
+    fn saturation_improves_or_matches_front_quality() {
+        use crate::quality::hypervolume_2d;
+        // On random windows the saturated GA's hypervolume should never be
+        // worse than the plain GA's under the same seed/budget.
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(31);
+        for trial in 0..5 {
+            let window: Vec<JobDemand> = (0..20)
+                .map(|_| {
+                    JobDemand::cpu_bb(
+                        rng.random_range(8..200),
+                        rng.random_range(0.0..30_000.0),
+                    )
+                })
+                .collect();
+            let p = CpuBbProblem::new(window, 500, 80_000.0);
+            let solve = |saturate: bool| {
+                let cfg = GaConfig {
+                    generations: 100,
+                    seed: 1000 + trial,
+                    saturate,
+                    ..GaConfig::default()
+                };
+                hypervolume_2d(&MooGa::new(cfg).solve(&p), 0.0, 0.0)
+            };
+            let plain = solve(false);
+            let polished = solve(true);
+            assert!(
+                polished >= plain * 0.999,
+                "trial {trial}: saturation regressed hypervolume {plain} -> {polished}"
+            );
+        }
+    }
+
+    #[test]
+    fn crowding_mode_finds_table1_pareto_set() {
+        let cfg = GaConfig {
+            generations: 500,
+            seed: 42,
+            mode: SolveMode::ParetoCrowding,
+            ..GaConfig::default()
+        };
+        let mut front = MooGa::new(cfg).solve(&table1_problem());
+        front.sort_by_first_objective();
+        let points: Vec<Vec<f64>> = front.objective_vectors().map(|v| v.to_vec()).collect();
+        assert!(points.contains(&vec![100.0, 20_000.0]), "{points:?}");
+        assert!(points.contains(&vec![80.0, 90_000.0]), "{points:?}");
+        assert!(front.is_mutually_nondominated());
+    }
+
+    #[test]
+    fn crowding_mode_solutions_feasible() {
+        let p = table1_problem();
+        let cfg = GaConfig {
+            generations: 100,
+            mode: SolveMode::ParetoCrowding,
+            ..GaConfig::default()
+        };
+        let front = MooGa::new(cfg).solve(&p);
+        use crate::problem::MooProblem;
+        for s in front.solutions() {
+            assert!(p.is_feasible(&s.chromosome));
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(GaConfig { population: 1, ..GaConfig::default() }.validate().is_err());
+        assert!(GaConfig { mutation_rate: 1.5, ..GaConfig::default() }.validate().is_err());
+        assert!(GaConfig { threads: 0, ..GaConfig::default() }.validate().is_err());
+        assert!(GaConfig { mode: SolveMode::Scalar(vec![]), ..GaConfig::default() }
+            .validate()
+            .is_err());
+        assert!(GaConfig::default().validate().is_ok());
+    }
+}

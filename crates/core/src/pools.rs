@@ -1,0 +1,287 @@
+//! Resource pool bookkeeping shared by policies and the simulator.
+//!
+//! Tracks free nodes, shared burst buffer, and the heterogeneous local-SSD
+//! node pools of §5, and performs the paper's greedy node→SSD assignment:
+//! jobs requesting more than 128 GB/node must use 256 GB nodes; jobs
+//! requesting at most 128 GB/node "are preferred over 256 GB SSD \[nodes\]
+//! in order to mitigate wastage in local SSD".
+
+use crate::problem::{Available, JobDemand, SSD_LARGE_GB, SSD_SMALL_GB};
+use serde::{Deserialize, Serialize};
+
+/// Node counts a started job drew from each SSD pool.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeAssignment {
+    /// Nodes taken from the 128 GB-SSD pool.
+    pub n128: u32,
+    /// Nodes taken from the 256 GB-SSD pool.
+    pub n256: u32,
+}
+
+impl NodeAssignment {
+    /// Total nodes assigned.
+    pub fn total(&self) -> u32 {
+        self.n128 + self.n256
+    }
+
+    /// Wasted local SSD (GB) for a job requesting `ssd_gb_per_node`.
+    pub fn wasted_ssd_gb(&self, ssd_gb_per_node: f64) -> f64 {
+        let cap = f64::from(self.n128) * SSD_SMALL_GB + f64::from(self.n256) * SSD_LARGE_GB;
+        (cap - ssd_gb_per_node * f64::from(self.total())).max(0.0)
+    }
+}
+
+/// Immutable system capacities carried alongside the free state, so that
+/// policies can normalize objectives against the *machine* (the paper's
+/// utilizations are system-relative) rather than against whatever happens
+/// to be free at one invocation.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Totals {
+    /// Total compute nodes.
+    pub nodes: u32,
+    /// Total usable shared burst buffer (GB).
+    pub bb_gb: f64,
+    /// Total 128 GB-SSD nodes.
+    pub nodes_128: u32,
+    /// Total 256 GB-SSD nodes.
+    pub nodes_256: u32,
+}
+
+impl Totals {
+    /// Total local-SSD capacity in GB.
+    pub fn ssd_capacity_gb(&self) -> f64 {
+        f64::from(self.nodes_128) * SSD_SMALL_GB + f64::from(self.nodes_256) * SSD_LARGE_GB
+    }
+}
+
+/// Mutable free-resource state at one scheduling invocation.
+///
+/// For systems without local SSDs, construct with [`PoolState::cpu_bb`];
+/// `n128`/`n256` then stay zero and only the node/burst-buffer constraints
+/// apply. Constructors record the initial amounts as the system
+/// [`Totals`]; `alloc`/`free` never change them.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PoolState {
+    /// Free compute nodes.
+    pub nodes: u32,
+    /// Free shared burst buffer (GB).
+    pub bb_gb: f64,
+    /// Free 128 GB-SSD nodes (0 when SSDs are not modelled).
+    pub nodes_128: u32,
+    /// Free 256 GB-SSD nodes (0 when SSDs are not modelled).
+    pub nodes_256: u32,
+    /// Whether local SSDs are modelled (changes fit semantics).
+    pub ssd_aware: bool,
+    /// System capacities (constant through alloc/free).
+    pub total: Totals,
+}
+
+impl PoolState {
+    /// State for a CPU + burst-buffer system, initially all free.
+    pub fn cpu_bb(nodes: u32, bb_gb: f64) -> Self {
+        Self {
+            nodes,
+            bb_gb,
+            nodes_128: 0,
+            nodes_256: 0,
+            ssd_aware: false,
+            total: Totals { nodes, bb_gb, nodes_128: 0, nodes_256: 0 },
+        }
+    }
+
+    /// State for a system with heterogeneous local SSDs, initially all
+    /// free.
+    pub fn with_ssd(nodes_128: u32, nodes_256: u32, bb_gb: f64) -> Self {
+        Self {
+            nodes: nodes_128 + nodes_256,
+            bb_gb,
+            nodes_128,
+            nodes_256,
+            ssd_aware: true,
+            total: Totals { nodes: nodes_128 + nodes_256, bb_gb, nodes_128, nodes_256 },
+        }
+    }
+
+    /// Snapshot as an [`Available`] for problem construction.
+    pub fn as_available(&self) -> Available {
+        Available {
+            nodes: self.nodes,
+            bb_gb: self.bb_gb,
+            nodes_128: self.nodes_128,
+            nodes_256: self.nodes_256,
+        }
+    }
+
+    /// Whether `d` fits in the current free state.
+    pub fn fits(&self, d: &JobDemand) -> bool {
+        if d.nodes > self.nodes || d.bb_gb > self.bb_gb + 1e-9 {
+            return false;
+        }
+        if self.ssd_aware && d.ssd_gb_per_node > SSD_SMALL_GB && d.nodes > self.nodes_256 {
+            return false;
+        }
+        true
+    }
+
+    /// Allocates `d`, returning the per-pool node split.
+    ///
+    /// # Panics
+    /// Panics if the demand does not fit (call [`PoolState::fits`] first).
+    pub fn alloc(&mut self, d: &JobDemand) -> NodeAssignment {
+        assert!(self.fits(d), "alloc called with non-fitting demand {d:?} on {self:?}");
+        self.bb_gb -= d.bb_gb;
+        self.nodes -= d.nodes;
+        if !self.ssd_aware {
+            return NodeAssignment { n128: 0, n256: d.nodes };
+        }
+        let asn = if d.ssd_gb_per_node > SSD_SMALL_GB {
+            NodeAssignment { n128: 0, n256: d.nodes }
+        } else {
+            // Prefer 128 GB nodes for small requests.
+            let n128 = d.nodes.min(self.nodes_128);
+            NodeAssignment { n128, n256: d.nodes - n128 }
+        };
+        debug_assert!(asn.n128 <= self.nodes_128 && asn.n256 <= self.nodes_256);
+        self.nodes_128 -= asn.n128;
+        self.nodes_256 -= asn.n256;
+        asn
+    }
+
+    /// Component-wise minimum of two states: the largest availability that
+    /// is guaranteed under *both* (used to constrain selection so it cannot
+    /// delay a reservation). `ssd_aware` is or-ed: the conservative
+    /// interpretation of mixing an SSD-aware and a plain state.
+    pub fn component_min(&self, other: &PoolState) -> PoolState {
+        let ssd_aware = self.ssd_aware || other.ssd_aware;
+        let nodes_128 = self.nodes_128.min(other.nodes_128);
+        let nodes_256 = self.nodes_256.min(other.nodes_256);
+        // SSD-aware states maintain nodes == nodes_128 + nodes_256; taking
+        // per-pool minima independently can only tighten that sum, so the
+        // node count must follow it (a plain min(nodes) could exceed the
+        // pool sum and violate the invariant).
+        let nodes = if ssd_aware {
+            nodes_128 + nodes_256
+        } else {
+            self.nodes.min(other.nodes)
+        };
+        PoolState {
+            nodes,
+            bb_gb: self.bb_gb.min(other.bb_gb),
+            nodes_128,
+            nodes_256,
+            ssd_aware,
+            // Both states describe the same machine; keep self's totals.
+            total: self.total,
+        }
+    }
+
+    /// Releases an allocation made by [`PoolState::alloc`].
+    pub fn free(&mut self, d: &JobDemand, asn: NodeAssignment) {
+        self.bb_gb += d.bb_gb;
+        self.nodes += d.nodes;
+        if self.ssd_aware {
+            self.nodes_128 += asn.n128;
+            self.nodes_256 += asn.n256;
+        }
+        debug_assert_eq!(asn.total(), d.nodes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_bb_fit_and_alloc() {
+        let mut p = PoolState::cpu_bb(100, 1_000.0);
+        let d = JobDemand::cpu_bb(40, 400.0);
+        assert!(p.fits(&d));
+        let a = p.alloc(&d);
+        assert_eq!(p.nodes, 60);
+        assert_eq!(p.bb_gb, 600.0);
+        p.free(&d, a);
+        assert_eq!(p.nodes, 100);
+        assert_eq!(p.bb_gb, 1_000.0);
+    }
+
+    #[test]
+    fn rejects_oversized() {
+        let p = PoolState::cpu_bb(10, 10.0);
+        assert!(!p.fits(&JobDemand::cpu_bb(11, 0.0)));
+        assert!(!p.fits(&JobDemand::cpu_bb(1, 20.0)));
+        assert!(p.fits(&JobDemand::cpu_bb(10, 10.0)));
+    }
+
+    #[test]
+    fn ssd_large_requests_need_256_pool() {
+        let p = PoolState::with_ssd(8, 2, 100.0);
+        assert!(!p.fits(&JobDemand::cpu_bb_ssd(3, 0.0, 200.0)));
+        assert!(p.fits(&JobDemand::cpu_bb_ssd(2, 0.0, 200.0)));
+    }
+
+    #[test]
+    fn ssd_small_requests_prefer_128_pool() {
+        let mut p = PoolState::with_ssd(2, 4, 100.0);
+        let d = JobDemand::cpu_bb_ssd(3, 0.0, 64.0);
+        let a = p.alloc(&d);
+        assert_eq!(a, NodeAssignment { n128: 2, n256: 1 });
+        assert_eq!(p.nodes_128, 0);
+        assert_eq!(p.nodes_256, 3);
+        // Waste: 2 x (128-64) + 1 x (256-64) = 320.
+        assert_eq!(a.wasted_ssd_gb(64.0), 320.0);
+        p.free(&d, a);
+        assert_eq!(p.nodes_128, 2);
+        assert_eq!(p.nodes_256, 4);
+    }
+
+    #[test]
+    fn non_ssd_alloc_has_no_waste_tracking() {
+        let mut p = PoolState::cpu_bb(10, 0.0);
+        let d = JobDemand::cpu_bb(4, 0.0);
+        let a = p.alloc(&d);
+        assert_eq!(a.total(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn alloc_panics_when_not_fitting() {
+        let mut p = PoolState::cpu_bb(1, 0.0);
+        let _ = p.alloc(&JobDemand::cpu_bb(2, 0.0));
+    }
+
+    #[test]
+    fn component_min_is_conservative() {
+        let a = PoolState::with_ssd(3, 5, 100.0);
+        let b = PoolState::with_ssd(4, 2, 40.0);
+        let m = a.component_min(&b);
+        // SSD-aware min keeps nodes == nodes_128 + nodes_256.
+        assert_eq!(m.nodes_128, 3);
+        assert_eq!(m.nodes_256, 2);
+        assert_eq!(m.nodes, 5);
+        assert_eq!(m.bb_gb, 40.0);
+        assert!(m.ssd_aware);
+        // Anything fitting the min fits both.
+        let d = JobDemand::cpu_bb_ssd(2, 30.0, 200.0);
+        assert!(m.fits(&d) && a.fits(&d) && b.fits(&d));
+    }
+
+    #[test]
+    fn component_min_plain_states() {
+        let a = PoolState::cpu_bb(10, 50.0);
+        let b = PoolState::cpu_bb(7, 80.0);
+        let m = a.component_min(&b);
+        assert_eq!(m.nodes, 7);
+        assert_eq!(m.bb_gb, 50.0);
+        assert!(!m.ssd_aware);
+    }
+
+    #[test]
+    fn as_available_roundtrip() {
+        let p = PoolState::with_ssd(3, 5, 42.0);
+        let a = p.as_available();
+        assert_eq!(a.nodes, 8);
+        assert_eq!(a.nodes_128, 3);
+        assert_eq!(a.nodes_256, 5);
+        assert_eq!(a.bb_gb, 42.0);
+    }
+}

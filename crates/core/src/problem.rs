@@ -1,0 +1,513 @@
+//! MOO problem formulations.
+//!
+//! §3.2.1 of the paper formulates window-based multi-resource scheduling as
+//! a bi-objective knapsack: maximize `f1 = Σ n_i·x_i` (node utilization) and
+//! `f2 = Σ b_i·x_i` (burst-buffer utilization) subject to the available
+//! node and burst-buffer capacities. §5 extends it with two local-SSD
+//! objectives (`f3` utilization, `f4` minus wasted capacity) on a cluster
+//! whose nodes carry heterogeneous 128 GB / 256 GB SSDs.
+//!
+//! Both formulations implement [`MooProblem`], which is all the genetic and
+//! exhaustive solvers need — adding yet another resource (the paper's
+//! stated extensibility goal) means implementing this trait once.
+
+use crate::chromosome::Chromosome;
+use crate::Objectives;
+use serde::{Deserialize, Serialize};
+
+/// Per-job resource demand as seen by the optimizer: one entry per window
+/// slot.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JobDemand {
+    /// Requested compute nodes (`n_i`).
+    pub nodes: u32,
+    /// Requested shared burst buffer in GB (`b_i`).
+    pub bb_gb: f64,
+    /// Requested local SSD per node in GB (`s_i`); 0 when the job (or the
+    /// experiment) does not use local SSDs.
+    pub ssd_gb_per_node: f64,
+}
+
+impl JobDemand {
+    /// A demand over nodes and shared burst buffer only (§3.2.1 problems).
+    pub fn cpu_bb(nodes: u32, bb_gb: f64) -> Self {
+        Self { nodes, bb_gb, ssd_gb_per_node: 0.0 }
+    }
+
+    /// A demand over nodes, shared burst buffer, and local SSD (§5).
+    pub fn cpu_bb_ssd(nodes: u32, bb_gb: f64, ssd_gb_per_node: f64) -> Self {
+        Self { nodes, bb_gb, ssd_gb_per_node }
+    }
+}
+
+/// Resources available at one scheduling invocation (i.e., `N - N_used`,
+/// `B - B_used`, and the free node counts per SSD flavour).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Available {
+    /// Free compute nodes.
+    pub nodes: u32,
+    /// Free shared burst buffer in GB.
+    pub bb_gb: f64,
+    /// Free nodes equipped with [`SSD_SMALL_GB`] local SSDs.
+    pub nodes_128: u32,
+    /// Free nodes equipped with [`SSD_LARGE_GB`] local SSDs.
+    pub nodes_256: u32,
+}
+
+/// Capacity of the smaller local-SSD flavour (GB), per §5.
+pub const SSD_SMALL_GB: f64 = 128.0;
+/// Capacity of the larger local-SSD flavour (GB), per §5.
+pub const SSD_LARGE_GB: f64 = 256.0;
+
+impl Available {
+    /// Availability for a CPU + burst-buffer system with no local SSDs.
+    pub fn cpu_bb(nodes: u32, bb_gb: f64) -> Self {
+        Self { nodes, bb_gb, nodes_128: 0, nodes_256: 0 }
+    }
+
+    /// Availability with heterogeneous local SSD pools. `nodes` must equal
+    /// `nodes_128 + nodes_256` for SSD-aware problems.
+    pub fn with_ssd(nodes_128: u32, nodes_256: u32, bb_gb: f64) -> Self {
+        Self { nodes: nodes_128 + nodes_256, bb_gb, nodes_128, nodes_256 }
+    }
+}
+
+/// A multi-objective window-selection problem.
+///
+/// Implementations must guarantee that `evaluate` is a pure function of the
+/// chromosome (the GA caches objective vectors) and that `repair` always
+/// produces a feasible chromosome.
+pub trait MooProblem: Sync {
+    /// Window size `w` (number of genes).
+    fn len(&self) -> usize;
+
+    /// `true` when the window holds no jobs.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of objectives (2 for §3.2.1, 4 for §5).
+    fn num_objectives(&self) -> usize;
+
+    /// Computes the objective vector of a (feasible) selection.
+    fn evaluate(&self, x: &Chromosome) -> Objectives;
+
+    /// Whether the selection satisfies every capacity constraint.
+    fn is_feasible(&self, x: &Chromosome) -> bool;
+
+    /// Makes `x` feasible by deselecting jobs, never by selecting new ones.
+    ///
+    /// BBSched's repair drops set genes in a pseudo-random cyclic order
+    /// derived from the chromosome itself (pure, parallel-safe, and free of
+    /// positional bias — a rear-first rule was found to systematically
+    /// starve rear-window genes and collapse GA diversity; see DESIGN.md
+    /// §6). The paper leaves constraint handling unspecified.
+    fn repair(&self, x: &mut Chromosome);
+
+    /// Per-objective normalization factors that convert raw objective values
+    /// (node counts, GB) into system-relative utilization fractions. Used by
+    /// the decision maker and by scalarizing policies so that weights are
+    /// comparable across resources.
+    fn normalizers(&self) -> Objectives;
+}
+
+/// The §3.2.1 bi-objective problem: select window jobs to maximize node and
+/// burst-buffer utilization subject to free capacity.
+#[derive(Clone, Debug)]
+pub struct CpuBbProblem {
+    window: Vec<JobDemand>,
+    avail_nodes: u32,
+    avail_bb_gb: f64,
+    /// Totals used for normalization; default to the available amounts.
+    norm_nodes: f64,
+    norm_bb: f64,
+}
+
+impl CpuBbProblem {
+    /// Builds the problem for a window of jobs against free capacity.
+    pub fn new(window: Vec<JobDemand>, avail_nodes: u32, avail_bb_gb: f64) -> Self {
+        Self {
+            window,
+            avail_nodes,
+            avail_bb_gb,
+            norm_nodes: f64::from(avail_nodes).max(1.0),
+            norm_bb: avail_bb_gb.max(1.0),
+        }
+    }
+
+    /// Overrides the normalization baselines (e.g., total system capacity
+    /// instead of currently-free capacity).
+    pub fn with_normalizers(mut self, nodes: f64, bb_gb: f64) -> Self {
+        self.norm_nodes = nodes.max(1.0);
+        self.norm_bb = bb_gb.max(1.0);
+        self
+    }
+
+    /// The job demands in the window.
+    pub fn window(&self) -> &[JobDemand] {
+        &self.window
+    }
+
+    /// Free nodes at this invocation.
+    pub fn avail_nodes(&self) -> u32 {
+        self.avail_nodes
+    }
+
+    /// Free burst buffer (GB) at this invocation.
+    pub fn avail_bb_gb(&self) -> f64 {
+        self.avail_bb_gb
+    }
+
+    #[inline]
+    fn sums(&self, x: &Chromosome) -> (u64, f64) {
+        let mut nodes = 0u64;
+        let mut bb = 0.0f64;
+        for i in x.selected() {
+            let d = &self.window[i];
+            nodes += u64::from(d.nodes);
+            bb += d.bb_gb;
+        }
+        (nodes, bb)
+    }
+}
+
+/// Floating-point slack for burst-buffer feasibility: requests are sums of
+/// values ≥ 1 GB, so a relative epsilon avoids rejecting selections that are
+/// feasible up to rounding.
+const BB_EPS: f64 = 1e-9;
+
+impl MooProblem for CpuBbProblem {
+    fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    fn num_objectives(&self) -> usize {
+        2
+    }
+
+    fn evaluate(&self, x: &Chromosome) -> Objectives {
+        let (nodes, bb) = self.sums(x);
+        Objectives::from_slice(&[nodes as f64, bb])
+    }
+
+    fn is_feasible(&self, x: &Chromosome) -> bool {
+        let (nodes, bb) = self.sums(x);
+        nodes <= u64::from(self.avail_nodes)
+            && bb <= self.avail_bb_gb * (1.0 + BB_EPS) + BB_EPS
+    }
+
+    fn repair(&self, x: &mut Chromosome) {
+        let (mut nodes, mut bb) = self.sums(x);
+        let feasible =
+            |n: u64, b: f64| n <= u64::from(self.avail_nodes) && b <= self.avail_bb_gb + BB_EPS;
+        if feasible(nodes, bb) {
+            return;
+        }
+        let w = self.window.len();
+        let start = (x.content_hash() % w as u64) as usize;
+        // First pass: drop genes that relieve a violated constraint.
+        for k in 0..w {
+            if feasible(nodes, bb) {
+                break;
+            }
+            let i = (start + k) % w;
+            if x.get(i) {
+                let d = &self.window[i];
+                let relieves = (nodes > u64::from(self.avail_nodes) && d.nodes > 0)
+                    || (bb > self.avail_bb_gb + BB_EPS && d.bb_gb > 0.0);
+                if relieves {
+                    x.set(i, false);
+                    nodes -= u64::from(d.nodes);
+                    bb -= d.bb_gb;
+                }
+            }
+        }
+        debug_assert!(self.is_feasible(x));
+    }
+
+    fn normalizers(&self) -> Objectives {
+        Objectives::from_slice(&[self.norm_nodes, self.norm_bb])
+    }
+}
+
+/// The §5 four-objective problem on a cluster with heterogeneous local SSDs.
+///
+/// Objectives, in order:
+/// 1. node utilization `f1 = Σ n_i·x_i`
+/// 2. burst-buffer utilization `f2 = Σ b_i·x_i`
+/// 3. local SSD utilization `f3 = Σ s_i·n_i·x_i`
+/// 4. **minus** wasted local SSD `f4 = -Σ (l_ij - s_i)·x_i` (maximized)
+///
+/// Node→SSD-flavour assignment follows the paper: jobs requesting more than
+/// 128 GB per node must run on 256 GB nodes; jobs requesting at most 128 GB
+/// prefer 128 GB nodes and overflow onto 256 GB nodes. Total waste depends
+/// only on how many node-slots come from each pool, so the greedy assignment
+/// is optimal for `f4` given a selection.
+#[derive(Clone, Debug)]
+pub struct CpuBbSsdProblem {
+    window: Vec<JobDemand>,
+    avail: Available,
+    norm: [f64; 4],
+}
+
+impl CpuBbSsdProblem {
+    /// Builds the problem. `avail.nodes` must equal
+    /// `avail.nodes_128 + avail.nodes_256`.
+    ///
+    /// The fourth normalizer (waste) defaults to the total free SSD capacity,
+    /// so a normalized `f4` of 0 means no waste and −1 means everything
+    /// assigned was wasted.
+    ///
+    /// # Panics
+    /// Panics if the node pools do not sum to `avail.nodes`.
+    pub fn new(window: Vec<JobDemand>, avail: Available) -> Self {
+        assert_eq!(
+            avail.nodes,
+            avail.nodes_128 + avail.nodes_256,
+            "SSD problem requires nodes == nodes_128 + nodes_256"
+        );
+        let ssd_cap =
+            f64::from(avail.nodes_128) * SSD_SMALL_GB + f64::from(avail.nodes_256) * SSD_LARGE_GB;
+        let norm = [
+            f64::from(avail.nodes).max(1.0),
+            avail.bb_gb.max(1.0),
+            ssd_cap.max(1.0),
+            ssd_cap.max(1.0),
+        ];
+        Self { window, avail, norm }
+    }
+
+    /// Overrides normalization baselines (nodes, bb, ssd, waste).
+    pub fn with_normalizers(mut self, norm: [f64; 4]) -> Self {
+        self.norm = norm.map(|v| v.max(1.0));
+        self
+    }
+
+    /// The job demands in the window.
+    pub fn window(&self) -> &[JobDemand] {
+        &self.window
+    }
+
+    /// The availability this problem was built against.
+    pub fn available(&self) -> Available {
+        self.avail
+    }
+
+    /// Aggregates a selection: (total nodes, bb, nodes that must be 256 GB,
+    /// nodes that may be either, ssd utilization, requested ssd total).
+    fn aggregate(&self, x: &Chromosome) -> Aggregate {
+        let mut agg = Aggregate::default();
+        for i in x.selected() {
+            let d = &self.window[i];
+            agg.nodes += u64::from(d.nodes);
+            agg.bb += d.bb_gb;
+            agg.ssd_util += d.ssd_gb_per_node * f64::from(d.nodes);
+            if d.ssd_gb_per_node > SSD_SMALL_GB {
+                agg.need_256 += u64::from(d.nodes);
+            } else {
+                agg.flexible += u64::from(d.nodes);
+            }
+        }
+        agg
+    }
+
+    /// Wasted SSD for a feasible selection under the greedy assignment.
+    fn waste(&self, agg: &Aggregate) -> f64 {
+        // Flexible node-slots take 128 GB nodes first, overflow to 256 GB.
+        let on_128 = agg.flexible.min(u64::from(self.avail.nodes_128));
+        let overflow = agg.flexible - on_128;
+        let assigned_cap = on_128 as f64 * SSD_SMALL_GB
+            + (overflow + agg.need_256) as f64 * SSD_LARGE_GB;
+        (assigned_cap - agg.ssd_util).max(0.0)
+    }
+
+    fn feasible_agg(&self, agg: &Aggregate) -> bool {
+        agg.nodes <= u64::from(self.avail.nodes)
+            && agg.bb <= self.avail.bb_gb * (1.0 + BB_EPS) + BB_EPS
+            && agg.need_256 <= u64::from(self.avail.nodes_256)
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Aggregate {
+    nodes: u64,
+    bb: f64,
+    ssd_util: f64,
+    /// Node-slots that must land on 256 GB nodes (per-node request > 128 GB).
+    need_256: u64,
+    /// Node-slots that can land on either flavour.
+    flexible: u64,
+}
+
+impl MooProblem for CpuBbSsdProblem {
+    fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    fn num_objectives(&self) -> usize {
+        4
+    }
+
+    fn evaluate(&self, x: &Chromosome) -> Objectives {
+        let agg = self.aggregate(x);
+        let waste = self.waste(&agg);
+        Objectives::from_slice(&[agg.nodes as f64, agg.bb, agg.ssd_util, -waste])
+    }
+
+    fn is_feasible(&self, x: &Chromosome) -> bool {
+        self.feasible_agg(&self.aggregate(x))
+    }
+
+    fn repair(&self, x: &mut Chromosome) {
+        if self.is_feasible(x) {
+            return;
+        }
+        let w = self.window.len();
+        let start = (x.content_hash() % w as u64) as usize;
+        for k in 0..w {
+            let i = (start + k) % w;
+            if x.get(i) {
+                x.set(i, false);
+                if self.is_feasible(x) {
+                    return;
+                }
+            }
+        }
+        debug_assert!(self.is_feasible(x));
+    }
+
+    fn normalizers(&self) -> Objectives {
+        Objectives::from_slice(&self.norm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table1_window() -> Vec<JobDemand> {
+        vec![
+            JobDemand::cpu_bb(80, 20_000.0),
+            JobDemand::cpu_bb(10, 85_000.0),
+            JobDemand::cpu_bb(40, 5_000.0),
+            JobDemand::cpu_bb(10, 0.0),
+            JobDemand::cpu_bb(20, 0.0),
+        ]
+    }
+
+    #[test]
+    fn cpu_bb_evaluates_table1_solutions() {
+        let p = CpuBbProblem::new(table1_window(), 100, 100_000.0);
+        // Solution 2 of Table 1(b): {J1, J5} -> 100 nodes, 20 TB.
+        let s2 = Chromosome::from_bits(&[true, false, false, false, true]);
+        assert!(p.is_feasible(&s2));
+        let o = p.evaluate(&s2);
+        assert_eq!(o.as_slice(), &[100.0, 20_000.0]);
+        // Solution 3: {J2..J5} -> 80 nodes, 90 TB.
+        let s3 = Chromosome::from_bits(&[false, true, true, true, true]);
+        assert!(p.is_feasible(&s3));
+        let o = p.evaluate(&s3);
+        assert_eq!(o.as_slice(), &[80.0, 90_000.0]);
+    }
+
+    #[test]
+    fn cpu_bb_detects_infeasible() {
+        let p = CpuBbProblem::new(table1_window(), 100, 100_000.0);
+        // All five jobs: 160 nodes > 100.
+        let all = Chromosome::from_bits(&[true; 5]);
+        assert!(!p.is_feasible(&all));
+        // J1 + J2: 105 TB > 100 TB.
+        let bb_over = Chromosome::from_bits(&[true, true, false, false, false]);
+        assert!(!p.is_feasible(&bb_over));
+    }
+
+    #[test]
+    fn cpu_bb_repair_only_deselects() {
+        let p = CpuBbProblem::new(table1_window(), 100, 100_000.0);
+        let before = Chromosome::from_bits(&[true; 5]);
+        let mut after = before.clone();
+        p.repair(&mut after);
+        assert!(p.is_feasible(&after));
+        // Repair never selects a job that was not already selected.
+        for i in 0..5 {
+            assert!(!after.get(i) || before.get(i));
+        }
+        // And it does not over-prune: at least one job must survive, since
+        // single-job selections are feasible here.
+        assert!(after.count_ones() >= 1);
+    }
+
+    #[test]
+    fn cpu_bb_repair_keeps_feasible_untouched() {
+        let p = CpuBbProblem::new(table1_window(), 100, 100_000.0);
+        let mut s = Chromosome::from_bits(&[true, false, false, true, false]);
+        let before = s.clone();
+        p.repair(&mut s);
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn normalizers_default_to_available() {
+        let p = CpuBbProblem::new(table1_window(), 100, 100_000.0);
+        assert_eq!(p.normalizers().as_slice(), &[100.0, 100_000.0]);
+        let p = p.with_normalizers(200.0, 400_000.0);
+        assert_eq!(p.normalizers().as_slice(), &[200.0, 400_000.0]);
+    }
+
+    fn ssd_window() -> Vec<JobDemand> {
+        vec![
+            JobDemand::cpu_bb_ssd(4, 100.0, 200.0), // must use 256-GB nodes
+            JobDemand::cpu_bb_ssd(2, 0.0, 64.0),    // prefers 128-GB nodes
+            JobDemand::cpu_bb_ssd(2, 50.0, 0.0),    // no SSD demand
+        ]
+    }
+
+    #[test]
+    fn ssd_waste_uses_greedy_assignment() {
+        // 4 x 128-GB nodes, 4 x 256-GB nodes.
+        let avail = Available::with_ssd(4, 4, 1_000.0);
+        let p = CpuBbSsdProblem::new(ssd_window(), avail);
+        let all = Chromosome::from_bits(&[true, true, true]);
+        assert!(p.is_feasible(&all));
+        let o = p.evaluate(&all);
+        // f1 = 8 nodes, f2 = 150 GB bb, f3 = 4*200 + 2*64 = 928 GB.
+        assert_eq!(o[0], 8.0);
+        assert_eq!(o[1], 150.0);
+        assert_eq!(o[2], 928.0);
+        // Big job: 4 nodes on 256 -> waste 4*(256-200)=224.
+        // Flexible 4 node-slots all fit on the 4 free 128s:
+        // waste 2*(128-64) + 2*(128-0) = 128 + 256 = 384. Total 608.
+        assert_eq!(o[3], -608.0);
+    }
+
+    #[test]
+    fn ssd_infeasible_when_256_pool_exhausted() {
+        let avail = Available::with_ssd(6, 2, 1_000.0);
+        let p = CpuBbSsdProblem::new(ssd_window(), avail);
+        // The 200-GB/node job needs 4 nodes from a 2-node 256 pool.
+        let big = Chromosome::from_bits(&[true, false, false]);
+        assert!(!p.is_feasible(&big));
+        let mut r = big;
+        p.repair(&mut r);
+        assert!(p.is_feasible(&r));
+        assert_eq!(r.count_ones(), 0);
+    }
+
+    #[test]
+    fn ssd_overflow_to_256_increases_waste() {
+        // Only 1 free 128-GB node: one flexible slot overflows to 256.
+        let avail = Available::with_ssd(1, 7, 1_000.0);
+        let p = CpuBbSsdProblem::new(ssd_window(), avail);
+        let small = Chromosome::from_bits(&[false, true, false]);
+        let o = p.evaluate(&small);
+        // One slot on 128 (waste 64), one on 256 (waste 192).
+        assert_eq!(o[3], -(64.0 + 192.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn ssd_pools_must_sum() {
+        let bad = Available { nodes: 10, bb_gb: 0.0, nodes_128: 4, nodes_256: 4 };
+        let _ = CpuBbSsdProblem::new(vec![], bad);
+    }
+}

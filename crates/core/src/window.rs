@@ -1,0 +1,186 @@
+//! Window-based scheduling bookkeeping (§3.1).
+//!
+//! BBSched dispatches jobs from a *window* at the front of the base
+//! scheduler's priority-ordered waiting queue, balancing optimization power
+//! (larger windows) against preservation of the site's job order (smaller
+//! windows). Two concerns live here:
+//!
+//! * [`WindowConfig`] — window size and the starvation bound;
+//! * [`StarvationTracker`] — per-job counts of how many scheduling
+//!   iterations a job has sat in the window without being selected. "Once a
+//!   job passes the bound (e.g., 50), it must be selected to run."
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Window parameters. Paper defaults: size 20 (§4.3), starvation bound 50
+/// (§3.1's example value).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowConfig {
+    /// Number of jobs taken from the front of the waiting queue.
+    pub size: usize,
+    /// Maximum scheduling iterations a job may stay in the window without
+    /// being selected before it is forced to run.
+    pub starvation_bound: u32,
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        Self { size: 20, starvation_bound: 50 }
+    }
+}
+
+impl WindowConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.size == 0 {
+            return Err("window size must be >= 1".into());
+        }
+        if self.starvation_bound == 0 {
+            return Err("starvation bound must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// Tracks how long each job has been passed over inside the window.
+#[derive(Clone, Debug, Default)]
+pub struct StarvationTracker {
+    passes: HashMap<u64, u32>,
+}
+
+impl StarvationTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the outcome of one scheduling iteration: every window job
+    /// not in `selected` accrues one pass; selected (or departed) jobs are
+    /// forgotten.
+    pub fn observe(&mut self, window: &[u64], selected: &[u64]) {
+        for &id in window {
+            if selected.contains(&id) {
+                self.passes.remove(&id);
+            } else {
+                *self.passes.entry(id).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Number of iterations job `id` has been passed over.
+    pub fn passes(&self, id: u64) -> u32 {
+        self.passes.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Whether job `id` has exceeded the starvation bound and must run.
+    /// A job may *stay* for `bound` iterations; strictly exceeding it
+    /// triggers forced selection ("once a job passes the bound", §3.1).
+    pub fn is_starved(&self, id: u64, bound: u32) -> bool {
+        self.passes(id) > bound
+    }
+
+    /// Drops bookkeeping for a job that left the system (e.g., was
+    /// cancelled or started through backfilling).
+    pub fn forget(&mut self, id: u64) {
+        self.passes.remove(&id);
+    }
+
+    /// Number of jobs currently tracked.
+    pub fn len(&self) -> usize {
+        self.passes.len()
+    }
+
+    /// Whether no job is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.passes.is_empty()
+    }
+}
+
+/// Builds the scheduling window from a priority-ordered queue, honouring
+/// job dependencies: "jobs with dependencies are allowed to enter the
+/// window only if all the dependencies have been completed" (§3.1).
+///
+/// `queue` is the waiting queue in base-scheduler priority order;
+/// `deps_met` reports whether all dependencies of a job are complete.
+/// Returns the *indices into `queue`* of the window members, in order.
+pub fn fill_window<F>(queue_len: usize, window_size: usize, mut deps_met: F) -> Vec<usize>
+where
+    F: FnMut(usize) -> bool,
+{
+    let mut window = Vec::with_capacity(window_size.min(queue_len));
+    for qi in 0..queue_len {
+        if window.len() == window_size {
+            break;
+        }
+        if deps_met(qi) {
+            window.push(qi);
+        }
+    }
+    window
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation() {
+        assert!(WindowConfig::default().validate().is_ok());
+        assert!(WindowConfig { size: 0, starvation_bound: 50 }.validate().is_err());
+        assert!(WindowConfig { size: 20, starvation_bound: 0 }.validate().is_err());
+    }
+
+    #[test]
+    fn tracker_accumulates_passes() {
+        let mut t = StarvationTracker::new();
+        t.observe(&[1, 2, 3], &[2]);
+        assert_eq!(t.passes(1), 1);
+        assert_eq!(t.passes(2), 0);
+        assert_eq!(t.passes(3), 1);
+        t.observe(&[1, 3], &[]);
+        assert_eq!(t.passes(1), 2);
+        assert!(t.is_starved(1, 1)); // 2 passes > bound of 1
+        assert!(!t.is_starved(3, 2)); // 2 passes does not exceed bound of 2
+    }
+
+    #[test]
+    fn selection_resets_count() {
+        let mut t = StarvationTracker::new();
+        t.observe(&[7], &[]);
+        t.observe(&[7], &[]);
+        assert_eq!(t.passes(7), 2);
+        t.observe(&[7], &[7]);
+        assert_eq!(t.passes(7), 0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn forget_removes_tracking() {
+        let mut t = StarvationTracker::new();
+        t.observe(&[9], &[]);
+        assert_eq!(t.len(), 1);
+        t.forget(9);
+        assert_eq!(t.passes(9), 0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn fill_window_respects_size_and_deps() {
+        // Queue of 6; job at index 2 has unmet dependencies.
+        let w = fill_window(6, 4, |qi| qi != 2);
+        assert_eq!(w, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn fill_window_short_queue() {
+        let w = fill_window(2, 10, |_| true);
+        assert_eq!(w, vec![0, 1]);
+    }
+
+    #[test]
+    fn fill_window_all_blocked() {
+        let w = fill_window(5, 3, |_| false);
+        assert!(w.is_empty());
+    }
+}

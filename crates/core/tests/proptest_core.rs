@@ -1,0 +1,176 @@
+//! Property-based tests of the optimization core's algebraic invariants.
+
+use bbsched_core::chromosome::Chromosome;
+use bbsched_core::decision::{choose_preferred, DecisionRule};
+use bbsched_core::pareto::{crowding_distance, dominates, ParetoFront, Solution};
+use bbsched_core::problem::{CpuBbProblem, JobDemand, MooProblem};
+use bbsched_core::quality::{generational_distance, hypervolume_2d};
+use bbsched_core::Objectives;
+use proptest::prelude::*;
+
+fn vec2() -> impl Strategy<Value = [f64; 2]> {
+    [0.0f64..1000.0, 0.0f64..1000.0]
+}
+
+proptest! {
+    /// Dominance is irreflexive and antisymmetric.
+    #[test]
+    fn dominance_axioms(a in vec2(), b in vec2()) {
+        prop_assert!(!dominates(&a, &a));
+        if dominates(&a, &b) {
+            prop_assert!(!dominates(&b, &a));
+        }
+    }
+
+    /// Dominance is transitive.
+    #[test]
+    fn dominance_transitive(a in vec2(), b in vec2(), c in vec2()) {
+        if dominates(&a, &b) && dominates(&b, &c) {
+            prop_assert!(dominates(&a, &c));
+        }
+    }
+
+    /// Front extraction is idempotent: re-inserting a front into a new
+    /// front changes nothing.
+    #[test]
+    fn front_extraction_idempotent(points in proptest::collection::vec(vec2(), 1..40)) {
+        let sols = points.iter().enumerate().map(|(i, p)| {
+            let mut c = Chromosome::zeros(40);
+            c.set(i, true);
+            Solution { chromosome: c, objectives: Objectives::from_slice(p) }
+        });
+        let front = ParetoFront::from_pool(sols);
+        prop_assert!(front.is_mutually_nondominated());
+        let again = ParetoFront::from_pool(front.solutions().iter().cloned());
+        prop_assert_eq!(front.len(), again.len());
+    }
+
+    /// Chromosome from_bits/bits round-trips and count matches.
+    #[test]
+    fn chromosome_roundtrip(bits in proptest::collection::vec(any::<bool>(), 1..200)) {
+        let c = Chromosome::from_bits(&bits);
+        let back: Vec<bool> = c.bits().collect();
+        prop_assert_eq!(&back, &bits);
+        prop_assert_eq!(c.count_ones(), bits.iter().filter(|&&b| b).count());
+        let selected: Vec<usize> = c.selected().collect();
+        let expected: Vec<usize> =
+            bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
+        prop_assert_eq!(selected, expected);
+    }
+
+    /// Each child gene comes from one of the parents at the same locus,
+    /// and the two children are complementary.
+    #[test]
+    fn crossover_gene_provenance(
+        a in proptest::collection::vec(any::<bool>(), 2..100),
+        point_frac in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let n = a.len();
+        // Derive a second parent deterministically from the seed.
+        let b: Vec<bool> = (0..n).map(|i| (seed >> (i % 64)) & 1 == 1).collect();
+        let ca = Chromosome::from_bits(&a);
+        let cb = Chromosome::from_bits(&b);
+        let point = ((n as f64) * point_frac) as usize;
+        let (x, y) = ca.crossover(&cb, point);
+        for i in 0..n {
+            let (xi, yi) = (x.get(i), y.get(i));
+            prop_assert!(xi == a[i] || xi == b[i]);
+            // Complementarity: {x[i], y[i]} == {a[i], b[i]} as multisets.
+            prop_assert_eq!(xi as u8 + yi as u8, a[i] as u8 + b[i] as u8);
+        }
+    }
+
+    /// Hypervolume never decreases when a point is added to the front
+    /// input pool (dominated points contribute nothing, dominating ones
+    /// only grow it).
+    #[test]
+    fn hypervolume_monotone(points in proptest::collection::vec(vec2(), 1..20), extra in vec2()) {
+        let build = |pts: &[[f64; 2]]| {
+            let sols = pts.iter().enumerate().map(|(i, p)| {
+                let mut c = Chromosome::zeros(24);
+                c.set(i % 24, true);
+                Solution { chromosome: c, objectives: Objectives::from_slice(p) }
+            });
+            ParetoFront::from_pool(sols)
+        };
+        let hv1 = hypervolume_2d(&build(&points), 0.0, 0.0);
+        let mut bigger = points.clone();
+        bigger.push(extra);
+        let hv2 = hypervolume_2d(&build(&bigger), 0.0, 0.0);
+        prop_assert!(hv2 >= hv1 - 1e-9, "hv shrank: {hv1} -> {hv2}");
+    }
+
+    /// GD of a front against itself is zero.
+    #[test]
+    fn gd_self_is_zero(points in proptest::collection::vec(vec2(), 1..20)) {
+        let sols = points.iter().enumerate().map(|(i, p)| {
+            let mut c = Chromosome::zeros(24);
+            c.set(i % 24, true);
+            Solution { chromosome: c, objectives: Objectives::from_slice(p) }
+        });
+        let front = ParetoFront::from_pool(sols);
+        prop_assert!(generational_distance(&front, &front).abs() < 1e-12);
+    }
+
+    /// The decision maker always returns a member of the front, and with
+    /// an enormous trade-off factor it returns the max-node solution.
+    #[test]
+    fn decision_maker_selects_from_front(points in proptest::collection::vec(vec2(), 1..20)) {
+        let sols = points.iter().enumerate().map(|(i, p)| {
+            let mut c = Chromosome::zeros(24);
+            c.set(i % 24, true);
+            Solution { chromosome: c, objectives: Objectives::from_slice(p) }
+        });
+        let front = ParetoFront::from_pool(sols);
+        let norm = [1000.0, 1000.0];
+        let chosen = choose_preferred(&front, &norm, DecisionRule::cpu_bb()).unwrap();
+        prop_assert!(front
+            .solutions()
+            .iter()
+            .any(|s| s.objectives.as_slice() == chosen.objectives.as_slice()));
+
+        let never = choose_preferred(
+            &front,
+            &norm,
+            DecisionRule { tradeoff_factor: 1e12 },
+        )
+        .unwrap();
+        let max_nodes = front
+            .objective_vectors()
+            .map(|v| v[0])
+            .fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(never.objectives[0], max_nodes);
+    }
+
+    /// Crowding distances are nonnegative and the count matches.
+    #[test]
+    fn crowding_shape(points in proptest::collection::vec(vec2(), 0..30)) {
+        let refs: Vec<&[f64]> = points.iter().map(|p| p.as_slice()).collect();
+        let d = crowding_distance(&refs);
+        prop_assert_eq!(d.len(), points.len());
+        for v in d {
+            prop_assert!(v >= 0.0);
+        }
+    }
+
+    /// Evaluate is additive: the objectives of a selection equal the sum
+    /// of the selected jobs' demands.
+    #[test]
+    fn evaluation_is_additive(
+        demands in proptest::collection::vec((1u32..50, 0.0f64..500.0), 1..30),
+        mask in any::<u64>(),
+    ) {
+        let window: Vec<JobDemand> =
+            demands.iter().map(|&(n, b)| JobDemand::cpu_bb(n, b)).collect();
+        let w = window.len();
+        let problem = CpuBbProblem::new(window.clone(), u32::MAX, f64::INFINITY);
+        let c = Chromosome::from_mask(mask, w.min(64));
+        let c = if w <= 64 { c } else { Chromosome::from_mask(mask, 64) };
+        let obj = problem.evaluate(&c);
+        let nodes: f64 = c.selected().map(|i| f64::from(window[i].nodes)).sum();
+        let bb: f64 = c.selected().map(|i| window[i].bb_gb).sum();
+        prop_assert!((obj[0] - nodes).abs() < 1e-9);
+        prop_assert!((obj[1] - bb).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,138 @@
+//! Breakdown tables: average wait time grouped into bins (Figs. 9–11).
+//!
+//! Fig. 9 breaks average wait down by job size, Fig. 10 by burst-buffer
+//! request, Fig. 11 by job runtime — all on Theta-S4. [`breakdown_by`] is
+//! the shared engine; the bench harness supplies the paper's bin edges.
+
+use bbsched_sim::JobRecord;
+use serde::{Deserialize, Serialize};
+
+/// A half-open value bin `[lo, hi)` with a display label.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Bin {
+    /// Inclusive lower edge.
+    pub lo: f64,
+    /// Exclusive upper edge (`f64::INFINITY` for the last bin).
+    pub hi: f64,
+    /// Label shown in the harness output ("1-8", ">200TB", ...).
+    pub label: String,
+}
+
+impl Bin {
+    /// Creates a bin.
+    pub fn new(lo: f64, hi: f64, label: impl Into<String>) -> Self {
+        Self { lo, hi, label: label.into() }
+    }
+
+    /// Whether `v` falls in this bin.
+    pub fn contains(&self, v: f64) -> bool {
+        v >= self.lo && v < self.hi
+    }
+}
+
+/// Builds contiguous bins from edges: `edges = [a, b, c]` gives
+/// `[a, b)`, `[b, c)`, `[c, inf)`.
+pub fn bins_from_edges(edges: &[f64], labels: &[&str]) -> Vec<Bin> {
+    assert_eq!(edges.len(), labels.len(), "one label per lower edge");
+    edges
+        .iter()
+        .enumerate()
+        .map(|(i, &lo)| {
+            let hi = edges.get(i + 1).copied().unwrap_or(f64::INFINITY);
+            Bin::new(lo, hi, labels[i])
+        })
+        .collect()
+}
+
+/// Average wait time per bin: `key` extracts the binning value from a
+/// record. Returns `(label, average wait, count)` rows, preserving bin
+/// order; empty bins report an average of 0.
+pub fn breakdown_by<K>(records: &[JobRecord], bins: &[Bin], key: K) -> Vec<(String, f64, usize)>
+where
+    K: Fn(&JobRecord) -> f64,
+{
+    let mut total = vec![0.0f64; bins.len()];
+    let mut count = vec![0usize; bins.len()];
+    for r in records {
+        let v = key(r);
+        if let Some(bi) = bins.iter().position(|b| b.contains(v)) {
+            total[bi] += r.wait();
+            count[bi] += 1;
+        }
+    }
+    bins.iter()
+        .enumerate()
+        .map(|(i, b)| {
+            let avg = if count[i] == 0 { 0.0 } else { total[i] / count[i] as f64 };
+            (b.label.clone(), avg, count[i])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbsched_core::pools::NodeAssignment;
+    use bbsched_sim::StartReason;
+
+    fn rec(nodes: u32, wait: f64) -> JobRecord {
+        JobRecord {
+            id: 0,
+            submit: 0.0,
+            start: wait,
+            end: wait + 100.0,
+            runtime: 100.0,
+            walltime: 200.0,
+            nodes,
+            bb_gb: 0.0,
+            ssd_gb_per_node: 0.0,
+            assignment: NodeAssignment::default(),
+            wasted_ssd_gb: 0.0,
+            reason: StartReason::Policy,
+        }
+    }
+
+    #[test]
+    fn bin_membership() {
+        let b = Bin::new(1.0, 9.0, "1-8");
+        assert!(b.contains(1.0));
+        assert!(b.contains(8.9));
+        assert!(!b.contains(9.0));
+        assert!(!b.contains(0.5));
+    }
+
+    #[test]
+    fn edges_build_contiguous_bins() {
+        let bins = bins_from_edges(&[1.0, 9.0, 129.0], &["1-8", "9-128", ">128"]);
+        assert_eq!(bins.len(), 3);
+        assert!(bins[2].contains(1e12));
+        assert_eq!(bins[1].label, "9-128");
+    }
+
+    #[test]
+    fn averages_group_correctly() {
+        let records =
+            vec![rec(4, 10.0), rec(4, 30.0), rec(64, 100.0), rec(2048, 500.0)];
+        let bins = bins_from_edges(&[1.0, 9.0, 1025.0], &["1-8", "9-1024", ">1024"]);
+        let rows = breakdown_by(&records, &bins, |r| f64::from(r.nodes));
+        assert_eq!(rows[0], ("1-8".into(), 20.0, 2));
+        assert_eq!(rows[1], ("9-1024".into(), 100.0, 1));
+        assert_eq!(rows[2], (">1024".into(), 500.0, 1));
+    }
+
+    #[test]
+    fn empty_bins_report_zero() {
+        let bins = bins_from_edges(&[1.0, 100.0], &["small", "big"]);
+        let rows = breakdown_by(&[], &bins, |r| f64::from(r.nodes));
+        assert_eq!(rows[0].1, 0.0);
+        assert_eq!(rows[0].2, 0);
+    }
+
+    #[test]
+    fn out_of_range_values_are_dropped() {
+        let records = vec![rec(0, 10.0)]; // nodes 0 below the first edge
+        let bins = bins_from_edges(&[1.0], &["all"]);
+        let rows = breakdown_by(&records, &bins, |r| f64::from(r.nodes));
+        assert_eq!(rows[0].2, 0);
+    }
+}

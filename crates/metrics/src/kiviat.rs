@@ -1,0 +1,98 @@
+//! Kiviat (radar) chart normalization and area (Figs. 13–14).
+//!
+//! "We use the reciprocal of average job wait time and the reciprocal of
+//! average slowdown in the plots. All metrics are normalized to the range
+//! of 0 to 1. 1 means a method achieves the best performance among all
+//! methods and 0 means ... the worst. For all metrics, the larger the area
+//! is, the better the overall performance is."
+
+/// Normalizes one axis across methods: input values must already be
+/// oriented so *higher is better* (callers pass reciprocals for wait and
+/// slowdown). Returns values mapped linearly so the best method gets 1 and
+/// the worst 0; if all methods tie, everyone gets 1.
+pub fn normalize_axes(values: &[f64]) -> Vec<f64> {
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if values.is_empty() {
+        return Vec::new();
+    }
+    if (max - min).abs() < f64::EPSILON * max.abs().max(1.0) {
+        return vec![1.0; values.len()];
+    }
+    values.iter().map(|v| (v - min) / (max - min)).collect()
+}
+
+/// Area of the Kiviat polygon over `k = axes.len()` equally spaced axes:
+/// `Σ ½·sin(2π/k)·xᵢ·xᵢ₊₁` (cyclically). Larger is better.
+///
+/// Returns 0 for fewer than 3 axes (no polygon).
+pub fn kiviat_area(axes: &[f64]) -> f64 {
+    let k = axes.len();
+    if k < 3 {
+        return 0.0;
+    }
+    let wedge = (std::f64::consts::TAU / k as f64).sin() * 0.5;
+    (0..k).map(|i| axes[i] * axes[(i + 1) % k] * wedge).sum()
+}
+
+/// Convenience: reciprocal with a guard for zero (a zero wait time is
+/// "infinitely good"; map it to the reciprocal of the smallest positive
+/// epsilon instead so normalization stays finite).
+pub fn safe_reciprocal(v: f64) -> f64 {
+    1.0 / v.max(1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_maps_best_to_one() {
+        let n = normalize_axes(&[10.0, 20.0, 15.0]);
+        assert_eq!(n, vec![0.0, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn ties_normalize_to_one() {
+        assert_eq!(normalize_axes(&[5.0, 5.0, 5.0]), vec![1.0; 3]);
+        assert!(normalize_axes(&[]).is_empty());
+    }
+
+    #[test]
+    fn unit_polygon_area_matches_regular_polygon() {
+        // All axes 1: area of the regular k-gon with unit circumradius.
+        let k = 4;
+        let area = kiviat_area(&vec![1.0; k]);
+        let expected = 0.5 * k as f64 * (std::f64::consts::TAU / k as f64).sin();
+        assert!((area - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bigger_values_bigger_area() {
+        let small = kiviat_area(&[0.2, 0.2, 0.2, 0.2]);
+        let large = kiviat_area(&[0.9, 0.9, 0.9, 0.9]);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn degenerate_axes() {
+        assert_eq!(kiviat_area(&[1.0, 1.0]), 0.0);
+        assert_eq!(kiviat_area(&[]), 0.0);
+    }
+
+    #[test]
+    fn zero_axis_kills_adjacent_wedges_only() {
+        // One zero axis zeroes two wedges; the rest survive.
+        let a = kiviat_area(&[1.0, 0.0, 1.0, 1.0]);
+        assert!(a > 0.0);
+        let full = kiviat_area(&[1.0, 1.0, 1.0, 1.0]);
+        assert!(a < full);
+    }
+
+    #[test]
+    fn reciprocal_guard() {
+        assert_eq!(safe_reciprocal(2.0), 0.5);
+        assert!(safe_reciprocal(0.0).is_finite());
+        assert!(safe_reciprocal(0.0) > 1e8);
+    }
+}

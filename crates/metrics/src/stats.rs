@@ -1,0 +1,243 @@
+//! Distribution statistics beyond the paper's averages: percentiles,
+//! fairness, and utilization timelines.
+//!
+//! Averages hide tails; production scheduler studies routinely report
+//! P90/P99 waits and per-user fairness alongside them. These helpers
+//! extend the §4.2 metric set without changing it.
+
+use crate::usage::{capacity, UsageKind};
+use bbsched_sim::JobRecord;
+use bbsched_workloads::SystemConfig;
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::Path;
+
+/// Linear-interpolated percentile of `values` (p in `[0, 100]`).
+///
+/// Returns `None` for an empty slice.
+///
+/// # Panics
+/// Panics if `p` is outside `[0, 100]` or values contain NaN.
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+/// Summary of a wait-time (or any nonnegative) distribution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct DistributionStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (P50).
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl DistributionStats {
+    /// Computes the summary; all fields are zero for empty input.
+    pub fn from_values(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Self::default();
+        }
+        Self {
+            count: values.len(),
+            mean: values.iter().sum::<f64>() / values.len() as f64,
+            p50: percentile(values, 50.0).unwrap_or(0.0),
+            p90: percentile(values, 90.0).unwrap_or(0.0),
+            p99: percentile(values, 99.0).unwrap_or(0.0),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// Wait-time stats of a record set.
+    pub fn of_waits(records: &[JobRecord]) -> Self {
+        let waits: Vec<f64> = records.iter().map(JobRecord::wait).collect();
+        Self::from_values(&waits)
+    }
+
+    /// Slowdown stats of a record set, filtering jobs shorter than
+    /// `min_runtime` as in §4.2.
+    pub fn of_slowdowns(records: &[JobRecord], min_runtime: f64) -> Self {
+        let s: Vec<f64> = records
+            .iter()
+            .filter(|r| r.runtime >= min_runtime)
+            .map(JobRecord::slowdown)
+            .collect();
+        Self::from_values(&s)
+    }
+}
+
+/// Jain's fairness index over per-job slowdowns:
+/// `(Σx)² / (n·Σx²)` — 1.0 means perfectly equal service, `1/n` means one
+/// job got everything. HPC scheduling sacrifices fairness for utilization
+/// (§2.3 discusses the tension); this quantifies how much.
+pub fn jains_fairness(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = values.iter().sum();
+    let sum_sq: f64 = values.iter().map(|v| v * v).sum();
+    if sum_sq <= 0.0 {
+        return 1.0;
+    }
+    sum * sum / (values.len() as f64 * sum_sq)
+}
+
+/// Piecewise utilization timeline of a resource: samples `[t0, t1]` at
+/// `dt` intervals, each sample the instantaneous occupied fraction.
+pub fn utilization_timeline(
+    records: &[JobRecord],
+    system: &SystemConfig,
+    kind: UsageKind,
+    t0: f64,
+    t1: f64,
+    dt: f64,
+) -> Vec<(f64, f64)> {
+    assert!(dt > 0.0, "dt must be positive");
+    let cap = capacity(system, kind);
+    if cap <= 0.0 || t1 <= t0 {
+        return Vec::new();
+    }
+    let amount = |r: &JobRecord| match kind {
+        UsageKind::Nodes => f64::from(r.nodes),
+        UsageKind::BurstBuffer => r.bb_gb,
+        UsageKind::LocalSsdUsed => r.ssd_gb_per_node * f64::from(r.nodes),
+        UsageKind::LocalSsdWasted => r.wasted_ssd_gb,
+    };
+    let n = ((t1 - t0) / dt).ceil() as usize + 1;
+    let mut out = Vec::with_capacity(n);
+    let mut t = t0;
+    while t <= t1 + 1e-9 {
+        let used: f64 =
+            records.iter().filter(|r| r.start <= t && t < r.end).map(&amount).sum();
+        out.push((t, used / cap));
+        t += dt;
+    }
+    out
+}
+
+/// Writes a `(time, value)` series as a two-column CSV.
+pub fn write_timeline_csv(series: &[(f64, f64)], path: &Path) -> std::io::Result<()> {
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(w, "time_s,utilization")?;
+    for (t, v) in series {
+        writeln!(w, "{t},{v}")?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbsched_core::pools::NodeAssignment;
+    use bbsched_sim::StartReason;
+
+    fn rec(submit: f64, start: f64, runtime: f64, nodes: u32) -> JobRecord {
+        JobRecord {
+            id: 0,
+            submit,
+            start,
+            end: start + runtime,
+            runtime,
+            walltime: runtime,
+            nodes,
+            bb_gb: 0.0,
+            ssd_gb_per_node: 0.0,
+            assignment: NodeAssignment::default(),
+            wasted_ssd_gb: 0.0,
+            reason: StartReason::Policy,
+        }
+    }
+
+    #[test]
+    fn percentile_basics() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 50.0), Some(3.0));
+        assert_eq!(percentile(&v, 100.0), Some(5.0));
+        assert_eq!(percentile(&v, 25.0), Some(2.0));
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&[7.0], 99.0), Some(7.0));
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [0.0, 10.0];
+        assert_eq!(percentile(&v, 50.0), Some(5.0));
+        assert_eq!(percentile(&v, 75.0), Some(7.5));
+    }
+
+    #[test]
+    fn distribution_stats() {
+        let records: Vec<JobRecord> =
+            (0..10).map(|i| rec(0.0, i as f64 * 10.0, 100.0, 1)).collect();
+        let s = DistributionStats::of_waits(&records);
+        assert_eq!(s.count, 10);
+        assert_eq!(s.mean, 45.0);
+        assert_eq!(s.p50, 45.0);
+        assert_eq!(s.max, 90.0);
+    }
+
+    #[test]
+    fn slowdown_stats_filter_short_jobs() {
+        let records = vec![rec(0.0, 100.0, 1.0, 1), rec(0.0, 100.0, 100.0, 1)];
+        let s = DistributionStats::of_slowdowns(&records, 60.0);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 2.0);
+    }
+
+    #[test]
+    fn fairness_index() {
+        assert_eq!(jains_fairness(&[2.0, 2.0, 2.0]), 1.0);
+        let skewed = jains_fairness(&[10.0, 0.0, 0.0]);
+        assert!((skewed - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(jains_fairness(&[]), 1.0);
+        assert_eq!(jains_fairness(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn timeline_tracks_occupancy() {
+        let sys = SystemConfig {
+            name: "t".into(),
+            nodes: 10,
+            bb_gb: 0.0,
+            bb_reserved_gb: 0.0,
+            nodes_128: 0,
+            nodes_256: 0,
+        };
+        let records = vec![rec(0.0, 0.0, 50.0, 10), rec(0.0, 50.0, 50.0, 5)];
+        let tl = utilization_timeline(&records, &sys, UsageKind::Nodes, 0.0, 100.0, 25.0);
+        assert_eq!(tl.len(), 5);
+        assert_eq!(tl[0], (0.0, 1.0));
+        assert_eq!(tl[2], (50.0, 0.5));
+        assert_eq!(tl[4], (100.0, 0.0));
+    }
+
+    #[test]
+    fn timeline_csv_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("bbsched_tl_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tl.csv");
+        write_timeline_csv(&[(0.0, 0.5), (10.0, 1.0)], &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("time_s,utilization\n"));
+        assert!(text.contains("10,1"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,149 @@
+//! Resource usage integrals (§4.2).
+//!
+//! "Node usage measures the ratio of the used node-hours for useful job
+//! execution to the elapsed node-hours" (and likewise for burst buffer and
+//! local SSD). Usage is computed over a measurement interval `[t0, t1]`
+//! by integrating each job's occupancy clipped to the interval.
+
+use bbsched_sim::JobRecord;
+use bbsched_workloads::SystemConfig;
+
+/// Which resource to integrate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UsageKind {
+    /// Compute nodes.
+    Nodes,
+    /// Shared burst buffer (GB), relative to usable (non-reserved) capacity.
+    BurstBuffer,
+    /// Local SSD capacity actually requested (GB × nodes).
+    LocalSsdUsed,
+    /// Local SSD capacity wasted (assigned minus requested).
+    LocalSsdWasted,
+}
+
+/// Occupied amount of the given resource while `r` runs.
+fn amount(r: &JobRecord, kind: UsageKind) -> f64 {
+    match kind {
+        UsageKind::Nodes => f64::from(r.nodes),
+        UsageKind::BurstBuffer => r.bb_gb,
+        UsageKind::LocalSsdUsed => r.ssd_gb_per_node * f64::from(r.nodes),
+        UsageKind::LocalSsdWasted => r.wasted_ssd_gb,
+    }
+}
+
+/// System capacity for the given resource.
+pub fn capacity(system: &SystemConfig, kind: UsageKind) -> f64 {
+    match kind {
+        UsageKind::Nodes => f64::from(system.nodes),
+        UsageKind::BurstBuffer => system.bb_usable_gb(),
+        UsageKind::LocalSsdUsed | UsageKind::LocalSsdWasted => {
+            f64::from(system.nodes_128) * 128.0 + f64::from(system.nodes_256) * 256.0
+        }
+    }
+}
+
+/// Usage ratio of a resource over `[t0, t1]`: integrated occupancy divided
+/// by `capacity × (t1 - t0)`. Returns 0 for empty intervals or zero
+/// capacity.
+pub fn resource_usage(
+    records: &[JobRecord],
+    system: &SystemConfig,
+    kind: UsageKind,
+    t0: f64,
+    t1: f64,
+) -> f64 {
+    let span = t1 - t0;
+    let cap = capacity(system, kind);
+    if span <= 0.0 || cap <= 0.0 {
+        return 0.0;
+    }
+    let mut used = 0.0;
+    for r in records {
+        let overlap = (r.end.min(t1) - r.start.max(t0)).max(0.0);
+        if overlap > 0.0 {
+            used += amount(r, kind) * overlap;
+        }
+    }
+    used / (cap * span)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbsched_core::pools::NodeAssignment;
+    use bbsched_sim::StartReason;
+
+    fn sys() -> SystemConfig {
+        SystemConfig {
+            name: "t".into(),
+            nodes: 10,
+            bb_gb: 100.0,
+            bb_reserved_gb: 0.0,
+            nodes_128: 5,
+            nodes_256: 5,
+        }
+    }
+
+    fn rec(start: f64, end: f64, nodes: u32, bb: f64) -> JobRecord {
+        JobRecord {
+            id: 0,
+            submit: start,
+            start,
+            end,
+            runtime: end - start,
+            walltime: end - start,
+            nodes,
+            bb_gb: bb,
+            ssd_gb_per_node: 32.0,
+            assignment: NodeAssignment { n128: nodes.min(5), n256: nodes.saturating_sub(5) },
+            wasted_ssd_gb: 10.0,
+            reason: StartReason::Policy,
+        }
+    }
+
+    #[test]
+    fn full_occupancy_is_one() {
+        let records = vec![rec(0.0, 100.0, 10, 100.0)];
+        assert_eq!(resource_usage(&records, &sys(), UsageKind::Nodes, 0.0, 100.0), 1.0);
+        assert_eq!(resource_usage(&records, &sys(), UsageKind::BurstBuffer, 0.0, 100.0), 1.0);
+    }
+
+    #[test]
+    fn half_time_half_usage() {
+        let records = vec![rec(0.0, 50.0, 10, 0.0)];
+        assert_eq!(resource_usage(&records, &sys(), UsageKind::Nodes, 0.0, 100.0), 0.5);
+    }
+
+    #[test]
+    fn clipping_at_window_edges() {
+        // Job runs 50..150; window 100..200 -> only 50 s of 10 nodes count.
+        let records = vec![rec(50.0, 150.0, 10, 0.0)];
+        let u = resource_usage(&records, &sys(), UsageKind::Nodes, 100.0, 200.0);
+        assert_eq!(u, 0.5);
+    }
+
+    #[test]
+    fn no_overlap_counts_zero() {
+        let records = vec![rec(0.0, 10.0, 10, 0.0)];
+        assert_eq!(resource_usage(&records, &sys(), UsageKind::Nodes, 20.0, 30.0), 0.0);
+    }
+
+    #[test]
+    fn ssd_usage_and_waste() {
+        let records = vec![rec(0.0, 100.0, 4, 0.0)];
+        // capacity = 5*128 + 5*256 = 1920; used = 4 nodes x 32 GB = 128.
+        let used = resource_usage(&records, &sys(), UsageKind::LocalSsdUsed, 0.0, 100.0);
+        assert!((used - 128.0 / 1920.0).abs() < 1e-12);
+        let wasted = resource_usage(&records, &sys(), UsageKind::LocalSsdWasted, 0.0, 100.0);
+        assert!((wasted - 10.0 / 1920.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let records = vec![rec(0.0, 100.0, 10, 0.0)];
+        assert_eq!(resource_usage(&records, &sys(), UsageKind::Nodes, 50.0, 50.0), 0.0);
+        let mut no_bb = sys();
+        no_bb.bb_gb = 0.0;
+        assert_eq!(resource_usage(&records, &no_bb, UsageKind::BurstBuffer, 0.0, 1.0), 0.0);
+    }
+}

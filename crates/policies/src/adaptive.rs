@@ -1,0 +1,166 @@
+//! Adaptive decision making — the paper's stated future work, implemented.
+//!
+//! §3.2.4: "The decision making may be *adaptive*, such that system
+//! managers dynamically adjust their selection policy according to
+//! scheduling performance and user response. This adaptive decision making
+//! is out of the scope of this work and is a topic of our future work."
+//!
+//! This policy instantiates that sketch: the trade-off factor of the
+//! decision rule tracks the *relative scarcity* of the resources. When
+//! free burst buffer is scarce relative to free nodes, a percentage point
+//! of burst-buffer utilization is worth more, so the factor drops (the
+//! scheduler trades nodes for burst buffer more willingly); when burst
+//! buffer is plentiful, the factor rises toward CPU-protective behaviour.
+//! An EWMA smooths the signal so one odd invocation cannot whipsaw the
+//! policy.
+
+use crate::{BbschedPolicy, GaParams, SelectionPolicy};
+use bbsched_core::pools::PoolState;
+use bbsched_core::problem::JobDemand;
+
+/// BBSched with a scarcity-adaptive trade-off factor.
+#[derive(Clone, Debug)]
+pub struct AdaptiveBbschedPolicy {
+    ga: GaParams,
+    /// Factor used when both resources are equally scarce (§3.2.4's 2×).
+    pub base_factor: f64,
+    /// Clamp range for the adapted factor.
+    pub factor_bounds: (f64, f64),
+    /// EWMA weight of the newest observation in `(0, 1]`.
+    pub smoothing: f64,
+    ewma: Option<f64>,
+}
+
+impl AdaptiveBbschedPolicy {
+    /// Creates the policy with sensible defaults (base 2×, factor clamped
+    /// to `[0.5, 8]`, EWMA weight 0.3).
+    pub fn new(ga: GaParams) -> Self {
+        Self {
+            ga,
+            base_factor: 2.0,
+            factor_bounds: (0.5, 8.0),
+            smoothing: 0.3,
+            ewma: None,
+        }
+    }
+
+    /// The factor the policy would use for the given availability, after
+    /// smoothing is applied to the raw scarcity signal.
+    pub fn current_factor(&self) -> Option<f64> {
+        self.ewma
+    }
+
+    /// Raw scarcity-driven factor before smoothing: `base × free_bb% /
+    /// free_node%`, clamped. Equal scarcity gives exactly `base`.
+    pub fn raw_factor(&self, avail: &PoolState) -> f64 {
+        let free_node_frac =
+            f64::from(avail.nodes) / f64::from(avail.total.nodes).max(1.0);
+        let free_bb_frac = avail.bb_gb / avail.total.bb_gb.max(1.0);
+        let ratio = (free_bb_frac + 1e-6) / (free_node_frac + 1e-6);
+        (self.base_factor * ratio).clamp(self.factor_bounds.0, self.factor_bounds.1)
+    }
+
+    fn adapt(&mut self, avail: &PoolState) -> f64 {
+        let raw = self.raw_factor(avail);
+        let next = match self.ewma {
+            Some(prev) => prev + self.smoothing * (raw - prev),
+            None => raw,
+        };
+        self.ewma = Some(next);
+        next
+    }
+}
+
+impl SelectionPolicy for AdaptiveBbschedPolicy {
+    fn name(&self) -> &str {
+        "BBSched_Adaptive"
+    }
+
+    fn select(&mut self, window: &[JobDemand], avail: &PoolState, invocation: u64) -> Vec<usize> {
+        let factor = self.adapt(avail);
+        let mut inner = BbschedPolicy::new(self.ga).with_tradeoff_factor(factor);
+        inner.select(window, avail, invocation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selection_is_feasible;
+
+    fn ga() -> GaParams {
+        GaParams { generations: 300, base_seed: 4, ..GaParams::default() }
+    }
+
+    fn table1_window() -> Vec<JobDemand> {
+        vec![
+            JobDemand::cpu_bb(80, 20_000.0),
+            JobDemand::cpu_bb(10, 85_000.0),
+            JobDemand::cpu_bb(40, 5_000.0),
+            JobDemand::cpu_bb(10, 0.0),
+            JobDemand::cpu_bb(20, 0.0),
+        ]
+    }
+
+    #[test]
+    fn factor_tracks_scarcity() {
+        let p = AdaptiveBbschedPolicy::new(ga());
+        // Everything free: factor = base.
+        let balanced = PoolState::cpu_bb(100, 100_000.0);
+        assert!((p.raw_factor(&balanced) - 2.0).abs() < 1e-3);
+        // BB scarce (10% free) vs nodes plentiful: factor drops.
+        let mut bb_scarce = balanced;
+        bb_scarce.bb_gb = 10_000.0;
+        assert!(p.raw_factor(&bb_scarce) < 1.0);
+        // Nodes scarce, BB free: factor rises (clamped).
+        let mut node_scarce = balanced;
+        node_scarce.nodes = 10;
+        assert!(p.raw_factor(&node_scarce) > 4.0);
+    }
+
+    #[test]
+    fn factor_is_clamped() {
+        let p = AdaptiveBbschedPolicy::new(ga());
+        let mut extreme = PoolState::cpu_bb(100, 100_000.0);
+        extreme.nodes = 0;
+        assert!(p.raw_factor(&extreme) <= 8.0);
+        extreme.nodes = 100;
+        extreme.bb_gb = 0.0;
+        assert!(p.raw_factor(&extreme) >= 0.5);
+    }
+
+    #[test]
+    fn ewma_smooths_changes() {
+        let mut p = AdaptiveBbschedPolicy::new(ga());
+        let balanced = PoolState::cpu_bb(100, 100_000.0);
+        let _ = p.adapt(&balanced);
+        assert!((p.current_factor().unwrap() - 2.0).abs() < 1e-3);
+        // A sudden BB crunch moves the factor only 30% of the way.
+        let mut crunch = balanced;
+        crunch.bb_gb = 1_000.0;
+        let f = p.adapt(&crunch);
+        assert!(f < 2.0, "factor must fall under BB scarcity");
+        assert!(f > p.raw_factor(&crunch), "but not all the way at once");
+    }
+
+    #[test]
+    fn selections_remain_feasible() {
+        let mut p = AdaptiveBbschedPolicy::new(ga());
+        let window = table1_window();
+        let avail = PoolState::cpu_bb(100, 100_000.0);
+        for inv in 0..4 {
+            let sel = p.select(&window, &avail, inv);
+            assert!(selection_is_feasible(&window, &avail, &sel), "{sel:?}");
+        }
+    }
+
+    #[test]
+    fn behaves_like_bbsched_when_balanced() {
+        // With everything free the adapted factor equals the paper's 2x,
+        // so Table 1 resolves to Solution 3 just like plain BBSched.
+        let mut p = AdaptiveBbschedPolicy::new(ga());
+        let avail = PoolState::cpu_bb(100, 100_000.0);
+        let sel = p.select(&table1_window(), &avail, 0);
+        assert_eq!(sel, vec![1, 2, 3, 4]);
+    }
+}

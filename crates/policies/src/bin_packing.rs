@@ -1,0 +1,172 @@
+//! The bin-packing method (§4.3).
+//!
+//! "This method is analogous to the bin packing method used in [Grandl et
+//! al., Tetris]. We compute alignment score (a dot product between the
+//! vector of machine's available resources and the job's requested
+//! resources) for jobs in the window and then allocate jobs with highest
+//! alignment score recursively until the machine cannot accommodate any
+//! further jobs."
+//!
+//! Both vectors are normalized by the capacities at invocation start so
+//! nodes and gigabytes contribute commensurably (Tetris normalizes demands
+//! to machine capacity for the same reason).
+
+use crate::SelectionPolicy;
+use bbsched_core::pools::PoolState;
+use bbsched_core::problem::{JobDemand, SSD_LARGE_GB, SSD_SMALL_GB};
+
+/// Tetris-style greedy multi-dimensional packing.
+#[derive(Clone, Debug, Default)]
+pub struct BinPackingPolicy;
+
+impl BinPackingPolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+/// Resource vector used for alignment scoring: (nodes, bb, total ssd).
+fn demand_vec(d: &JobDemand) -> [f64; 3] {
+    [
+        f64::from(d.nodes),
+        d.bb_gb,
+        d.ssd_gb_per_node * f64::from(d.nodes),
+    ]
+}
+
+fn remaining_vec(s: &PoolState) -> [f64; 3] {
+    [
+        f64::from(s.nodes),
+        s.bb_gb,
+        f64::from(s.nodes_128) * SSD_SMALL_GB + f64::from(s.nodes_256) * SSD_LARGE_GB,
+    ]
+}
+
+impl SelectionPolicy for BinPackingPolicy {
+    fn name(&self) -> &str {
+        "Bin_Packing"
+    }
+
+    fn select(&mut self, window: &[JobDemand], avail: &PoolState, _invocation: u64) -> Vec<usize> {
+        let mut state = *avail;
+        // Tetris normalizes both vectors by machine capacity so nodes and
+        // gigabytes are commensurable.
+        let norm = [
+            f64::from(avail.total.nodes).max(1.0),
+            avail.total.bb_gb.max(1.0),
+            avail.total.ssd_capacity_gb().max(1.0),
+        ];
+        let mut selected: Vec<usize> = Vec::new();
+        let mut taken = vec![false; window.len()];
+
+        loop {
+            let remaining = remaining_vec(&state);
+            let mut best: Option<(usize, f64)> = None;
+            for (i, d) in window.iter().enumerate() {
+                if taken[i] || !state.fits(d) {
+                    continue;
+                }
+                let dv = demand_vec(d);
+                let score: f64 = dv
+                    .iter()
+                    .zip(&remaining)
+                    .zip(&norm)
+                    .map(|((&dm, &rm), &n)| (dm / n) * (rm / n))
+                    .sum();
+                // Ties break toward the front of the window (strict >).
+                if best.map(|(_, s)| score > s).unwrap_or(true) {
+                    best = Some((i, score));
+                }
+            }
+            match best {
+                Some((i, _)) => {
+                    let _ = state.alloc(&window[i]);
+                    taken[i] = true;
+                    selected.push(i);
+                }
+                None => break,
+            }
+        }
+        selected.sort_unstable();
+        selected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selection_is_feasible;
+
+    fn table1_window() -> Vec<JobDemand> {
+        vec![
+            JobDemand::cpu_bb(80, 20_000.0),
+            JobDemand::cpu_bb(10, 85_000.0),
+            JobDemand::cpu_bb(40, 5_000.0),
+            JobDemand::cpu_bb(10, 0.0),
+            JobDemand::cpu_bb(20, 0.0),
+        ]
+    }
+
+    /// Table 1(b): "A bin packing method may pick jobs with the maximum dot
+    /// product ... The ... bin packing methods select J1 and J5" (100 %
+    /// nodes, 20 % burst buffer).
+    #[test]
+    fn table1_bin_packing_selects_j1_j5() {
+        let window = table1_window();
+        let avail = PoolState::cpu_bb(100, 100_000.0);
+        let sel = BinPackingPolicy::new().select(&window, &avail, 0);
+        let nodes: u32 = sel.iter().map(|&i| window[i].nodes).sum();
+        assert_eq!(nodes, 100, "selection {sel:?}");
+        assert!(sel.contains(&0) && sel.contains(&4), "selection {sel:?}");
+    }
+
+    #[test]
+    fn packs_until_nothing_fits() {
+        let window = vec![JobDemand::cpu_bb(30, 0.0); 5];
+        let avail = PoolState::cpu_bb(100, 100.0);
+        let sel = BinPackingPolicy::new().select(&window, &avail, 0);
+        assert_eq!(sel.len(), 3); // 3 x 30 = 90 <= 100, a 4th would not fit
+        assert!(selection_is_feasible(&window, &avail, &sel));
+    }
+
+    #[test]
+    fn skips_blockers_unlike_naive() {
+        let window = vec![
+            JobDemand::cpu_bb(1_000, 0.0), // cannot fit
+            JobDemand::cpu_bb(10, 0.0),
+        ];
+        let avail = PoolState::cpu_bb(100, 100.0);
+        let sel = BinPackingPolicy::new().select(&window, &avail, 0);
+        assert_eq!(sel, vec![1]);
+    }
+
+    #[test]
+    fn empty_window() {
+        let avail = PoolState::cpu_bb(100, 100.0);
+        assert!(BinPackingPolicy::new().select(&[], &avail, 0).is_empty());
+    }
+
+    #[test]
+    fn ssd_dimension_contributes_to_alignment() {
+        let avail = PoolState::with_ssd(2, 2, 1_000.0);
+        let window = vec![
+            JobDemand::cpu_bb_ssd(2, 0.0, 256.0),
+            JobDemand::cpu_bb_ssd(2, 0.0, 1.0),
+        ];
+        let sel = BinPackingPolicy::new().select(&window, &avail, 0);
+        // Both fit; the SSD-heavy job has the higher alignment and is
+        // picked first, but both end up selected.
+        assert_eq!(sel, vec![0, 1]);
+        assert!(selection_is_feasible(&window, &avail, &sel));
+    }
+
+    #[test]
+    fn deterministic() {
+        let window = table1_window();
+        let avail = PoolState::cpu_bb(100, 100_000.0);
+        let a = BinPackingPolicy::new().select(&window, &avail, 0);
+        let b = BinPackingPolicy::new().select(&window, &avail, 99);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,171 @@
+//! Policy enumeration and factory.
+//!
+//! The experiment harness iterates over the eight methods of §4.3 (plus the
+//! §5 SSD roster); [`PolicyKind`] names them and [`PolicyKind::build`]
+//! instantiates them with shared GA hyper-parameters.
+
+use crate::{
+    BbschedPolicy, BinPackingPolicy, ConstrainedPolicy, ConstrainedResource, GaParams,
+    NaivePolicy, SelectionPolicy, WeightedPolicy,
+};
+use serde::{Deserialize, Serialize};
+
+/// The scheduling methods compared in the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Naive Slurm-style sequential allocation.
+    Baseline,
+    /// Weighted sum, 50 % nodes / 50 % burst buffer.
+    Weighted,
+    /// Weighted sum, 80 % nodes / 20 % burst buffer.
+    WeightedCpu,
+    /// Weighted sum, 20 % nodes / 80 % burst buffer.
+    WeightedBb,
+    /// Maximize node utilization under resource constraints.
+    ConstrainedCpu,
+    /// Maximize burst-buffer utilization under resource constraints.
+    ConstrainedBb,
+    /// Maximize local-SSD utilization under resource constraints (§5).
+    ConstrainedSsd,
+    /// Tetris-style multi-dimensional bin packing.
+    BinPacking,
+    /// BBSched (Pareto GA + decision rule).
+    BbSched,
+}
+
+impl PolicyKind {
+    /// The eight methods of the main evaluation (§4.3), in the paper's
+    /// presentation order.
+    pub fn main_roster() -> [PolicyKind; 8] {
+        [
+            PolicyKind::Baseline,
+            PolicyKind::Weighted,
+            PolicyKind::WeightedCpu,
+            PolicyKind::WeightedBb,
+            PolicyKind::ConstrainedCpu,
+            PolicyKind::ConstrainedBb,
+            PolicyKind::BinPacking,
+            PolicyKind::BbSched,
+        ]
+    }
+
+    /// The seven methods of the §5 SSD case study.
+    pub fn ssd_roster() -> [PolicyKind; 7] {
+        [
+            PolicyKind::Baseline,
+            PolicyKind::Weighted,
+            PolicyKind::ConstrainedCpu,
+            PolicyKind::ConstrainedBb,
+            PolicyKind::ConstrainedSsd,
+            PolicyKind::BinPacking,
+            PolicyKind::BbSched,
+        ]
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::Baseline => "Baseline",
+            PolicyKind::Weighted => "Weighted",
+            PolicyKind::WeightedCpu => "Weighted_CPU",
+            PolicyKind::WeightedBb => "Weighted_BB",
+            PolicyKind::ConstrainedCpu => "Constrained_CPU",
+            PolicyKind::ConstrainedBb => "Constrained_BB",
+            PolicyKind::ConstrainedSsd => "Constrained_SSD",
+            PolicyKind::BinPacking => "Bin_Packing",
+            PolicyKind::BbSched => "BBSched",
+        }
+    }
+
+    /// Instantiates the policy with the given GA hyper-parameters (ignored
+    /// by the Baseline and Bin_Packing methods, which are not GA-based).
+    pub fn build(&self, ga: GaParams) -> Box<dyn SelectionPolicy> {
+        match self {
+            PolicyKind::Baseline => Box::new(NaivePolicy::new()),
+            PolicyKind::Weighted => Box::new(WeightedPolicy::balanced(ga)),
+            PolicyKind::WeightedCpu => Box::new(WeightedPolicy::cpu_heavy(ga)),
+            PolicyKind::WeightedBb => Box::new(WeightedPolicy::bb_heavy(ga)),
+            PolicyKind::ConstrainedCpu => {
+                Box::new(ConstrainedPolicy::new(ConstrainedResource::Cpu, ga))
+            }
+            PolicyKind::ConstrainedBb => {
+                Box::new(ConstrainedPolicy::new(ConstrainedResource::BurstBuffer, ga))
+            }
+            PolicyKind::ConstrainedSsd => {
+                Box::new(ConstrainedPolicy::new(ConstrainedResource::LocalSsd, ga))
+            }
+            PolicyKind::BinPacking => Box::new(BinPackingPolicy::new()),
+            PolicyKind::BbSched => Box::new(BbschedPolicy::new(ga)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbsched_core::pools::PoolState;
+    use bbsched_core::problem::JobDemand;
+
+    #[test]
+    fn rosters_have_paper_sizes() {
+        assert_eq!(PolicyKind::main_roster().len(), 8);
+        assert_eq!(PolicyKind::ssd_roster().len(), 7);
+    }
+
+    #[test]
+    fn build_names_match_enum_names() {
+        let ga = GaParams { generations: 10, ..GaParams::default() };
+        for k in PolicyKind::main_roster() {
+            assert_eq!(k.build(ga).name(), k.name());
+        }
+    }
+
+    #[test]
+    fn every_main_policy_produces_feasible_selection() {
+        let ga = GaParams { generations: 50, ..GaParams::default() };
+        let window = vec![
+            JobDemand::cpu_bb(80, 20_000.0),
+            JobDemand::cpu_bb(10, 85_000.0),
+            JobDemand::cpu_bb(40, 5_000.0),
+            JobDemand::cpu_bb(10, 0.0),
+            JobDemand::cpu_bb(20, 0.0),
+        ];
+        let avail = PoolState::cpu_bb(100, 100_000.0);
+        for k in PolicyKind::main_roster() {
+            let mut p = k.build(ga);
+            let sel = p.select(&window, &avail, 0);
+            assert!(
+                crate::selection_is_feasible(&window, &avail, &sel),
+                "{}: {sel:?}",
+                k.name()
+            );
+        }
+    }
+
+    #[test]
+    fn every_ssd_policy_produces_feasible_selection() {
+        let ga = GaParams { generations: 50, ..GaParams::default() };
+        let window = vec![
+            JobDemand::cpu_bb_ssd(8, 1_000.0, 200.0),
+            JobDemand::cpu_bb_ssd(6, 2_000.0, 64.0),
+            JobDemand::cpu_bb_ssd(4, 500.0, 128.0),
+        ];
+        let avail = PoolState::with_ssd(10, 10, 5_000.0);
+        for k in PolicyKind::ssd_roster() {
+            let mut p = k.build(ga);
+            let sel = p.select(&window, &avail, 0);
+            assert!(
+                crate::selection_is_feasible(&window, &avail, &sel),
+                "{}: {sel:?}",
+                k.name()
+            );
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let k = PolicyKind::BbSched;
+        let s = serde_json::to_string(&k).unwrap();
+        assert_eq!(serde_json::from_str::<PolicyKind>(&s).unwrap(), k);
+    }
+}

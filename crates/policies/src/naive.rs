@@ -1,0 +1,104 @@
+//! The naive (Baseline) method.
+//!
+//! §1: "Slurm allocates the jobs from the waiting queue in sequence until
+//! either CPU or burst buffer is exhausted. We denote it as naive method."
+//! Concretely: walk the window in base-scheduler priority order, starting
+//! every job until the first one that does not fit; stop there, preserving
+//! strict priority order (jobs behind a blocked head do not jump it —
+//! that is EASY backfilling's role, handled later by the simulator).
+
+use crate::SelectionPolicy;
+use bbsched_core::pools::PoolState;
+use bbsched_core::problem::JobDemand;
+
+/// Slurm-style sequential allocation (the paper's Baseline).
+#[derive(Clone, Debug, Default)]
+pub struct NaivePolicy;
+
+impl NaivePolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl SelectionPolicy for NaivePolicy {
+    fn name(&self) -> &str {
+        "Baseline"
+    }
+
+    fn select(&mut self, window: &[JobDemand], avail: &PoolState, _invocation: u64) -> Vec<usize> {
+        let mut state = *avail;
+        let mut selected = Vec::new();
+        for (i, d) in window.iter().enumerate() {
+            if state.fits(d) {
+                let _ = state.alloc(d);
+                selected.push(i);
+            } else {
+                break; // head-of-line blocking: the naive method stops here
+            }
+        }
+        selected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selection_is_feasible;
+
+    /// Table 1: the naive method selects J1 and stops at J2 (insufficient
+    /// burst buffer); J4 only starts later via backfilling.
+    #[test]
+    fn table1_naive_selects_j1_only() {
+        let window = vec![
+            JobDemand::cpu_bb(80, 20_000.0),
+            JobDemand::cpu_bb(10, 85_000.0),
+            JobDemand::cpu_bb(40, 5_000.0),
+            JobDemand::cpu_bb(10, 0.0),
+            JobDemand::cpu_bb(20, 0.0),
+        ];
+        let avail = PoolState::cpu_bb(100, 100_000.0);
+        let sel = NaivePolicy::new().select(&window, &avail, 0);
+        assert_eq!(sel, vec![0]);
+    }
+
+    #[test]
+    fn takes_all_when_everything_fits() {
+        let window = vec![JobDemand::cpu_bb(10, 0.0); 5];
+        let avail = PoolState::cpu_bb(100, 100.0);
+        let sel = NaivePolicy::new().select(&window, &avail, 0);
+        assert_eq!(sel, vec![0, 1, 2, 3, 4]);
+        assert!(selection_is_feasible(&window, &avail, &sel));
+    }
+
+    #[test]
+    fn stops_at_first_blocker_even_if_later_fit() {
+        let window = vec![
+            JobDemand::cpu_bb(10, 0.0),
+            JobDemand::cpu_bb(1_000, 0.0), // blocker
+            JobDemand::cpu_bb(10, 0.0),    // would fit, but must wait
+        ];
+        let avail = PoolState::cpu_bb(100, 100.0);
+        let sel = NaivePolicy::new().select(&window, &avail, 0);
+        assert_eq!(sel, vec![0]);
+    }
+
+    #[test]
+    fn empty_window() {
+        let avail = PoolState::cpu_bb(100, 100.0);
+        assert!(NaivePolicy::new().select(&[], &avail, 0).is_empty());
+    }
+
+    #[test]
+    fn ssd_aware_blocking() {
+        let window = vec![
+            JobDemand::cpu_bb_ssd(2, 0.0, 200.0), // needs 2 x 256-GB nodes
+            JobDemand::cpu_bb_ssd(1, 0.0, 64.0),
+        ];
+        // Only one 256-GB node free: the head job blocks everything.
+        let avail = PoolState::with_ssd(4, 1, 100.0);
+        let sel = NaivePolicy::new().select(&window, &avail, 0);
+        assert!(sel.is_empty());
+    }
+}

@@ -1,0 +1,145 @@
+//! The weighted-sum methods (§4.3).
+//!
+//! "This method aims to maximize a weighted combination of multiple
+//! objectives. The weights are site tunable parameters." Three presets are
+//! evaluated: Weighted (50/50), Weighted_CPU (80/20), Weighted_BB (20/80);
+//! §5 adds an equally-weighted four-objective variant. Weights apply to
+//! *normalized* utilizations (objective / available capacity), so "80 %
+//! node weight" means what the paper's example in §1 means.
+
+use crate::{solve_window, GaParams, SelectionPolicy};
+use bbsched_core::pools::PoolState;
+use bbsched_core::problem::JobDemand;
+use bbsched_core::{MooGa, SolveMode};
+
+/// Weighted-sum scalarization solved with the same GA machinery as
+/// BBSched (the paper's weighted methods are "converted" single-objective
+/// versions of the identical problem).
+#[derive(Clone, Debug)]
+pub struct WeightedPolicy {
+    name: String,
+    /// Weights for the bi-objective (node, burst buffer) problem.
+    weights2: [f64; 2],
+    /// Weights for the §5 four-objective problem.
+    weights4: [f64; 4],
+    ga: GaParams,
+}
+
+impl WeightedPolicy {
+    /// Fully custom weights.
+    pub fn new(name: impl Into<String>, weights2: [f64; 2], weights4: [f64; 4], ga: GaParams) -> Self {
+        Self { name: name.into(), weights2, weights4, ga }
+    }
+
+    /// "Weighted": CPU and burst buffer equally important (50/50);
+    /// §5 variant weights all four objectives equally.
+    pub fn balanced(ga: GaParams) -> Self {
+        Self::new("Weighted", [0.5, 0.5], [0.25, 0.25, 0.25, 0.25], ga)
+    }
+
+    /// "Weighted_CPU": CPU considered more important (80/20).
+    pub fn cpu_heavy(ga: GaParams) -> Self {
+        Self::new("Weighted_CPU", [0.8, 0.2], [0.8, 0.1, 0.05, 0.05], ga)
+    }
+
+    /// "Weighted_BB": burst buffer considered more important (20/80).
+    pub fn bb_heavy(ga: GaParams) -> Self {
+        Self::new("Weighted_BB", [0.2, 0.8], [0.2, 0.6, 0.1, 0.1], ga)
+    }
+}
+
+impl SelectionPolicy for WeightedPolicy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn select(&mut self, window: &[JobDemand], avail: &PoolState, invocation: u64) -> Vec<usize> {
+        if window.is_empty() {
+            return Vec::new();
+        }
+        let weights: Vec<f64> = if avail.ssd_aware {
+            self.weights4.to_vec()
+        } else {
+            self.weights2.to_vec()
+        };
+        let cfg = self.ga.config(SolveMode::Scalar(weights), invocation);
+        solve_window(window, avail, |p| {
+            let solver = MooGa::new(cfg);
+            solver
+                .solve(p)
+                .into_solutions()
+                .into_iter()
+                .next()
+                .map(|s| s.chromosome)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selection_is_feasible;
+
+    fn table1_window() -> Vec<JobDemand> {
+        vec![
+            JobDemand::cpu_bb(80, 20_000.0),
+            JobDemand::cpu_bb(10, 85_000.0),
+            JobDemand::cpu_bb(40, 5_000.0),
+            JobDemand::cpu_bb(10, 0.0),
+            JobDemand::cpu_bb(20, 0.0),
+        ]
+    }
+
+    fn fast_ga() -> GaParams {
+        GaParams { generations: 300, base_seed: 11, ..GaParams::default() }
+    }
+
+    /// Table 1(b): "A weighted method may use a linear combination of node
+    /// utilization with 80% weight and burst buffer utilization with 20%
+    /// weight ... select J1 and J5 for execution" (Solution 2).
+    #[test]
+    fn table1_weighted_cpu_picks_solution_2() {
+        let mut p = WeightedPolicy::cpu_heavy(fast_ga());
+        let avail = PoolState::cpu_bb(100, 100_000.0);
+        let sel = p.select(&table1_window(), &avail, 0);
+        assert_eq!(sel, vec![0, 4], "expected J1 + J5");
+    }
+
+    #[test]
+    fn bb_heavy_prefers_burst_buffer() {
+        let mut p = WeightedPolicy::bb_heavy(fast_ga());
+        let avail = PoolState::cpu_bb(100, 100_000.0);
+        let window = table1_window();
+        let sel = p.select(&window, &avail, 0);
+        // Solution 3 (J2..J5): bb 0.9, nodes 0.8 -> 0.2*0.8 + 0.8*0.9 = 0.88;
+        // Solution 2 scores 0.2*1.0 + 0.8*0.2 = 0.36. Must pick J2.
+        assert!(sel.contains(&1), "selection {sel:?} should contain J2");
+        assert!(selection_is_feasible(&window, &avail, &sel));
+    }
+
+    #[test]
+    fn selections_always_feasible() {
+        let mut p = WeightedPolicy::balanced(fast_ga());
+        let avail = PoolState::cpu_bb(50, 10_000.0);
+        let window = table1_window();
+        for inv in 0..5 {
+            let sel = p.select(&window, &avail, inv);
+            assert!(selection_is_feasible(&window, &avail, &sel));
+        }
+    }
+
+    #[test]
+    fn empty_window_returns_nothing() {
+        let mut p = WeightedPolicy::balanced(fast_ga());
+        let avail = PoolState::cpu_bb(10, 10.0);
+        assert!(p.select(&[], &avail, 0).is_empty());
+    }
+
+    #[test]
+    fn names_match_paper() {
+        let ga = GaParams::default();
+        assert_eq!(WeightedPolicy::balanced(ga).name(), "Weighted");
+        assert_eq!(WeightedPolicy::cpu_heavy(ga).name(), "Weighted_CPU");
+        assert_eq!(WeightedPolicy::bb_heavy(ga).name(), "Weighted_BB");
+    }
+}

@@ -1,0 +1,125 @@
+//! Per-job execution records and the simulation result bundle.
+
+use bbsched_core::pools::NodeAssignment;
+use bbsched_workloads::SystemConfig;
+use serde::{Deserialize, Serialize};
+
+/// How a job came to start.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StartReason {
+    /// Chosen by the multi-resource selection policy from the window.
+    Policy,
+    /// Started by EASY backfilling.
+    Backfill,
+    /// Forced by the §3.1 starvation bound.
+    Starvation,
+}
+
+/// The outcome of one job's passage through the simulated system.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Trace job id.
+    pub id: u64,
+    /// Submission time (s).
+    pub submit: f64,
+    /// Start time (s).
+    pub start: f64,
+    /// Completion time (s) = start + runtime.
+    pub end: f64,
+    /// Actual runtime (s).
+    pub runtime: f64,
+    /// Requested walltime (s).
+    pub walltime: f64,
+    /// Compute nodes used.
+    pub nodes: u32,
+    /// Shared burst buffer used (GB).
+    pub bb_gb: f64,
+    /// Local SSD request per node (GB).
+    pub ssd_gb_per_node: f64,
+    /// Node split across the 128/256 GB SSD pools.
+    pub assignment: NodeAssignment,
+    /// Wasted local SSD (GB) over the job's nodes (0 on non-SSD systems).
+    pub wasted_ssd_gb: f64,
+    /// How the job started.
+    pub reason: StartReason,
+}
+
+impl JobRecord {
+    /// Wait time: submission to start (§4.2).
+    pub fn wait(&self) -> f64 {
+        self.start - self.submit
+    }
+
+    /// Response time: wait plus runtime.
+    pub fn response(&self) -> f64 {
+        self.end - self.submit
+    }
+
+    /// Slowdown: response time over runtime (§4.2).
+    pub fn slowdown(&self) -> f64 {
+        self.response() / self.runtime.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Everything a simulation run produced.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Name of the selection policy that ran.
+    pub policy: String,
+    /// Name of the base scheduler.
+    pub base: String,
+    /// The simulated system.
+    pub system: SystemConfig,
+    /// Per-job records, in completion order. Every trace job appears
+    /// exactly once.
+    pub records: Vec<JobRecord>,
+    /// Simulated makespan: time the last job completed (s).
+    pub makespan: f64,
+    /// Number of scheduling invocations performed.
+    pub invocations: u64,
+    /// Jobs whose demand had to be clamped to system capacity to avoid an
+    /// unschedulable queue head (should be 0 on calibrated traces).
+    pub clamped_jobs: usize,
+    /// Jobs started through backfilling.
+    pub backfilled: usize,
+    /// Jobs force-started by the starvation bound.
+    pub starvation_forced: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> JobRecord {
+        JobRecord {
+            id: 1,
+            submit: 100.0,
+            start: 160.0,
+            end: 460.0,
+            runtime: 300.0,
+            walltime: 600.0,
+            nodes: 4,
+            bb_gb: 10.0,
+            ssd_gb_per_node: 0.0,
+            assignment: NodeAssignment::default(),
+            wasted_ssd_gb: 0.0,
+            reason: StartReason::Policy,
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = record();
+        assert_eq!(r.wait(), 60.0);
+        assert_eq!(r.response(), 360.0);
+        assert!((r.slowdown() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = record();
+        let s = serde_json::to_string(&r).unwrap();
+        let back: JobRecord = serde_json::from_str(&s).unwrap();
+        assert_eq!(r, back);
+    }
+}

@@ -1,0 +1,959 @@
+//! The discrete-event scheduling simulator.
+//!
+//! Every arrival and completion triggers a *scheduling invocation*:
+//!
+//! 1. the base scheduler re-orders the waiting queue (§2.1);
+//! 2. the window (§3.1) is filled with the highest-priority jobs whose
+//!    dependencies are complete;
+//! 3. jobs past the starvation bound are force-started (or, if they no
+//!    longer fit, become the reservation head so nothing delays them);
+//! 4. the multi-resource selection policy picks window jobs to start;
+//! 5. multi-resource EASY backfilling (§2.1) starts any remaining queued
+//!    job that fits now and does not delay the reservation head, using
+//!    *walltime estimates* exactly like a production scheduler.
+//!
+//! Resource accounting runs on [`bbsched_core::PoolState`]; node→SSD-pool
+//! assignments follow the §5 greedy rule everywhere, so the optimizer's
+//! model and the cluster's ground truth agree.
+
+use crate::base_sched::BaseScheduler;
+use crate::record::{JobRecord, SimResult, StartReason};
+use bbsched_core::pools::PoolState;
+use bbsched_core::problem::JobDemand;
+use bbsched_core::window::{fill_window, StarvationTracker, WindowConfig};
+use bbsched_policies::SelectionPolicy;
+use bbsched_workloads::{SystemConfig, Trace};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// Simulator configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Base scheduler ordering the queue (FCFS for Cori, WFP for Theta).
+    pub base: BaseScheduler,
+    /// Window size and starvation bound (§3.1).
+    pub window: WindowConfig,
+    /// Clamp jobs whose demand exceeds total capacity instead of erroring.
+    pub clamp_impossible: bool,
+    /// Maximum queued jobs examined per backfilling pass (guards the
+    /// per-invocation cost on pathological queues; only relevant with
+    /// [`BackfillScope::Queue`]).
+    pub max_backfill_scan: usize,
+    /// Which jobs EASY backfilling may consider.
+    pub backfill: BackfillScope,
+    /// Backfilling algorithm: EASY (paper default) or conservative.
+    pub backfill_algorithm: BackfillAlgorithm,
+    /// Optional dynamic window sizing (§3.1: "the window size could be
+    /// dynamically adjusted in response to system status. Job queue length
+    /// often changes."). When set, overrides `window.size` per invocation.
+    pub dynamic_window: Option<DynamicWindow>,
+}
+
+/// Queue-length-driven window sizing: the window tracks a fraction of the
+/// waiting queue, clamped to `[min, max]`. Larger queues get more
+/// optimization; short queues preserve the site's order (§3.1's stated
+/// trade-off).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DynamicWindow {
+    /// Smallest window ever used.
+    pub min: usize,
+    /// Largest window ever used (bounds the optimizer's search space).
+    pub max: usize,
+    /// Fraction of the queue length targeted.
+    pub queue_fraction: f64,
+}
+
+impl Default for DynamicWindow {
+    fn default() -> Self {
+        Self { min: 10, max: 50, queue_fraction: 0.25 }
+    }
+}
+
+impl DynamicWindow {
+    /// Window size for a queue of `queue_len` jobs.
+    pub fn size_for(&self, queue_len: usize) -> usize {
+        let target = (queue_len as f64 * self.queue_fraction).round() as usize;
+        target.clamp(self.min, self.max).max(1)
+    }
+}
+
+/// The backfilling discipline.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BackfillAlgorithm {
+    /// EASY (§2.1, used throughout the paper): reserve for the first
+    /// blocked job only; candidates may not delay it.
+    #[default]
+    Easy,
+    /// Conservative: every blocked candidate receives a reservation on a
+    /// future-availability profile; a job starts now only if it delays
+    /// none of the reservations ahead of it. Stronger fairness, fewer
+    /// backfill opportunities.
+    Conservative,
+}
+
+/// Candidate scope for the EASY backfilling pass.
+///
+/// The paper runs window-based selection with EASY backfilling on top
+/// (§4.3); with a full-queue scope, greedy backfilling over thousands of
+/// queued jobs dominates the schedule and erases most of the difference
+/// between selection policies — every method degenerates to queue-wide
+/// first-fit. Restricting candidates to the scheduling window (the
+/// default) keeps backfilling's fragmentation-mitigation role while
+/// leaving job selection to the policy under study, which is the
+/// experimental design the paper's comparisons require. The scope applies
+/// identically to every method, so comparisons stay fair either way.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackfillScope {
+    /// Only jobs inside the scheduling window may backfill.
+    Window,
+    /// Any waiting job may backfill (classic site-wide EASY), capped by
+    /// `max_backfill_scan`.
+    Queue,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            base: BaseScheduler::Fcfs,
+            window: WindowConfig::default(),
+            clamp_impossible: true,
+            max_backfill_scan: 2_000,
+            backfill: BackfillScope::Window,
+            backfill_algorithm: BackfillAlgorithm::Easy,
+            dynamic_window: None,
+        }
+    }
+}
+
+/// Tolerance for "finishes before the shadow time" comparisons.
+const TIME_EPS: f64 = 1e-6;
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum EventKind {
+    Arrive(usize),
+    Finish(usize),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Running {
+    est_end: f64,
+    demand: JobDemand,
+    asn: bbsched_core::pools::NodeAssignment,
+}
+
+/// EASY reservation math: the *shadow time* at which `head` could start if
+/// nothing new ran past it (walltime estimates of running jobs, as a real
+/// scheduler would use), and the *leftover* resources at that instant
+/// beyond the head's claim. Anything fitting inside the leftover can run
+/// arbitrarily long without delaying the head.
+fn shadow_and_leftover(
+    pool: &PoolState,
+    running: &HashMap<usize, Running>,
+    head: &JobDemand,
+    now: f64,
+) -> (f64, PoolState) {
+    if pool.fits(head) {
+        let mut leftover = *pool;
+        let _ = leftover.alloc(head);
+        return (now, leftover);
+    }
+    // Tie-break on the job index: HashMap iteration order is
+    // nondeterministic across processes, and equal est_end values would
+    // otherwise make backfill decisions irreproducible.
+    let mut run_list: Vec<(&usize, &Running)> = running.iter().collect();
+    run_list.sort_by(|(ia, a), (ib, b)| a.est_end.total_cmp(&b.est_end).then(ia.cmp(ib)));
+    let mut future = *pool;
+    for (_, r) in run_list {
+        future.free(&r.demand, r.asn);
+        if future.fits(head) {
+            let mut leftover = future;
+            let _ = leftover.alloc(head);
+            return (r.est_end, leftover);
+        }
+    }
+    // The head can never fit — impossible once demands are clamped to
+    // capacity; be safe in release builds anyway.
+    debug_assert!(false, "unschedulable head survived clamping");
+    (f64::INFINITY, PoolState::cpu_bb(0, 0.0))
+}
+
+/// The trace-driven cluster simulator. Construct with [`Simulator::new`],
+/// consume with [`Simulator::run`].
+pub struct Simulator<'t> {
+    system: SystemConfig,
+    trace: &'t Trace,
+    cfg: SimConfig,
+    /// Per-job demand after capacity clamping.
+    demands: Vec<JobDemand>,
+    clamped: usize,
+}
+
+impl<'t> Simulator<'t> {
+    /// Prepares a simulation of `trace` on `system`.
+    ///
+    /// Jobs whose demand can never fit the machine make the queue head
+    /// unschedulable and would deadlock any non-backfilling path; they are
+    /// clamped to capacity when `cfg.clamp_impossible` is set (the count is
+    /// reported in the result) and rejected with an error otherwise.
+    pub fn new(system: &SystemConfig, trace: &'t Trace, cfg: SimConfig) -> Result<Self, String> {
+        system.validate()?;
+        cfg.window.validate()?;
+        let usable_bb = system.bb_usable_gb();
+        let mut clamped = 0usize;
+        let mut demands = Vec::with_capacity(trace.len());
+        for job in trace.jobs() {
+            let mut d = JobDemand {
+                nodes: job.nodes,
+                bb_gb: job.bb_gb,
+                ssd_gb_per_node: if system.has_local_ssd() { job.ssd_gb_per_node } else { 0.0 },
+            };
+            let mut job_clamped = false;
+            if d.nodes > system.nodes {
+                d.nodes = system.nodes;
+                job_clamped = true;
+            }
+            if d.bb_gb > usable_bb {
+                d.bb_gb = usable_bb;
+                job_clamped = true;
+            }
+            if d.ssd_gb_per_node > 256.0 {
+                d.ssd_gb_per_node = 256.0;
+                job_clamped = true;
+            }
+            if d.ssd_gb_per_node > 128.0 && d.nodes > system.nodes_256 {
+                // More >128 GB/node-SSD nodes requested than 256 GB nodes
+                // exist: downgrade the request so the job stays schedulable.
+                d.ssd_gb_per_node = 128.0;
+                job_clamped = true;
+            }
+            if job_clamped {
+                if !cfg.clamp_impossible {
+                    return Err(format!(
+                        "job {} can never fit system '{}' (nodes {}, bb {} GB, ssd {} GB/node)",
+                        job.id, system.name, job.nodes, job.bb_gb, job.ssd_gb_per_node
+                    ));
+                }
+                clamped += 1;
+            }
+            demands.push(d);
+        }
+        Ok(Self { system: system.clone(), trace, cfg, demands, clamped })
+    }
+
+    /// Runs the simulation to completion under the given selection policy.
+    pub fn run(self, mut policy: Box<dyn SelectionPolicy>) -> SimResult {
+        let jobs = self.trace.jobs();
+        let n = jobs.len();
+        let mut pool = if self.system.has_local_ssd() {
+            PoolState::with_ssd(
+                self.system.nodes_128,
+                self.system.nodes_256,
+                self.system.bb_usable_gb(),
+            )
+        } else {
+            PoolState::cpu_bb(self.system.nodes, self.system.bb_usable_gb())
+        };
+
+        let mut events: BinaryHeap<Reverse<Event>> = BinaryHeap::with_capacity(2 * n + 1);
+        let mut seq = 0u64;
+        for (i, job) in jobs.iter().enumerate() {
+            events.push(Reverse(Event { time: job.submit, seq, kind: EventKind::Arrive(i) }));
+            seq += 1;
+        }
+
+        let mut queue: Vec<usize> = Vec::new();
+        let mut running: HashMap<usize, Running> = HashMap::new();
+        let mut completed_ids: HashSet<u64> = HashSet::with_capacity(n);
+        let mut records: Vec<JobRecord> = Vec::with_capacity(n);
+        let mut tracker = StarvationTracker::new();
+        let mut invocations = 0u64;
+        let mut backfilled = 0usize;
+        let mut starvation_forced = 0usize;
+        let mut makespan = 0.0f64;
+
+        let start_job = |idx: usize,
+                             now: f64,
+                             reason: StartReason,
+                             pool: &mut PoolState,
+                             running: &mut HashMap<usize, Running>,
+                             events: &mut BinaryHeap<Reverse<Event>>,
+                             records: &mut Vec<JobRecord>,
+                             seq: &mut u64| {
+            let job = &jobs[idx];
+            let d = self.demands[idx];
+            let asn = pool.alloc(&d);
+            let end = now + job.runtime;
+            events.push(Reverse(Event { time: end, seq: *seq, kind: EventKind::Finish(idx) }));
+            *seq += 1;
+            running.insert(idx, Running { est_end: now + job.walltime, demand: d, asn });
+            records.push(JobRecord {
+                id: job.id,
+                submit: job.submit,
+                start: now,
+                end,
+                runtime: job.runtime,
+                walltime: job.walltime,
+                nodes: d.nodes,
+                bb_gb: d.bb_gb,
+                ssd_gb_per_node: d.ssd_gb_per_node,
+                assignment: asn,
+                wasted_ssd_gb: if pool.ssd_aware { asn.wasted_ssd_gb(d.ssd_gb_per_node) } else { 0.0 },
+                reason,
+            });
+        };
+
+        while let Some(Reverse(ev)) = events.pop() {
+            let now = ev.time;
+            // Apply this event and every other event at the same instant.
+            let mut apply = |ev: Event,
+                             queue: &mut Vec<usize>,
+                             running: &mut HashMap<usize, Running>,
+                             pool: &mut PoolState| {
+                match ev.kind {
+                    EventKind::Arrive(i) => queue.push(i),
+                    EventKind::Finish(i) => {
+                        let r = running.remove(&i).expect("finish for job not running");
+                        pool.free(&r.demand, r.asn);
+                        completed_ids.insert(jobs[i].id);
+                        makespan = makespan.max(now);
+                    }
+                }
+            };
+            apply(ev, &mut queue, &mut running, &mut pool);
+            while let Some(Reverse(next)) = events.peek() {
+                if next.time > now {
+                    break;
+                }
+                let next = events.pop().expect("peeked event vanished").0;
+                apply(next, &mut queue, &mut running, &mut pool);
+            }
+
+            if queue.is_empty() {
+                continue;
+            }
+            invocations += 1;
+
+            // --- (1) base-scheduler priority order ---
+            self.cfg.base.order(&mut queue, jobs, now);
+
+            // --- (2) fill the window with dependency-satisfied jobs ---
+            let deps_met = |qpos: usize| {
+                jobs[queue[qpos]].deps.iter().all(|d| completed_ids.contains(d))
+            };
+            let window_size = self
+                .cfg
+                .dynamic_window
+                .map(|d| d.size_for(queue.len()))
+                .unwrap_or(self.cfg.window.size);
+            let window_qpos = fill_window(queue.len(), window_size, deps_met);
+            let window_idx: Vec<usize> = window_qpos.iter().map(|&q| queue[q]).collect();
+            let window_ids: Vec<u64> = window_idx.iter().map(|&i| jobs[i].id).collect();
+
+            let mut started: HashSet<usize> = HashSet::new();
+
+            // --- (3) starvation bound (§3.1) ---
+            // Jobs past the bound start immediately when they fit. A
+            // starved job that does not fit becomes the EASY reservation
+            // head: optimization continues, but only inside the slack that
+            // cannot delay it.
+            let mut blocked_head: Option<usize> = None;
+            for &idx in &window_idx {
+                if tracker.is_starved(jobs[idx].id, self.cfg.window.starvation_bound) {
+                    if pool.fits(&self.demands[idx]) {
+                        start_job(
+                            idx,
+                            now,
+                            StartReason::Starvation,
+                            &mut pool,
+                            &mut running,
+                            &mut events,
+                            &mut records,
+                            &mut seq,
+                        );
+                        started.insert(idx);
+                        starvation_forced += 1;
+                    } else {
+                        blocked_head = Some(idx);
+                        break;
+                    }
+                }
+            }
+
+            // --- (4) multi-resource selection from the window ---
+            // With a starved reservation head, the policy sees only the
+            // component-wise minimum of "free now" and "left over at the
+            // head's shadow time" — any selection within that bound cannot
+            // delay the head.
+            let policy_avail = match blocked_head {
+                None => pool,
+                Some(b) => {
+                    let (_, leftover) =
+                        shadow_and_leftover(&pool, &running, &self.demands[b], now);
+                    pool.component_min(&leftover)
+                }
+            };
+            {
+                let remaining: Vec<usize> = window_idx
+                    .iter()
+                    .copied()
+                    .filter(|i| !started.contains(i) && Some(*i) != blocked_head)
+                    .collect();
+                if !remaining.is_empty() {
+                    let demands: Vec<JobDemand> =
+                        remaining.iter().map(|&i| self.demands[i]).collect();
+                    let selection = policy.select(&demands, &policy_avail, invocations);
+                    debug_assert!(
+                        bbsched_policies::selection_is_feasible(&demands, &policy_avail, &selection),
+                        "policy {} returned an infeasible selection",
+                        policy.name()
+                    );
+                    for &s in &selection {
+                        let idx = remaining[s];
+                        start_job(
+                            idx,
+                            now,
+                            StartReason::Policy,
+                            &mut pool,
+                            &mut running,
+                            &mut events,
+                            &mut records,
+                            &mut seq,
+                        );
+                        started.insert(idx);
+                    }
+                }
+            }
+
+            // --- (5) EASY backfilling ---
+            let waiting: Vec<usize> = match self.cfg.backfill {
+                BackfillScope::Window => window_idx
+                    .iter()
+                    .copied()
+                    .filter(|i| !started.contains(i))
+                    .collect(),
+                BackfillScope::Queue => queue
+                    .iter()
+                    .copied()
+                    .filter(|i| {
+                        !started.contains(i)
+                            && jobs[*i].deps.iter().all(|d| completed_ids.contains(d))
+                    })
+                    .collect(),
+            };
+
+            if self.cfg.backfill_algorithm == BackfillAlgorithm::Conservative {
+                // Conservative: reservations for everyone, on a
+                // future-availability profile. The starved blocked job (if
+                // any) reserves first.
+                let mut profile = crate::profile::AvailabilityProfile::new(
+                    now,
+                    pool,
+                    {
+                        // Deterministic order: sort by (est_end, idx) so
+                        // HashMap iteration order never leaks into results.
+                        let mut keyed: Vec<(&usize, &Running)> = running.iter().collect();
+                        keyed.sort_by(|(ia, a), (ib, b)| {
+                            a.est_end.total_cmp(&b.est_end).then(ia.cmp(ib))
+                        });
+                        keyed
+                            .into_iter()
+                            .map(|(_, r)| (r.est_end, r.demand, r.asn.n128, r.asn.n256))
+                            .collect::<Vec<_>>()
+                    },
+                );
+                let mut ordered: Vec<usize> = Vec::with_capacity(waiting.len() + 1);
+                if let Some(b) = blocked_head {
+                    ordered.push(b);
+                }
+                ordered.extend(waiting.iter().copied().filter(|&i| Some(i) != blocked_head));
+                for (scanned, idx) in ordered.into_iter().enumerate() {
+                    if scanned >= self.cfg.max_backfill_scan {
+                        break;
+                    }
+                    if started.contains(&idx) {
+                        continue;
+                    }
+                    let d = self.demands[idx];
+                    let walltime = jobs[idx].walltime.max(1.0);
+                    let t = profile.earliest_start(&d, now, walltime);
+                    if t <= now + TIME_EPS && pool.fits(&d) {
+                        start_job(
+                            idx,
+                            now,
+                            StartReason::Backfill,
+                            &mut pool,
+                            &mut running,
+                            &mut events,
+                            &mut records,
+                            &mut seq,
+                        );
+                        started.insert(idx);
+                        backfilled += 1;
+                        // Consume from the profile's "now" segments too.
+                        profile.reserve(&d, t, walltime);
+                    } else if t.is_finite() {
+                        profile.reserve(&d, t, walltime);
+                    }
+                }
+                // Starvation bookkeeping & cleanup happen below as usual.
+                if !started.is_empty() {
+                    let started_ids: Vec<u64> = window_idx
+                        .iter()
+                        .filter(|i| started.contains(i))
+                        .map(|&i| jobs[i].id)
+                        .collect();
+                    tracker.observe(&window_ids, &started_ids);
+                    for &i in &started {
+                        tracker.forget(jobs[i].id);
+                    }
+                }
+                queue.retain(|i| !started.contains(i));
+                continue;
+            }
+
+            let mut head_cursor = 0usize;
+            // Start any fitting head outright (covers policies that left a
+            // fitting job behind and the queue-front after backfill frees).
+            let mut head: Option<usize> = None;
+            while head_cursor < waiting.len() {
+                let idx = waiting[head_cursor];
+                if let Some(b) = blocked_head {
+                    // The starved job owns the reservation regardless of
+                    // queue position.
+                    head = Some(b);
+                    break;
+                }
+                if started.contains(&idx) {
+                    head_cursor += 1;
+                    continue;
+                }
+                if pool.fits(&self.demands[idx]) {
+                    start_job(
+                        idx,
+                        now,
+                        StartReason::Backfill,
+                        &mut pool,
+                        &mut running,
+                        &mut events,
+                        &mut records,
+                        &mut seq,
+                    );
+                    started.insert(idx);
+                    head_cursor += 1;
+                } else {
+                    head = Some(idx);
+                    break;
+                }
+            }
+
+            if let Some(head_idx) = head {
+                let (shadow, mut leftover) =
+                    shadow_and_leftover(&pool, &running, &self.demands[head_idx], now);
+
+                for (scanned, &idx) in waiting.iter().enumerate() {
+                    if scanned >= self.cfg.max_backfill_scan {
+                        break;
+                    }
+                    if started.contains(&idx) || idx == head_idx {
+                        continue;
+                    }
+                    let d = self.demands[idx];
+                    if !pool.fits(&d) {
+                        continue;
+                    }
+                    let ends_before_shadow = now + jobs[idx].walltime <= shadow + TIME_EPS;
+                    if ends_before_shadow || leftover.fits(&d) {
+                        if !ends_before_shadow {
+                            let _ = leftover.alloc(&d);
+                        }
+                        start_job(
+                            idx,
+                            now,
+                            StartReason::Backfill,
+                            &mut pool,
+                            &mut running,
+                            &mut events,
+                            &mut records,
+                            &mut seq,
+                        );
+                        started.insert(idx);
+                        backfilled += 1;
+                    }
+                }
+            }
+
+            // --- (6) starvation bookkeeping & queue cleanup ---
+            // A pass only counts against the bound when the job was
+            // *bypassed*: some other job started while it sat in the
+            // window. Idle invocations (nothing startable) are not
+            // bypasses — counting them made the bound fire on event
+            // frequency rather than on actual priority inversion.
+            if !started.is_empty() {
+                let started_ids: Vec<u64> = window_idx
+                    .iter()
+                    .filter(|i| started.contains(i))
+                    .map(|&i| jobs[i].id)
+                    .collect();
+                tracker.observe(&window_ids, &started_ids);
+                for &i in &started {
+                    tracker.forget(jobs[i].id);
+                }
+            }
+            queue.retain(|i| !started.contains(i));
+        }
+
+        debug_assert_eq!(records.len(), n, "every job must run exactly once");
+        debug_assert!(running.is_empty());
+        records.sort_by(|a, b| a.start.total_cmp(&b.start).then(a.id.cmp(&b.id)));
+
+        SimResult {
+            policy: policy.name().to_string(),
+            base: self.cfg.base.name().to_string(),
+            system: self.system,
+            records,
+            makespan,
+            invocations,
+            clamped_jobs: self.clamped,
+            backfilled,
+            starvation_forced,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbsched_policies::{GaParams, PolicyKind};
+    use bbsched_workloads::Job;
+
+    fn system(nodes: u32, bb_tb: f64) -> SystemConfig {
+        SystemConfig {
+            name: "test".into(),
+            nodes,
+            bb_gb: bb_tb * 1000.0,
+            bb_reserved_gb: 0.0,
+            nodes_128: 0,
+            nodes_256: 0,
+        }
+    }
+
+    fn run_jobs(jobs: Vec<Job>, sys: &SystemConfig, kind: PolicyKind) -> SimResult {
+        let trace = Trace::from_jobs(jobs).unwrap();
+        let cfg = SimConfig::default();
+        let ga = GaParams { generations: 60, ..GaParams::default() };
+        Simulator::new(sys, &trace, cfg).unwrap().run(kind.build(ga))
+    }
+
+    #[test]
+    fn single_job_runs_immediately() {
+        let sys = system(10, 10.0);
+        let r = run_jobs(vec![Job::new(0, 5.0, 4, 100.0, 200.0)], &sys, PolicyKind::Baseline);
+        assert_eq!(r.records.len(), 1);
+        assert_eq!(r.records[0].start, 5.0);
+        assert_eq!(r.records[0].end, 105.0);
+        assert_eq!(r.makespan, 105.0);
+    }
+
+    #[test]
+    fn jobs_queue_when_resources_busy() {
+        let sys = system(10, 10.0);
+        let jobs = vec![
+            Job::new(0, 0.0, 10, 100.0, 100.0),
+            Job::new(1, 1.0, 10, 50.0, 50.0),
+        ];
+        let r = run_jobs(jobs, &sys, PolicyKind::Baseline);
+        let j1 = r.records.iter().find(|x| x.id == 1).unwrap();
+        assert_eq!(j1.start, 100.0, "second job must wait for the first");
+    }
+
+    #[test]
+    fn burst_buffer_is_a_real_constraint() {
+        let sys = system(100, 10.0);
+        let jobs = vec![
+            Job::new(0, 0.0, 10, 100.0, 100.0).with_bb(8_000.0),
+            Job::new(1, 1.0, 10, 100.0, 100.0).with_bb(8_000.0),
+        ];
+        let r = run_jobs(jobs, &sys, PolicyKind::Baseline);
+        let j1 = r.records.iter().find(|x| x.id == 1).unwrap();
+        assert_eq!(j1.start, 100.0, "BB contention must serialize the jobs");
+    }
+
+    #[test]
+    fn easy_backfill_starts_small_job() {
+        let sys = system(10, 10.0);
+        let jobs = vec![
+            Job::new(0, 0.0, 8, 100.0, 100.0),  // leaves 2 nodes free
+            Job::new(1, 1.0, 10, 100.0, 100.0), // head: must wait to t=100
+            Job::new(2, 2.0, 2, 50.0, 50.0),    // fits now, ends at 52 < 100
+        ];
+        let r = run_jobs(jobs, &sys, PolicyKind::Baseline);
+        let j2 = r.records.iter().find(|x| x.id == 2).unwrap();
+        assert_eq!(j2.start, 2.0, "small job should backfill immediately");
+        let j1 = r.records.iter().find(|x| x.id == 1).unwrap();
+        assert_eq!(j1.start, 100.0, "head must not be delayed by backfill");
+        assert!(r.backfilled >= 1);
+    }
+
+    #[test]
+    fn backfill_never_delays_head() {
+        let sys = system(10, 10.0);
+        // Job 2's walltime (80) would run past the shadow (100) and it
+        // needs 5 nodes, but the head needs all 10 at t=100: no leftover.
+        let jobs = vec![
+            Job::new(0, 0.0, 10, 100.0, 100.0),
+            Job::new(1, 1.0, 10, 100.0, 100.0),
+            Job::new(2, 2.0, 5, 80.0, 150.0),
+        ];
+        let r = run_jobs(jobs, &sys, PolicyKind::Baseline);
+        let j1 = r.records.iter().find(|x| x.id == 1).unwrap();
+        let j2 = r.records.iter().find(|x| x.id == 2).unwrap();
+        assert_eq!(j1.start, 100.0);
+        assert!(j2.start >= 100.0, "walltime-crossing backfill must not start");
+    }
+
+    #[test]
+    fn backfill_uses_leftover_when_head_leaves_room() {
+        let sys = system(10, 10.0);
+        // Head needs only 6 nodes at shadow; a 4-node long job can coexist.
+        let jobs = vec![
+            Job::new(0, 0.0, 6, 100.0, 100.0), // leaves 4 nodes free
+            Job::new(1, 1.0, 6, 100.0, 100.0), // head: 6 > 4, waits to t=100
+            Job::new(2, 2.0, 4, 500.0, 500.0), // crosses shadow, fits leftover
+        ];
+        let r = run_jobs(jobs, &sys, PolicyKind::Baseline);
+        let j2 = r.records.iter().find(|x| x.id == 2).unwrap();
+        assert_eq!(j2.start, 2.0, "leftover-fitting backfill should start now");
+        let j1 = r.records.iter().find(|x| x.id == 1).unwrap();
+        assert_eq!(j1.start, 100.0);
+    }
+
+    #[test]
+    fn dependencies_hold_jobs_out_of_the_window() {
+        let sys = system(10, 10.0);
+        let jobs = vec![
+            Job::new(0, 0.0, 2, 100.0, 100.0),
+            Job::new(1, 1.0, 2, 50.0, 50.0).with_deps(vec![0]),
+        ];
+        let r = run_jobs(jobs, &sys, PolicyKind::Baseline);
+        let j1 = r.records.iter().find(|x| x.id == 1).unwrap();
+        assert!(j1.start >= 100.0, "dependent job must wait for completion");
+    }
+
+    #[test]
+    fn all_jobs_complete_under_every_policy() {
+        let sys = system(64, 100.0);
+        let jobs: Vec<Job> = (0..40)
+            .map(|i| {
+                Job::new(i, i as f64 * 3.0, 1 + (i % 32) as u32, 60.0 + (i % 7) as f64 * 30.0, 400.0)
+                    .with_bb(if i % 3 == 0 { 20_000.0 } else { 0.0 })
+            })
+            .collect();
+        for kind in PolicyKind::main_roster() {
+            let r = run_jobs(jobs.clone(), &sys, kind);
+            assert_eq!(r.records.len(), 40, "{}", kind.name());
+            for rec in &r.records {
+                assert!(rec.start >= rec.submit, "{}", kind.name());
+                assert!((rec.end - rec.start - rec.runtime).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let sys = system(32, 50.0);
+        let jobs: Vec<Job> = (0..30)
+            .map(|i| Job::new(i, i as f64, 1 + (i % 16) as u32, 100.0, 200.0))
+            .collect();
+        let a = run_jobs(jobs.clone(), &sys, PolicyKind::BbSched);
+        let b = run_jobs(jobs, &sys, PolicyKind::BbSched);
+        assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn impossible_job_is_clamped_and_completes() {
+        let sys = system(10, 1.0);
+        let jobs = vec![Job::new(0, 0.0, 100, 10.0, 10.0).with_bb(9_999.0)];
+        let trace = Trace::from_jobs(jobs).unwrap();
+        let sim = Simulator::new(&sys, &trace, SimConfig::default()).unwrap();
+        let r = sim.run(PolicyKind::Baseline.build(GaParams::default()));
+        assert_eq!(r.clamped_jobs, 1);
+        assert_eq!(r.records.len(), 1);
+    }
+
+    #[test]
+    fn impossible_job_errors_without_clamping() {
+        let sys = system(10, 1.0);
+        let jobs = vec![Job::new(0, 0.0, 100, 10.0, 10.0)];
+        let trace = Trace::from_jobs(jobs).unwrap();
+        let cfg = SimConfig { clamp_impossible: false, ..SimConfig::default() };
+        assert!(Simulator::new(&sys, &trace, cfg).is_err());
+    }
+
+    #[test]
+    fn wfp_base_runs_clean() {
+        let sys = system(32, 10.0);
+        let jobs: Vec<Job> = (0..20)
+            .map(|i| Job::new(i, i as f64 * 5.0, 4 + (i % 4) as u32 * 8, 200.0, 400.0))
+            .collect();
+        let trace = Trace::from_jobs(jobs).unwrap();
+        let cfg = SimConfig { base: BaseScheduler::Wfp, ..SimConfig::default() };
+        let r = Simulator::new(&sys, &trace, cfg)
+            .unwrap()
+            .run(PolicyKind::Baseline.build(GaParams::default()));
+        assert_eq!(r.records.len(), 20);
+        assert_eq!(r.base, "WFP");
+    }
+
+    #[test]
+    fn ssd_system_accounts_waste() {
+        let sys = SystemConfig {
+            name: "ssd".into(),
+            nodes: 8,
+            bb_gb: 1_000.0,
+            bb_reserved_gb: 0.0,
+            nodes_128: 4,
+            nodes_256: 4,
+        };
+        let jobs = vec![
+            Job::new(0, 0.0, 2, 100.0, 100.0).with_ssd(200.0),
+            Job::new(1, 0.0, 2, 100.0, 100.0).with_ssd(64.0),
+        ];
+        let r = run_jobs(jobs, &sys, PolicyKind::Baseline);
+        let j0 = r.records.iter().find(|x| x.id == 0).unwrap();
+        assert_eq!(j0.assignment.n256, 2);
+        assert_eq!(j0.wasted_ssd_gb, 2.0 * (256.0 - 200.0));
+        let j1 = r.records.iter().find(|x| x.id == 1).unwrap();
+        assert_eq!(j1.assignment.n128, 2);
+        assert_eq!(j1.wasted_ssd_gb, 2.0 * (128.0 - 64.0));
+    }
+
+    #[test]
+    fn dynamic_window_sizing_math() {
+        let d = DynamicWindow { min: 10, max: 50, queue_fraction: 0.25 };
+        assert_eq!(d.size_for(0), 10);
+        assert_eq!(d.size_for(40), 10);
+        assert_eq!(d.size_for(100), 25);
+        assert_eq!(d.size_for(1_000), 50);
+        let tiny = DynamicWindow { min: 0, max: 5, queue_fraction: 0.1 };
+        assert_eq!(tiny.size_for(0), 1, "window never collapses to zero");
+    }
+
+    #[test]
+    fn dynamic_window_simulation_completes() {
+        let sys = system(32, 50.0);
+        let jobs: Vec<Job> = (0..60)
+            .map(|i| Job::new(i, i as f64 * 2.0, 1 + (i % 16) as u32, 120.0, 240.0))
+            .collect();
+        let trace = Trace::from_jobs(jobs).unwrap();
+        let cfg = SimConfig {
+            dynamic_window: Some(DynamicWindow::default()),
+            ..SimConfig::default()
+        };
+        let r = Simulator::new(&sys, &trace, cfg)
+            .unwrap()
+            .run(PolicyKind::BinPacking.build(GaParams::default()));
+        assert_eq!(r.records.len(), 60);
+    }
+
+    #[test]
+    fn conservative_backfill_respects_all_reservations() {
+        let sys = system(10, 10.0);
+        // Running: 6 nodes until t=100 (est), 4 free. Waiting (FCFS):
+        //  A (6 nodes, wall 100)  -> blocked, reserved at t=100
+        //  B (4 nodes, wall 300)  -> fits now AND fits A's leftover at the
+        //     reservation (10 - 6 = 4), so conservative starts it at t=2.
+        //  C (2 nodes, wall 500)  -> 0 nodes free after B starts; and once
+        //     A+B hold all 10 nodes from t=100, C cannot start before a
+        //     reservation hole opens.
+        let jobs = vec![
+            Job::new(0, 0.0, 6, 100.0, 100.0),
+            Job::new(1, 1.0, 6, 100.0, 100.0),
+            Job::new(2, 2.0, 4, 250.0, 300.0),
+            Job::new(3, 3.0, 2, 400.0, 500.0),
+        ];
+        let trace = Trace::from_jobs(jobs).unwrap();
+        let cfg = SimConfig {
+            backfill_algorithm: BackfillAlgorithm::Conservative,
+            ..SimConfig::default()
+        };
+        let r = Simulator::new(&sys, &trace, cfg)
+            .unwrap()
+            .run(PolicyKind::Baseline.build(GaParams::default()));
+        let start = |id: u64| r.records.iter().find(|x| x.id == id).unwrap().start;
+        assert_eq!(start(1), 100.0, "A starts at its reservation");
+        assert_eq!(start(2), 2.0, "B fits A's leftover and starts now");
+        assert!(
+            start(3) >= 100.0,
+            "C must not collide with the A+B reservation window (started {})",
+            start(3)
+        );
+        assert_eq!(r.records.len(), 4);
+    }
+
+    #[test]
+    fn conservative_and_easy_agree_on_uncontended_traces() {
+        let sys = system(100, 100.0);
+        let jobs: Vec<Job> =
+            (0..20).map(|i| Job::new(i, i as f64 * 5.0, 4, 50.0, 100.0)).collect();
+        let trace = Trace::from_jobs(jobs).unwrap();
+        let run = |alg| {
+            let cfg = SimConfig { backfill_algorithm: alg, ..SimConfig::default() };
+            Simulator::new(&sys, &trace, cfg)
+                .unwrap()
+                .run(PolicyKind::Baseline.build(GaParams::default()))
+        };
+        let easy = run(BackfillAlgorithm::Easy);
+        let cons = run(BackfillAlgorithm::Conservative);
+        // Nothing ever blocks, so both disciplines start every job on
+        // arrival.
+        for (a, b) in easy.records.iter().zip(&cons.records) {
+            assert_eq!(a.start, b.start);
+        }
+    }
+
+    #[test]
+    fn starvation_bound_eventually_forces_jobs() {
+        // A stream of tiny jobs keeps arriving; one large job would starve
+        // under a policy that always prefers the small ones. With the bound
+        // it must eventually run.
+        let sys = system(10, 10.0);
+        let mut jobs = vec![Job::new(0, 0.0, 10, 5.0, 10.0)];
+        for i in 1..200 {
+            jobs.push(Job::new(i, i as f64 * 0.5, 1, 30.0, 60.0));
+        }
+        // Large job arrives early but small jobs keep the machine busy.
+        jobs.push(Job::new(200, 1.0, 9, 10.0, 20.0));
+        let trace = Trace::from_jobs(jobs).unwrap();
+        let cfg = SimConfig {
+            window: WindowConfig { size: 10, starvation_bound: 5 },
+            ..SimConfig::default()
+        };
+        let r = Simulator::new(&sys, &trace, cfg)
+            .unwrap()
+            .run(PolicyKind::BinPacking.build(GaParams::default()));
+        assert_eq!(r.records.len(), 201);
+    }
+}

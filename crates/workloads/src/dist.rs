@@ -1,0 +1,164 @@
+//! Small deterministic sampling helpers.
+//!
+//! The generators only need a handful of distributions (log-uniform,
+//! lognormal, exponential, Bernoulli, empirical choice); implementing them
+//! on top of `rand`'s uniform primitives keeps the dependency surface at
+//! the workspace's approved set and makes every draw reproducible from a
+//! `u64` seed.
+
+use rand::Rng;
+
+/// Samples log-uniformly from `[lo, hi]`: `exp(U(ln lo, ln hi))`.
+/// Produces the heavy-small-value skew typical of HPC job sizes and
+/// burst-buffer requests.
+///
+/// # Panics
+/// Panics if `lo <= 0` or `hi < lo`.
+pub fn log_uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    assert!(lo > 0.0 && hi >= lo, "log_uniform requires 0 < lo <= hi");
+    if hi == lo {
+        return lo;
+    }
+    let u = rng.random_range(lo.ln()..hi.ln());
+    u.exp()
+}
+
+/// Standard normal via Box–Muller (both variates discarded but one, for
+/// simplicity; the generators are not hot paths).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.random_range(0.0..1.0);
+        let u2: f64 = rng.random_range(0.0..1.0);
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+/// Lognormal sample `exp(mu + sigma·Z)`, clamped to `[lo, hi]`.
+pub fn lognormal_clamped<R: Rng + ?Sized>(
+    rng: &mut R,
+    mu: f64,
+    sigma: f64,
+    lo: f64,
+    hi: f64,
+) -> f64 {
+    let v = (mu + sigma * standard_normal(rng)).exp();
+    v.clamp(lo, hi)
+}
+
+/// Exponential inter-arrival gap with the given mean.
+///
+/// # Panics
+/// Panics if `mean <= 0`.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    assert!(mean > 0.0, "exponential requires a positive mean");
+    let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    -mean * u.ln()
+}
+
+/// Picks an element of `choices` uniformly at random.
+///
+/// # Panics
+/// Panics if `choices` is empty.
+pub fn choose<'a, R: Rng + ?Sized, T>(rng: &mut R, choices: &'a [T]) -> &'a T {
+    assert!(!choices.is_empty(), "choose requires a non-empty slice");
+    &choices[rng.random_range(0..choices.len())]
+}
+
+/// Rounds a node count up to the nearest multiple of `quantum` (capability
+/// systems like Theta allocate in large node blocks).
+pub fn quantize_nodes(nodes: f64, quantum: u32, max: u32) -> u32 {
+    let q = f64::from(quantum);
+    let n = (nodes / q).ceil() * q;
+    (n as u32).clamp(quantum, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(12345)
+    }
+
+    #[test]
+    fn log_uniform_stays_in_range() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = log_uniform(&mut r, 1.0, 165_000.0);
+            assert!((1.0..=165_000.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn log_uniform_is_log_skewed() {
+        // Median of log-uniform [1, 10^4] is 10^2 — far below the
+        // arithmetic midpoint 5000.
+        let mut r = rng();
+        let mut below = 0;
+        for _ in 0..2000 {
+            if log_uniform(&mut r, 1.0, 10_000.0) < 1000.0 {
+                below += 1;
+            }
+        }
+        // P(v < 1000) = 3/4 for log-uniform.
+        assert!(below > 1300, "got {below}");
+    }
+
+    #[test]
+    fn log_uniform_degenerate_range() {
+        let mut r = rng();
+        assert_eq!(log_uniform(&mut r, 5.0, 5.0), 5.0);
+    }
+
+    #[test]
+    fn normal_moments_roughly_standard() {
+        let mut r = rng();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_respects_clamp() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = lognormal_clamped(&mut r, 8.0, 2.0, 60.0, 86_400.0);
+            assert!((60.0..=86_400.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng();
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| exponential(&mut r, 100.0)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 100.0).abs() < 5.0, "mean {mean}");
+    }
+
+    #[test]
+    fn choose_covers_all() {
+        let mut r = rng();
+        let items = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[*choose(&mut r, &items) as usize - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn quantize_clamps_and_rounds() {
+        assert_eq!(quantize_nodes(1.0, 128, 4392), 128);
+        assert_eq!(quantize_nodes(129.0, 128, 4392), 256);
+        assert_eq!(quantize_nodes(1e9, 128, 4392), 4392);
+        assert_eq!(quantize_nodes(100.0, 1, 4392), 100);
+    }
+}

@@ -1,0 +1,159 @@
+//! Runtime-estimate (walltime) models.
+//!
+//! EASY backfilling lives and dies by walltime estimates: reservations and
+//! "ends before the shadow" checks use the *requested* time, and users
+//! overestimate heavily (Mu'alem & Feitelson; the paper's own companion
+//! work [15] studies the accuracy/underestimation trade-off). This module
+//! provides estimator models that rewrite a trace's walltimes, so the
+//! sensitivity of any result to estimate quality is one transform away.
+
+use crate::job::Job;
+use crate::trace::Trace;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A walltime-estimate model applied per job.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum EstimateModel {
+    /// Oracle: `walltime = runtime` (perfect information; the upper bound
+    /// on what better estimates could buy the scheduler).
+    Exact,
+    /// Classic user behaviour: `walltime = runtime × U(1, k)`, clamped to
+    /// `cap` seconds when finite. `k = 2..5` matches production logs.
+    Multiplicative {
+        /// Maximum overestimation factor.
+        factor: f64,
+        /// Site walltime limit (s); `f64::INFINITY` disables the cap.
+        cap: f64,
+    },
+    /// Bucketed requests: walltime rounded *up* to the next bucket
+    /// boundary (users ask for 30 min / 1 h / 2 h / ...). Mimics the
+    /// spiky request-time histograms of real logs.
+    Bucketed {
+        /// Bucket width (s), e.g. 1800 for half-hour granularity.
+        bucket: f64,
+        /// Site walltime limit (s).
+        cap: f64,
+    },
+    /// Fixed site maximum: everyone requests the limit (the worst case for
+    /// backfilling — no candidate ever "ends before the shadow").
+    SiteMax {
+        /// The limit everyone requests (s).
+        limit: f64,
+    },
+}
+
+impl EstimateModel {
+    /// The walltime this model produces for a job with the given actual
+    /// runtime. Always `>= runtime` (schedulers treat the request as a
+    /// kill limit; an underestimating model would change job outcomes,
+    /// which is a different experiment).
+    pub fn walltime_for<R: Rng + ?Sized>(&self, runtime: f64, rng: &mut R) -> f64 {
+        let w = match *self {
+            EstimateModel::Exact => runtime,
+            EstimateModel::Multiplicative { factor, cap } => {
+                (runtime * rng.random_range(1.0..=factor.max(1.0 + 1e-9))).min(cap)
+            }
+            EstimateModel::Bucketed { bucket, cap } => {
+                ((runtime / bucket).ceil() * bucket).min(cap)
+            }
+            EstimateModel::SiteMax { limit } => limit,
+        };
+        w.max(runtime)
+    }
+
+    /// Rewrites every job's walltime in a trace under this model.
+    pub fn apply(&self, trace: &Trace, seed: u64) -> Trace {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        trace
+            .map_jobs(|mut j: Job| {
+                j.walltime = self.walltime_for(j.runtime, &mut rng);
+                j
+            })
+            .expect("estimate model produced an invalid trace")
+    }
+}
+
+/// Mean overestimation factor `E[walltime / runtime]` of a trace
+/// (diagnostic; 1.0 = perfect estimates).
+pub fn mean_overestimation(trace: &Trace) -> f64 {
+    if trace.is_empty() {
+        return 1.0;
+    }
+    trace
+        .jobs()
+        .iter()
+        .map(|j| j.walltime / j.runtime.max(f64::MIN_POSITIVE))
+        .sum::<f64>()
+        / trace.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GeneratorConfig, MachineProfile};
+
+    fn base() -> Trace {
+        generate(
+            &MachineProfile::theta().scaled(0.05),
+            &GeneratorConfig { n_jobs: 500, seed: 3, ..GeneratorConfig::default() },
+        )
+    }
+
+    #[test]
+    fn exact_model_is_oracle() {
+        let t = EstimateModel::Exact.apply(&base(), 1);
+        for j in t.jobs() {
+            assert_eq!(j.walltime, j.runtime);
+        }
+        assert!((mean_overestimation(&t) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiplicative_stays_in_band() {
+        let m = EstimateModel::Multiplicative { factor: 3.0, cap: 43_200.0 };
+        let t = m.apply(&base(), 2);
+        for j in t.jobs() {
+            assert!(j.walltime >= j.runtime);
+            assert!(j.walltime <= (j.runtime * 3.0).min(43_200.0).max(j.runtime) + 1e-9);
+        }
+        let over = mean_overestimation(&t);
+        assert!((1.2..3.0).contains(&over), "mean overestimation {over}");
+    }
+
+    #[test]
+    fn bucketed_rounds_up() {
+        let m = EstimateModel::Bucketed { bucket: 1_800.0, cap: 86_400.0 };
+        let t = m.apply(&base(), 3);
+        for j in t.jobs() {
+            assert!(j.walltime >= j.runtime);
+            let in_bucket = (j.walltime / 1_800.0).fract().abs() < 1e-9;
+            assert!(
+                in_bucket || j.walltime == j.runtime,
+                "walltime {} not on a bucket boundary",
+                j.walltime
+            );
+        }
+    }
+
+    #[test]
+    fn site_max_floors_at_runtime() {
+        // Jobs longer than the "limit" keep walltime = runtime (they'd be
+        // killed otherwise, which is out of scope for estimate studies).
+        let m = EstimateModel::SiteMax { limit: 600.0 };
+        let t = m.apply(&base(), 4);
+        for j in t.jobs() {
+            assert!(j.walltime >= j.runtime);
+            assert!(j.walltime == 600.0 || j.walltime == j.runtime);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let m = EstimateModel::Multiplicative { factor: 2.0, cap: f64::INFINITY };
+        let b = base();
+        assert_eq!(m.apply(&b, 9), m.apply(&b, 9));
+        assert_ne!(m.apply(&b, 9), m.apply(&b, 10));
+    }
+}

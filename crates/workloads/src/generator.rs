@@ -1,0 +1,517 @@
+//! Calibrated synthetic trace generators.
+//!
+//! The paper's real logs (Table 2) are proprietary; these generators
+//! reproduce their published statistics so the evaluation can run anywhere
+//! (DESIGN.md §3):
+//!
+//! * **Cori** — capacity computing: a long-tailed mix dominated by small
+//!   jobs (log-uniform sizes from 1 node), 0.618 % of jobs requesting
+//!   burst buffer with sizes in `[1 GB, 65 TB]` plus a few extreme requests
+//!   up to 165 TB.
+//! * **Theta** — capability computing: large jobs only (128-node
+//!   allocation quantum, log-uniform up to full machine), 17.18 % of jobs
+//!   carrying a burst-buffer demand derived from Darshan I/O volumes in
+//!   `[1 GB, 285 TB]`.
+//!
+//! Arrival times are Poisson with the rate chosen so the *offered load*
+//! (node-seconds per node-second of wall clock) matches a configurable
+//! target, reproducing the queue contention that drives every result in
+//! §4.
+
+use crate::dist;
+use crate::job::Job;
+use crate::system::SystemConfig;
+use crate::trace::Trace;
+use crate::GB_PER_TB;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One class of a job-size mixture: with probability proportional to
+/// `weight`, sizes are drawn log-uniformly from `[lo, hi]` nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SizeClass {
+    /// Relative weight of this class.
+    pub weight: f64,
+    /// Smallest size (nodes, >= 1).
+    pub lo: f64,
+    /// Largest size (nodes).
+    pub hi: f64,
+}
+
+impl SizeClass {
+    /// Creates a class.
+    pub fn new(weight: f64, lo: f64, hi: f64) -> Self {
+        Self { weight, lo, hi }
+    }
+
+    /// Mean of the log-uniform distribution over `[lo, hi]`.
+    pub fn mean(&self) -> f64 {
+        if (self.hi - self.lo).abs() < f64::EPSILON {
+            self.lo
+        } else {
+            (self.hi - self.lo) / (self.hi / self.lo).ln()
+        }
+    }
+}
+
+/// Statistical profile of a machine's workload.
+///
+/// Job sizes come from a weighted mixture of log-uniform classes; the
+/// mixture means are calibrated so the *node-hours per job* implied by
+/// Table 2 (total node-hours over the trace period divided by the job
+/// count) — and hence the number of concurrently running jobs, which
+/// drives all burst-buffer contention — match the paper's systems.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MachineProfile {
+    /// The machine this profile belongs to.
+    pub system: SystemConfig,
+    /// Job-size mixture classes.
+    pub size_classes: Vec<SizeClass>,
+    /// Lognormal runtime parameters (of seconds).
+    pub runtime_mu: f64,
+    /// Lognormal sigma for runtime.
+    pub runtime_sigma: f64,
+    /// Minimum runtime (s).
+    pub runtime_min: f64,
+    /// Maximum runtime (s) — the site walltime limit.
+    pub runtime_max: f64,
+    /// Walltime request = runtime × U(1, overestimate); Mu'alem &
+    /// Feitelson observed users overestimate heavily.
+    pub walltime_overestimate: f64,
+    /// Fraction of jobs with a burst-buffer request.
+    pub bb_fraction: f64,
+    /// Burst-buffer request range (GB), sampled log-uniformly.
+    pub bb_min_gb: f64,
+    /// Upper bound of the common burst-buffer range (GB).
+    pub bb_max_gb: f64,
+    /// Fraction of burst-buffer requests drawn from the extreme tail.
+    pub bb_tail_fraction: f64,
+    /// Upper bound of the extreme tail (GB).
+    pub bb_tail_max_gb: f64,
+}
+
+impl MachineProfile {
+    /// The Cori (NERSC, capacity-computing) profile.
+    ///
+    /// The size mixture — 70 % small jobs (1–64 nodes, the capacity-
+    /// computing mass) and 30 % larger runs — is calibrated so that the
+    /// S1–S4 transforms produce an *offered burst-buffer load* (BB-seconds
+    /// demanded per BB-second of capacity) around 1.0 on S4 and ~0.6–0.8
+    /// on S1–S3: the bursty-saturation regime where the paper's methods
+    /// differentiate. (Matching Table 2's ~13 node-hours/job exactly would
+    /// require million-job traces to reach the same contention; we trade
+    /// per-job size fidelity for the contention regime, which is what
+    /// every figure actually measures — see DESIGN.md §3.)
+    pub fn cori() -> Self {
+        Self {
+            system: SystemConfig::cori(),
+            size_classes: vec![
+                SizeClass::new(0.75, 1.0, 64.0),
+                SizeClass::new(0.25, 64.0, 4_096.0),
+            ],
+            // Median runtime ~20 min, long tail to 12 h.
+            runtime_mu: (1_200.0f64).ln(),
+            runtime_sigma: 1.5,
+            runtime_min: 60.0,
+            runtime_max: 12.0 * 3_600.0,
+            walltime_overestimate: 3.0,
+            bb_fraction: 0.00618,
+            bb_min_gb: 1.0,
+            bb_max_gb: 65.0 * GB_PER_TB,
+            bb_tail_fraction: 0.02,
+            bb_tail_max_gb: 165.0 * GB_PER_TB,
+        }
+    }
+
+    /// The Theta (ALCF, capability-computing) profile.
+    ///
+    /// Table 2 implies ~226 node-hours per job (4,392 nodes × 5 months /
+    /// 70.5 K jobs). A 90/10 mixture of small jobs (`[1, 128]`, Fig. 9's
+    /// 1–8 node bin exists on Theta) and capability jobs (`[128, 4392]`)
+    /// with a ~1.6 h mean runtime reproduces that along with double-digit
+    /// concurrency.
+    pub fn theta() -> Self {
+        Self {
+            system: SystemConfig::theta(),
+            size_classes: vec![
+                SizeClass::new(0.9, 1.0, 128.0),
+                SizeClass::new(0.1, 128.0, 4_392.0),
+            ],
+            // Median runtime ~1 h, capped at 12 h.
+            runtime_mu: (3_600.0f64).ln(),
+            runtime_sigma: 1.0,
+            runtime_min: 300.0,
+            runtime_max: 12.0 * 3_600.0,
+            walltime_overestimate: 2.0,
+            bb_fraction: 0.1718,
+            bb_min_gb: 1.0,
+            bb_max_gb: 285.0 * GB_PER_TB,
+            bb_tail_fraction: 0.0,
+            bb_tail_max_gb: 285.0 * GB_PER_TB,
+        }
+    }
+
+    /// A profile scaled to a smaller copy of the machine (see
+    /// [`SystemConfig::scaled`]); job sizes and burst-buffer requests
+    /// scale with it, so both the concurrency level and every
+    /// demand-to-capacity ratio are preserved.
+    pub fn scaled(&self, factor: f64) -> Self {
+        let system = self.system.scaled(factor);
+        let mut p = self.clone();
+        p.size_classes = self
+            .size_classes
+            .iter()
+            .map(|c| {
+                let hi = (c.hi * factor).clamp(1.0, f64::from(system.nodes));
+                let lo = (c.lo * factor).clamp(1.0, hi);
+                SizeClass::new(c.weight, lo, hi)
+            })
+            .collect();
+        p.bb_max_gb = self.bb_max_gb * factor;
+        p.bb_min_gb = self.bb_min_gb.min(p.bb_max_gb);
+        p.bb_tail_max_gb = self.bb_tail_max_gb * factor;
+        p.system = system;
+        p
+    }
+
+    /// Mean job size (nodes) of the mixture.
+    pub fn mean_nodes(&self) -> f64 {
+        let total: f64 = self.size_classes.iter().map(|c| c.weight).sum();
+        self.size_classes.iter().map(|c| c.weight * c.mean()).sum::<f64>() / total.max(1e-12)
+    }
+}
+
+/// Generation knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Number of jobs to generate.
+    pub n_jobs: usize,
+    /// RNG seed; identical seeds give identical traces.
+    pub seed: u64,
+    /// Target offered load (node-seconds offered per node-second of wall
+    /// clock). ~1.0 keeps a persistent waiting queue, which is the regime
+    /// the paper's results live in.
+    pub load_factor: f64,
+    /// Diurnal arrival modulation amplitude in `[0, 1)`: the instantaneous
+    /// arrival rate follows `1 + A·sin(2π·t/day)`. 0 (default) gives a
+    /// homogeneous Poisson process. §3.1 motivates dynamic window sizing
+    /// with exactly this phenomenon ("job queue length often changes").
+    #[serde(default)]
+    pub diurnal_amplitude: f64,
+    /// Weekend arrival-rate multiplier in `(0, 1]`: rates on days 6 and 7
+    /// of each week are scaled by this factor ("it is typically longer
+    /// during workdays and is shorter during weekends", §3.1). 1 (default)
+    /// disables the effect.
+    #[serde(default = "default_weekend_factor")]
+    pub weekend_factor: f64,
+}
+
+fn default_weekend_factor() -> f64 {
+    1.0
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        Self {
+            n_jobs: 5_000,
+            seed: 0x0bb5_c4ed,
+            load_factor: 1.1,
+            diurnal_amplitude: 0.0,
+            weekend_factor: 1.0,
+        }
+    }
+}
+
+/// Relative arrival rate at trace time `t` (seconds) for the configured
+/// diurnal/weekly pattern; 1.0 when both effects are disabled.
+pub fn arrival_rate_factor(config: &GeneratorConfig, t: f64) -> f64 {
+    const DAY: f64 = 86_400.0;
+    let mut f = 1.0 + config.diurnal_amplitude * (std::f64::consts::TAU * t / DAY).sin();
+    let day_of_week = ((t / DAY).floor() as i64).rem_euclid(7);
+    if day_of_week >= 5 {
+        f *= config.weekend_factor;
+    }
+    f.max(1e-3)
+}
+
+/// Generates a trace from a machine profile.
+///
+/// # Panics
+/// Panics if `n_jobs == 0` or `load_factor <= 0`.
+pub fn generate(profile: &MachineProfile, config: &GeneratorConfig) -> Trace {
+    assert!(config.n_jobs > 0, "n_jobs must be positive");
+    assert!(config.load_factor > 0.0, "load_factor must be positive");
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+
+    // Draw the resource part of every job first...
+    struct Draft {
+        nodes: u32,
+        runtime: f64,
+        walltime: f64,
+        bb_gb: f64,
+    }
+    assert!(!profile.size_classes.is_empty(), "profile needs at least one size class");
+    let total_weight: f64 = profile.size_classes.iter().map(|c| c.weight).sum();
+    assert!(total_weight > 0.0, "size-class weights must sum to a positive value");
+
+    let mut drafts = Vec::with_capacity(config.n_jobs);
+    let mut total_node_seconds = 0.0;
+    for _ in 0..config.n_jobs {
+        // Pick a size class by weight, then a log-uniform size within it.
+        let mut pick = rng.random_range(0.0..total_weight);
+        let mut class = &profile.size_classes[0];
+        for c in &profile.size_classes {
+            if pick < c.weight {
+                class = c;
+                break;
+            }
+            pick -= c.weight;
+        }
+        let raw = dist::log_uniform(&mut rng, class.lo, class.hi);
+        let nodes = (raw.round() as u32).clamp(1, profile.system.nodes);
+        let runtime = dist::lognormal_clamped(
+            &mut rng,
+            profile.runtime_mu,
+            profile.runtime_sigma,
+            profile.runtime_min,
+            profile.runtime_max,
+        );
+        let walltime =
+            (runtime * rng.random_range(1.0..=profile.walltime_overestimate.max(1.0 + 1e-9)))
+                .min(profile.runtime_max);
+        let walltime = walltime.max(runtime);
+        let bb_gb = if rng.random_bool(profile.bb_fraction.clamp(0.0, 1.0)) {
+            if profile.bb_tail_fraction > 0.0
+                && rng.random_bool(profile.bb_tail_fraction.clamp(0.0, 1.0))
+            {
+                dist::log_uniform(&mut rng, profile.bb_max_gb, profile.bb_tail_max_gb)
+            } else {
+                dist::log_uniform(&mut rng, profile.bb_min_gb, profile.bb_max_gb)
+            }
+        } else {
+            0.0
+        };
+        total_node_seconds += f64::from(nodes) * runtime;
+        drafts.push(Draft { nodes, runtime, walltime, bb_gb });
+    }
+
+    // ...then pick the Poisson arrival rate that hits the target load.
+    let mean_job_node_seconds = total_node_seconds / config.n_jobs as f64;
+    let arrival_rate =
+        config.load_factor * f64::from(profile.system.nodes) / mean_job_node_seconds;
+    let mean_gap = 1.0 / arrival_rate;
+
+    assert!(
+        (0.0..1.0).contains(&config.diurnal_amplitude),
+        "diurnal_amplitude must be in [0, 1)"
+    );
+    assert!(
+        config.weekend_factor > 0.0 && config.weekend_factor <= 1.0,
+        "weekend_factor must be in (0, 1]"
+    );
+    let mut t = 0.0;
+    let jobs: Vec<Job> = drafts
+        .into_iter()
+        .enumerate()
+        .map(|(i, d)| {
+            // Inhomogeneous Poisson via local rate scaling: the base gap is
+            // stretched when the instantaneous rate is low.
+            t += dist::exponential(&mut rng, mean_gap) / arrival_rate_factor(config, t);
+            Job {
+                id: i as u64,
+                submit: t,
+                nodes: d.nodes,
+                runtime: d.runtime,
+                walltime: d.walltime,
+                bb_gb: d.bb_gb,
+                ssd_gb_per_node: 0.0,
+                deps: Vec::new(),
+            }
+        })
+        .collect();
+
+    Trace::from_jobs(jobs).expect("generator produced an invalid trace")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cori_trace_matches_calibration() {
+        let profile = MachineProfile::cori();
+        let cfg = GeneratorConfig { n_jobs: 20_000, seed: 1, load_factor: 1.0, ..GeneratorConfig::default() };
+        let t = generate(&profile, &cfg);
+        let s = t.stats();
+        assert_eq!(s.n_jobs, 20_000);
+        // BB participation ~0.618% (binomial, wide tolerance).
+        assert!(
+            (s.bb_fraction() - 0.00618).abs() < 0.003,
+            "bb fraction {}",
+            s.bb_fraction()
+        );
+        // Requests stay in [1 GB, 165 TB].
+        if let Some((lo, hi)) = s.bb_range_gb {
+            assert!(lo >= 1.0);
+            assert!(hi <= 165.0 * GB_PER_TB * (1.0 + 1e-9));
+        }
+        // Offered load near target.
+        assert!((s.offered_load(profile.system.nodes) - 1.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn theta_trace_matches_calibration() {
+        let profile = MachineProfile::theta();
+        let cfg = GeneratorConfig { n_jobs: 10_000, seed: 2, load_factor: 1.2, ..GeneratorConfig::default() };
+        let t = generate(&profile, &cfg);
+        let s = t.stats();
+        assert!((s.bb_fraction() - 0.1718).abs() < 0.02, "bb fraction {}", s.bb_fraction());
+        for j in t.jobs() {
+            assert!(j.nodes >= 1 && j.nodes <= 4_392);
+            assert!(j.walltime >= j.runtime);
+        }
+        // ~10% of jobs come from the capability class (> 128 nodes).
+        let big = t.jobs().iter().filter(|j| j.nodes > 128).count() as f64;
+        assert!((big / s.n_jobs as f64 - 0.10).abs() < 0.04, "big fraction {}", big);
+        assert!((s.offered_load(profile.system.nodes) - 1.2).abs() < 0.2);
+    }
+
+    /// Offered burst-buffer load of a trace: BB-seconds demanded per
+    /// BB-second of capacity over the submission span.
+    fn offered_bb_load(t: &crate::trace::Trace, capacity_gb: f64) -> f64 {
+        let bb_secs: f64 = t.jobs().iter().map(|j| j.bb_gb * j.runtime).sum();
+        bb_secs / (t.stats().span_seconds * capacity_gb)
+    }
+
+    #[test]
+    fn s4_contention_regime_is_calibrated() {
+        // The whole evaluation hinges on the S-workloads' burst-buffer
+        // pressure: S4 must hover around saturation (rho ~ 1) and S2 below
+        // it. Far above 1 the system is permanently saturated and every
+        // policy ties; far below 1 nothing contends.
+        use crate::synthetic::Workload;
+        let cori = MachineProfile::cori();
+        let base =
+            generate(&cori, &GeneratorConfig { n_jobs: 10_000, seed: 9, load_factor: 1.15, ..GeneratorConfig::default() });
+        let cap = cori.system.bb_usable_gb();
+        let rho_s4 = offered_bb_load(&Workload::S4.apply(&base, 9), cap);
+        let rho_s2 = offered_bb_load(&Workload::S2.apply(&base, 9), cap);
+        assert!((0.6..1.8).contains(&rho_s4), "Cori S4 rho {rho_s4}");
+        assert!(rho_s2 < rho_s4, "S2 rho {rho_s2} must be below S4 rho {rho_s4}");
+
+        let theta = MachineProfile::theta();
+        let base =
+            generate(&theta, &GeneratorConfig { n_jobs: 10_000, seed: 9, load_factor: 1.15, ..GeneratorConfig::default() });
+        let cap = theta.system.bb_usable_gb();
+        let rho_s4 = offered_bb_load(&Workload::S4.apply(&base, 9), cap);
+        assert!((0.8..2.6).contains(&rho_s4), "Theta S4 rho {rho_s4}");
+    }
+
+    #[test]
+    fn size_class_means() {
+        assert!((SizeClass::new(1.0, 1.0, 512.0).mean() - 81.9).abs() < 0.5);
+        assert_eq!(SizeClass::new(1.0, 5.0, 5.0).mean(), 5.0);
+        // Mixture mean combines classes by weight.
+        let p = MachineProfile::theta();
+        let m = p.mean_nodes();
+        assert!((100.0..250.0).contains(&m), "theta mean nodes {m}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = MachineProfile::cori();
+        let cfg = GeneratorConfig { n_jobs: 500, seed: 99, load_factor: 1.0, ..GeneratorConfig::default() };
+        assert_eq!(generate(&p, &cfg), generate(&p, &cfg));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = MachineProfile::cori();
+        let a = generate(&p, &GeneratorConfig { n_jobs: 100, seed: 1, load_factor: 1.0, ..GeneratorConfig::default() });
+        let b = generate(&p, &GeneratorConfig { n_jobs: 100, seed: 2, load_factor: 1.0, ..GeneratorConfig::default() });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn scaled_profile_stays_consistent() {
+        let p = MachineProfile::theta().scaled(0.1);
+        assert!(p.system.validate().is_ok());
+        for c in &p.size_classes {
+            assert!(c.lo >= 1.0 && c.lo <= c.hi);
+            assert!(c.hi <= f64::from(p.system.nodes));
+        }
+        let t = generate(&p, &GeneratorConfig { n_jobs: 1_000, seed: 5, load_factor: 1.0, ..GeneratorConfig::default() });
+        for j in t.jobs() {
+            assert!(j.nodes <= p.system.nodes);
+        }
+    }
+
+    #[test]
+    fn scaling_preserves_concurrency() {
+        // Concurrency ~ nodes / mean job size must survive scaling, or the
+        // burst-buffer contention regime would silently change.
+        let full = MachineProfile::cori();
+        let small = full.scaled(0.05);
+        let conc_full = f64::from(full.system.nodes) / full.mean_nodes();
+        let conc_small = f64::from(small.system.nodes) / small.mean_nodes();
+        let ratio = conc_small / conc_full;
+        assert!((0.5..=2.0).contains(&ratio), "concurrency ratio {ratio}");
+    }
+
+    #[test]
+    fn arrival_rate_factor_shapes() {
+        let flat = GeneratorConfig::default();
+        assert_eq!(arrival_rate_factor(&flat, 0.0), 1.0);
+        assert_eq!(arrival_rate_factor(&flat, 1e6), 1.0);
+        let cfg = GeneratorConfig {
+            diurnal_amplitude: 0.5,
+            weekend_factor: 0.4,
+            ..GeneratorConfig::default()
+        };
+        // Quarter-day: sin peak -> 1.5; three-quarter-day trough -> 0.5.
+        assert!((arrival_rate_factor(&cfg, 21_600.0) - 1.5).abs() < 1e-9);
+        assert!((arrival_rate_factor(&cfg, 64_800.0) - 0.5).abs() < 1e-9);
+        // Day 5 (Saturday in trace time) scales by the weekend factor.
+        let weekday = arrival_rate_factor(&cfg, 86_400.0 * 2.25);
+        let weekend = arrival_rate_factor(&cfg, 86_400.0 * 5.25);
+        assert!((weekend / weekday - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diurnal_arrivals_cluster_in_peaks() {
+        let p = MachineProfile::cori();
+        let cfg = GeneratorConfig {
+            n_jobs: 20_000,
+            seed: 4,
+            load_factor: 1.0,
+            diurnal_amplitude: 0.8,
+            weekend_factor: 1.0,
+        };
+        let t = generate(&p, &cfg);
+        // Count arrivals in the rate-peak half-day [0, 0.5) vs the trough
+        // half-day [0.5, 1.0) of each cycle.
+        let (mut peak, mut trough) = (0usize, 0usize);
+        for j in t.jobs() {
+            let phase = (j.submit / 86_400.0).fract();
+            if phase < 0.5 {
+                peak += 1;
+            } else {
+                trough += 1;
+            }
+        }
+        assert!(
+            peak as f64 > trough as f64 * 1.5,
+            "peak {peak} vs trough {trough}: diurnal modulation missing"
+        );
+    }
+
+    #[test]
+    fn submissions_strictly_increase() {
+        let p = MachineProfile::cori();
+        let t = generate(&p, &GeneratorConfig { n_jobs: 1_000, seed: 3, load_factor: 1.0, ..GeneratorConfig::default() });
+        for w in t.jobs().windows(2) {
+            assert!(w[1].submit >= w[0].submit);
+        }
+    }
+}

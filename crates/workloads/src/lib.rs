@@ -1,0 +1,51 @@
+//! # bbsched-workloads
+//!
+//! Workload models and synthetic trace generation for the BBSched
+//! reproduction (§4.1 of the paper).
+//!
+//! The paper evaluates on two real traces — a four-month Slurm log from
+//! **Cori** (NERSC, capacity computing, 12,076 nodes, 1.8 PB shared burst
+//! buffer) and a five-month Cobalt log from **Theta** (ALCF, capability
+//! computing, 4,392 nodes, 1.26 PB projected shared burst buffer) — plus
+//! eight synthetic workloads (S1–S4 per machine) that stress burst-buffer
+//! demand, and three more (S5–S7, §5) that add local-SSD demand.
+//!
+//! The real logs are proprietary, so this crate provides *calibrated
+//! generators* ([`generator`]) reproducing every published statistic of
+//! Table 2 and Fig. 5 — system sizes, burst-buffer request ranges and
+//! participation rates, job-size and runtime distributions typical of
+//! capacity vs. capability systems — and the exact S1–S7 transformation
+//! rules ([`synthetic`]). See DESIGN.md §3 for the substitution rationale.
+//!
+//! Around that core:
+//!
+//! * [`swf`] — Standard Workload Format import/export for real logs;
+//! * [`estimates`] — walltime-estimate models (oracle → site-max) for
+//!   backfilling sensitivity studies;
+//! * [`dag`] — campaign/DAG weaving to exercise §3.1's dependency rule;
+//! * diurnal/weekend arrival modulation in [`generator`] (§3.1's
+//!   "job queue length often changes").
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dag;
+pub mod dist;
+pub mod estimates;
+pub mod generator;
+pub mod job;
+pub mod swf;
+pub mod synthetic;
+pub mod system;
+pub mod trace;
+
+pub use dag::{weave_campaigns, DagConfig};
+pub use estimates::EstimateModel;
+pub use generator::{generate, GeneratorConfig, MachineProfile};
+pub use job::Job;
+pub use synthetic::{SsdMix, Workload};
+pub use system::SystemConfig;
+pub use trace::{Trace, TraceStats};
+
+/// Gigabytes per terabyte, used throughout for burst-buffer arithmetic.
+pub const GB_PER_TB: f64 = 1000.0;

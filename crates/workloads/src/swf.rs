@@ -1,0 +1,234 @@
+//! Standard Workload Format (SWF) import/export.
+//!
+//! The Parallel Workloads Archive's SWF is the lingua franca for HPC job
+//! logs (the Cori and Theta traces the paper uses are distributed in
+//! SWF-like forms). An SWF record is one line of 18 whitespace-separated
+//! fields; `;` starts a comment. We map:
+//!
+//! | SWF field | Job field |
+//! |---|---|
+//! | 1 — job number | `id` |
+//! | 2 — submit time | `submit` |
+//! | 4 — run time | `runtime` |
+//! | 8 — requested processors (fallback: 5, allocated) | `nodes` |
+//! | 9 — requested time | `walltime` (fallback: runtime) |
+//! | 17 — preceding job number | `deps` (when > 0) |
+//!
+//! SWF has no burst-buffer or SSD fields; imports leave them at 0 (apply
+//! the [`crate::synthetic`] transforms afterwards, exactly as the paper
+//! does for Theta), and exports carry them in a `;bb=` comment suffix
+//! that this parser round-trips but other tools ignore.
+
+use crate::job::Job;
+use crate::trace::Trace;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// A parse failure with line context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwfError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for SwfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SWF parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SwfError {}
+
+fn parse_line(line: &str, lineno: usize) -> Result<Option<Job>, SwfError> {
+    // Extension suffix: "... ;bb=<gb>,ssd=<gb>" written by `write_swf`.
+    let (data, ext) = match line.find(';') {
+        Some(pos) => (&line[..pos], Some(&line[pos + 1..])),
+        None => (line, None),
+    };
+    let data = data.trim();
+    if data.is_empty() {
+        return Ok(None); // comment or blank line
+    }
+    let fields: Vec<&str> = data.split_whitespace().collect();
+    if fields.len() < 9 {
+        return Err(SwfError {
+            line: lineno,
+            message: format!("expected >= 9 fields, got {}", fields.len()),
+        });
+    }
+    let num = |i: usize| -> Result<f64, SwfError> {
+        fields[i].parse::<f64>().map_err(|e| SwfError {
+            line: lineno,
+            message: format!("field {}: {e}", i + 1),
+        })
+    };
+
+    let id = num(0)? as u64;
+    let submit = num(1)?.max(0.0);
+    let runtime = num(3)?;
+    if runtime <= 0.0 {
+        // Cancelled / zero-length records: skip, as trace studies do.
+        return Ok(None);
+    }
+    let alloc_procs = num(4)?;
+    let req_procs = num(7)?;
+    let nodes = if req_procs > 0.0 { req_procs } else { alloc_procs };
+    if nodes < 1.0 {
+        return Ok(None);
+    }
+    let req_time = num(8)?;
+    let walltime = if req_time > 0.0 { req_time.max(runtime) } else { runtime };
+
+    let mut job = Job::new(id, submit, nodes as u32, runtime, walltime);
+    if fields.len() >= 17 {
+        if let Ok(prev) = fields[16].parse::<i64>() {
+            if prev > 0 {
+                job.deps.push(prev as u64);
+            }
+        }
+    }
+    if let Some(ext) = ext {
+        for kv in ext.trim().split(',') {
+            if let Some(v) = kv.trim().strip_prefix("bb=") {
+                job.bb_gb = v.parse().unwrap_or(0.0);
+            } else if let Some(v) = kv.trim().strip_prefix("ssd=") {
+                job.ssd_gb_per_node = v.parse().unwrap_or(0.0);
+            }
+        }
+    }
+    Ok(Some(job))
+}
+
+/// Parses SWF text into a trace. Comment lines, blank lines, cancelled
+/// jobs (non-positive runtime), and zero-processor records are skipped.
+pub fn parse_swf(text: &str) -> Result<Trace, SwfError> {
+    let mut jobs = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if let Some(job) = parse_line(line, i + 1)? {
+            jobs.push(job);
+        }
+    }
+    Trace::from_jobs(jobs).map_err(|message| SwfError { line: 0, message })
+}
+
+/// Reads an SWF file from disk.
+pub fn read_swf(path: &Path) -> std::io::Result<Trace> {
+    let reader = BufReader::new(std::fs::File::open(path)?);
+    let mut jobs = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let parsed = parse_line(&line, i + 1)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        if let Some(job) = parsed {
+            jobs.push(job);
+        }
+    }
+    Trace::from_jobs(jobs)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+/// Writes a trace as SWF. Unknown-to-SWF fields (burst buffer, SSD) ride
+/// in a `;bb=...,ssd=...` comment suffix that [`parse_swf`] round-trips.
+pub fn write_swf(trace: &Trace, path: &Path) -> std::io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    writeln!(w, "; SWF export from bbsched-workloads")?;
+    writeln!(w, "; Fields: job submit wait runtime procs avgcpu mem reqprocs reqtime reqmem status uid gid exe queue partition prevjob think")?;
+    for j in trace.jobs() {
+        let prev = j.deps.first().map(|&d| d as i64).unwrap_or(-1);
+        write!(
+            w,
+            "{} {:.0} -1 {:.0} {} -1 -1 {} {:.0} -1 1 -1 -1 -1 -1 -1 {} -1",
+            j.id, j.submit, j.runtime.max(1.0), j.nodes, j.nodes, j.walltime, prev
+        )?;
+        if j.bb_gb > 0.0 || j.ssd_gb_per_node > 0.0 {
+            write!(w, " ;bb={},ssd={}", j.bb_gb, j.ssd_gb_per_node)?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+; Sample SWF header
+; Computer: Testosaurus 3000
+
+1 0 10 3600 64 -1 -1 64 7200 -1 1 5 5 -1 1 -1 -1 -1
+2 100 -1 1800 -1 -1 -1 128 3600 -1 1 5 5 -1 1 -1 1 -1
+3 200 -1 0 16 -1 -1 16 600 -1 0 5 5 -1 1 -1 -1 -1
+4 300 -1 600 -1 -1 -1 0 0 -1 1 5 5 -1 1 -1 -1 -1
+";
+
+    #[test]
+    fn parses_standard_records() {
+        let t = parse_swf(SAMPLE).unwrap();
+        // Job 3 (zero runtime) and job 4 (zero procs) are skipped.
+        assert_eq!(t.len(), 2);
+        let j1 = &t.jobs()[0];
+        assert_eq!(j1.id, 1);
+        assert_eq!(j1.nodes, 64);
+        assert_eq!(j1.runtime, 3600.0);
+        assert_eq!(j1.walltime, 7200.0);
+        assert!(j1.deps.is_empty());
+        let j2 = &t.jobs()[1];
+        assert_eq!(j2.deps, vec![1], "preceding-job field becomes a dependency");
+    }
+
+    #[test]
+    fn requested_time_defaults_to_runtime() {
+        let t = parse_swf("7 0 -1 100 8 -1 -1 8 -1 -1 1 1 1 -1 1 -1 -1 -1").unwrap();
+        assert_eq!(t.jobs()[0].walltime, 100.0);
+    }
+
+    #[test]
+    fn walltime_never_below_runtime() {
+        // Requested time 50 < runtime 100: clamp up (jobs killed at limit
+        // have runtime == walltime; under-reporting breaks the simulator).
+        let t = parse_swf("7 0 -1 100 8 -1 -1 8 50 -1 1 1 1 -1 1 -1 -1 -1").unwrap();
+        assert_eq!(t.jobs()[0].walltime, 100.0);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let err = parse_swf("1 2 3").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = parse_swf("1 abc -1 100 8 -1 -1 8 50 -1 1 1 1 -1 1 -1 -1 -1").unwrap_err();
+        assert!(err.message.contains("field 2"));
+    }
+
+    #[test]
+    fn roundtrip_through_disk_preserves_schedule_fields() {
+        let jobs = vec![
+            Job::new(1, 0.0, 64, 3600.0, 7200.0).with_bb(2_048.0),
+            Job::new(2, 100.0, 128, 1800.0, 3600.0).with_ssd(96.0),
+            Job::new(3, 250.0, 8, 60.0, 600.0).with_deps(vec![1]),
+        ];
+        let t = Trace::from_jobs(jobs).unwrap();
+        let dir = std::env::temp_dir().join(format!("bbsched_swf_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.swf");
+        write_swf(&t, &path).unwrap();
+        let back = read_swf(&path).unwrap();
+        assert_eq!(back.len(), 3);
+        for (a, b) in t.jobs().iter().zip(back.jobs()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.nodes, b.nodes);
+            assert_eq!(a.deps, b.deps);
+            assert!((a.runtime - b.runtime).abs() < 1.0, "runtime rounds to seconds");
+            assert_eq!(a.bb_gb, b.bb_gb, "bb extension must round-trip");
+            assert_eq!(a.ssd_gb_per_node, b.ssd_gb_per_node);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let t = parse_swf("; just comments\n\n;\n").unwrap();
+        assert!(t.is_empty());
+    }
+}

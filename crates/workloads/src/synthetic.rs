@@ -1,0 +1,293 @@
+//! The synthetic workload transforms of §4.1 (S1–S4) and §5 (S5–S7).
+//!
+//! §4.1: "we create eight synthetic workloads, four workloads (S1–S4) for
+//! each machine, by expanding the percentage of jobs requesting burst
+//! buffers to 50% (S1 and S3 workloads) and 75% (S2 and S4 workloads). ...
+//! the assigned burst buffer request is randomly selected from the original
+//! burst buffer requests in a certain range. S1 and S2 select requests from
+//! original requests greater than 5 TB, while S3 and S4 choose from
+//! requests greater than 20 TB."
+//!
+//! §5: "We generate three workloads (S5–S7) on top of Cori-S2 and Theta-S2
+//! by creating job's local SSD requests. In S5, 80% of jobs have 0–128 GB
+//! local SSD requests, and 20% of jobs have 129–256 GB ... S6 ... 50/50 ...
+//! S7 ... 20/80."
+
+use crate::dist;
+use crate::trace::Trace;
+use crate::GB_PER_TB;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The ten (plus three SSD) workload variants evaluated in the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Workload {
+    /// The unmodified trace.
+    Original,
+    /// 50 % of jobs request burst buffer, drawn from original requests > 5 TB.
+    S1,
+    /// 75 % of jobs request burst buffer, drawn from original requests > 5 TB.
+    S2,
+    /// 50 % of jobs request burst buffer, drawn from original requests > 20 TB.
+    S3,
+    /// 75 % of jobs request burst buffer, drawn from original requests > 20 TB.
+    S4,
+    /// S2 plus local SSD: 80 % of jobs request 0–128 GB/node, 20 % request 129–256 GB/node.
+    S5,
+    /// S2 plus local SSD: 50 % / 50 % split.
+    S6,
+    /// S2 plus local SSD: 20 % small, 80 % large.
+    S7,
+}
+
+impl Workload {
+    /// The workloads of the main evaluation (Figures 6–13): Original and
+    /// the four burst-buffer stress variants.
+    pub fn main_grid() -> [Workload; 5] {
+        [Workload::Original, Workload::S1, Workload::S2, Workload::S3, Workload::S4]
+    }
+
+    /// The §5 case-study workloads.
+    pub fn ssd_grid() -> [Workload; 3] {
+        [Workload::S5, Workload::S6, Workload::S7]
+    }
+
+    /// Display name matching the paper ("Original", "S1", ...).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::Original => "Original",
+            Workload::S1 => "S1",
+            Workload::S2 => "S2",
+            Workload::S3 => "S3",
+            Workload::S4 => "S4",
+            Workload::S5 => "S5",
+            Workload::S6 => "S6",
+            Workload::S7 => "S7",
+        }
+    }
+
+    /// Applies this transform to a base (Original) trace. The paper's pool
+    /// thresholds (5 TB, 20 TB) assume full-scale machines; use
+    /// [`Workload::apply_scaled`] on scaled-down systems.
+    pub fn apply(&self, base: &Trace, seed: u64) -> Trace {
+        self.apply_scaled(base, seed, 1.0)
+    }
+
+    /// Like [`Workload::apply`], with the burst-buffer pool thresholds
+    /// multiplied by `factor` — required when the trace was generated for a
+    /// machine scaled by the same factor, otherwise the ">5 TB" / ">20 TB"
+    /// pools are empty and the transform falls back to out-of-scale
+    /// requests.
+    pub fn apply_scaled(&self, base: &Trace, seed: u64, factor: f64) -> Trace {
+        assert!(factor > 0.0, "scale factor must be positive");
+        let t5 = 5.0 * GB_PER_TB * factor;
+        let t20 = 20.0 * GB_PER_TB * factor;
+        match self {
+            Workload::Original => base.clone(),
+            Workload::S1 => stress_bb(base, 0.50, t5, seed),
+            Workload::S2 => stress_bb(base, 0.75, t5, seed),
+            Workload::S3 => stress_bb(base, 0.50, t20, seed),
+            Workload::S4 => stress_bb(base, 0.75, t20, seed),
+            Workload::S5 => {
+                add_ssd(&Workload::S2.apply_scaled(base, seed, factor), SsdMix::S5, seed ^ 0x55)
+            }
+            Workload::S6 => {
+                add_ssd(&Workload::S2.apply_scaled(base, seed, factor), SsdMix::S6, seed ^ 0x66)
+            }
+            Workload::S7 => {
+                add_ssd(&Workload::S2.apply_scaled(base, seed, factor), SsdMix::S7, seed ^ 0x77)
+            }
+        }
+    }
+}
+
+/// Local-SSD request mixes of §5.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SsdMix {
+    /// 80 % of jobs request 0–128 GB/node; 20 % request 129–256 GB/node.
+    S5,
+    /// 50 % / 50 %.
+    S6,
+    /// 20 % small / 80 % large.
+    S7,
+}
+
+impl SsdMix {
+    /// Fraction of jobs with a large (129–256 GB/node) request.
+    pub fn large_fraction(&self) -> f64 {
+        match self {
+            SsdMix::S5 => 0.20,
+            SsdMix::S6 => 0.50,
+            SsdMix::S7 => 0.80,
+        }
+    }
+}
+
+/// Raises the fraction of jobs with burst-buffer requests to `target_frac`,
+/// assigning new requests sampled uniformly from the original requests
+/// greater than `pool_min_gb`. Jobs that already request burst buffer keep
+/// their original demand.
+///
+/// If the original trace has no request above `pool_min_gb` (possible on
+/// tiny traces), the pool falls back to log-uniform samples from
+/// `[pool_min_gb, 10 × pool_min_gb]` so the transform still produces the
+/// intended pressure; the harness logs trace statistics so this is visible.
+pub fn stress_bb(base: &Trace, target_frac: f64, pool_min_gb: f64, seed: u64) -> Trace {
+    assert!((0.0..=1.0).contains(&target_frac));
+    let pool: Vec<f64> =
+        base.jobs().iter().filter(|j| j.bb_gb > pool_min_gb).map(|j| j.bb_gb).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    let current_frac = base.stats().bb_fraction();
+    // Probability that a currently-BB-less job gains a request, chosen so
+    // the overall fraction lands on target.
+    let p_assign = if current_frac >= target_frac || current_frac >= 1.0 {
+        0.0
+    } else {
+        (target_frac - current_frac) / (1.0 - current_frac)
+    };
+
+    base.map_jobs(|mut j| {
+        if !j.uses_bb() && p_assign > 0.0 && rng.random_bool(p_assign) {
+            j.bb_gb = if pool.is_empty() {
+                dist::log_uniform(&mut rng, pool_min_gb, pool_min_gb * 10.0)
+            } else {
+                *dist::choose(&mut rng, &pool)
+            };
+        }
+        j
+    })
+    .expect("stress_bb produced an invalid trace")
+}
+
+/// Adds per-node local-SSD requests per the §5 mixes. Small requests are
+/// uniform on `[0, 128]` GB, large on `(128, 256]` GB.
+pub fn add_ssd(base: &Trace, mix: SsdMix, seed: u64) -> Trace {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let large = mix.large_fraction();
+    base.map_jobs(|mut j| {
+        j.ssd_gb_per_node = if rng.random_bool(large) {
+            rng.random_range(128.0f64..256.0).ceil() // in (128, 256]
+        } else {
+            rng.random_range(0.0f64..=128.0).floor() // in [0, 128]
+        };
+        j
+    })
+    .expect("add_ssd produced an invalid trace")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GeneratorConfig, MachineProfile};
+
+    fn base() -> Trace {
+        generate(
+            &MachineProfile::cori(),
+            &GeneratorConfig { n_jobs: 4_000, seed: 77, load_factor: 1.0, ..GeneratorConfig::default() },
+        )
+    }
+
+    #[test]
+    fn s1_hits_50_percent() {
+        let t = Workload::S1.apply(&base(), 1);
+        let f = t.stats().bb_fraction();
+        assert!((f - 0.5).abs() < 0.05, "bb fraction {f}");
+    }
+
+    #[test]
+    fn s2_hits_75_percent() {
+        let t = Workload::S2.apply(&base(), 1);
+        let f = t.stats().bb_fraction();
+        assert!((f - 0.75).abs() < 0.05, "bb fraction {f}");
+    }
+
+    #[test]
+    fn s3_s4_draw_from_20tb_pool() {
+        let b = base();
+        let original_max =
+            b.jobs().iter().map(|j| j.bb_gb).fold(0.0f64, f64::max);
+        for w in [Workload::S3, Workload::S4] {
+            let t = w.apply(&b, 2);
+            // Newly assigned requests are all > 20 TB (or from the
+            // fallback range, also > 20 TB); original small requests remain.
+            for (j_new, j_old) in t.jobs().iter().zip(b.jobs()) {
+                if j_old.uses_bb() {
+                    assert_eq!(j_new.bb_gb, j_old.bb_gb, "original request must be kept");
+                } else if j_new.uses_bb() {
+                    assert!(j_new.bb_gb > 20.0 * GB_PER_TB);
+                    assert!(j_new.bb_gb <= original_max.max(200.0 * GB_PER_TB));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn s4_has_larger_requests_than_s2() {
+        let b = base();
+        let s2 = Workload::S2.apply(&b, 3).stats().total_bb_gb;
+        let s4 = Workload::S4.apply(&b, 3).stats().total_bb_gb;
+        assert!(s4 > s2, "S4 aggregated volume {s4} should exceed S2 {s2}");
+    }
+
+    #[test]
+    fn transforms_are_deterministic() {
+        let b = base();
+        assert_eq!(Workload::S4.apply(&b, 9), Workload::S4.apply(&b, 9));
+        assert_ne!(Workload::S4.apply(&b, 9), Workload::S4.apply(&b, 10));
+    }
+
+    #[test]
+    fn original_is_identity() {
+        let b = base();
+        assert_eq!(Workload::Original.apply(&b, 5), b);
+    }
+
+    #[test]
+    fn ssd_mixes_split_correctly() {
+        let b = base();
+        for (w, expect_large) in
+            [(Workload::S5, 0.2), (Workload::S6, 0.5), (Workload::S7, 0.8)]
+        {
+            let t = w.apply(&b, 4);
+            let n = t.len() as f64;
+            let large =
+                t.jobs().iter().filter(|j| j.ssd_gb_per_node > 128.0).count() as f64;
+            assert!(
+                (large / n - expect_large).abs() < 0.05,
+                "{}: large fraction {}",
+                w.name(),
+                large / n
+            );
+            for j in t.jobs() {
+                assert!(j.ssd_gb_per_node <= 256.0);
+            }
+            // SSD workloads are built on S2: BB fraction ~75 %.
+            assert!((t.stats().bb_fraction() - 0.75).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn stress_bb_with_empty_pool_falls_back() {
+        // A trace with no BB requests at all.
+        let jobs = (0..200)
+            .map(|i| crate::job::Job::new(i, i as f64, 1, 10.0, 20.0))
+            .collect();
+        let t = Trace::from_jobs(jobs).unwrap();
+        let out = stress_bb(&t, 0.5, 20.0 * GB_PER_TB, 1);
+        let s = out.stats();
+        assert!((s.bb_fraction() - 0.5).abs() < 0.15);
+        if let Some((lo, _)) = s.bb_range_gb {
+            assert!(lo >= 20.0 * GB_PER_TB);
+        }
+    }
+
+    #[test]
+    fn workload_names() {
+        assert_eq!(Workload::Original.name(), "Original");
+        assert_eq!(Workload::S4.name(), "S4");
+        assert_eq!(Workload::main_grid().len(), 5);
+        assert_eq!(Workload::ssd_grid().len(), 3);
+    }
+}

@@ -1,0 +1,169 @@
+//! System (machine) configurations.
+//!
+//! Table 2 of the paper describes the two target systems; §5 adds local
+//! SSDs ("we assume 50% of nodes in the system are equipped with 128 GB
+//! local SSDs, the rest ... 256 GB").
+
+use crate::GB_PER_TB;
+use serde::{Deserialize, Serialize};
+
+/// Static description of a simulated HPC system.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Human-readable name ("cori", "theta", ...).
+    pub name: String,
+    /// Total compute nodes.
+    pub nodes: u32,
+    /// Total shared burst buffer (GB).
+    pub bb_gb: f64,
+    /// Shared burst buffer held by persistent reservations (GB). On Cori
+    /// "one-third of burst buffers ... are reserved persistently and their
+    /// lifetimes are independent of jobs" (§4.1); the simulator treats this
+    /// as capacity unavailable to jobs.
+    pub bb_reserved_gb: f64,
+    /// Nodes carrying 128 GB local SSDs (0 outside the §5 case study).
+    pub nodes_128: u32,
+    /// Nodes carrying 256 GB local SSDs (0 outside the §5 case study).
+    pub nodes_256: u32,
+}
+
+impl SystemConfig {
+    /// Cori at NERSC: 12,076 nodes, 1.8 PB Cray DataWarp shared burst
+    /// buffer, one-third persistently reserved (Table 2, §4.1).
+    pub fn cori() -> Self {
+        Self {
+            name: "cori".into(),
+            nodes: 12_076,
+            bb_gb: 1_800.0 * GB_PER_TB,
+            bb_reserved_gb: 600.0 * GB_PER_TB,
+            nodes_128: 0,
+            nodes_256: 0,
+        }
+    }
+
+    /// Theta at ALCF: 4,392 KNL nodes; the paper projects a 1.26 PB shared
+    /// burst buffer from Cori's memory-to-burst-buffer ratio (Table 2).
+    pub fn theta() -> Self {
+        Self {
+            name: "theta".into(),
+            nodes: 4_392,
+            bb_gb: 1_260.0 * GB_PER_TB,
+            bb_reserved_gb: 0.0,
+            nodes_128: 0,
+            nodes_256: 0,
+        }
+    }
+
+    /// A scaled copy: node count and burst buffer multiplied by `factor`,
+    /// keeping demand/capacity ratios intact. Used to run the experiment
+    /// grid at laptop scale (DESIGN.md §3).
+    ///
+    /// # Panics
+    /// Panics unless `0 < factor <= 1`.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor <= 1.0, "scale factor must be in (0, 1]");
+        let scale_nodes = |n: u32| ((f64::from(n) * factor).round() as u32).max(1);
+        Self {
+            name: self.name.clone(),
+            nodes: scale_nodes(self.nodes),
+            bb_gb: self.bb_gb * factor,
+            bb_reserved_gb: self.bb_reserved_gb * factor,
+            nodes_128: if self.nodes_128 == 0 { 0 } else { scale_nodes(self.nodes_128) },
+            nodes_256: if self.nodes_256 == 0 { 0 } else { scale_nodes(self.nodes_256) },
+        }
+    }
+
+    /// Adds the §5 local-SSD configuration: 50% of nodes with 128 GB SSDs,
+    /// the remainder with 256 GB.
+    pub fn with_ssd_split(mut self) -> Self {
+        self.nodes_128 = self.nodes / 2;
+        self.nodes_256 = self.nodes - self.nodes_128;
+        self
+    }
+
+    /// Burst buffer usable by jobs (total minus persistent reservations).
+    pub fn bb_usable_gb(&self) -> f64 {
+        (self.bb_gb - self.bb_reserved_gb).max(0.0)
+    }
+
+    /// Whether the system models heterogeneous local SSDs.
+    pub fn has_local_ssd(&self) -> bool {
+        self.nodes_128 + self.nodes_256 > 0
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err("system has zero nodes".into());
+        }
+        if self.bb_gb < 0.0 || self.bb_reserved_gb < 0.0 {
+            return Err("negative burst-buffer capacity".into());
+        }
+        if self.bb_reserved_gb > self.bb_gb {
+            return Err("reserved burst buffer exceeds total".into());
+        }
+        if self.has_local_ssd() && self.nodes_128 + self.nodes_256 != self.nodes {
+            return Err(format!(
+                "SSD pools ({} + {}) do not cover all {} nodes",
+                self.nodes_128, self.nodes_256, self.nodes
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table2() {
+        let cori = SystemConfig::cori();
+        assert_eq!(cori.nodes, 12_076);
+        assert_eq!(cori.bb_gb, 1_800_000.0);
+        assert_eq!(cori.bb_usable_gb(), 1_200_000.0);
+        assert!(cori.validate().is_ok());
+
+        let theta = SystemConfig::theta();
+        assert_eq!(theta.nodes, 4_392);
+        assert_eq!(theta.bb_gb, 1_260_000.0);
+        assert_eq!(theta.bb_usable_gb(), 1_260_000.0);
+        assert!(theta.validate().is_ok());
+    }
+
+    #[test]
+    fn scaling_preserves_ratios() {
+        let cori = SystemConfig::cori();
+        let s = cori.scaled(0.1);
+        assert_eq!(s.nodes, 1208);
+        assert!((s.bb_gb / s.bb_reserved_gb - 3.0).abs() < 1e-9);
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn ssd_split_covers_all_nodes() {
+        let t = SystemConfig::theta().with_ssd_split();
+        assert!(t.has_local_ssd());
+        assert_eq!(t.nodes_128 + t.nodes_256, t.nodes);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut c = SystemConfig::cori();
+        c.bb_reserved_gb = c.bb_gb + 1.0;
+        assert!(c.validate().is_err());
+        let mut c = SystemConfig::cori();
+        c.nodes = 0;
+        assert!(c.validate().is_err());
+        let mut c = SystemConfig::cori().with_ssd_split();
+        c.nodes_128 += 1;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic]
+    fn scaled_rejects_zero_factor() {
+        let _ = SystemConfig::cori().scaled(0.0);
+    }
+}

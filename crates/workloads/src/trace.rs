@@ -1,0 +1,277 @@
+//! Trace container, statistics (Table 2), and persistence.
+
+use crate::job::Job;
+use crate::GB_PER_TB;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// An ordered workload trace (jobs sorted by submission time).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    jobs: Vec<Job>,
+}
+
+impl Trace {
+    /// Builds a trace, validating every job and sorting by submit time.
+    ///
+    /// Returns the first validation error encountered, if any, or an error
+    /// for duplicate job ids.
+    pub fn from_jobs(mut jobs: Vec<Job>) -> Result<Self, String> {
+        for j in &jobs {
+            j.validate()?;
+        }
+        jobs.sort_by(|a, b| {
+            a.submit
+                .partial_cmp(&b.submit)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        });
+        let mut seen = std::collections::HashSet::with_capacity(jobs.len());
+        for j in &jobs {
+            if !seen.insert(j.id) {
+                return Err(format!("duplicate job id {}", j.id));
+            }
+        }
+        Ok(Self { jobs })
+    }
+
+    /// The jobs in submission order.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// A copy restricted to the first `n` jobs (Fig. 2 uses "the first 1000
+    /// jobs from a Theta workload").
+    pub fn head(&self, n: usize) -> Self {
+        Self { jobs: self.jobs.iter().take(n).cloned().collect() }
+    }
+
+    /// Applies a transformation to every job, revalidating the result.
+    pub fn map_jobs<F>(&self, mut f: F) -> Result<Self, String>
+    where
+        F: FnMut(Job) -> Job,
+    {
+        Self::from_jobs(self.jobs.iter().cloned().map(&mut f).collect())
+    }
+
+    /// Computes the Table-2-style summary statistics.
+    pub fn stats(&self) -> TraceStats {
+        let n = self.jobs.len();
+        let mut s = TraceStats { n_jobs: n, ..TraceStats::default() };
+        if n == 0 {
+            return s;
+        }
+        let mut bb_min = f64::INFINITY;
+        let mut bb_max: f64 = 0.0;
+        for j in &self.jobs {
+            s.total_node_seconds += j.node_seconds();
+            if j.uses_bb() {
+                s.jobs_with_bb += 1;
+                s.total_bb_gb += j.bb_gb;
+                bb_min = bb_min.min(j.bb_gb);
+                bb_max = bb_max.max(j.bb_gb);
+                if j.bb_gb > GB_PER_TB {
+                    s.jobs_with_bb_over_1tb += 1;
+                }
+            }
+            if j.ssd_gb_per_node > 0.0 {
+                s.jobs_with_ssd += 1;
+            }
+        }
+        if s.jobs_with_bb > 0 {
+            s.bb_range_gb = Some((bb_min, bb_max));
+        }
+        s.span_seconds =
+            self.jobs.last().map(|j| j.submit).unwrap_or(0.0) - self.jobs[0].submit;
+        s
+    }
+
+    /// Histogram of burst-buffer requests among requesting jobs, with the
+    /// given bin width in GB (Fig. 5 uses 10 TB bins). Returns
+    /// `(bin_lower_bound_gb, count)` pairs for non-empty bins, ascending.
+    pub fn bb_histogram(&self, bin_gb: f64) -> Vec<(f64, usize)> {
+        assert!(bin_gb > 0.0, "bin width must be positive");
+        let mut bins: std::collections::BTreeMap<u64, usize> = Default::default();
+        for j in &self.jobs {
+            if j.uses_bb() {
+                let bin = (j.bb_gb / bin_gb).floor() as u64;
+                *bins.entry(bin).or_insert(0) += 1;
+            }
+        }
+        bins.into_iter().map(|(b, c)| (b as f64 * bin_gb, c)).collect()
+    }
+
+    /// Serializes as JSON lines (one job per line) to `path`.
+    pub fn save_jsonl(&self, path: &Path) -> std::io::Result<()> {
+        let mut w = BufWriter::new(std::fs::File::create(path)?);
+        for j in &self.jobs {
+            serde_json::to_writer(&mut w, j)?;
+            w.write_all(b"\n")?;
+        }
+        w.flush()
+    }
+
+    /// Loads a JSON-lines trace written by [`Trace::save_jsonl`].
+    pub fn load_jsonl(path: &Path) -> std::io::Result<Self> {
+        let r = BufReader::new(std::fs::File::open(path)?);
+        let mut jobs = Vec::new();
+        for line in r.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let j: Job = serde_json::from_str(&line)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            jobs.push(j);
+        }
+        Self::from_jobs(jobs)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// Summary statistics of a trace (the rows of Table 2 plus bookkeeping the
+/// harness needs).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Number of jobs.
+    pub n_jobs: usize,
+    /// Jobs with a burst-buffer request.
+    pub jobs_with_bb: usize,
+    /// Jobs requesting more than 1 TB of burst buffer.
+    pub jobs_with_bb_over_1tb: usize,
+    /// Jobs with a local-SSD request.
+    pub jobs_with_ssd: usize,
+    /// `(min, max)` burst-buffer request among requesting jobs (GB).
+    pub bb_range_gb: Option<(f64, f64)>,
+    /// Sum of all burst-buffer requests (GB) — the "aggregated volume" of
+    /// Fig. 5's captions.
+    pub total_bb_gb: f64,
+    /// Sum of `nodes × runtime` over all jobs (s).
+    pub total_node_seconds: f64,
+    /// Time between first and last submission (s).
+    pub span_seconds: f64,
+}
+
+impl TraceStats {
+    /// Fraction of jobs requesting burst buffer (Cori: 0.618%).
+    pub fn bb_fraction(&self) -> f64 {
+        if self.n_jobs == 0 {
+            0.0
+        } else {
+            self.jobs_with_bb as f64 / self.n_jobs as f64
+        }
+    }
+
+    /// Offered compute load relative to a system of `nodes` over the trace
+    /// span: > 1 means the system cannot keep up.
+    pub fn offered_load(&self, nodes: u32) -> f64 {
+        if self.span_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.total_node_seconds / (f64::from(nodes) * self.span_seconds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> Trace {
+        Trace::from_jobs(vec![
+            Job::new(2, 50.0, 10, 100.0, 200.0).with_bb(2_000.0),
+            Job::new(1, 0.0, 20, 100.0, 150.0),
+            Job::new(3, 100.0, 30, 50.0, 60.0).with_bb(500.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn jobs_sorted_by_submit() {
+        let t = trace();
+        let ids: Vec<u64> = t.jobs().iter().map(|j| j.id).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let r = Trace::from_jobs(vec![
+            Job::new(1, 0.0, 1, 1.0, 1.0),
+            Job::new(1, 5.0, 1, 1.0, 1.0),
+        ]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn invalid_job_rejected() {
+        let r = Trace::from_jobs(vec![Job::new(1, 0.0, 0, 1.0, 1.0)]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn stats_match_hand_computation() {
+        let s = trace().stats();
+        assert_eq!(s.n_jobs, 3);
+        assert_eq!(s.jobs_with_bb, 2);
+        assert_eq!(s.jobs_with_bb_over_1tb, 1);
+        assert_eq!(s.bb_range_gb, Some((500.0, 2_000.0)));
+        assert_eq!(s.total_bb_gb, 2_500.0);
+        assert_eq!(s.total_node_seconds, 2000.0 + 1000.0 + 1500.0);
+        assert_eq!(s.span_seconds, 100.0);
+        assert!((s.bb_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn offered_load() {
+        let s = trace().stats();
+        // 4500 node-seconds over 100 s span with 45 nodes -> load 1.0.
+        assert!((s.offered_load(45) - 1.0).abs() < 1e-12);
+        assert_eq!(TraceStats::default().offered_load(10), 0.0);
+    }
+
+    #[test]
+    fn head_truncates() {
+        let t = trace().head(2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.jobs()[1].id, 2);
+    }
+
+    #[test]
+    fn histogram_bins_requests() {
+        let h = trace().bb_histogram(1_000.0);
+        assert_eq!(h, vec![(0.0, 1), (2_000.0, 1)]);
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let t = trace();
+        let dir = std::env::temp_dir().join("bbsched_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.jsonl");
+        t.save_jsonl(&path).unwrap();
+        let back = Trace::load_jsonl(&path).unwrap();
+        assert_eq!(t, back);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn map_jobs_transforms() {
+        let t = trace()
+            .map_jobs(|mut j| {
+                j.bb_gb *= 2.0;
+                j
+            })
+            .unwrap();
+        assert_eq!(t.stats().total_bb_gb, 5_000.0);
+    }
+}

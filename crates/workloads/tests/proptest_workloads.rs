@@ -1,0 +1,152 @@
+//! Property-based tests of trace generation, transforms, and persistence.
+
+use bbsched_workloads::{
+    generate, swf, GeneratorConfig, Job, MachineProfile, Trace, Workload,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every generated trace is internally valid for arbitrary seeds and
+    /// sane loads, on both machines and at random scales.
+    #[test]
+    fn generated_traces_are_valid(
+        seed in any::<u64>(),
+        n_jobs in 1usize..300,
+        load in 0.3f64..2.0,
+        scale_pct in 1u32..=100,
+        theta in any::<bool>(),
+    ) {
+        let factor = f64::from(scale_pct) / 100.0;
+        let base = if theta { MachineProfile::theta() } else { MachineProfile::cori() };
+        let profile = base.scaled(factor);
+        let trace = generate(&profile, &GeneratorConfig { n_jobs, seed, load_factor: load, ..GeneratorConfig::default() });
+        prop_assert_eq!(trace.len(), n_jobs);
+        for j in trace.jobs() {
+            prop_assert!(j.validate().is_ok());
+            prop_assert!(j.nodes >= 1 && j.nodes <= profile.system.nodes);
+            prop_assert!(j.walltime >= j.runtime);
+            prop_assert!(j.bb_gb >= 0.0);
+        }
+        // Sorted by submit.
+        for w in trace.jobs().windows(2) {
+            prop_assert!(w[0].submit <= w[1].submit);
+        }
+    }
+
+    /// The BB stress transforms never touch existing requests, never
+    /// change the schedule-relevant fields, and only add requests.
+    #[test]
+    fn stress_transform_is_conservative(seed in any::<u64>(), xseed in any::<u64>()) {
+        let profile = MachineProfile::cori().scaled(0.05);
+        let base = generate(
+            &profile,
+            &GeneratorConfig { n_jobs: 400, seed, load_factor: 1.0, ..GeneratorConfig::default() },
+        );
+        for w in [Workload::S1, Workload::S2, Workload::S3, Workload::S4] {
+            let out = w.apply_scaled(&base, xseed, 0.05);
+            prop_assert_eq!(out.len(), base.len());
+            for (a, b) in base.jobs().iter().zip(out.jobs()) {
+                prop_assert_eq!(a.id, b.id);
+                prop_assert_eq!(a.nodes, b.nodes);
+                prop_assert!((a.submit - b.submit).abs() < 1e-12);
+                prop_assert!((a.runtime - b.runtime).abs() < 1e-12);
+                if a.bb_gb > 0.0 {
+                    prop_assert_eq!(a.bb_gb, b.bb_gb, "existing request changed");
+                } else {
+                    prop_assert!(b.bb_gb >= 0.0);
+                }
+            }
+            let frac = out.stats().bb_fraction();
+            prop_assert!(frac >= base.stats().bb_fraction() - 1e-12);
+            prop_assert!(frac <= 1.0);
+        }
+    }
+
+    /// SSD transforms give every job a request within the §5 ranges.
+    #[test]
+    fn ssd_transform_ranges(seed in any::<u64>()) {
+        let profile = MachineProfile::theta().scaled(0.05);
+        let base = generate(
+            &profile,
+            &GeneratorConfig { n_jobs: 300, seed, load_factor: 1.0, ..GeneratorConfig::default() },
+        );
+        for w in [Workload::S5, Workload::S6, Workload::S7] {
+            let out = w.apply_scaled(&base, seed ^ 1, 0.05);
+            for j in out.jobs() {
+                prop_assert!(j.ssd_gb_per_node >= 0.0);
+                prop_assert!(j.ssd_gb_per_node <= 256.0);
+            }
+        }
+    }
+
+    /// SWF round-trips preserve the schedule-relevant fields for
+    /// arbitrary job sets (integer-second times, as SWF requires).
+    #[test]
+    fn swf_roundtrip(
+        raw in proptest::collection::vec(
+            (0u32..100_000, 1u32..5_000, 1u32..100_000, 1.0f64..3.0, 0u32..50_000),
+            1..50,
+        )
+    ) {
+        let jobs: Vec<Job> = raw
+            .into_iter()
+            .enumerate()
+            .map(|(i, (submit, nodes, runtime, wf, bb))| {
+                let runtime = f64::from(runtime);
+                Job::new(
+                    i as u64,
+                    f64::from(submit),
+                    nodes,
+                    runtime,
+                    (runtime * wf).ceil(),
+                )
+                .with_bb(f64::from(bb))
+            })
+            .collect();
+        let n = jobs.len();
+        let t = Trace::from_jobs(jobs).unwrap();
+        let dir = std::env::temp_dir()
+            .join(format!("bbsched_prop_swf_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.swf");
+        swf::write_swf(&t, &path).unwrap();
+        let back = swf::read_swf(&path).unwrap();
+        prop_assert_eq!(back.len(), n);
+        for (a, b) in t.jobs().iter().zip(back.jobs()) {
+            prop_assert_eq!(a.id, b.id);
+            prop_assert_eq!(a.nodes, b.nodes);
+            prop_assert!((a.submit - b.submit).abs() < 1.0);
+            prop_assert!((a.runtime - b.runtime).abs() < 1.0);
+            prop_assert_eq!(a.bb_gb, b.bb_gb);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// JSONL round-trips are lossless.
+    #[test]
+    fn jsonl_roundtrip_lossless(
+        raw in proptest::collection::vec(
+            (0.0f64..1e6, 1u32..5_000, 1.0f64..1e5, 0.0f64..1e5),
+            1..40,
+        )
+    ) {
+        let jobs: Vec<Job> = raw
+            .into_iter()
+            .enumerate()
+            .map(|(i, (submit, nodes, runtime, bb))| {
+                Job::new(i as u64, submit, nodes, runtime, runtime * 2.0).with_bb(bb)
+            })
+            .collect();
+        let t = Trace::from_jobs(jobs).unwrap();
+        let dir = std::env::temp_dir()
+            .join(format!("bbsched_prop_jsonl_{}_{:x}", std::process::id(), t.len()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.jsonl");
+        t.save_jsonl(&path).unwrap();
+        let back = Trace::load_jsonl(&path).unwrap();
+        prop_assert_eq!(&t, &back);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

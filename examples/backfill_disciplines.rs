@@ -1,0 +1,61 @@
+//! Backfilling disciplines compared: EASY (the paper's choice) vs
+//! conservative reservations, under the same BBSched selection.
+//!
+//! EASY protects only the first blocked job and backfills aggressively;
+//! conservative protects everyone and backfills cautiously. The classic
+//! trade-off — utilization vs predictability — shows up directly in the
+//! metrics.
+//!
+//! Run: `cargo run --release --example backfill_disciplines`
+
+use bbsched::metrics::{DistributionStats, MeasurementWindow, MethodSummary};
+use bbsched::policies::{GaParams, PolicyKind};
+use bbsched::sim::{BackfillAlgorithm, BaseScheduler, SimConfig, Simulator};
+use bbsched::workloads::{generate, GeneratorConfig, MachineProfile, Workload};
+
+fn main() {
+    let factor = 0.05;
+    let profile = MachineProfile::theta().scaled(factor);
+    let base = generate(
+        &profile,
+        &GeneratorConfig { n_jobs: 1_500, seed: 99, load_factor: 1.15, ..GeneratorConfig::default() },
+    );
+    let trace = Workload::S2.apply_scaled(&base, 99, factor);
+    let ga = GaParams { generations: 200, base_seed: 99, ..GaParams::default() };
+
+    println!(
+        "{:<14} {:>10} {:>10} {:>11} {:>11} {:>12}",
+        "Backfill", "Node use", "BB use", "Avg wait", "P99 wait", "Backfilled"
+    );
+    for (label, alg) in [
+        ("EASY", BackfillAlgorithm::Easy),
+        ("Conservative", BackfillAlgorithm::Conservative),
+    ] {
+        let cfg = SimConfig {
+            base: BaseScheduler::Wfp,
+            backfill_algorithm: alg,
+            ..SimConfig::default()
+        };
+        let result = Simulator::new(&profile.system, &trace, cfg)
+            .expect("valid setup")
+            .run(PolicyKind::BbSched.build(ga));
+        let m = MethodSummary::from_result(&result, MeasurementWindow::default());
+        let waits = DistributionStats::of_waits(&result.records);
+        println!(
+            "{:<14} {:>9.1}% {:>9.1}% {:>10.2}h {:>10.2}h {:>12}",
+            label,
+            m.node_usage * 100.0,
+            m.bb_usage * 100.0,
+            m.avg_wait / 3600.0,
+            waits.p99 / 3600.0,
+            result.backfilled,
+        );
+    }
+    println!(
+        "\nExpected: EASY backfills more and posts higher utilization and lower waits;\n\
+         conservative trades that throughput for predictability — every queued job's\n\
+         reserved start can only move earlier, never later. Under sustained overload\n\
+         (as here) that predictability costs both average and tail wait, which is\n\
+         exactly why EASY is the production default the paper builds on."
+    );
+}

@@ -1,0 +1,53 @@
+//! The paper's Table 1 example, end to end: five jobs, five methods.
+//!
+//! Shows how the naive, constrained, weighted, and bin-packing methods all
+//! land on CPU-biased selections while BBSched surfaces — and picks — the
+//! high-burst-buffer trade-off the others overlook.
+//!
+//! Run: `cargo run --release --example illustrative_example`
+
+use bbsched::core::pools::PoolState;
+use bbsched::core::problem::JobDemand;
+use bbsched::policies::{GaParams, PolicyKind, SelectionPolicy};
+
+fn main() {
+    // Table 1(a): a 100-node system with 100 TB of burst buffer.
+    let window = vec![
+        JobDemand::cpu_bb(80, 20_000.0),  // J1
+        JobDemand::cpu_bb(10, 85_000.0),  // J2
+        JobDemand::cpu_bb(40, 5_000.0),   // J3
+        JobDemand::cpu_bb(10, 0.0),       // J4
+        JobDemand::cpu_bb(20, 0.0),       // J5
+    ];
+    let avail = PoolState::cpu_bb(100, 100_000.0);
+    let ga = GaParams { generations: 500, base_seed: 4, ..GaParams::default() };
+
+    println!("{:<18} {:<18} {:>10} {:>10}", "Method", "Selected", "Nodes", "BB (TB)");
+    for kind in [
+        PolicyKind::Baseline,
+        PolicyKind::ConstrainedCpu,
+        PolicyKind::ConstrainedBb,
+        PolicyKind::Weighted,
+        PolicyKind::WeightedCpu,
+        PolicyKind::WeightedBb,
+        PolicyKind::BinPacking,
+        PolicyKind::BbSched,
+    ] {
+        let mut policy: Box<dyn SelectionPolicy> = kind.build(ga);
+        let sel = policy.select(&window, &avail, 0);
+        let names: Vec<String> = sel.iter().map(|&i| format!("J{}", i + 1)).collect();
+        let nodes: u32 = sel.iter().map(|&i| window[i].nodes).sum();
+        let bb: f64 = sel.iter().map(|&i| window[i].bb_gb).sum();
+        println!(
+            "{:<18} {:<18} {:>10} {:>10.0}",
+            kind.name(),
+            names.join(","),
+            nodes,
+            bb / 1_000.0
+        );
+    }
+    println!(
+        "\nBBSched should select J2,J3,J4,J5 (80 nodes, 90 TB): giving up 20% of the nodes\n\
+         buys 70% more burst-buffer utilization — more than the 2x the decision rule demands."
+    );
+}

@@ -1,0 +1,30 @@
+//! # bbsched — Scheduling Beyond CPUs for HPC
+//!
+//! A from-scratch Rust reproduction of **BBSched** (Fan, Lan, Rich, Allcock,
+//! Papka, Austin, Paul — *Scheduling Beyond CPUs for HPC*, HPDC 2019): a
+//! multi-resource HPC scheduling scheme that co-schedules compute nodes,
+//! shared burst buffers, and local SSDs by solving a multi-objective
+//! optimization problem with a genetic algorithm at every scheduling
+//! invocation.
+//!
+//! This facade crate re-exports the workspace's sub-crates:
+//!
+//! * [`core`] — MOO formulations, GA solver, Pareto fronts, decision rules,
+//!   window bookkeeping ([`bbsched_core`]).
+//! * [`workloads`] — Cori/Theta-calibrated synthetic trace generators and
+//!   the S1–S7 stress transforms ([`bbsched_workloads`]).
+//! * [`policies`] — the eight multi-resource selection methods compared in
+//!   the paper ([`bbsched_policies`]).
+//! * [`sim`] — the discrete-event cluster simulator with FCFS/WFP base
+//!   scheduling and multi-resource EASY backfilling ([`bbsched_sim`]).
+//! * [`metrics`] — node/burst-buffer usage, wait time, bounded slowdown,
+//!   breakdowns, and Kiviat normalization ([`bbsched_metrics`]).
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for the
+//! full system inventory and experiment index.
+
+pub use bbsched_core as core;
+pub use bbsched_metrics as metrics;
+pub use bbsched_policies as policies;
+pub use bbsched_sim as sim;
+pub use bbsched_workloads as workloads;

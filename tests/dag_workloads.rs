@@ -1,0 +1,85 @@
+//! Integration: dependency-carrying (campaign/DAG) workloads through the
+//! full simulator — §3.1's rule that "jobs with dependencies are allowed
+//! to enter the window only if all the dependencies have been completed".
+
+use bbsched::policies::{GaParams, PolicyKind};
+use bbsched::sim::{SimConfig, SimResult, Simulator};
+use bbsched::workloads::{
+    dag::{dependent_fraction, weave_campaigns},
+    generate, DagConfig, GeneratorConfig, MachineProfile,
+};
+use std::collections::HashMap;
+
+fn run_woven(campaign_fraction: f64, kind: PolicyKind) -> SimResult {
+    let profile = MachineProfile::cori().scaled(0.02);
+    let base = generate(
+        &profile,
+        &GeneratorConfig { n_jobs: 250, seed: 31, load_factor: 1.05, ..Default::default() },
+    );
+    let cfg = DagConfig { campaign_fraction, ..DagConfig::default() };
+    let trace = weave_campaigns(&base, &cfg, 31);
+    let ga = GaParams { generations: 40, base_seed: 31, ..GaParams::default() };
+    Simulator::new(&profile.system, &trace, SimConfig::default())
+        .unwrap()
+        .run(kind.build(ga))
+}
+
+#[test]
+fn no_job_starts_before_its_dependencies_complete() {
+    let profile = MachineProfile::cori().scaled(0.02);
+    let base = generate(
+        &profile,
+        &GeneratorConfig { n_jobs: 300, seed: 13, load_factor: 1.05, ..Default::default() },
+    );
+    let cfg = DagConfig { campaign_fraction: 0.6, ..DagConfig::default() };
+    let trace = weave_campaigns(&base, &cfg, 13);
+    assert!(dependent_fraction(&trace) > 0.2, "weaving must create dependencies");
+
+    let ga = GaParams { generations: 40, base_seed: 13, ..GaParams::default() };
+    let result = Simulator::new(&profile.system, &trace, SimConfig::default())
+        .unwrap()
+        .run(PolicyKind::BbSched.build(ga));
+    assert_eq!(result.records.len(), trace.len());
+
+    let end_by_id: HashMap<u64, f64> =
+        result.records.iter().map(|r| (r.id, r.end)).collect();
+    for (job, rec) in trace.jobs().iter().zip({
+        let mut by_id: Vec<_> = result.records.clone();
+        by_id.sort_by_key(|r| r.id);
+        by_id
+    }) {
+        assert_eq!(job.id, rec.id);
+        for dep in &job.deps {
+            assert!(
+                end_by_id[dep] <= rec.start + 1e-9,
+                "job {} started at {} before dependency {} ended at {}",
+                rec.id,
+                rec.start,
+                dep,
+                end_by_id[dep]
+            );
+        }
+    }
+}
+
+#[test]
+fn every_policy_completes_dag_workloads() {
+    for kind in [PolicyKind::Baseline, PolicyKind::BinPacking, PolicyKind::BbSched] {
+        let result = run_woven(0.5, kind);
+        assert_eq!(result.records.len(), 250, "{}", kind.name());
+    }
+}
+
+#[test]
+fn campaigns_lengthen_critical_paths() {
+    // Chained jobs cannot overlap, so heavier weaving should not *shorten*
+    // the makespan relative to the independent version of the same jobs.
+    let independent = run_woven(0.0, PolicyKind::Baseline);
+    let chained = run_woven(0.9, PolicyKind::Baseline);
+    assert!(
+        chained.makespan >= independent.makespan - 1e-6,
+        "chained {} vs independent {}",
+        chained.makespan,
+        independent.makespan
+    );
+}

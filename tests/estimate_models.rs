@@ -1,0 +1,89 @@
+//! Integration: walltime-estimate models and their effect on EASY
+//! backfilling through the full simulator.
+
+use bbsched::policies::{GaParams, PolicyKind};
+use bbsched::sim::{BaseScheduler, SimConfig, SimResult, Simulator};
+use bbsched::workloads::{
+    estimates::mean_overestimation, generate, EstimateModel, GeneratorConfig,
+    MachineProfile, Trace, Workload,
+};
+
+fn contended_trace() -> (MachineProfile, Trace) {
+    let factor = 0.02;
+    let profile = MachineProfile::theta().scaled(factor);
+    let base = generate(
+        &profile,
+        &GeneratorConfig { n_jobs: 300, seed: 17, load_factor: 1.15, ..Default::default() },
+    );
+    (profile.clone(), Workload::S2.apply_scaled(&base, 17, factor))
+}
+
+fn run(profile: &MachineProfile, trace: &Trace) -> SimResult {
+    let cfg = SimConfig { base: BaseScheduler::Wfp, ..SimConfig::default() };
+    let ga = GaParams { generations: 30, base_seed: 17, ..GaParams::default() };
+    Simulator::new(&profile.system, trace, cfg)
+        .unwrap()
+        .run(PolicyKind::Baseline.build(ga))
+}
+
+#[test]
+fn estimate_models_keep_walltime_above_runtime() {
+    let (_, trace) = contended_trace();
+    for model in [
+        EstimateModel::Exact,
+        EstimateModel::Multiplicative { factor: 4.0, cap: 50_000.0 },
+        EstimateModel::Bucketed { bucket: 3_600.0, cap: 86_400.0 },
+        EstimateModel::SiteMax { limit: 43_200.0 },
+    ] {
+        let t = model.apply(&trace, 5);
+        for j in t.jobs() {
+            assert!(j.walltime >= j.runtime, "{model:?}");
+        }
+    }
+}
+
+#[test]
+fn worse_estimates_do_not_improve_backfilling() {
+    let (profile, trace) = contended_trace();
+    let exact = run(&profile, &EstimateModel::Exact.apply(&trace, 5));
+    let sitemax =
+        run(&profile, &EstimateModel::SiteMax { limit: 86_400.0 }.apply(&trace, 5));
+    // Oracle estimates expose every ends-before-shadow opportunity;
+    // everyone-requests-the-limit hides them all.
+    assert!(
+        exact.backfilled >= sitemax.backfilled,
+        "exact {} vs sitemax {}",
+        exact.backfilled,
+        sitemax.backfilled
+    );
+}
+
+#[test]
+fn overestimation_diagnostic_orders_models() {
+    let (_, trace) = contended_trace();
+    let exact = mean_overestimation(&EstimateModel::Exact.apply(&trace, 5));
+    let x2 = mean_overestimation(
+        &EstimateModel::Multiplicative { factor: 2.0, cap: f64::INFINITY }.apply(&trace, 5),
+    );
+    let x5 = mean_overestimation(
+        &EstimateModel::Multiplicative { factor: 5.0, cap: f64::INFINITY }.apply(&trace, 5),
+    );
+    assert!((exact - 1.0).abs() < 1e-12);
+    assert!(exact < x2 && x2 < x5, "{exact} {x2} {x5}");
+}
+
+#[test]
+fn all_jobs_complete_under_every_model() {
+    let (profile, trace) = contended_trace();
+    for model in [
+        EstimateModel::Exact,
+        EstimateModel::Multiplicative { factor: 3.0, cap: 86_400.0 },
+        EstimateModel::SiteMax { limit: 86_400.0 },
+    ] {
+        let result = run(&profile, &model.apply(&trace, 7));
+        assert_eq!(result.records.len(), 300, "{model:?}");
+        for r in &result.records {
+            assert!(r.start >= r.submit);
+        }
+    }
+}

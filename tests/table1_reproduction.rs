@@ -1,0 +1,88 @@
+//! Integration test: the paper's Table 1 example reproduced end to end
+//! through the public API — generators excepted, this touches every layer
+//! used by a scheduling decision (problems, solvers, policies, decision
+//! rule).
+
+use bbsched::core::pools::PoolState;
+use bbsched::core::problem::{CpuBbProblem, JobDemand, MooProblem};
+use bbsched::core::{exhaustive, pareto};
+use bbsched::policies::{GaParams, PolicyKind};
+
+fn table1_window() -> Vec<JobDemand> {
+    vec![
+        JobDemand::cpu_bb(80, 20_000.0),
+        JobDemand::cpu_bb(10, 85_000.0),
+        JobDemand::cpu_bb(40, 5_000.0),
+        JobDemand::cpu_bb(10, 0.0),
+        JobDemand::cpu_bb(20, 0.0),
+    ]
+}
+
+fn ga() -> GaParams {
+    GaParams { generations: 500, base_seed: 4, ..GaParams::default() }
+}
+
+fn selection_stats(sel: &[usize]) -> (u32, f64) {
+    let w = table1_window();
+    (
+        sel.iter().map(|&i| w[i].nodes).sum(),
+        sel.iter().map(|&i| w[i].bb_gb).sum(),
+    )
+}
+
+#[test]
+fn exhaustive_pareto_set_matches_footnote_1() {
+    let problem = CpuBbProblem::new(table1_window(), 100, 100_000.0);
+    let front = exhaustive::solve(&problem).unwrap();
+    let pts: Vec<Vec<f64>> = front.objective_vectors().map(|v| v.to_vec()).collect();
+    // "the Pareto set contains Solution 2 and 3"
+    assert!(pts.contains(&vec![100.0, 20_000.0]));
+    assert!(pts.contains(&vec![80.0, 90_000.0]));
+    assert!(front.is_mutually_nondominated());
+}
+
+#[test]
+fn naive_method_selects_j1_per_table_1b() {
+    let avail = PoolState::cpu_bb(100, 100_000.0);
+    let sel = PolicyKind::Baseline.build(ga()).select(&table1_window(), &avail, 0);
+    let (nodes, bb) = selection_stats(&sel);
+    // The naive method's own pick is J1 (80/20TB); J4 arrives via EASY
+    // backfilling in the simulator, completing the paper's "J1, J4" row.
+    assert_eq!(sel, vec![0]);
+    assert_eq!((nodes, bb), (80, 20_000.0));
+}
+
+#[test]
+fn single_objective_methods_reach_solution_2() {
+    let avail = PoolState::cpu_bb(100, 100_000.0);
+    for kind in [PolicyKind::ConstrainedCpu, PolicyKind::WeightedCpu, PolicyKind::BinPacking] {
+        let sel = kind.build(ga()).select(&table1_window(), &avail, 0);
+        let (nodes, bb) = selection_stats(&sel);
+        assert_eq!(nodes, 100, "{}: {:?}", kind.name(), sel);
+        assert_eq!(bb, 20_000.0, "{}: {:?}", kind.name(), sel);
+    }
+}
+
+#[test]
+fn bbsched_picks_solution_3() {
+    let avail = PoolState::cpu_bb(100, 100_000.0);
+    let sel = PolicyKind::BbSched.build(ga()).select(&table1_window(), &avail, 0);
+    assert_eq!(sel, vec![1, 2, 3, 4], "BBSched must pick J2..J5");
+    let (nodes, bb) = selection_stats(&sel);
+    assert_eq!((nodes, bb), (80, 90_000.0));
+}
+
+#[test]
+fn no_feasible_selection_dominates_the_true_front() {
+    let problem = CpuBbProblem::new(table1_window(), 100, 100_000.0);
+    let front = exhaustive::solve(&problem).unwrap();
+    for mask in 0u64..(1 << 5) {
+        let c = bbsched::core::Chromosome::from_mask(mask, 5);
+        if problem.is_feasible(&c) {
+            let o = problem.evaluate(&c);
+            for fp in front.objective_vectors() {
+                assert!(!pareto::dominates(o.as_slice(), fp));
+            }
+        }
+    }
+}
