@@ -1,24 +1,25 @@
 //! GA scaling ablations behind Fig. 4 and §3.3:
 //!
 //! * cost is `O(G × P)` — time scales linearly in each;
-//! * parallel population evaluation (crossbeam) vs serial, which only pays
+//! * parallel population evaluation (scoped threads) vs serial, which only pays
 //!   off for large windows/populations (§3.2.2's "can be accelerated by
 //!   leveraging parallel processing").
 //!
 //! Run: `cargo bench -p bbsched-bench --bench ga_scaling`
 
-use bbsched_core::problem::{CpuBbProblem, JobDemand};
+use bbsched_core::problem::{JobDemand, KnapsackMooProblem};
+use bbsched_core::resource::ResourceModel;
 use bbsched_core::{GaConfig, MooGa};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-fn window(w: usize) -> CpuBbProblem {
+fn window(w: usize) -> KnapsackMooProblem {
     let mut rng = SmallRng::seed_from_u64(7);
     let demands: Vec<JobDemand> = (0..w)
         .map(|_| JobDemand::cpu_bb(rng.random_range(8..200), rng.random_range(0.0..30_000.0)))
         .collect();
-    CpuBbProblem::new(demands, 800, 60_000.0)
+    KnapsackMooProblem::new(demands, ResourceModel::cpu_bb(800, 60_000.0))
 }
 
 fn bench_generations(c: &mut Criterion) {
@@ -77,9 +78,7 @@ fn bench_saturation(c: &mut Criterion) {
     group.sample_size(10);
     for (label, saturate) in [("plain", false), ("saturate", true)] {
         let solver = MooGa::new(GaConfig { saturate, ..GaConfig::default() });
-        group.bench_function(label, |b| {
-            b.iter(|| solver.solve(std::hint::black_box(&p)).len())
-        });
+        group.bench_function(label, |b| b.iter(|| solver.solve(std::hint::black_box(&p)).len()));
     }
     group.finish();
 }

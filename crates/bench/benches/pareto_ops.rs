@@ -6,7 +6,8 @@
 
 use bbsched_core::chromosome::Chromosome;
 use bbsched_core::pareto::{dominates, ParetoFront, Solution};
-use bbsched_core::problem::{CpuBbProblem, JobDemand, MooProblem};
+use bbsched_core::problem::{JobDemand, KnapsackMooProblem, MooProblem};
+use bbsched_core::resource::ResourceModel;
 use bbsched_core::Objectives;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
@@ -72,9 +73,7 @@ fn bench_chromosome_ops(c: &mut Criterion) {
             x.count_ones() + y.count_ones()
         })
     });
-    c.bench_function("selected_iter_w64", |b| {
-        b.iter(|| a.selected().sum::<usize>())
-    });
+    c.bench_function("selected_iter_w64", |b| b.iter(|| a.selected().sum::<usize>()));
 }
 
 fn bench_repair(c: &mut Criterion) {
@@ -83,7 +82,7 @@ fn bench_repair(c: &mut Criterion) {
         .map(|_| JobDemand::cpu_bb(rng.random_range(8..200), rng.random_range(0.0..30_000.0)))
         .collect();
     // Tight capacity: nearly everything needs repair.
-    let problem = CpuBbProblem::new(demands, 300, 20_000.0);
+    let problem = KnapsackMooProblem::new(demands, ResourceModel::cpu_bb(300, 20_000.0));
     let mut over = Chromosome::zeros(50);
     for i in 0..50 {
         over.set(i, true);

@@ -3,13 +3,14 @@
 //!
 //! Run: `cargo bench -p bbsched-bench --bench solver_time`
 
-use bbsched_core::problem::{CpuBbProblem, JobDemand};
+use bbsched_core::problem::{JobDemand, KnapsackMooProblem};
+use bbsched_core::resource::ResourceModel;
 use bbsched_core::{exhaustive, GaConfig, MooGa};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-fn window(w: usize, seed: u64) -> CpuBbProblem {
+fn window(w: usize, seed: u64) -> KnapsackMooProblem {
     let mut rng = SmallRng::seed_from_u64(seed);
     let demands: Vec<JobDemand> = (0..w)
         .map(|_| {
@@ -19,7 +20,7 @@ fn window(w: usize, seed: u64) -> CpuBbProblem {
             )
         })
         .collect();
-    CpuBbProblem::new(demands, 800, 60_000.0)
+    KnapsackMooProblem::new(demands, ResourceModel::cpu_bb(800, 60_000.0))
 }
 
 fn bench_exhaustive(c: &mut Criterion) {

@@ -22,20 +22,21 @@ fn main() {
     let profile = machine.profile(scale.system_factor);
     let ga = scale.ga();
 
-    println!("Decision-rule ablation on Theta-S4 (window {}, G={})\n", scale.window, scale.generations);
+    println!(
+        "Decision-rule ablation on Theta-S4 (window {}, G={})\n",
+        scale.window, scale.generations
+    );
     let mut table = Table::new(vec!["Rule", "Node", "BB", "Avg wait (h)", "Slowdown"]);
 
     let mut run = |label: &str, policy: Box<dyn SelectionPolicy>| {
         let mut cfg = SimConfig { base: machine.base(), ..SimConfig::default() };
         cfg.window.size = scale.window;
-        let result = Simulator::new(&profile.system, &trace, cfg)
-            .expect("setup")
-            .run(policy);
+        let result = Simulator::new(&profile.system, &trace, cfg).expect("setup").run(policy);
         let m = MethodSummary::from_result(&result, MeasurementWindow::default());
         table.row(vec![
             label.to_string(),
-            pct(m.node_usage),
-            pct(m.bb_usage),
+            pct(m.node_usage()),
+            pct(m.bb_usage()),
             fixed(m.avg_wait / 3600.0, 2),
             fixed(m.avg_slowdown, 2),
         ]);

@@ -32,13 +32,7 @@ fn main() {
         "Walltime-estimate ablation on Theta-S2 ({} jobs, G={})\n",
         scale.n_jobs, scale.generations
     );
-    let mut table = Table::new(vec![
-        "Estimates",
-        "Policy",
-        "Node",
-        "Avg wait (h)",
-        "Backfilled",
-    ]);
+    let mut table = Table::new(vec!["Estimates", "Policy", "Node", "Avg wait (h)", "Backfilled"]);
     for (label, model) in models {
         let trace = model.apply(&base, scale.seed ^ 0xe577);
         for kind in [PolicyKind::Baseline, PolicyKind::BbSched] {
@@ -51,7 +45,7 @@ fn main() {
             table.row(vec![
                 label.to_string(),
                 kind.name().to_string(),
-                pct(m.node_usage),
+                pct(m.node_usage()),
                 fixed(m.avg_wait / 3600.0, 2),
                 result.backfilled.to_string(),
             ]);

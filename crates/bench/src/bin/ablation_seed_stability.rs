@@ -48,7 +48,7 @@ fn main() {
             fixed(base.avg_wait / 3600.0, 2),
             fixed(bb.avg_wait / 3600.0, 2),
             format!("{red:+.2}%"),
-            format!("{:+.2}pp", (bb.node_usage - base.node_usage) * 100.0),
+            format!("{:+.2}pp", (bb.node_usage() - base.node_usage()) * 100.0),
         ]);
     }
     table.print();

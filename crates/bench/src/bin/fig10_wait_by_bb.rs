@@ -33,18 +33,13 @@ fn main() {
         "Figure 10: average wait time by burst-buffer request on Theta-S4\n\
          (* paper-scale TB classes, scaled by factor {f})\n"
     );
-    let mut table =
-        Table::new(vec!["Method", "no BB", "0-100TB*", "100-200TB*", ">200TB*"]);
+    let mut table = Table::new(vec!["Method", "no BB", "0-100TB*", "100-200TB*", ">200TB*"]);
     let window = MeasurementWindow::default();
     for kind in PolicyKind::main_roster() {
         let result = cell_result(Machine::Theta, Workload::S4, kind, &scale);
         let (t0, t1) = window.interval(&result.records);
-        let measured: Vec<_> = result
-            .records
-            .iter()
-            .filter(|r| window.contains(r, t0, t1))
-            .cloned()
-            .collect();
+        let measured: Vec<_> =
+            result.records.iter().filter(|r| window.contains(r, t0, t1)).cloned().collect();
         let rows = breakdown_by(&measured, &bins, |r| r.bb_gb);
         let mut out = vec![kind.name().to_string()];
         out.extend(rows.iter().map(|(_, avg, n)| format!("{} (n={})", hours(*avg), n)));

@@ -12,7 +12,5 @@ use bbsched_bench::report::fixed;
 
 fn main() {
     let scale = Scale::from_env();
-    print_metric_grid("Figure 12: average bounded slowdown", &scale, |s| {
-        fixed(s.avg_slowdown, 2)
-    });
+    print_metric_grid("Figure 12: average bounded slowdown", &scale, |s| fixed(s.avg_slowdown, 2));
 }

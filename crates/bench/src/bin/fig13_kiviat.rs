@@ -31,11 +31,10 @@ fn main() {
             let summaries: Vec<_> =
                 roster.iter().map(|&k| cell_summary(machine, workload, k, &scale)).collect();
             let axis = |vals: Vec<f64>| normalize_axes(&vals);
-            let node = axis(summaries.iter().map(|s| s.node_usage).collect());
-            let bb = axis(summaries.iter().map(|s| s.bb_usage).collect());
+            let node = axis(summaries.iter().map(|s| s.node_usage()).collect());
+            let bb = axis(summaries.iter().map(|s| s.bb_usage()).collect());
             let wait = axis(summaries.iter().map(|s| safe_reciprocal(s.avg_wait)).collect());
-            let slow =
-                axis(summaries.iter().map(|s| safe_reciprocal(s.avg_slowdown)).collect());
+            let slow = axis(summaries.iter().map(|s| safe_reciprocal(s.avg_slowdown)).collect());
             for pi in 0..roster.len() {
                 areas[wi][pi] = kiviat_area(&[node[pi], bb[pi], wait[pi], slow[pi]]);
             }

@@ -32,24 +32,19 @@ fn main() {
             Workload::ssd_grid().iter().map(|w| format!("{}-{}", machine.name(), w.name())),
         );
         let mut area_table = Table::new(header);
-        let mut detail = Table::new(vec![
-            "Method (S6)",
-            "Node",
-            "BB",
-            "SSD util",
-            "SSD wasted",
-            "Wait (h)",
-        ]);
+        let mut detail =
+            Table::new(vec!["Method (S6)", "Node", "BB", "SSD util", "SSD wasted", "Wait (h)"]);
 
         let mut areas = vec![vec![0.0f64; roster.len()]; Workload::ssd_grid().len()];
         for (wi, workload) in Workload::ssd_grid().into_iter().enumerate() {
             let summaries: Vec<_> =
                 roster.iter().map(|&k| cell_summary(machine, workload, k, &scale)).collect();
-            let node = normalize_axes(&summaries.iter().map(|s| s.node_usage).collect::<Vec<_>>());
-            let bb = normalize_axes(&summaries.iter().map(|s| s.bb_usage).collect::<Vec<_>>());
-            let ssd = normalize_axes(&summaries.iter().map(|s| s.ssd_usage).collect::<Vec<_>>());
+            let node =
+                normalize_axes(&summaries.iter().map(|s| s.node_usage()).collect::<Vec<_>>());
+            let bb = normalize_axes(&summaries.iter().map(|s| s.bb_usage()).collect::<Vec<_>>());
+            let ssd = normalize_axes(&summaries.iter().map(|s| s.ssd_usage()).collect::<Vec<_>>());
             let waste = normalize_axes(
-                &summaries.iter().map(|s| safe_reciprocal(s.ssd_wasted)).collect::<Vec<_>>(),
+                &summaries.iter().map(|s| safe_reciprocal(s.ssd_wasted())).collect::<Vec<_>>(),
             );
             let wait = normalize_axes(
                 &summaries.iter().map(|s| safe_reciprocal(s.avg_wait)).collect::<Vec<_>>(),
@@ -58,18 +53,17 @@ fn main() {
                 &summaries.iter().map(|s| safe_reciprocal(s.avg_slowdown)).collect::<Vec<_>>(),
             );
             for pi in 0..roster.len() {
-                areas[wi][pi] = kiviat_area(&[
-                    node[pi], bb[pi], ssd[pi], waste[pi], wait[pi], slow[pi],
-                ]);
+                areas[wi][pi] =
+                    kiviat_area(&[node[pi], bb[pi], ssd[pi], waste[pi], wait[pi], slow[pi]]);
             }
             if workload == Workload::S6 {
                 for (pi, kind) in roster.iter().enumerate() {
                     detail.row(vec![
                         kind.name().to_string(),
-                        pct(summaries[pi].node_usage),
-                        pct(summaries[pi].bb_usage),
-                        pct(summaries[pi].ssd_usage),
-                        pct(summaries[pi].ssd_wasted),
+                        pct(summaries[pi].node_usage()),
+                        pct(summaries[pi].bb_usage()),
+                        pct(summaries[pi].ssd_usage()),
+                        pct(summaries[pi].ssd_wasted()),
                         fixed(summaries[pi].avg_wait / 3600.0, 2),
                     ]);
                 }

@@ -9,7 +9,8 @@
 
 use bbsched_bench::experiments::{base_trace, Machine, Scale};
 use bbsched_bench::report::Table;
-use bbsched_core::problem::{CpuBbProblem, JobDemand};
+use bbsched_core::problem::{JobDemand, KnapsackMooProblem};
+use bbsched_core::resource::ResourceModel;
 use bbsched_core::{exhaustive, GaConfig, MooGa};
 use std::time::Instant;
 
@@ -24,12 +25,8 @@ fn main() {
     let avail_bb = system.bb_usable_gb() * 0.4;
 
     println!("Figure 2: window size vs average solution time (first 1000 Theta jobs)\n");
-    let mut table = Table::new(vec![
-        "Window",
-        "Exhaustive avg (ms)",
-        "GA avg (ms)",
-        "Search space",
-    ]);
+    let mut table =
+        Table::new(vec!["Window", "Exhaustive avg (ms)", "GA avg (ms)", "Search space"]);
 
     let ga = MooGa::new(GaConfig { generations: 500, population: 20, ..GaConfig::default() });
     for w in [5usize, 10, 14, 18, 20, 22, 24] {
@@ -43,11 +40,10 @@ fn main() {
             if from + w > jobs.len() {
                 break;
             }
-            let window: Vec<JobDemand> = jobs[from..from + w]
-                .iter()
-                .map(|j| JobDemand::cpu_bb(j.nodes, j.bb_gb))
-                .collect();
-            let problem = CpuBbProblem::new(window, avail_nodes, avail_bb);
+            let window: Vec<JobDemand> =
+                jobs[from..from + w].iter().map(|j| JobDemand::cpu_bb(j.nodes, j.bb_gb)).collect();
+            let problem =
+                KnapsackMooProblem::new(window, ResourceModel::cpu_bb(avail_nodes, avail_bb));
 
             let t = Instant::now();
             let front = exhaustive::solve(&problem).expect("w within cap");

@@ -9,8 +9,9 @@
 
 use bbsched_bench::experiments::{base_trace, Machine, Scale};
 use bbsched_bench::report::Table;
-use bbsched_core::problem::{CpuBbProblem, JobDemand};
+use bbsched_core::problem::{JobDemand, KnapsackMooProblem};
 use bbsched_core::quality::generational_distance_scaled;
+use bbsched_core::resource::ResourceModel;
 use bbsched_core::{exhaustive, GaConfig, MooGa};
 use std::time::Instant;
 
@@ -28,20 +29,18 @@ fn main() {
 
     // A handful of representative 20-job windows.
     let n_windows = 6usize;
-    let problems: Vec<CpuBbProblem> = (0..n_windows)
+    let problems: Vec<KnapsackMooProblem> = (0..n_windows)
         .map(|k| {
             let from = k * WINDOW;
             let window: Vec<JobDemand> = jobs[from..from + WINDOW]
                 .iter()
                 .map(|j| JobDemand::cpu_bb(j.nodes, j.bb_gb))
                 .collect();
-            CpuBbProblem::new(window, avail_nodes, avail_bb)
+            KnapsackMooProblem::new(window, ResourceModel::cpu_bb(avail_nodes, avail_bb))
         })
         .collect();
-    let truths: Vec<_> = problems
-        .iter()
-        .map(|p| exhaustive::solve(p).expect("w=20 within cap"))
-        .collect();
+    let truths: Vec<_> =
+        problems.iter().map(|p| exhaustive::solve(p).expect("w=20 within cap")).collect();
     // GD scale: normalize nodes and GB so both axes contribute equally.
     let gd_scale = [f64::from(avail_nodes).max(1.0), avail_bb.max(1.0)];
 

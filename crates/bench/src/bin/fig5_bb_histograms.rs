@@ -37,12 +37,7 @@ fn main() {
             let max = hist.iter().map(|&(_, c)| c).max().unwrap_or(1);
             for (lo, count) in &hist {
                 let bar_len = (count * 48).div_ceil(max);
-                println!(
-                    "  [{:>7.1} TB) {:>6}  {}",
-                    lo / GB_PER_TB,
-                    count,
-                    "#".repeat(bar_len)
-                );
+                println!("  [{:>7.1} TB) {:>6}  {}", lo / GB_PER_TB, count, "#".repeat(bar_len));
             }
             println!();
         }

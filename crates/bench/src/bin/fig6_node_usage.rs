@@ -13,5 +13,5 @@ use bbsched_bench::report::pct;
 
 fn main() {
     let scale = Scale::from_env();
-    print_metric_grid("Figure 6: node usage", &scale, |s| pct(s.node_usage));
+    print_metric_grid("Figure 6: node usage", &scale, |s| pct(s.node_usage()));
 }

@@ -13,5 +13,5 @@ use bbsched_bench::report::pct;
 
 fn main() {
     let scale = Scale::from_env();
-    print_metric_grid("Figure 7: burst buffer usage", &scale, |s| pct(s.bb_usage));
+    print_metric_grid("Figure 7: burst buffer usage", &scale, |s| pct(s.bb_usage()));
 }

@@ -41,12 +41,8 @@ fn main() {
     for kind in PolicyKind::main_roster() {
         let result = cell_result(Machine::Theta, Workload::S4, kind, &scale);
         let (t0, t1) = window.interval(&result.records);
-        let measured: Vec<_> = result
-            .records
-            .iter()
-            .filter(|r| window.contains(r, t0, t1))
-            .cloned()
-            .collect();
+        let measured: Vec<_> =
+            result.records.iter().filter(|r| window.contains(r, t0, t1)).cloned().collect();
         let rows = breakdown_by(&measured, &bins, |r| f64::from(r.nodes));
         let mut out = vec![kind.name().to_string()];
         out.extend(rows.iter().map(|(_, avg, n)| format!("{} (n={})", hours(*avg), n)));

@@ -8,7 +8,8 @@
 
 use bbsched_bench::report::{pct, Table};
 use bbsched_core::pools::PoolState;
-use bbsched_core::problem::{CpuBbProblem, JobDemand};
+use bbsched_core::problem::{JobDemand, KnapsackMooProblem};
+use bbsched_core::resource::ResourceModel;
 use bbsched_core::{exhaustive, MooProblem};
 use bbsched_policies::{GaParams, PolicyKind};
 
@@ -60,7 +61,7 @@ fn main() {
     decisions.print();
 
     println!("\nTrue Pareto set (exhaustive enumeration):\n");
-    let problem = CpuBbProblem::new(window.clone(), nodes, bb);
+    let problem = KnapsackMooProblem::new(window.clone(), ResourceModel::cpu_bb(nodes, bb));
     let mut front = exhaustive::solve(&problem).expect("window fits the exhaustive cap");
     front.sort_by_first_objective();
     let mut pareto = Table::new(vec!["Solution", "Selected Jobs", "Node Util", "BB Util"]);
@@ -68,8 +69,7 @@ fn main() {
         if s.chromosome.count_ones() == 0 {
             continue;
         }
-        let names: Vec<String> =
-            s.chromosome.selected().map(|j| format!("J{}", j + 1)).collect();
+        let names: Vec<String> = s.chromosome.selected().map(|j| format!("J{}", j + 1)).collect();
         pareto.row(vec![
             (i + 1).to_string(),
             names.join(", "),

@@ -27,11 +27,7 @@ fn main() {
         "Capacity computing".into(),
         "Capability computing".into(),
     ]);
-    table.row(vec![
-        "Compute nodes".to_string(),
-        csys.nodes.to_string(),
-        tsys.nodes.to_string(),
-    ]);
+    table.row(vec!["Compute nodes".to_string(), csys.nodes.to_string(), tsys.nodes.to_string()]);
     table.row(vec![
         "Shared burst buffer (TB)".to_string(),
         format!("{:.1}", csys.bb_gb / GB_PER_TB),
@@ -52,11 +48,7 @@ fn main() {
         Some((lo, hi)) => format!("[{:.1} GB, {:.1} TB]", lo, hi / GB_PER_TB),
         None => "-".to_string(),
     };
-    table.row(vec![
-        "BB request range".to_string(),
-        range(cs.bb_range_gb),
-        range(ts.bb_range_gb),
-    ]);
+    table.row(vec!["BB request range".to_string(), range(cs.bb_range_gb), range(ts.bb_range_gb)]);
     table.row(vec![
         "Aggregate BB requested (TB)".to_string(),
         format!("{:.1}", cs.total_bb_gb / GB_PER_TB),

@@ -37,12 +37,12 @@ fn main() {
         let label = |m: &str| format!("{} {}", machine.name(), m);
         table.row(
             std::iter::once(label("CPU usage"))
-                .chain(summaries.iter().map(|s| pct(s.node_usage)))
+                .chain(summaries.iter().map(|s| pct(s.node_usage())))
                 .collect::<Vec<_>>(),
         );
         table.row(
             std::iter::once(label("BB usage"))
-                .chain(summaries.iter().map(|s| pct(s.bb_usage)))
+                .chain(summaries.iter().map(|s| pct(s.bb_usage())))
                 .collect::<Vec<_>>(),
         );
         table.row(

@@ -137,7 +137,13 @@ fn cache_dir() -> PathBuf {
         .unwrap_or_else(|_| PathBuf::from("target/bbsched_cache"))
 }
 
-fn cache_key(machine: Machine, workload: Workload, kind: PolicyKind, scale: &Scale, window_override: Option<usize>) -> String {
+fn cache_key(
+    machine: Machine,
+    workload: Workload,
+    kind: PolicyKind,
+    scale: &Scale,
+    window_override: Option<usize>,
+) -> String {
     format!(
         "{}-{}-{}-j{}-f{}-g{}-s{}-l{}-w{}",
         machine.name(),
@@ -174,10 +180,8 @@ pub fn cell_result_in(
     scale: &Scale,
     window_override: Option<usize>,
 ) -> SimResult {
-    let path = dir.join(format!(
-        "{}.json",
-        cache_key(machine, workload, kind, scale, window_override)
-    ));
+    let path =
+        dir.join(format!("{}.json", cache_key(machine, workload, kind, scale, window_override)));
     if let Ok(bytes) = std::fs::read(&path) {
         if let Ok(result) = serde_json::from_slice::<SimResult>(&bytes) {
             return result;
@@ -265,15 +269,36 @@ mod tests {
         let s = tiny();
         let dir = test_cache("roundtrip");
         std::fs::remove_dir_all(&dir).ok();
-        let a = cell_result_in(&dir, Machine::Theta, Workload::Original, PolicyKind::Baseline, &s, None);
+        let a = cell_result_in(
+            &dir,
+            Machine::Theta,
+            Workload::Original,
+            PolicyKind::Baseline,
+            &s,
+            None,
+        );
         assert_eq!(a.records.len(), 60);
         // Second call must hit the cache and agree.
-        let b = cell_result_in(&dir, Machine::Theta, Workload::Original, PolicyKind::Baseline, &s, None);
+        let b = cell_result_in(
+            &dir,
+            Machine::Theta,
+            Workload::Original,
+            PolicyKind::Baseline,
+            &s,
+            None,
+        );
         assert_eq!(a.records, b.records);
         // Determinism: a fresh computation in an empty cache also agrees.
         let dir2 = test_cache("fresh");
         std::fs::remove_dir_all(&dir2).ok();
-        let c = cell_result_in(&dir2, Machine::Theta, Workload::Original, PolicyKind::Baseline, &s, None);
+        let c = cell_result_in(
+            &dir2,
+            Machine::Theta,
+            Workload::Original,
+            PolicyKind::Baseline,
+            &s,
+            None,
+        );
         assert_eq!(a.records, c.records);
         std::fs::remove_dir_all(&dir).ok();
         std::fs::remove_dir_all(&dir2).ok();
@@ -288,8 +313,8 @@ mod tests {
             &r,
             bbsched_metrics::MeasurementWindow::default(),
         );
-        assert!((0.0..=1.0 + 1e-9).contains(&m.node_usage), "node usage {}", m.node_usage);
-        assert!((0.0..=1.0 + 1e-9).contains(&m.bb_usage), "bb usage {}", m.bb_usage);
+        assert!((0.0..=1.0 + 1e-9).contains(&m.node_usage()), "node usage {}", m.node_usage());
+        assert!((0.0..=1.0 + 1e-9).contains(&m.bb_usage()), "bb usage {}", m.bb_usage());
         assert!(m.avg_wait >= 0.0);
         std::fs::remove_dir_all(&dir).ok();
     }

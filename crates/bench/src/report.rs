@@ -120,7 +120,7 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(pct(0.649), "64.90%");
         assert_eq!(hours(7_200.0), "2.00h");
-        assert_eq!(fixed(3.14159, 2), "3.14");
+        assert_eq!(fixed(1.23456, 2), "1.23");
     }
 
     #[test]

@@ -70,9 +70,9 @@ impl Args {
     pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| format!("--{key}: cannot parse '{v}' as {}", std::any::type_name::<T>())),
+            Some(v) => v.parse().map_err(|_| {
+                format!("--{key}: cannot parse '{v}' as {}", std::any::type_name::<T>())
+            }),
         }
     }
 

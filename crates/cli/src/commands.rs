@@ -4,9 +4,7 @@ use crate::args::Args;
 use bbsched_metrics::{DistributionStats, MeasurementWindow, MethodSummary, UsageKind};
 use bbsched_policies::{GaParams, PolicyKind, SelectionPolicy};
 use bbsched_sim::{BackfillAlgorithm, BaseScheduler, SimConfig, SimResult, Simulator};
-use bbsched_workloads::{
-    generate, swf, GeneratorConfig, MachineProfile, Trace, Workload,
-};
+use bbsched_workloads::{generate, swf, GeneratorConfig, MachineProfile, Trace, Workload};
 use std::path::Path;
 
 /// Top-level dispatch; returns the process exit code.
@@ -100,11 +98,7 @@ fn parse_policy(name: &str) -> Result<PolicyKind, String> {
 
 fn load_trace(path: &str) -> Result<Trace, String> {
     let p = Path::new(path);
-    let result = if path.ends_with(".swf") {
-        swf::read_swf(p)
-    } else {
-        Trace::load_jsonl(p)
-    };
+    let result = if path.ends_with(".swf") { swf::read_swf(p) } else { Trace::load_jsonl(p) };
     result.map_err(|e| format!("cannot load trace '{path}': {e}"))
 }
 
@@ -119,7 +113,10 @@ fn trace_from_args(args: &Args) -> Result<(Trace, MachineProfile), String> {
             let n_jobs = args.get_parsed("jobs", 1_000usize)?;
             let seed = args.get_parsed("seed", 7u64)?;
             let load_factor = args.get_parsed("load", 1.15f64)?;
-            let base = generate(&profile, &GeneratorConfig { n_jobs, seed, load_factor, ..GeneratorConfig::default() });
+            let base = generate(
+                &profile,
+                &GeneratorConfig { n_jobs, seed, load_factor, ..GeneratorConfig::default() },
+            );
             let workload = parse_workload(args.get_or("workload", "Original"))?;
             workload.apply_scaled(&base, seed ^ 0x5eed, scale)
         }
@@ -128,9 +125,7 @@ fn trace_from_args(args: &Args) -> Result<(Trace, MachineProfile), String> {
 }
 
 fn cmd_generate(args: &Args) -> Result<(), String> {
-    args.check_known(&[
-        "machine", "jobs", "seed", "scale", "load", "workload", "out", "swf",
-    ])?;
+    args.check_known(&["machine", "jobs", "seed", "scale", "load", "workload", "out", "swf"])?;
     let (trace, _) = trace_from_args(args)?;
     let out = args.require("out")?;
     let result = if args.flag("swf") || out.ends_with(".swf") {
@@ -170,14 +165,12 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
 #[allow(clippy::field_reassign_with_default)]
 fn sim_config(args: &Args, machine: &MachineProfile) -> Result<SimConfig, String> {
     let mut cfg = SimConfig::default();
-    cfg.base = match args.get_or(
-        "base",
-        if machine.system.name == "theta" { "wfp" } else { "fcfs" },
-    ) {
-        b if b.eq_ignore_ascii_case("fcfs") => BaseScheduler::Fcfs,
-        b if b.eq_ignore_ascii_case("wfp") => BaseScheduler::Wfp,
-        other => return Err(format!("unknown base scheduler '{other}' (fcfs|wfp)")),
-    };
+    cfg.base =
+        match args.get_or("base", if machine.system.name == "theta" { "wfp" } else { "fcfs" }) {
+            b if b.eq_ignore_ascii_case("fcfs") => BaseScheduler::Fcfs,
+            b if b.eq_ignore_ascii_case("wfp") => BaseScheduler::Wfp,
+            other => return Err(format!("unknown base scheduler '{other}' (fcfs|wfp)")),
+        };
     cfg.window.size = args.get_parsed("window", cfg.window.size)?;
     if args.flag("conservative") {
         cfg.backfill_algorithm = BackfillAlgorithm::Conservative;
@@ -192,24 +185,48 @@ fn print_summary(result: &SimResult) {
     let m = MethodSummary::from_result(result, MeasurementWindow::default());
     let waits = DistributionStats::of_waits(&result.records);
     println!("policy:          {} (base {})", result.policy, result.base);
-    println!("jobs:            {} ({} backfilled, {} starvation-forced)",
-        result.records.len(), result.backfilled, result.starvation_forced);
-    println!("node usage:      {:.2}%", m.node_usage * 100.0);
-    println!("BB usage:        {:.2}%", m.bb_usage * 100.0);
+    println!(
+        "jobs:            {} ({} backfilled, {} starvation-forced)",
+        result.records.len(),
+        result.backfilled,
+        result.starvation_forced
+    );
+    println!("node usage:      {:.2}%", m.node_usage() * 100.0);
+    println!("BB usage:        {:.2}%", m.bb_usage() * 100.0);
     if result.system.has_local_ssd() {
-        println!("SSD usage:       {:.2}% (wasted {:.2}%)", m.ssd_usage * 100.0, m.ssd_wasted * 100.0);
+        println!(
+            "SSD usage:       {:.2}% (wasted {:.2}%)",
+            m.ssd_usage() * 100.0,
+            m.ssd_wasted() * 100.0
+        );
     }
     println!("avg wait:        {:.2} h", m.avg_wait / 3600.0);
-    println!("wait P50/P90/P99: {:.2} / {:.2} / {:.2} h",
-        waits.p50 / 3600.0, waits.p90 / 3600.0, waits.p99 / 3600.0);
+    println!(
+        "wait P50/P90/P99: {:.2} / {:.2} / {:.2} h",
+        waits.p50 / 3600.0,
+        waits.p90 / 3600.0,
+        waits.p99 / 3600.0
+    );
     println!("avg slowdown:    {:.2}", m.avg_slowdown);
     println!("makespan:        {:.2} days", result.makespan / 86_400.0);
 }
 
 fn cmd_simulate(args: &Args) -> Result<(), String> {
     args.check_known(&[
-        "trace", "machine", "jobs", "seed", "scale", "load", "workload", "policy", "base",
-        "window", "gens", "out", "conservative", "queue-backfill",
+        "trace",
+        "machine",
+        "jobs",
+        "seed",
+        "scale",
+        "load",
+        "workload",
+        "policy",
+        "base",
+        "window",
+        "gens",
+        "out",
+        "conservative",
+        "queue-backfill",
     ])?;
     let (trace, profile) = trace_from_args(args)?;
     let kind = parse_policy(args.get_or("policy", "BBSched"))?;
@@ -220,11 +237,11 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         ..GaParams::default()
     };
     let policy: Box<dyn SelectionPolicy> = kind.build(ga);
-    let result = Simulator::new(&profile.system, &trace, cfg)?.run(policy);
+    let result =
+        Simulator::new(&profile.system, &trace, cfg).map_err(|e| e.to_string())?.run(policy);
     print_summary(&result);
     if let Some(out) = args.get("out") {
-        let bytes = serde_json::to_vec_pretty(&result)
-            .map_err(|e| format!("serialize: {e}"))?;
+        let bytes = serde_json::to_vec_pretty(&result).map_err(|e| format!("serialize: {e}"))?;
         std::fs::write(out, bytes).map_err(|e| format!("cannot write '{out}': {e}"))?;
         println!("full result written to {out}");
     }
@@ -233,8 +250,18 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
 
 fn cmd_compare(args: &Args) -> Result<(), String> {
     args.check_known(&[
-        "trace", "machine", "jobs", "seed", "scale", "load", "workload", "base", "window",
-        "gens", "conservative", "queue-backfill",
+        "trace",
+        "machine",
+        "jobs",
+        "seed",
+        "scale",
+        "load",
+        "workload",
+        "base",
+        "window",
+        "gens",
+        "conservative",
+        "queue-backfill",
     ])?;
     let (trace, profile) = trace_from_args(args)?;
     let cfg = sim_config(args, &profile)?;
@@ -248,19 +275,17 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
     } else {
         PolicyKind::main_roster().to_vec()
     };
-    println!(
-        "{:<16} {:>9} {:>9} {:>10} {:>10}",
-        "Method", "Node", "BB", "Avg wait", "Slowdown"
-    );
+    println!("{:<16} {:>9} {:>9} {:>10} {:>10}", "Method", "Node", "BB", "Avg wait", "Slowdown");
     for kind in roster {
-        let result = Simulator::new(&profile.system, &trace, cfg.clone())?
+        let result = Simulator::new(&profile.system, &trace, cfg.clone())
+            .map_err(|e| e.to_string())?
             .run(kind.build(ga));
         let m = MethodSummary::from_result(&result, MeasurementWindow::default());
         println!(
             "{:<16} {:>8.2}% {:>8.2}% {:>9.2}h {:>10.2}",
             kind.name(),
-            m.node_usage * 100.0,
-            m.bb_usage * 100.0,
+            m.node_usage() * 100.0,
+            m.bb_usage() * 100.0,
             m.avg_wait / 3600.0,
             m.avg_slowdown
         );
@@ -368,28 +393,37 @@ mod tests {
         let trace_path = dir.join("t.jsonl");
         let args = Args::parse([
             "generate",
-            "--machine", "theta",
-            "--jobs", "80",
-            "--scale", "0.02",
-            "--workload", "S2",
-            "--out", trace_path.to_str().unwrap(),
+            "--machine",
+            "theta",
+            "--jobs",
+            "80",
+            "--scale",
+            "0.02",
+            "--workload",
+            "S2",
+            "--out",
+            trace_path.to_str().unwrap(),
         ])
         .unwrap();
         run(&args).unwrap();
         assert!(trace_path.exists());
 
-        let args =
-            Args::parse(["stats", "--trace", trace_path.to_str().unwrap()]).unwrap();
+        let args = Args::parse(["stats", "--trace", trace_path.to_str().unwrap()]).unwrap();
         run(&args).unwrap();
 
         let result_path = dir.join("r.json");
         let args = Args::parse([
             "simulate",
-            "--trace", trace_path.to_str().unwrap(),
-            "--machine", "theta",
-            "--scale", "0.02",
-            "--policy", "Baseline",
-            "--out", result_path.to_str().unwrap(),
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--machine",
+            "theta",
+            "--scale",
+            "0.02",
+            "--policy",
+            "Baseline",
+            "--out",
+            result_path.to_str().unwrap(),
         ])
         .unwrap();
         run(&args).unwrap();
@@ -398,21 +432,22 @@ mod tests {
         let csv_path = dir.join("tl.csv");
         let args = Args::parse([
             "timeline",
-            "--result", result_path.to_str().unwrap(),
-            "--resource", "nodes",
-            "--dt", "1000",
-            "--out", csv_path.to_str().unwrap(),
+            "--result",
+            result_path.to_str().unwrap(),
+            "--resource",
+            "nodes",
+            "--dt",
+            "1000",
+            "--out",
+            csv_path.to_str().unwrap(),
         ])
         .unwrap();
         run(&args).unwrap();
         assert!(csv_path.exists());
 
-        let args = Args::parse([
-            "gantt",
-            "--result", result_path.to_str().unwrap(),
-            "--width", "40",
-        ])
-        .unwrap();
+        let args =
+            Args::parse(["gantt", "--result", result_path.to_str().unwrap(), "--width", "40"])
+                .unwrap();
         run(&args).unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -424,10 +459,14 @@ mod tests {
         let path = dir.join("t.swf");
         let args = Args::parse([
             "generate",
-            "--machine", "cori",
-            "--jobs", "50",
-            "--scale", "0.02",
-            "--out", path.to_str().unwrap(),
+            "--machine",
+            "cori",
+            "--jobs",
+            "50",
+            "--scale",
+            "0.02",
+            "--out",
+            path.to_str().unwrap(),
         ])
         .unwrap();
         run(&args).unwrap();

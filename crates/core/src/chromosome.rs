@@ -48,11 +48,7 @@ impl Chromosome {
     pub fn from_mask(mask: u64, len: usize) -> Self {
         assert!(len <= WORD_BITS, "from_mask supports at most 64 genes");
         let mut c = Self::zeros(len);
-        c.words[0] = if len == WORD_BITS {
-            mask
-        } else {
-            mask & ((1u64 << len) - 1)
-        };
+        c.words[0] = if len == WORD_BITS { mask } else { mask & ((1u64 << len) - 1) };
         c
     }
 
@@ -106,9 +102,10 @@ impl Chromosome {
 
     /// Iterator over the indices of selected jobs, in ascending order.
     pub fn selected(&self) -> impl Iterator<Item = usize> + '_ {
-        self.words.iter().enumerate().flat_map(move |(wi, &word)| {
-            BitIter { word, base: wi * WORD_BITS }
-        })
+        self.words
+            .iter()
+            .enumerate()
+            .flat_map(move |(wi, &word)| BitIter { word, base: wi * WORD_BITS })
     }
 
     /// Iterator over all genes as booleans.

@@ -17,21 +17,48 @@
 //! nodes, GB of burst buffer, and GB of SSD are commensurable.
 
 use crate::pareto::{ParetoFront, Solution};
+use crate::MAX_OBJECTIVES;
 
-/// Parameters of the trade-off rule.
+/// Parameters of the trade-off rule, generalized to N resources.
+///
+/// The improvement test weighs each non-node objective's normalized gain by
+/// a per-resource weight before summing: `Σ w_k·Δf_k > factor × Δf_1`. The
+/// paper's two rules are the unit-weight presets [`DecisionRule::cpu_bb`]
+/// (`factor = 2`) and [`DecisionRule::multi_resource`] (`factor = 4`);
+/// non-unit weights let a site value, say, SSD waste reduction differently
+/// from burst-buffer gains without touching the solver.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DecisionRule {
     /// How much summed non-node improvement is required per unit of node
     /// utilization given up.
-    pub tradeoff_factor: f64,
+    tradeoff_factor: f64,
+    /// Per-objective gain weights (index 0 — node utilization — is unused).
+    gain_weights: [f64; MAX_OBJECTIVES],
 }
 
 impl DecisionRule {
+    /// A rule with the given trade-off factor and unit gain weights.
+    pub fn with_factor(tradeoff_factor: f64) -> Self {
+        Self { tradeoff_factor, gain_weights: [1.0; MAX_OBJECTIVES] }
+    }
+
+    /// Overrides the per-objective gain weights (builder style). `weights`
+    /// is indexed by objective; entry 0 is ignored (node loss is scaled by
+    /// the factor, not a weight). Missing trailing entries stay 1.
+    ///
+    /// # Panics
+    /// Panics if more than [`MAX_OBJECTIVES`] weights are given.
+    pub fn with_gain_weights(mut self, weights: &[f64]) -> Self {
+        assert!(weights.len() <= MAX_OBJECTIVES, "at most {MAX_OBJECTIVES} weights");
+        self.gain_weights[..weights.len()].copy_from_slice(weights);
+        self
+    }
+
     /// §3.2.4 rule for the CPU + burst-buffer problem: "the improvement on
     /// the burst buffer utilization is more than 2x of the loss of the node
     /// utilization".
     pub fn cpu_bb() -> Self {
-        Self { tradeoff_factor: 2.0 }
+        Self::with_factor(2.0)
     }
 
     /// §5 rule for the four-objective problem: "the sum of the improvement
@@ -39,7 +66,17 @@ impl DecisionRule {
     /// reduction in wasted local SSD ... is more than 4x of the loss of the
     /// node utilization".
     pub fn multi_resource() -> Self {
-        Self { tradeoff_factor: 4.0 }
+        Self::with_factor(4.0)
+    }
+
+    /// The configured trade-off factor.
+    pub fn tradeoff_factor(&self) -> f64 {
+        self.tradeoff_factor
+    }
+
+    /// The gain weight applied to objective `k`.
+    pub fn gain_weight(&self, k: usize) -> f64 {
+        self.gain_weights[k]
     }
 }
 
@@ -62,11 +99,7 @@ pub fn choose_preferred<'a>(
     let solutions = front.solutions();
     let first = solutions.first()?;
     let dim = first.objectives.len();
-    assert_eq!(
-        normalizers.len(),
-        dim,
-        "normalizer dimension must match objective dimension"
-    );
+    assert_eq!(normalizers.len(), dim, "normalizer dimension must match objective dimension");
 
     // Step 1: max node utilization, front-of-window tie-break.
     let mut preferred = first;
@@ -77,8 +110,7 @@ pub fn choose_preferred<'a>(
         match cmp {
             std::cmp::Ordering::Greater => preferred = s,
             std::cmp::Ordering::Equal => {
-                if s.chromosome.front_preference(&preferred.chromosome)
-                    == std::cmp::Ordering::Less
+                if s.chromosome.front_preference(&preferred.chromosome) == std::cmp::Ordering::Less
                 {
                     preferred = s;
                 }
@@ -100,7 +132,9 @@ pub fn choose_preferred<'a>(
             continue; // cannot happen: preferred has max f1; defensive.
         }
         let improvement: f64 = (1..dim)
-            .map(|k| norm(s.objectives[k], k) - norm(preferred.objectives[k], k))
+            .map(|k| {
+                rule.gain_weights[k] * (norm(s.objectives[k], k) - norm(preferred.objectives[k], k))
+            })
             .sum();
         if improvement > rule.tradeoff_factor * loss && improvement > best_improvement {
             best_improvement = improvement;
@@ -182,8 +216,7 @@ mod tests {
         let mut front = ParetoFront::new();
         front.insert(sol(&[true, false, false, false, true], &[100.0, 20_000.0]));
         front.insert(sol(&[false, true, true, true, true], &[80.0, 90_000.0]));
-        let chosen =
-            choose_preferred(&front, &[100.0, 100_000.0], DecisionRule::cpu_bb()).unwrap();
+        let chosen = choose_preferred(&front, &[100.0, 100_000.0], DecisionRule::cpu_bb()).unwrap();
         assert_eq!(chosen.objectives.as_slice(), &[80.0, 90_000.0]);
     }
 
@@ -193,8 +226,7 @@ mod tests {
         front.insert(sol(&[true, false], &[100.0, 20_000.0]));
         // Gain 0.3 of BB for 0.2 of nodes: 0.3 < 2 x 0.2 -> keep preferred.
         front.insert(sol(&[false, true], &[80.0, 50_000.0]));
-        let chosen =
-            choose_preferred(&front, &[100.0, 100_000.0], DecisionRule::cpu_bb()).unwrap();
+        let chosen = choose_preferred(&front, &[100.0, 100_000.0], DecisionRule::cpu_bb()).unwrap();
         assert_eq!(chosen.objectives.as_slice(), &[100.0, 20_000.0]);
     }
 
@@ -204,8 +236,7 @@ mod tests {
         front.insert(sol(&[true, false, false], &[100.0, 0.0]));
         front.insert(sol(&[false, true, false], &[90.0, 60_000.0]));
         front.insert(sol(&[false, false, true], &[80.0, 95_000.0]));
-        let chosen =
-            choose_preferred(&front, &[100.0, 100_000.0], DecisionRule::cpu_bb()).unwrap();
+        let chosen = choose_preferred(&front, &[100.0, 100_000.0], DecisionRule::cpu_bb()).unwrap();
         // Improvements: 0.6 vs 0.95; both qualify; max wins.
         assert_eq!(chosen.objectives.as_slice(), &[80.0, 95_000.0]);
     }
@@ -234,8 +265,7 @@ mod tests {
         // = 0.45 > 4 x 0.1 = 0.4 -> replace.
         front.insert(sol(&[false, true], &[90.0, 20.0, 15.0, -40.0]));
         let norm = [100.0, 100.0, 100.0, 100.0];
-        let chosen =
-            choose_preferred(&front, &norm, DecisionRule::multi_resource()).unwrap();
+        let chosen = choose_preferred(&front, &norm, DecisionRule::multi_resource()).unwrap();
         assert_eq!(chosen.objectives[0], 90.0);
     }
 
@@ -246,8 +276,25 @@ mod tests {
         // Sum of gains 0.35 < 4 x 0.1.
         front.insert(sol(&[false, true], &[90.0, 10.0, 15.0, -40.0]));
         let norm = [100.0, 100.0, 100.0, 100.0];
-        let chosen =
-            choose_preferred(&front, &norm, DecisionRule::multi_resource()).unwrap();
+        let chosen = choose_preferred(&front, &norm, DecisionRule::multi_resource()).unwrap();
+        assert_eq!(chosen.objectives[0], 100.0);
+    }
+
+    #[test]
+    fn gain_weights_scale_the_improvement_test() {
+        let mut front = ParetoFront::new();
+        front.insert(sol(&[true, false, false, false, true], &[100.0, 20_000.0]));
+        front.insert(sol(&[false, true, true, true, true], &[80.0, 90_000.0]));
+        let norm = [100.0, 100_000.0];
+        // Unit weights: gain 0.7 > 2 x 0.2 -> replace (Table 1 behaviour).
+        let rule = DecisionRule::cpu_bb();
+        assert_eq!(rule.tradeoff_factor(), 2.0);
+        assert_eq!(rule.gain_weight(1), 1.0);
+        let chosen = choose_preferred(&front, &norm, rule).unwrap();
+        assert_eq!(chosen.objectives[0], 80.0);
+        // Halving the BB gain weight: 0.35 < 2 x 0.2 -> keep max nodes.
+        let rule = DecisionRule::cpu_bb().with_gain_weights(&[1.0, 0.5]);
+        let chosen = choose_preferred(&front, &norm, rule).unwrap();
         assert_eq!(chosen.objectives[0], 100.0);
     }
 

@@ -77,10 +77,11 @@ pub fn count_feasible<P: MooProblem + ?Sized>(problem: &P) -> Result<u64, Window
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::problem::{CpuBbProblem, JobDemand};
+    use crate::problem::{JobDemand, KnapsackMooProblem};
+    use crate::resource::ResourceModel;
 
-    fn table1_problem() -> CpuBbProblem {
-        CpuBbProblem::new(
+    fn table1_problem() -> KnapsackMooProblem {
+        KnapsackMooProblem::new(
             vec![
                 JobDemand::cpu_bb(80, 20_000.0),
                 JobDemand::cpu_bb(10, 85_000.0),
@@ -88,8 +89,7 @@ mod tests {
                 JobDemand::cpu_bb(10, 0.0),
                 JobDemand::cpu_bb(20, 0.0),
             ],
-            100,
-            100_000.0,
+            ResourceModel::cpu_bb(100, 100_000.0),
         )
     }
 
@@ -118,7 +118,7 @@ mod tests {
 
     #[test]
     fn empty_window() {
-        let p = CpuBbProblem::new(vec![], 10, 10.0);
+        let p = KnapsackMooProblem::new(vec![], ResourceModel::cpu_bb(10, 10.0));
         let front = solve(&p).unwrap();
         // The empty selection (0, 0) is the only point.
         assert_eq!(front.len(), 1);
@@ -128,7 +128,7 @@ mod tests {
     #[test]
     fn rejects_oversized_window() {
         let window = vec![JobDemand::cpu_bb(1, 0.0); MAX_EXHAUSTIVE_WINDOW + 1];
-        let p = CpuBbProblem::new(window, 1000, 1000.0);
+        let p = KnapsackMooProblem::new(window, ResourceModel::cpu_bb(1000, 1000.0));
         assert!(solve(&p).is_err());
         assert!(count_feasible(&p).is_err());
     }

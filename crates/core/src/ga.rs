@@ -93,22 +93,50 @@ impl Default for GaConfig {
     }
 }
 
+/// Errors from [`GaConfig::validate`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum GaConfigError {
+    /// Population size below the two parents crossover needs.
+    PopulationTooSmall(usize),
+    /// Mutation rate outside `[0, 1]`.
+    MutationRateOutOfRange(f64),
+    /// Zero worker threads requested.
+    ZeroThreads,
+    /// Scalar mode configured without any weights.
+    EmptyScalarWeights,
+}
+
+impl std::fmt::Display for GaConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::PopulationTooSmall(p) => write!(f, "population must be >= 2, got {p}"),
+            Self::MutationRateOutOfRange(r) => {
+                write!(f, "mutation_rate must be in [0, 1], got {r}")
+            }
+            Self::ZeroThreads => write!(f, "threads must be >= 1"),
+            Self::EmptyScalarWeights => write!(f, "scalar mode requires at least one weight"),
+        }
+    }
+}
+
+impl std::error::Error for GaConfigError {}
+
 impl GaConfig {
-    /// Validates the configuration, returning a human-readable error for
-    /// nonsensical settings.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validates the configuration, returning a typed error for nonsensical
+    /// settings.
+    pub fn validate(&self) -> Result<(), GaConfigError> {
         if self.population < 2 {
-            return Err(format!("population must be >= 2, got {}", self.population));
+            return Err(GaConfigError::PopulationTooSmall(self.population));
         }
         if !(0.0..=1.0).contains(&self.mutation_rate) {
-            return Err(format!("mutation_rate must be in [0, 1], got {}", self.mutation_rate));
+            return Err(GaConfigError::MutationRateOutOfRange(self.mutation_rate));
         }
         if self.threads == 0 {
-            return Err("threads must be >= 1".into());
+            return Err(GaConfigError::ZeroThreads);
         }
         if let SolveMode::Scalar(w) = &self.mode {
             if w.is_empty() {
-                return Err("scalar mode requires at least one weight".into());
+                return Err(GaConfigError::EmptyScalarWeights);
             }
         }
         Ok(())
@@ -158,7 +186,11 @@ impl MooGa {
     /// Like [`MooGa::solve`], but additionally snapshots the front after
     /// each generation count listed in `checkpoints` (must be sorted
     /// ascending). Used to reproduce Fig. 4 (GD vs. `G`) in one run.
-    pub fn solve_traced<P: MooProblem + ?Sized>(&self, problem: &P, checkpoints: &[usize]) -> GaTrace {
+    pub fn solve_traced<P: MooProblem + ?Sized>(
+        &self,
+        problem: &P,
+        checkpoints: &[usize],
+    ) -> GaTrace {
         debug_assert!(checkpoints.windows(2).all(|w| w[0] <= w[1]));
         let w = problem.len();
         let mut trace = GaTrace::default();
@@ -217,10 +249,8 @@ impl MooGa {
                 .collect();
             if self.config.archive {
                 for ind in &children {
-                    archive.insert(Solution {
-                        chromosome: ind.chrom.clone(),
-                        objectives: ind.objs,
-                    });
+                    archive
+                        .insert(Solution { chromosome: ind.chrom.clone(), objectives: ind.objs });
                 }
             }
 
@@ -244,11 +274,8 @@ impl MooGa {
             }
         }
 
-        trace.final_front = if self.config.archive {
-            archive
-        } else {
-            self.extract_front(problem, &pop)
-        };
+        trace.final_front =
+            if self.config.archive { archive } else { self.extract_front(problem, &pop) };
         trace
     }
 
@@ -263,14 +290,10 @@ impl MooGa {
             "solve_scalar requires SolveMode::Scalar"
         );
         let front = self.solve(problem);
-        front
-            .into_solutions()
-            .into_iter()
-            .next()
-            .unwrap_or_else(|| Solution {
-                chromosome: Chromosome::zeros(problem.len().max(1)),
-                objectives: problem.evaluate(&Chromosome::zeros(problem.len().max(1))),
-            })
+        front.into_solutions().into_iter().next().unwrap_or_else(|| Solution {
+            chromosome: Chromosome::zeros(problem.len().max(1)),
+            objectives: problem.evaluate(&Chromosome::zeros(problem.len().max(1))),
+        })
     }
 
     fn initial_population<P: MooProblem + ?Sized>(
@@ -316,14 +339,15 @@ impl MooGa {
         }
     }
 
-    fn extract_front<P: MooProblem + ?Sized>(&self, problem: &P, pop: &[Individual]) -> ParetoFront {
+    fn extract_front<P: MooProblem + ?Sized>(
+        &self,
+        problem: &P,
+        pop: &[Individual],
+    ) -> ParetoFront {
         match &self.config.mode {
-            SolveMode::Pareto | SolveMode::ParetoCrowding => {
-                ParetoFront::from_pool(pop.iter().map(|i| Solution {
-                    chromosome: i.chrom.clone(),
-                    objectives: i.objs,
-                }))
-            }
+            SolveMode::Pareto | SolveMode::ParetoCrowding => ParetoFront::from_pool(
+                pop.iter().map(|i| Solution { chromosome: i.chrom.clone(), objectives: i.objs }),
+            ),
             SolveMode::Scalar(weights) => {
                 let norm = problem.normalizers();
                 let best = pop.iter().max_by(|a, b| {
@@ -354,12 +378,7 @@ pub struct GaTrace {
 
 #[inline]
 fn scalar_fitness(objs: &Objectives, weights: &[f64], norm: &[f64]) -> f64 {
-    objs.as_slice()
-        .iter()
-        .zip(norm)
-        .zip(weights)
-        .map(|((&v, &n), &w)| w * v / n)
-        .sum()
+    objs.as_slice().iter().zip(norm).zip(weights).map(|((&v, &n), &w)| w * v / n).sum()
 }
 
 /// Indices of the non-dominated members of `pool`. Equal objective vectors
@@ -467,8 +486,7 @@ fn select_crowding(mut pool: Vec<Individual>, p: usize) -> Vec<Individual> {
                     .then_with(|| front[a].age.cmp(&front[b].age))
             });
             let need = p - next.len();
-            let keep: std::collections::HashSet<usize> =
-                order.into_iter().take(need).collect();
+            let keep: std::collections::HashSet<usize> = order.into_iter().take(need).collect();
             for (i, ind) in front.into_iter().enumerate() {
                 if keep.contains(&i) {
                     next.push(ind);
@@ -501,10 +519,11 @@ fn select_scalar(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::problem::{CpuBbProblem, JobDemand};
+    use crate::problem::{JobDemand, KnapsackMooProblem};
+    use crate::resource::ResourceModel;
 
-    fn table1_problem() -> CpuBbProblem {
-        CpuBbProblem::new(
+    fn table1_problem() -> KnapsackMooProblem {
+        KnapsackMooProblem::new(
             vec![
                 JobDemand::cpu_bb(80, 20_000.0),
                 JobDemand::cpu_bb(10, 85_000.0),
@@ -512,8 +531,7 @@ mod tests {
                 JobDemand::cpu_bb(10, 0.0),
                 JobDemand::cpu_bb(20, 0.0),
             ],
-            100,
-            100_000.0,
+            ResourceModel::cpu_bb(100, 100_000.0),
         )
     }
 
@@ -524,8 +542,7 @@ mod tests {
         let ga = MooGa::new(GaConfig { generations: 500, seed: 42, ..GaConfig::default() });
         let mut front = ga.solve(&table1_problem());
         front.sort_by_first_objective();
-        let points: Vec<Vec<f64>> =
-            front.objective_vectors().map(|v| v.to_vec()).collect();
+        let points: Vec<Vec<f64>> = front.objective_vectors().map(|v| v.to_vec()).collect();
         // Must contain the two Table-1(b) Pareto points.
         assert!(points.contains(&vec![100.0, 20_000.0]), "missing (100, 20TB): {points:?}");
         assert!(points.contains(&vec![80.0, 90_000.0]), "missing (80, 90TB): {points:?}");
@@ -556,7 +573,7 @@ mod tests {
 
     #[test]
     fn empty_window_yields_empty_front() {
-        let p = CpuBbProblem::new(vec![], 10, 10.0);
+        let p = KnapsackMooProblem::new(vec![], ResourceModel::cpu_bb(10, 10.0));
         let front = MooGa::new(GaConfig::default()).solve(&p);
         assert!(front.is_empty());
     }
@@ -613,13 +630,10 @@ mod tests {
         for trial in 0..4 {
             let window: Vec<JobDemand> = (0..18)
                 .map(|_| {
-                    JobDemand::cpu_bb(
-                        rng.random_range(8..200),
-                        rng.random_range(0.0..30_000.0),
-                    )
+                    JobDemand::cpu_bb(rng.random_range(8..200), rng.random_range(0.0..30_000.0))
                 })
                 .collect();
-            let p = CpuBbProblem::new(window, 500, 80_000.0);
+            let p = KnapsackMooProblem::new(window, ResourceModel::cpu_bb(500, 80_000.0));
             let solve = |archive: bool| {
                 let cfg = GaConfig {
                     generations: 80,
@@ -654,13 +668,10 @@ mod tests {
         for trial in 0..5 {
             let window: Vec<JobDemand> = (0..20)
                 .map(|_| {
-                    JobDemand::cpu_bb(
-                        rng.random_range(8..200),
-                        rng.random_range(0.0..30_000.0),
-                    )
+                    JobDemand::cpu_bb(rng.random_range(8..200), rng.random_range(0.0..30_000.0))
                 })
                 .collect();
-            let p = CpuBbProblem::new(window, 500, 80_000.0);
+            let p = KnapsackMooProblem::new(window, ResourceModel::cpu_bb(500, 80_000.0));
             let solve = |saturate: bool| {
                 let cfg = GaConfig {
                     generations: 100,
@@ -698,11 +709,8 @@ mod tests {
     #[test]
     fn crowding_mode_solutions_feasible() {
         let p = table1_problem();
-        let cfg = GaConfig {
-            generations: 100,
-            mode: SolveMode::ParetoCrowding,
-            ..GaConfig::default()
-        };
+        let cfg =
+            GaConfig { generations: 100, mode: SolveMode::ParetoCrowding, ..GaConfig::default() };
         let front = MooGa::new(cfg).solve(&p);
         use crate::problem::MooProblem;
         for s in front.solutions() {
@@ -712,12 +720,25 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(GaConfig { population: 1, ..GaConfig::default() }.validate().is_err());
-        assert!(GaConfig { mutation_rate: 1.5, ..GaConfig::default() }.validate().is_err());
-        assert!(GaConfig { threads: 0, ..GaConfig::default() }.validate().is_err());
-        assert!(GaConfig { mode: SolveMode::Scalar(vec![]), ..GaConfig::default() }
-            .validate()
-            .is_err());
+        assert_eq!(
+            GaConfig { population: 1, ..GaConfig::default() }.validate(),
+            Err(GaConfigError::PopulationTooSmall(1))
+        );
+        assert_eq!(
+            GaConfig { mutation_rate: 1.5, ..GaConfig::default() }.validate(),
+            Err(GaConfigError::MutationRateOutOfRange(1.5))
+        );
+        assert_eq!(
+            GaConfig { threads: 0, ..GaConfig::default() }.validate(),
+            Err(GaConfigError::ZeroThreads)
+        );
+        assert_eq!(
+            GaConfig { mode: SolveMode::Scalar(vec![]), ..GaConfig::default() }.validate(),
+            Err(GaConfigError::EmptyScalarWeights)
+        );
         assert!(GaConfig::default().validate().is_ok());
+        // Typed errors are real std errors with stable messages.
+        let boxed: Box<dyn std::error::Error> = Box::new(GaConfigError::ZeroThreads);
+        assert_eq!(boxed.to_string(), "threads must be >= 1");
     }
 }

@@ -31,14 +31,15 @@
 //!   its §5 extension (4× rule over three non-node axes).
 //! * [`window`] — window-based scheduling bookkeeping and the starvation
 //!   bound of §3.1.
-//! * [`parallel`] — crossbeam-based parallel population evaluation (the
+//! * [`parallel`] — scoped-thread parallel population evaluation (the
 //!   paper notes the GA "can be accelerated by leveraging parallel
 //!   processing").
 //!
 //! ## Quick example
 //!
 //! ```
-//! use bbsched_core::problem::{CpuBbProblem, JobDemand};
+//! use bbsched_core::problem::{JobDemand, KnapsackMooProblem};
+//! use bbsched_core::resource::ResourceModel;
 //! use bbsched_core::ga::{GaConfig, MooGa};
 //!
 //! // Table 1 of the paper: 100 nodes, 100 TB of burst buffer, five jobs.
@@ -49,7 +50,7 @@
 //!     JobDemand::cpu_bb(10, 0.0),
 //!     JobDemand::cpu_bb(20, 0.0),
 //! ];
-//! let problem = CpuBbProblem::new(window, 100, 100_000.0);
+//! let problem = KnapsackMooProblem::new(window, ResourceModel::cpu_bb(100, 100_000.0));
 //! let front = MooGa::new(GaConfig::default()).solve(&problem);
 //! // The Pareto front contains the (100 nodes, 20 TB) and (80 nodes, 90 TB)
 //! // trade-off points from Table 1(b).
@@ -68,18 +69,27 @@ pub mod pareto;
 pub mod pools;
 pub mod problem;
 pub mod quality;
+pub mod resource;
 pub mod window;
 
 pub use chromosome::Chromosome;
 pub use decision::{choose_knee, choose_preferred, DecisionRule};
-pub use ga::{GaConfig, MooGa, SolveMode};
+pub use ga::{GaConfig, GaConfigError, MooGa, SolveMode};
 pub use pareto::{dominates, ParetoFront};
 pub use pools::{NodeAssignment, PoolState};
-pub use problem::{Available, CpuBbProblem, CpuBbSsdProblem, JobDemand, MooProblem};
+pub use problem::{Available, JobDemand, KnapsackMooProblem, MooProblem, RepairStyle};
+#[allow(deprecated)]
+pub use problem::{CpuBbProblem, CpuBbSsdProblem};
+pub use resource::{
+    DemandSlot, Flavor, FlavorSet, ResourceKind, ResourceModel, ResourceModelError, ResourceSpec,
+    ResourceVector, MAX_FLAVORS, MAX_RESOURCES,
+};
 
 /// Maximum number of objectives supported by the fixed-size objective
-/// vector used on the GA hot path. The paper uses 2 (§3.2.1) and 4 (§5).
-pub const MAX_OBJECTIVES: usize = 4;
+/// vector used on the GA hot path. The paper uses 2 (§3.2.1) and 4 (§5);
+/// the generic core allows one utilization objective per registered
+/// resource plus per-resource waste objectives.
+pub const MAX_OBJECTIVES: usize = 6;
 
 /// A fixed-capacity objective vector: `values[..len]` are meaningful.
 ///
@@ -143,11 +153,7 @@ impl Objectives {
     #[inline]
     pub fn weighted_sum(&self, weights: &[f64]) -> f64 {
         debug_assert_eq!(weights.len(), self.len);
-        self.as_slice()
-            .iter()
-            .zip(weights)
-            .map(|(v, w)| v * w)
-            .sum()
+        self.as_slice().iter().zip(weights).map(|(v, w)| v * w).sum()
     }
 }
 

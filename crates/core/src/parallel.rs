@@ -4,7 +4,7 @@
 //! parallel processing" and §3.3 that the `O(G × P)` cost "can be further
 //! lowered via parallel processing of the MOO". Repair and evaluation of a
 //! generation's chromosomes are embarrassingly parallel, so we shard the
-//! population across scoped crossbeam threads.
+//! population across scoped `std::thread` workers.
 //!
 //! Measured honestly (`ga_scaling` bench): per-generation scoped-thread
 //! spawning costs more than it saves even at `w = 256`, `P = 128` on this
@@ -13,6 +13,11 @@
 //! that consult a placement simulator per candidate), which is the
 //! scenario the paper's "parallel processing" remark anticipates; for the
 //! paper's own knapsack objectives, keep `threads = 1`.
+//!
+//! Sharding uses `std::thread::scope` (stable since 1.63), which joins all
+//! workers on scope exit and propagates worker panics — the same
+//! guarantees the earlier `crossbeam::scope` implementation relied on,
+//! without the external dependency.
 
 use crate::chromosome::Chromosome;
 use crate::problem::MooProblem;
@@ -63,7 +68,7 @@ pub fn repair_and_evaluate<P: MooProblem + ?Sized>(
     let chunk = n.div_ceil(workers);
     let mut out = vec![Objectives::zeros(problem.num_objectives().max(1)); n];
 
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         let mut rem_chroms: &mut [Chromosome] = chroms;
         let mut rem_out: &mut [Objectives] = &mut out;
         while !rem_chroms.is_empty() {
@@ -72,7 +77,7 @@ pub fn repair_and_evaluate<P: MooProblem + ?Sized>(
             let (o_head, o_tail) = rem_out.split_at_mut(take);
             rem_chroms = c_tail;
             rem_out = o_tail;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (c, o) in c_head.iter_mut().zip(o_head.iter_mut()) {
                     problem.repair(c);
                     if saturate_after {
@@ -82,8 +87,7 @@ pub fn repair_and_evaluate<P: MooProblem + ?Sized>(
                 }
             });
         }
-    })
-    .expect("evaluation worker panicked");
+    });
 
     out
 }
@@ -91,16 +95,17 @@ pub fn repair_and_evaluate<P: MooProblem + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::problem::{CpuBbProblem, JobDemand};
+    use crate::problem::{JobDemand, KnapsackMooProblem};
+    use crate::resource::ResourceModel;
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
 
-    fn random_problem(w: usize, seed: u64) -> (CpuBbProblem, Vec<Chromosome>) {
+    fn random_problem(w: usize, seed: u64) -> (KnapsackMooProblem, Vec<Chromosome>) {
         let mut rng = SmallRng::seed_from_u64(seed);
         let window: Vec<JobDemand> = (0..w)
             .map(|_| JobDemand::cpu_bb(rng.random_range(1..100), rng.random_range(0.0..1000.0)))
             .collect();
-        let problem = CpuBbProblem::new(window, 200, 2_000.0);
+        let problem = KnapsackMooProblem::new(window, ResourceModel::cpu_bb(200, 2_000.0));
         let chroms: Vec<Chromosome> = (0..32)
             .map(|_| {
                 let mut c = Chromosome::zeros(w);
@@ -173,10 +178,7 @@ mod tests {
                 if !polished.get(i) {
                     let mut probe = polished.clone();
                     probe.set(i, true);
-                    assert!(
-                        !problem.is_feasible(&probe),
-                        "job {i} still fits after saturation"
-                    );
+                    assert!(!problem.is_feasible(&probe), "job {i} still fits after saturation");
                 }
             }
         }

@@ -76,8 +76,7 @@ impl ParetoFront {
                 return false;
             }
         }
-        self.solutions
-            .retain(|e| !dominates(s.objectives.as_slice(), e.objectives.as_slice()));
+        self.solutions.retain(|e| !dominates(s.objectives.as_slice(), e.objectives.as_slice()));
         self.solutions.push(s);
         true
     }
@@ -239,8 +238,7 @@ mod tests {
 
     #[test]
     fn crowding_boundaries_are_infinite() {
-        let pts: Vec<&[f64]> =
-            vec![&[0.0, 10.0], &[5.0, 5.0], &[10.0, 0.0]];
+        let pts: Vec<&[f64]> = vec![&[0.0, 10.0], &[5.0, 5.0], &[10.0, 0.0]];
         let d = crowding_distance(&pts);
         assert!(d[0].is_infinite());
         assert!(d[2].is_infinite());
@@ -250,8 +248,7 @@ mod tests {
     #[test]
     fn crowding_prefers_lonely_points() {
         // Four points on a line; the middle pair are crowded together.
-        let pts: Vec<&[f64]> =
-            vec![&[0.0, 30.0], &[14.0, 16.0], &[15.0, 15.0], &[30.0, 0.0]];
+        let pts: Vec<&[f64]> = vec![&[0.0, 30.0], &[14.0, 16.0], &[15.0, 15.0], &[30.0, 0.0]];
         let d = crowding_distance(&pts);
         // Interior points: index 1 and 2; both have the same neighbour gap
         // here, so just check they are finite and positive.

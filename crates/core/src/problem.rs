@@ -7,17 +7,23 @@
 //! objectives (`f3` utilization, `f4` minus wasted capacity) on a cluster
 //! whose nodes carry heterogeneous 128 GB / 256 GB SSDs.
 //!
-//! Both formulations implement [`MooProblem`], which is all the genetic and
-//! exhaustive solvers need — adding yet another resource (the paper's
-//! stated extensibility goal) means implementing this trait once.
+//! Both instantiations are now presets of one generic formulation,
+//! [`KnapsackMooProblem`], which works over any [`ResourceModel`] of up to
+//! [`MAX_RESOURCES`](crate::resource::MAX_RESOURCES) pooled or per-node
+//! resources — the paper's stated extensibility goal ("BBSched can be
+//! easily extended to schedule other schedulable resources") realized as
+//! data instead of code. The historical [`CpuBbProblem`] and
+//! [`CpuBbSsdProblem`] types remain as thin deprecated wrappers and are
+//! byte-for-byte equivalent to the generic path (see the golden tests).
 
 use crate::chromosome::Chromosome;
-use crate::Objectives;
+use crate::resource::{ResourceModel, ResourceVector, MAX_EXTRA, MAX_FLAVORS, MAX_RESOURCES};
+use crate::{Objectives, MAX_OBJECTIVES};
 use serde::{Deserialize, Serialize};
 
 /// Per-job resource demand as seen by the optimizer: one entry per window
 /// slot.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct JobDemand {
     /// Requested compute nodes (`n_i`).
     pub nodes: u32,
@@ -26,17 +32,31 @@ pub struct JobDemand {
     /// Requested local SSD per node in GB (`s_i`); 0 when the job (or the
     /// experiment) does not use local SSDs.
     pub ssd_gb_per_node: f64,
+    /// Demands for resources registered beyond the paper's three (see
+    /// [`DemandSlot::Extra`](crate::resource::DemandSlot::Extra)); unused
+    /// slots stay 0.
+    #[serde(default)]
+    pub extra: [f64; MAX_EXTRA],
 }
 
 impl JobDemand {
     /// A demand over nodes and shared burst buffer only (§3.2.1 problems).
     pub fn cpu_bb(nodes: u32, bb_gb: f64) -> Self {
-        Self { nodes, bb_gb, ssd_gb_per_node: 0.0 }
+        Self { nodes, bb_gb, ..Self::default() }
     }
 
     /// A demand over nodes, shared burst buffer, and local SSD (§5).
     pub fn cpu_bb_ssd(nodes: u32, bb_gb: f64, ssd_gb_per_node: f64) -> Self {
-        Self { nodes, bb_gb, ssd_gb_per_node }
+        Self { nodes, bb_gb, ssd_gb_per_node, ..Self::default() }
+    }
+
+    /// Sets the demand for an extra registered resource (builder style).
+    ///
+    /// # Panics
+    /// Panics if `slot >= MAX_EXTRA`.
+    pub fn with_extra(mut self, slot: usize, amount: f64) -> Self {
+        self.extra[slot] = amount;
+        self
     }
 }
 
@@ -111,35 +131,159 @@ pub trait MooProblem: Sync {
     fn normalizers(&self) -> Objectives;
 }
 
-/// The §3.2.1 bi-objective problem: select window jobs to maximize node and
-/// burst-buffer utilization subject to free capacity.
-#[derive(Clone, Debug)]
-pub struct CpuBbProblem {
-    window: Vec<JobDemand>,
-    avail_nodes: u32,
-    avail_bb_gb: f64,
-    /// Totals used for normalization; default to the available amounts.
-    norm_nodes: f64,
-    norm_bb: f64,
+/// Floating-point slack for burst-buffer feasibility: requests are sums of
+/// values ≥ 1 GB, so a relative epsilon avoids rejecting selections that are
+/// feasible up to rounding.
+const BB_EPS: f64 = 1e-9;
+
+/// How [`KnapsackMooProblem::repair`] decides which set genes to drop while
+/// walking the cyclic order.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RepairStyle {
+    /// Drop a gene only if it has positive demand on a currently violated
+    /// constraint (the §3.2.1 implementation's rule, generalized to N
+    /// resources). Never removes jobs that cannot help, so it preserves
+    /// more of the candidate selection.
+    #[default]
+    DropIfRelieves,
+    /// Drop every set gene encountered until the selection is feasible —
+    /// the rule the original §5 SSD implementation used. Kept so the
+    /// historical CPU+BB+SSD solver stream is reproducible bit-for-bit.
+    DropUnconditionally,
 }
 
-impl CpuBbProblem {
-    /// Builds the problem for a window of jobs against free capacity.
-    pub fn new(window: Vec<JobDemand>, avail_nodes: u32, avail_bb_gb: f64) -> Self {
+/// Per-item hot-path data, precomputed once at problem construction so the
+/// GA inner loop touches no `ResourceModel` indirection.
+#[derive(Clone, Copy, Debug)]
+struct Item {
+    /// Requested nodes (exact integer arithmetic for resource 0).
+    nodes: u32,
+    /// Flavour class of the per-node resource (0 when none is registered).
+    class: u8,
+    /// Total demand per resource: pooled amount, or `per_node × nodes` for
+    /// the per-node resource.
+    totals: ResourceVector,
+}
+
+/// Aggregated demand of a selection.
+#[derive(Clone, Copy, Debug)]
+struct Aggregate {
+    nodes: u64,
+    /// Per-resource totals (`sums[0]` mirrors `nodes` and is unused).
+    sums: [f64; MAX_RESOURCES],
+    /// Selected node-slots per flavour class of the per-node resource.
+    class_nodes: [u64; MAX_FLAVORS],
+}
+
+impl Aggregate {
+    fn zero() -> Self {
+        Self { nodes: 0, sums: [0.0; MAX_RESOURCES], class_nodes: [0; MAX_FLAVORS] }
+    }
+}
+
+/// The generic window knapsack over an arbitrary [`ResourceModel`].
+///
+/// Objectives, in order: the utilization of each registered resource
+/// (`Σ demand_i·x_i`; per-node resources use `Σ s_i·n_i·x_i`), followed by
+/// **minus** wasted capacity for every resource with a waste objective.
+/// With [`ResourceModel::cpu_bb`] this is exactly the §3.2.1 bi-objective
+/// problem; with [`ResourceModel::cpu_bb_ssd`] it is exactly the §5
+/// four-objective problem, including the greedy smallest-flavour-first
+/// node assignment ("jobs requesting no more than 128 GB local SSD per
+/// node \[prefer 128 GB nodes\] in order to mitigate wastage").
+#[derive(Clone, Debug)]
+pub struct KnapsackMooProblem {
+    window: Vec<JobDemand>,
+    items: Vec<Item>,
+    model: ResourceModel,
+    avail: ResourceVector,
+    avail_nodes: u64,
+    /// `(resource index, waste tracked)` of the per-node resource, if any;
+    /// its flavour table is cached in `flavors`.
+    per_node: Option<(usize, bool)>,
+    flavors: crate::resource::FlavorSet,
+    n_res: usize,
+    n_obj: usize,
+    norm: Objectives,
+    repair_style: RepairStyle,
+}
+
+impl KnapsackMooProblem {
+    /// Builds the problem for a window of jobs against a resource model
+    /// whose `available` amounts describe the free capacity right now.
+    ///
+    /// # Panics
+    /// Panics if the model registers a per-node resource whose flavour node
+    /// counts do not sum to the available node count (the pools partition
+    /// the machine).
+    pub fn new(window: Vec<JobDemand>, model: ResourceModel) -> Self {
+        let n_res = model.len();
+        let per_node_full = model.per_node_resource();
+        if let Some((_, flavors, _)) = per_node_full {
+            assert_eq!(
+                u64::from(model.avail_nodes()),
+                u64::from(flavors.total_count()),
+                "per-node flavour counts must sum to the available node count"
+            );
+        }
+        let flavors = per_node_full
+            .map(|(_, f, _)| *f)
+            .unwrap_or_else(|| crate::resource::FlavorSet::homogeneous(0.0, 0));
+        let per_node = per_node_full.map(|(r, _, w)| (r, w));
+        let items = window
+            .iter()
+            .map(|d| {
+                let mut totals = ResourceVector::zeros(n_res);
+                let mut class = 0u8;
+                for r in 0..n_res {
+                    let raw = model.demand_of(d, r);
+                    let total = match per_node {
+                        Some((pr, _)) if pr == r => {
+                            class = flavors.class_of(raw) as u8;
+                            raw * f64::from(d.nodes)
+                        }
+                        _ => raw,
+                    };
+                    totals.set(r, total);
+                }
+                Item { nodes: d.nodes, class, totals }
+            })
+            .collect();
+        let avail = model.available();
+        let avail_nodes = u64::from(model.avail_nodes());
+        let n_obj = model.num_objectives();
+        let norm = model.default_normalizers();
         Self {
             window,
+            items,
+            model,
+            avail,
             avail_nodes,
-            avail_bb_gb,
-            norm_nodes: f64::from(avail_nodes).max(1.0),
-            norm_bb: avail_bb_gb.max(1.0),
+            per_node,
+            flavors,
+            n_res,
+            n_obj,
+            norm,
+            repair_style: RepairStyle::default(),
         }
     }
 
-    /// Overrides the normalization baselines (e.g., total system capacity
-    /// instead of currently-free capacity).
-    pub fn with_normalizers(mut self, nodes: f64, bb_gb: f64) -> Self {
-        self.norm_nodes = nodes.max(1.0);
-        self.norm_bb = bb_gb.max(1.0);
+    /// Overrides the normalization baselines, one per objective (e.g. total
+    /// system capacity instead of currently-free capacity); values are
+    /// floored at 1.
+    ///
+    /// # Panics
+    /// Panics if `norm.len()` differs from the number of objectives.
+    pub fn with_normalizers(mut self, norm: &[f64]) -> Self {
+        assert_eq!(norm.len(), self.n_obj, "one normalizer per objective");
+        let floored: Vec<f64> = norm.iter().map(|v| v.max(1.0)).collect();
+        self.norm = Objectives::from_slice(&floored);
+        self
+    }
+
+    /// Selects the repair rule (builder style); see [`RepairStyle`].
+    pub fn with_repair_style(mut self, style: RepairStyle) -> Self {
+        self.repair_style = style;
         self
     }
 
@@ -148,85 +292,298 @@ impl CpuBbProblem {
         &self.window
     }
 
-    /// Free nodes at this invocation.
-    pub fn avail_nodes(&self) -> u32 {
-        self.avail_nodes
+    /// The resource model this problem was built against.
+    pub fn model(&self) -> &ResourceModel {
+        &self.model
     }
 
-    /// Free burst buffer (GB) at this invocation.
-    pub fn avail_bb_gb(&self) -> f64 {
-        self.avail_bb_gb
+    /// The configured repair rule.
+    pub fn repair_style(&self) -> RepairStyle {
+        self.repair_style
+    }
+
+    fn aggregate(&self, x: &Chromosome) -> Aggregate {
+        let mut agg = Aggregate::zero();
+        let track_classes = self.per_node.is_some();
+        for i in x.selected() {
+            let it = &self.items[i];
+            agg.nodes += u64::from(it.nodes);
+            for r in 1..self.n_res {
+                agg.sums[r] += it.totals.get(r);
+            }
+            if track_classes {
+                agg.class_nodes[usize::from(it.class)] += u64::from(it.nodes);
+            }
+        }
+        agg
+    }
+
+    /// Total capacity the greedy node→flavour assignment commits for the
+    /// selected node-slots: class-`k` slots fill flavours `k, k+1, …`
+    /// smallest-first; slots that fit nowhere are billed at the largest
+    /// flavour (matching the §5 closed form for two tiers, where flexible
+    /// overflow is always charged 256 GB).
+    fn assigned_capacity(&self, class_nodes: &[u64; MAX_FLAVORS]) -> f64 {
+        let nf = self.flavors.len();
+        let mut free = [0u64; MAX_FLAVORS];
+        for (j, slot) in free.iter_mut().enumerate().take(nf) {
+            *slot = u64::from(self.flavors.get(j).count);
+        }
+        let largest = self.flavors.get(nf - 1).capacity;
+        let mut assigned = 0.0;
+        for (k, &slots) in class_nodes.iter().enumerate().take(nf) {
+            let mut need = slots;
+            for (j, slot) in free.iter_mut().enumerate().take(nf).skip(k) {
+                if need == 0 {
+                    break;
+                }
+                let take = need.min(*slot);
+                *slot -= take;
+                need -= take;
+                assigned += take as f64 * self.flavors.get(j).capacity;
+            }
+            if need > 0 {
+                assigned += need as f64 * largest;
+            }
+        }
+        assigned
+    }
+
+    /// The per-node resource's flavour constraint: for every class `k`, the
+    /// selected node-slots of class ≥ `k` must fit on the nodes of flavour
+    /// ≥ `k` (for two tiers this is exactly `need_256 ≤ nodes_256`).
+    fn flavor_feasible(&self, class_nodes: &[u64; MAX_FLAVORS]) -> bool {
+        if self.per_node.is_none() {
+            return true;
+        }
+        let nf = self.flavors.len();
+        let mut cum_need = 0u64;
+        let mut cum_cap = 0u64;
+        for k in (0..nf).rev() {
+            cum_need += class_nodes[k];
+            cum_cap += u64::from(self.flavors.get(k).count);
+            if cum_need > cum_cap {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Feasibility with relative + absolute slack on pooled resources (the
+    /// public contract, matching both historical problems).
+    fn feasible_agg(&self, agg: &Aggregate) -> bool {
+        if agg.nodes > self.avail_nodes {
+            return false;
+        }
+        for r in 1..self.n_res {
+            if self.is_per_node(r) {
+                continue; // constrained via the flavour table, not a pool sum
+            }
+            if agg.sums[r] > self.avail.get(r) * (1.0 + BB_EPS) + BB_EPS {
+                return false;
+            }
+        }
+        self.flavor_feasible(&agg.class_nodes)
+    }
+
+    /// Feasibility with absolute slack only, used *inside* repair (the
+    /// historical §3.2.1 repair loop tested `b ≤ avail + ε`).
+    fn repair_feasible(&self, agg: &Aggregate) -> bool {
+        if agg.nodes > self.avail_nodes {
+            return false;
+        }
+        for r in 1..self.n_res {
+            if self.is_per_node(r) {
+                continue;
+            }
+            if agg.sums[r] > self.avail.get(r) + BB_EPS {
+                return false;
+            }
+        }
+        self.flavor_feasible(&agg.class_nodes)
     }
 
     #[inline]
-    fn sums(&self, x: &Chromosome) -> (u64, f64) {
-        let mut nodes = 0u64;
-        let mut bb = 0.0f64;
-        for i in x.selected() {
-            let d = &self.window[i];
-            nodes += u64::from(d.nodes);
-            bb += d.bb_gb;
+    fn is_per_node(&self, r: usize) -> bool {
+        matches!(self.per_node, Some((pr, _)) if pr == r)
+    }
+
+    /// Whether dropping `item` would shrink a currently violated constraint.
+    fn relieves(&self, agg: &Aggregate, item: &Item) -> bool {
+        if agg.nodes > self.avail_nodes && item.nodes > 0 {
+            return true;
         }
-        (nodes, bb)
+        for r in 1..self.n_res {
+            if self.is_per_node(r) {
+                continue;
+            }
+            if agg.sums[r] > self.avail.get(r) + BB_EPS && item.totals.get(r) > 0.0 {
+                return true;
+            }
+        }
+        if self.per_node.is_some() && item.nodes > 0 {
+            // A violated suffix [k..] is relieved by any selected slot of
+            // class >= k.
+            let nf = self.flavors.len();
+            let mut cum_need = 0u64;
+            let mut cum_cap = 0u64;
+            for k in (0..nf).rev() {
+                cum_need += agg.class_nodes[k];
+                cum_cap += u64::from(self.flavors.get(k).count);
+                if cum_need > cum_cap && usize::from(item.class) >= k {
+                    return true;
+                }
+            }
+        }
+        false
     }
 }
 
-/// Floating-point slack for burst-buffer feasibility: requests are sums of
-/// values ≥ 1 GB, so a relative epsilon avoids rejecting selections that are
-/// feasible up to rounding.
-const BB_EPS: f64 = 1e-9;
-
-impl MooProblem for CpuBbProblem {
+impl MooProblem for KnapsackMooProblem {
     fn len(&self) -> usize {
         self.window.len()
     }
 
     fn num_objectives(&self) -> usize {
-        2
+        self.n_obj
     }
 
     fn evaluate(&self, x: &Chromosome) -> Objectives {
-        let (nodes, bb) = self.sums(x);
-        Objectives::from_slice(&[nodes as f64, bb])
+        let agg = self.aggregate(x);
+        let mut vals = [0.0; MAX_OBJECTIVES];
+        vals[0] = agg.nodes as f64;
+        vals[1..self.n_res].copy_from_slice(&agg.sums[1..self.n_res]);
+        let mut n = self.n_res;
+        if let Some((r, true)) = self.per_node {
+            let waste = (self.assigned_capacity(&agg.class_nodes) - agg.sums[r]).max(0.0);
+            vals[n] = -waste;
+            n += 1;
+        }
+        debug_assert_eq!(n, self.n_obj);
+        Objectives::from_slice(&vals[..n])
     }
 
     fn is_feasible(&self, x: &Chromosome) -> bool {
-        let (nodes, bb) = self.sums(x);
-        nodes <= u64::from(self.avail_nodes)
-            && bb <= self.avail_bb_gb * (1.0 + BB_EPS) + BB_EPS
+        self.feasible_agg(&self.aggregate(x))
     }
 
     fn repair(&self, x: &mut Chromosome) {
-        let (mut nodes, mut bb) = self.sums(x);
-        let feasible =
-            |n: u64, b: f64| n <= u64::from(self.avail_nodes) && b <= self.avail_bb_gb + BB_EPS;
-        if feasible(nodes, bb) {
-            return;
-        }
-        let w = self.window.len();
-        let start = (x.content_hash() % w as u64) as usize;
-        // First pass: drop genes that relieve a violated constraint.
-        for k in 0..w {
-            if feasible(nodes, bb) {
-                break;
-            }
-            let i = (start + k) % w;
-            if x.get(i) {
-                let d = &self.window[i];
-                let relieves = (nodes > u64::from(self.avail_nodes) && d.nodes > 0)
-                    || (bb > self.avail_bb_gb + BB_EPS && d.bb_gb > 0.0);
-                if relieves {
-                    x.set(i, false);
-                    nodes -= u64::from(d.nodes);
-                    bb -= d.bb_gb;
+        match self.repair_style {
+            RepairStyle::DropUnconditionally => {
+                if self.is_feasible(x) {
+                    return;
                 }
+                let w = self.window.len();
+                let start = (x.content_hash() % w as u64) as usize;
+                for k in 0..w {
+                    let i = (start + k) % w;
+                    if x.get(i) {
+                        x.set(i, false);
+                        if self.is_feasible(x) {
+                            return;
+                        }
+                    }
+                }
+                debug_assert!(self.is_feasible(x));
+            }
+            RepairStyle::DropIfRelieves => {
+                let mut agg = self.aggregate(x);
+                if self.repair_feasible(&agg) {
+                    return;
+                }
+                let w = self.window.len();
+                let start = (x.content_hash() % w as u64) as usize;
+                for k in 0..w {
+                    if self.repair_feasible(&agg) {
+                        break;
+                    }
+                    let i = (start + k) % w;
+                    if x.get(i) {
+                        let it = &self.items[i];
+                        if self.relieves(&agg, it) {
+                            x.set(i, false);
+                            agg.nodes -= u64::from(it.nodes);
+                            for r in 1..self.n_res {
+                                agg.sums[r] -= it.totals.get(r);
+                            }
+                            if self.per_node.is_some() {
+                                agg.class_nodes[usize::from(it.class)] -= u64::from(it.nodes);
+                            }
+                        }
+                    }
+                }
+                debug_assert!(self.is_feasible(x));
             }
         }
-        debug_assert!(self.is_feasible(x));
     }
 
     fn normalizers(&self) -> Objectives {
-        Objectives::from_slice(&[self.norm_nodes, self.norm_bb])
+        self.norm
+    }
+}
+
+/// The §3.2.1 bi-objective problem: select window jobs to maximize node and
+/// burst-buffer utilization subject to free capacity.
+#[deprecated(
+    since = "0.2.0",
+    note = "use KnapsackMooProblem with ResourceModel::cpu_bb; this wrapper delegates to it"
+)]
+#[derive(Clone, Debug)]
+pub struct CpuBbProblem {
+    inner: KnapsackMooProblem,
+}
+
+#[allow(deprecated)]
+impl CpuBbProblem {
+    /// Builds the problem for a window of jobs against free capacity.
+    pub fn new(window: Vec<JobDemand>, avail_nodes: u32, avail_bb_gb: f64) -> Self {
+        Self {
+            inner: KnapsackMooProblem::new(window, ResourceModel::cpu_bb(avail_nodes, avail_bb_gb)),
+        }
+    }
+
+    /// Overrides the normalization baselines (e.g., total system capacity
+    /// instead of currently-free capacity).
+    pub fn with_normalizers(mut self, nodes: f64, bb_gb: f64) -> Self {
+        self.inner = self.inner.with_normalizers(&[nodes, bb_gb]);
+        self
+    }
+
+    /// The job demands in the window.
+    pub fn window(&self) -> &[JobDemand] {
+        self.inner.window()
+    }
+
+    /// Free nodes at this invocation.
+    pub fn avail_nodes(&self) -> u32 {
+        self.inner.model.avail_nodes()
+    }
+
+    /// Free burst buffer (GB) at this invocation.
+    pub fn avail_bb_gb(&self) -> f64 {
+        self.inner.avail.get(1)
+    }
+}
+
+#[allow(deprecated)]
+impl MooProblem for CpuBbProblem {
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    fn num_objectives(&self) -> usize {
+        self.inner.num_objectives()
+    }
+    fn evaluate(&self, x: &Chromosome) -> Objectives {
+        self.inner.evaluate(x)
+    }
+    fn is_feasible(&self, x: &Chromosome) -> bool {
+        self.inner.is_feasible(x)
+    }
+    fn repair(&self, x: &mut Chromosome) {
+        self.inner.repair(x)
+    }
+    fn normalizers(&self) -> Objectives {
+        self.inner.normalizers()
     }
 }
 
@@ -243,13 +600,17 @@ impl MooProblem for CpuBbProblem {
 /// prefer 128 GB nodes and overflow onto 256 GB nodes. Total waste depends
 /// only on how many node-slots come from each pool, so the greedy assignment
 /// is optimal for `f4` given a selection.
+#[deprecated(
+    since = "0.2.0",
+    note = "use KnapsackMooProblem with ResourceModel::cpu_bb_ssd; this wrapper delegates to it"
+)]
 #[derive(Clone, Debug)]
 pub struct CpuBbSsdProblem {
-    window: Vec<JobDemand>,
+    inner: KnapsackMooProblem,
     avail: Available,
-    norm: [f64; 4],
 }
 
+#[allow(deprecated)]
 impl CpuBbSsdProblem {
     /// Builds the problem. `avail.nodes` must equal
     /// `avail.nodes_128 + avail.nodes_256`.
@@ -266,124 +627,56 @@ impl CpuBbSsdProblem {
             avail.nodes_128 + avail.nodes_256,
             "SSD problem requires nodes == nodes_128 + nodes_256"
         );
-        let ssd_cap =
-            f64::from(avail.nodes_128) * SSD_SMALL_GB + f64::from(avail.nodes_256) * SSD_LARGE_GB;
-        let norm = [
-            f64::from(avail.nodes).max(1.0),
-            avail.bb_gb.max(1.0),
-            ssd_cap.max(1.0),
-            ssd_cap.max(1.0),
-        ];
-        Self { window, avail, norm }
+        let model = ResourceModel::cpu_bb_ssd(avail.nodes_128, avail.nodes_256, avail.bb_gb);
+        let inner = KnapsackMooProblem::new(window, model)
+            .with_repair_style(RepairStyle::DropUnconditionally);
+        Self { inner, avail }
     }
 
     /// Overrides normalization baselines (nodes, bb, ssd, waste).
     pub fn with_normalizers(mut self, norm: [f64; 4]) -> Self {
-        self.norm = norm.map(|v| v.max(1.0));
+        self.inner = self.inner.with_normalizers(&norm);
         self
     }
 
     /// The job demands in the window.
     pub fn window(&self) -> &[JobDemand] {
-        &self.window
+        self.inner.window()
     }
 
     /// The availability this problem was built against.
     pub fn available(&self) -> Available {
         self.avail
     }
-
-    /// Aggregates a selection: (total nodes, bb, nodes that must be 256 GB,
-    /// nodes that may be either, ssd utilization, requested ssd total).
-    fn aggregate(&self, x: &Chromosome) -> Aggregate {
-        let mut agg = Aggregate::default();
-        for i in x.selected() {
-            let d = &self.window[i];
-            agg.nodes += u64::from(d.nodes);
-            agg.bb += d.bb_gb;
-            agg.ssd_util += d.ssd_gb_per_node * f64::from(d.nodes);
-            if d.ssd_gb_per_node > SSD_SMALL_GB {
-                agg.need_256 += u64::from(d.nodes);
-            } else {
-                agg.flexible += u64::from(d.nodes);
-            }
-        }
-        agg
-    }
-
-    /// Wasted SSD for a feasible selection under the greedy assignment.
-    fn waste(&self, agg: &Aggregate) -> f64 {
-        // Flexible node-slots take 128 GB nodes first, overflow to 256 GB.
-        let on_128 = agg.flexible.min(u64::from(self.avail.nodes_128));
-        let overflow = agg.flexible - on_128;
-        let assigned_cap = on_128 as f64 * SSD_SMALL_GB
-            + (overflow + agg.need_256) as f64 * SSD_LARGE_GB;
-        (assigned_cap - agg.ssd_util).max(0.0)
-    }
-
-    fn feasible_agg(&self, agg: &Aggregate) -> bool {
-        agg.nodes <= u64::from(self.avail.nodes)
-            && agg.bb <= self.avail.bb_gb * (1.0 + BB_EPS) + BB_EPS
-            && agg.need_256 <= u64::from(self.avail.nodes_256)
-    }
 }
 
-#[derive(Clone, Copy, Debug, Default)]
-struct Aggregate {
-    nodes: u64,
-    bb: f64,
-    ssd_util: f64,
-    /// Node-slots that must land on 256 GB nodes (per-node request > 128 GB).
-    need_256: u64,
-    /// Node-slots that can land on either flavour.
-    flexible: u64,
-}
-
+#[allow(deprecated)]
 impl MooProblem for CpuBbSsdProblem {
     fn len(&self) -> usize {
-        self.window.len()
+        self.inner.len()
     }
-
     fn num_objectives(&self) -> usize {
-        4
+        self.inner.num_objectives()
     }
-
     fn evaluate(&self, x: &Chromosome) -> Objectives {
-        let agg = self.aggregate(x);
-        let waste = self.waste(&agg);
-        Objectives::from_slice(&[agg.nodes as f64, agg.bb, agg.ssd_util, -waste])
+        self.inner.evaluate(x)
     }
-
     fn is_feasible(&self, x: &Chromosome) -> bool {
-        self.feasible_agg(&self.aggregate(x))
+        self.inner.is_feasible(x)
     }
-
     fn repair(&self, x: &mut Chromosome) {
-        if self.is_feasible(x) {
-            return;
-        }
-        let w = self.window.len();
-        let start = (x.content_hash() % w as u64) as usize;
-        for k in 0..w {
-            let i = (start + k) % w;
-            if x.get(i) {
-                x.set(i, false);
-                if self.is_feasible(x) {
-                    return;
-                }
-            }
-        }
-        debug_assert!(self.is_feasible(x));
+        self.inner.repair(x)
     }
-
     fn normalizers(&self) -> Objectives {
-        Objectives::from_slice(&self.norm)
+        self.inner.normalizers()
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::resource::{DemandSlot, ResourceSpec};
 
     fn table1_window() -> Vec<JobDemand> {
         vec![
@@ -509,5 +802,134 @@ mod tests {
     fn ssd_pools_must_sum() {
         let bad = Available { nodes: 10, bb_gb: 0.0, nodes_128: 4, nodes_256: 4 };
         let _ = CpuBbSsdProblem::new(vec![], bad);
+    }
+
+    // ---- generic-path tests -------------------------------------------
+
+    /// Every chromosome over the Table-1 window must evaluate, feasibility-
+    /// check, and repair identically through the wrapper and the generic
+    /// problem (the wrapper *is* the generic problem, but this pins the
+    /// preset wiring).
+    #[test]
+    fn generic_cpu_bb_is_bit_identical_to_wrapper() {
+        let wrapper = CpuBbProblem::new(table1_window(), 100, 100_000.0);
+        let generic =
+            KnapsackMooProblem::new(table1_window(), ResourceModel::cpu_bb(100, 100_000.0));
+        assert_eq!(generic.num_objectives(), 2);
+        for mask in 0u64..32 {
+            let c = Chromosome::from_mask(mask, 5);
+            assert_eq!(wrapper.evaluate(&c), generic.evaluate(&c));
+            assert_eq!(wrapper.is_feasible(&c), generic.is_feasible(&c));
+            let mut a = c.clone();
+            let mut b = c.clone();
+            wrapper.repair(&mut a);
+            generic.repair(&mut b);
+            assert_eq!(a, b, "repair diverged on mask {mask:#b}");
+        }
+        assert_eq!(wrapper.normalizers(), generic.normalizers());
+    }
+
+    #[test]
+    fn generic_ssd_preset_matches_wrapper_with_drop_all_repair() {
+        let avail = Available::with_ssd(4, 4, 1_000.0);
+        let wrapper = CpuBbSsdProblem::new(ssd_window(), avail);
+        let generic =
+            KnapsackMooProblem::new(ssd_window(), ResourceModel::cpu_bb_ssd(4, 4, 1_000.0))
+                .with_repair_style(RepairStyle::DropUnconditionally);
+        assert_eq!(generic.num_objectives(), 4);
+        for mask in 0u64..8 {
+            let c = Chromosome::from_mask(mask, 3);
+            assert_eq!(wrapper.evaluate(&c), generic.evaluate(&c));
+            assert_eq!(wrapper.is_feasible(&c), generic.is_feasible(&c));
+            let mut a = c.clone();
+            let mut b = c.clone();
+            wrapper.repair(&mut a);
+            generic.repair(&mut b);
+            assert_eq!(a, b, "repair diverged on mask {mask:#b}");
+        }
+    }
+
+    #[test]
+    fn gated_repair_preserves_innocent_genes_on_ssd_problem() {
+        // BB is over capacity; job 1 (no BB demand) cannot relieve it. The
+        // gated rule must keep job 1 while the historical rule drops
+        // whatever the cyclic order reaches first.
+        let window = vec![
+            JobDemand::cpu_bb_ssd(2, 900.0, 0.0),
+            JobDemand::cpu_bb_ssd(2, 0.0, 64.0),
+            JobDemand::cpu_bb_ssd(2, 800.0, 0.0),
+        ];
+        let p = KnapsackMooProblem::new(window, ResourceModel::cpu_bb_ssd(4, 4, 1_000.0));
+        assert_eq!(p.repair_style(), RepairStyle::DropIfRelieves);
+        let mut c = Chromosome::from_bits(&[true, true, true]);
+        p.repair(&mut c);
+        assert!(p.is_feasible(&c));
+        assert!(c.get(1), "gated repair must not drop a gene that relieves nothing");
+    }
+
+    #[test]
+    fn three_pooled_resources_round_trip() {
+        // Nodes + BB + a pooled GPU bank: 3 objectives, no per-node table.
+        let model = ResourceModel::new(vec![
+            ResourceSpec::pooled("nodes", 10.0, DemandSlot::Nodes),
+            ResourceSpec::pooled("bb_gb", 100.0, DemandSlot::BbGb),
+            ResourceSpec::pooled("gpus", 8.0, DemandSlot::Extra(0)),
+        ])
+        .unwrap();
+        let window = vec![
+            JobDemand::cpu_bb(4, 60.0).with_extra(0, 6.0),
+            JobDemand::cpu_bb(4, 30.0).with_extra(0, 4.0),
+            JobDemand::cpu_bb(2, 20.0),
+        ];
+        let p = KnapsackMooProblem::new(window, model);
+        assert_eq!(p.num_objectives(), 3);
+        let all = Chromosome::from_bits(&[true, true, true]);
+        // 10 GPUs > 8 available: infeasible, and repair must fix exactly that.
+        assert!(!p.is_feasible(&all));
+        let mut r = all;
+        p.repair(&mut r);
+        assert!(p.is_feasible(&r));
+        let o = p.evaluate(&r);
+        assert!(o[2] <= 8.0);
+        // A selection inside every pool is feasible and additive.
+        let two = Chromosome::from_bits(&[true, false, true]);
+        assert!(p.is_feasible(&two));
+        assert_eq!(p.evaluate(&two).as_slice(), &[6.0, 80.0, 6.0]);
+        assert_eq!(p.normalizers().as_slice(), &[10.0, 100.0, 8.0]);
+    }
+
+    #[test]
+    fn per_node_gpu_resource_tracks_waste() {
+        // Homogeneous 4-GPU nodes, waste objective on: a 1-GPU-per-node job
+        // wastes 3 GPUs per node it occupies.
+        let model = ResourceModel::new(vec![
+            ResourceSpec::pooled("nodes", 4.0, DemandSlot::Nodes),
+            ResourceSpec::pooled("bb_gb", 100.0, DemandSlot::BbGb),
+            ResourceSpec::per_node(
+                "gpus",
+                crate::resource::FlavorSet::homogeneous(4.0, 4),
+                DemandSlot::Extra(0),
+            )
+            .with_waste_objective(),
+        ])
+        .unwrap();
+        let window = vec![JobDemand::cpu_bb(2, 0.0).with_extra(0, 1.0)];
+        let p = KnapsackMooProblem::new(window, model);
+        assert_eq!(p.num_objectives(), 4);
+        let one = Chromosome::from_bits(&[true]);
+        let o = p.evaluate(&one);
+        assert_eq!(o[0], 2.0);
+        assert_eq!(o[2], 2.0); // 1 GPU/node x 2 nodes used
+        assert_eq!(o[3], -6.0); // 2 nodes x (4 - 1) GPUs wasted
+    }
+
+    #[test]
+    fn extra_demand_slots_default_to_zero_and_serde_round_trip() {
+        let d = JobDemand::cpu_bb(4, 10.0);
+        assert_eq!(d.extra, [0.0; MAX_EXTRA]);
+        let d = d.with_extra(1, 3.5);
+        let s = serde_json::to_string(&d).unwrap();
+        let back: JobDemand = serde_json::from_str(&s).unwrap();
+        assert_eq!(d, back);
     }
 }

@@ -37,10 +37,7 @@ fn avg_min_dist(from: &ParetoFront, to: &ParetoFront, scale: Option<&[f64]>) -> 
     }
     let mut total = 0.0;
     for u in from.objective_vectors() {
-        let min = to
-            .objective_vectors()
-            .map(|v| dist(u, v, scale))
-            .fold(f64::INFINITY, f64::min);
+        let min = to.objective_vectors().map(|v| dist(u, v, scale)).fold(f64::INFINITY, f64::min);
         total += min;
     }
     total / from.len() as f64
@@ -162,27 +159,17 @@ fn hso(points: &[Vec<f64>], reference: &[f64]) -> f64 {
         return 0.0;
     }
     if dim == 1 {
-        return points
-            .iter()
-            .map(|p| p[0] - reference[0])
-            .fold(0.0f64, f64::max);
+        return points.iter().map(|p| p[0] - reference[0]).fold(0.0f64, f64::max);
     }
     // Slice along the last objective: sort descending by it.
     let mut sorted: Vec<&Vec<f64>> = points.iter().collect();
-    sorted.sort_by(|a, b| {
-        b[dim - 1]
-            .partial_cmp(&a[dim - 1])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    sorted.sort_by(|a, b| b[dim - 1].partial_cmp(&a[dim - 1]).unwrap_or(std::cmp::Ordering::Equal));
     let mut volume = 0.0;
     let mut active: Vec<Vec<f64>> = Vec::new();
     for (i, p) in sorted.iter().enumerate() {
         active.push(p[..dim - 1].to_vec());
         let upper = p[dim - 1];
-        let lower = sorted
-            .get(i + 1)
-            .map(|q| q[dim - 1])
-            .unwrap_or(reference[dim - 1]);
+        let lower = sorted.get(i + 1).map(|q| q[dim - 1]).unwrap_or(reference[dim - 1]);
         let thickness = upper - lower;
         if thickness > 0.0 {
             volume += thickness * hso(&active, &reference[..dim - 1]);

@@ -3,9 +3,10 @@
 use bbsched_core::chromosome::Chromosome;
 use bbsched_core::decision::{choose_preferred, DecisionRule};
 use bbsched_core::pareto::{crowding_distance, dominates, ParetoFront, Solution};
-use bbsched_core::problem::{CpuBbProblem, JobDemand, MooProblem};
+use bbsched_core::problem::{JobDemand, KnapsackMooProblem, MooProblem, RepairStyle};
 use bbsched_core::quality::{generational_distance, hypervolume_2d};
-use bbsched_core::Objectives;
+use bbsched_core::resource::{DemandSlot, ResourceModel, ResourceSpec};
+use bbsched_core::{GaConfig, MooGa, Objectives};
 use proptest::prelude::*;
 
 fn vec2() -> impl Strategy<Value = [f64; 2]> {
@@ -133,7 +134,7 @@ proptest! {
         let never = choose_preferred(
             &front,
             &norm,
-            DecisionRule { tradeoff_factor: 1e12 },
+            DecisionRule::with_factor(1e12),
         )
         .unwrap();
         let max_nodes = front
@@ -164,7 +165,7 @@ proptest! {
         let window: Vec<JobDemand> =
             demands.iter().map(|&(n, b)| JobDemand::cpu_bb(n, b)).collect();
         let w = window.len();
-        let problem = CpuBbProblem::new(window.clone(), u32::MAX, f64::INFINITY);
+        let problem = KnapsackMooProblem::new(window.clone(), ResourceModel::cpu_bb(u32::MAX, f64::INFINITY));
         let c = Chromosome::from_mask(mask, w.min(64));
         let c = if w <= 64 { c } else { Chromosome::from_mask(mask, 64) };
         let obj = problem.evaluate(&c);
@@ -172,5 +173,177 @@ proptest! {
         let bb: f64 = c.selected().map(|i| window[i].bb_gb).sum();
         prop_assert!((obj[0] - nodes).abs() < 1e-9);
         prop_assert!((obj[1] - bb).abs() < 1e-9);
+    }
+}
+
+// --- generic N-resource properties -----------------------------------------
+//
+// The demand slots available to non-node resources, in canonical order.
+const POOLED_SLOTS: [DemandSlot; 3] =
+    [DemandSlot::BbGb, DemandSlot::Extra(0), DemandSlot::Extra(1)];
+
+/// A pooled model over nodes plus the non-node resources listed in `order`
+/// (indices into [`POOLED_SLOTS`] / `amounts`). Resource 0 is always nodes;
+/// permuting `order` permutes the model's resource order without touching
+/// the job demands (slots route demands by identity, not position).
+fn pooled_model(avail_nodes: u32, amounts: &[f64; 3], order: &[usize]) -> ResourceModel {
+    let mut specs = vec![ResourceSpec::pooled("nodes", f64::from(avail_nodes), DemandSlot::Nodes)];
+    for &k in order {
+        specs.push(ResourceSpec::pooled(format!("r{k}"), amounts[k], POOLED_SLOTS[k]));
+    }
+    ResourceModel::new(specs).expect("pooled tables are always valid")
+}
+
+/// The `idx`-th permutation of `0..n` (factorial number system; any `idx`
+/// maps to a valid permutation).
+fn permutation(n: usize, mut idx: usize) -> Vec<usize> {
+    let mut pool: Vec<usize> = (0..n).collect();
+    let mut out = Vec::with_capacity(n);
+    for k in (1..=n).rev() {
+        out.push(pool.remove(idx % k));
+        idx /= k;
+    }
+    out
+}
+
+/// A demand routing `amounts` through the three pooled non-node slots.
+fn pooled_demand(nodes: u32, amounts: &[f64; 3]) -> JobDemand {
+    JobDemand { nodes, bb_gb: amounts[0], ssd_gb_per_node: 0.0, extra: [amounts[1], amounts[2]] }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Repair always lands on a feasible selection — and only ever
+    /// deselects — for R ∈ {2, 3, 4} pooled resources, under both repair
+    /// rules.
+    #[test]
+    fn repair_feasible_for_r_2_3_4(
+        r in 2usize..=4,
+        avail_nodes in 1u32..60,
+        amounts in [0.0f64..500.0, 0.0f64..500.0, 0.0f64..500.0],
+        jobs in collection::vec((0u32..30, [0.0f64..200.0, 0.0f64..200.0, 0.0f64..200.0]), 1..16),
+        mask in any::<u64>(),
+        drop_all in any::<bool>(),
+    ) {
+        let order: Vec<usize> = (0..r - 1).collect();
+        let window: Vec<JobDemand> =
+            jobs.iter().map(|&(n, ref a)| pooled_demand(n, a)).collect();
+        let style =
+            if drop_all { RepairStyle::DropUnconditionally } else { RepairStyle::DropIfRelieves };
+        let problem = KnapsackMooProblem::new(window, pooled_model(avail_nodes, &amounts, &order))
+            .with_repair_style(style);
+        let before = Chromosome::from_mask(mask, jobs.len());
+        let mut after = before.clone();
+        problem.repair(&mut after);
+        prop_assert!(problem.is_feasible(&after), "repair left an infeasible selection");
+        for i in 0..jobs.len() {
+            prop_assert!(!after.get(i) || before.get(i), "repair selected gene {}", i);
+        }
+    }
+
+    /// Repair feasibility also holds with a flavoured per-node resource in
+    /// the table (the §5 two-tier SSD shape), under both repair rules.
+    #[test]
+    fn repair_feasible_with_per_node_flavours(
+        n128 in 0u32..20,
+        n256 in 0u32..20,
+        bb in 0.0f64..500.0,
+        jobs in collection::vec((0u32..10, 0.0f64..200.0, 0.0f64..300.0), 1..16),
+        mask in any::<u64>(),
+    ) {
+        let window: Vec<JobDemand> =
+            jobs.iter().map(|&(n, b, s)| JobDemand::cpu_bb_ssd(n, b, s)).collect();
+        let model = ResourceModel::cpu_bb_ssd(n128, n256, bb);
+        for style in [RepairStyle::DropIfRelieves, RepairStyle::DropUnconditionally] {
+            let p = KnapsackMooProblem::new(window.clone(), model.clone())
+                .with_repair_style(style);
+            let mut c = Chromosome::from_mask(mask, jobs.len());
+            p.repair(&mut c);
+            prop_assert!(p.is_feasible(&c), "repair ({:?}) left an infeasible selection", style);
+        }
+    }
+
+    /// Reordering the non-node resources permutes the objective vector
+    /// component-for-component and leaves Pareto dominance and feasibility
+    /// invariant: the model order is presentation, not semantics.
+    #[test]
+    fn dominance_invariant_under_resource_permutation(
+        r in 3usize..=4,
+        avail_nodes in 1u32..60,
+        amounts in [0.0f64..500.0, 0.0f64..500.0, 0.0f64..500.0],
+        jobs in collection::vec((0u32..30, [0.0f64..200.0, 0.0f64..200.0, 0.0f64..200.0]), 1..16),
+        masks in [any::<u64>(), any::<u64>()],
+        perm_idx in 0usize..6,
+    ) {
+        let n = r - 1;
+        let base: Vec<usize> = (0..n).collect();
+        let perm = permutation(n, perm_idx);
+        let window: Vec<JobDemand> =
+            jobs.iter().map(|&(nd, ref a)| pooled_demand(nd, a)).collect();
+        let p0 = KnapsackMooProblem::new(window.clone(), pooled_model(avail_nodes, &amounts, &base));
+        let p1 = KnapsackMooProblem::new(window, pooled_model(avail_nodes, &amounts, &perm));
+        let a = Chromosome::from_mask(masks[0], jobs.len());
+        let b = Chromosome::from_mask(masks[1], jobs.len());
+        // The permuted problem's objectives are exactly the original's,
+        // reordered: permuted objective 1+j reads original resource 1+perm[j].
+        for c in [&a, &b] {
+            let o0 = p0.evaluate(c);
+            let o1 = p1.evaluate(c);
+            prop_assert_eq!(o0[0], o1[0]);
+            for (j, &k) in perm.iter().enumerate() {
+                prop_assert_eq!(o1[1 + j], o0[1 + k]);
+            }
+        }
+        // Dominance between any two selections is order-independent.
+        let (oa0, ob0) = (p0.evaluate(&a), p0.evaluate(&b));
+        let (oa1, ob1) = (p1.evaluate(&a), p1.evaluate(&b));
+        prop_assert_eq!(
+            dominates(oa0.as_slice(), ob0.as_slice()),
+            dominates(oa1.as_slice(), ob1.as_slice())
+        );
+        prop_assert_eq!(
+            dominates(ob0.as_slice(), oa0.as_slice()),
+            dominates(ob1.as_slice(), oa1.as_slice())
+        );
+        // So is feasibility.
+        prop_assert_eq!(p0.is_feasible(&a), p1.is_feasible(&a));
+        prop_assert_eq!(p0.is_feasible(&b), p1.is_feasible(&b));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The GA front stays feasible when the resource order is permuted, and
+    /// each front is feasible under the *other* order's problem: feasibility
+    /// of evolved solutions does not depend on how the table was written.
+    #[test]
+    fn ga_front_feasibility_invariant_under_permutation(
+        avail_nodes in 1u32..40,
+        amounts in [0.0f64..400.0, 0.0f64..400.0, 0.0f64..400.0],
+        jobs in collection::vec((0u32..20, [0.0f64..150.0, 0.0f64..150.0, 0.0f64..150.0]), 1..11),
+        perm_idx in 0usize..6,
+        seed in any::<u64>(),
+    ) {
+        let base: Vec<usize> = vec![0, 1, 2];
+        let perm = permutation(3, perm_idx);
+        let window: Vec<JobDemand> =
+            jobs.iter().map(|&(n, ref a)| pooled_demand(n, a)).collect();
+        let p0 = KnapsackMooProblem::new(window.clone(), pooled_model(avail_nodes, &amounts, &base));
+        let p1 = KnapsackMooProblem::new(window, pooled_model(avail_nodes, &amounts, &perm));
+        let cfg = GaConfig { population: 10, generations: 25, seed, ..GaConfig::default() };
+        let f0 = MooGa::new(cfg.clone()).solve(&p0);
+        let f1 = MooGa::new(cfg).solve(&p1);
+        prop_assert!(f0.is_mutually_nondominated());
+        prop_assert!(f1.is_mutually_nondominated());
+        for s in f0.solutions() {
+            prop_assert!(p0.is_feasible(&s.chromosome));
+            prop_assert!(p1.is_feasible(&s.chromosome));
+        }
+        for s in f1.solutions() {
+            prop_assert!(p1.is_feasible(&s.chromosome));
+            prop_assert!(p0.is_feasible(&s.chromosome));
+        }
     }
 }

@@ -86,6 +86,7 @@ mod tests {
             nodes,
             bb_gb: 0.0,
             ssd_gb_per_node: 0.0,
+            extra: [0.0; bbsched_core::resource::MAX_EXTRA],
             assignment: NodeAssignment::default(),
             wasted_ssd_gb: 0.0,
             reason: StartReason::Policy,
@@ -111,8 +112,7 @@ mod tests {
 
     #[test]
     fn averages_group_correctly() {
-        let records =
-            vec![rec(4, 10.0), rec(4, 30.0), rec(64, 100.0), rec(2048, 500.0)];
+        let records = vec![rec(4, 10.0), rec(4, 30.0), rec(64, 100.0), rec(2048, 500.0)];
         let bins = bins_from_edges(&[1.0, 9.0, 1025.0], &["1-8", "9-1024", ">1024"]);
         let rows = breakdown_by(&records, &bins, |r| f64::from(r.nodes));
         assert_eq!(rows[0], ("1-8".into(), 20.0, 2));

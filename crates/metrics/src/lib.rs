@@ -30,5 +30,5 @@ pub mod usage;
 pub use breakdown::{bins_from_edges, breakdown_by, Bin};
 pub use kiviat::{kiviat_area, normalize_axes, safe_reciprocal};
 pub use stats::{jains_fairness, percentile, DistributionStats};
-pub use summary::{MeasurementWindow, MethodSummary};
+pub use summary::{MeasurementWindow, MethodSummary, ResourceSummary};
 pub use usage::{resource_usage, UsageKind};

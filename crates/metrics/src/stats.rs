@@ -5,7 +5,7 @@
 //! P90/P99 waits and per-user fairness alongside them. These helpers
 //! extend the §4.2 metric set without changing it.
 
-use crate::usage::{capacity, UsageKind};
+use crate::usage::{capacity, slot_amount, slot_of, UsageKind};
 use bbsched_sim::JobRecord;
 use bbsched_workloads::SystemConfig;
 use serde::{Deserialize, Serialize};
@@ -74,11 +74,8 @@ impl DistributionStats {
     /// Slowdown stats of a record set, filtering jobs shorter than
     /// `min_runtime` as in §4.2.
     pub fn of_slowdowns(records: &[JobRecord], min_runtime: f64) -> Self {
-        let s: Vec<f64> = records
-            .iter()
-            .filter(|r| r.runtime >= min_runtime)
-            .map(JobRecord::slowdown)
-            .collect();
+        let s: Vec<f64> =
+            records.iter().filter(|r| r.runtime >= min_runtime).map(JobRecord::slowdown).collect();
         Self::from_values(&s)
     }
 }
@@ -114,18 +111,16 @@ pub fn utilization_timeline(
     if cap <= 0.0 || t1 <= t0 {
         return Vec::new();
     }
-    let amount = |r: &JobRecord| match kind {
-        UsageKind::Nodes => f64::from(r.nodes),
-        UsageKind::BurstBuffer => r.bb_gb,
-        UsageKind::LocalSsdUsed => r.ssd_gb_per_node * f64::from(r.nodes),
-        UsageKind::LocalSsdWasted => r.wasted_ssd_gb,
+    let slot = slot_of(system, kind);
+    let amount = |r: &JobRecord| match slot {
+        Some(s) => slot_amount(r, s),
+        None => r.wasted_ssd_gb,
     };
     let n = ((t1 - t0) / dt).ceil() as usize + 1;
     let mut out = Vec::with_capacity(n);
     let mut t = t0;
     while t <= t1 + 1e-9 {
-        let used: f64 =
-            records.iter().filter(|r| r.start <= t && t < r.end).map(&amount).sum();
+        let used: f64 = records.iter().filter(|r| r.start <= t && t < r.end).map(&amount).sum();
         out.push((t, used / cap));
         t += dt;
     }
@@ -159,6 +154,7 @@ mod tests {
             nodes,
             bb_gb: 0.0,
             ssd_gb_per_node: 0.0,
+            extra: [0.0; bbsched_core::resource::MAX_EXTRA],
             assignment: NodeAssignment::default(),
             wasted_ssd_gb: 0.0,
             reason: StartReason::Policy,
@@ -220,6 +216,7 @@ mod tests {
             bb_reserved_gb: 0.0,
             nodes_128: 0,
             nodes_256: 0,
+            extra_resources: Vec::new(),
         };
         let records = vec![rec(0.0, 0.0, 50.0, 10), rec(0.0, 50.0, 50.0, 5)];
         let tl = utilization_timeline(&records, &sys, UsageKind::Nodes, 0.0, 100.0, 25.0);

@@ -53,19 +53,29 @@ impl MeasurementWindow {
     }
 }
 
+/// Usage and waste of one system resource over the measured interval.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ResourceSummary {
+    /// Resource name from the system's resource model ("nodes", "bb_gb",
+    /// "ssd", or an extra resource's registered name).
+    pub name: String,
+    /// Usage ratio in [0, 1].
+    pub usage: f64,
+    /// Wasted-capacity ratio (0 for resources without a waste objective).
+    pub waste: f64,
+}
+
 /// One method × workload cell of the evaluation: every §4.2/§5 metric.
+///
+/// Usage is reported per resource, in the system's resource-model order;
+/// the `node_usage()`/`bb_usage()`/`ssd_usage()`/`ssd_wasted()` accessors
+/// recover the paper's named series.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct MethodSummary {
     /// Policy name.
     pub policy: String,
-    /// Node usage in [0, 1].
-    pub node_usage: f64,
-    /// Burst-buffer usage in [0, 1].
-    pub bb_usage: f64,
-    /// Local-SSD utilization in [0, 1] (0 on non-SSD systems).
-    pub ssd_usage: f64,
-    /// Wasted local SSD as a fraction of SSD capacity-time (0 when N/A).
-    pub ssd_wasted: f64,
+    /// Per-resource usage/waste series (resource-model order).
+    pub resources: Vec<ResourceSummary>,
     /// Average job wait time (s) over measured jobs.
     pub avg_wait: f64,
     /// Average slowdown over measured, non-abnormal jobs.
@@ -80,56 +90,88 @@ impl MethodSummary {
     /// Computes the summary of a run over the given measurement window.
     pub fn from_result(result: &SimResult, window: MeasurementWindow) -> Self {
         let (t0, t1) = window.interval(&result.records);
-        let measured: Vec<&JobRecord> = result
-            .records
-            .iter()
-            .filter(|r| window.contains(r, t0, t1))
-            .collect();
+        let measured: Vec<&JobRecord> =
+            result.records.iter().filter(|r| window.contains(r, t0, t1)).collect();
 
         let avg_wait = if measured.is_empty() {
             0.0
         } else {
             measured.iter().map(|r| r.wait()).sum::<f64>() / measured.len() as f64
         };
-        let slowdown_jobs: Vec<&&JobRecord> = measured
-            .iter()
-            .filter(|r| r.runtime >= window.slowdown_min_runtime)
-            .collect();
+        let slowdown_jobs: Vec<&&JobRecord> =
+            measured.iter().filter(|r| r.runtime >= window.slowdown_min_runtime).collect();
         let avg_slowdown = if slowdown_jobs.is_empty() {
             0.0
         } else {
             slowdown_jobs.iter().map(|r| r.slowdown()).sum::<f64>() / slowdown_jobs.len() as f64
         };
 
+        let model = result.system.resource_model();
+        let resources = model
+            .specs()
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| ResourceSummary {
+                name: spec.name.clone(),
+                usage: resource_usage(
+                    &result.records,
+                    &result.system,
+                    UsageKind::Resource(i),
+                    t0,
+                    t1,
+                ),
+                waste: if spec.track_waste {
+                    resource_usage(
+                        &result.records,
+                        &result.system,
+                        UsageKind::ResourceWaste(i),
+                        t0,
+                        t1,
+                    )
+                } else {
+                    0.0
+                },
+            })
+            .collect();
+
         Self {
             policy: result.policy.clone(),
-            node_usage: resource_usage(&result.records, &result.system, UsageKind::Nodes, t0, t1),
-            bb_usage: resource_usage(
-                &result.records,
-                &result.system,
-                UsageKind::BurstBuffer,
-                t0,
-                t1,
-            ),
-            ssd_usage: resource_usage(
-                &result.records,
-                &result.system,
-                UsageKind::LocalSsdUsed,
-                t0,
-                t1,
-            ),
-            ssd_wasted: resource_usage(
-                &result.records,
-                &result.system,
-                UsageKind::LocalSsdWasted,
-                t0,
-                t1,
-            ),
+            resources,
             avg_wait,
             avg_slowdown,
             measured_jobs: measured.len(),
             backfilled: result.backfilled,
         }
+    }
+
+    /// Usage of the resource named `name` (0 when the system lacks it).
+    pub fn usage_of(&self, name: &str) -> f64 {
+        self.resources.iter().find(|r| r.name == name).map_or(0.0, |r| r.usage)
+    }
+
+    /// Wasted-capacity ratio of the resource named `name` (0 when N/A).
+    pub fn waste_of(&self, name: &str) -> f64 {
+        self.resources.iter().find(|r| r.name == name).map_or(0.0, |r| r.waste)
+    }
+
+    /// Node usage in [0, 1].
+    pub fn node_usage(&self) -> f64 {
+        self.usage_of("nodes")
+    }
+
+    /// Burst-buffer usage in [0, 1].
+    pub fn bb_usage(&self) -> f64 {
+        self.usage_of("bb_gb")
+    }
+
+    /// Local-SSD utilization in [0, 1] (0 on non-SSD systems).
+    pub fn ssd_usage(&self) -> f64 {
+        self.usage_of("ssd")
+    }
+
+    /// Wasted local SSD as a fraction of SSD capacity-time (0 when N/A).
+    pub fn ssd_wasted(&self) -> f64 {
+        self.waste_of("ssd")
     }
 }
 
@@ -151,6 +193,7 @@ mod tests {
             nodes,
             bb_gb: 0.0,
             ssd_gb_per_node: 0.0,
+            extra: [0.0; bbsched_core::resource::MAX_EXTRA],
             assignment: NodeAssignment::default(),
             wasted_ssd_gb: 0.0,
             reason: StartReason::Policy,
@@ -168,6 +211,7 @@ mod tests {
                 bb_reserved_gb: 0.0,
                 nodes_128: 0,
                 nodes_256: 0,
+                extra_resources: Vec::new(),
             },
             records,
             makespan: 0.0,

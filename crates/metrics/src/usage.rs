@@ -5,10 +5,16 @@
 //! local SSD). Usage is computed over a measurement interval `[t0, t1]`
 //! by integrating each job's occupancy clipped to the interval.
 
+use bbsched_core::resource::{DemandSlot, ResourceKind};
 use bbsched_sim::JobRecord;
 use bbsched_workloads::SystemConfig;
 
 /// Which resource to integrate.
+///
+/// The named variants cover the paper's resources; [`UsageKind::Resource`]
+/// and [`UsageKind::ResourceWaste`] address any resource by its index in
+/// the system's [`SystemConfig::resource_model`] order (including extra
+/// registered resources), which is how per-resource series are built.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum UsageKind {
     /// Compute nodes.
@@ -19,25 +25,52 @@ pub enum UsageKind {
     LocalSsdUsed,
     /// Local SSD capacity wasted (assigned minus requested).
     LocalSsdWasted,
+    /// Requested capacity of resource `r` (resource-model order).
+    Resource(usize),
+    /// Wasted capacity of per-node resource `r` (assigned minus requested).
+    ResourceWaste(usize),
 }
 
-/// Occupied amount of the given resource while `r` runs.
-fn amount(r: &JobRecord, kind: UsageKind) -> f64 {
-    match kind {
-        UsageKind::Nodes => f64::from(r.nodes),
-        UsageKind::BurstBuffer => r.bb_gb,
-        UsageKind::LocalSsdUsed => r.ssd_gb_per_node * f64::from(r.nodes),
-        UsageKind::LocalSsdWasted => r.wasted_ssd_gb,
+/// Occupied amount of the demand slot while `r` runs. Per-node slots count
+/// capacity over all of the job's nodes.
+pub(crate) fn slot_amount(r: &JobRecord, slot: DemandSlot) -> f64 {
+    match slot {
+        DemandSlot::Nodes => f64::from(r.nodes),
+        DemandSlot::BbGb => r.bb_gb,
+        DemandSlot::SsdPerNode => r.ssd_gb_per_node * f64::from(r.nodes),
+        DemandSlot::Extra(i) => r.extra.get(usize::from(i)).copied().unwrap_or(0.0),
     }
 }
 
-/// System capacity for the given resource.
+/// The demand slot a kind integrates, or `None` for waste kinds (which
+/// integrate the record's wasted capacity instead).
+pub(crate) fn slot_of(system: &SystemConfig, kind: UsageKind) -> Option<DemandSlot> {
+    match kind {
+        UsageKind::Nodes => Some(DemandSlot::Nodes),
+        UsageKind::BurstBuffer => Some(DemandSlot::BbGb),
+        UsageKind::LocalSsdUsed => Some(DemandSlot::SsdPerNode),
+        UsageKind::LocalSsdWasted | UsageKind::ResourceWaste(_) => None,
+        UsageKind::Resource(i) => system.resource_model().specs().get(i).map(|s| s.slot),
+    }
+}
+
+/// System capacity for the given resource (0 when the index is out of
+/// range, making the usage ratio 0 rather than a panic).
 pub fn capacity(system: &SystemConfig, kind: UsageKind) -> f64 {
     match kind {
         UsageKind::Nodes => f64::from(system.nodes),
         UsageKind::BurstBuffer => system.bb_usable_gb(),
         UsageKind::LocalSsdUsed | UsageKind::LocalSsdWasted => {
             f64::from(system.nodes_128) * 128.0 + f64::from(system.nodes_256) * 256.0
+        }
+        UsageKind::Resource(i) | UsageKind::ResourceWaste(i) => {
+            match system.resource_model().specs().get(i) {
+                Some(s) => match &s.kind {
+                    ResourceKind::Pooled => s.available,
+                    ResourceKind::PerNode { flavors } => flavors.total_capacity(),
+                },
+                None => 0.0,
+            }
         }
     }
 }
@@ -57,11 +90,16 @@ pub fn resource_usage(
     if span <= 0.0 || cap <= 0.0 {
         return 0.0;
     }
+    let slot = slot_of(system, kind);
     let mut used = 0.0;
     for r in records {
         let overlap = (r.end.min(t1) - r.start.max(t0)).max(0.0);
         if overlap > 0.0 {
-            used += amount(r, kind) * overlap;
+            let amount = match slot {
+                Some(s) => slot_amount(r, s),
+                None => r.wasted_ssd_gb,
+            };
+            used += amount * overlap;
         }
     }
     used / (cap * span)
@@ -81,6 +119,7 @@ mod tests {
             bb_reserved_gb: 0.0,
             nodes_128: 5,
             nodes_256: 5,
+            extra_resources: Vec::new(),
         }
     }
 
@@ -95,7 +134,8 @@ mod tests {
             nodes,
             bb_gb: bb,
             ssd_gb_per_node: 32.0,
-            assignment: NodeAssignment { n128: nodes.min(5), n256: nodes.saturating_sub(5) },
+            extra: [0.0; bbsched_core::resource::MAX_EXTRA],
+            assignment: NodeAssignment::two_tier(nodes.min(5), nodes.saturating_sub(5)),
             wasted_ssd_gb: 10.0,
             reason: StartReason::Policy,
         }
@@ -136,6 +176,39 @@ mod tests {
         assert!((used - 128.0 / 1920.0).abs() < 1e-12);
         let wasted = resource_usage(&records, &sys(), UsageKind::LocalSsdWasted, 0.0, 100.0);
         assert!((wasted - 10.0 / 1920.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn indexed_kinds_agree_with_named_kinds() {
+        let records = vec![rec(0.0, 100.0, 4, 30.0)];
+        let s = sys();
+        // Model order: 0 = nodes, 1 = bb_gb, 2 = ssd.
+        for (named, indexed) in [
+            (UsageKind::Nodes, UsageKind::Resource(0)),
+            (UsageKind::BurstBuffer, UsageKind::Resource(1)),
+            (UsageKind::LocalSsdUsed, UsageKind::Resource(2)),
+            (UsageKind::LocalSsdWasted, UsageKind::ResourceWaste(2)),
+        ] {
+            assert_eq!(
+                resource_usage(&records, &s, named, 0.0, 100.0),
+                resource_usage(&records, &s, indexed, 0.0, 100.0),
+                "{named:?} vs {indexed:?}"
+            );
+        }
+        // Out-of-range indices are harmless.
+        assert_eq!(resource_usage(&records, &s, UsageKind::Resource(9), 0.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn extra_resources_integrate() {
+        let mut s = sys();
+        s = s.with_extra_resource("gpus", 8.0);
+        let mut r = rec(0.0, 100.0, 4, 0.0);
+        r.extra[0] = 4.0;
+        // gpus is resource index 3 (after nodes, bb_gb, ssd).
+        let u = resource_usage(&[r], &s, UsageKind::Resource(3), 0.0, 100.0);
+        assert!((u - 0.5).abs() < 1e-12);
+        assert_eq!(capacity(&s, UsageKind::Resource(3)), 8.0);
     }
 
     #[test]

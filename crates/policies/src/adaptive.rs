@@ -35,13 +35,7 @@ impl AdaptiveBbschedPolicy {
     /// Creates the policy with sensible defaults (base 2×, factor clamped
     /// to `[0.5, 8]`, EWMA weight 0.3).
     pub fn new(ga: GaParams) -> Self {
-        Self {
-            ga,
-            base_factor: 2.0,
-            factor_bounds: (0.5, 8.0),
-            smoothing: 0.3,
-            ewma: None,
-        }
+        Self { ga, base_factor: 2.0, factor_bounds: (0.5, 8.0), smoothing: 0.3, ewma: None }
     }
 
     /// The factor the policy would use for the given availability, after
@@ -53,9 +47,8 @@ impl AdaptiveBbschedPolicy {
     /// Raw scarcity-driven factor before smoothing: `base × free_bb% /
     /// free_node%`, clamped. Equal scarcity gives exactly `base`.
     pub fn raw_factor(&self, avail: &PoolState) -> f64 {
-        let free_node_frac =
-            f64::from(avail.nodes) / f64::from(avail.total.nodes).max(1.0);
-        let free_bb_frac = avail.bb_gb / avail.total.bb_gb.max(1.0);
+        let free_node_frac = f64::from(avail.nodes()) / f64::from(avail.total_nodes()).max(1.0);
+        let free_bb_frac = avail.bb_gb() / avail.total_bb_gb().max(1.0);
         let ratio = (free_bb_frac + 1e-6) / (free_node_frac + 1e-6);
         (self.base_factor * ratio).clamp(self.factor_bounds.0, self.factor_bounds.1)
     }
@@ -110,11 +103,11 @@ mod tests {
         assert!((p.raw_factor(&balanced) - 2.0).abs() < 1e-3);
         // BB scarce (10% free) vs nodes plentiful: factor drops.
         let mut bb_scarce = balanced;
-        bb_scarce.bb_gb = 10_000.0;
+        bb_scarce.set_free_bb_gb(10_000.0);
         assert!(p.raw_factor(&bb_scarce) < 1.0);
         // Nodes scarce, BB free: factor rises (clamped).
         let mut node_scarce = balanced;
-        node_scarce.nodes = 10;
+        node_scarce.set_free_nodes(10);
         assert!(p.raw_factor(&node_scarce) > 4.0);
     }
 
@@ -122,10 +115,10 @@ mod tests {
     fn factor_is_clamped() {
         let p = AdaptiveBbschedPolicy::new(ga());
         let mut extreme = PoolState::cpu_bb(100, 100_000.0);
-        extreme.nodes = 0;
+        extreme.set_free_nodes(0);
         assert!(p.raw_factor(&extreme) <= 8.0);
-        extreme.nodes = 100;
-        extreme.bb_gb = 0.0;
+        extreme.set_free_nodes(100);
+        extreme.set_free_bb_gb(0.0);
         assert!(p.raw_factor(&extreme) >= 0.5);
     }
 
@@ -137,7 +130,7 @@ mod tests {
         assert!((p.current_factor().unwrap() - 2.0).abs() < 1e-3);
         // A sudden BB crunch moves the factor only 30% of the way.
         let mut crunch = balanced;
-        crunch.bb_gb = 1_000.0;
+        crunch.set_free_bb_gb(1_000.0);
         let f = p.adapt(&crunch);
         assert!(f < 2.0, "factor must fall under BB scarcity");
         assert!(f > p.raw_factor(&crunch), "but not all the way at once");

@@ -5,10 +5,10 @@
 //! from the Pareto set with the trade-off decision rule (§3.2.4): 2× for
 //! CPU + burst buffer, 4× for the four-objective SSD problem.
 
-use crate::{GaParams, SelectionPolicy};
+use crate::{build_problem, GaParams, SelectionPolicy};
 use bbsched_core::decision::{choose_preferred, DecisionRule};
 use bbsched_core::pools::PoolState;
-use bbsched_core::problem::{CpuBbProblem, CpuBbSsdProblem, JobDemand, MooProblem};
+use bbsched_core::problem::{JobDemand, MooProblem};
 use bbsched_core::{MooGa, ParetoFront, SolveMode};
 
 /// The BBSched multi-objective policy.
@@ -16,20 +16,45 @@ use bbsched_core::{MooGa, ParetoFront, SolveMode};
 pub struct BbschedPolicy {
     ga: GaParams,
     /// Optional override of the decision rule's trade-off factor
-    /// (defaults: 2× bi-objective, 4× four-objective).
+    /// (defaults: 2× bi-objective, 4× beyond).
     tradeoff_override: Option<f64>,
+    /// Optional per-objective gain weights for the decision rule (entry 0,
+    /// the node objective, is ignored by the rule).
+    gain_weights: Option<Vec<f64>>,
 }
 
 impl BbschedPolicy {
     /// Creates BBSched with the given GA hyper-parameters.
     pub fn new(ga: GaParams) -> Self {
-        Self { ga, tradeoff_override: None }
+        Self { ga, tradeoff_override: None, gain_weights: None }
     }
 
     /// Overrides the decision rule's trade-off factor (ablation knob).
     pub fn with_tradeoff_factor(mut self, factor: f64) -> Self {
         self.tradeoff_override = Some(factor);
         self
+    }
+
+    /// Weights the non-node objectives in the decision rule's improvement
+    /// sum (defaults to 1.0 each — the paper's unweighted gains).
+    pub fn with_gain_weights(mut self, weights: Vec<f64>) -> Self {
+        self.gain_weights = Some(weights);
+        self
+    }
+
+    /// The decision rule for a problem with `n_obj` objectives: the
+    /// paper's 2× rule for the bi-objective problem (§3.2.4), its 4× rule
+    /// beyond (§5), with any configured overrides applied.
+    fn rule_for(&self, n_obj: usize) -> DecisionRule {
+        let mut rule = match self.tradeoff_override {
+            Some(f) => DecisionRule::with_factor(f),
+            None if n_obj > 2 => DecisionRule::multi_resource(),
+            None => DecisionRule::cpu_bb(),
+        };
+        if let Some(w) = &self.gain_weights {
+            rule = rule.with_gain_weights(w);
+        }
+        rule
     }
 
     /// Runs one invocation and returns the full Pareto front alongside the
@@ -47,32 +72,10 @@ impl BbschedPolicy {
         let cfg = self.ga.config(SolveMode::Pareto, invocation);
         // Trade-offs are judged on system-relative utilizations (the
         // paper's "improvement on the burst buffer utilization" is a
-        // machine-level percentage), so normalize by the totals.
-        if avail.ssd_aware {
-            let ssd_cap = avail.total.ssd_capacity_gb();
-            let problem = CpuBbSsdProblem::new(window.to_vec(), avail.as_available())
-                .with_normalizers([
-                    f64::from(avail.total.nodes),
-                    avail.total.bb_gb,
-                    ssd_cap,
-                    ssd_cap,
-                ]);
-            let rule = DecisionRule {
-                tradeoff_factor: self
-                    .tradeoff_override
-                    .unwrap_or(DecisionRule::multi_resource().tradeoff_factor),
-            };
-            self.decide(&problem, cfg, rule)
-        } else {
-            let problem = CpuBbProblem::new(window.to_vec(), avail.nodes, avail.bb_gb)
-                .with_normalizers(f64::from(avail.total.nodes), avail.total.bb_gb);
-            let rule = DecisionRule {
-                tradeoff_factor: self
-                    .tradeoff_override
-                    .unwrap_or(DecisionRule::cpu_bb().tradeoff_factor),
-            };
-            self.decide(&problem, cfg, rule)
-        }
+        // machine-level percentage); build_problem normalizes by totals.
+        let problem = build_problem(window, avail);
+        let rule = self.rule_for(problem.normalizers().len());
+        self.decide(&problem, cfg, rule)
     }
 
     fn decide<P: MooProblem>(

@@ -13,7 +13,7 @@
 
 use crate::SelectionPolicy;
 use bbsched_core::pools::PoolState;
-use bbsched_core::problem::{JobDemand, SSD_LARGE_GB, SSD_SMALL_GB};
+use bbsched_core::problem::JobDemand;
 
 /// Tetris-style greedy multi-dimensional packing.
 #[derive(Clone, Debug, Default)]
@@ -26,21 +26,14 @@ impl BinPackingPolicy {
     }
 }
 
-/// Resource vector used for alignment scoring: (nodes, bb, total ssd).
-fn demand_vec(d: &JobDemand) -> [f64; 3] {
-    [
-        f64::from(d.nodes),
-        d.bb_gb,
-        d.ssd_gb_per_node * f64::from(d.nodes),
-    ]
-}
-
-fn remaining_vec(s: &PoolState) -> [f64; 3] {
-    [
-        f64::from(s.nodes),
-        s.bb_gb,
-        f64::from(s.nodes_128) * SSD_SMALL_GB + f64::from(s.nodes_256) * SSD_LARGE_GB,
-    ]
+/// A job's total footprint on resource `r`: per-node demands multiply by
+/// the node count, pooled demands are already totals.
+fn total_demand(s: &PoolState, d: &JobDemand, r: usize) -> f64 {
+    if s.per_node_index() == Some(r) {
+        s.demand_of(d, r) * f64::from(d.nodes)
+    } else {
+        s.demand_of(d, r)
+    }
 }
 
 impl SelectionPolicy for BinPackingPolicy {
@@ -50,29 +43,24 @@ impl SelectionPolicy for BinPackingPolicy {
 
     fn select(&mut self, window: &[JobDemand], avail: &PoolState, _invocation: u64) -> Vec<usize> {
         let mut state = *avail;
+        let n_res = avail.num_resources();
         // Tetris normalizes both vectors by machine capacity so nodes and
-        // gigabytes are commensurable.
-        let norm = [
-            f64::from(avail.total.nodes).max(1.0),
-            avail.total.bb_gb.max(1.0),
-            avail.total.ssd_capacity_gb().max(1.0),
-        ];
+        // gigabytes are commensurable. machine_normalizers is one entry per
+        // resource (plus waste entries beyond n_res, not used here).
+        let norm: Vec<f64> =
+            avail.machine_normalizers()[..n_res].iter().map(|&c| c.max(1.0)).collect();
         let mut selected: Vec<usize> = Vec::new();
         let mut taken = vec![false; window.len()];
 
         loop {
-            let remaining = remaining_vec(&state);
+            let remaining: Vec<f64> = (0..n_res).map(|r| state.remaining_capacity_of(r)).collect();
             let mut best: Option<(usize, f64)> = None;
             for (i, d) in window.iter().enumerate() {
                 if taken[i] || !state.fits(d) {
                     continue;
                 }
-                let dv = demand_vec(d);
-                let score: f64 = dv
-                    .iter()
-                    .zip(&remaining)
-                    .zip(&norm)
-                    .map(|((&dm, &rm), &n)| (dm / n) * (rm / n))
+                let score: f64 = (0..n_res)
+                    .map(|r| (total_demand(&state, d, r) / norm[r]) * (remaining[r] / norm[r]))
                     .sum();
                 // Ties break toward the front of the window (strict >).
                 if best.map(|(_, s)| score > s).unwrap_or(true) {
@@ -150,10 +138,7 @@ mod tests {
     #[test]
     fn ssd_dimension_contributes_to_alignment() {
         let avail = PoolState::with_ssd(2, 2, 1_000.0);
-        let window = vec![
-            JobDemand::cpu_bb_ssd(2, 0.0, 256.0),
-            JobDemand::cpu_bb_ssd(2, 0.0, 1.0),
-        ];
+        let window = vec![JobDemand::cpu_bb_ssd(2, 0.0, 256.0), JobDemand::cpu_bb_ssd(2, 0.0, 1.0)];
         let sel = BinPackingPolicy::new().select(&window, &avail, 0);
         // Both fit; the SSD-heavy job has the higher alignment and is
         // picked first, but both end up selected.

@@ -7,9 +7,9 @@
 //! the scalarization with a one-hot weight vector — solved with the same
 //! GA machinery.
 
-use crate::{solve_window, GaParams, SelectionPolicy};
+use crate::{GaParams, SelectionPolicy};
 use bbsched_core::pools::PoolState;
-use bbsched_core::problem::JobDemand;
+use bbsched_core::problem::{JobDemand, MooProblem};
 use bbsched_core::{MooGa, SolveMode};
 
 /// Which resource the constrained method treats as its first-class
@@ -25,6 +25,9 @@ pub enum ConstrainedResource {
 }
 
 impl ConstrainedResource {
+    /// The objective index this resource occupies in the paper's two
+    /// resource tables (utilization objectives come first, in registration
+    /// order: nodes, burst buffer, local SSD).
     fn objective_index(self) -> usize {
         match self {
             ConstrainedResource::Cpu => 0,
@@ -38,55 +41,82 @@ impl ConstrainedResource {
 /// purely as constraints.
 #[derive(Clone, Debug)]
 pub struct ConstrainedPolicy {
-    resource: ConstrainedResource,
-    name: &'static str,
+    /// Index of the first-class objective (= resource registration index).
+    objective: usize,
+    name: String,
     ga: GaParams,
 }
 
 impl ConstrainedPolicy {
-    /// Creates the policy for the given first-class resource.
-    pub fn new(resource: ConstrainedResource, ga: GaParams) -> Self {
-        let name = match resource {
-            ConstrainedResource::Cpu => "Constrained_CPU",
-            ConstrainedResource::BurstBuffer => "Constrained_BB",
-            ConstrainedResource::LocalSsd => "Constrained_SSD",
+    /// Creates the policy optimizing the objective at resource index `r`
+    /// (registration order in the system's resource table: 0 = nodes).
+    /// Works for any registered resource — the paper's three variants are
+    /// `for_resource(0..=2)` with their historical names.
+    pub fn for_resource(r: usize, ga: GaParams) -> Self {
+        let name = match r {
+            0 => "Constrained_CPU".to_string(),
+            1 => "Constrained_BB".to_string(),
+            2 => "Constrained_SSD".to_string(),
+            _ => format!("Constrained_R{r}"),
         };
-        Self { resource, name, ga }
+        Self { objective: r, name, ga }
     }
 
-    /// The optimized resource.
-    pub fn resource(&self) -> ConstrainedResource {
-        self.resource
+    /// Creates the policy for one of the paper's named resources.
+    pub fn new(resource: ConstrainedResource, ga: GaParams) -> Self {
+        Self::for_resource(resource.objective_index(), ga)
+    }
+
+    /// Overrides the display name (useful for custom resources).
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Index of the optimized objective.
+    pub fn objective_index(&self) -> usize {
+        self.objective
+    }
+
+    /// The optimized resource, when it is one of the paper's three.
+    pub fn resource(&self) -> Option<ConstrainedResource> {
+        match self.objective {
+            0 => Some(ConstrainedResource::Cpu),
+            1 => Some(ConstrainedResource::BurstBuffer),
+            2 => Some(ConstrainedResource::LocalSsd),
+            _ => None,
+        }
     }
 }
 
 impl SelectionPolicy for ConstrainedPolicy {
     fn name(&self) -> &str {
-        self.name
+        &self.name
     }
 
     fn select(&mut self, window: &[JobDemand], avail: &PoolState, invocation: u64) -> Vec<usize> {
         if window.is_empty() {
             return Vec::new();
         }
-        let n_obj = if avail.ssd_aware { 4 } else { 2 };
-        let idx = self.resource.objective_index();
+        let problem = crate::build_problem(window, avail);
+        let n_obj = problem.normalizers().len();
         assert!(
-            idx < n_obj,
-            "{} requires an SSD-aware system (4 objectives)",
-            self.name
+            self.objective < n_obj,
+            "{} requires a system registering resource {} ({} objectives available)",
+            self.name,
+            self.objective,
+            n_obj
         );
         let mut weights = vec![0.0; n_obj];
-        weights[idx] = 1.0;
+        weights[self.objective] = 1.0;
         let cfg = self.ga.config(SolveMode::Scalar(weights), invocation);
-        solve_window(window, avail, |p| {
-            MooGa::new(cfg)
-                .solve(p)
-                .into_solutions()
-                .into_iter()
-                .next()
-                .map(|s| s.chromosome)
-        })
+        MooGa::new(cfg)
+            .solve(&problem)
+            .into_solutions()
+            .into_iter()
+            .next()
+            .map(|s| s.chromosome.selected().collect())
+            .unwrap_or_default()
     }
 }
 
@@ -145,10 +175,8 @@ mod tests {
     fn constrained_ssd_on_ssd_system() {
         let mut p = ConstrainedPolicy::new(ConstrainedResource::LocalSsd, fast_ga());
         let avail = PoolState::with_ssd(50, 50, 100_000.0);
-        let window = vec![
-            JobDemand::cpu_bb_ssd(10, 0.0, 200.0),
-            JobDemand::cpu_bb_ssd(10, 0.0, 32.0),
-        ];
+        let window =
+            vec![JobDemand::cpu_bb_ssd(10, 0.0, 200.0), JobDemand::cpu_bb_ssd(10, 0.0, 32.0)];
         let sel = p.select(&window, &avail, 0);
         // Everything fits; SSD maximization selects both.
         assert_eq!(sel, vec![0, 1]);

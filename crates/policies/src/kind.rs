@@ -5,8 +5,8 @@
 //! instantiates them with shared GA hyper-parameters.
 
 use crate::{
-    BbschedPolicy, BinPackingPolicy, ConstrainedPolicy, ConstrainedResource, GaParams,
-    NaivePolicy, SelectionPolicy, WeightedPolicy,
+    BbschedPolicy, BinPackingPolicy, ConstrainedPolicy, ConstrainedResource, GaParams, NaivePolicy,
+    SelectionPolicy, WeightedPolicy,
 };
 use serde::{Deserialize, Serialize};
 
@@ -134,11 +134,7 @@ mod tests {
         for k in PolicyKind::main_roster() {
             let mut p = k.build(ga);
             let sel = p.select(&window, &avail, 0);
-            assert!(
-                crate::selection_is_feasible(&window, &avail, &sel),
-                "{}: {sel:?}",
-                k.name()
-            );
+            assert!(crate::selection_is_feasible(&window, &avail, &sel), "{}: {sel:?}", k.name());
         }
     }
 
@@ -154,11 +150,7 @@ mod tests {
         for k in PolicyKind::ssd_roster() {
             let mut p = k.build(ga);
             let sel = p.select(&window, &avail, 0);
-            assert!(
-                crate::selection_is_feasible(&window, &avail, &sel),
-                "{}: {sel:?}",
-                k.name()
-            );
+            assert!(crate::selection_is_feasible(&window, &avail, &sel), "{}: {sel:?}", k.name());
         }
     }
 

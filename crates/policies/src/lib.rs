@@ -39,7 +39,7 @@ pub use bin_packing::BinPackingPolicy;
 pub use constrained::{ConstrainedPolicy, ConstrainedResource};
 pub use kind::PolicyKind;
 pub use naive::NaivePolicy;
-pub use weighted::WeightedPolicy;
+pub use weighted::{WeightProfile, WeightedPolicy};
 
 use bbsched_core::pools::PoolState;
 use bbsched_core::problem::JobDemand;
@@ -96,11 +96,7 @@ impl Default for GaParams {
 
 impl GaParams {
     /// Builds a [`bbsched_core::GaConfig`] for one invocation.
-    pub fn config(
-        &self,
-        mode: bbsched_core::SolveMode,
-        invocation: u64,
-    ) -> bbsched_core::GaConfig {
+    pub fn config(&self, mode: bbsched_core::SolveMode, invocation: u64) -> bbsched_core::GaConfig {
         bbsched_core::GaConfig {
             population: self.population,
             generations: self.generations,
@@ -114,33 +110,29 @@ impl GaParams {
     }
 }
 
-/// Builds the right MOO problem for the availability at hand and runs
-/// `solve` on it: SSD-aware systems get the §5 four-objective formulation,
-/// everything else the §3.2.1 bi-objective one. Returns the window indices
-/// selected by the solution `solve` produced.
-pub(crate) fn solve_window<F>(window: &[JobDemand], avail: &PoolState, solve: F) -> Vec<usize>
-where
-    F: FnOnce(&dyn bbsched_core::MooProblem) -> Option<bbsched_core::chromosome::Chromosome>,
-{
-    use bbsched_core::problem::{CpuBbProblem, CpuBbSsdProblem};
-    // Normalize objectives against the machine's capacities (the paper's
-    // utilizations are system-relative): weights like "80% nodes / 20% BB"
-    // keep their meaning regardless of what happens to be free right now.
-    let chrom = if avail.ssd_aware {
-        let ssd_cap = avail.total.ssd_capacity_gb();
-        let p = CpuBbSsdProblem::new(window.to_vec(), avail.as_available()).with_normalizers([
-            f64::from(avail.total.nodes),
-            avail.total.bb_gb,
-            ssd_cap,
-            ssd_cap,
-        ]);
-        solve(&p)
+/// Builds the MOO problem for the availability at hand: one knapsack over
+/// however many resources the pool registers — the §3.2.1 bi-objective
+/// problem and the §5 four-objective problem are just the 2- and
+/// 3-resource instances.
+///
+/// Objectives are normalized against the machine's capacities (the paper's
+/// utilizations are system-relative): weights like "80% nodes / 20% BB"
+/// keep their meaning regardless of what happens to be free right now.
+/// Systems with a per-node resource keep the §5 repair semantics
+/// (unconditional drops) so historical selection streams are preserved.
+pub(crate) fn build_problem(
+    window: &[JobDemand],
+    avail: &PoolState,
+) -> bbsched_core::KnapsackMooProblem {
+    use bbsched_core::RepairStyle;
+    let style = if avail.ssd_aware() {
+        RepairStyle::DropUnconditionally
     } else {
-        let p = CpuBbProblem::new(window.to_vec(), avail.nodes, avail.bb_gb)
-            .with_normalizers(f64::from(avail.total.nodes), avail.total.bb_gb);
-        solve(&p)
+        RepairStyle::DropIfRelieves
     };
-    chrom.map(|c| c.selected().collect()).unwrap_or_default()
+    bbsched_core::KnapsackMooProblem::new(window.to_vec(), avail.resource_model())
+        .with_normalizers(&avail.machine_normalizers())
+        .with_repair_style(style)
 }
 
 /// Mixes a base seed with an invocation counter (splitmix64 finalizer).
@@ -152,11 +144,7 @@ pub(crate) fn invocation_seed(base: u64, invocation: u64) -> u64 {
 }
 
 /// Checks that a selection fits `avail`; shared by tests and the simulator.
-pub fn selection_is_feasible(
-    window: &[JobDemand],
-    avail: &PoolState,
-    selection: &[usize],
-) -> bool {
+pub fn selection_is_feasible(window: &[JobDemand], avail: &PoolState, selection: &[usize]) -> bool {
     let mut state = *avail;
     for &i in selection {
         if i >= window.len() || !state.fits(&window[i]) {

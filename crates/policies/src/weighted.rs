@@ -7,10 +7,62 @@
 //! *normalized* utilizations (objective / available capacity), so "80 %
 //! node weight" means what the paper's example in §1 means.
 
-use crate::{solve_window, GaParams, SelectionPolicy};
+use crate::{GaParams, SelectionPolicy};
 use bbsched_core::pools::PoolState;
-use bbsched_core::problem::JobDemand;
+use bbsched_core::problem::{JobDemand, MooProblem};
 use bbsched_core::{MooGa, SolveMode};
+
+/// A set of weight vectors keyed by objective count.
+///
+/// Sites tune weights per system, and a weight vector only means something
+/// for a specific objective dimensionality — the paper's Weighted_CPU is
+/// 80/20 on Cori's bi-objective problem but 80/10/5/5 on the
+/// four-objective SSD problem. A profile carries one R-length vector per
+/// dimensionality the policy may encounter.
+#[derive(Clone, Debug)]
+pub struct WeightProfile {
+    vectors: Vec<Vec<f64>>,
+}
+
+impl WeightProfile {
+    /// A profile with a single R-length weight vector (the policy then
+    /// only accepts systems whose problems have exactly R objectives).
+    pub fn uniform(weights: Vec<f64>) -> Self {
+        assert!(!weights.is_empty(), "weight vector must be non-empty");
+        Self { vectors: vec![weights] }
+    }
+
+    /// A profile from several weight vectors of distinct lengths.
+    pub fn from_vectors(vectors: Vec<Vec<f64>>) -> Self {
+        assert!(!vectors.is_empty(), "profile needs at least one weight vector");
+        for (i, v) in vectors.iter().enumerate() {
+            assert!(!v.is_empty(), "weight vector {i} is empty");
+            assert!(
+                !vectors[..i].iter().any(|u| u.len() == v.len()),
+                "two weight vectors of length {}",
+                v.len()
+            );
+        }
+        Self { vectors }
+    }
+
+    /// The weight vector for an `n_obj`-objective problem.
+    ///
+    /// # Panics
+    /// Panics if the profile has no vector of that length.
+    pub fn weights_for(&self, n_obj: usize) -> &[f64] {
+        self.vectors
+            .iter()
+            .find(|v| v.len() == n_obj)
+            .unwrap_or_else(|| {
+                panic!(
+                    "weight profile has no vector for {n_obj} objectives (available: {:?})",
+                    self.vectors.iter().map(Vec::len).collect::<Vec<_>>()
+                )
+            })
+            .as_slice()
+    }
+}
 
 /// Weighted-sum scalarization solved with the same GA machinery as
 /// BBSched (the paper's weighted methods are "converted" single-objective
@@ -18,17 +70,35 @@ use bbsched_core::{MooGa, SolveMode};
 #[derive(Clone, Debug)]
 pub struct WeightedPolicy {
     name: String,
-    /// Weights for the bi-objective (node, burst buffer) problem.
-    weights2: [f64; 2],
-    /// Weights for the §5 four-objective problem.
-    weights4: [f64; 4],
+    profile: WeightProfile,
     ga: GaParams,
 }
 
 impl WeightedPolicy {
-    /// Fully custom weights.
-    pub fn new(name: impl Into<String>, weights2: [f64; 2], weights4: [f64; 4], ga: GaParams) -> Self {
-        Self { name: name.into(), weights2, weights4, ga }
+    /// Fully custom weights for the paper's two problem shapes
+    /// (bi-objective and four-objective).
+    pub fn new(
+        name: impl Into<String>,
+        weights2: [f64; 2],
+        weights4: [f64; 4],
+        ga: GaParams,
+    ) -> Self {
+        Self::with_profile(
+            name,
+            WeightProfile::from_vectors(vec![weights2.to_vec(), weights4.to_vec()]),
+            ga,
+        )
+    }
+
+    /// A policy scoring with one R-length weight vector (for systems with
+    /// custom resource tables).
+    pub fn with_weights(name: impl Into<String>, weights: Vec<f64>, ga: GaParams) -> Self {
+        Self::with_profile(name, WeightProfile::uniform(weights), ga)
+    }
+
+    /// A policy with a full weight profile.
+    pub fn with_profile(name: impl Into<String>, profile: WeightProfile, ga: GaParams) -> Self {
+        Self { name: name.into(), profile, ga }
     }
 
     /// "Weighted": CPU and burst buffer equally important (50/50);
@@ -57,21 +127,16 @@ impl SelectionPolicy for WeightedPolicy {
         if window.is_empty() {
             return Vec::new();
         }
-        let weights: Vec<f64> = if avail.ssd_aware {
-            self.weights4.to_vec()
-        } else {
-            self.weights2.to_vec()
-        };
+        let problem = crate::build_problem(window, avail);
+        let weights = self.profile.weights_for(problem.normalizers().len()).to_vec();
         let cfg = self.ga.config(SolveMode::Scalar(weights), invocation);
-        solve_window(window, avail, |p| {
-            let solver = MooGa::new(cfg);
-            solver
-                .solve(p)
-                .into_solutions()
-                .into_iter()
-                .next()
-                .map(|s| s.chromosome)
-        })
+        MooGa::new(cfg)
+            .solve(&problem)
+            .into_solutions()
+            .into_iter()
+            .next()
+            .map(|s| s.chromosome.selected().collect())
+            .unwrap_or_default()
     }
 }
 

@@ -52,10 +52,7 @@ impl BaseScheduler {
             sb.partial_cmp(&sa)
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then_with(|| {
-                    jobs[a]
-                        .submit
-                        .partial_cmp(&jobs[b].submit)
-                        .unwrap_or(std::cmp::Ordering::Equal)
+                    jobs[a].submit.partial_cmp(&jobs[b].submit).unwrap_or(std::cmp::Ordering::Equal)
                 })
                 .then_with(|| jobs[a].id.cmp(&jobs[b].id))
         });
@@ -89,10 +86,7 @@ mod tests {
 
     #[test]
     fn wfp_favours_short_walltime() {
-        let jobs = vec![
-            Job::new(0, 0.0, 100, 50.0, 36_000.0),
-            Job::new(1, 0.0, 100, 50.0, 600.0),
-        ];
+        let jobs = vec![Job::new(0, 0.0, 100, 50.0, 36_000.0), Job::new(1, 0.0, 100, 50.0, 600.0)];
         let mut q = vec![0, 1];
         BaseScheduler::Wfp.order(&mut q, &jobs, 1_000.0);
         assert_eq!(q, vec![1, 0], "shorter walltime climbs faster");

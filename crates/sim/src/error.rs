@@ -1,0 +1,54 @@
+//! Typed errors for simulator construction.
+
+use bbsched_workloads::SystemConfigError;
+
+/// Everything that can go wrong preparing a [`crate::Simulator`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// The system configuration failed validation.
+    System(SystemConfigError),
+    /// The window configuration failed validation.
+    InvalidWindow(String),
+    /// A trace job can never fit the machine and
+    /// [`crate::SimConfig::clamp_impossible`] is off.
+    ImpossibleJob {
+        /// Trace job id.
+        id: u64,
+        /// Name of the system the job cannot fit.
+        system: String,
+        /// Requested compute nodes.
+        nodes: u32,
+        /// Requested shared burst buffer (GB).
+        bb_gb: f64,
+        /// Requested local SSD per node (GB).
+        ssd_gb_per_node: f64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::System(e) => write!(f, "{e}"),
+            SimError::InvalidWindow(msg) => write!(f, "{msg}"),
+            SimError::ImpossibleJob { id, system, nodes, bb_gb, ssd_gb_per_node } => write!(
+                f,
+                "job {id} can never fit system '{system}' (nodes {nodes}, bb {bb_gb} GB, ssd {ssd_gb_per_node} GB/node)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::System(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SystemConfigError> for SimError {
+    fn from(e: SystemConfigError) -> Self {
+        SimError::System(e)
+    }
+}

@@ -32,11 +32,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod base_sched;
+pub mod error;
 pub mod profile;
 pub mod record;
 pub mod simulator;
 
 pub use base_sched::BaseScheduler;
+pub use error::SimError;
 pub use profile::AvailabilityProfile;
 pub use record::{JobRecord, SimResult, StartReason};
 pub use simulator::{BackfillAlgorithm, BackfillScope, SimConfig, Simulator};

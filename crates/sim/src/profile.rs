@@ -9,13 +9,14 @@
 //! from the running jobs' estimated completions and updated as
 //! reservations are placed.
 //!
-//! The profile tracks nodes, shared burst buffer, and the heterogeneous
-//! SSD pools. SSD assignments within a future segment use the same greedy
-//! small-requests-prefer-128 rule as live allocation; because reservations
-//! are capacity bookkeeping (not placements), per-segment re-assignment is
-//! the standard conservative approximation.
+//! The profile tracks every resource the pool registers — nodes, shared
+//! burst buffer, heterogeneous per-node flavour pools, and any extra
+//! pooled resources. Per-node assignments within a future segment use the
+//! same greedy smallest-sufficient-flavour rule as live allocation; because
+//! reservations are capacity bookkeeping (not placements), per-segment
+//! re-assignment is the standard conservative approximation.
 
-use bbsched_core::pools::PoolState;
+use bbsched_core::pools::{NodeAssignment, PoolState};
 use bbsched_core::problem::JobDemand;
 
 /// A piecewise-constant view of free resources from "now" to infinity.
@@ -32,29 +33,22 @@ pub struct AvailabilityProfile {
 impl AvailabilityProfile {
     /// Builds the profile from the current free state and the estimated
     /// completion times of running jobs. `releases` is a list of
-    /// `(est_end, demand, n128, n256)` tuples; order does not matter.
+    /// `(est_end, demand, assignment)` tuples; order does not matter.
     pub fn new(
         now: f64,
         pool: PoolState,
-        releases: impl IntoIterator<Item = (f64, JobDemand, u32, u32)>,
+        releases: impl IntoIterator<Item = (f64, JobDemand, NodeAssignment)>,
     ) -> Self {
-        let mut rel: Vec<(f64, JobDemand, u32, u32)> = releases
-            .into_iter()
-            .map(|(t, d, a, b)| (t.max(now), d, a, b))
-            .collect();
+        let mut rel: Vec<(f64, JobDemand, NodeAssignment)> =
+            releases.into_iter().map(|(t, d, asn)| (t.max(now), d, asn)).collect();
         rel.sort_by(|a, b| a.0.total_cmp(&b.0));
 
         let mut times = vec![now];
         let mut states = vec![pool];
-        for (t, d, n128, n256) in rel {
+        for (t, d, asn) in rel {
             let last = *states.last().expect("profile never empty");
             let mut next = last;
-            next.nodes += d.nodes;
-            next.bb_gb += d.bb_gb;
-            if next.ssd_aware {
-                next.nodes_128 += n128;
-                next.nodes_256 += n256;
-            }
+            next.free(&d, asn);
             if (t - *times.last().unwrap()).abs() < 1e-12 {
                 *states.last_mut().unwrap() = next;
             } else {
@@ -162,8 +156,8 @@ mod tests {
         JobDemand::cpu_bb(nodes, bb)
     }
 
-    fn release(t: f64, nodes: u32, bb: f64) -> (f64, JobDemand, u32, u32) {
-        (t, d(nodes, bb), 0, nodes)
+    fn release(t: f64, nodes: u32, bb: f64) -> (f64, JobDemand, NodeAssignment) {
+        (t, d(nodes, bb), NodeAssignment::two_tier(0, nodes))
     }
 
     #[test]
@@ -175,10 +169,10 @@ mod tests {
             vec![release(10.0, 4, 20.0), release(20.0, 2, 0.0)],
         );
         assert_eq!(p.segments(), 3);
-        assert_eq!(p.state_at(0.0).nodes, 4);
-        assert_eq!(p.state_at(10.0).nodes, 8);
-        assert_eq!(p.state_at(25.0).nodes, 10);
-        assert_eq!(p.state_at(25.0).bb_gb, 30.0);
+        assert_eq!(p.state_at(0.0).nodes(), 4);
+        assert_eq!(p.state_at(10.0).nodes(), 8);
+        assert_eq!(p.state_at(25.0).nodes(), 10);
+        assert_eq!(p.state_at(25.0).bb_gb(), 30.0);
     }
 
     #[test]
@@ -189,16 +183,13 @@ mod tests {
             vec![release(5.0, 1, 0.0), release(5.0, 2, 0.0)],
         );
         assert_eq!(p.segments(), 2);
-        assert_eq!(p.state_at(5.0).nodes, 3);
+        assert_eq!(p.state_at(5.0).nodes(), 3);
     }
 
     #[test]
     fn earliest_start_waits_for_capacity() {
-        let p = AvailabilityProfile::new(
-            0.0,
-            PoolState::cpu_bb(2, 0.0),
-            vec![release(10.0, 6, 0.0)],
-        );
+        let p =
+            AvailabilityProfile::new(0.0, PoolState::cpu_bb(2, 0.0), vec![release(10.0, 6, 0.0)]);
         assert_eq!(p.earliest_start(&d(2, 0.0), 0.0, 100.0), 0.0);
         assert_eq!(p.earliest_start(&d(5, 0.0), 0.0, 100.0), 10.0);
         assert_eq!(p.earliest_start(&d(50, 0.0), 0.0, 100.0), f64::INFINITY);
@@ -206,27 +197,20 @@ mod tests {
 
     #[test]
     fn reservation_blocks_the_interval() {
-        let mut p = AvailabilityProfile::new(
-            0.0,
-            PoolState::cpu_bb(4, 10.0),
-            vec![release(10.0, 4, 0.0)],
-        );
+        let mut p =
+            AvailabilityProfile::new(0.0, PoolState::cpu_bb(4, 10.0), vec![release(10.0, 4, 0.0)]);
         // Reserve all 4 current nodes for [0, 30).
         p.reserve(&d(4, 5.0), 0.0, 30.0);
-        assert_eq!(p.state_at(0.0).nodes, 0);
-        assert_eq!(p.state_at(15.0).nodes, 4, "release at 10 still counted");
-        assert_eq!(p.state_at(30.0).nodes, 8, "reservation ends at 30");
+        assert_eq!(p.state_at(0.0).nodes(), 0);
+        assert_eq!(p.state_at(15.0).nodes(), 4, "release at 10 still counted");
+        assert_eq!(p.state_at(30.0).nodes(), 8, "reservation ends at 30");
         // A 4-node job now has to wait until t=10.
         assert_eq!(p.earliest_start(&d(4, 0.0), 0.0, 5.0), 10.0);
     }
 
     #[test]
     fn fits_interval_checks_interior_boundaries() {
-        let mut p = AvailabilityProfile::new(
-            0.0,
-            PoolState::cpu_bb(8, 0.0),
-            vec![],
-        );
+        let mut p = AvailabilityProfile::new(0.0, PoolState::cpu_bb(8, 0.0), vec![]);
         // Reservation in the middle of a candidate interval.
         p.reserve(&d(6, 0.0), 10.0, 10.0);
         assert!(p.fits_interval(&d(4, 0.0), 0.0, 10.0));
@@ -241,7 +225,7 @@ mod tests {
         let p = AvailabilityProfile::new(
             0.0,
             pool,
-            vec![(5.0, JobDemand::cpu_bb_ssd(2, 0.0, 200.0), 0, 2)],
+            vec![(5.0, JobDemand::cpu_bb_ssd(2, 0.0, 200.0), NodeAssignment::two_tier(0, 2))],
         );
         // One 256 node free now; three at t=5.
         assert!(p.fits_interval(&big, 0.0, 1.0));
@@ -252,11 +236,8 @@ mod tests {
     #[test]
     fn conservative_chain_of_reservations() {
         // Classic scenario: 10 nodes; running job frees at t=10.
-        let mut p = AvailabilityProfile::new(
-            0.0,
-            PoolState::cpu_bb(2, 0.0),
-            vec![release(10.0, 8, 0.0)],
-        );
+        let mut p =
+            AvailabilityProfile::new(0.0, PoolState::cpu_bb(2, 0.0), vec![release(10.0, 8, 0.0)]);
         // Head job needs 10 nodes -> reserved at t=10 for 20.
         let head = d(10, 0.0);
         let t = p.earliest_start(&head, 0.0, 20.0);

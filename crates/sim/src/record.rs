@@ -1,6 +1,7 @@
 //! Per-job execution records and the simulation result bundle.
 
 use bbsched_core::pools::NodeAssignment;
+use bbsched_core::resource::MAX_EXTRA;
 use bbsched_workloads::SystemConfig;
 use serde::{Deserialize, Serialize};
 
@@ -36,6 +37,9 @@ pub struct JobRecord {
     pub bb_gb: f64,
     /// Local SSD request per node (GB).
     pub ssd_gb_per_node: f64,
+    /// Demands on the system's extra resources, by registration slot.
+    #[serde(default)]
+    pub extra: [f64; MAX_EXTRA],
     /// Node split across the 128/256 GB SSD pools.
     pub assignment: NodeAssignment,
     /// Wasted local SSD (GB) over the job's nodes (0 on non-SSD systems).
@@ -101,6 +105,7 @@ mod tests {
             nodes: 4,
             bb_gb: 10.0,
             ssd_gb_per_node: 0.0,
+            extra: [0.0; MAX_EXTRA],
             assignment: NodeAssignment::default(),
             wasted_ssd_gb: 0.0,
             reason: StartReason::Policy,

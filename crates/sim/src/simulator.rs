@@ -17,9 +17,11 @@
 //! model and the cluster's ground truth agree.
 
 use crate::base_sched::BaseScheduler;
+use crate::error::SimError;
 use crate::record::{JobRecord, SimResult, StartReason};
 use bbsched_core::pools::PoolState;
 use bbsched_core::problem::JobDemand;
+use bbsched_core::resource::MAX_EXTRA;
 use bbsched_core::window::{fill_window, StarvationTracker, WindowConfig};
 use bbsched_policies::SelectionPolicy;
 use bbsched_workloads::{SystemConfig, Trace};
@@ -145,9 +147,7 @@ impl Eq for Event {}
 
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time
-            .total_cmp(&other.time)
-            .then_with(|| self.seq.cmp(&other.seq))
+        self.time.total_cmp(&other.time).then_with(|| self.seq.cmp(&other.seq))
     }
 }
 
@@ -218,9 +218,9 @@ impl<'t> Simulator<'t> {
     /// unschedulable and would deadlock any non-backfilling path; they are
     /// clamped to capacity when `cfg.clamp_impossible` is set (the count is
     /// reported in the result) and rejected with an error otherwise.
-    pub fn new(system: &SystemConfig, trace: &'t Trace, cfg: SimConfig) -> Result<Self, String> {
+    pub fn new(system: &SystemConfig, trace: &'t Trace, cfg: SimConfig) -> Result<Self, SimError> {
         system.validate()?;
-        cfg.window.validate()?;
+        cfg.window.validate().map_err(SimError::InvalidWindow)?;
         let usable_bb = system.bb_usable_gb();
         let mut clamped = 0usize;
         let mut demands = Vec::with_capacity(trace.len());
@@ -229,6 +229,7 @@ impl<'t> Simulator<'t> {
                 nodes: job.nodes,
                 bb_gb: job.bb_gb,
                 ssd_gb_per_node: if system.has_local_ssd() { job.ssd_gb_per_node } else { 0.0 },
+                ..JobDemand::default()
             };
             let mut job_clamped = false;
             if d.nodes > system.nodes {
@@ -249,12 +250,22 @@ impl<'t> Simulator<'t> {
                 d.ssd_gb_per_node = 128.0;
                 job_clamped = true;
             }
+            for (i, extra) in system.extra_resources.iter().take(MAX_EXTRA).enumerate() {
+                d.extra[i] = job.extra_demand(i);
+                if d.extra[i] > extra.amount {
+                    d.extra[i] = extra.amount;
+                    job_clamped = true;
+                }
+            }
             if job_clamped {
                 if !cfg.clamp_impossible {
-                    return Err(format!(
-                        "job {} can never fit system '{}' (nodes {}, bb {} GB, ssd {} GB/node)",
-                        job.id, system.name, job.nodes, job.bb_gb, job.ssd_gb_per_node
-                    ));
+                    return Err(SimError::ImpossibleJob {
+                        id: job.id,
+                        system: system.name.clone(),
+                        nodes: job.nodes,
+                        bb_gb: job.bb_gb,
+                        ssd_gb_per_node: job.ssd_gb_per_node,
+                    });
                 }
                 clamped += 1;
             }
@@ -267,15 +278,7 @@ impl<'t> Simulator<'t> {
     pub fn run(self, mut policy: Box<dyn SelectionPolicy>) -> SimResult {
         let jobs = self.trace.jobs();
         let n = jobs.len();
-        let mut pool = if self.system.has_local_ssd() {
-            PoolState::with_ssd(
-                self.system.nodes_128,
-                self.system.nodes_256,
-                self.system.bb_usable_gb(),
-            )
-        } else {
-            PoolState::cpu_bb(self.system.nodes, self.system.bb_usable_gb())
-        };
+        let mut pool = self.system.pool_state();
 
         let mut events: BinaryHeap<Reverse<Event>> = BinaryHeap::with_capacity(2 * n + 1);
         let mut seq = 0u64;
@@ -295,13 +298,13 @@ impl<'t> Simulator<'t> {
         let mut makespan = 0.0f64;
 
         let start_job = |idx: usize,
-                             now: f64,
-                             reason: StartReason,
-                             pool: &mut PoolState,
-                             running: &mut HashMap<usize, Running>,
-                             events: &mut BinaryHeap<Reverse<Event>>,
-                             records: &mut Vec<JobRecord>,
-                             seq: &mut u64| {
+                         now: f64,
+                         reason: StartReason,
+                         pool: &mut PoolState,
+                         running: &mut HashMap<usize, Running>,
+                         events: &mut BinaryHeap<Reverse<Event>>,
+                         records: &mut Vec<JobRecord>,
+                         seq: &mut u64| {
             let job = &jobs[idx];
             let d = self.demands[idx];
             let asn = pool.alloc(&d);
@@ -319,8 +322,9 @@ impl<'t> Simulator<'t> {
                 nodes: d.nodes,
                 bb_gb: d.bb_gb,
                 ssd_gb_per_node: d.ssd_gb_per_node,
+                extra: d.extra,
                 assignment: asn,
-                wasted_ssd_gb: if pool.ssd_aware { asn.wasted_ssd_gb(d.ssd_gb_per_node) } else { 0.0 },
+                wasted_ssd_gb: pool.wasted_capacity_gb(&d, &asn),
                 reason,
             });
         };
@@ -360,9 +364,8 @@ impl<'t> Simulator<'t> {
             self.cfg.base.order(&mut queue, jobs, now);
 
             // --- (2) fill the window with dependency-satisfied jobs ---
-            let deps_met = |qpos: usize| {
-                jobs[queue[qpos]].deps.iter().all(|d| completed_ids.contains(d))
-            };
+            let deps_met =
+                |qpos: usize| jobs[queue[qpos]].deps.iter().all(|d| completed_ids.contains(d));
             let window_size = self
                 .cfg
                 .dynamic_window
@@ -410,8 +413,7 @@ impl<'t> Simulator<'t> {
             let policy_avail = match blocked_head {
                 None => pool,
                 Some(b) => {
-                    let (_, leftover) =
-                        shadow_and_leftover(&pool, &running, &self.demands[b], now);
+                    let (_, leftover) = shadow_and_leftover(&pool, &running, &self.demands[b], now);
                     pool.component_min(&leftover)
                 }
             };
@@ -426,7 +428,11 @@ impl<'t> Simulator<'t> {
                         remaining.iter().map(|&i| self.demands[i]).collect();
                     let selection = policy.select(&demands, &policy_avail, invocations);
                     debug_assert!(
-                        bbsched_policies::selection_is_feasible(&demands, &policy_avail, &selection),
+                        bbsched_policies::selection_is_feasible(
+                            &demands,
+                            &policy_avail,
+                            &selection
+                        ),
                         "policy {} returned an infeasible selection",
                         policy.name()
                     );
@@ -449,11 +455,9 @@ impl<'t> Simulator<'t> {
 
             // --- (5) EASY backfilling ---
             let waiting: Vec<usize> = match self.cfg.backfill {
-                BackfillScope::Window => window_idx
-                    .iter()
-                    .copied()
-                    .filter(|i| !started.contains(i))
-                    .collect(),
+                BackfillScope::Window => {
+                    window_idx.iter().copied().filter(|i| !started.contains(i)).collect()
+                }
                 BackfillScope::Queue => queue
                     .iter()
                     .copied()
@@ -468,22 +472,15 @@ impl<'t> Simulator<'t> {
                 // Conservative: reservations for everyone, on a
                 // future-availability profile. The starved blocked job (if
                 // any) reserves first.
-                let mut profile = crate::profile::AvailabilityProfile::new(
-                    now,
-                    pool,
-                    {
-                        // Deterministic order: sort by (est_end, idx) so
-                        // HashMap iteration order never leaks into results.
-                        let mut keyed: Vec<(&usize, &Running)> = running.iter().collect();
-                        keyed.sort_by(|(ia, a), (ib, b)| {
-                            a.est_end.total_cmp(&b.est_end).then(ia.cmp(ib))
-                        });
-                        keyed
-                            .into_iter()
-                            .map(|(_, r)| (r.est_end, r.demand, r.asn.n128, r.asn.n256))
-                            .collect::<Vec<_>>()
-                    },
-                );
+                let mut profile = crate::profile::AvailabilityProfile::new(now, pool, {
+                    // Deterministic order: sort by (est_end, idx) so
+                    // HashMap iteration order never leaks into results.
+                    let mut keyed: Vec<(&usize, &Running)> = running.iter().collect();
+                    keyed.sort_by(|(ia, a), (ib, b)| {
+                        a.est_end.total_cmp(&b.est_end).then(ia.cmp(ib))
+                    });
+                    keyed.into_iter().map(|(_, r)| (r.est_end, r.demand, r.asn)).collect::<Vec<_>>()
+                });
                 let mut ordered: Vec<usize> = Vec::with_capacity(waiting.len() + 1);
                 if let Some(b) = blocked_head {
                     ordered.push(b);
@@ -657,6 +654,7 @@ mod tests {
             bb_reserved_gb: 0.0,
             nodes_128: 0,
             nodes_256: 0,
+            extra_resources: Vec::new(),
         }
     }
 
@@ -680,10 +678,7 @@ mod tests {
     #[test]
     fn jobs_queue_when_resources_busy() {
         let sys = system(10, 10.0);
-        let jobs = vec![
-            Job::new(0, 0.0, 10, 100.0, 100.0),
-            Job::new(1, 1.0, 10, 50.0, 50.0),
-        ];
+        let jobs = vec![Job::new(0, 0.0, 10, 100.0, 100.0), Job::new(1, 1.0, 10, 50.0, 50.0)];
         let r = run_jobs(jobs, &sys, PolicyKind::Baseline);
         let j1 = r.records.iter().find(|x| x.id == 1).unwrap();
         assert_eq!(j1.start, 100.0, "second job must wait for the first");
@@ -767,8 +762,14 @@ mod tests {
         let sys = system(64, 100.0);
         let jobs: Vec<Job> = (0..40)
             .map(|i| {
-                Job::new(i, i as f64 * 3.0, 1 + (i % 32) as u32, 60.0 + (i % 7) as f64 * 30.0, 400.0)
-                    .with_bb(if i % 3 == 0 { 20_000.0 } else { 0.0 })
+                Job::new(
+                    i,
+                    i as f64 * 3.0,
+                    1 + (i % 32) as u32,
+                    60.0 + (i % 7) as f64 * 30.0,
+                    400.0,
+                )
+                .with_bb(if i % 3 == 0 { 20_000.0 } else { 0.0 })
             })
             .collect();
         for kind in PolicyKind::main_roster() {
@@ -784,9 +785,8 @@ mod tests {
     #[test]
     fn deterministic_runs() {
         let sys = system(32, 50.0);
-        let jobs: Vec<Job> = (0..30)
-            .map(|i| Job::new(i, i as f64, 1 + (i % 16) as u32, 100.0, 200.0))
-            .collect();
+        let jobs: Vec<Job> =
+            (0..30).map(|i| Job::new(i, i as f64, 1 + (i % 16) as u32, 100.0, 200.0)).collect();
         let a = run_jobs(jobs.clone(), &sys, PolicyKind::BbSched);
         let b = run_jobs(jobs, &sys, PolicyKind::BbSched);
         assert_eq!(a.records, b.records);
@@ -836,6 +836,7 @@ mod tests {
             bb_reserved_gb: 0.0,
             nodes_128: 4,
             nodes_256: 4,
+            extra_resources: Vec::new(),
         };
         let jobs = vec![
             Job::new(0, 0.0, 2, 100.0, 100.0).with_ssd(200.0),
@@ -843,10 +844,10 @@ mod tests {
         ];
         let r = run_jobs(jobs, &sys, PolicyKind::Baseline);
         let j0 = r.records.iter().find(|x| x.id == 0).unwrap();
-        assert_eq!(j0.assignment.n256, 2);
+        assert_eq!(j0.assignment.n256(), 2);
         assert_eq!(j0.wasted_ssd_gb, 2.0 * (256.0 - 200.0));
         let j1 = r.records.iter().find(|x| x.id == 1).unwrap();
-        assert_eq!(j1.assignment.n128, 2);
+        assert_eq!(j1.assignment.n128(), 2);
         assert_eq!(j1.wasted_ssd_gb, 2.0 * (128.0 - 64.0));
     }
 
@@ -868,10 +869,8 @@ mod tests {
             .map(|i| Job::new(i, i as f64 * 2.0, 1 + (i % 16) as u32, 120.0, 240.0))
             .collect();
         let trace = Trace::from_jobs(jobs).unwrap();
-        let cfg = SimConfig {
-            dynamic_window: Some(DynamicWindow::default()),
-            ..SimConfig::default()
-        };
+        let cfg =
+            SimConfig { dynamic_window: Some(DynamicWindow::default()), ..SimConfig::default() };
         let r = Simulator::new(&sys, &trace, cfg)
             .unwrap()
             .run(PolicyKind::BinPacking.build(GaParams::default()));
@@ -916,8 +915,7 @@ mod tests {
     #[test]
     fn conservative_and_easy_agree_on_uncontended_traces() {
         let sys = system(100, 100.0);
-        let jobs: Vec<Job> =
-            (0..20).map(|i| Job::new(i, i as f64 * 5.0, 4, 50.0, 100.0)).collect();
+        let jobs: Vec<Job> = (0..20).map(|i| Job::new(i, i as f64 * 5.0, 4, 50.0, 100.0)).collect();
         let trace = Trace::from_jobs(jobs).unwrap();
         let run = |alg| {
             let cfg = SimConfig { backfill_algorithm: alg, ..SimConfig::default() };

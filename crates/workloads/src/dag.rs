@@ -59,10 +59,8 @@ pub fn weave_campaigns(trace: &Trace, config: &DagConfig, seed: u64) -> Trace {
             if cursor >= n {
                 break;
             }
-            let fanout = rng.random_bool(config.fanout_prob.clamp(0.0, 1.0))
-                && cursor + 1 < n;
-            let members: Vec<usize> =
-                if fanout { vec![cursor, cursor + 1] } else { vec![cursor] };
+            let fanout = rng.random_bool(config.fanout_prob.clamp(0.0, 1.0)) && cursor + 1 < n;
+            let members: Vec<usize> = if fanout { vec![cursor, cursor + 1] } else { vec![cursor] };
             for &m in &members {
                 for &p in &prev {
                     deps[m].push(jobs[p].id);
@@ -123,15 +121,10 @@ mod tests {
     #[test]
     fn dependencies_point_backwards_in_time() {
         let w = weave_campaigns(&base(400), &DagConfig::default(), 2);
-        let submit: HashMap<u64, f64> =
-            w.jobs().iter().map(|j| (j.id, j.submit)).collect();
+        let submit: HashMap<u64, f64> = w.jobs().iter().map(|j| (j.id, j.submit)).collect();
         for j in w.jobs() {
             for d in &j.deps {
-                assert!(
-                    submit[d] <= j.submit,
-                    "job {} depends on later job {d}",
-                    j.id
-                );
+                assert!(submit[d] <= j.submit, "job {} depends on later job {d}", j.id);
             }
         }
     }
@@ -139,22 +132,13 @@ mod tests {
     #[test]
     fn campaign_fraction_scales_dependence() {
         let b = base(600);
-        let none = weave_campaigns(
-            &b,
-            &DagConfig { campaign_fraction: 0.0, ..DagConfig::default() },
-            3,
-        );
+        let none =
+            weave_campaigns(&b, &DagConfig { campaign_fraction: 0.0, ..DagConfig::default() }, 3);
         assert_eq!(dependent_fraction(&none), 0.0);
-        let heavy = weave_campaigns(
-            &b,
-            &DagConfig { campaign_fraction: 0.9, ..DagConfig::default() },
-            3,
-        );
-        let light = weave_campaigns(
-            &b,
-            &DagConfig { campaign_fraction: 0.1, ..DagConfig::default() },
-            3,
-        );
+        let heavy =
+            weave_campaigns(&b, &DagConfig { campaign_fraction: 0.9, ..DagConfig::default() }, 3);
+        let light =
+            weave_campaigns(&b, &DagConfig { campaign_fraction: 0.1, ..DagConfig::default() }, 3);
         assert!(dependent_fraction(&heavy) > dependent_fraction(&light));
         assert!(dependent_fraction(&heavy) > 0.3);
     }
@@ -175,8 +159,7 @@ mod tests {
         // only assert the structural property the simulator relies on —
         // deps reference existing earlier jobs.
         let w = weave_campaigns(&base(300), &DagConfig::default(), 11);
-        let ids: std::collections::HashSet<u64> =
-            w.jobs().iter().map(|j| j.id).collect();
+        let ids: std::collections::HashSet<u64> = w.jobs().iter().map(|j| j.id).collect();
         for j in w.jobs() {
             for d in &j.deps {
                 assert!(ids.contains(d), "dangling dependency {d}");

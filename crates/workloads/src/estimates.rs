@@ -81,11 +81,7 @@ pub fn mean_overestimation(trace: &Trace) -> f64 {
     if trace.is_empty() {
         return 1.0;
     }
-    trace
-        .jobs()
-        .iter()
-        .map(|j| j.walltime / j.runtime.max(f64::MIN_POSITIVE))
-        .sum::<f64>()
+    trace.jobs().iter().map(|j| j.walltime / j.runtime.max(f64::MIN_POSITIVE)).sum::<f64>()
         / trace.len() as f64
 }
 

@@ -277,9 +277,9 @@ pub fn generate(profile: &MachineProfile, config: &GeneratorConfig) -> Trace {
             profile.runtime_min,
             profile.runtime_max,
         );
-        let walltime =
-            (runtime * rng.random_range(1.0..=profile.walltime_overestimate.max(1.0 + 1e-9)))
-                .min(profile.runtime_max);
+        let walltime = (runtime
+            * rng.random_range(1.0..=profile.walltime_overestimate.max(1.0 + 1e-9)))
+        .min(profile.runtime_max);
         let walltime = walltime.max(runtime);
         let bb_gb = if rng.random_bool(profile.bb_fraction.clamp(0.0, 1.0)) {
             if profile.bb_tail_fraction > 0.0
@@ -298,14 +298,10 @@ pub fn generate(profile: &MachineProfile, config: &GeneratorConfig) -> Trace {
 
     // ...then pick the Poisson arrival rate that hits the target load.
     let mean_job_node_seconds = total_node_seconds / config.n_jobs as f64;
-    let arrival_rate =
-        config.load_factor * f64::from(profile.system.nodes) / mean_job_node_seconds;
+    let arrival_rate = config.load_factor * f64::from(profile.system.nodes) / mean_job_node_seconds;
     let mean_gap = 1.0 / arrival_rate;
 
-    assert!(
-        (0.0..1.0).contains(&config.diurnal_amplitude),
-        "diurnal_amplitude must be in [0, 1)"
-    );
+    assert!((0.0..1.0).contains(&config.diurnal_amplitude), "diurnal_amplitude must be in [0, 1)");
     assert!(
         config.weekend_factor > 0.0 && config.weekend_factor <= 1.0,
         "weekend_factor must be in (0, 1]"
@@ -327,6 +323,7 @@ pub fn generate(profile: &MachineProfile, config: &GeneratorConfig) -> Trace {
                 bb_gb: d.bb_gb,
                 ssd_gb_per_node: 0.0,
                 deps: Vec::new(),
+                extra: Vec::new(),
             }
         })
         .collect();
@@ -341,16 +338,17 @@ mod tests {
     #[test]
     fn cori_trace_matches_calibration() {
         let profile = MachineProfile::cori();
-        let cfg = GeneratorConfig { n_jobs: 20_000, seed: 1, load_factor: 1.0, ..GeneratorConfig::default() };
+        let cfg = GeneratorConfig {
+            n_jobs: 20_000,
+            seed: 1,
+            load_factor: 1.0,
+            ..GeneratorConfig::default()
+        };
         let t = generate(&profile, &cfg);
         let s = t.stats();
         assert_eq!(s.n_jobs, 20_000);
         // BB participation ~0.618% (binomial, wide tolerance).
-        assert!(
-            (s.bb_fraction() - 0.00618).abs() < 0.003,
-            "bb fraction {}",
-            s.bb_fraction()
-        );
+        assert!((s.bb_fraction() - 0.00618).abs() < 0.003, "bb fraction {}", s.bb_fraction());
         // Requests stay in [1 GB, 165 TB].
         if let Some((lo, hi)) = s.bb_range_gb {
             assert!(lo >= 1.0);
@@ -363,7 +361,12 @@ mod tests {
     #[test]
     fn theta_trace_matches_calibration() {
         let profile = MachineProfile::theta();
-        let cfg = GeneratorConfig { n_jobs: 10_000, seed: 2, load_factor: 1.2, ..GeneratorConfig::default() };
+        let cfg = GeneratorConfig {
+            n_jobs: 10_000,
+            seed: 2,
+            load_factor: 1.2,
+            ..GeneratorConfig::default()
+        };
         let t = generate(&profile, &cfg);
         let s = t.stats();
         assert!((s.bb_fraction() - 0.1718).abs() < 0.02, "bb fraction {}", s.bb_fraction());
@@ -392,8 +395,15 @@ mod tests {
         // policy ties; far below 1 nothing contends.
         use crate::synthetic::Workload;
         let cori = MachineProfile::cori();
-        let base =
-            generate(&cori, &GeneratorConfig { n_jobs: 10_000, seed: 9, load_factor: 1.15, ..GeneratorConfig::default() });
+        let base = generate(
+            &cori,
+            &GeneratorConfig {
+                n_jobs: 10_000,
+                seed: 9,
+                load_factor: 1.15,
+                ..GeneratorConfig::default()
+            },
+        );
         let cap = cori.system.bb_usable_gb();
         let rho_s4 = offered_bb_load(&Workload::S4.apply(&base, 9), cap);
         let rho_s2 = offered_bb_load(&Workload::S2.apply(&base, 9), cap);
@@ -401,8 +411,15 @@ mod tests {
         assert!(rho_s2 < rho_s4, "S2 rho {rho_s2} must be below S4 rho {rho_s4}");
 
         let theta = MachineProfile::theta();
-        let base =
-            generate(&theta, &GeneratorConfig { n_jobs: 10_000, seed: 9, load_factor: 1.15, ..GeneratorConfig::default() });
+        let base = generate(
+            &theta,
+            &GeneratorConfig {
+                n_jobs: 10_000,
+                seed: 9,
+                load_factor: 1.15,
+                ..GeneratorConfig::default()
+            },
+        );
         let cap = theta.system.bb_usable_gb();
         let rho_s4 = offered_bb_load(&Workload::S4.apply(&base, 9), cap);
         assert!((0.8..2.6).contains(&rho_s4), "Theta S4 rho {rho_s4}");
@@ -421,15 +438,36 @@ mod tests {
     #[test]
     fn generation_is_deterministic() {
         let p = MachineProfile::cori();
-        let cfg = GeneratorConfig { n_jobs: 500, seed: 99, load_factor: 1.0, ..GeneratorConfig::default() };
+        let cfg = GeneratorConfig {
+            n_jobs: 500,
+            seed: 99,
+            load_factor: 1.0,
+            ..GeneratorConfig::default()
+        };
         assert_eq!(generate(&p, &cfg), generate(&p, &cfg));
     }
 
     #[test]
     fn different_seeds_differ() {
         let p = MachineProfile::cori();
-        let a = generate(&p, &GeneratorConfig { n_jobs: 100, seed: 1, load_factor: 1.0, ..GeneratorConfig::default() });
-        let b = generate(&p, &GeneratorConfig { n_jobs: 100, seed: 2, load_factor: 1.0, ..GeneratorConfig::default() });
+        let a = generate(
+            &p,
+            &GeneratorConfig {
+                n_jobs: 100,
+                seed: 1,
+                load_factor: 1.0,
+                ..GeneratorConfig::default()
+            },
+        );
+        let b = generate(
+            &p,
+            &GeneratorConfig {
+                n_jobs: 100,
+                seed: 2,
+                load_factor: 1.0,
+                ..GeneratorConfig::default()
+            },
+        );
         assert_ne!(a, b);
     }
 
@@ -441,7 +479,15 @@ mod tests {
             assert!(c.lo >= 1.0 && c.lo <= c.hi);
             assert!(c.hi <= f64::from(p.system.nodes));
         }
-        let t = generate(&p, &GeneratorConfig { n_jobs: 1_000, seed: 5, load_factor: 1.0, ..GeneratorConfig::default() });
+        let t = generate(
+            &p,
+            &GeneratorConfig {
+                n_jobs: 1_000,
+                seed: 5,
+                load_factor: 1.0,
+                ..GeneratorConfig::default()
+            },
+        );
         for j in t.jobs() {
             assert!(j.nodes <= p.system.nodes);
         }
@@ -509,7 +555,15 @@ mod tests {
     #[test]
     fn submissions_strictly_increase() {
         let p = MachineProfile::cori();
-        let t = generate(&p, &GeneratorConfig { n_jobs: 1_000, seed: 3, load_factor: 1.0, ..GeneratorConfig::default() });
+        let t = generate(
+            &p,
+            &GeneratorConfig {
+                n_jobs: 1_000,
+                seed: 3,
+                load_factor: 1.0,
+                ..GeneratorConfig::default()
+            },
+        );
         for w in t.jobs().windows(2) {
             assert!(w[1].submit >= w[0].submit);
         }

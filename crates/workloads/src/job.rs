@@ -37,6 +37,10 @@ pub struct Job {
     /// this field.
     #[serde(default)]
     pub deps: Vec<u64>,
+    /// Demands on a system's extra resources, by registration order (see
+    /// `SystemConfig::extra_resources`); empty for the paper's traces.
+    #[serde(default)]
+    pub extra: Vec<f64>,
 }
 
 impl Job {
@@ -51,6 +55,7 @@ impl Job {
             bb_gb: 0.0,
             ssd_gb_per_node: 0.0,
             deps: Vec::new(),
+            extra: Vec::new(),
         }
     }
 
@@ -70,6 +75,21 @@ impl Job {
     pub fn with_deps(mut self, deps: Vec<u64>) -> Self {
         self.deps = deps;
         self
+    }
+
+    /// Sets the demand on extra resource `i` (builder style), growing the
+    /// demand vector with zeros as needed.
+    pub fn with_extra(mut self, i: usize, amount: f64) -> Self {
+        if self.extra.len() <= i {
+            self.extra.resize(i + 1, 0.0);
+        }
+        self.extra[i] = amount;
+        self
+    }
+
+    /// Demand on extra resource `i` (0 when the job does not request it).
+    pub fn extra_demand(&self, i: usize) -> f64 {
+        self.extra.get(i).copied().unwrap_or(0.0)
     }
 
     /// Whether the job requests any shared burst buffer.
@@ -112,6 +132,9 @@ impl Job {
         if self.deps.contains(&self.id) {
             return Err(format!("job {}: depends on itself", self.id));
         }
+        if self.extra.iter().any(|x| x.is_nan() || *x < 0.0) {
+            return Err(format!("job {}: invalid extra-resource request", self.id));
+        }
         Ok(())
     }
 }
@@ -122,10 +145,8 @@ mod tests {
 
     #[test]
     fn builder_roundtrip() {
-        let j = Job::new(1, 10.0, 64, 3600.0, 7200.0)
-            .with_bb(500.0)
-            .with_ssd(128.0)
-            .with_deps(vec![0]);
+        let j =
+            Job::new(1, 10.0, 64, 3600.0, 7200.0).with_bb(500.0).with_ssd(128.0).with_deps(vec![0]);
         assert_eq!(j.nodes, 64);
         assert!(j.uses_bb());
         assert_eq!(j.deps, vec![0]);

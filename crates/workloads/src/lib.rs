@@ -44,7 +44,7 @@ pub use estimates::EstimateModel;
 pub use generator::{generate, GeneratorConfig, MachineProfile};
 pub use job::Job;
 pub use synthetic::{SsdMix, Workload};
-pub use system::SystemConfig;
+pub use system::{ExtraResource, SystemConfig, SystemConfigError};
 pub use trace::{Trace, TraceStats};
 
 /// Gigabytes per terabyte, used throughout for burst-buffer arithmetic.

@@ -59,10 +59,9 @@ fn parse_line(line: &str, lineno: usize) -> Result<Option<Job>, SwfError> {
         });
     }
     let num = |i: usize| -> Result<f64, SwfError> {
-        fields[i].parse::<f64>().map_err(|e| SwfError {
-            line: lineno,
-            message: format!("field {}: {e}", i + 1),
-        })
+        fields[i]
+            .parse::<f64>()
+            .map_err(|e| SwfError { line: lineno, message: format!("field {}: {e}", i + 1) })
     };
 
     let id = num(0)? as u64;
@@ -125,8 +124,7 @@ pub fn read_swf(path: &Path) -> std::io::Result<Trace> {
             jobs.push(job);
         }
     }
-    Trace::from_jobs(jobs)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    Trace::from_jobs(jobs).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
 }
 
 /// Writes a trace as SWF. Unknown-to-SWF fields (burst buffer, SSD) ride
@@ -140,7 +138,13 @@ pub fn write_swf(trace: &Trace, path: &Path) -> std::io::Result<()> {
         write!(
             w,
             "{} {:.0} -1 {:.0} {} -1 -1 {} {:.0} -1 1 -1 -1 -1 -1 -1 {} -1",
-            j.id, j.submit, j.runtime.max(1.0), j.nodes, j.nodes, j.walltime, prev
+            j.id,
+            j.submit,
+            j.runtime.max(1.0),
+            j.nodes,
+            j.nodes,
+            j.walltime,
+            prev
         )?;
         if j.bb_gb > 0.0 || j.ssd_gb_per_node > 0.0 {
             write!(w, " ;bb={},ssd={}", j.bb_gb, j.ssd_gb_per_node)?;

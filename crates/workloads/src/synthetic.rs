@@ -185,7 +185,12 @@ mod tests {
     fn base() -> Trace {
         generate(
             &MachineProfile::cori(),
-            &GeneratorConfig { n_jobs: 4_000, seed: 77, load_factor: 1.0, ..GeneratorConfig::default() },
+            &GeneratorConfig {
+                n_jobs: 4_000,
+                seed: 77,
+                load_factor: 1.0,
+                ..GeneratorConfig::default()
+            },
         )
     }
 
@@ -206,8 +211,7 @@ mod tests {
     #[test]
     fn s3_s4_draw_from_20tb_pool() {
         let b = base();
-        let original_max =
-            b.jobs().iter().map(|j| j.bb_gb).fold(0.0f64, f64::max);
+        let original_max = b.jobs().iter().map(|j| j.bb_gb).fold(0.0f64, f64::max);
         for w in [Workload::S3, Workload::S4] {
             let t = w.apply(&b, 2);
             // Newly assigned requests are all > 20 TB (or from the
@@ -247,13 +251,10 @@ mod tests {
     #[test]
     fn ssd_mixes_split_correctly() {
         let b = base();
-        for (w, expect_large) in
-            [(Workload::S5, 0.2), (Workload::S6, 0.5), (Workload::S7, 0.8)]
-        {
+        for (w, expect_large) in [(Workload::S5, 0.2), (Workload::S6, 0.5), (Workload::S7, 0.8)] {
             let t = w.apply(&b, 4);
             let n = t.len() as f64;
-            let large =
-                t.jobs().iter().filter(|j| j.ssd_gb_per_node > 128.0).count() as f64;
+            let large = t.jobs().iter().filter(|j| j.ssd_gb_per_node > 128.0).count() as f64;
             assert!(
                 (large / n - expect_large).abs() < 0.05,
                 "{}: large fraction {}",
@@ -271,9 +272,7 @@ mod tests {
     #[test]
     fn stress_bb_with_empty_pool_falls_back() {
         // A trace with no BB requests at all.
-        let jobs = (0..200)
-            .map(|i| crate::job::Job::new(i, i as f64, 1, 10.0, 20.0))
-            .collect();
+        let jobs = (0..200).map(|i| crate::job::Job::new(i, i as f64, 1, 10.0, 20.0)).collect();
         let t = Trace::from_jobs(jobs).unwrap();
         let out = stress_bb(&t, 0.5, 20.0 * GB_PER_TB, 1);
         let s = out.stats();

@@ -5,7 +5,28 @@
 //! local SSDs, the rest ... 256 GB").
 
 use crate::GB_PER_TB;
+use bbsched_core::pools::PoolState;
+use bbsched_core::resource::{DemandSlot, FlavorSet, ResourceModel, ResourceSpec, MAX_EXTRA};
 use serde::{Deserialize, Serialize};
+
+/// A pooled resource beyond the paper's three (GPUs, licenses, network
+/// injection bandwidth, ...). The i-th entry of
+/// [`SystemConfig::extra_resources`] draws its per-job demand from
+/// `Job::extra[i]` / `JobDemand::extra[i]`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExtraResource {
+    /// Display name ("gpus", ...).
+    pub name: String,
+    /// Schedulable pool size.
+    pub amount: f64,
+}
+
+impl ExtraResource {
+    /// Creates a pooled extra resource.
+    pub fn new(name: impl Into<String>, amount: f64) -> Self {
+        Self { name: name.into(), amount }
+    }
+}
 
 /// Static description of a simulated HPC system.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -25,6 +46,10 @@ pub struct SystemConfig {
     pub nodes_128: u32,
     /// Nodes carrying 256 GB local SSDs (0 outside the §5 case study).
     pub nodes_256: u32,
+    /// Additional pooled resources scheduled alongside nodes/BB/SSD
+    /// (empty for the paper's systems).
+    #[serde(default)]
+    pub extra_resources: Vec<ExtraResource>,
 }
 
 impl SystemConfig {
@@ -38,6 +63,7 @@ impl SystemConfig {
             bb_reserved_gb: 600.0 * GB_PER_TB,
             nodes_128: 0,
             nodes_256: 0,
+            extra_resources: Vec::new(),
         }
     }
 
@@ -51,6 +77,7 @@ impl SystemConfig {
             bb_reserved_gb: 0.0,
             nodes_128: 0,
             nodes_256: 0,
+            extra_resources: Vec::new(),
         }
     }
 
@@ -70,6 +97,11 @@ impl SystemConfig {
             bb_reserved_gb: self.bb_reserved_gb * factor,
             nodes_128: if self.nodes_128 == 0 { 0 } else { scale_nodes(self.nodes_128) },
             nodes_256: if self.nodes_256 == 0 { 0 } else { scale_nodes(self.nodes_256) },
+            extra_resources: self
+                .extra_resources
+                .iter()
+                .map(|x| ExtraResource::new(x.name.clone(), x.amount * factor))
+                .collect(),
         }
     }
 
@@ -91,26 +123,118 @@ impl SystemConfig {
         self.nodes_128 + self.nodes_256 > 0
     }
 
+    /// Adds an extra pooled resource scheduled alongside the paper's
+    /// three. Jobs demand it through `extra[i]`, where `i` is the order of
+    /// registration.
+    pub fn with_extra_resource(mut self, name: impl Into<String>, amount: f64) -> Self {
+        self.extra_resources.push(ExtraResource::new(name, amount));
+        self
+    }
+
+    /// The system's resource table: nodes, usable burst buffer, the §5 SSD
+    /// flavour split when configured, then every extra resource. This is
+    /// the single source of truth the scheduler stack (problems, pools,
+    /// metrics) derives its dimensions from.
+    pub fn resource_model(&self) -> ResourceModel {
+        let mut specs = vec![
+            ResourceSpec::pooled("nodes", f64::from(self.nodes), DemandSlot::Nodes),
+            ResourceSpec::pooled("bb_gb", self.bb_usable_gb(), DemandSlot::BbGb),
+        ];
+        if self.has_local_ssd() {
+            use bbsched_core::problem::{SSD_LARGE_GB, SSD_SMALL_GB};
+            let flavors =
+                FlavorSet::two_tier(SSD_SMALL_GB, self.nodes_128, SSD_LARGE_GB, self.nodes_256);
+            specs.push(
+                ResourceSpec::per_node("ssd", flavors, DemandSlot::SsdPerNode)
+                    .with_waste_objective(),
+            );
+        }
+        for (i, x) in self.extra_resources.iter().enumerate() {
+            specs.push(ResourceSpec::pooled(x.name.clone(), x.amount, DemandSlot::Extra(i as u8)));
+        }
+        ResourceModel::new(specs).expect("validated SystemConfig yields a valid resource model")
+    }
+
+    /// An all-free [`PoolState`] for this system (the simulator's starting
+    /// state).
+    pub fn pool_state(&self) -> PoolState {
+        PoolState::from_model(&self.resource_model())
+    }
+
     /// Validates internal consistency.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), SystemConfigError> {
         if self.nodes == 0 {
-            return Err("system has zero nodes".into());
+            return Err(SystemConfigError::ZeroNodes);
         }
         if self.bb_gb < 0.0 || self.bb_reserved_gb < 0.0 {
-            return Err("negative burst-buffer capacity".into());
+            return Err(SystemConfigError::NegativeBurstBuffer);
         }
         if self.bb_reserved_gb > self.bb_gb {
-            return Err("reserved burst buffer exceeds total".into());
+            return Err(SystemConfigError::ReservedExceedsTotal);
         }
         if self.has_local_ssd() && self.nodes_128 + self.nodes_256 != self.nodes {
-            return Err(format!(
-                "SSD pools ({} + {}) do not cover all {} nodes",
-                self.nodes_128, self.nodes_256, self.nodes
-            ));
+            return Err(SystemConfigError::SsdPoolsMismatch {
+                nodes_128: self.nodes_128,
+                nodes_256: self.nodes_256,
+                nodes: self.nodes,
+            });
+        }
+        if self.extra_resources.len() > MAX_EXTRA {
+            return Err(SystemConfigError::TooManyExtraResources(self.extra_resources.len()));
+        }
+        for x in &self.extra_resources {
+            if x.amount.is_nan() || x.amount < 0.0 {
+                return Err(SystemConfigError::InvalidExtraAmount(x.name.clone()));
+            }
         }
         Ok(())
     }
 }
+
+/// Why a [`SystemConfig`] is not internally consistent.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SystemConfigError {
+    /// The system has no compute nodes.
+    ZeroNodes,
+    /// A burst-buffer capacity is negative.
+    NegativeBurstBuffer,
+    /// The persistent reservation exceeds the total burst buffer.
+    ReservedExceedsTotal,
+    /// The SSD flavour pools do not partition the node count.
+    SsdPoolsMismatch {
+        /// Configured 128 GB-SSD nodes.
+        nodes_128: u32,
+        /// Configured 256 GB-SSD nodes.
+        nodes_256: u32,
+        /// Total nodes the pools must cover.
+        nodes: u32,
+    },
+    /// More extra resources than `JobDemand` has demand slots.
+    TooManyExtraResources(usize),
+    /// An extra resource's amount is negative or NaN.
+    InvalidExtraAmount(String),
+}
+
+impl std::fmt::Display for SystemConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ZeroNodes => write!(f, "system has zero nodes"),
+            Self::NegativeBurstBuffer => write!(f, "negative burst-buffer capacity"),
+            Self::ReservedExceedsTotal => write!(f, "reserved burst buffer exceeds total"),
+            Self::SsdPoolsMismatch { nodes_128, nodes_256, nodes } => {
+                write!(f, "SSD pools ({nodes_128} + {nodes_256}) do not cover all {nodes} nodes")
+            }
+            Self::TooManyExtraResources(n) => {
+                write!(f, "{n} extra resources exceed the {MAX_EXTRA} demand slots")
+            }
+            Self::InvalidExtraAmount(name) => {
+                write!(f, "extra resource `{name}` has a negative or NaN amount")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SystemConfigError {}
 
 #[cfg(test)]
 mod tests {
@@ -165,5 +289,69 @@ mod tests {
     #[should_panic]
     fn scaled_rejects_zero_factor() {
         let _ = SystemConfig::cori().scaled(0.0);
+    }
+
+    #[test]
+    fn resource_model_matches_paper_shapes() {
+        // Cori: 2 pooled resources, bi-objective.
+        let cori = SystemConfig::cori();
+        let m = cori.resource_model();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.num_objectives(), 2);
+        assert_eq!(m.avail_nodes(), 12_076);
+        // The model's BB availability is the *usable* capacity.
+        assert_eq!(m.available().get(1), 1_200_000.0);
+
+        // SSD split: 3 resources, 4 objectives (utilizations + waste).
+        let ssd = SystemConfig::theta().with_ssd_split();
+        let m = ssd.resource_model();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.num_objectives(), 4);
+        let (_, flavors, waste) = m.per_node_resource().unwrap();
+        assert!(waste);
+        assert_eq!(flavors.total_count(), 4_392);
+    }
+
+    #[test]
+    fn pool_state_mirrors_model() {
+        let sys = SystemConfig::theta().with_ssd_split();
+        let pool = sys.pool_state();
+        assert_eq!(pool.total_nodes(), 4_392);
+        assert_eq!(pool.nodes_128(), 2_196);
+        assert_eq!(pool.nodes_256(), 2_196);
+        assert!(pool.ssd_aware());
+    }
+
+    #[test]
+    fn extra_resources_extend_the_model() {
+        let sys = SystemConfig::theta().with_extra_resource("gpus", 512.0);
+        assert!(sys.validate().is_ok());
+        let m = sys.resource_model();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.specs()[2].name, "gpus");
+        assert_eq!(m.num_objectives(), 3);
+        // Scaling scales extras too.
+        let s = sys.scaled(0.5);
+        assert_eq!(s.extra_resources[0].amount, 256.0);
+    }
+
+    #[test]
+    fn typed_validation_errors() {
+        let mut c = SystemConfig::cori();
+        c.bb_reserved_gb = c.bb_gb + 1.0;
+        assert_eq!(c.validate().unwrap_err(), SystemConfigError::ReservedExceedsTotal);
+        let mut c = SystemConfig::cori();
+        c.nodes = 0;
+        assert_eq!(c.validate().unwrap_err(), SystemConfigError::ZeroNodes);
+        let c = SystemConfig::cori()
+            .with_extra_resource("a", 1.0)
+            .with_extra_resource("b", 1.0)
+            .with_extra_resource("c", 1.0);
+        assert!(matches!(c.validate().unwrap_err(), SystemConfigError::TooManyExtraResources(3)));
+        let c = SystemConfig::cori().with_extra_resource("gpus", -1.0);
+        assert_eq!(c.validate().unwrap_err(), SystemConfigError::InvalidExtraAmount("gpus".into()));
+        // The error type boxes as a std error with a readable message.
+        let e: Box<dyn std::error::Error> = Box::new(SystemConfigError::ZeroNodes);
+        assert_eq!(e.to_string(), "system has zero nodes");
     }
 }

@@ -92,8 +92,7 @@ impl Trace {
         if s.jobs_with_bb > 0 {
             s.bb_range_gb = Some((bb_min, bb_max));
         }
-        s.span_seconds =
-            self.jobs.last().map(|j| j.submit).unwrap_or(0.0) - self.jobs[0].submit;
+        s.span_seconds = self.jobs.last().map(|j| j.submit).unwrap_or(0.0) - self.jobs[0].submit;
         s
     }
 
@@ -135,8 +134,7 @@ impl Trace {
                 .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
             jobs.push(j);
         }
-        Self::from_jobs(jobs)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        Self::from_jobs(jobs).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 }
 
@@ -205,10 +203,8 @@ mod tests {
 
     #[test]
     fn duplicate_ids_rejected() {
-        let r = Trace::from_jobs(vec![
-            Job::new(1, 0.0, 1, 1.0, 1.0),
-            Job::new(1, 5.0, 1, 1.0, 1.0),
-        ]);
+        let r =
+            Trace::from_jobs(vec![Job::new(1, 0.0, 1, 1.0, 1.0), Job::new(1, 5.0, 1, 1.0, 1.0)]);
         assert!(r.is_err());
     }
 

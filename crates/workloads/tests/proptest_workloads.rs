@@ -1,8 +1,6 @@
 //! Property-based tests of trace generation, transforms, and persistence.
 
-use bbsched_workloads::{
-    generate, swf, GeneratorConfig, Job, MachineProfile, Trace, Workload,
-};
+use bbsched_workloads::{generate, swf, GeneratorConfig, Job, MachineProfile, Trace, Workload};
 use proptest::prelude::*;
 
 proptest! {

@@ -18,7 +18,12 @@ fn main() {
     let profile = MachineProfile::theta().scaled(factor);
     let base = generate(
         &profile,
-        &GeneratorConfig { n_jobs: 1_500, seed: 99, load_factor: 1.15, ..GeneratorConfig::default() },
+        &GeneratorConfig {
+            n_jobs: 1_500,
+            seed: 99,
+            load_factor: 1.15,
+            ..GeneratorConfig::default()
+        },
     );
     let trace = Workload::S2.apply_scaled(&base, 99, factor);
     let ga = GaParams { generations: 200, base_seed: 99, ..GaParams::default() };
@@ -27,15 +32,11 @@ fn main() {
         "{:<14} {:>10} {:>10} {:>11} {:>11} {:>12}",
         "Backfill", "Node use", "BB use", "Avg wait", "P99 wait", "Backfilled"
     );
-    for (label, alg) in [
-        ("EASY", BackfillAlgorithm::Easy),
-        ("Conservative", BackfillAlgorithm::Conservative),
-    ] {
-        let cfg = SimConfig {
-            base: BaseScheduler::Wfp,
-            backfill_algorithm: alg,
-            ..SimConfig::default()
-        };
+    for (label, alg) in
+        [("EASY", BackfillAlgorithm::Easy), ("Conservative", BackfillAlgorithm::Conservative)]
+    {
+        let cfg =
+            SimConfig { base: BaseScheduler::Wfp, backfill_algorithm: alg, ..SimConfig::default() };
         let result = Simulator::new(&profile.system, &trace, cfg)
             .expect("valid setup")
             .run(PolicyKind::BbSched.build(ga));
@@ -44,8 +45,8 @@ fn main() {
         println!(
             "{:<14} {:>9.1}% {:>9.1}% {:>10.2}h {:>10.2}h {:>12}",
             label,
-            m.node_usage * 100.0,
-            m.bb_usage * 100.0,
+            m.node_usage() * 100.0,
+            m.bb_usage() * 100.0,
             m.avg_wait / 3600.0,
             waits.p99 / 3600.0,
             result.backfilled,

@@ -1,0 +1,81 @@
+//! Registering a *new* schedulable resource — the paper's extensibility
+//! claim ("BBSched can be easily extended to schedule other schedulable
+//! resources") exercised end to end.
+//!
+//! A Theta-like system gains a third pooled resource: a cluster-wide GPU
+//! bank. No core, policy, or simulator code changes are needed — the GPU
+//! pool is one more row in the system's resource table:
+//!
+//! * `SystemConfig::with_extra_resource("gpus", n)` registers the pool;
+//! * jobs request it through `Job::with_extra(0, amount)`;
+//! * every GA policy picks the problem up from the pool's `ResourceModel`
+//!   (three objectives: nodes, burst buffer, GPUs), and BBSched switches
+//!   to its multi-resource trade-off rule automatically;
+//! * metrics report a `gpus` usage series like any other resource.
+//!
+//! Run: `cargo run --release --example custom_resource`
+
+use bbsched::metrics::{MeasurementWindow, MethodSummary};
+use bbsched::policies::{GaParams, PolicyKind};
+use bbsched::sim::{BaseScheduler, SimConfig, Simulator};
+use bbsched::workloads::{generate, GeneratorConfig, MachineProfile, Workload};
+
+fn main() {
+    // A 2% replica of Theta, with a 96-GPU shared bank bolted on.
+    let factor = 0.02;
+    let mut profile = MachineProfile::theta().scaled(factor);
+    profile.system = profile.system.with_extra_resource("gpus", 96.0);
+    println!(
+        "system: {} ({} nodes, {:.0} GB BB, 96 GPUs)",
+        profile.system.name, profile.system.nodes, profile.system.bb_gb
+    );
+    let model = profile.system.resource_model();
+    let names: Vec<&str> = model.specs().iter().map(|s| s.name.as_str()).collect();
+    println!("resource model: {} -> {} objectives\n", names.join(" + "), model.num_objectives());
+
+    // S2-style burst-buffer pressure, then a GPU mix: every third job is a
+    // GPU job asking for two GPUs per requested node (deterministic, so the
+    // run is reproducible).
+    let base = generate(
+        &profile,
+        &GeneratorConfig { n_jobs: 400, seed: 7, load_factor: 1.1, ..GeneratorConfig::default() },
+    );
+    let trace = Workload::S2
+        .apply_scaled(&base, 7, factor)
+        .map_jobs(|j| {
+            if j.id % 3 == 0 {
+                let gpus = f64::from(j.nodes) * 2.0;
+                j.with_extra(0, gpus)
+            } else {
+                j
+            }
+        })
+        .expect("GPU demands are valid");
+    let gpu_jobs = trace.jobs().iter().filter(|j| j.extra_demand(0) > 0.0).count();
+    println!("workload: {} jobs, {} requesting GPUs\n", trace.len(), gpu_jobs);
+
+    let ga = GaParams { generations: 100, base_seed: 7, ..GaParams::default() };
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>12} {:>10}",
+        "Method", "Node use", "BB use", "GPU use", "Avg wait", "Slowdown"
+    );
+    for kind in [PolicyKind::Baseline, PolicyKind::BinPacking, PolicyKind::BbSched] {
+        let cfg = SimConfig { base: BaseScheduler::Wfp, ..SimConfig::default() };
+        let result =
+            Simulator::new(&profile.system, &trace, cfg).expect("valid setup").run(kind.build(ga));
+        let m = MethodSummary::from_result(&result, MeasurementWindow::default());
+        println!(
+            "{:<12} {:>9.1}% {:>9.1}% {:>9.1}% {:>11.2}h {:>10.2}",
+            kind.name(),
+            m.node_usage() * 100.0,
+            m.bb_usage() * 100.0,
+            m.usage_of("gpus") * 100.0,
+            m.avg_wait / 3600.0,
+            m.avg_slowdown
+        );
+    }
+    println!(
+        "\nThe GPU bank is a first-class third objective: BBSched trades node,\n\
+         BB, and GPU utilization on one Pareto front, with zero solver changes."
+    );
+}

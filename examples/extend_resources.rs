@@ -10,24 +10,25 @@
 
 use bbsched::core::decision::{choose_preferred, DecisionRule};
 use bbsched::core::pools::PoolState;
-use bbsched::core::problem::{Available, CpuBbSsdProblem, JobDemand, MooProblem};
+use bbsched::core::problem::{JobDemand, KnapsackMooProblem, MooProblem};
+use bbsched::core::resource::ResourceModel;
 use bbsched::core::{GaConfig, MooGa};
 use bbsched::policies::{GaParams, PolicyKind, SelectionPolicy};
 
 fn main() {
     // 16 free nodes: 8 with 128 GB SSDs, 8 with 256 GB; 20 TB free BB.
-    let avail = Available::with_ssd(8, 8, 20_000.0);
+    let model = ResourceModel::cpu_bb_ssd(8, 8, 20_000.0);
 
     let window = vec![
-        JobDemand::cpu_bb_ssd(6, 8_000.0, 200.0),  // needs 256-GB nodes
-        JobDemand::cpu_bb_ssd(4, 0.0, 64.0),       // happy on 128-GB nodes
+        JobDemand::cpu_bb_ssd(6, 8_000.0, 200.0), // needs 256-GB nodes
+        JobDemand::cpu_bb_ssd(4, 0.0, 64.0),      // happy on 128-GB nodes
         JobDemand::cpu_bb_ssd(8, 12_000.0, 100.0), // big BB + modest SSD
-        JobDemand::cpu_bb_ssd(2, 0.0, 250.0),      // needs 256-GB nodes
-        JobDemand::cpu_bb_ssd(4, 2_000.0, 0.0),    // no SSD at all
+        JobDemand::cpu_bb_ssd(2, 0.0, 250.0),     // needs 256-GB nodes
+        JobDemand::cpu_bb_ssd(4, 2_000.0, 0.0),   // no SSD at all
     ];
 
     // --- the raw four-objective machinery ---
-    let problem = CpuBbSsdProblem::new(window.clone(), avail);
+    let problem = KnapsackMooProblem::new(window.clone(), model);
     let front = MooGa::new(GaConfig::default()).solve(&problem);
     println!("Four-objective Pareto set ({} points):", front.len());
     println!(
@@ -46,12 +47,9 @@ fn main() {
         );
     }
 
-    let chosen = choose_preferred(
-        &front,
-        problem.normalizers().as_slice(),
-        DecisionRule::multi_resource(),
-    )
-    .expect("non-empty front");
+    let chosen =
+        choose_preferred(&front, problem.normalizers().as_slice(), DecisionRule::multi_resource())
+            .expect("non-empty front");
     let sel: Vec<String> = chosen.chromosome.selected().map(|i| format!("J{}", i + 1)).collect();
     println!("\n4x decision rule starts: [{}]", sel.join(", "));
 

@@ -13,11 +13,11 @@ use bbsched::policies::{GaParams, PolicyKind, SelectionPolicy};
 fn main() {
     // Table 1(a): a 100-node system with 100 TB of burst buffer.
     let window = vec![
-        JobDemand::cpu_bb(80, 20_000.0),  // J1
-        JobDemand::cpu_bb(10, 85_000.0),  // J2
-        JobDemand::cpu_bb(40, 5_000.0),   // J3
-        JobDemand::cpu_bb(10, 0.0),       // J4
-        JobDemand::cpu_bb(20, 0.0),       // J5
+        JobDemand::cpu_bb(80, 20_000.0), // J1
+        JobDemand::cpu_bb(10, 85_000.0), // J2
+        JobDemand::cpu_bb(40, 5_000.0),  // J3
+        JobDemand::cpu_bb(10, 0.0),      // J4
+        JobDemand::cpu_bb(20, 0.0),      // J5
     ];
     let avail = PoolState::cpu_bb(100, 100_000.0);
     let ga = GaParams { generations: 500, base_seed: 4, ..GaParams::default() };

@@ -6,8 +6,9 @@
 //!
 //! Run: `cargo run --release --example parameter_tuning`
 
-use bbsched::core::problem::{CpuBbProblem, JobDemand};
+use bbsched::core::problem::{JobDemand, KnapsackMooProblem};
 use bbsched::core::quality::{generational_distance_scaled, hypervolume_2d};
+use bbsched::core::resource::ResourceModel;
 use bbsched::core::{exhaustive, GaConfig, MooGa};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -24,7 +25,7 @@ fn main() {
             )
         })
         .collect();
-    let problem = CpuBbProblem::new(window, 500, 100_000.0);
+    let problem = KnapsackMooProblem::new(window, ResourceModel::cpu_bb(500, 100_000.0));
 
     let t = Instant::now();
     let truth = exhaustive::solve(&problem).expect("w=20 fits the cap");
@@ -36,10 +37,7 @@ fn main() {
 
     let scale = [500.0, 100_000.0];
     let hv_truth = hypervolume_2d(&truth, 0.0, 0.0);
-    println!(
-        "{:>4} {:>6} {:>14} {:>12} {:>10}",
-        "P", "G", "GD (norm.)", "HV ratio", "time (ms)"
-    );
+    println!("{:>4} {:>6} {:>14} {:>12} {:>10}", "P", "G", "GD (norm.)", "HV ratio", "time (ms)");
     for population in [10usize, 20, 50] {
         for generations in [50usize, 200, 500, 2000] {
             let cfg = GaConfig { population, generations, seed: 99, ..GaConfig::default() };

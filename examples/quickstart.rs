@@ -8,7 +8,8 @@
 //! Run: `cargo run --release --example quickstart`
 
 use bbsched::core::decision::{choose_preferred, DecisionRule};
-use bbsched::core::problem::{CpuBbProblem, JobDemand, MooProblem};
+use bbsched::core::problem::{JobDemand, KnapsackMooProblem, MooProblem};
+use bbsched::core::resource::ResourceModel;
 use bbsched::core::{GaConfig, MooGa};
 
 fn main() {
@@ -26,7 +27,8 @@ fn main() {
         JobDemand::cpu_bb(200, 45_000.0),
     ];
 
-    let problem = CpuBbProblem::new(window.clone(), free_nodes, free_bb_gb);
+    let problem =
+        KnapsackMooProblem::new(window.clone(), ResourceModel::cpu_bb(free_nodes, free_bb_gb));
 
     // Paper defaults: P=20, G=500, p_m=0.05%.
     let solver = MooGa::new(GaConfig::default());

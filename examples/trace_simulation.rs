@@ -20,7 +20,12 @@ fn main() {
     let profile = MachineProfile::theta().scaled(factor);
     let base = generate(
         &profile,
-        &GeneratorConfig { n_jobs: 1_000, seed: 42, load_factor: 1.15, ..GeneratorConfig::default() },
+        &GeneratorConfig {
+            n_jobs: 1_000,
+            seed: 42,
+            load_factor: 1.15,
+            ..GeneratorConfig::default()
+        },
     );
     // S4: 75% of jobs request burst buffer, drawn from the large-request
     // pool — the paper's most contended scenario.
@@ -40,15 +45,14 @@ fn main() {
     );
     for kind in [PolicyKind::Baseline, PolicyKind::BinPacking, PolicyKind::BbSched] {
         let cfg = SimConfig { base: BaseScheduler::Wfp, ..SimConfig::default() };
-        let result = Simulator::new(&profile.system, &trace, cfg)
-            .expect("valid setup")
-            .run(kind.build(ga));
+        let result =
+            Simulator::new(&profile.system, &trace, cfg).expect("valid setup").run(kind.build(ga));
         let m = MethodSummary::from_result(&result, MeasurementWindow::default());
         println!(
             "{:<14} {:>9.1}% {:>9.1}% {:>11.2}h {:>10.2}",
             kind.name(),
-            m.node_usage * 100.0,
-            m.bb_usage * 100.0,
+            m.node_usage() * 100.0,
+            m.bb_usage() * 100.0,
             m.avg_wait / 3600.0,
             m.avg_slowdown
         );

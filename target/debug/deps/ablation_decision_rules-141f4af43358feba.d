@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_decision_rules-141f4af43358feba.d: crates/bench/src/bin/ablation_decision_rules.rs
+
+/root/repo/target/debug/deps/ablation_decision_rules-141f4af43358feba: crates/bench/src/bin/ablation_decision_rules.rs
+
+crates/bench/src/bin/ablation_decision_rules.rs:

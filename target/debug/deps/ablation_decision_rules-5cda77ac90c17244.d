@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_decision_rules-5cda77ac90c17244.d: crates/bench/src/bin/ablation_decision_rules.rs
+
+/root/repo/target/debug/deps/libablation_decision_rules-5cda77ac90c17244.rmeta: crates/bench/src/bin/ablation_decision_rules.rs
+
+crates/bench/src/bin/ablation_decision_rules.rs:

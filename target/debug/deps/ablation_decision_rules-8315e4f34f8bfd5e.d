@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_decision_rules-8315e4f34f8bfd5e.d: crates/bench/src/bin/ablation_decision_rules.rs
+
+/root/repo/target/debug/deps/ablation_decision_rules-8315e4f34f8bfd5e: crates/bench/src/bin/ablation_decision_rules.rs
+
+crates/bench/src/bin/ablation_decision_rules.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_decision_rules-a9b62e9fb8262f83.d: crates/bench/src/bin/ablation_decision_rules.rs
+
+/root/repo/target/debug/deps/libablation_decision_rules-a9b62e9fb8262f83.rmeta: crates/bench/src/bin/ablation_decision_rules.rs
+
+crates/bench/src/bin/ablation_decision_rules.rs:

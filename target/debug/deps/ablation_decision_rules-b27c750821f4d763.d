@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_decision_rules-b27c750821f4d763.d: crates/bench/src/bin/ablation_decision_rules.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_decision_rules-b27c750821f4d763.rmeta: crates/bench/src/bin/ablation_decision_rules.rs Cargo.toml
+
+crates/bench/src/bin/ablation_decision_rules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

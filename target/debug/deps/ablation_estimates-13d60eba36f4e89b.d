@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_estimates-13d60eba36f4e89b.d: crates/bench/src/bin/ablation_estimates.rs
+
+/root/repo/target/debug/deps/libablation_estimates-13d60eba36f4e89b.rmeta: crates/bench/src/bin/ablation_estimates.rs
+
+crates/bench/src/bin/ablation_estimates.rs:

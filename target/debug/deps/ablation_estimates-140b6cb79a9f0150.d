@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_estimates-140b6cb79a9f0150.d: crates/bench/src/bin/ablation_estimates.rs
+
+/root/repo/target/debug/deps/ablation_estimates-140b6cb79a9f0150: crates/bench/src/bin/ablation_estimates.rs
+
+crates/bench/src/bin/ablation_estimates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_estimates-363641f204458247.d: crates/bench/src/bin/ablation_estimates.rs
+
+/root/repo/target/debug/deps/libablation_estimates-363641f204458247.rmeta: crates/bench/src/bin/ablation_estimates.rs
+
+crates/bench/src/bin/ablation_estimates.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_estimates-baa0e84097001a80.d: crates/bench/src/bin/ablation_estimates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_estimates-baa0e84097001a80.rmeta: crates/bench/src/bin/ablation_estimates.rs Cargo.toml
+
+crates/bench/src/bin/ablation_estimates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_estimates-edb6dfabb07dbe83.d: crates/bench/src/bin/ablation_estimates.rs
+
+/root/repo/target/debug/deps/ablation_estimates-edb6dfabb07dbe83: crates/bench/src/bin/ablation_estimates.rs
+
+crates/bench/src/bin/ablation_estimates.rs:

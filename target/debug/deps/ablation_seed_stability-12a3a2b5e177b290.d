@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_seed_stability-12a3a2b5e177b290.d: crates/bench/src/bin/ablation_seed_stability.rs
+
+/root/repo/target/debug/deps/ablation_seed_stability-12a3a2b5e177b290: crates/bench/src/bin/ablation_seed_stability.rs
+
+crates/bench/src/bin/ablation_seed_stability.rs:

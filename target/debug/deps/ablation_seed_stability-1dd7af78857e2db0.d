@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_seed_stability-1dd7af78857e2db0.d: crates/bench/src/bin/ablation_seed_stability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_seed_stability-1dd7af78857e2db0.rmeta: crates/bench/src/bin/ablation_seed_stability.rs Cargo.toml
+
+crates/bench/src/bin/ablation_seed_stability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_seed_stability-6d8e82f3741550c7.d: crates/bench/src/bin/ablation_seed_stability.rs
+
+/root/repo/target/debug/deps/libablation_seed_stability-6d8e82f3741550c7.rmeta: crates/bench/src/bin/ablation_seed_stability.rs
+
+crates/bench/src/bin/ablation_seed_stability.rs:

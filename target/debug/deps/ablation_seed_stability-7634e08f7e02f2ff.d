@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_seed_stability-7634e08f7e02f2ff.d: crates/bench/src/bin/ablation_seed_stability.rs
+
+/root/repo/target/debug/deps/libablation_seed_stability-7634e08f7e02f2ff.rmeta: crates/bench/src/bin/ablation_seed_stability.rs
+
+crates/bench/src/bin/ablation_seed_stability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_seed_stability-c78e1aea388228be.d: crates/bench/src/bin/ablation_seed_stability.rs
+
+/root/repo/target/debug/deps/ablation_seed_stability-c78e1aea388228be: crates/bench/src/bin/ablation_seed_stability.rs
+
+crates/bench/src/bin/ablation_seed_stability.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bbsched-1597f58aee6845b7.d: src/lib.rs
+
+/root/repo/target/debug/deps/libbbsched-1597f58aee6845b7.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libbbsched-1597f58aee6845b7.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bbsched-3c7e65c81d7b9105.d: src/lib.rs
+
+/root/repo/target/debug/deps/libbbsched-3c7e65c81d7b9105.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bbsched-42268d2bbd4fd92f.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/bbsched-42268d2bbd4fd92f: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bbsched-43f96ef54870e6b6.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/libbbsched-43f96ef54870e6b6.rmeta: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bbsched-5e1c65833f11a8ed.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/libbbsched-5e1c65833f11a8ed.rmeta: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bbsched-66c96c42c3d1d887.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/bbsched-66c96c42c3d1d887: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

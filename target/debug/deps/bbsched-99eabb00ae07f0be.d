@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bbsched-99eabb00ae07f0be.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbbsched-99eabb00ae07f0be.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bbsched-a2d4d2e57b8a1d13.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbbsched-a2d4d2e57b8a1d13.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bbsched-dab94b64cb6257c7.d: src/lib.rs
+
+/root/repo/target/debug/deps/bbsched-dab94b64cb6257c7: src/lib.rs
+
+src/lib.rs:

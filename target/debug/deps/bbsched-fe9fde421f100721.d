@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bbsched-fe9fde421f100721.d: src/lib.rs
+
+/root/repo/target/debug/deps/libbbsched-fe9fde421f100721.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/bbsched_bench-71163c7e56703445.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/figures.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/bbsched_bench-71163c7e56703445: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/figures.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/report.rs:

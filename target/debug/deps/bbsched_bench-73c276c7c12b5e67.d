@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bbsched_bench-73c276c7c12b5e67.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/figures.rs crates/bench/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbbsched_bench-73c276c7c12b5e67.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/figures.rs crates/bench/src/report.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

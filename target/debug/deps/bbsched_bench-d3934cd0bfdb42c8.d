@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/bbsched_bench-d3934cd0bfdb42c8.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/figures.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libbbsched_bench-d3934cd0bfdb42c8.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/figures.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/report.rs:

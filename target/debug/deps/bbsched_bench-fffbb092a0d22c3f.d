@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/bbsched_bench-fffbb092a0d22c3f.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/figures.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libbbsched_bench-fffbb092a0d22c3f.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/figures.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/report.rs:

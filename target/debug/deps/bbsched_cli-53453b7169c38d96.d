@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bbsched_cli-53453b7169c38d96.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/bbsched_cli-53453b7169c38d96: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

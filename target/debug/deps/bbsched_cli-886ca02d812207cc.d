@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bbsched_cli-886ca02d812207cc.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/libbbsched_cli-886ca02d812207cc.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/bbsched_core-44a2ac925222a8d2.d: crates/core/src/lib.rs crates/core/src/chromosome.rs crates/core/src/decision.rs crates/core/src/exhaustive.rs crates/core/src/ga.rs crates/core/src/parallel.rs crates/core/src/pareto.rs crates/core/src/pools.rs crates/core/src/problem.rs crates/core/src/quality.rs crates/core/src/resource.rs crates/core/src/window.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbbsched_core-44a2ac925222a8d2.rmeta: crates/core/src/lib.rs crates/core/src/chromosome.rs crates/core/src/decision.rs crates/core/src/exhaustive.rs crates/core/src/ga.rs crates/core/src/parallel.rs crates/core/src/pareto.rs crates/core/src/pools.rs crates/core/src/problem.rs crates/core/src/quality.rs crates/core/src/resource.rs crates/core/src/window.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/chromosome.rs:
+crates/core/src/decision.rs:
+crates/core/src/exhaustive.rs:
+crates/core/src/ga.rs:
+crates/core/src/parallel.rs:
+crates/core/src/pareto.rs:
+crates/core/src/pools.rs:
+crates/core/src/problem.rs:
+crates/core/src/quality.rs:
+crates/core/src/resource.rs:
+crates/core/src/window.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

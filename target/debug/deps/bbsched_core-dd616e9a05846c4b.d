@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/bbsched_core-dd616e9a05846c4b.d: crates/core/src/lib.rs crates/core/src/chromosome.rs crates/core/src/decision.rs crates/core/src/exhaustive.rs crates/core/src/ga.rs crates/core/src/parallel.rs crates/core/src/pareto.rs crates/core/src/pools.rs crates/core/src/problem.rs crates/core/src/quality.rs crates/core/src/resource.rs crates/core/src/window.rs
+
+/root/repo/target/debug/deps/bbsched_core-dd616e9a05846c4b: crates/core/src/lib.rs crates/core/src/chromosome.rs crates/core/src/decision.rs crates/core/src/exhaustive.rs crates/core/src/ga.rs crates/core/src/parallel.rs crates/core/src/pareto.rs crates/core/src/pools.rs crates/core/src/problem.rs crates/core/src/quality.rs crates/core/src/resource.rs crates/core/src/window.rs
+
+crates/core/src/lib.rs:
+crates/core/src/chromosome.rs:
+crates/core/src/decision.rs:
+crates/core/src/exhaustive.rs:
+crates/core/src/ga.rs:
+crates/core/src/parallel.rs:
+crates/core/src/pareto.rs:
+crates/core/src/pools.rs:
+crates/core/src/problem.rs:
+crates/core/src/quality.rs:
+crates/core/src/resource.rs:
+crates/core/src/window.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bbsched_metrics-b66d11023f8bb050.d: crates/metrics/src/lib.rs crates/metrics/src/breakdown.rs crates/metrics/src/kiviat.rs crates/metrics/src/stats.rs crates/metrics/src/summary.rs crates/metrics/src/usage.rs
+
+/root/repo/target/debug/deps/bbsched_metrics-b66d11023f8bb050: crates/metrics/src/lib.rs crates/metrics/src/breakdown.rs crates/metrics/src/kiviat.rs crates/metrics/src/stats.rs crates/metrics/src/summary.rs crates/metrics/src/usage.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/breakdown.rs:
+crates/metrics/src/kiviat.rs:
+crates/metrics/src/stats.rs:
+crates/metrics/src/summary.rs:
+crates/metrics/src/usage.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bbsched_policies-620412ed10acaed5.d: crates/policies/src/lib.rs crates/policies/src/adaptive.rs crates/policies/src/bbsched.rs crates/policies/src/bin_packing.rs crates/policies/src/constrained.rs crates/policies/src/kind.rs crates/policies/src/naive.rs crates/policies/src/weighted.rs
+
+/root/repo/target/debug/deps/libbbsched_policies-620412ed10acaed5.rmeta: crates/policies/src/lib.rs crates/policies/src/adaptive.rs crates/policies/src/bbsched.rs crates/policies/src/bin_packing.rs crates/policies/src/constrained.rs crates/policies/src/kind.rs crates/policies/src/naive.rs crates/policies/src/weighted.rs
+
+crates/policies/src/lib.rs:
+crates/policies/src/adaptive.rs:
+crates/policies/src/bbsched.rs:
+crates/policies/src/bin_packing.rs:
+crates/policies/src/constrained.rs:
+crates/policies/src/kind.rs:
+crates/policies/src/naive.rs:
+crates/policies/src/weighted.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/bbsched_policies-8b8e2771e79092e2.d: crates/policies/src/lib.rs crates/policies/src/adaptive.rs crates/policies/src/bbsched.rs crates/policies/src/bin_packing.rs crates/policies/src/constrained.rs crates/policies/src/kind.rs crates/policies/src/naive.rs crates/policies/src/weighted.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbbsched_policies-8b8e2771e79092e2.rmeta: crates/policies/src/lib.rs crates/policies/src/adaptive.rs crates/policies/src/bbsched.rs crates/policies/src/bin_packing.rs crates/policies/src/constrained.rs crates/policies/src/kind.rs crates/policies/src/naive.rs crates/policies/src/weighted.rs Cargo.toml
+
+crates/policies/src/lib.rs:
+crates/policies/src/adaptive.rs:
+crates/policies/src/bbsched.rs:
+crates/policies/src/bin_packing.rs:
+crates/policies/src/constrained.rs:
+crates/policies/src/kind.rs:
+crates/policies/src/naive.rs:
+crates/policies/src/weighted.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/bbsched_policies-f7fe4f05f7c95eff.d: crates/policies/src/lib.rs crates/policies/src/adaptive.rs crates/policies/src/bbsched.rs crates/policies/src/bin_packing.rs crates/policies/src/constrained.rs crates/policies/src/kind.rs crates/policies/src/naive.rs crates/policies/src/weighted.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbbsched_policies-f7fe4f05f7c95eff.rmeta: crates/policies/src/lib.rs crates/policies/src/adaptive.rs crates/policies/src/bbsched.rs crates/policies/src/bin_packing.rs crates/policies/src/constrained.rs crates/policies/src/kind.rs crates/policies/src/naive.rs crates/policies/src/weighted.rs Cargo.toml
+
+crates/policies/src/lib.rs:
+crates/policies/src/adaptive.rs:
+crates/policies/src/bbsched.rs:
+crates/policies/src/bin_packing.rs:
+crates/policies/src/constrained.rs:
+crates/policies/src/kind.rs:
+crates/policies/src/naive.rs:
+crates/policies/src/weighted.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

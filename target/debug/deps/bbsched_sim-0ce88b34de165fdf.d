@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bbsched_sim-0ce88b34de165fdf.d: crates/sim/src/lib.rs crates/sim/src/base_sched.rs crates/sim/src/profile.rs crates/sim/src/record.rs crates/sim/src/simulator.rs
+
+/root/repo/target/debug/deps/libbbsched_sim-0ce88b34de165fdf.rmeta: crates/sim/src/lib.rs crates/sim/src/base_sched.rs crates/sim/src/profile.rs crates/sim/src/record.rs crates/sim/src/simulator.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/base_sched.rs:
+crates/sim/src/profile.rs:
+crates/sim/src/record.rs:
+crates/sim/src/simulator.rs:

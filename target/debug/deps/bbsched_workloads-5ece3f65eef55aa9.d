@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/bbsched_workloads-5ece3f65eef55aa9.d: crates/workloads/src/lib.rs crates/workloads/src/dag.rs crates/workloads/src/dist.rs crates/workloads/src/estimates.rs crates/workloads/src/generator.rs crates/workloads/src/job.rs crates/workloads/src/swf.rs crates/workloads/src/synthetic.rs crates/workloads/src/system.rs crates/workloads/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbbsched_workloads-5ece3f65eef55aa9.rmeta: crates/workloads/src/lib.rs crates/workloads/src/dag.rs crates/workloads/src/dist.rs crates/workloads/src/estimates.rs crates/workloads/src/generator.rs crates/workloads/src/job.rs crates/workloads/src/swf.rs crates/workloads/src/synthetic.rs crates/workloads/src/system.rs crates/workloads/src/trace.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/dag.rs:
+crates/workloads/src/dist.rs:
+crates/workloads/src/estimates.rs:
+crates/workloads/src/generator.rs:
+crates/workloads/src/job.rs:
+crates/workloads/src/swf.rs:
+crates/workloads/src/synthetic.rs:
+crates/workloads/src/system.rs:
+crates/workloads/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/bbsched_workloads-8034e0395ddf2c9d.d: crates/workloads/src/lib.rs crates/workloads/src/dag.rs crates/workloads/src/dist.rs crates/workloads/src/estimates.rs crates/workloads/src/generator.rs crates/workloads/src/job.rs crates/workloads/src/swf.rs crates/workloads/src/synthetic.rs crates/workloads/src/system.rs crates/workloads/src/trace.rs
+
+/root/repo/target/debug/deps/libbbsched_workloads-8034e0395ddf2c9d.rlib: crates/workloads/src/lib.rs crates/workloads/src/dag.rs crates/workloads/src/dist.rs crates/workloads/src/estimates.rs crates/workloads/src/generator.rs crates/workloads/src/job.rs crates/workloads/src/swf.rs crates/workloads/src/synthetic.rs crates/workloads/src/system.rs crates/workloads/src/trace.rs
+
+/root/repo/target/debug/deps/libbbsched_workloads-8034e0395ddf2c9d.rmeta: crates/workloads/src/lib.rs crates/workloads/src/dag.rs crates/workloads/src/dist.rs crates/workloads/src/estimates.rs crates/workloads/src/generator.rs crates/workloads/src/job.rs crates/workloads/src/swf.rs crates/workloads/src/synthetic.rs crates/workloads/src/system.rs crates/workloads/src/trace.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/dag.rs:
+crates/workloads/src/dist.rs:
+crates/workloads/src/estimates.rs:
+crates/workloads/src/generator.rs:
+crates/workloads/src/job.rs:
+crates/workloads/src/swf.rs:
+crates/workloads/src/synthetic.rs:
+crates/workloads/src/system.rs:
+crates/workloads/src/trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dag_workloads-6dc8757b9f5189b0.d: tests/dag_workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdag_workloads-6dc8757b9f5189b0.rmeta: tests/dag_workloads.rs Cargo.toml
+
+tests/dag_workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

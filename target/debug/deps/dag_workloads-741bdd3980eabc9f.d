@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dag_workloads-741bdd3980eabc9f.d: tests/dag_workloads.rs
+
+/root/repo/target/debug/deps/dag_workloads-741bdd3980eabc9f: tests/dag_workloads.rs
+
+tests/dag_workloads.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dag_workloads-a4e4eb8ffd651b23.d: tests/dag_workloads.rs
+
+/root/repo/target/debug/deps/libdag_workloads-a4e4eb8ffd651b23.rmeta: tests/dag_workloads.rs
+
+tests/dag_workloads.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/estimate_models-096faa3b217c4e53.d: tests/estimate_models.rs
+
+/root/repo/target/debug/deps/libestimate_models-096faa3b217c4e53.rmeta: tests/estimate_models.rs
+
+tests/estimate_models.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/estimate_models-1df856665ae91623.d: tests/estimate_models.rs
+
+/root/repo/target/debug/deps/estimate_models-1df856665ae91623: tests/estimate_models.rs
+
+tests/estimate_models.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/estimate_models-f075beb17e298838.d: tests/estimate_models.rs Cargo.toml
+
+/root/repo/target/debug/deps/libestimate_models-f075beb17e298838.rmeta: tests/estimate_models.rs Cargo.toml
+
+tests/estimate_models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

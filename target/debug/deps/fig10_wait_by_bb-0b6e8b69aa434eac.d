@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_wait_by_bb-0b6e8b69aa434eac.d: crates/bench/src/bin/fig10_wait_by_bb.rs
+
+/root/repo/target/debug/deps/fig10_wait_by_bb-0b6e8b69aa434eac: crates/bench/src/bin/fig10_wait_by_bb.rs
+
+crates/bench/src/bin/fig10_wait_by_bb.rs:

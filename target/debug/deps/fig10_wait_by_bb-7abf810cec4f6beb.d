@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_wait_by_bb-7abf810cec4f6beb.d: crates/bench/src/bin/fig10_wait_by_bb.rs
+
+/root/repo/target/debug/deps/libfig10_wait_by_bb-7abf810cec4f6beb.rmeta: crates/bench/src/bin/fig10_wait_by_bb.rs
+
+crates/bench/src/bin/fig10_wait_by_bb.rs:

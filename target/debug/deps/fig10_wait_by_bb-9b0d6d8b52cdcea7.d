@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_wait_by_bb-9b0d6d8b52cdcea7.d: crates/bench/src/bin/fig10_wait_by_bb.rs
+
+/root/repo/target/debug/deps/fig10_wait_by_bb-9b0d6d8b52cdcea7: crates/bench/src/bin/fig10_wait_by_bb.rs
+
+crates/bench/src/bin/fig10_wait_by_bb.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_wait_by_bb-ce184c58b3b33fa5.d: crates/bench/src/bin/fig10_wait_by_bb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_wait_by_bb-ce184c58b3b33fa5.rmeta: crates/bench/src/bin/fig10_wait_by_bb.rs Cargo.toml
+
+crates/bench/src/bin/fig10_wait_by_bb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_wait_by_bb-e9765452de36275d.d: crates/bench/src/bin/fig10_wait_by_bb.rs
+
+/root/repo/target/debug/deps/libfig10_wait_by_bb-e9765452de36275d.rmeta: crates/bench/src/bin/fig10_wait_by_bb.rs
+
+crates/bench/src/bin/fig10_wait_by_bb.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_wait_by_runtime-2304f996af67a894.d: crates/bench/src/bin/fig11_wait_by_runtime.rs
+
+/root/repo/target/debug/deps/libfig11_wait_by_runtime-2304f996af67a894.rmeta: crates/bench/src/bin/fig11_wait_by_runtime.rs
+
+crates/bench/src/bin/fig11_wait_by_runtime.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_wait_by_runtime-393ada145a375357.d: crates/bench/src/bin/fig11_wait_by_runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_wait_by_runtime-393ada145a375357.rmeta: crates/bench/src/bin/fig11_wait_by_runtime.rs Cargo.toml
+
+crates/bench/src/bin/fig11_wait_by_runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_wait_by_runtime-451a0c0ae64e0d27.d: crates/bench/src/bin/fig11_wait_by_runtime.rs
+
+/root/repo/target/debug/deps/fig11_wait_by_runtime-451a0c0ae64e0d27: crates/bench/src/bin/fig11_wait_by_runtime.rs
+
+crates/bench/src/bin/fig11_wait_by_runtime.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_wait_by_runtime-527e9295dcba765c.d: crates/bench/src/bin/fig11_wait_by_runtime.rs
+
+/root/repo/target/debug/deps/fig11_wait_by_runtime-527e9295dcba765c: crates/bench/src/bin/fig11_wait_by_runtime.rs
+
+crates/bench/src/bin/fig11_wait_by_runtime.rs:

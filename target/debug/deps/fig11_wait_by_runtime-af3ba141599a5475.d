@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_wait_by_runtime-af3ba141599a5475.d: crates/bench/src/bin/fig11_wait_by_runtime.rs
+
+/root/repo/target/debug/deps/libfig11_wait_by_runtime-af3ba141599a5475.rmeta: crates/bench/src/bin/fig11_wait_by_runtime.rs
+
+crates/bench/src/bin/fig11_wait_by_runtime.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_slowdown-0c21965def16ab54.d: crates/bench/src/bin/fig12_slowdown.rs
+
+/root/repo/target/debug/deps/fig12_slowdown-0c21965def16ab54: crates/bench/src/bin/fig12_slowdown.rs
+
+crates/bench/src/bin/fig12_slowdown.rs:

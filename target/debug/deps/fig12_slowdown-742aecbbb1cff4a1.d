@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_slowdown-742aecbbb1cff4a1.d: crates/bench/src/bin/fig12_slowdown.rs
+
+/root/repo/target/debug/deps/libfig12_slowdown-742aecbbb1cff4a1.rmeta: crates/bench/src/bin/fig12_slowdown.rs
+
+crates/bench/src/bin/fig12_slowdown.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_slowdown-80b9d9e01225a440.d: crates/bench/src/bin/fig12_slowdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_slowdown-80b9d9e01225a440.rmeta: crates/bench/src/bin/fig12_slowdown.rs Cargo.toml
+
+crates/bench/src/bin/fig12_slowdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

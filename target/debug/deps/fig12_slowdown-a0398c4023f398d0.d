@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_slowdown-a0398c4023f398d0.d: crates/bench/src/bin/fig12_slowdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_slowdown-a0398c4023f398d0.rmeta: crates/bench/src/bin/fig12_slowdown.rs Cargo.toml
+
+crates/bench/src/bin/fig12_slowdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_slowdown-b94d4db229de3c9a.d: crates/bench/src/bin/fig12_slowdown.rs
+
+/root/repo/target/debug/deps/libfig12_slowdown-b94d4db229de3c9a.rmeta: crates/bench/src/bin/fig12_slowdown.rs
+
+crates/bench/src/bin/fig12_slowdown.rs:

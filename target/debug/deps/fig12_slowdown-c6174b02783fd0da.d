@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_slowdown-c6174b02783fd0da.d: crates/bench/src/bin/fig12_slowdown.rs
+
+/root/repo/target/debug/deps/fig12_slowdown-c6174b02783fd0da: crates/bench/src/bin/fig12_slowdown.rs
+
+crates/bench/src/bin/fig12_slowdown.rs:

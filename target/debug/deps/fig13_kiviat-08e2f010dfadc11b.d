@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_kiviat-08e2f010dfadc11b.d: crates/bench/src/bin/fig13_kiviat.rs
+
+/root/repo/target/debug/deps/fig13_kiviat-08e2f010dfadc11b: crates/bench/src/bin/fig13_kiviat.rs
+
+crates/bench/src/bin/fig13_kiviat.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_kiviat-13855fbbf06fdf3b.d: crates/bench/src/bin/fig13_kiviat.rs
+
+/root/repo/target/debug/deps/libfig13_kiviat-13855fbbf06fdf3b.rmeta: crates/bench/src/bin/fig13_kiviat.rs
+
+crates/bench/src/bin/fig13_kiviat.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_kiviat-7bf993dd5d11a8be.d: crates/bench/src/bin/fig13_kiviat.rs
+
+/root/repo/target/debug/deps/fig13_kiviat-7bf993dd5d11a8be: crates/bench/src/bin/fig13_kiviat.rs
+
+crates/bench/src/bin/fig13_kiviat.rs:

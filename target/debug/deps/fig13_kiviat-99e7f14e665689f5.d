@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_kiviat-99e7f14e665689f5.d: crates/bench/src/bin/fig13_kiviat.rs
+
+/root/repo/target/debug/deps/libfig13_kiviat-99e7f14e665689f5.rmeta: crates/bench/src/bin/fig13_kiviat.rs
+
+crates/bench/src/bin/fig13_kiviat.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_kiviat-c642a6979e3ff1c7.d: crates/bench/src/bin/fig13_kiviat.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_kiviat-c642a6979e3ff1c7.rmeta: crates/bench/src/bin/fig13_kiviat.rs Cargo.toml
+
+crates/bench/src/bin/fig13_kiviat.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

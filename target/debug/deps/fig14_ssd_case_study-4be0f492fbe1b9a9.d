@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_ssd_case_study-4be0f492fbe1b9a9.d: crates/bench/src/bin/fig14_ssd_case_study.rs
+
+/root/repo/target/debug/deps/libfig14_ssd_case_study-4be0f492fbe1b9a9.rmeta: crates/bench/src/bin/fig14_ssd_case_study.rs
+
+crates/bench/src/bin/fig14_ssd_case_study.rs:

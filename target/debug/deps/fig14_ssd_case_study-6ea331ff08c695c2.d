@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_ssd_case_study-6ea331ff08c695c2.d: crates/bench/src/bin/fig14_ssd_case_study.rs
+
+/root/repo/target/debug/deps/fig14_ssd_case_study-6ea331ff08c695c2: crates/bench/src/bin/fig14_ssd_case_study.rs
+
+crates/bench/src/bin/fig14_ssd_case_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_ssd_case_study-885ae72a3388fed2.d: crates/bench/src/bin/fig14_ssd_case_study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_ssd_case_study-885ae72a3388fed2.rmeta: crates/bench/src/bin/fig14_ssd_case_study.rs Cargo.toml
+
+crates/bench/src/bin/fig14_ssd_case_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

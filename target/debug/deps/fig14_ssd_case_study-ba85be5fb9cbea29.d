@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_ssd_case_study-ba85be5fb9cbea29.d: crates/bench/src/bin/fig14_ssd_case_study.rs
+
+/root/repo/target/debug/deps/libfig14_ssd_case_study-ba85be5fb9cbea29.rmeta: crates/bench/src/bin/fig14_ssd_case_study.rs
+
+crates/bench/src/bin/fig14_ssd_case_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_ssd_case_study-fcca50815014917b.d: crates/bench/src/bin/fig14_ssd_case_study.rs
+
+/root/repo/target/debug/deps/fig14_ssd_case_study-fcca50815014917b: crates/bench/src/bin/fig14_ssd_case_study.rs
+
+crates/bench/src/bin/fig14_ssd_case_study.rs:

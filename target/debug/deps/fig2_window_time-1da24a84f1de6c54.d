@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_window_time-1da24a84f1de6c54.d: crates/bench/src/bin/fig2_window_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_window_time-1da24a84f1de6c54.rmeta: crates/bench/src/bin/fig2_window_time.rs Cargo.toml
+
+crates/bench/src/bin/fig2_window_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_window_time-3368dcae34cf48dc.d: crates/bench/src/bin/fig2_window_time.rs
+
+/root/repo/target/debug/deps/libfig2_window_time-3368dcae34cf48dc.rmeta: crates/bench/src/bin/fig2_window_time.rs
+
+crates/bench/src/bin/fig2_window_time.rs:

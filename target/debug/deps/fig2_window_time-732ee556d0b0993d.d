@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_window_time-732ee556d0b0993d.d: crates/bench/src/bin/fig2_window_time.rs
+
+/root/repo/target/debug/deps/fig2_window_time-732ee556d0b0993d: crates/bench/src/bin/fig2_window_time.rs
+
+crates/bench/src/bin/fig2_window_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_window_time-86ddd12d9d7484c8.d: crates/bench/src/bin/fig2_window_time.rs
+
+/root/repo/target/debug/deps/fig2_window_time-86ddd12d9d7484c8: crates/bench/src/bin/fig2_window_time.rs
+
+crates/bench/src/bin/fig2_window_time.rs:

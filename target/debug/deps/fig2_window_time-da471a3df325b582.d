@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_window_time-da471a3df325b582.d: crates/bench/src/bin/fig2_window_time.rs
+
+/root/repo/target/debug/deps/libfig2_window_time-da471a3df325b582.rmeta: crates/bench/src/bin/fig2_window_time.rs
+
+crates/bench/src/bin/fig2_window_time.rs:

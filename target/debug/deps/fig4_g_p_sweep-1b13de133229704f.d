@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_g_p_sweep-1b13de133229704f.d: crates/bench/src/bin/fig4_g_p_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_g_p_sweep-1b13de133229704f.rmeta: crates/bench/src/bin/fig4_g_p_sweep.rs Cargo.toml
+
+crates/bench/src/bin/fig4_g_p_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_g_p_sweep-553bfae6cdcbdda6.d: crates/bench/src/bin/fig4_g_p_sweep.rs
+
+/root/repo/target/debug/deps/fig4_g_p_sweep-553bfae6cdcbdda6: crates/bench/src/bin/fig4_g_p_sweep.rs
+
+crates/bench/src/bin/fig4_g_p_sweep.rs:

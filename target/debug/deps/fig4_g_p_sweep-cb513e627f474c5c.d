@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_g_p_sweep-cb513e627f474c5c.d: crates/bench/src/bin/fig4_g_p_sweep.rs
+
+/root/repo/target/debug/deps/libfig4_g_p_sweep-cb513e627f474c5c.rmeta: crates/bench/src/bin/fig4_g_p_sweep.rs
+
+crates/bench/src/bin/fig4_g_p_sweep.rs:

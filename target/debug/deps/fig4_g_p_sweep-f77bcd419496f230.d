@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_g_p_sweep-f77bcd419496f230.d: crates/bench/src/bin/fig4_g_p_sweep.rs
+
+/root/repo/target/debug/deps/fig4_g_p_sweep-f77bcd419496f230: crates/bench/src/bin/fig4_g_p_sweep.rs
+
+crates/bench/src/bin/fig4_g_p_sweep.rs:

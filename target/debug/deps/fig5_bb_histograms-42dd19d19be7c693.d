@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_bb_histograms-42dd19d19be7c693.d: crates/bench/src/bin/fig5_bb_histograms.rs
+
+/root/repo/target/debug/deps/libfig5_bb_histograms-42dd19d19be7c693.rmeta: crates/bench/src/bin/fig5_bb_histograms.rs
+
+crates/bench/src/bin/fig5_bb_histograms.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_bb_histograms-6982f40c5bf1d06d.d: crates/bench/src/bin/fig5_bb_histograms.rs
+
+/root/repo/target/debug/deps/fig5_bb_histograms-6982f40c5bf1d06d: crates/bench/src/bin/fig5_bb_histograms.rs
+
+crates/bench/src/bin/fig5_bb_histograms.rs:

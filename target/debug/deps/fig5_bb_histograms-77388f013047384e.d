@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_bb_histograms-77388f013047384e.d: crates/bench/src/bin/fig5_bb_histograms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_bb_histograms-77388f013047384e.rmeta: crates/bench/src/bin/fig5_bb_histograms.rs Cargo.toml
+
+crates/bench/src/bin/fig5_bb_histograms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

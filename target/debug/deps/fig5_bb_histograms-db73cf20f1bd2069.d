@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_bb_histograms-db73cf20f1bd2069.d: crates/bench/src/bin/fig5_bb_histograms.rs
+
+/root/repo/target/debug/deps/fig5_bb_histograms-db73cf20f1bd2069: crates/bench/src/bin/fig5_bb_histograms.rs
+
+crates/bench/src/bin/fig5_bb_histograms.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_bb_histograms-eaad84ea67d9d2c6.d: crates/bench/src/bin/fig5_bb_histograms.rs
+
+/root/repo/target/debug/deps/libfig5_bb_histograms-eaad84ea67d9d2c6.rmeta: crates/bench/src/bin/fig5_bb_histograms.rs
+
+crates/bench/src/bin/fig5_bb_histograms.rs:

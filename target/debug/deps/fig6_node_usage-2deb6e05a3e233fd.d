@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_node_usage-2deb6e05a3e233fd.d: crates/bench/src/bin/fig6_node_usage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_node_usage-2deb6e05a3e233fd.rmeta: crates/bench/src/bin/fig6_node_usage.rs Cargo.toml
+
+crates/bench/src/bin/fig6_node_usage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

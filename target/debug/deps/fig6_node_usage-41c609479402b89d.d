@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_node_usage-41c609479402b89d.d: crates/bench/src/bin/fig6_node_usage.rs
+
+/root/repo/target/debug/deps/libfig6_node_usage-41c609479402b89d.rmeta: crates/bench/src/bin/fig6_node_usage.rs
+
+crates/bench/src/bin/fig6_node_usage.rs:

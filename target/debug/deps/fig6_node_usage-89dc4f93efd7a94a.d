@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_node_usage-89dc4f93efd7a94a.d: crates/bench/src/bin/fig6_node_usage.rs
+
+/root/repo/target/debug/deps/fig6_node_usage-89dc4f93efd7a94a: crates/bench/src/bin/fig6_node_usage.rs
+
+crates/bench/src/bin/fig6_node_usage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_node_usage-98083aa7899edbd2.d: crates/bench/src/bin/fig6_node_usage.rs
+
+/root/repo/target/debug/deps/fig6_node_usage-98083aa7899edbd2: crates/bench/src/bin/fig6_node_usage.rs
+
+crates/bench/src/bin/fig6_node_usage.rs:

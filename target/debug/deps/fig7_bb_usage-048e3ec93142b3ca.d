@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_bb_usage-048e3ec93142b3ca.d: crates/bench/src/bin/fig7_bb_usage.rs
+
+/root/repo/target/debug/deps/libfig7_bb_usage-048e3ec93142b3ca.rmeta: crates/bench/src/bin/fig7_bb_usage.rs
+
+crates/bench/src/bin/fig7_bb_usage.rs:

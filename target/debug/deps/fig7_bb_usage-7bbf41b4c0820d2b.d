@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_bb_usage-7bbf41b4c0820d2b.d: crates/bench/src/bin/fig7_bb_usage.rs
+
+/root/repo/target/debug/deps/libfig7_bb_usage-7bbf41b4c0820d2b.rmeta: crates/bench/src/bin/fig7_bb_usage.rs
+
+crates/bench/src/bin/fig7_bb_usage.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_bb_usage-9ef9ff193b521b4d.d: crates/bench/src/bin/fig7_bb_usage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_bb_usage-9ef9ff193b521b4d.rmeta: crates/bench/src/bin/fig7_bb_usage.rs Cargo.toml
+
+crates/bench/src/bin/fig7_bb_usage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_bb_usage-c0a51d258022e8a5.d: crates/bench/src/bin/fig7_bb_usage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_bb_usage-c0a51d258022e8a5.rmeta: crates/bench/src/bin/fig7_bb_usage.rs Cargo.toml
+
+crates/bench/src/bin/fig7_bb_usage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

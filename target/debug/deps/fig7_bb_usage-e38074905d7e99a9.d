@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_bb_usage-e38074905d7e99a9.d: crates/bench/src/bin/fig7_bb_usage.rs
+
+/root/repo/target/debug/deps/fig7_bb_usage-e38074905d7e99a9: crates/bench/src/bin/fig7_bb_usage.rs
+
+crates/bench/src/bin/fig7_bb_usage.rs:

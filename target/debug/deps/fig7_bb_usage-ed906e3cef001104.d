@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_bb_usage-ed906e3cef001104.d: crates/bench/src/bin/fig7_bb_usage.rs
+
+/root/repo/target/debug/deps/fig7_bb_usage-ed906e3cef001104: crates/bench/src/bin/fig7_bb_usage.rs
+
+crates/bench/src/bin/fig7_bb_usage.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_wait_time-024f814d7d6979a0.d: crates/bench/src/bin/fig8_wait_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_wait_time-024f814d7d6979a0.rmeta: crates/bench/src/bin/fig8_wait_time.rs Cargo.toml
+
+crates/bench/src/bin/fig8_wait_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_wait_time-13e7d185f8c3610e.d: crates/bench/src/bin/fig8_wait_time.rs
+
+/root/repo/target/debug/deps/fig8_wait_time-13e7d185f8c3610e: crates/bench/src/bin/fig8_wait_time.rs
+
+crates/bench/src/bin/fig8_wait_time.rs:

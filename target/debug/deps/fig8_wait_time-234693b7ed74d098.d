@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_wait_time-234693b7ed74d098.d: crates/bench/src/bin/fig8_wait_time.rs
+
+/root/repo/target/debug/deps/libfig8_wait_time-234693b7ed74d098.rmeta: crates/bench/src/bin/fig8_wait_time.rs
+
+crates/bench/src/bin/fig8_wait_time.rs:

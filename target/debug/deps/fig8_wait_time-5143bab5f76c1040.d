@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_wait_time-5143bab5f76c1040.d: crates/bench/src/bin/fig8_wait_time.rs
+
+/root/repo/target/debug/deps/fig8_wait_time-5143bab5f76c1040: crates/bench/src/bin/fig8_wait_time.rs
+
+crates/bench/src/bin/fig8_wait_time.rs:

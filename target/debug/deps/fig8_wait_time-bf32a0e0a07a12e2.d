@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_wait_time-bf32a0e0a07a12e2.d: crates/bench/src/bin/fig8_wait_time.rs
+
+/root/repo/target/debug/deps/libfig8_wait_time-bf32a0e0a07a12e2.rmeta: crates/bench/src/bin/fig8_wait_time.rs
+
+crates/bench/src/bin/fig8_wait_time.rs:

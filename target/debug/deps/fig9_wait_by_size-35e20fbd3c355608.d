@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_wait_by_size-35e20fbd3c355608.d: crates/bench/src/bin/fig9_wait_by_size.rs
+
+/root/repo/target/debug/deps/libfig9_wait_by_size-35e20fbd3c355608.rmeta: crates/bench/src/bin/fig9_wait_by_size.rs
+
+crates/bench/src/bin/fig9_wait_by_size.rs:

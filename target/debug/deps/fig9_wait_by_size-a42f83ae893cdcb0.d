@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_wait_by_size-a42f83ae893cdcb0.d: crates/bench/src/bin/fig9_wait_by_size.rs
+
+/root/repo/target/debug/deps/fig9_wait_by_size-a42f83ae893cdcb0: crates/bench/src/bin/fig9_wait_by_size.rs
+
+crates/bench/src/bin/fig9_wait_by_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_wait_by_size-aaeffee16fb8e0e3.d: crates/bench/src/bin/fig9_wait_by_size.rs
+
+/root/repo/target/debug/deps/fig9_wait_by_size-aaeffee16fb8e0e3: crates/bench/src/bin/fig9_wait_by_size.rs
+
+crates/bench/src/bin/fig9_wait_by_size.rs:

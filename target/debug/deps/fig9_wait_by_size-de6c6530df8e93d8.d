@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_wait_by_size-de6c6530df8e93d8.d: crates/bench/src/bin/fig9_wait_by_size.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_wait_by_size-de6c6530df8e93d8.rmeta: crates/bench/src/bin/fig9_wait_by_size.rs Cargo.toml
+
+crates/bench/src/bin/fig9_wait_by_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

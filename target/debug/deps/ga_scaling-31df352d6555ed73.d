@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ga_scaling-31df352d6555ed73.d: crates/bench/benches/ga_scaling.rs
+
+/root/repo/target/debug/deps/ga_scaling-31df352d6555ed73: crates/bench/benches/ga_scaling.rs
+
+crates/bench/benches/ga_scaling.rs:

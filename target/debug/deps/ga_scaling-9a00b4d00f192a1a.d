@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ga_scaling-9a00b4d00f192a1a.d: crates/bench/benches/ga_scaling.rs
+
+/root/repo/target/debug/deps/libga_scaling-9a00b4d00f192a1a.rmeta: crates/bench/benches/ga_scaling.rs
+
+crates/bench/benches/ga_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ga_scaling-ca65dc75ca8d431b.d: crates/bench/benches/ga_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libga_scaling-ca65dc75ca8d431b.rmeta: crates/bench/benches/ga_scaling.rs Cargo.toml
+
+crates/bench/benches/ga_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pareto_ops-20f7d1bb3f7c350c.d: crates/bench/benches/pareto_ops.rs
+
+/root/repo/target/debug/deps/libpareto_ops-20f7d1bb3f7c350c.rmeta: crates/bench/benches/pareto_ops.rs
+
+crates/bench/benches/pareto_ops.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pareto_ops-3f740aabcbc3c8d0.d: crates/bench/benches/pareto_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpareto_ops-3f740aabcbc3c8d0.rmeta: crates/bench/benches/pareto_ops.rs Cargo.toml
+
+crates/bench/benches/pareto_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pareto_ops-4381a45be2e9bc29.d: crates/bench/benches/pareto_ops.rs
+
+/root/repo/target/debug/deps/pareto_ops-4381a45be2e9bc29: crates/bench/benches/pareto_ops.rs
+
+crates/bench/benches/pareto_ops.rs:

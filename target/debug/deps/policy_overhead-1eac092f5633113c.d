@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/policy_overhead-1eac092f5633113c.d: crates/bench/benches/policy_overhead.rs
+
+/root/repo/target/debug/deps/libpolicy_overhead-1eac092f5633113c.rmeta: crates/bench/benches/policy_overhead.rs
+
+crates/bench/benches/policy_overhead.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/policy_overhead-534c3a16335e584c.d: crates/bench/benches/policy_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpolicy_overhead-534c3a16335e584c.rmeta: crates/bench/benches/policy_overhead.rs Cargo.toml
+
+crates/bench/benches/policy_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/policy_overhead-efe853b216a1ab25.d: crates/bench/benches/policy_overhead.rs
+
+/root/repo/target/debug/deps/policy_overhead-efe853b216a1ab25: crates/bench/benches/policy_overhead.rs
+
+crates/bench/benches/policy_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_invariants-28d1793e2311beae.d: tests/property_invariants.rs
+
+/root/repo/target/debug/deps/property_invariants-28d1793e2311beae: tests/property_invariants.rs
+
+tests/property_invariants.rs:

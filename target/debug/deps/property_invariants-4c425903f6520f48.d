@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_invariants-4c425903f6520f48.d: tests/property_invariants.rs
+
+/root/repo/target/debug/deps/libproperty_invariants-4c425903f6520f48.rmeta: tests/property_invariants.rs
+
+tests/property_invariants.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-248284b7349c03f2.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-248284b7349c03f2.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-248284b7349c03f2.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-540b9409c7966994.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-540b9409c7966994.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_core-0853efd32b5858b8.d: crates/core/tests/proptest_core.rs
+
+/root/repo/target/debug/deps/proptest_core-0853efd32b5858b8: crates/core/tests/proptest_core.rs
+
+crates/core/tests/proptest_core.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_core-acc71bf41f5c32db.d: crates/core/tests/proptest_core.rs
+
+/root/repo/target/debug/deps/libproptest_core-acc71bf41f5c32db.rmeta: crates/core/tests/proptest_core.rs
+
+crates/core/tests/proptest_core.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_workloads-26a62bc007019847.d: crates/workloads/tests/proptest_workloads.rs
+
+/root/repo/target/debug/deps/proptest_workloads-26a62bc007019847: crates/workloads/tests/proptest_workloads.rs
+
+crates/workloads/tests/proptest_workloads.rs:

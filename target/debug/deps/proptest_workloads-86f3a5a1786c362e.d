@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_workloads-86f3a5a1786c362e.d: crates/workloads/tests/proptest_workloads.rs
+
+/root/repo/target/debug/deps/libproptest_workloads-86f3a5a1786c362e.rmeta: crates/workloads/tests/proptest_workloads.rs
+
+crates/workloads/tests/proptest_workloads.rs:

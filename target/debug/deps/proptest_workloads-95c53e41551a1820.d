@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_workloads-95c53e41551a1820.d: crates/workloads/tests/proptest_workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_workloads-95c53e41551a1820.rmeta: crates/workloads/tests/proptest_workloads.rs Cargo.toml
+
+crates/workloads/tests/proptest_workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-a998070fa7b0b263.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-a998070fa7b0b263.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

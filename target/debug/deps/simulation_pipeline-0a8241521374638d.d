@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulation_pipeline-0a8241521374638d.d: tests/simulation_pipeline.rs
+
+/root/repo/target/debug/deps/libsimulation_pipeline-0a8241521374638d.rmeta: tests/simulation_pipeline.rs
+
+tests/simulation_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulation_pipeline-b4343026ae41182b.d: tests/simulation_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulation_pipeline-b4343026ae41182b.rmeta: tests/simulation_pipeline.rs Cargo.toml
+
+tests/simulation_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulation_pipeline-c40fa63f3b6459a7.d: tests/simulation_pipeline.rs
+
+/root/repo/target/debug/deps/simulation_pipeline-c40fa63f3b6459a7: tests/simulation_pipeline.rs
+
+tests/simulation_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulator_throughput-b1efbe85b58ccf61.d: crates/bench/benches/simulator_throughput.rs
+
+/root/repo/target/debug/deps/simulator_throughput-b1efbe85b58ccf61: crates/bench/benches/simulator_throughput.rs
+
+crates/bench/benches/simulator_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulator_throughput-d4b3d27267dbfc04.d: crates/bench/benches/simulator_throughput.rs
+
+/root/repo/target/debug/deps/libsimulator_throughput-d4b3d27267dbfc04.rmeta: crates/bench/benches/simulator_throughput.rs
+
+crates/bench/benches/simulator_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solver_time-46fef01ef0b04d10.d: crates/bench/benches/solver_time.rs
+
+/root/repo/target/debug/deps/libsolver_time-46fef01ef0b04d10.rmeta: crates/bench/benches/solver_time.rs
+
+crates/bench/benches/solver_time.rs:

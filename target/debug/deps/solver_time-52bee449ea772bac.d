@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/solver_time-52bee449ea772bac.d: crates/bench/benches/solver_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsolver_time-52bee449ea772bac.rmeta: crates/bench/benches/solver_time.rs Cargo.toml
+
+crates/bench/benches/solver_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solver_time-70f4318f1143e040.d: crates/bench/benches/solver_time.rs
+
+/root/repo/target/debug/deps/solver_time-70f4318f1143e040: crates/bench/benches/solver_time.rs
+
+crates/bench/benches/solver_time.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ssd_case_study-0d83e0dc7ef0eacc.d: tests/ssd_case_study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libssd_case_study-0d83e0dc7ef0eacc.rmeta: tests/ssd_case_study.rs Cargo.toml
+
+tests/ssd_case_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ssd_case_study-476d96af03754964.d: tests/ssd_case_study.rs
+
+/root/repo/target/debug/deps/libssd_case_study-476d96af03754964.rmeta: tests/ssd_case_study.rs
+
+tests/ssd_case_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ssd_case_study-65990ba9873b912b.d: tests/ssd_case_study.rs
+
+/root/repo/target/debug/deps/ssd_case_study-65990ba9873b912b: tests/ssd_case_study.rs
+
+tests/ssd_case_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-4c5b8f6faf0195e7.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-4c5b8f6faf0195e7.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

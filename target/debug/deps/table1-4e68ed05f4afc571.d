@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-4e68ed05f4afc571.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-4e68ed05f4afc571.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-574d58ba377f0cc3.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-574d58ba377f0cc3: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

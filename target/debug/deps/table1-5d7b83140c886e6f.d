@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-5d7b83140c886e6f.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-5d7b83140c886e6f: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_reproduction-3d13f696d2c4e71c.d: tests/table1_reproduction.rs
+
+/root/repo/target/debug/deps/table1_reproduction-3d13f696d2c4e71c: tests/table1_reproduction.rs
+
+tests/table1_reproduction.rs:

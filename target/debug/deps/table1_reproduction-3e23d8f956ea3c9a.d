@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_reproduction-3e23d8f956ea3c9a.d: tests/table1_reproduction.rs
+
+/root/repo/target/debug/deps/libtable1_reproduction-3e23d8f956ea3c9a.rmeta: tests/table1_reproduction.rs
+
+tests/table1_reproduction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_workloads-06dc8a74612d6f2c.d: crates/bench/src/bin/table2_workloads.rs
+
+/root/repo/target/debug/deps/libtable2_workloads-06dc8a74612d6f2c.rmeta: crates/bench/src/bin/table2_workloads.rs
+
+crates/bench/src/bin/table2_workloads.rs:

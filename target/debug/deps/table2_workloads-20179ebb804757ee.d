@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_workloads-20179ebb804757ee.d: crates/bench/src/bin/table2_workloads.rs
+
+/root/repo/target/debug/deps/table2_workloads-20179ebb804757ee: crates/bench/src/bin/table2_workloads.rs
+
+crates/bench/src/bin/table2_workloads.rs:

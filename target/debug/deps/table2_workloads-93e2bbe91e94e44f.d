@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_workloads-93e2bbe91e94e44f.d: crates/bench/src/bin/table2_workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_workloads-93e2bbe91e94e44f.rmeta: crates/bench/src/bin/table2_workloads.rs Cargo.toml
+
+crates/bench/src/bin/table2_workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

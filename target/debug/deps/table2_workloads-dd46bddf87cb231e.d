@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_workloads-dd46bddf87cb231e.d: crates/bench/src/bin/table2_workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_workloads-dd46bddf87cb231e.rmeta: crates/bench/src/bin/table2_workloads.rs Cargo.toml
+
+crates/bench/src/bin/table2_workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_workloads-e4e8f675b6d2d913.d: crates/bench/src/bin/table2_workloads.rs
+
+/root/repo/target/debug/deps/table2_workloads-e4e8f675b6d2d913: crates/bench/src/bin/table2_workloads.rs
+
+crates/bench/src/bin/table2_workloads.rs:

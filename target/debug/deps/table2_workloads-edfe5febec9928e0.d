@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_workloads-edfe5febec9928e0.d: crates/bench/src/bin/table2_workloads.rs
+
+/root/repo/target/debug/deps/libtable2_workloads-edfe5febec9928e0.rmeta: crates/bench/src/bin/table2_workloads.rs
+
+crates/bench/src/bin/table2_workloads.rs:

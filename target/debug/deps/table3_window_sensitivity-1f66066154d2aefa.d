@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_window_sensitivity-1f66066154d2aefa.d: crates/bench/src/bin/table3_window_sensitivity.rs
+
+/root/repo/target/debug/deps/table3_window_sensitivity-1f66066154d2aefa: crates/bench/src/bin/table3_window_sensitivity.rs
+
+crates/bench/src/bin/table3_window_sensitivity.rs:

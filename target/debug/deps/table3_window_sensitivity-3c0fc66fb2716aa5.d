@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_window_sensitivity-3c0fc66fb2716aa5.d: crates/bench/src/bin/table3_window_sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_window_sensitivity-3c0fc66fb2716aa5.rmeta: crates/bench/src/bin/table3_window_sensitivity.rs Cargo.toml
+
+crates/bench/src/bin/table3_window_sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

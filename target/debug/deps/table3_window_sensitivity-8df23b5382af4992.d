@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_window_sensitivity-8df23b5382af4992.d: crates/bench/src/bin/table3_window_sensitivity.rs
+
+/root/repo/target/debug/deps/libtable3_window_sensitivity-8df23b5382af4992.rmeta: crates/bench/src/bin/table3_window_sensitivity.rs
+
+crates/bench/src/bin/table3_window_sensitivity.rs:

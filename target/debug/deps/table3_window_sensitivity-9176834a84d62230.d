@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_window_sensitivity-9176834a84d62230.d: crates/bench/src/bin/table3_window_sensitivity.rs
+
+/root/repo/target/debug/deps/libtable3_window_sensitivity-9176834a84d62230.rmeta: crates/bench/src/bin/table3_window_sensitivity.rs
+
+crates/bench/src/bin/table3_window_sensitivity.rs:

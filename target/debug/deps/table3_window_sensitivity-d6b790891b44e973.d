@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_window_sensitivity-d6b790891b44e973.d: crates/bench/src/bin/table3_window_sensitivity.rs
+
+/root/repo/target/debug/deps/table3_window_sensitivity-d6b790891b44e973: crates/bench/src/bin/table3_window_sensitivity.rs
+
+crates/bench/src/bin/table3_window_sensitivity.rs:

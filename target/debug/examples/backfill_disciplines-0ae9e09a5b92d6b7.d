@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/backfill_disciplines-0ae9e09a5b92d6b7.d: examples/backfill_disciplines.rs
+
+/root/repo/target/debug/examples/backfill_disciplines-0ae9e09a5b92d6b7: examples/backfill_disciplines.rs
+
+examples/backfill_disciplines.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/backfill_disciplines-22a017a81e5b7a8e.d: examples/backfill_disciplines.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbackfill_disciplines-22a017a81e5b7a8e.rmeta: examples/backfill_disciplines.rs Cargo.toml
+
+examples/backfill_disciplines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/backfill_disciplines-4aec713ce10cb44b.d: examples/backfill_disciplines.rs
+
+/root/repo/target/debug/examples/libbackfill_disciplines-4aec713ce10cb44b.rmeta: examples/backfill_disciplines.rs
+
+examples/backfill_disciplines.rs:

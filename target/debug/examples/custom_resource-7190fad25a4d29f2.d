@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_resource-7190fad25a4d29f2.d: examples/custom_resource.rs
+
+/root/repo/target/debug/examples/custom_resource-7190fad25a4d29f2: examples/custom_resource.rs
+
+examples/custom_resource.rs:

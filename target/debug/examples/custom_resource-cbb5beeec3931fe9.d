@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_resource-cbb5beeec3931fe9.d: examples/custom_resource.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_resource-cbb5beeec3931fe9.rmeta: examples/custom_resource.rs Cargo.toml
+
+examples/custom_resource.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

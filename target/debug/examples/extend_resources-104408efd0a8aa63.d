@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/extend_resources-104408efd0a8aa63.d: examples/extend_resources.rs Cargo.toml
+
+/root/repo/target/debug/examples/libextend_resources-104408efd0a8aa63.rmeta: examples/extend_resources.rs Cargo.toml
+
+examples/extend_resources.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/extend_resources-14f3b709be0b56c9.d: examples/extend_resources.rs
+
+/root/repo/target/debug/examples/extend_resources-14f3b709be0b56c9: examples/extend_resources.rs
+
+examples/extend_resources.rs:

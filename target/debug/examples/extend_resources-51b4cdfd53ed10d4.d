@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/extend_resources-51b4cdfd53ed10d4.d: examples/extend_resources.rs
+
+/root/repo/target/debug/examples/libextend_resources-51b4cdfd53ed10d4.rmeta: examples/extend_resources.rs
+
+examples/extend_resources.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/illustrative_example-0ee376f59b6ff81d.d: examples/illustrative_example.rs
+
+/root/repo/target/debug/examples/illustrative_example-0ee376f59b6ff81d: examples/illustrative_example.rs
+
+examples/illustrative_example.rs:

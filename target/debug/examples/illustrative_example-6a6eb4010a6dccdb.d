@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/illustrative_example-6a6eb4010a6dccdb.d: examples/illustrative_example.rs Cargo.toml
+
+/root/repo/target/debug/examples/libillustrative_example-6a6eb4010a6dccdb.rmeta: examples/illustrative_example.rs Cargo.toml
+
+examples/illustrative_example.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

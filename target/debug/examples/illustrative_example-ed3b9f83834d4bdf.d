@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/illustrative_example-ed3b9f83834d4bdf.d: examples/illustrative_example.rs
+
+/root/repo/target/debug/examples/libillustrative_example-ed3b9f83834d4bdf.rmeta: examples/illustrative_example.rs
+
+examples/illustrative_example.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parameter_tuning-aefd8a945f21499a.d: examples/parameter_tuning.rs
+
+/root/repo/target/debug/examples/libparameter_tuning-aefd8a945f21499a.rmeta: examples/parameter_tuning.rs
+
+examples/parameter_tuning.rs:

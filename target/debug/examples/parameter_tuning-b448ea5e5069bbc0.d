@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parameter_tuning-b448ea5e5069bbc0.d: examples/parameter_tuning.rs
+
+/root/repo/target/debug/examples/parameter_tuning-b448ea5e5069bbc0: examples/parameter_tuning.rs
+
+examples/parameter_tuning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-63a1bcfc892b339f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-63a1bcfc892b339f.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c429a387e3401535.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c429a387e3401535: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_simulation-56d25d5824530219.d: examples/trace_simulation.rs
+
+/root/repo/target/debug/examples/trace_simulation-56d25d5824530219: examples/trace_simulation.rs
+
+examples/trace_simulation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_simulation-8d784d1e22972a9d.d: examples/trace_simulation.rs
+
+/root/repo/target/debug/examples/libtrace_simulation-8d784d1e22972a9d.rmeta: examples/trace_simulation.rs
+
+examples/trace_simulation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trace_simulation-ded372833bc4ab9e.d: examples/trace_simulation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrace_simulation-ded372833bc4ab9e.rmeta: examples/trace_simulation.rs Cargo.toml
+
+examples/trace_simulation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

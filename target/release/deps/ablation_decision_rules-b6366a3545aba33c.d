@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_decision_rules-b6366a3545aba33c.d: crates/bench/src/bin/ablation_decision_rules.rs
+
+/root/repo/target/release/deps/ablation_decision_rules-b6366a3545aba33c: crates/bench/src/bin/ablation_decision_rules.rs
+
+crates/bench/src/bin/ablation_decision_rules.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_estimates-df8a1c7c34043433.d: crates/bench/src/bin/ablation_estimates.rs
+
+/root/repo/target/release/deps/ablation_estimates-df8a1c7c34043433: crates/bench/src/bin/ablation_estimates.rs
+
+crates/bench/src/bin/ablation_estimates.rs:

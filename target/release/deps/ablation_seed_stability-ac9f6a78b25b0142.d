@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_seed_stability-ac9f6a78b25b0142.d: crates/bench/src/bin/ablation_seed_stability.rs
+
+/root/repo/target/release/deps/ablation_seed_stability-ac9f6a78b25b0142: crates/bench/src/bin/ablation_seed_stability.rs
+
+crates/bench/src/bin/ablation_seed_stability.rs:

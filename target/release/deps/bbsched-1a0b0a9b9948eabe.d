@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bbsched-1a0b0a9b9948eabe.d: src/lib.rs
+
+/root/repo/target/release/deps/libbbsched-1a0b0a9b9948eabe.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libbbsched-1a0b0a9b9948eabe.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bbsched-c535e0ab5ffc342f.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/bbsched-c535e0ab5ffc342f: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

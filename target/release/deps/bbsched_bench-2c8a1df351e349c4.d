@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/bbsched_bench-2c8a1df351e349c4.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/figures.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libbbsched_bench-2c8a1df351e349c4.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/figures.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libbbsched_bench-2c8a1df351e349c4.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/figures.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/report.rs:

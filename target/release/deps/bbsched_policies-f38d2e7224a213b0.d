@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/bbsched_policies-f38d2e7224a213b0.d: crates/policies/src/lib.rs crates/policies/src/adaptive.rs crates/policies/src/bbsched.rs crates/policies/src/bin_packing.rs crates/policies/src/constrained.rs crates/policies/src/kind.rs crates/policies/src/naive.rs crates/policies/src/weighted.rs
+
+/root/repo/target/release/deps/libbbsched_policies-f38d2e7224a213b0.rlib: crates/policies/src/lib.rs crates/policies/src/adaptive.rs crates/policies/src/bbsched.rs crates/policies/src/bin_packing.rs crates/policies/src/constrained.rs crates/policies/src/kind.rs crates/policies/src/naive.rs crates/policies/src/weighted.rs
+
+/root/repo/target/release/deps/libbbsched_policies-f38d2e7224a213b0.rmeta: crates/policies/src/lib.rs crates/policies/src/adaptive.rs crates/policies/src/bbsched.rs crates/policies/src/bin_packing.rs crates/policies/src/constrained.rs crates/policies/src/kind.rs crates/policies/src/naive.rs crates/policies/src/weighted.rs
+
+crates/policies/src/lib.rs:
+crates/policies/src/adaptive.rs:
+crates/policies/src/bbsched.rs:
+crates/policies/src/bin_packing.rs:
+crates/policies/src/constrained.rs:
+crates/policies/src/kind.rs:
+crates/policies/src/naive.rs:
+crates/policies/src/weighted.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/bbsched_workloads-201962a1f021be1b.d: crates/workloads/src/lib.rs crates/workloads/src/dag.rs crates/workloads/src/dist.rs crates/workloads/src/estimates.rs crates/workloads/src/generator.rs crates/workloads/src/job.rs crates/workloads/src/swf.rs crates/workloads/src/synthetic.rs crates/workloads/src/system.rs crates/workloads/src/trace.rs
+
+/root/repo/target/release/deps/libbbsched_workloads-201962a1f021be1b.rlib: crates/workloads/src/lib.rs crates/workloads/src/dag.rs crates/workloads/src/dist.rs crates/workloads/src/estimates.rs crates/workloads/src/generator.rs crates/workloads/src/job.rs crates/workloads/src/swf.rs crates/workloads/src/synthetic.rs crates/workloads/src/system.rs crates/workloads/src/trace.rs
+
+/root/repo/target/release/deps/libbbsched_workloads-201962a1f021be1b.rmeta: crates/workloads/src/lib.rs crates/workloads/src/dag.rs crates/workloads/src/dist.rs crates/workloads/src/estimates.rs crates/workloads/src/generator.rs crates/workloads/src/job.rs crates/workloads/src/swf.rs crates/workloads/src/synthetic.rs crates/workloads/src/system.rs crates/workloads/src/trace.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/dag.rs:
+crates/workloads/src/dist.rs:
+crates/workloads/src/estimates.rs:
+crates/workloads/src/generator.rs:
+crates/workloads/src/job.rs:
+crates/workloads/src/swf.rs:
+crates/workloads/src/synthetic.rs:
+crates/workloads/src/system.rs:
+crates/workloads/src/trace.rs:

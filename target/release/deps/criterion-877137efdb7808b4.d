@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-877137efdb7808b4.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-877137efdb7808b4.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-877137efdb7808b4.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

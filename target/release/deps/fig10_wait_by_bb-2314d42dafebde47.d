@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_wait_by_bb-2314d42dafebde47.d: crates/bench/src/bin/fig10_wait_by_bb.rs
+
+/root/repo/target/release/deps/fig10_wait_by_bb-2314d42dafebde47: crates/bench/src/bin/fig10_wait_by_bb.rs
+
+crates/bench/src/bin/fig10_wait_by_bb.rs:

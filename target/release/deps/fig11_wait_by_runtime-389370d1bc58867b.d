@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_wait_by_runtime-389370d1bc58867b.d: crates/bench/src/bin/fig11_wait_by_runtime.rs
+
+/root/repo/target/release/deps/fig11_wait_by_runtime-389370d1bc58867b: crates/bench/src/bin/fig11_wait_by_runtime.rs
+
+crates/bench/src/bin/fig11_wait_by_runtime.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_slowdown-390e75849c4805f2.d: crates/bench/src/bin/fig12_slowdown.rs
+
+/root/repo/target/release/deps/fig12_slowdown-390e75849c4805f2: crates/bench/src/bin/fig12_slowdown.rs
+
+crates/bench/src/bin/fig12_slowdown.rs:

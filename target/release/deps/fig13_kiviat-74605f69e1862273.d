@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_kiviat-74605f69e1862273.d: crates/bench/src/bin/fig13_kiviat.rs
+
+/root/repo/target/release/deps/fig13_kiviat-74605f69e1862273: crates/bench/src/bin/fig13_kiviat.rs
+
+crates/bench/src/bin/fig13_kiviat.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_ssd_case_study-2090cc2df6b2f64c.d: crates/bench/src/bin/fig14_ssd_case_study.rs
+
+/root/repo/target/release/deps/fig14_ssd_case_study-2090cc2df6b2f64c: crates/bench/src/bin/fig14_ssd_case_study.rs
+
+crates/bench/src/bin/fig14_ssd_case_study.rs:

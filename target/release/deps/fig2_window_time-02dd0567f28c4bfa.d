@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_window_time-02dd0567f28c4bfa.d: crates/bench/src/bin/fig2_window_time.rs
+
+/root/repo/target/release/deps/fig2_window_time-02dd0567f28c4bfa: crates/bench/src/bin/fig2_window_time.rs
+
+crates/bench/src/bin/fig2_window_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_g_p_sweep-adaceb42546cd8af.d: crates/bench/src/bin/fig4_g_p_sweep.rs
+
+/root/repo/target/release/deps/fig4_g_p_sweep-adaceb42546cd8af: crates/bench/src/bin/fig4_g_p_sweep.rs
+
+crates/bench/src/bin/fig4_g_p_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_bb_histograms-02ba87a781e8de10.d: crates/bench/src/bin/fig5_bb_histograms.rs
+
+/root/repo/target/release/deps/fig5_bb_histograms-02ba87a781e8de10: crates/bench/src/bin/fig5_bb_histograms.rs
+
+crates/bench/src/bin/fig5_bb_histograms.rs:

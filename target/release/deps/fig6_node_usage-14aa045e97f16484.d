@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_node_usage-14aa045e97f16484.d: crates/bench/src/bin/fig6_node_usage.rs
+
+/root/repo/target/release/deps/fig6_node_usage-14aa045e97f16484: crates/bench/src/bin/fig6_node_usage.rs
+
+crates/bench/src/bin/fig6_node_usage.rs:

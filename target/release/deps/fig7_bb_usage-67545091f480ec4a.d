@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_bb_usage-67545091f480ec4a.d: crates/bench/src/bin/fig7_bb_usage.rs
+
+/root/repo/target/release/deps/fig7_bb_usage-67545091f480ec4a: crates/bench/src/bin/fig7_bb_usage.rs
+
+crates/bench/src/bin/fig7_bb_usage.rs:

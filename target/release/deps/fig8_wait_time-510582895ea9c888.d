@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_wait_time-510582895ea9c888.d: crates/bench/src/bin/fig8_wait_time.rs
+
+/root/repo/target/release/deps/fig8_wait_time-510582895ea9c888: crates/bench/src/bin/fig8_wait_time.rs
+
+crates/bench/src/bin/fig8_wait_time.rs:

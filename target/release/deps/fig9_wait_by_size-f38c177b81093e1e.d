@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_wait_by_size-f38c177b81093e1e.d: crates/bench/src/bin/fig9_wait_by_size.rs
+
+/root/repo/target/release/deps/fig9_wait_by_size-f38c177b81093e1e: crates/bench/src/bin/fig9_wait_by_size.rs
+
+crates/bench/src/bin/fig9_wait_by_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pareto_ops-012bd3213458933a.d: crates/bench/benches/pareto_ops.rs
+
+/root/repo/target/release/deps/pareto_ops-012bd3213458933a: crates/bench/benches/pareto_ops.rs
+
+crates/bench/benches/pareto_ops.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-940694bf9c96ba6b.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-940694bf9c96ba6b.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-940694bf9c96ba6b.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/solver_time-679cf1c9fb836d3b.d: crates/bench/benches/solver_time.rs
+
+/root/repo/target/release/deps/solver_time-679cf1c9fb836d3b: crates/bench/benches/solver_time.rs
+
+crates/bench/benches/solver_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-e156066315167c29.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-e156066315167c29: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

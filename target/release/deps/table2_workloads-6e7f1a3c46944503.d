@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_workloads-6e7f1a3c46944503.d: crates/bench/src/bin/table2_workloads.rs
+
+/root/repo/target/release/deps/table2_workloads-6e7f1a3c46944503: crates/bench/src/bin/table2_workloads.rs
+
+crates/bench/src/bin/table2_workloads.rs:

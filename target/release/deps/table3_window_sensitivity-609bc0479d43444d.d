@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_window_sensitivity-609bc0479d43444d.d: crates/bench/src/bin/table3_window_sensitivity.rs
+
+/root/repo/target/release/deps/table3_window_sensitivity-609bc0479d43444d: crates/bench/src/bin/table3_window_sensitivity.rs
+
+crates/bench/src/bin/table3_window_sensitivity.rs:

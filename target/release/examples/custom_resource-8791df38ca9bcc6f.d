@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/custom_resource-8791df38ca9bcc6f.d: examples/custom_resource.rs
+
+/root/repo/target/release/examples/custom_resource-8791df38ca9bcc6f: examples/custom_resource.rs
+
+examples/custom_resource.rs:

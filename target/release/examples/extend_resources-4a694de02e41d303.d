@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/extend_resources-4a694de02e41d303.d: examples/extend_resources.rs
+
+/root/repo/target/release/examples/extend_resources-4a694de02e41d303: examples/extend_resources.rs
+
+examples/extend_resources.rs:

@@ -19,9 +19,7 @@ fn run_woven(campaign_fraction: f64, kind: PolicyKind) -> SimResult {
     let cfg = DagConfig { campaign_fraction, ..DagConfig::default() };
     let trace = weave_campaigns(&base, &cfg, 31);
     let ga = GaParams { generations: 40, base_seed: 31, ..GaParams::default() };
-    Simulator::new(&profile.system, &trace, SimConfig::default())
-        .unwrap()
-        .run(kind.build(ga))
+    Simulator::new(&profile.system, &trace, SimConfig::default()).unwrap().run(kind.build(ga))
 }
 
 #[test]
@@ -41,8 +39,7 @@ fn no_job_starts_before_its_dependencies_complete() {
         .run(PolicyKind::BbSched.build(ga));
     assert_eq!(result.records.len(), trace.len());
 
-    let end_by_id: HashMap<u64, f64> =
-        result.records.iter().map(|r| (r.id, r.end)).collect();
+    let end_by_id: HashMap<u64, f64> = result.records.iter().map(|r| (r.id, r.end)).collect();
     for (job, rec) in trace.jobs().iter().zip({
         let mut by_id: Vec<_> = result.records.clone();
         by_id.sort_by_key(|r| r.id);

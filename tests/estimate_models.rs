@@ -4,8 +4,8 @@
 use bbsched::policies::{GaParams, PolicyKind};
 use bbsched::sim::{BaseScheduler, SimConfig, SimResult, Simulator};
 use bbsched::workloads::{
-    estimates::mean_overestimation, generate, EstimateModel, GeneratorConfig,
-    MachineProfile, Trace, Workload,
+    estimates::mean_overestimation, generate, EstimateModel, GeneratorConfig, MachineProfile,
+    Trace, Workload,
 };
 
 fn contended_trace() -> (MachineProfile, Trace) {
@@ -21,9 +21,7 @@ fn contended_trace() -> (MachineProfile, Trace) {
 fn run(profile: &MachineProfile, trace: &Trace) -> SimResult {
     let cfg = SimConfig { base: BaseScheduler::Wfp, ..SimConfig::default() };
     let ga = GaParams { generations: 30, base_seed: 17, ..GaParams::default() };
-    Simulator::new(&profile.system, trace, cfg)
-        .unwrap()
-        .run(PolicyKind::Baseline.build(ga))
+    Simulator::new(&profile.system, trace, cfg).unwrap().run(PolicyKind::Baseline.build(ga))
 }
 
 #[test]
@@ -46,8 +44,7 @@ fn estimate_models_keep_walltime_above_runtime() {
 fn worse_estimates_do_not_improve_backfilling() {
     let (profile, trace) = contended_trace();
     let exact = run(&profile, &EstimateModel::Exact.apply(&trace, 5));
-    let sitemax =
-        run(&profile, &EstimateModel::SiteMax { limit: 86_400.0 }.apply(&trace, 5));
+    let sitemax = run(&profile, &EstimateModel::SiteMax { limit: 86_400.0 }.apply(&trace, 5));
     // Oracle estimates expose every ends-before-shadow opportunity;
     // everyone-requests-the-limit hides them all.
     assert!(

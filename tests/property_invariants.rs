@@ -2,7 +2,8 @@
 //! Pareto-front laws, repair feasibility, GA-vs-exhaustive consistency,
 //! and simulator conservation on random traces.
 
-use bbsched::core::problem::{CpuBbProblem, JobDemand, MooProblem};
+use bbsched::core::problem::{JobDemand, KnapsackMooProblem, MooProblem};
+use bbsched::core::resource::ResourceModel;
 use bbsched::core::{exhaustive, pareto, Chromosome, GaConfig, MooGa};
 use bbsched::policies::{GaParams, PolicyKind};
 use bbsched::sim::{SimConfig, Simulator};
@@ -26,7 +27,7 @@ proptest! {
     #[test]
     fn repair_is_sound(window in window_strategy(24), mask in any::<u64>()) {
         let w = window.len();
-        let problem = CpuBbProblem::new(window, 150, 6_000.0);
+        let problem = KnapsackMooProblem::new(window, ResourceModel::cpu_bb(150, 6_000.0));
         let before = Chromosome::from_mask(mask, w);
         let mut after = before.clone();
         problem.repair(&mut after);
@@ -41,7 +42,7 @@ proptest! {
     #[test]
     fn exhaustive_front_is_exact(window in window_strategy(10)) {
         let w = window.len();
-        let problem = CpuBbProblem::new(window, 150, 6_000.0);
+        let problem = KnapsackMooProblem::new(window, ResourceModel::cpu_bb(150, 6_000.0));
         let front = exhaustive::solve(&problem).unwrap();
         prop_assert!(front.is_mutually_nondominated());
         for mask in 0u64..(1 << w) {
@@ -62,7 +63,7 @@ proptest! {
         window in window_strategy(12),
         seed in any::<u64>(),
     ) {
-        let problem = CpuBbProblem::new(window, 150, 6_000.0);
+        let problem = KnapsackMooProblem::new(window, ResourceModel::cpu_bb(150, 6_000.0));
         let cfg = GaConfig { generations: 60, seed, ..GaConfig::default() };
         let front = MooGa::new(cfg).solve(&problem);
         prop_assert!(front.is_mutually_nondominated());
@@ -105,11 +106,11 @@ proptest! {
 fn job_strategy(max_id: u64) -> impl Strategy<Value = (f64, u32, f64, f64, f64)> {
     let _ = max_id;
     (
-        0.0f64..5_000.0,   // submit
-        1u32..40,          // nodes
-        10.0f64..2_000.0,  // runtime
-        1.0f64..2.5,       // walltime factor
-        0.0f64..3_000.0,   // bb
+        0.0f64..5_000.0,  // submit
+        1u32..40,         // nodes
+        10.0f64..2_000.0, // runtime
+        1.0f64..2.5,      // walltime factor
+        0.0f64..3_000.0,  // bb
     )
 }
 
@@ -139,6 +140,7 @@ proptest! {
             bb_reserved_gb: 0.0,
             nodes_128: 0,
             nodes_256: 0,
+            extra_resources: Vec::new(),
         };
         let ga = GaParams { generations: 20, ..GaParams::default() };
         let result = Simulator::new(&system, &trace, SimConfig::default())

@@ -29,9 +29,7 @@ fn assert_capacity_respected(result: &SimResult) {
         events.push((r.end, -i64::from(r.nodes), -r.bb_gb));
     }
     // Frees sort before allocations at the same instant.
-    events.sort_by(|a, b| {
-        a.0.total_cmp(&b.0).then(a.1.cmp(&b.1))
-    });
+    events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     let mut nodes = 0i64;
     let mut bb = 0.0f64;
     for (t, dn, dbb) in events {
@@ -42,10 +40,7 @@ fn assert_capacity_respected(result: &SimResult) {
             "node capacity exceeded at t={t}: {nodes} > {}",
             result.system.nodes
         );
-        assert!(
-            bb <= result.system.bb_usable_gb() + 1e-6,
-            "burst buffer exceeded at t={t}: {bb}"
-        );
+        assert!(bb <= result.system.bb_usable_gb() + 1e-6, "burst buffer exceeded at t={t}: {bb}");
     }
 }
 
@@ -76,9 +71,8 @@ fn every_policy_satisfies_capacity_invariants() {
 fn heavier_bb_workloads_wait_longer_under_baseline() {
     let original = run(PolicyKind::Baseline, Workload::Original, 300);
     let s4 = run(PolicyKind::Baseline, Workload::S4, 300);
-    let avg = |r: &SimResult| {
-        r.records.iter().map(JobRecord::wait).sum::<f64>() / r.records.len() as f64
-    };
+    let avg =
+        |r: &SimResult| r.records.iter().map(JobRecord::wait).sum::<f64>() / r.records.len() as f64;
     assert!(
         avg(&s4) > avg(&original),
         "S4 ({}) should wait longer than Original ({})",
@@ -91,9 +85,8 @@ fn heavier_bb_workloads_wait_longer_under_baseline() {
 fn bb_stress_raises_bb_usage() {
     let original = run(PolicyKind::Baseline, Workload::Original, 300);
     let s4 = run(PolicyKind::Baseline, Workload::S4, 300);
-    let usage = |r: &SimResult| {
-        MethodSummary::from_result(r, MeasurementWindow::default()).bb_usage
-    };
+    let usage =
+        |r: &SimResult| MethodSummary::from_result(r, MeasurementWindow::default()).bb_usage();
     assert!(usage(&s4) > usage(&original) + 0.05);
 }
 
@@ -136,8 +129,8 @@ fn summaries_are_well_formed_for_all_policies() {
     for kind in PolicyKind::main_roster() {
         let result = run(kind, Workload::S1, 150);
         let m = MethodSummary::from_result(&result, MeasurementWindow::default());
-        assert!((0.0..=1.0 + 1e-9).contains(&m.node_usage), "{}", kind.name());
-        assert!((0.0..=1.0 + 1e-9).contains(&m.bb_usage), "{}", kind.name());
+        assert!((0.0..=1.0 + 1e-9).contains(&m.node_usage()), "{}", kind.name());
+        assert!((0.0..=1.0 + 1e-9).contains(&m.bb_usage()), "{}", kind.name());
         assert!(m.avg_wait >= 0.0);
         assert!(m.avg_slowdown >= 0.0);
         assert!(m.measured_jobs > 0);

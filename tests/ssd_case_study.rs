@@ -36,9 +36,11 @@ fn large_ssd_requests_run_only_on_256_nodes() {
     for r in &result.records {
         if r.ssd_gb_per_node > 128.0 {
             assert_eq!(
-                r.assignment.n128, 0,
+                r.assignment.n128(),
+                0,
                 "job {} with {} GB/node must avoid 128-GB nodes",
-                r.id, r.ssd_gb_per_node
+                r.id,
+                r.ssd_gb_per_node
             );
         }
         assert_eq!(r.assignment.total(), r.nodes);
@@ -51,8 +53,8 @@ fn ssd_pools_never_oversubscribed() {
     // Sweep starts/ends tracking per-pool occupancy.
     let mut events: Vec<(f64, i64, i64)> = Vec::new();
     for r in &result.records {
-        events.push((r.start, i64::from(r.assignment.n128), i64::from(r.assignment.n256)));
-        events.push((r.end, -i64::from(r.assignment.n128), -i64::from(r.assignment.n256)));
+        events.push((r.start, i64::from(r.assignment.n128()), i64::from(r.assignment.n256())));
+        events.push((r.end, -i64::from(r.assignment.n128()), -i64::from(r.assignment.n256())));
     }
     events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     let (mut used_128, mut used_256) = (0i64, 0i64);
@@ -69,7 +71,7 @@ fn ssd_pools_never_oversubscribed() {
 fn waste_accounting_matches_assignments() {
     let result = run_ssd(PolicyKind::Weighted, Workload::S5, 120);
     for r in &result.records {
-        let cap = f64::from(r.assignment.n128) * 128.0 + f64::from(r.assignment.n256) * 256.0;
+        let cap = f64::from(r.assignment.n128()) * 128.0 + f64::from(r.assignment.n256()) * 256.0;
         let expected = (cap - r.ssd_gb_per_node * f64::from(r.nodes)).max(0.0);
         assert!(
             (r.wasted_ssd_gb - expected).abs() < 1e-6,
@@ -86,13 +88,10 @@ fn heavier_ssd_mixes_increase_waste_pressure() {
     // S7 (80% large requests) must put more load on the 256-GB pool than
     // S5 (20% large): measure the share of node-seconds on 256-GB nodes.
     let share_256 = |r: &SimResult| {
-        let total: f64 = r
-            .records
-            .iter()
-            .map(|x| f64::from(x.assignment.total()) * x.runtime)
-            .sum();
+        let total: f64 =
+            r.records.iter().map(|x| f64::from(x.assignment.total()) * x.runtime).sum();
         let on_256: f64 =
-            r.records.iter().map(|x| f64::from(x.assignment.n256) * x.runtime).sum();
+            r.records.iter().map(|x| f64::from(x.assignment.n256()) * x.runtime).sum();
         on_256 / total
     };
     let s5 = run_ssd(PolicyKind::Baseline, Workload::S5, 200);
@@ -109,7 +108,51 @@ fn heavier_ssd_mixes_increase_waste_pressure() {
 fn ssd_summaries_populate_ssd_metrics() {
     let result = run_ssd(PolicyKind::BbSched, Workload::S6, 120);
     let m = MethodSummary::from_result(&result, MeasurementWindow::full());
-    assert!(m.ssd_usage > 0.0, "SSD usage must be measured");
-    assert!(m.ssd_wasted >= 0.0);
-    assert!(m.ssd_usage + m.ssd_wasted <= 1.0 + 1e-9, "used + wasted <= capacity");
+    assert!(m.ssd_usage() > 0.0, "SSD usage must be measured");
+    assert!(m.ssd_wasted() >= 0.0);
+    assert!(m.ssd_usage() + m.ssd_wasted() <= 1.0 + 1e-9, "used + wasted <= capacity");
+}
+
+/// Golden equivalence for the §5 four-objective problem: at identical GA
+/// seeds, the deprecated `CpuBbSsdProblem` wrapper (the pre-refactor SSD
+/// entry point, including its unconditional-drop repair) and the generic
+/// `KnapsackMooProblem` over `ResourceModel::cpu_bb_ssd` produce
+/// byte-identical fronts, and the 4x decision rule starts the same jobs.
+#[test]
+#[allow(deprecated)]
+fn generic_path_reproduces_ssd_wrapper_front_bit_for_bit() {
+    use bbsched::core::decision::{choose_preferred, DecisionRule};
+    use bbsched::core::problem::{Available, JobDemand, MooProblem};
+    use bbsched::core::resource::ResourceModel;
+    use bbsched::core::{CpuBbSsdProblem, GaConfig, KnapsackMooProblem, MooGa, RepairStyle};
+
+    let window = vec![
+        JobDemand::cpu_bb_ssd(6, 8_000.0, 200.0),
+        JobDemand::cpu_bb_ssd(4, 0.0, 64.0),
+        JobDemand::cpu_bb_ssd(8, 12_000.0, 100.0),
+        JobDemand::cpu_bb_ssd(2, 0.0, 250.0),
+        JobDemand::cpu_bb_ssd(4, 2_000.0, 0.0),
+        JobDemand::cpu_bb_ssd(3, 500.0, 128.0),
+    ];
+    for seed in [0u64, 55, 0xbb5c_11ed] {
+        let cfg = GaConfig { generations: 500, seed, ..GaConfig::default() };
+        let wrapper = CpuBbSsdProblem::new(window.clone(), Available::with_ssd(8, 8, 20_000.0));
+        let generic =
+            KnapsackMooProblem::new(window.clone(), ResourceModel::cpu_bb_ssd(8, 8, 20_000.0))
+                .with_repair_style(RepairStyle::DropUnconditionally);
+        let fw = MooGa::new(cfg.clone()).solve(&wrapper);
+        let fg = MooGa::new(cfg).solve(&generic);
+        assert_eq!(fw.len(), fg.len(), "front sizes diverged at seed {seed:#x}");
+        for (a, b) in fw.solutions().iter().zip(fg.solutions()) {
+            assert_eq!(a.chromosome, b.chromosome, "selection diverged at seed {seed:#x}");
+            assert_eq!(a.objectives.as_slice(), b.objectives.as_slice());
+        }
+        let cw =
+            choose_preferred(&fw, wrapper.normalizers().as_slice(), DecisionRule::multi_resource())
+                .expect("non-empty front");
+        let cg =
+            choose_preferred(&fg, generic.normalizers().as_slice(), DecisionRule::multi_resource())
+                .expect("non-empty front");
+        assert_eq!(cw.chromosome, cg.chromosome, "decision diverged at seed {seed:#x}");
+    }
 }

@@ -1,0 +1,419 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates [`serde::Serialize`]/[`serde::Deserialize`] impls against the
+//! vendored value-tree `serde` crate. Because the build environment has no
+//! registry access, this macro parses the item's `TokenStream` by hand
+//! instead of using `syn`/`quote`. Supported shapes — the full set used by
+//! this workspace:
+//!
+//! * structs with named fields, honoring `#[serde(default)]` and
+//!   `#[serde(default = "path")]`;
+//! * enums whose variants are unit-like, newtype (single tuple field), or
+//!   carry named fields (externally tagged, matching serde's default
+//!   representation).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// How a missing field is filled during deserialization.
+enum FieldDefault {
+    /// Field is required; missing is an error.
+    Required,
+    /// `#[serde(default)]`: use `Default::default()`.
+    Std,
+    /// `#[serde(default = "path")]`: call `path()`.
+    Path(String),
+}
+
+struct Field {
+    name: String,
+    default: FieldDefault,
+}
+
+enum VariantShape {
+    Unit,
+    /// Single unnamed field, e.g. `Extra(u8)`.
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item).parse().expect("serde_derive produced invalid Rust"),
+        Err(msg) => format!("compile_error!({:?});", msg).parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------- parsing
+
+/// Consumes leading attributes, returning any `#[serde(...)]` payload
+/// groups encountered.
+fn take_attrs(tokens: &[TokenTree], i: &mut usize) -> Vec<TokenStream> {
+    let mut serde_payloads = Vec::new();
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            if g.delimiter() == Delimiter::Bracket {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args))) =
+                    (inner.first(), inner.get(1))
+                {
+                    if name.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis {
+                        serde_payloads.push(args.stream());
+                    }
+                }
+                *i += 1;
+            }
+        }
+    }
+    serde_payloads
+}
+
+/// Consumes an optional `pub` / `pub(...)` visibility.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Interprets a `#[serde(...)]` payload on a field.
+fn field_default_from_attrs(payloads: &[TokenStream]) -> Result<FieldDefault, String> {
+    for p in payloads {
+        let toks: Vec<TokenTree> = p.clone().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = toks.first() {
+            if id.to_string() == "default" {
+                return match toks.get(2) {
+                    None => Ok(FieldDefault::Std),
+                    Some(TokenTree::Literal(lit)) => {
+                        let s = lit.to_string();
+                        let path = s.trim_matches('"').to_string();
+                        Ok(FieldDefault::Path(path))
+                    }
+                    _ => Err("unsupported #[serde(default = ...)] form".into()),
+                };
+            }
+        }
+        return Err(format!("unsupported serde attribute: {}", p));
+    }
+    Ok(FieldDefault::Required)
+}
+
+/// Parses the named fields inside a brace group.
+fn parse_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        let payloads = take_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {:?}", other)),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, found {:?}", other)),
+        }
+        // Skip the type, tracking `<...>` nesting so commas inside
+        // generics don't end the field early.
+        let mut angle = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(Field { name, default: field_default_from_attrs(&payloads)? });
+    }
+    Ok(fields)
+}
+
+/// Parses the variants inside an enum's brace group.
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        take_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {:?}", other)),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_fields(g.stream())?;
+                i += 1;
+                VariantShape::Struct(f)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                // Only single-field (newtype) tuple variants are supported:
+                // a top-level comma followed by more tokens means a second
+                // field. Angle-bracket nesting keeps generics transparent.
+                let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut angle = 0i32;
+                for (j, tok) in toks.iter().enumerate() {
+                    if let TokenTree::Punct(p) = tok {
+                        match p.as_char() {
+                            '<' => angle += 1,
+                            '>' => angle -= 1,
+                            ',' if angle == 0 && j + 1 < toks.len() => {
+                                return Err(format!(
+                                    "multi-field tuple variant `{name}` is not supported"
+                                ));
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                i += 1;
+                VariantShape::Newtype
+            }
+            _ => VariantShape::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    take_attrs(&tokens, &mut i);
+    skip_vis(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {:?}", other)),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {:?}", other)),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!("generic type `{name}` is not supported by the vendored derive"));
+        }
+    }
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(_) => i += 1,
+            None => return Err(format!("no body found for `{name}`")),
+        }
+    };
+    match kind.as_str() {
+        "struct" => Ok(Item::Struct { name, fields: parse_fields(body)? }),
+        "enum" => Ok(Item::Enum { name, variants: parse_variants(body)? }),
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "m.push((String::from({n:?}), ::serde::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut m: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Map(m)\n\
+                 }}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str(String::from({v:?})),\n",
+                        v = v.name
+                    )),
+                    VariantShape::Newtype => arms.push_str(&format!(
+                        "{name}::{v}(x) => ::serde::Value::Map(vec![(String::from({v:?}), ::serde::Serialize::to_value(x))]),\n",
+                        v = v.name
+                    )),
+                    VariantShape::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut pushes = String::new();
+                        for f in fields {
+                            pushes.push_str(&format!(
+                                "m.push((String::from({n:?}), ::serde::Serialize::to_value({n})));\n",
+                                n = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{\n\
+                             let mut m: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                             {pushes}\
+                             ::serde::Value::Map(vec![(String::from({v:?}), ::serde::Value::Map(m))])\n\
+                             }}\n",
+                            v = v.name,
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}}}\n\
+                 }}\n}}\n"
+            )
+        }
+    }
+}
+
+/// Emits the struct-literal field initializers for deserializing `fields`
+/// out of a map bound to `m`, with `ctx` naming the containing type in
+/// error messages.
+fn gen_field_inits(fields: &[Field], ctx: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let fallback = match &f.default {
+            FieldDefault::Required => format!(
+                "return ::core::result::Result::Err(::serde::Error::missing({:?}, {:?}))",
+                f.name, ctx
+            ),
+            FieldDefault::Std => "::core::default::Default::default()".to_string(),
+            FieldDefault::Path(path) => format!("{path}()"),
+        };
+        out.push_str(&format!(
+            "{n}: match ::serde::__private::get(m, {n:?}) {{\n\
+             ::core::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+             ::core::option::Option::None => {fallback},\n\
+             }},\n",
+            n = f.name
+        ));
+    }
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let inits = gen_field_inits(fields, name);
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 let m = match v.as_map() {{\n\
+                 ::core::option::Option::Some(m) => m,\n\
+                 ::core::option::Option::None => return ::core::result::Result::Err(::serde::Error::ty(\"map\", {name:?}, v)),\n\
+                 }};\n\
+                 ::core::result::Result::Ok({name} {{\n{inits}}})\n\
+                 }}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut struct_arms = String::new();
+            for v in variants {
+                match &v.shape {
+                    VariantShape::Unit => unit_arms.push_str(&format!(
+                        "{v:?} => ::core::result::Result::Ok({name}::{v}),\n",
+                        v = v.name
+                    )),
+                    VariantShape::Newtype => struct_arms.push_str(&format!(
+                        "{v:?} => ::core::result::Result::Ok({name}::{v}(::serde::Deserialize::from_value(inner)?)),\n",
+                        v = v.name
+                    )),
+                    VariantShape::Struct(fields) => {
+                        let ctx = format!("{name}::{}", v.name);
+                        let inits = gen_field_inits(fields, &ctx);
+                        struct_arms.push_str(&format!(
+                            "{v:?} => {{\n\
+                             let m = match inner.as_map() {{\n\
+                             ::core::option::Option::Some(m) => m,\n\
+                             ::core::option::Option::None => return ::core::result::Result::Err(::serde::Error::ty(\"map\", {ctx:?}, inner)),\n\
+                             }};\n\
+                             ::core::result::Result::Ok({name}::{v} {{\n{inits}}})\n\
+                             }}\n",
+                            v = v.name
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => ::core::result::Result::Err(::serde::Error::custom(\n\
+                 format!(\"unknown variant `{{}}` of {name}\", other))),\n\
+                 }},\n\
+                 ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                 let (tag, inner) = &entries[0];\n\
+                 match tag.as_str() {{\n\
+                 {struct_arms}\
+                 other => ::core::result::Result::Err(::serde::Error::custom(\n\
+                 format!(\"unknown variant `{{}}` of {name}\", other))),\n\
+                 }}\n\
+                 }},\n\
+                 other => ::core::result::Result::Err(::serde::Error::ty(\n\
+                 \"string or single-entry map\", {name:?}, other)),\n\
+                 }}\n\
+                 }}\n}}\n"
+            )
+        }
+    }
+}
