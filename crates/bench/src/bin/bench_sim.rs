@@ -1,0 +1,195 @@
+//! Machine-readable simulator benchmarks: `BENCH_sim.json`.
+//!
+//! Re-measures the `simulator_throughput` and `policy_overhead` Criterion
+//! benches with a plain wall-clock loop and writes the medians as JSON, so
+//! CI and the PR trajectory can diff numbers across commits without
+//! scraping human-oriented bench output.
+//!
+//! Run: `cargo run --release -p bbsched-bench --bin bench_sim -- \
+//!         [--short] [--out PATH] [--baseline PATH]`
+//!
+//! * `--short` shrinks traces/generations to smoke-test sizes (CI); the
+//!   emitted JSON is tagged `"mode": "short"` so numbers are not compared
+//!   across modes.
+//! * `--baseline PATH` embeds a previously emitted file's results under
+//!   `"baseline"` and reports per-benchmark `delta_pct`.
+
+use bbsched_core::pools::PoolState;
+use bbsched_core::problem::JobDemand;
+use bbsched_policies::{GaParams, PolicyKind};
+use bbsched_sim::{BackfillScope, SimConfig, Simulator};
+use bbsched_workloads::{generate, GeneratorConfig, MachineProfile, Trace};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct BenchEntry {
+    /// Benchmark id, `group/case`.
+    name: String,
+    /// Median seconds per iteration.
+    median_s: f64,
+    /// Fastest sample (seconds per iteration).
+    min_s: f64,
+    /// Timing samples taken.
+    samples: usize,
+    /// Change vs the baseline's median, percent (positive = slower).
+    delta_pct: Option<f64>,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct BenchReport {
+    schema: String,
+    mode: String,
+    results: Vec<BenchEntry>,
+    baseline: Option<Vec<BenchEntry>>,
+}
+
+/// Median per-iteration seconds of `routine`, batched so each sample runs
+/// at least `min_sample_s` of wall clock.
+fn measure<O, F: FnMut() -> O>(samples: usize, min_sample_s: f64, mut routine: F) -> (f64, f64) {
+    let t0 = Instant::now();
+    std::hint::black_box(routine());
+    let per_iter = t0.elapsed().as_secs_f64().max(1e-9);
+    let batch = ((min_sample_s / per_iter).ceil() as u64).clamp(1, 1_000_000);
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            t.elapsed().as_secs_f64() / batch as f64
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    (times[times.len() / 2], times[0])
+}
+
+fn trace(n: usize) -> (MachineProfile, Trace) {
+    let profile = MachineProfile::theta().scaled(0.05);
+    let t = generate(
+        &profile,
+        &GeneratorConfig { n_jobs: n, seed: 21, load_factor: 1.1, ..GeneratorConfig::default() },
+    );
+    (profile, t)
+}
+
+fn overhead_window(w: usize) -> Vec<JobDemand> {
+    let mut rng = SmallRng::seed_from_u64(11);
+    (0..w)
+        .map(|_| {
+            JobDemand::cpu_bb(
+                rng.random_range(8..200),
+                if rng.random_bool(0.75) { rng.random_range(100.0..30_000.0) } else { 0.0 },
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let short = args.iter().any(|a| a == "--short");
+    let opt = |key: &str| {
+        args.iter().position(|a| a == key).and_then(|i| args.get(i + 1)).map(String::as_str)
+    };
+    let out = opt("--out").unwrap_or("BENCH_sim.json").to_string();
+    let baseline: Option<Vec<BenchEntry>> = opt("--baseline").map(|path| {
+        let bytes = std::fs::read(path).unwrap_or_else(|e| panic!("cannot read '{path}': {e}"));
+        let report: BenchReport =
+            serde_json::from_slice(&bytes).unwrap_or_else(|e| panic!("cannot parse '{path}': {e}"));
+        report.results
+    });
+
+    let (samples, sim_samples) = if short { (2, 1) } else { (7, 7) };
+    // Batch the fast simulation cases (sub-ms per run) so one sample is a
+    // stable wall-clock chunk; single-iteration samples swing ±30% run to
+    // run. The heavy GA cases self-batch via their own cost.
+    let sim_min_s = if short { 0.0 } else { 0.02 };
+    let (n_small, n_large) = if short { (60, 120) } else { (200, 500) };
+    let (g_sched, g_heavy) = if short { (20, 60) } else { (100, 2_000) };
+
+    let mut results: Vec<BenchEntry> = Vec::new();
+    let mut push = |name: &str, samples: usize, min_s: f64, routine: &mut dyn FnMut() -> usize| {
+        let (median_s, min_sample) = measure(samples, min_s, routine);
+        eprintln!("{name:<44} {:.4} ms", median_s * 1e3);
+        results.push(BenchEntry {
+            name: name.to_string(),
+            median_s,
+            min_s: min_sample,
+            samples,
+            delta_pct: None,
+        });
+    };
+
+    // --- simulator_throughput ---
+    for n in [n_small, n_large] {
+        let (profile, t) = trace(n);
+        push(&format!("simulate_baseline/{n}"), sim_samples, sim_min_s, &mut || {
+            let sim = Simulator::new(&profile.system, &t, SimConfig::default()).unwrap();
+            sim.run(PolicyKind::Baseline.build(GaParams::default())).records.len()
+        });
+    }
+    {
+        let (profile, t) = trace(n_small);
+        let ga = GaParams { generations: g_sched, ..GaParams::default() };
+        push(
+            &format!("simulate_bbsched_g{g_sched}/{n_small}"),
+            sim_samples,
+            sim_min_s,
+            &mut || {
+                let sim = Simulator::new(&profile.system, &t, SimConfig::default()).unwrap();
+                sim.run(PolicyKind::BbSched.build(ga)).records.len()
+            },
+        );
+    }
+    for (label, scope) in [("window", BackfillScope::Window), ("queue", BackfillScope::Queue)] {
+        let (profile, t) = trace(n_large);
+        let cfg = SimConfig { backfill: scope, ..SimConfig::default() };
+        push(&format!("backfill_scope_{n_large}/{label}"), sim_samples, sim_min_s, &mut || {
+            let sim = Simulator::new(&profile.system, &t, cfg.clone()).unwrap();
+            sim.run(PolicyKind::Baseline.build(GaParams::default())).records.len()
+        });
+    }
+
+    // --- policy_overhead ---
+    let w = overhead_window(50);
+    let avail = PoolState::cpu_bb(800, 60_000.0);
+    let gens = if short { 50 } else { 500 };
+    for kind in PolicyKind::main_roster() {
+        let ga = GaParams { generations: gens, ..GaParams::default() };
+        let mut policy = kind.build(ga);
+        let mut inv = 0u64;
+        push(&format!("decision_w50_g{gens}/{}", kind.name()), samples, 0.01, &mut || {
+            inv += 1;
+            policy.select(std::hint::black_box(&w), &avail, inv).len()
+        });
+    }
+    {
+        let ga = GaParams { generations: g_heavy, ..GaParams::default() };
+        let mut policy = PolicyKind::BbSched.build(ga);
+        let mut inv = 0u64;
+        push(&format!("bbsched_g{g_heavy}_w50/BBSched"), samples, 0.01, &mut || {
+            inv += 1;
+            policy.select(std::hint::black_box(&w), &avail, inv).len()
+        });
+    }
+
+    if let Some(base) = &baseline {
+        for entry in results.iter_mut() {
+            if let Some(b) = base.iter().find(|b| b.name == entry.name) {
+                entry.delta_pct = Some((entry.median_s / b.median_s - 1.0) * 100.0);
+            }
+        }
+    }
+
+    let report = BenchReport {
+        schema: "bbsched/bench_sim/v1".into(),
+        mode: if short { "short" } else { "full" }.into(),
+        results,
+        baseline,
+    };
+    let bytes = serde_json::to_vec_pretty(&report).expect("serialize report");
+    std::fs::write(&out, bytes).unwrap_or_else(|e| panic!("cannot write '{out}': {e}"));
+    println!("wrote {out}");
+}

@@ -3,7 +3,9 @@
 use crate::args::Args;
 use bbsched_metrics::{DistributionStats, MeasurementWindow, MethodSummary, UsageKind};
 use bbsched_policies::{GaParams, PolicyKind, SelectionPolicy};
-use bbsched_sim::{BackfillAlgorithm, BaseScheduler, SimConfig, SimResult, Simulator};
+use bbsched_sim::{
+    BackfillAlgorithm, BaseScheduler, DynamicWindow, SimConfig, SimResult, Simulator,
+};
 use bbsched_workloads::{generate, swf, GeneratorConfig, MachineProfile, Trace, Workload};
 use std::path::Path;
 
@@ -39,12 +41,13 @@ COMMANDS
              --trace PATH
   simulate   Run one policy over a trace and print its metrics
              --trace PATH | (--machine + --jobs [--workload])
-             --machine cori|theta  --scale F  --policy NAME
-             --window N  --gens G  [--conservative] [--queue-backfill]
-             [--out result.json]
+             --machine cori|theta  --scale F  --policy NAME  --gens G
+             --window N  --starvation-bound N
+             --backfill easy|conservative  --backfill-scope window|queue
+             --dynamic-window MIN,MAX,FRAC  [--out result.json]
   compare    Run the full §4.3 roster on one workload and print the grid
              --machine cori|theta  --workload W  --jobs N  --scale F
-             --gens G
+             --gens G  (same scheduler knobs as simulate)
   timeline   Export a utilization timeline CSV from a saved result
              --result PATH  --resource nodes|bb  --dt SECONDS  --out PATH
   gantt      ASCII utilization chart of a saved result
@@ -162,6 +165,35 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// The scheduler knobs shared by `simulate` and `compare`.
+const SCHED_ARGS: &[&str] = &[
+    "base",
+    "window",
+    "starvation-bound",
+    "backfill",
+    "backfill-scope",
+    "dynamic-window",
+    "conservative",
+    "queue-backfill",
+];
+
+/// Parses `--dynamic-window min,max,frac` (e.g. `10,50,0.25`).
+fn parse_dynamic_window(spec: &str) -> Result<DynamicWindow, String> {
+    let parts: Vec<&str> = spec.split(',').map(str::trim).collect();
+    if parts.len() != 3 {
+        return Err(format!("--dynamic-window wants 'min,max,frac', got '{spec}'"));
+    }
+    let min: usize =
+        parts[0].parse().map_err(|e| format!("--dynamic-window min '{}': {e}", parts[0]))?;
+    let max: usize =
+        parts[1].parse().map_err(|e| format!("--dynamic-window max '{}': {e}", parts[1]))?;
+    let queue_fraction: f64 =
+        parts[2].parse().map_err(|e| format!("--dynamic-window frac '{}': {e}", parts[2]))?;
+    let dw = DynamicWindow { min, max, queue_fraction };
+    dw.validate().map_err(|e| e.to_string())?;
+    Ok(dw)
+}
+
 #[allow(clippy::field_reassign_with_default)]
 fn sim_config(args: &Args, machine: &MachineProfile) -> Result<SimConfig, String> {
     let mut cfg = SimConfig::default();
@@ -172,12 +204,32 @@ fn sim_config(args: &Args, machine: &MachineProfile) -> Result<SimConfig, String
             other => return Err(format!("unknown base scheduler '{other}' (fcfs|wfp)")),
         };
     cfg.window.size = args.get_parsed("window", cfg.window.size)?;
-    if args.flag("conservative") {
-        cfg.backfill_algorithm = BackfillAlgorithm::Conservative;
+    cfg.window.starvation_bound =
+        args.get_parsed("starvation-bound", cfg.window.starvation_bound)?;
+    // `--backfill easy|conservative` is the canonical spelling;
+    // `--conservative` stays as a legacy alias.
+    cfg.backfill_algorithm = match args.get("backfill") {
+        Some(b) if b.eq_ignore_ascii_case("easy") => BackfillAlgorithm::Easy,
+        Some(b) if b.eq_ignore_ascii_case("conservative") => BackfillAlgorithm::Conservative,
+        Some(other) => {
+            return Err(format!("unknown backfill algorithm '{other}' (easy|conservative)"))
+        }
+        None if args.flag("conservative") => BackfillAlgorithm::Conservative,
+        None => BackfillAlgorithm::Easy,
+    };
+    // `--backfill-scope window|queue`; `--queue-backfill` is the legacy
+    // alias for the queue scope.
+    cfg.backfill = match args.get("backfill-scope") {
+        Some(s) if s.eq_ignore_ascii_case("window") => bbsched_sim::BackfillScope::Window,
+        Some(s) if s.eq_ignore_ascii_case("queue") => bbsched_sim::BackfillScope::Queue,
+        Some(other) => return Err(format!("unknown backfill scope '{other}' (window|queue)")),
+        None if args.flag("queue-backfill") => bbsched_sim::BackfillScope::Queue,
+        None => bbsched_sim::BackfillScope::Window,
+    };
+    if let Some(spec) = args.get("dynamic-window") {
+        cfg.dynamic_window = Some(parse_dynamic_window(spec)?);
     }
-    if args.flag("queue-backfill") {
-        cfg.backfill = bbsched_sim::BackfillScope::Queue;
-    }
+    cfg.validate().map_err(|e| e.to_string())?;
     Ok(cfg)
 }
 
@@ -212,22 +264,11 @@ fn print_summary(result: &SimResult) {
 }
 
 fn cmd_simulate(args: &Args) -> Result<(), String> {
-    args.check_known(&[
-        "trace",
-        "machine",
-        "jobs",
-        "seed",
-        "scale",
-        "load",
-        "workload",
-        "policy",
-        "base",
-        "window",
-        "gens",
-        "out",
-        "conservative",
-        "queue-backfill",
-    ])?;
+    let mut known = vec![
+        "trace", "machine", "jobs", "seed", "scale", "load", "workload", "policy", "gens", "out",
+    ];
+    known.extend_from_slice(SCHED_ARGS);
+    args.check_known(&known)?;
     let (trace, profile) = trace_from_args(args)?;
     let kind = parse_policy(args.get_or("policy", "BBSched"))?;
     let cfg = sim_config(args, &profile)?;
@@ -249,20 +290,9 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_compare(args: &Args) -> Result<(), String> {
-    args.check_known(&[
-        "trace",
-        "machine",
-        "jobs",
-        "seed",
-        "scale",
-        "load",
-        "workload",
-        "base",
-        "window",
-        "gens",
-        "conservative",
-        "queue-backfill",
-    ])?;
+    let mut known = vec!["trace", "machine", "jobs", "seed", "scale", "load", "workload", "gens"];
+    known.extend_from_slice(SCHED_ARGS);
+    args.check_known(&known)?;
     let (trace, profile) = trace_from_args(args)?;
     let cfg = sim_config(args, &profile)?;
     let ga = GaParams {
@@ -473,6 +503,58 @@ mod tests {
         let trace = load_trace(path.to_str().unwrap()).unwrap();
         assert_eq!(trace.len(), 50);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scheduler_knobs_parse() {
+        let profile = MachineProfile::cori();
+        let args = Args::parse([
+            "simulate",
+            "--window",
+            "30",
+            "--starvation-bound",
+            "17",
+            "--backfill",
+            "conservative",
+            "--backfill-scope",
+            "queue",
+            "--dynamic-window",
+            "5,40,0.3",
+        ])
+        .unwrap();
+        let cfg = sim_config(&args, &profile).unwrap();
+        assert_eq!(cfg.window.size, 30);
+        assert_eq!(cfg.window.starvation_bound, 17);
+        assert_eq!(cfg.backfill_algorithm, BackfillAlgorithm::Conservative);
+        assert_eq!(cfg.backfill, bbsched_sim::BackfillScope::Queue);
+        assert_eq!(
+            cfg.dynamic_window,
+            Some(DynamicWindow { min: 5, max: 40, queue_fraction: 0.3 })
+        );
+    }
+
+    #[test]
+    fn legacy_backfill_flags_still_work() {
+        let profile = MachineProfile::cori();
+        let args = Args::parse(["simulate", "--conservative", "--queue-backfill"]).unwrap();
+        let cfg = sim_config(&args, &profile).unwrap();
+        assert_eq!(cfg.backfill_algorithm, BackfillAlgorithm::Conservative);
+        assert_eq!(cfg.backfill, bbsched_sim::BackfillScope::Queue);
+    }
+
+    #[test]
+    fn bad_scheduler_knobs_are_rejected() {
+        let profile = MachineProfile::cori();
+        for bad in [
+            vec!["simulate", "--backfill", "aggressive"],
+            vec!["simulate", "--backfill-scope", "galaxy"],
+            vec!["simulate", "--dynamic-window", "50,10,0.25"],
+            vec!["simulate", "--dynamic-window", "5,40"],
+            vec!["simulate", "--dynamic-window", "5,40,NaN,9"],
+        ] {
+            let args = Args::parse(bad.clone()).unwrap();
+            assert!(sim_config(&args, &profile).is_err(), "{bad:?} should be rejected");
+        }
     }
 
     #[test]

@@ -23,12 +23,14 @@
 
 pub mod breakdown;
 pub mod kiviat;
+pub mod live;
 pub mod stats;
 pub mod summary;
 pub mod usage;
 
 pub use breakdown::{bins_from_edges, breakdown_by, Bin};
 pub use kiviat::{kiviat_area, normalize_axes, safe_reciprocal};
+pub use live::{LiveSummary, LiveTally};
 pub use stats::{jains_fairness, percentile, DistributionStats};
 pub use summary::{MeasurementWindow, MethodSummary, ResourceSummary};
 pub use usage::{resource_usage, UsageKind};

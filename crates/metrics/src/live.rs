@@ -1,0 +1,178 @@
+//! Observer-fed live metrics: summaries that accumulate *during* a run.
+//!
+//! [`LiveTally`] implements [`bbsched_sim::SimObserver`] and keeps running
+//! aggregates — waits, slowdowns, start reasons, backfill credits,
+//! invocation count, makespan — as the engine raises its callbacks,
+//! without ever materializing the full record vector. Attach it through
+//! [`bbsched_sim::Simulator::run_observed`] (or directly to an
+//! [`bbsched_sim::Engine`]) when a caller wants metrics from a trace too
+//! large to keep per-job records for, or wants progress mid-run.
+//!
+//! On whole-run aggregates ([`MeasurementWindow::full`] semantics) the
+//! tally agrees exactly with [`crate::MethodSummary::from_result`]; the
+//! unit tests pin that equivalence.
+
+use bbsched_sim::{JobStart, SimObserver, StartReason};
+use bbsched_workloads::Job;
+use serde::{Deserialize, Serialize};
+
+/// Aggregates a [`LiveTally`] has accumulated so far.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LiveSummary {
+    /// Jobs started.
+    pub started: usize,
+    /// Jobs finished.
+    pub finished: usize,
+    /// Average wait (s) over started jobs.
+    pub avg_wait: f64,
+    /// Average slowdown over started jobs at or above the runtime floor.
+    pub avg_slowdown: f64,
+    /// Jobs counted into `avg_slowdown`.
+    pub slowdown_jobs: usize,
+    /// Jobs started by the selection policy.
+    pub by_policy: usize,
+    /// Jobs started by the backfill phase (any head or hole start).
+    pub by_backfill: usize,
+    /// Jobs force-started by the starvation bound.
+    pub by_starvation: usize,
+    /// Backfill starts the strategy credited (the paper's `backfilled`).
+    pub backfill_credited: usize,
+    /// Scheduling invocations observed.
+    pub invocations: u64,
+    /// Latest completion time seen (s).
+    pub makespan: f64,
+    /// Wasted local-SSD GB summed over placements (0 off SSD systems).
+    pub wasted_ssd_gb: f64,
+}
+
+/// A [`SimObserver`] that folds every callback into running aggregates.
+#[derive(Clone, Debug, Default)]
+pub struct LiveTally {
+    /// Runtime floor for slowdown accounting (§4.2's abnormal-job filter;
+    /// 0 counts everything).
+    pub slowdown_min_runtime: f64,
+    wait_sum: f64,
+    slowdown_sum: f64,
+    summary: LiveSummary,
+}
+
+impl LiveTally {
+    /// A tally with no slowdown filtering.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A tally filtering jobs shorter than `min_runtime` seconds out of
+    /// the slowdown average, as the paper does.
+    pub fn with_slowdown_floor(min_runtime: f64) -> Self {
+        Self { slowdown_min_runtime: min_runtime, ..Self::default() }
+    }
+
+    /// The aggregates accumulated so far (valid mid-run too).
+    pub fn summary(&self) -> LiveSummary {
+        let mut s = self.summary;
+        if s.started > 0 {
+            s.avg_wait = self.wait_sum / s.started as f64;
+        }
+        if s.slowdown_jobs > 0 {
+            s.avg_slowdown = self.slowdown_sum / s.slowdown_jobs as f64;
+        }
+        s
+    }
+}
+
+impl SimObserver for LiveTally {
+    fn on_invocation_begin(&mut self, _now: f64, _invocation: u64, _queue_len: usize) {
+        self.summary.invocations += 1;
+    }
+
+    fn on_job_started(&mut self, start: &JobStart<'_>) {
+        let job = start.job;
+        self.summary.started += 1;
+        self.wait_sum += start.now - job.submit;
+        if job.runtime >= self.slowdown_min_runtime {
+            let response = start.now + job.runtime - job.submit;
+            self.slowdown_sum += response / job.runtime.max(f64::MIN_POSITIVE);
+            self.summary.slowdown_jobs += 1;
+        }
+        match start.reason {
+            StartReason::Policy => self.summary.by_policy += 1,
+            StartReason::Backfill => self.summary.by_backfill += 1,
+            StartReason::Starvation => self.summary.by_starvation += 1,
+        }
+        self.summary.wasted_ssd_gb += start.wasted_ssd_gb;
+    }
+
+    fn on_job_finished(&mut self, now: f64, _job: &Job, _d: &bbsched_core::problem::JobDemand) {
+        self.summary.finished += 1;
+        self.summary.makespan = self.summary.makespan.max(now);
+    }
+
+    fn on_backfill_pass(&mut self, _now: f64, _algorithm: &'static str, started: usize) {
+        self.summary.backfill_credited += started;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::{MeasurementWindow, MethodSummary};
+    use bbsched_policies::{GaParams, PolicyKind};
+    use bbsched_sim::{SimConfig, Simulator};
+    use bbsched_workloads::{generate, GeneratorConfig, MachineProfile};
+
+    /// The live tally and the post-hoc record summary must agree exactly
+    /// on whole-run aggregates: they observe the same engine.
+    #[test]
+    fn live_tally_matches_record_summary() {
+        let profile = MachineProfile::cori().scaled(0.05);
+        let trace = generate(
+            &profile,
+            &GeneratorConfig { n_jobs: 70, seed: 5, load_factor: 1.3, ..Default::default() },
+        );
+        let min_runtime = 60.0;
+        let mut tally = LiveTally::with_slowdown_floor(min_runtime);
+        let sim = Simulator::new(&profile.system, &trace, SimConfig::default()).unwrap();
+        let ga = GaParams { generations: 15, ..GaParams::default() };
+        let result = sim.run_observed(PolicyKind::BbSched.build(ga), &mut [&mut tally]);
+
+        let window =
+            MeasurementWindow { slowdown_min_runtime: min_runtime, ..MeasurementWindow::full() };
+        let posthoc = MethodSummary::from_result(&result, window);
+        let live = tally.summary();
+
+        assert_eq!(live.started, result.records.len());
+        assert_eq!(live.finished, result.records.len());
+        assert_eq!(live.invocations, result.invocations);
+        assert_eq!(live.makespan, result.makespan);
+        assert_eq!(live.backfill_credited, result.backfilled);
+        assert_eq!(live.by_starvation, result.starvation_forced);
+        assert!((live.avg_wait - posthoc.avg_wait).abs() < 1e-9);
+        assert!((live.avg_slowdown - posthoc.avg_slowdown).abs() < 1e-9);
+        let by_reason_total = live.by_policy + live.by_backfill + live.by_starvation;
+        assert_eq!(by_reason_total, live.started);
+        let wasted: f64 = result.records.iter().map(|r| r.wasted_ssd_gb).sum();
+        assert!((live.wasted_ssd_gb - wasted).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mid_run_summary_is_consistent() {
+        let mut tally = LiveTally::new();
+        let job = Job::new(1, 10.0, 2, 100.0, 200.0);
+        tally.on_job_started(&JobStart {
+            now: 40.0,
+            job: &job,
+            demand: bbsched_core::problem::JobDemand::cpu_bb(2, 0.0),
+            assignment: bbsched_core::pools::NodeAssignment::default(),
+            wasted_ssd_gb: 0.0,
+            est_end: 240.0,
+            reason: StartReason::Policy,
+        });
+        let s = tally.summary();
+        assert_eq!(s.started, 1);
+        assert_eq!(s.finished, 0);
+        assert_eq!(s.avg_wait, 30.0);
+        // Response 130 over runtime 100.
+        assert!((s.avg_slowdown - 1.3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,262 @@
+//! The allocation ledger: resource accounting with conservation checks.
+//!
+//! Wraps [`PoolState`] with the bookkeeping the engine needs around it —
+//! which jobs hold allocations, their capacity-clamped demands and node
+//! assignments, and their estimated completion times — and asserts the
+//! conservation laws the monolithic loop used to rely on implicitly:
+//! every allocation is eventually freed, free capacity never goes
+//! negative, and never exceeds total capacity.
+//!
+//! The ledger also maintains the running set **incrementally sorted by
+//! `(est_end, index)`**. The EASY shadow computation and the conservative
+//! availability profile both need the running jobs in estimated-completion
+//! order; the old loop rebuilt and re-sorted that list from a `HashMap` on
+//! every use, which [`crate::backfill`] now avoids by iterating
+//! [`AllocLedger::release_order`] directly.
+
+use bbsched_core::pools::{NodeAssignment, PoolState};
+use bbsched_core::problem::JobDemand;
+use std::collections::{BTreeSet, HashMap};
+
+/// Slack tolerated in floating-point conservation checks (GB / nodes).
+const CONSERVE_EPS: f64 = 1e-6;
+
+/// One running job's ledger entry.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RunningJob {
+    /// Estimated completion (`start + walltime`) — what a production
+    /// scheduler would plan with.
+    pub est_end: f64,
+    /// Allocated (clamped) demand.
+    pub demand: JobDemand,
+    /// Node split across per-node flavour pools.
+    pub assignment: NodeAssignment,
+}
+
+/// `f64` ordered by `total_cmp` so it can key a [`BTreeSet`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct OrdTime(f64);
+
+impl Eq for OrdTime {}
+
+impl Ord for OrdTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl PartialOrd for OrdTime {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Resource accounting for the engine: a [`PoolState`] plus the running
+/// set, with alloc/free conservation asserted at every transition.
+#[derive(Clone, Debug)]
+pub struct AllocLedger {
+    pool: PoolState,
+    capacity: PoolState,
+    running: HashMap<usize, RunningJob>,
+    /// Running jobs keyed by `(est_end, index)` — the release order.
+    by_est_end: BTreeSet<(OrdTime, usize)>,
+    allocs: u64,
+    frees: u64,
+}
+
+impl AllocLedger {
+    /// A ledger over a fully free pool.
+    pub fn new(pool: PoolState) -> Self {
+        Self {
+            pool,
+            capacity: pool,
+            running: HashMap::new(),
+            by_est_end: BTreeSet::new(),
+            allocs: 0,
+            frees: 0,
+        }
+    }
+
+    /// The current free state (for fit queries and policy availability).
+    pub fn pool(&self) -> &PoolState {
+        &self.pool
+    }
+
+    /// Whether `d` fits the free state right now.
+    pub fn fits(&self, d: &JobDemand) -> bool {
+        self.pool.fits(d)
+    }
+
+    /// Number of running jobs.
+    pub fn running_count(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Whether nothing is running.
+    pub fn is_idle(&self) -> bool {
+        self.running.is_empty()
+    }
+
+    /// The ledger entry of running job `idx`.
+    pub fn get(&self, idx: usize) -> Option<&RunningJob> {
+        self.running.get(&idx)
+    }
+
+    /// Total allocations and frees performed (diagnostic; a drained ledger
+    /// has equal counts).
+    pub fn churn(&self) -> (u64, u64) {
+        (self.allocs, self.frees)
+    }
+
+    /// Allocates `demand` for job `idx`, recording `est_end` as its
+    /// estimated completion. Returns the node assignment.
+    ///
+    /// # Panics
+    /// Panics if the demand does not fit (callers must check
+    /// [`AllocLedger::fits`] first — the engine never speculates) or if
+    /// `idx` is already running.
+    pub fn start(&mut self, idx: usize, demand: JobDemand, est_end: f64) -> NodeAssignment {
+        assert!(self.pool.fits(&demand), "allocation without a fit check (job index {idx})");
+        let assignment = self.pool.alloc(&demand);
+        let prev = self.running.insert(idx, RunningJob { est_end, demand, assignment });
+        assert!(prev.is_none(), "job index {idx} started twice");
+        self.by_est_end.insert((OrdTime(est_end), idx));
+        self.allocs += 1;
+        self.debug_check();
+        assignment
+    }
+
+    /// Frees job `idx`'s allocation, returning its ledger entry.
+    ///
+    /// # Panics
+    /// Panics if `idx` is not running (a finish event for a job the ledger
+    /// never started would silently corrupt the pool otherwise).
+    pub fn finish(&mut self, idx: usize) -> RunningJob {
+        let entry = self.running.remove(&idx).expect("finish for job not running");
+        self.by_est_end.remove(&(OrdTime(entry.est_end), idx));
+        self.pool.free(&entry.demand, entry.assignment);
+        self.frees += 1;
+        self.debug_check();
+        entry
+    }
+
+    /// Running jobs in `(est_end, index)` order — the deterministic
+    /// release schedule the backfill phase plans against. No sorting
+    /// happens here; the order is maintained incrementally.
+    pub fn release_order(&self) -> impl Iterator<Item = (usize, &RunningJob)> + '_ {
+        self.by_est_end.iter().map(move |&(_, idx)| {
+            (idx, self.running.get(&idx).expect("release order desynchronized"))
+        })
+    }
+
+    /// The release schedule as `(est_end, demand, assignment)` tuples, the
+    /// shape [`crate::AvailabilityProfile::new`] consumes.
+    pub fn release_schedule(&self) -> Vec<(f64, JobDemand, NodeAssignment)> {
+        self.release_order().map(|(_, r)| (r.est_end, r.demand, r.assignment)).collect()
+    }
+
+    /// Asserts the conservation invariants (always, not just in debug):
+    /// free capacity of every resource is within `[0, capacity]`.
+    pub fn assert_conserved(&self) {
+        for r in 0..self.pool.num_resources() {
+            let free = self.pool.free_of(r);
+            let cap = self.capacity.free_of(r);
+            assert!(
+                free >= -CONSERVE_EPS && free <= cap + CONSERVE_EPS,
+                "resource {r} free {free} outside [0, {cap}]"
+            );
+        }
+    }
+
+    /// Asserts the ledger drained cleanly: no job still holds resources
+    /// and the pool is back to full capacity (every allocation was freed).
+    pub fn assert_drained(&self) {
+        assert!(self.running.is_empty(), "{} jobs never finished", self.running.len());
+        assert!(self.by_est_end.is_empty(), "release order desynchronized at drain");
+        assert_eq!(self.allocs, self.frees, "alloc/free counts diverge");
+        for r in 0..self.pool.num_resources() {
+            let free = self.pool.free_of(r);
+            let cap = self.capacity.free_of(r);
+            assert!(
+                (free - cap).abs() <= CONSERVE_EPS,
+                "resource {r} leaked: free {free} != capacity {cap}"
+            );
+        }
+    }
+
+    fn debug_check(&self) {
+        debug_assert_eq!(self.running.len(), self.by_est_end.len());
+        #[cfg(debug_assertions)]
+        self.assert_conserved();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn start_finish_roundtrip_conserves() {
+        let mut ledger = AllocLedger::new(PoolState::cpu_bb(10, 100.0));
+        let d = JobDemand::cpu_bb(4, 30.0);
+        let asn = ledger.start(7, d, 50.0);
+        assert_eq!(ledger.pool().nodes(), 6);
+        assert_eq!(ledger.pool().bb_gb(), 70.0);
+        assert_eq!(ledger.running_count(), 1);
+        ledger.assert_conserved();
+        let entry = ledger.finish(7);
+        assert_eq!(entry.assignment, asn);
+        assert_eq!(entry.demand, d);
+        ledger.assert_drained();
+    }
+
+    #[test]
+    fn release_order_is_est_end_then_index() {
+        let mut ledger = AllocLedger::new(PoolState::cpu_bb(100, 0.0));
+        let d = JobDemand::cpu_bb(1, 0.0);
+        ledger.start(5, d, 30.0);
+        ledger.start(2, d, 10.0);
+        ledger.start(9, d, 10.0);
+        ledger.start(1, d, 20.0);
+        let order: Vec<usize> = ledger.release_order().map(|(i, _)| i).collect();
+        assert_eq!(order, vec![2, 9, 1, 5]);
+        ledger.finish(9);
+        let order: Vec<usize> = ledger.release_order().map(|(i, _)| i).collect();
+        assert_eq!(order, vec![2, 1, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fit check")]
+    fn oversubscription_panics() {
+        let mut ledger = AllocLedger::new(PoolState::cpu_bb(2, 0.0));
+        ledger.start(0, JobDemand::cpu_bb(3, 0.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not running")]
+    fn double_free_panics() {
+        let mut ledger = AllocLedger::new(PoolState::cpu_bb(2, 0.0));
+        ledger.start(0, JobDemand::cpu_bb(1, 0.0), 1.0);
+        ledger.finish(0);
+        ledger.finish(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "never finished")]
+    fn leak_detected_at_drain() {
+        let mut ledger = AllocLedger::new(PoolState::cpu_bb(2, 0.0));
+        ledger.start(0, JobDemand::cpu_bb(1, 0.0), 1.0);
+        ledger.assert_drained();
+    }
+
+    #[test]
+    fn ssd_flavour_pools_conserve() {
+        let mut ledger = AllocLedger::new(PoolState::with_ssd(4, 4, 1_000.0));
+        let d = JobDemand::cpu_bb_ssd(2, 100.0, 200.0);
+        ledger.start(0, d, 5.0);
+        assert_eq!(ledger.pool().nodes_256(), 2);
+        ledger.assert_conserved();
+        ledger.finish(0);
+        ledger.assert_drained();
+    }
+}

@@ -1,0 +1,538 @@
+//! Backfilling: the engine's hole-filling phase, as a strategy family.
+//!
+//! The paper's experiments run **EASY** backfilling (§2.1: reserve for the
+//! first blocked job only); the simulator also ships **conservative**
+//! backfilling (every blocked candidate gets a reservation on a
+//! future-availability profile). Both are implementations of
+//! [`BackfillStrategy`], invoked by the engine once per scheduling
+//! invocation after starvation forcing and policy selection; plan-based
+//! disciplines in the style of Kopanski & Rzadca can slot in as further
+//! implementations without touching the event loop.
+//!
+//! A strategy sees the invocation through a [`BackfillCtx`]: the waiting
+//! candidates (already scoped to window or queue by the engine), the
+//! blocked reservation head if the starvation phase produced one, fit
+//! queries against the live pool, and [`BackfillCtx::start`] to dispatch a
+//! job. `start(idx, credited)` distinguishes jobs the strategy *credits*
+//! as backfilled from queue-head starts that merely consumed freed
+//! capacity — the paper's `backfilled` accounting counts only the former.
+//!
+//! This module also owns the EASY reservation math
+//! ([`shadow_and_leftover`]) and the piecewise-constant
+//! [`AvailabilityProfile`] behind conservative backfilling. Both plan
+//! against the allocation ledger's incrementally maintained
+//! estimated-completion order ([`AllocLedger::release_order`]) instead of
+//! rebuilding and re-sorting the running list per call, which is what made
+//! the monolithic loop's backfill phase quadratic on busy systems.
+
+use crate::alloc::AllocLedger;
+use bbsched_core::pools::{NodeAssignment, PoolState};
+use bbsched_core::problem::JobDemand;
+
+/// Tolerance for "finishes before the shadow time" comparisons.
+pub(crate) const TIME_EPS: f64 = 1e-6;
+
+/// EASY reservation math: the *shadow time* at which `head` could start if
+/// nothing new ran past it (walltime estimates of running jobs, as a real
+/// scheduler would use), and the *leftover* resources at that instant
+/// beyond the head's claim. Anything fitting inside the leftover can run
+/// arbitrarily long without delaying the head.
+pub fn shadow_and_leftover(ledger: &AllocLedger, head: &JobDemand, now: f64) -> (f64, PoolState) {
+    let pool = ledger.pool();
+    if pool.fits(head) {
+        let mut leftover = *pool;
+        let _ = leftover.alloc(head);
+        return (now, leftover);
+    }
+    // Walk the release schedule in (est_end, index) order — maintained
+    // incrementally by the ledger, so no per-call rebuild or sort.
+    let mut future = *pool;
+    for (_, r) in ledger.release_order() {
+        future.free(&r.demand, r.assignment);
+        if future.fits(head) {
+            let mut leftover = future;
+            let _ = leftover.alloc(head);
+            return (r.est_end, leftover);
+        }
+    }
+    // The head can never fit — impossible once demands are clamped to
+    // capacity; be safe in release builds anyway.
+    debug_assert!(false, "unschedulable head survived clamping");
+    (f64::INFINITY, PoolState::cpu_bb(0, 0.0))
+}
+
+/// One invocation's view of the engine, handed to a [`BackfillStrategy`].
+///
+/// Constructed by the engine; the mutable surface is exactly
+/// [`BackfillCtx::start`], so a strategy cannot corrupt accounting — every
+/// dispatch goes through the allocation ledger and the observers.
+pub struct BackfillCtx<'e, 'o> {
+    pub(crate) now: f64,
+    pub(crate) waiting: &'e [usize],
+    pub(crate) blocked_head: Option<usize>,
+    pub(crate) max_scan: usize,
+    pub(crate) core: &'e mut crate::engine::Core<'o>,
+}
+
+impl<'e> BackfillCtx<'e, '_> {
+    /// The invocation's simulation time.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Candidate job indices in priority order (window- or queue-scoped
+    /// per [`crate::BackfillScope`], jobs already started this invocation
+    /// filtered out at scoping time).
+    pub fn waiting(&self) -> &'e [usize] {
+        self.waiting
+    }
+
+    /// The starved job that could not start and owns the reservation, if
+    /// the starvation phase produced one.
+    pub fn blocked_head(&self) -> Option<usize> {
+        self.blocked_head
+    }
+
+    /// Maximum candidates the strategy may examine.
+    pub fn max_scan(&self) -> usize {
+        self.max_scan
+    }
+
+    /// Whether job `idx` already started in this invocation.
+    pub fn is_started(&self, idx: usize) -> bool {
+        self.core.started.contains(&idx)
+    }
+
+    /// The capacity-clamped demand of job `idx`.
+    pub fn demand(&self, idx: usize) -> JobDemand {
+        self.core.demands[idx]
+    }
+
+    /// The requested walltime of job `idx` (seconds, as submitted).
+    pub fn walltime(&self, idx: usize) -> f64 {
+        self.core.jobs[idx].walltime
+    }
+
+    /// The live free state.
+    pub fn pool(&self) -> &PoolState {
+        self.core.ledger.pool()
+    }
+
+    /// Whether job `idx` fits the free state right now.
+    pub fn fits_now(&self, idx: usize) -> bool {
+        self.core.ledger.fits(&self.core.demands[idx])
+    }
+
+    /// Shadow time and leftover state for `head_idx` (see
+    /// [`shadow_and_leftover`]).
+    pub fn shadow_and_leftover(&self, head_idx: usize) -> (f64, PoolState) {
+        shadow_and_leftover(&self.core.ledger, &self.core.demands[head_idx], self.now)
+    }
+
+    /// The running jobs' `(est_end, demand, assignment)` release schedule
+    /// in deterministic `(est_end, index)` order — what
+    /// [`AvailabilityProfile::new`] consumes.
+    pub fn release_schedule(&self) -> Vec<(f64, JobDemand, NodeAssignment)> {
+        self.core.ledger.release_schedule()
+    }
+
+    /// Starts job `idx` now with [`crate::StartReason::Backfill`].
+    ///
+    /// `credited` controls the run's `backfilled` counter: pass `true`
+    /// for genuine backfill moves (the job jumped ahead using a hole),
+    /// `false` for queue-head starts that simply consumed freed capacity.
+    ///
+    /// # Panics
+    /// Panics if the job does not fit the free state (strategies must
+    /// check first) or already started.
+    pub fn start(&mut self, idx: usize, credited: bool) {
+        self.core.start_job(idx, self.now, crate::record::StartReason::Backfill);
+        if credited {
+            self.core.backfill_credit += 1;
+        }
+    }
+}
+
+/// A pluggable backfilling discipline.
+///
+/// Called once per scheduling invocation, after the starvation and policy
+/// phases. The strategy may start any not-yet-started candidate from
+/// [`BackfillCtx::waiting`] (plus the blocked head), subject to its own
+/// no-delay rules; the engine handles all bookkeeping around it.
+pub trait BackfillStrategy: Send {
+    /// Display name (observer callbacks carry it).
+    fn name(&self) -> &'static str;
+
+    /// Runs one backfill pass.
+    fn pass(&mut self, ctx: &mut BackfillCtx<'_, '_>);
+}
+
+/// EASY backfilling (§2.1, the paper's choice): reserve for the first
+/// blocked job only; a candidate may start now if it finishes before the
+/// head's shadow time or fits inside the head's leftover.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EasyBackfill;
+
+impl BackfillStrategy for EasyBackfill {
+    fn name(&self) -> &'static str {
+        "EASY"
+    }
+
+    fn pass(&mut self, ctx: &mut BackfillCtx<'_, '_>) {
+        let waiting = ctx.waiting();
+        // Start any fitting head outright (covers policies that left a
+        // fitting job behind and the queue-front after backfill frees);
+        // stop at the first job that does not fit — it becomes the
+        // reservation head. A starved blocked job owns the reservation
+        // regardless of queue position.
+        let mut head: Option<usize> = None;
+        let mut cursor = 0usize;
+        while cursor < waiting.len() {
+            let idx = waiting[cursor];
+            if let Some(b) = ctx.blocked_head() {
+                head = Some(b);
+                break;
+            }
+            if ctx.is_started(idx) {
+                cursor += 1;
+                continue;
+            }
+            if ctx.fits_now(idx) {
+                // Not credited: the queue head starting on freed capacity
+                // is ordinary dispatch, not a backfill move.
+                ctx.start(idx, false);
+                cursor += 1;
+            } else {
+                head = Some(idx);
+                break;
+            }
+        }
+
+        let Some(head_idx) = head else { return };
+        let (shadow, mut leftover) = ctx.shadow_and_leftover(head_idx);
+        for (scanned, &idx) in waiting.iter().enumerate() {
+            if scanned >= ctx.max_scan() {
+                break;
+            }
+            if ctx.is_started(idx) || idx == head_idx {
+                continue;
+            }
+            let d = ctx.demand(idx);
+            if !ctx.pool().fits(&d) {
+                continue;
+            }
+            let ends_before_shadow = ctx.now() + ctx.walltime(idx) <= shadow + TIME_EPS;
+            if ends_before_shadow || leftover.fits(&d) {
+                if !ends_before_shadow {
+                    let _ = leftover.alloc(&d);
+                }
+                ctx.start(idx, true);
+            }
+        }
+    }
+}
+
+/// Conservative backfilling: every blocked candidate receives a
+/// reservation on a future-availability profile; a job starts now only if
+/// it delays none of the reservations ahead of it. Stronger fairness,
+/// fewer backfill opportunities.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ConservativeBackfill;
+
+impl BackfillStrategy for ConservativeBackfill {
+    fn name(&self) -> &'static str {
+        "conservative"
+    }
+
+    fn pass(&mut self, ctx: &mut BackfillCtx<'_, '_>) {
+        let mut profile = AvailabilityProfile::new(ctx.now(), *ctx.pool(), ctx.release_schedule());
+        // Reservations for everyone; the starved blocked job (if any)
+        // reserves first.
+        let mut ordered: Vec<usize> = Vec::with_capacity(ctx.waiting().len() + 1);
+        if let Some(b) = ctx.blocked_head() {
+            ordered.push(b);
+        }
+        ordered.extend(ctx.waiting().iter().copied().filter(|&i| Some(i) != ctx.blocked_head()));
+        for (scanned, idx) in ordered.into_iter().enumerate() {
+            if scanned >= ctx.max_scan() {
+                break;
+            }
+            if ctx.is_started(idx) {
+                continue;
+            }
+            let d = ctx.demand(idx);
+            let walltime = ctx.walltime(idx).max(1.0);
+            let t = profile.earliest_start(&d, ctx.now(), walltime);
+            if t <= ctx.now() + TIME_EPS && ctx.pool().fits(&d) {
+                ctx.start(idx, true);
+                // Consume from the profile's "now" segments too.
+                profile.reserve(&d, t, walltime);
+            } else if t.is_finite() {
+                profile.reserve(&d, t, walltime);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Future resource-availability profiles, the machinery behind conservative
+// backfilling (formerly `crate::profile`).
+// ---------------------------------------------------------------------------
+
+/// A piecewise-constant view of free resources from "now" to infinity.
+///
+/// Built from the running jobs' estimated completions and updated as
+/// reservations are placed. The profile tracks every resource the pool
+/// registers — nodes, shared burst buffer, heterogeneous per-node flavour
+/// pools, and any extra pooled resources. Per-node assignments within a
+/// future segment use the same greedy smallest-sufficient-flavour rule as
+/// live allocation; because reservations are capacity bookkeeping (not
+/// placements), per-segment re-assignment is the standard conservative
+/// approximation.
+///
+/// Invariant: `times` is strictly increasing, `times[0]` is the profile's
+/// origin ("now"), and `states[i]` holds on `[times[i], times[i+1])`
+/// (the last state holds forever).
+#[derive(Clone, Debug)]
+pub struct AvailabilityProfile {
+    times: Vec<f64>,
+    states: Vec<PoolState>,
+}
+
+impl AvailabilityProfile {
+    /// Builds the profile from the current free state and the estimated
+    /// completion times of running jobs. `releases` is a list of
+    /// `(est_end, demand, assignment)` tuples; order does not matter.
+    pub fn new(
+        now: f64,
+        pool: PoolState,
+        releases: impl IntoIterator<Item = (f64, JobDemand, NodeAssignment)>,
+    ) -> Self {
+        let mut rel: Vec<(f64, JobDemand, NodeAssignment)> =
+            releases.into_iter().map(|(t, d, asn)| (t.max(now), d, asn)).collect();
+        rel.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+        let mut times = vec![now];
+        let mut states = vec![pool];
+        for (t, d, asn) in rel {
+            let last = *states.last().expect("profile never empty");
+            let mut next = last;
+            next.free(&d, asn);
+            if (t - *times.last().unwrap()).abs() < 1e-12 {
+                *states.last_mut().unwrap() = next;
+            } else {
+                times.push(t);
+                states.push(next);
+            }
+        }
+        Self { times, states }
+    }
+
+    /// Number of segments (diagnostic).
+    pub fn segments(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Free state at time `t` (clamped to the profile's origin).
+    pub fn state_at(&self, t: f64) -> PoolState {
+        let idx = match self.times.binary_search_by(|x| x.total_cmp(&t)) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        };
+        self.states[idx]
+    }
+
+    /// Whether `d` fits everywhere on `[start, start + duration)`.
+    pub fn fits_interval(&self, d: &JobDemand, start: f64, duration: f64) -> bool {
+        let end = start + duration;
+        // Check the segment containing `start` and every boundary in range.
+        if !self.state_at(start).fits(d) {
+            return false;
+        }
+        for (i, &t) in self.times.iter().enumerate() {
+            if t > start && t < end && !self.states[i].fits(d) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Earliest time `>= from` at which `d` fits for `duration`. Candidate
+    /// instants are `from` and the profile's breakpoints (free resources
+    /// only ever *increase* at breakpoints built from releases, but
+    /// reservations can carve arbitrary shapes, so every breakpoint is
+    /// tried). Returns `f64::INFINITY` if it never fits.
+    pub fn earliest_start(&self, d: &JobDemand, from: f64, duration: f64) -> f64 {
+        if self.fits_interval(d, from, duration) {
+            return from;
+        }
+        for (i, &t) in self.times.iter().enumerate() {
+            if t > from && self.states[i].fits(d) && self.fits_interval(d, t, duration) {
+                return t;
+            }
+        }
+        f64::INFINITY
+    }
+
+    /// Carves a reservation for `d` over `[start, start + duration)`.
+    ///
+    /// # Panics
+    /// Panics (debug) if the demand does not fit the interval.
+    pub fn reserve(&mut self, d: &JobDemand, start: f64, duration: f64) {
+        debug_assert!(self.fits_interval(d, start, duration), "reserve without fit check");
+        let end = start + duration;
+        self.split_at(start);
+        self.split_at(end);
+        for i in 0..self.times.len() {
+            let seg_start = self.times[i];
+            if seg_start >= end {
+                break;
+            }
+            let seg_end = self.times.get(i + 1).copied().unwrap_or(f64::INFINITY);
+            if seg_end <= start {
+                continue;
+            }
+            // Segment overlaps the reservation: subtract.
+            let state = &mut self.states[i];
+            debug_assert!(state.fits(d));
+            let _ = state.alloc(d);
+        }
+    }
+
+    /// Ensures `t` is a breakpoint (no-op if it already is or precedes the
+    /// origin; infinite times are ignored).
+    fn split_at(&mut self, t: f64) {
+        if !t.is_finite() || t <= self.times[0] {
+            return;
+        }
+        match self.times.binary_search_by(|x| x.total_cmp(&t)) {
+            Ok(_) => {}
+            Err(i) => {
+                let state = self.states[i - 1];
+                self.times.insert(i, t);
+                self.states.insert(i, state);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(nodes: u32, bb: f64) -> JobDemand {
+        JobDemand::cpu_bb(nodes, bb)
+    }
+
+    fn release(t: f64, nodes: u32, bb: f64) -> (f64, JobDemand, NodeAssignment) {
+        (t, d(nodes, bb), NodeAssignment::two_tier(0, nodes))
+    }
+
+    #[test]
+    fn shadow_math_uses_ledger_release_order() {
+        let mut ledger = AllocLedger::new(PoolState::cpu_bb(10, 100.0));
+        ledger.start(0, d(6, 0.0), 100.0);
+        ledger.start(1, d(4, 50.0), 40.0);
+        // Head needs 8 nodes: free now 0; at t=40, 4 nodes; at t=100, 10.
+        let (shadow, leftover) = shadow_and_leftover(&ledger, &d(8, 0.0), 5.0);
+        assert_eq!(shadow, 100.0);
+        assert_eq!(leftover.nodes(), 2);
+        // Head fits now -> shadow is "now".
+        ledger.finish(0);
+        let (shadow, _) = shadow_and_leftover(&ledger, &d(5, 0.0), 5.0);
+        assert_eq!(shadow, 5.0);
+    }
+
+    #[test]
+    fn profile_accumulates_releases() {
+        let pool = PoolState::cpu_bb(4, 10.0); // 4 free now
+        let p = AvailabilityProfile::new(
+            0.0,
+            pool,
+            vec![release(10.0, 4, 20.0), release(20.0, 2, 0.0)],
+        );
+        assert_eq!(p.segments(), 3);
+        assert_eq!(p.state_at(0.0).nodes(), 4);
+        assert_eq!(p.state_at(10.0).nodes(), 8);
+        assert_eq!(p.state_at(25.0).nodes(), 10);
+        assert_eq!(p.state_at(25.0).bb_gb(), 30.0);
+    }
+
+    #[test]
+    fn simultaneous_releases_merge() {
+        let p = AvailabilityProfile::new(
+            0.0,
+            PoolState::cpu_bb(0, 0.0),
+            vec![release(5.0, 1, 0.0), release(5.0, 2, 0.0)],
+        );
+        assert_eq!(p.segments(), 2);
+        assert_eq!(p.state_at(5.0).nodes(), 3);
+    }
+
+    #[test]
+    fn earliest_start_waits_for_capacity() {
+        let p =
+            AvailabilityProfile::new(0.0, PoolState::cpu_bb(2, 0.0), vec![release(10.0, 6, 0.0)]);
+        assert_eq!(p.earliest_start(&d(2, 0.0), 0.0, 100.0), 0.0);
+        assert_eq!(p.earliest_start(&d(5, 0.0), 0.0, 100.0), 10.0);
+        assert_eq!(p.earliest_start(&d(50, 0.0), 0.0, 100.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn reservation_blocks_the_interval() {
+        let mut p =
+            AvailabilityProfile::new(0.0, PoolState::cpu_bb(4, 10.0), vec![release(10.0, 4, 0.0)]);
+        // Reserve all 4 current nodes for [0, 30).
+        p.reserve(&d(4, 5.0), 0.0, 30.0);
+        assert_eq!(p.state_at(0.0).nodes(), 0);
+        assert_eq!(p.state_at(15.0).nodes(), 4, "release at 10 still counted");
+        assert_eq!(p.state_at(30.0).nodes(), 8, "reservation ends at 30");
+        // A 4-node job now has to wait until t=10.
+        assert_eq!(p.earliest_start(&d(4, 0.0), 0.0, 5.0), 10.0);
+    }
+
+    #[test]
+    fn fits_interval_checks_interior_boundaries() {
+        let mut p = AvailabilityProfile::new(0.0, PoolState::cpu_bb(8, 0.0), vec![]);
+        // Reservation in the middle of a candidate interval.
+        p.reserve(&d(6, 0.0), 10.0, 10.0);
+        assert!(p.fits_interval(&d(4, 0.0), 0.0, 10.0));
+        assert!(!p.fits_interval(&d(4, 0.0), 0.0, 15.0), "collides with [10,20)");
+        assert!(p.fits_interval(&d(2, 0.0), 0.0, 100.0));
+    }
+
+    #[test]
+    fn ssd_pools_tracked_through_profile() {
+        let pool = PoolState::with_ssd(1, 1, 100.0);
+        let big = JobDemand::cpu_bb_ssd(1, 0.0, 200.0);
+        let p = AvailabilityProfile::new(
+            0.0,
+            pool,
+            vec![(5.0, JobDemand::cpu_bb_ssd(2, 0.0, 200.0), NodeAssignment::two_tier(0, 2))],
+        );
+        // One 256 node free now; three at t=5.
+        assert!(p.fits_interval(&big, 0.0, 1.0));
+        let three = JobDemand::cpu_bb_ssd(3, 0.0, 200.0);
+        assert_eq!(p.earliest_start(&three, 0.0, 1.0), 5.0);
+    }
+
+    #[test]
+    fn conservative_chain_of_reservations() {
+        // Classic scenario: 10 nodes; running job frees at t=10.
+        let mut p =
+            AvailabilityProfile::new(0.0, PoolState::cpu_bb(2, 0.0), vec![release(10.0, 8, 0.0)]);
+        // Head job needs 10 nodes -> reserved at t=10 for 20.
+        let head = d(10, 0.0);
+        let t = p.earliest_start(&head, 0.0, 20.0);
+        assert_eq!(t, 10.0);
+        p.reserve(&head, t, 20.0);
+        // Second job (2 nodes, long): can start now ONLY if it ends by 10.
+        assert_eq!(p.earliest_start(&d(2, 0.0), 0.0, 5.0), 0.0);
+        assert_eq!(
+            p.earliest_start(&d(2, 0.0), 0.0, 50.0),
+            30.0,
+            "long job must queue behind the head's reservation"
+        );
+    }
+}

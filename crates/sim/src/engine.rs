@@ -1,0 +1,498 @@
+//! The discrete-event engine: the scheduling loop, and nothing else.
+//!
+//! [`Engine`] owns the mechanics that used to live in one monolithic
+//! `Simulator::run`: the event loop, the waiting queue
+//! ([`crate::QueueManager`]), resource accounting
+//! ([`crate::AllocLedger`]), and the per-invocation phase sequence. What
+//! it deliberately does *not* own:
+//!
+//! * **trace storage** — arrivals stream in through any iterator of
+//!   [`Arrival`]s sorted by submit time, so multi-day traces never need to
+//!   be fully materialized;
+//! * **result collection** — everything observable flows out through
+//!   [`crate::SimObserver`] callbacks ([`crate::Recorder`] rebuilds the
+//!   classic [`crate::SimResult`]);
+//! * **backfilling policy** — a [`crate::BackfillStrategy`] object.
+//!
+//! Every arrival and completion triggers a *scheduling invocation*:
+//!
+//! 1. the base scheduler establishes queue priority order (§2.1);
+//! 2. the window (§3.1) is filled with the highest-priority jobs whose
+//!    dependencies are complete;
+//! 3. jobs past the starvation bound are force-started (or, if they no
+//!    longer fit, become the reservation head so nothing delays them);
+//! 4. the multi-resource selection policy picks window jobs to start;
+//! 5. the backfill strategy starts any remaining candidate that fits now
+//!    without delaying the reservation head, using *walltime estimates*
+//!    exactly like a production scheduler;
+//! 6. starvation bookkeeping and queue cleanup.
+//!
+//! Events at the same instant are drained as one batch before the
+//! invocation runs, so the schedule depends only on the set of
+//! same-instant events, never on their internal order.
+
+use crate::alloc::AllocLedger;
+use crate::backfill::{BackfillCtx, BackfillStrategy};
+use crate::observer::{JobStart, SimObserver};
+use crate::record::StartReason;
+use crate::simulator::{BackfillScope, SimConfig};
+use bbsched_core::problem::JobDemand;
+use bbsched_core::window::{fill_window, StarvationTracker};
+use bbsched_policies::SelectionPolicy;
+use bbsched_workloads::{Job, SystemConfig};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// One job entering the simulation: the trace job plus its
+/// capacity-clamped demand ([`crate::Simulator::new`] computes the
+/// clamping; standalone engine users supply their own).
+#[derive(Clone, Debug)]
+pub struct Arrival {
+    /// The job as submitted.
+    pub job: Job,
+    /// The demand the engine will allocate (must fit total capacity).
+    pub demand: JobDemand,
+}
+
+/// A completion event. Arrivals are not events — they stream from the
+/// arrival iterator; only finishes need the heap.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) struct Event {
+    time: f64,
+    seq: u64,
+    idx: usize,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.total_cmp(&other.time).then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// What the engine reports when the event loop runs dry. Everything
+/// richer (records, counters, metrics) comes through observers.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EngineSummary {
+    /// Latest completion time seen.
+    pub makespan: f64,
+    /// Number of scheduling invocations executed.
+    pub invocations: u64,
+    /// Number of jobs that arrived (and, absent dependency cycles, ran).
+    pub jobs: usize,
+}
+
+/// Mutable state shared between the engine and the backfill phase: the
+/// job/demand tables, the allocation ledger, the completion-event heap,
+/// and the observer set. Split out so [`BackfillCtx`] can borrow it while
+/// the engine keeps hold of the queue and tracker.
+pub(crate) struct Core<'o> {
+    pub(crate) jobs: Vec<Job>,
+    pub(crate) demands: Vec<JobDemand>,
+    pub(crate) ledger: AllocLedger,
+    pub(crate) events: BinaryHeap<Reverse<Event>>,
+    pub(crate) seq: u64,
+    pub(crate) observers: Vec<&'o mut dyn SimObserver>,
+    /// Jobs started during the current invocation.
+    pub(crate) started: HashSet<usize>,
+    /// Backfill starts the strategy credited this pass (see
+    /// [`BackfillCtx::start`]).
+    pub(crate) backfill_credit: usize,
+}
+
+impl Core<'_> {
+    fn notify(&mut self, mut f: impl FnMut(&mut dyn SimObserver)) {
+        for o in self.observers.iter_mut() {
+            f(*o);
+        }
+    }
+
+    /// Allocates, schedules the completion event, and notifies observers.
+    /// The single funnel every phase starts jobs through.
+    pub(crate) fn start_job(&mut self, idx: usize, now: f64, reason: StartReason) {
+        let job = &self.jobs[idx];
+        let demand = self.demands[idx];
+        let est_end = now + job.walltime;
+        let assignment = self.ledger.start(idx, demand, est_end);
+        let end = now + job.runtime;
+        self.events.push(Reverse(Event { time: end, seq: self.seq, idx }));
+        self.seq += 1;
+        let wasted_ssd_gb = self.ledger.pool().wasted_capacity_gb(&demand, &assignment);
+        let start = JobStart {
+            now,
+            job: &self.jobs[idx],
+            demand,
+            assignment,
+            wasted_ssd_gb,
+            est_end,
+            reason,
+        };
+        for o in self.observers.iter_mut() {
+            o.on_job_started(&start);
+        }
+        self.started.insert(idx);
+    }
+}
+
+/// The discrete-event scheduling engine. Construct with [`Engine::new`],
+/// drive with [`Engine::run`].
+pub struct Engine<'o> {
+    cfg: SimConfig,
+    core: Core<'o>,
+    queue: crate::queue::QueueManager,
+    backfill: Box<dyn BackfillStrategy>,
+    completed_ids: HashSet<u64>,
+    tracker: StarvationTracker,
+    invocations: u64,
+}
+
+impl<'o> Engine<'o> {
+    /// An engine over `system`'s resources with the given observers
+    /// attached. Fails on an invalid system or configuration.
+    pub fn new(
+        system: &SystemConfig,
+        cfg: SimConfig,
+        observers: Vec<&'o mut dyn SimObserver>,
+    ) -> Result<Self, crate::error::SimError> {
+        system.validate()?;
+        cfg.validate()?;
+        let queue = crate::queue::QueueManager::new(cfg.base);
+        let backfill = cfg.backfill_algorithm.strategy();
+        Ok(Self {
+            core: Core {
+                jobs: Vec::new(),
+                demands: Vec::new(),
+                ledger: AllocLedger::new(system.pool_state()),
+                events: BinaryHeap::new(),
+                seq: 0,
+                observers,
+                started: HashSet::new(),
+                backfill_credit: 0,
+            },
+            cfg,
+            queue,
+            backfill,
+            completed_ids: HashSet::new(),
+            tracker: StarvationTracker::new(),
+            invocations: 0,
+        })
+    }
+
+    /// Runs the simulation to completion: consumes `arrivals` (which MUST
+    /// be sorted by submit time — [`bbsched_workloads::Trace`] guarantees
+    /// this; streaming sources must too) and drains every completion.
+    ///
+    /// # Panics
+    /// Panics if arrivals regress in time, or (via the ledger) on any
+    /// resource-conservation violation.
+    pub fn run(
+        mut self,
+        arrivals: impl IntoIterator<Item = Arrival>,
+        policy: &mut dyn SelectionPolicy,
+    ) -> EngineSummary {
+        let mut arrivals = arrivals.into_iter().peekable();
+        let mut last_submit = f64::NEG_INFINITY;
+        let mut makespan = 0.0f64;
+
+        loop {
+            // The next instant is the earlier of the next arrival and the
+            // next completion. Seqs order finishes after arrivals within
+            // an instant, matching the historical heap order; the batch
+            // drain makes within-instant order immaterial anyway.
+            let next_arrival = arrivals.peek().map(|a| a.job.submit);
+            let next_finish = self.core.events.peek().map(|Reverse(e)| e.time);
+            let now = match (next_arrival, next_finish) {
+                (None, None) => break,
+                (Some(a), None) => a,
+                (None, Some(f)) => f,
+                (Some(a), Some(f)) => a.min(f),
+            };
+
+            // Admit every arrival at this instant.
+            while arrivals.peek().is_some_and(|a| a.job.submit <= now) {
+                let a = arrivals.next().expect("peeked arrival vanished");
+                assert!(
+                    a.job.submit >= last_submit,
+                    "arrivals must be sorted by submit time (job {} at {} after {})",
+                    a.job.id,
+                    a.job.submit,
+                    last_submit
+                );
+                last_submit = a.job.submit;
+                let idx = self.core.jobs.len();
+                self.core.jobs.push(a.job);
+                self.core.demands.push(a.demand);
+                self.queue.push(idx, &self.core.jobs);
+            }
+
+            // Apply every completion at this instant.
+            while self.core.events.peek().is_some_and(|Reverse(e)| e.time <= now) {
+                let Reverse(ev) = self.core.events.pop().expect("peeked event vanished");
+                let entry = self.core.ledger.finish(ev.idx);
+                let job = &self.core.jobs[ev.idx];
+                self.completed_ids.insert(job.id);
+                makespan = makespan.max(now);
+                let start = self.core.observers.iter_mut();
+                for o in start {
+                    o.on_job_finished(now, &self.core.jobs[ev.idx], &entry.demand);
+                }
+            }
+
+            if self.queue.is_empty() {
+                continue;
+            }
+            self.invocations += 1;
+            self.invoke(now, policy);
+        }
+
+        self.core.ledger.assert_drained();
+        debug_assert!(
+            self.queue.is_empty(),
+            "{} jobs left waiting at drain (dependency cycle?)",
+            self.queue.len()
+        );
+        let invocations = self.invocations;
+        self.core.notify(|o| o.on_sim_end(makespan, invocations));
+        EngineSummary { makespan, invocations, jobs: self.core.jobs.len() }
+    }
+
+    /// One scheduling invocation: phases (1)–(6) from the module docs.
+    fn invoke(&mut self, now: f64, policy: &mut dyn SelectionPolicy) {
+        let invocation = self.invocations;
+        let queue_len = self.queue.len();
+        self.core.notify(|o| o.on_invocation_begin(now, invocation, queue_len));
+
+        // --- (1) base-scheduler priority order ---
+        self.queue.order(&self.core.jobs, now);
+
+        // --- (2) fill the window with dependency-satisfied jobs ---
+        let window_size =
+            self.cfg.dynamic_window.map(|d| d.size_for(queue_len)).unwrap_or(self.cfg.window.size);
+        let (window_idx, window_ids) = {
+            let jobs = &self.core.jobs;
+            let queue = self.queue.as_slice();
+            let completed = &self.completed_ids;
+            let deps_met =
+                |qpos: usize| jobs[queue[qpos]].deps.iter().all(|d| completed.contains(d));
+            let window_qpos = fill_window(queue_len, window_size, deps_met);
+            let window_idx: Vec<usize> = window_qpos.iter().map(|&q| queue[q]).collect();
+            let window_ids: Vec<u64> = window_idx.iter().map(|&i| jobs[i].id).collect();
+            (window_idx, window_ids)
+        };
+        self.core.notify(|o| o.on_window_built(now, &window_ids));
+
+        self.core.started.clear();
+
+        // --- (3) starvation bound (§3.1) ---
+        // Jobs past the bound start immediately when they fit. A starved
+        // job that does not fit becomes the reservation head: optimization
+        // continues, but only inside the slack that cannot delay it.
+        let mut blocked_head: Option<usize> = None;
+        for &idx in &window_idx {
+            if self.tracker.is_starved(self.core.jobs[idx].id, self.cfg.window.starvation_bound) {
+                if self.core.ledger.fits(&self.core.demands[idx]) {
+                    self.core.start_job(idx, now, StartReason::Starvation);
+                } else {
+                    blocked_head = Some(idx);
+                    break;
+                }
+            }
+        }
+
+        // --- (4) multi-resource selection from the window ---
+        // With a starved reservation head, the policy sees only the
+        // component-wise minimum of "free now" and "left over at the
+        // head's shadow time" — any selection within that bound cannot
+        // delay the head.
+        let policy_avail = match blocked_head {
+            None => *self.core.ledger.pool(),
+            Some(b) => {
+                let (_, leftover) = crate::backfill::shadow_and_leftover(
+                    &self.core.ledger,
+                    &self.core.demands[b],
+                    now,
+                );
+                self.core.ledger.pool().component_min(&leftover)
+            }
+        };
+        let remaining: Vec<usize> = window_idx
+            .iter()
+            .copied()
+            .filter(|i| !self.core.started.contains(i) && Some(*i) != blocked_head)
+            .collect();
+        if !remaining.is_empty() {
+            let demands: Vec<JobDemand> = remaining.iter().map(|&i| self.core.demands[i]).collect();
+            let selection = policy.select(&demands, &policy_avail, invocation);
+            debug_assert!(
+                bbsched_policies::selection_is_feasible(&demands, &policy_avail, &selection),
+                "policy {} returned an infeasible selection",
+                policy.name()
+            );
+            for &s in &selection {
+                self.core.start_job(remaining[s], now, StartReason::Policy);
+            }
+        }
+
+        // --- (5) backfilling, behind the strategy object ---
+        let waiting: Vec<usize> = match self.cfg.backfill {
+            BackfillScope::Window => {
+                window_idx.iter().copied().filter(|i| !self.core.started.contains(i)).collect()
+            }
+            BackfillScope::Queue => self
+                .queue
+                .as_slice()
+                .iter()
+                .copied()
+                .filter(|i| {
+                    !self.core.started.contains(i)
+                        && self.core.jobs[*i].deps.iter().all(|d| self.completed_ids.contains(d))
+                })
+                .collect(),
+        };
+        self.core.backfill_credit = 0;
+        let mut ctx = BackfillCtx {
+            now,
+            waiting: &waiting,
+            blocked_head,
+            max_scan: self.cfg.max_backfill_scan,
+            core: &mut self.core,
+        };
+        self.backfill.pass(&mut ctx);
+        let credited = self.core.backfill_credit;
+        let algorithm = self.backfill.name();
+        self.core.notify(|o| o.on_backfill_pass(now, algorithm, credited));
+
+        // --- (6) starvation bookkeeping & queue cleanup ---
+        // A pass only counts against the bound when the job was
+        // *bypassed*: some other job started while it sat in the window.
+        // Idle invocations (nothing startable) are not bypasses — counting
+        // them would make the bound fire on event frequency rather than on
+        // actual priority inversion.
+        if !self.core.started.is_empty() {
+            let started_ids: Vec<u64> = window_idx
+                .iter()
+                .filter(|i| self.core.started.contains(i))
+                .map(|&i| self.core.jobs[i].id)
+                .collect();
+            self.tracker.observe(&window_ids, &started_ids);
+            for &i in &self.core.started {
+                self.tracker.forget(self.core.jobs[i].id);
+            }
+        }
+        self.queue.remove_started(&self.core.started);
+        let started_count = self.core.started.len();
+        self.core.notify(|o| o.on_invocation_end(now, started_count));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::Recorder;
+    use bbsched_policies::{GaParams, PolicyKind};
+
+    fn system(nodes: u32) -> SystemConfig {
+        SystemConfig {
+            name: "t".into(),
+            nodes,
+            bb_gb: 1_000.0,
+            bb_reserved_gb: 0.0,
+            nodes_128: 0,
+            nodes_256: 0,
+            extra_resources: Vec::new(),
+        }
+    }
+
+    fn arrival(id: u64, submit: f64, nodes: u32, runtime: f64) -> Arrival {
+        Arrival {
+            job: Job::new(id, submit, nodes, runtime, runtime * 2.0),
+            demand: JobDemand::cpu_bb(nodes, 0.0),
+        }
+    }
+
+    #[test]
+    fn engine_streams_arrivals_from_iterator() {
+        // The arrival source is a lazy generator, never a materialized
+        // trace: 50 jobs, one every 2 s, on a 4-node machine.
+        let sys = system(4);
+        let mut recorder = Recorder::new();
+        let engine = Engine::new(&sys, SimConfig::default(), vec![&mut recorder]).unwrap();
+        let arrivals = (0..50u64).map(|i| arrival(i, i as f64 * 2.0, 2, 10.0));
+        let mut policy = PolicyKind::Baseline.build(GaParams::default());
+        let summary = engine.run(arrivals, policy.as_mut());
+        assert_eq!(summary.jobs, 50);
+        assert_eq!(recorder.records().len(), 50);
+        assert!(summary.makespan > 0.0);
+    }
+
+    #[test]
+    fn unsorted_arrivals_panic() {
+        let sys = system(4);
+        let engine = Engine::new(&sys, SimConfig::default(), vec![]).unwrap();
+        let arrivals = vec![arrival(0, 10.0, 1, 5.0), arrival(1, 3.0, 1, 5.0)];
+        let mut policy = PolicyKind::Baseline.build(GaParams::default());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.run(arrivals, policy.as_mut())
+        }));
+        assert!(result.is_err(), "time-regressing arrivals must be rejected");
+    }
+
+    #[test]
+    fn summary_counts_match_recorder() {
+        let sys = system(8);
+        let mut recorder = Recorder::new();
+        let engine = Engine::new(&sys, SimConfig::default(), vec![&mut recorder]).unwrap();
+        let arrivals: Vec<Arrival> = (0..20u64).map(|i| arrival(i, i as f64, 3, 40.0)).collect();
+        let mut policy = PolicyKind::Baseline.build(GaParams::default());
+        let summary = engine.run(arrivals, policy.as_mut());
+        let result = recorder.into_result("Baseline".into(), "FCFS".into(), sys.clone(), 0);
+        assert_eq!(result.invocations, summary.invocations);
+        assert_eq!(result.makespan, summary.makespan);
+        assert_eq!(result.records.len(), summary.jobs);
+    }
+
+    #[test]
+    fn multiple_observers_see_the_same_run() {
+        #[derive(Default)]
+        struct Counter {
+            starts: usize,
+            finishes: usize,
+            windows: usize,
+            sim_ends: usize,
+        }
+        impl SimObserver for Counter {
+            fn on_job_started(&mut self, _s: &JobStart<'_>) {
+                self.starts += 1;
+            }
+            fn on_job_finished(&mut self, _n: f64, _j: &Job, _d: &JobDemand) {
+                self.finishes += 1;
+            }
+            fn on_window_built(&mut self, _n: f64, _w: &[u64]) {
+                self.windows += 1;
+            }
+            fn on_sim_end(&mut self, _m: f64, _i: u64) {
+                self.sim_ends += 1;
+            }
+        }
+        let sys = system(4);
+        let mut recorder = Recorder::new();
+        let mut counter = Counter::default();
+        let engine =
+            Engine::new(&sys, SimConfig::default(), vec![&mut recorder, &mut counter]).unwrap();
+        let arrivals: Vec<Arrival> = (0..12u64).map(|i| arrival(i, i as f64, 2, 20.0)).collect();
+        let mut policy = PolicyKind::Baseline.build(GaParams::default());
+        let summary = engine.run(arrivals, policy.as_mut());
+        assert_eq!(counter.starts, 12);
+        assert_eq!(counter.finishes, 12);
+        assert_eq!(counter.sim_ends, 1);
+        assert_eq!(counter.windows as u64, summary.invocations);
+        assert_eq!(recorder.records().len(), counter.starts);
+    }
+}

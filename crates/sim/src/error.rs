@@ -9,6 +9,10 @@ pub enum SimError {
     System(SystemConfigError),
     /// The window configuration failed validation.
     InvalidWindow(String),
+    /// The dynamic-window configuration failed validation (e.g. `min`
+    /// exceeding `max`, which used to panic mid-simulation inside
+    /// `clamp`).
+    InvalidDynamicWindow(String),
     /// A trace job can never fit the machine and
     /// [`crate::SimConfig::clamp_impossible`] is off.
     ImpossibleJob {
@@ -30,6 +34,7 @@ impl std::fmt::Display for SimError {
         match self {
             SimError::System(e) => write!(f, "{e}"),
             SimError::InvalidWindow(msg) => write!(f, "{msg}"),
+            SimError::InvalidDynamicWindow(msg) => write!(f, "invalid dynamic window: {msg}"),
             SimError::ImpossibleJob { id, system, nodes, bb_gb, ssd_gb_per_node } => write!(
                 f,
                 "job {id} can never fit system '{system}' (nodes {nodes}, bb {bb_gb} GB, ssd {ssd_gb_per_node} GB/node)"

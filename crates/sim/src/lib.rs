@@ -13,6 +13,23 @@
 //! The simulator is trace-driven and fully deterministic: the same trace,
 //! system, policy, and seed produce byte-identical results.
 //!
+//! ## Architecture
+//!
+//! The crate is layered around a small discrete-event core:
+//!
+//! * [`engine`] — the event loop and the six-phase scheduling invocation;
+//!   consumes arrivals from any sorted iterator (traces can stream);
+//! * [`queue`] — the waiting queue under the base scheduler's order
+//!   (incrementally sorted for FCFS, re-scored per invocation for WFP);
+//! * [`alloc`] — the allocation ledger: pool accounting with conservation
+//!   checks and the incrementally maintained release order;
+//! * [`backfill`] — EASY and conservative backfilling behind the
+//!   [`BackfillStrategy`] trait, plus the availability-profile machinery;
+//! * [`observer`] — the [`SimObserver`] callbacks everything observable
+//!   flows through; [`Recorder`] collects the classic [`SimResult`];
+//! * [`simulator`] — configuration, demand clamping, and the
+//!   [`Simulator`] facade that wires a trace into the engine.
+//!
 //! ```
 //! use bbsched_sim::{SimConfig, Simulator};
 //! use bbsched_policies::PolicyKind;
@@ -31,14 +48,26 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod alloc;
+pub mod backfill;
 pub mod base_sched;
+pub mod engine;
 pub mod error;
+pub mod observer;
 pub mod profile;
+pub mod queue;
 pub mod record;
 pub mod simulator;
 
+pub use alloc::{AllocLedger, RunningJob};
+pub use backfill::{
+    shadow_and_leftover, AvailabilityProfile, BackfillCtx, BackfillStrategy, ConservativeBackfill,
+    EasyBackfill,
+};
 pub use base_sched::BaseScheduler;
+pub use engine::{Arrival, Engine, EngineSummary};
 pub use error::SimError;
-pub use profile::AvailabilityProfile;
+pub use observer::{JobStart, Recorder, SimObserver};
+pub use queue::QueueManager;
 pub use record::{JobRecord, SimResult, StartReason};
-pub use simulator::{BackfillAlgorithm, BackfillScope, SimConfig, Simulator};
+pub use simulator::{BackfillAlgorithm, BackfillScope, DynamicWindow, SimConfig, Simulator};

@@ -1,254 +1,4 @@
-//! Future resource-availability profiles, the machinery behind
-//! *conservative* backfilling.
-//!
-//! EASY backfilling (§2.1, the paper's choice) reserves only for the queue
-//! head; conservative backfilling gives **every** waiting job a
-//! reservation and lets a candidate start now only if it delays none of
-//! them. That requires knowing, for any future instant, how much of each
-//! resource is free — a piecewise-constant [`AvailabilityProfile`] built
-//! from the running jobs' estimated completions and updated as
-//! reservations are placed.
-//!
-//! The profile tracks every resource the pool registers — nodes, shared
-//! burst buffer, heterogeneous per-node flavour pools, and any extra
-//! pooled resources. Per-node assignments within a future segment use the
-//! same greedy smallest-sufficient-flavour rule as live allocation; because
-//! reservations are capacity bookkeeping (not placements), per-segment
-//! re-assignment is the standard conservative approximation.
+//! Compatibility shim: the availability-profile machinery moved into
+//! [`crate::backfill`] alongside the conservative strategy that uses it.
 
-use bbsched_core::pools::{NodeAssignment, PoolState};
-use bbsched_core::problem::JobDemand;
-
-/// A piecewise-constant view of free resources from "now" to infinity.
-///
-/// Invariant: `times` is strictly increasing, `times[0]` is the profile's
-/// origin ("now"), and `states[i]` holds on `[times[i], times[i+1])`
-/// (the last state holds forever).
-#[derive(Clone, Debug)]
-pub struct AvailabilityProfile {
-    times: Vec<f64>,
-    states: Vec<PoolState>,
-}
-
-impl AvailabilityProfile {
-    /// Builds the profile from the current free state and the estimated
-    /// completion times of running jobs. `releases` is a list of
-    /// `(est_end, demand, assignment)` tuples; order does not matter.
-    pub fn new(
-        now: f64,
-        pool: PoolState,
-        releases: impl IntoIterator<Item = (f64, JobDemand, NodeAssignment)>,
-    ) -> Self {
-        let mut rel: Vec<(f64, JobDemand, NodeAssignment)> =
-            releases.into_iter().map(|(t, d, asn)| (t.max(now), d, asn)).collect();
-        rel.sort_by(|a, b| a.0.total_cmp(&b.0));
-
-        let mut times = vec![now];
-        let mut states = vec![pool];
-        for (t, d, asn) in rel {
-            let last = *states.last().expect("profile never empty");
-            let mut next = last;
-            next.free(&d, asn);
-            if (t - *times.last().unwrap()).abs() < 1e-12 {
-                *states.last_mut().unwrap() = next;
-            } else {
-                times.push(t);
-                states.push(next);
-            }
-        }
-        Self { times, states }
-    }
-
-    /// Number of segments (diagnostic).
-    pub fn segments(&self) -> usize {
-        self.times.len()
-    }
-
-    /// Free state at time `t` (clamped to the profile's origin).
-    pub fn state_at(&self, t: f64) -> PoolState {
-        let idx = match self.times.binary_search_by(|x| x.total_cmp(&t)) {
-            Ok(i) => i,
-            Err(0) => 0,
-            Err(i) => i - 1,
-        };
-        self.states[idx]
-    }
-
-    /// Whether `d` fits everywhere on `[start, start + duration)`.
-    pub fn fits_interval(&self, d: &JobDemand, start: f64, duration: f64) -> bool {
-        let end = start + duration;
-        // Check the segment containing `start` and every boundary in range.
-        if !self.state_at(start).fits(d) {
-            return false;
-        }
-        for (i, &t) in self.times.iter().enumerate() {
-            if t > start && t < end && !self.states[i].fits(d) {
-                return false;
-            }
-        }
-        true
-    }
-
-    /// Earliest time `>= from` at which `d` fits for `duration`. Candidate
-    /// instants are `from` and the profile's breakpoints (free resources
-    /// only ever *increase* at breakpoints built from releases, but
-    /// reservations can carve arbitrary shapes, so every breakpoint is
-    /// tried). Returns `f64::INFINITY` if it never fits.
-    pub fn earliest_start(&self, d: &JobDemand, from: f64, duration: f64) -> f64 {
-        if self.fits_interval(d, from, duration) {
-            return from;
-        }
-        for (i, &t) in self.times.iter().enumerate() {
-            if t > from && self.states[i].fits(d) && self.fits_interval(d, t, duration) {
-                return t;
-            }
-        }
-        f64::INFINITY
-    }
-
-    /// Carves a reservation for `d` over `[start, start + duration)`.
-    ///
-    /// # Panics
-    /// Panics (debug) if the demand does not fit the interval.
-    pub fn reserve(&mut self, d: &JobDemand, start: f64, duration: f64) {
-        debug_assert!(self.fits_interval(d, start, duration), "reserve without fit check");
-        let end = start + duration;
-        self.split_at(start);
-        self.split_at(end);
-        for i in 0..self.times.len() {
-            let seg_start = self.times[i];
-            if seg_start >= end {
-                break;
-            }
-            let seg_end = self.times.get(i + 1).copied().unwrap_or(f64::INFINITY);
-            if seg_end <= start {
-                continue;
-            }
-            // Segment overlaps the reservation: subtract.
-            let state = &mut self.states[i];
-            debug_assert!(state.fits(d));
-            let _ = state.alloc(d);
-        }
-    }
-
-    /// Ensures `t` is a breakpoint (no-op if it already is or precedes the
-    /// origin; infinite times are ignored).
-    fn split_at(&mut self, t: f64) {
-        if !t.is_finite() || t <= self.times[0] {
-            return;
-        }
-        match self.times.binary_search_by(|x| x.total_cmp(&t)) {
-            Ok(_) => {}
-            Err(i) => {
-                let state = self.states[i - 1];
-                self.times.insert(i, t);
-                self.states.insert(i, state);
-            }
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn d(nodes: u32, bb: f64) -> JobDemand {
-        JobDemand::cpu_bb(nodes, bb)
-    }
-
-    fn release(t: f64, nodes: u32, bb: f64) -> (f64, JobDemand, NodeAssignment) {
-        (t, d(nodes, bb), NodeAssignment::two_tier(0, nodes))
-    }
-
-    #[test]
-    fn profile_accumulates_releases() {
-        let pool = PoolState::cpu_bb(4, 10.0); // 4 free now
-        let p = AvailabilityProfile::new(
-            0.0,
-            pool,
-            vec![release(10.0, 4, 20.0), release(20.0, 2, 0.0)],
-        );
-        assert_eq!(p.segments(), 3);
-        assert_eq!(p.state_at(0.0).nodes(), 4);
-        assert_eq!(p.state_at(10.0).nodes(), 8);
-        assert_eq!(p.state_at(25.0).nodes(), 10);
-        assert_eq!(p.state_at(25.0).bb_gb(), 30.0);
-    }
-
-    #[test]
-    fn simultaneous_releases_merge() {
-        let p = AvailabilityProfile::new(
-            0.0,
-            PoolState::cpu_bb(0, 0.0),
-            vec![release(5.0, 1, 0.0), release(5.0, 2, 0.0)],
-        );
-        assert_eq!(p.segments(), 2);
-        assert_eq!(p.state_at(5.0).nodes(), 3);
-    }
-
-    #[test]
-    fn earliest_start_waits_for_capacity() {
-        let p =
-            AvailabilityProfile::new(0.0, PoolState::cpu_bb(2, 0.0), vec![release(10.0, 6, 0.0)]);
-        assert_eq!(p.earliest_start(&d(2, 0.0), 0.0, 100.0), 0.0);
-        assert_eq!(p.earliest_start(&d(5, 0.0), 0.0, 100.0), 10.0);
-        assert_eq!(p.earliest_start(&d(50, 0.0), 0.0, 100.0), f64::INFINITY);
-    }
-
-    #[test]
-    fn reservation_blocks_the_interval() {
-        let mut p =
-            AvailabilityProfile::new(0.0, PoolState::cpu_bb(4, 10.0), vec![release(10.0, 4, 0.0)]);
-        // Reserve all 4 current nodes for [0, 30).
-        p.reserve(&d(4, 5.0), 0.0, 30.0);
-        assert_eq!(p.state_at(0.0).nodes(), 0);
-        assert_eq!(p.state_at(15.0).nodes(), 4, "release at 10 still counted");
-        assert_eq!(p.state_at(30.0).nodes(), 8, "reservation ends at 30");
-        // A 4-node job now has to wait until t=10.
-        assert_eq!(p.earliest_start(&d(4, 0.0), 0.0, 5.0), 10.0);
-    }
-
-    #[test]
-    fn fits_interval_checks_interior_boundaries() {
-        let mut p = AvailabilityProfile::new(0.0, PoolState::cpu_bb(8, 0.0), vec![]);
-        // Reservation in the middle of a candidate interval.
-        p.reserve(&d(6, 0.0), 10.0, 10.0);
-        assert!(p.fits_interval(&d(4, 0.0), 0.0, 10.0));
-        assert!(!p.fits_interval(&d(4, 0.0), 0.0, 15.0), "collides with [10,20)");
-        assert!(p.fits_interval(&d(2, 0.0), 0.0, 100.0));
-    }
-
-    #[test]
-    fn ssd_pools_tracked_through_profile() {
-        let pool = PoolState::with_ssd(1, 1, 100.0);
-        let big = JobDemand::cpu_bb_ssd(1, 0.0, 200.0);
-        let p = AvailabilityProfile::new(
-            0.0,
-            pool,
-            vec![(5.0, JobDemand::cpu_bb_ssd(2, 0.0, 200.0), NodeAssignment::two_tier(0, 2))],
-        );
-        // One 256 node free now; three at t=5.
-        assert!(p.fits_interval(&big, 0.0, 1.0));
-        let three = JobDemand::cpu_bb_ssd(3, 0.0, 200.0);
-        assert_eq!(p.earliest_start(&three, 0.0, 1.0), 5.0);
-    }
-
-    #[test]
-    fn conservative_chain_of_reservations() {
-        // Classic scenario: 10 nodes; running job frees at t=10.
-        let mut p =
-            AvailabilityProfile::new(0.0, PoolState::cpu_bb(2, 0.0), vec![release(10.0, 8, 0.0)]);
-        // Head job needs 10 nodes -> reserved at t=10 for 20.
-        let head = d(10, 0.0);
-        let t = p.earliest_start(&head, 0.0, 20.0);
-        assert_eq!(t, 10.0);
-        p.reserve(&head, t, 20.0);
-        // Second job (2 nodes, long): can start now ONLY if it ends by 10.
-        assert_eq!(p.earliest_start(&d(2, 0.0), 0.0, 5.0), 0.0);
-        assert_eq!(
-            p.earliest_start(&d(2, 0.0), 0.0, 50.0),
-            30.0,
-            "long job must queue behind the head's reservation"
-        );
-    }
-}
+pub use crate::backfill::AvailabilityProfile;

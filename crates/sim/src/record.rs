@@ -66,7 +66,7 @@ impl JobRecord {
 }
 
 /// Everything a simulation run produced.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SimResult {
     /// Name of the selection policy that ran.
     pub policy: String,

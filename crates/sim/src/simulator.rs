@@ -1,32 +1,23 @@
-//! The discrete-event scheduling simulator.
+//! Simulation configuration and the trace-driven [`Simulator`] facade.
 //!
-//! Every arrival and completion triggers a *scheduling invocation*:
-//!
-//! 1. the base scheduler re-orders the waiting queue (§2.1);
-//! 2. the window (§3.1) is filled with the highest-priority jobs whose
-//!    dependencies are complete;
-//! 3. jobs past the starvation bound are force-started (or, if they no
-//!    longer fit, become the reservation head so nothing delays them);
-//! 4. the multi-resource selection policy picks window jobs to start;
-//! 5. multi-resource EASY backfilling (§2.1) starts any remaining queued
-//!    job that fits now and does not delay the reservation head, using
-//!    *walltime estimates* exactly like a production scheduler.
-//!
-//! Resource accounting runs on [`bbsched_core::PoolState`]; node→SSD-pool
-//! assignments follow the §5 greedy rule everywhere, so the optimizer's
-//! model and the cluster's ground truth agree.
+//! The discrete-event mechanics live in [`crate::engine`]; this module
+//! holds what surrounds them: [`SimConfig`] (validated up front), demand
+//! clamping against machine capacity, and [`Simulator`] — the
+//! compatibility wrapper that wires a [`bbsched_workloads::Trace`] into
+//! the engine with a [`crate::Recorder`] attached and returns the classic
+//! [`SimResult`]. Additional observers ride along via
+//! [`Simulator::run_observed`].
 
 use crate::base_sched::BaseScheduler;
+use crate::engine::{Arrival, Engine};
 use crate::error::SimError;
-use crate::record::{JobRecord, SimResult, StartReason};
-use bbsched_core::pools::PoolState;
+use crate::observer::{Recorder, SimObserver};
+use crate::record::SimResult;
 use bbsched_core::problem::JobDemand;
 use bbsched_core::resource::MAX_EXTRA;
-use bbsched_core::window::{fill_window, StarvationTracker, WindowConfig};
+use bbsched_core::window::WindowConfig;
 use bbsched_policies::SelectionPolicy;
 use bbsched_workloads::{SystemConfig, Trace};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
 
 /// Simulator configuration.
 #[derive(Clone, Debug)]
@@ -51,6 +42,19 @@ pub struct SimConfig {
     pub dynamic_window: Option<DynamicWindow>,
 }
 
+impl SimConfig {
+    /// Validates the whole configuration. Called by [`Simulator::new`] and
+    /// [`Engine::new`], so an invalid config is a typed [`SimError`], never
+    /// a mid-simulation panic.
+    pub fn validate(&self) -> Result<(), SimError> {
+        self.window.validate().map_err(SimError::InvalidWindow)?;
+        if let Some(d) = self.dynamic_window {
+            d.validate()?;
+        }
+        Ok(())
+    }
+}
+
 /// Queue-length-driven window sizing: the window tracks a fraction of the
 /// waiting queue, clamped to `[min, max]`. Larger queues get more
 /// optimization; short queues preserve the site's order (§3.1's stated
@@ -72,10 +76,30 @@ impl Default for DynamicWindow {
 }
 
 impl DynamicWindow {
-    /// Window size for a queue of `queue_len` jobs.
+    /// Checks the bounds are usable: `min <= max` and a finite,
+    /// non-negative queue fraction.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.min > self.max {
+            return Err(SimError::InvalidDynamicWindow(format!(
+                "min ({}) exceeds max ({})",
+                self.min, self.max
+            )));
+        }
+        if !self.queue_fraction.is_finite() || self.queue_fraction < 0.0 {
+            return Err(SimError::InvalidDynamicWindow(format!(
+                "queue_fraction ({}) must be finite and >= 0",
+                self.queue_fraction
+            )));
+        }
+        Ok(())
+    }
+
+    /// Window size for a queue of `queue_len` jobs. Total for any inputs
+    /// (validation rejects `min > max` up front, but this never panics
+    /// regardless — a scheduling invocation is no place for one).
     pub fn size_for(&self, queue_len: usize) -> usize {
         let target = (queue_len as f64 * self.queue_fraction).round() as usize;
-        target.clamp(self.min, self.max).max(1)
+        target.max(self.min).min(self.max).max(1)
     }
 }
 
@@ -91,6 +115,16 @@ pub enum BackfillAlgorithm {
     /// none of the reservations ahead of it. Stronger fairness, fewer
     /// backfill opportunities.
     Conservative,
+}
+
+impl BackfillAlgorithm {
+    /// The [`crate::BackfillStrategy`] implementing this discipline.
+    pub fn strategy(self) -> Box<dyn crate::backfill::BackfillStrategy> {
+        match self {
+            BackfillAlgorithm::Easy => Box::new(crate::backfill::EasyBackfill),
+            BackfillAlgorithm::Conservative => Box::new(crate::backfill::ConservativeBackfill),
+        }
+    }
 }
 
 /// Candidate scope for the EASY backfilling pass.
@@ -127,81 +161,14 @@ impl Default for SimConfig {
     }
 }
 
-/// Tolerance for "finishes before the shadow time" comparisons.
-const TIME_EPS: f64 = 1e-6;
-
-#[derive(Clone, Copy, Debug, PartialEq)]
-enum EventKind {
-    Arrive(usize),
-    Finish(usize),
-}
-
-#[derive(Clone, Copy, Debug, PartialEq)]
-struct Event {
-    time: f64,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl Eq for Event {}
-
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time.total_cmp(&other.time).then_with(|| self.seq.cmp(&other.seq))
-    }
-}
-
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-#[derive(Clone, Copy, Debug)]
-struct Running {
-    est_end: f64,
-    demand: JobDemand,
-    asn: bbsched_core::pools::NodeAssignment,
-}
-
-/// EASY reservation math: the *shadow time* at which `head` could start if
-/// nothing new ran past it (walltime estimates of running jobs, as a real
-/// scheduler would use), and the *leftover* resources at that instant
-/// beyond the head's claim. Anything fitting inside the leftover can run
-/// arbitrarily long without delaying the head.
-fn shadow_and_leftover(
-    pool: &PoolState,
-    running: &HashMap<usize, Running>,
-    head: &JobDemand,
-    now: f64,
-) -> (f64, PoolState) {
-    if pool.fits(head) {
-        let mut leftover = *pool;
-        let _ = leftover.alloc(head);
-        return (now, leftover);
-    }
-    // Tie-break on the job index: HashMap iteration order is
-    // nondeterministic across processes, and equal est_end values would
-    // otherwise make backfill decisions irreproducible.
-    let mut run_list: Vec<(&usize, &Running)> = running.iter().collect();
-    run_list.sort_by(|(ia, a), (ib, b)| a.est_end.total_cmp(&b.est_end).then(ia.cmp(ib)));
-    let mut future = *pool;
-    for (_, r) in run_list {
-        future.free(&r.demand, r.asn);
-        if future.fits(head) {
-            let mut leftover = future;
-            let _ = leftover.alloc(head);
-            return (r.est_end, leftover);
-        }
-    }
-    // The head can never fit — impossible once demands are clamped to
-    // capacity; be safe in release builds anyway.
-    debug_assert!(false, "unschedulable head survived clamping");
-    (f64::INFINITY, PoolState::cpu_bb(0, 0.0))
-}
-
 /// The trace-driven cluster simulator. Construct with [`Simulator::new`],
-/// consume with [`Simulator::run`].
+/// consume with [`Simulator::run`] (or [`Simulator::run_observed`] to
+/// attach extra observers).
+///
+/// This is a compatibility facade: it clamps the trace's demands to
+/// machine capacity, streams the jobs into an [`Engine`] with a
+/// [`Recorder`] attached, and packages the recording as the classic
+/// [`SimResult`].
 pub struct Simulator<'t> {
     system: SystemConfig,
     trace: &'t Trace,
@@ -220,7 +187,7 @@ impl<'t> Simulator<'t> {
     /// reported in the result) and rejected with an error otherwise.
     pub fn new(system: &SystemConfig, trace: &'t Trace, cfg: SimConfig) -> Result<Self, SimError> {
         system.validate()?;
-        cfg.window.validate().map_err(SimError::InvalidWindow)?;
+        cfg.validate()?;
         let usable_bb = system.bb_usable_gb();
         let mut clamped = 0usize;
         let mut demands = Vec::with_capacity(trace.len());
@@ -274,369 +241,53 @@ impl<'t> Simulator<'t> {
         Ok(Self { system: system.clone(), trace, cfg, demands, clamped })
     }
 
+    /// The capacity-clamped demand of each trace job, in trace order.
+    pub fn demands(&self) -> &[JobDemand] {
+        &self.demands
+    }
+
+    /// How many jobs required clamping.
+    pub fn clamped_jobs(&self) -> usize {
+        self.clamped
+    }
+
     /// Runs the simulation to completion under the given selection policy.
-    pub fn run(self, mut policy: Box<dyn SelectionPolicy>) -> SimResult {
-        let jobs = self.trace.jobs();
-        let n = jobs.len();
-        let mut pool = self.system.pool_state();
+    pub fn run(self, policy: Box<dyn SelectionPolicy>) -> SimResult {
+        self.run_observed(policy, &mut [])
+    }
 
-        let mut events: BinaryHeap<Reverse<Event>> = BinaryHeap::with_capacity(2 * n + 1);
-        let mut seq = 0u64;
-        for (i, job) in jobs.iter().enumerate() {
-            events.push(Reverse(Event { time: job.submit, seq, kind: EventKind::Arrive(i) }));
-            seq += 1;
+    /// Runs the simulation with extra [`SimObserver`]s attached alongside
+    /// the result-collecting [`Recorder`].
+    pub fn run_observed(
+        self,
+        mut policy: Box<dyn SelectionPolicy>,
+        extra: &mut [&mut dyn SimObserver],
+    ) -> SimResult {
+        let mut recorder = Recorder::new();
+        {
+            let mut observers: Vec<&mut dyn SimObserver> = Vec::with_capacity(1 + extra.len());
+            observers.push(&mut recorder);
+            for o in extra.iter_mut() {
+                observers.push(&mut **o);
+            }
+            let engine = Engine::new(&self.system, self.cfg.clone(), observers)
+                .expect("configuration validated at construction");
+            let arrivals = self
+                .trace
+                .jobs()
+                .iter()
+                .cloned()
+                .zip(self.demands.iter().copied())
+                .map(|(job, demand)| Arrival { job, demand });
+            let summary = engine.run(arrivals, policy.as_mut());
+            debug_assert_eq!(summary.jobs, self.trace.len(), "every job must run exactly once");
         }
-
-        let mut queue: Vec<usize> = Vec::new();
-        let mut running: HashMap<usize, Running> = HashMap::new();
-        let mut completed_ids: HashSet<u64> = HashSet::with_capacity(n);
-        let mut records: Vec<JobRecord> = Vec::with_capacity(n);
-        let mut tracker = StarvationTracker::new();
-        let mut invocations = 0u64;
-        let mut backfilled = 0usize;
-        let mut starvation_forced = 0usize;
-        let mut makespan = 0.0f64;
-
-        let start_job = |idx: usize,
-                         now: f64,
-                         reason: StartReason,
-                         pool: &mut PoolState,
-                         running: &mut HashMap<usize, Running>,
-                         events: &mut BinaryHeap<Reverse<Event>>,
-                         records: &mut Vec<JobRecord>,
-                         seq: &mut u64| {
-            let job = &jobs[idx];
-            let d = self.demands[idx];
-            let asn = pool.alloc(&d);
-            let end = now + job.runtime;
-            events.push(Reverse(Event { time: end, seq: *seq, kind: EventKind::Finish(idx) }));
-            *seq += 1;
-            running.insert(idx, Running { est_end: now + job.walltime, demand: d, asn });
-            records.push(JobRecord {
-                id: job.id,
-                submit: job.submit,
-                start: now,
-                end,
-                runtime: job.runtime,
-                walltime: job.walltime,
-                nodes: d.nodes,
-                bb_gb: d.bb_gb,
-                ssd_gb_per_node: d.ssd_gb_per_node,
-                extra: d.extra,
-                assignment: asn,
-                wasted_ssd_gb: pool.wasted_capacity_gb(&d, &asn),
-                reason,
-            });
-        };
-
-        while let Some(Reverse(ev)) = events.pop() {
-            let now = ev.time;
-            // Apply this event and every other event at the same instant.
-            let mut apply = |ev: Event,
-                             queue: &mut Vec<usize>,
-                             running: &mut HashMap<usize, Running>,
-                             pool: &mut PoolState| {
-                match ev.kind {
-                    EventKind::Arrive(i) => queue.push(i),
-                    EventKind::Finish(i) => {
-                        let r = running.remove(&i).expect("finish for job not running");
-                        pool.free(&r.demand, r.asn);
-                        completed_ids.insert(jobs[i].id);
-                        makespan = makespan.max(now);
-                    }
-                }
-            };
-            apply(ev, &mut queue, &mut running, &mut pool);
-            while let Some(Reverse(next)) = events.peek() {
-                if next.time > now {
-                    break;
-                }
-                let next = events.pop().expect("peeked event vanished").0;
-                apply(next, &mut queue, &mut running, &mut pool);
-            }
-
-            if queue.is_empty() {
-                continue;
-            }
-            invocations += 1;
-
-            // --- (1) base-scheduler priority order ---
-            self.cfg.base.order(&mut queue, jobs, now);
-
-            // --- (2) fill the window with dependency-satisfied jobs ---
-            let deps_met =
-                |qpos: usize| jobs[queue[qpos]].deps.iter().all(|d| completed_ids.contains(d));
-            let window_size = self
-                .cfg
-                .dynamic_window
-                .map(|d| d.size_for(queue.len()))
-                .unwrap_or(self.cfg.window.size);
-            let window_qpos = fill_window(queue.len(), window_size, deps_met);
-            let window_idx: Vec<usize> = window_qpos.iter().map(|&q| queue[q]).collect();
-            let window_ids: Vec<u64> = window_idx.iter().map(|&i| jobs[i].id).collect();
-
-            let mut started: HashSet<usize> = HashSet::new();
-
-            // --- (3) starvation bound (§3.1) ---
-            // Jobs past the bound start immediately when they fit. A
-            // starved job that does not fit becomes the EASY reservation
-            // head: optimization continues, but only inside the slack that
-            // cannot delay it.
-            let mut blocked_head: Option<usize> = None;
-            for &idx in &window_idx {
-                if tracker.is_starved(jobs[idx].id, self.cfg.window.starvation_bound) {
-                    if pool.fits(&self.demands[idx]) {
-                        start_job(
-                            idx,
-                            now,
-                            StartReason::Starvation,
-                            &mut pool,
-                            &mut running,
-                            &mut events,
-                            &mut records,
-                            &mut seq,
-                        );
-                        started.insert(idx);
-                        starvation_forced += 1;
-                    } else {
-                        blocked_head = Some(idx);
-                        break;
-                    }
-                }
-            }
-
-            // --- (4) multi-resource selection from the window ---
-            // With a starved reservation head, the policy sees only the
-            // component-wise minimum of "free now" and "left over at the
-            // head's shadow time" — any selection within that bound cannot
-            // delay the head.
-            let policy_avail = match blocked_head {
-                None => pool,
-                Some(b) => {
-                    let (_, leftover) = shadow_and_leftover(&pool, &running, &self.demands[b], now);
-                    pool.component_min(&leftover)
-                }
-            };
-            {
-                let remaining: Vec<usize> = window_idx
-                    .iter()
-                    .copied()
-                    .filter(|i| !started.contains(i) && Some(*i) != blocked_head)
-                    .collect();
-                if !remaining.is_empty() {
-                    let demands: Vec<JobDemand> =
-                        remaining.iter().map(|&i| self.demands[i]).collect();
-                    let selection = policy.select(&demands, &policy_avail, invocations);
-                    debug_assert!(
-                        bbsched_policies::selection_is_feasible(
-                            &demands,
-                            &policy_avail,
-                            &selection
-                        ),
-                        "policy {} returned an infeasible selection",
-                        policy.name()
-                    );
-                    for &s in &selection {
-                        let idx = remaining[s];
-                        start_job(
-                            idx,
-                            now,
-                            StartReason::Policy,
-                            &mut pool,
-                            &mut running,
-                            &mut events,
-                            &mut records,
-                            &mut seq,
-                        );
-                        started.insert(idx);
-                    }
-                }
-            }
-
-            // --- (5) EASY backfilling ---
-            let waiting: Vec<usize> = match self.cfg.backfill {
-                BackfillScope::Window => {
-                    window_idx.iter().copied().filter(|i| !started.contains(i)).collect()
-                }
-                BackfillScope::Queue => queue
-                    .iter()
-                    .copied()
-                    .filter(|i| {
-                        !started.contains(i)
-                            && jobs[*i].deps.iter().all(|d| completed_ids.contains(d))
-                    })
-                    .collect(),
-            };
-
-            if self.cfg.backfill_algorithm == BackfillAlgorithm::Conservative {
-                // Conservative: reservations for everyone, on a
-                // future-availability profile. The starved blocked job (if
-                // any) reserves first.
-                let mut profile = crate::profile::AvailabilityProfile::new(now, pool, {
-                    // Deterministic order: sort by (est_end, idx) so
-                    // HashMap iteration order never leaks into results.
-                    let mut keyed: Vec<(&usize, &Running)> = running.iter().collect();
-                    keyed.sort_by(|(ia, a), (ib, b)| {
-                        a.est_end.total_cmp(&b.est_end).then(ia.cmp(ib))
-                    });
-                    keyed.into_iter().map(|(_, r)| (r.est_end, r.demand, r.asn)).collect::<Vec<_>>()
-                });
-                let mut ordered: Vec<usize> = Vec::with_capacity(waiting.len() + 1);
-                if let Some(b) = blocked_head {
-                    ordered.push(b);
-                }
-                ordered.extend(waiting.iter().copied().filter(|&i| Some(i) != blocked_head));
-                for (scanned, idx) in ordered.into_iter().enumerate() {
-                    if scanned >= self.cfg.max_backfill_scan {
-                        break;
-                    }
-                    if started.contains(&idx) {
-                        continue;
-                    }
-                    let d = self.demands[idx];
-                    let walltime = jobs[idx].walltime.max(1.0);
-                    let t = profile.earliest_start(&d, now, walltime);
-                    if t <= now + TIME_EPS && pool.fits(&d) {
-                        start_job(
-                            idx,
-                            now,
-                            StartReason::Backfill,
-                            &mut pool,
-                            &mut running,
-                            &mut events,
-                            &mut records,
-                            &mut seq,
-                        );
-                        started.insert(idx);
-                        backfilled += 1;
-                        // Consume from the profile's "now" segments too.
-                        profile.reserve(&d, t, walltime);
-                    } else if t.is_finite() {
-                        profile.reserve(&d, t, walltime);
-                    }
-                }
-                // Starvation bookkeeping & cleanup happen below as usual.
-                if !started.is_empty() {
-                    let started_ids: Vec<u64> = window_idx
-                        .iter()
-                        .filter(|i| started.contains(i))
-                        .map(|&i| jobs[i].id)
-                        .collect();
-                    tracker.observe(&window_ids, &started_ids);
-                    for &i in &started {
-                        tracker.forget(jobs[i].id);
-                    }
-                }
-                queue.retain(|i| !started.contains(i));
-                continue;
-            }
-
-            let mut head_cursor = 0usize;
-            // Start any fitting head outright (covers policies that left a
-            // fitting job behind and the queue-front after backfill frees).
-            let mut head: Option<usize> = None;
-            while head_cursor < waiting.len() {
-                let idx = waiting[head_cursor];
-                if let Some(b) = blocked_head {
-                    // The starved job owns the reservation regardless of
-                    // queue position.
-                    head = Some(b);
-                    break;
-                }
-                if started.contains(&idx) {
-                    head_cursor += 1;
-                    continue;
-                }
-                if pool.fits(&self.demands[idx]) {
-                    start_job(
-                        idx,
-                        now,
-                        StartReason::Backfill,
-                        &mut pool,
-                        &mut running,
-                        &mut events,
-                        &mut records,
-                        &mut seq,
-                    );
-                    started.insert(idx);
-                    head_cursor += 1;
-                } else {
-                    head = Some(idx);
-                    break;
-                }
-            }
-
-            if let Some(head_idx) = head {
-                let (shadow, mut leftover) =
-                    shadow_and_leftover(&pool, &running, &self.demands[head_idx], now);
-
-                for (scanned, &idx) in waiting.iter().enumerate() {
-                    if scanned >= self.cfg.max_backfill_scan {
-                        break;
-                    }
-                    if started.contains(&idx) || idx == head_idx {
-                        continue;
-                    }
-                    let d = self.demands[idx];
-                    if !pool.fits(&d) {
-                        continue;
-                    }
-                    let ends_before_shadow = now + jobs[idx].walltime <= shadow + TIME_EPS;
-                    if ends_before_shadow || leftover.fits(&d) {
-                        if !ends_before_shadow {
-                            let _ = leftover.alloc(&d);
-                        }
-                        start_job(
-                            idx,
-                            now,
-                            StartReason::Backfill,
-                            &mut pool,
-                            &mut running,
-                            &mut events,
-                            &mut records,
-                            &mut seq,
-                        );
-                        started.insert(idx);
-                        backfilled += 1;
-                    }
-                }
-            }
-
-            // --- (6) starvation bookkeeping & queue cleanup ---
-            // A pass only counts against the bound when the job was
-            // *bypassed*: some other job started while it sat in the
-            // window. Idle invocations (nothing startable) are not
-            // bypasses — counting them made the bound fire on event
-            // frequency rather than on actual priority inversion.
-            if !started.is_empty() {
-                let started_ids: Vec<u64> = window_idx
-                    .iter()
-                    .filter(|i| started.contains(i))
-                    .map(|&i| jobs[i].id)
-                    .collect();
-                tracker.observe(&window_ids, &started_ids);
-                for &i in &started {
-                    tracker.forget(jobs[i].id);
-                }
-            }
-            queue.retain(|i| !started.contains(i));
-        }
-
-        debug_assert_eq!(records.len(), n, "every job must run exactly once");
-        debug_assert!(running.is_empty());
-        records.sort_by(|a, b| a.start.total_cmp(&b.start).then(a.id.cmp(&b.id)));
-
-        SimResult {
-            policy: policy.name().to_string(),
-            base: self.cfg.base.name().to_string(),
-            system: self.system,
-            records,
-            makespan,
-            invocations,
-            clamped_jobs: self.clamped,
-            backfilled,
-            starvation_forced,
-        }
+        recorder.into_result(
+            policy.name().to_string(),
+            self.cfg.base.name().to_string(),
+            self.system,
+            self.clamped,
+        )
     }
 }
 
@@ -798,6 +449,8 @@ mod tests {
         let jobs = vec![Job::new(0, 0.0, 100, 10.0, 10.0).with_bb(9_999.0)];
         let trace = Trace::from_jobs(jobs).unwrap();
         let sim = Simulator::new(&sys, &trace, SimConfig::default()).unwrap();
+        assert_eq!(sim.clamped_jobs(), 1);
+        assert_eq!(sim.demands()[0].nodes, 10, "demand clamped to capacity");
         let r = sim.run(PolicyKind::Baseline.build(GaParams::default()));
         assert_eq!(r.clamped_jobs, 1);
         assert_eq!(r.records.len(), 1);
@@ -860,6 +513,44 @@ mod tests {
         assert_eq!(d.size_for(1_000), 50);
         let tiny = DynamicWindow { min: 0, max: 5, queue_fraction: 0.1 };
         assert_eq!(tiny.size_for(0), 1, "window never collapses to zero");
+    }
+
+    #[test]
+    fn inverted_dynamic_window_never_panics() {
+        // Regression: `target.clamp(min, max)` panicked when min > max.
+        // `size_for` must now be total for any inputs.
+        let broken = DynamicWindow { min: 50, max: 10, queue_fraction: 0.25 };
+        for q in [0usize, 40, 100, 10_000] {
+            let size = broken.size_for(q);
+            assert!(size >= 1, "queue {q} produced size {size}");
+        }
+    }
+
+    #[test]
+    fn inverted_dynamic_window_rejected_at_construction() {
+        let sys = system(10, 10.0);
+        let trace = Trace::from_jobs(vec![Job::new(0, 0.0, 1, 1.0, 2.0)]).unwrap();
+        let cfg = SimConfig {
+            dynamic_window: Some(DynamicWindow { min: 50, max: 10, queue_fraction: 0.25 }),
+            ..SimConfig::default()
+        };
+        match Simulator::new(&sys, &trace, cfg).map(|_| ()) {
+            Err(SimError::InvalidDynamicWindow(msg)) => {
+                assert!(msg.contains("min"), "message should name the bad field: {msg}");
+            }
+            other => panic!("expected InvalidDynamicWindow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_queue_fraction_rejected() {
+        for frac in [f64::NAN, f64::INFINITY, -0.5] {
+            let d = DynamicWindow { min: 1, max: 10, queue_fraction: frac };
+            assert!(
+                matches!(d.validate(), Err(SimError::InvalidDynamicWindow(_))),
+                "fraction {frac} must be rejected"
+            );
+        }
     }
 
     #[test]

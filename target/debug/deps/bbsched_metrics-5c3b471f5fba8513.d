@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/bbsched_metrics-5c3b471f5fba8513.d: crates/metrics/src/lib.rs crates/metrics/src/breakdown.rs crates/metrics/src/kiviat.rs crates/metrics/src/stats.rs crates/metrics/src/summary.rs crates/metrics/src/usage.rs
+/root/repo/target/debug/deps/bbsched_metrics-5c3b471f5fba8513.d: crates/metrics/src/lib.rs crates/metrics/src/breakdown.rs crates/metrics/src/kiviat.rs crates/metrics/src/live.rs crates/metrics/src/stats.rs crates/metrics/src/summary.rs crates/metrics/src/usage.rs
 
-/root/repo/target/debug/deps/libbbsched_metrics-5c3b471f5fba8513.rlib: crates/metrics/src/lib.rs crates/metrics/src/breakdown.rs crates/metrics/src/kiviat.rs crates/metrics/src/stats.rs crates/metrics/src/summary.rs crates/metrics/src/usage.rs
+/root/repo/target/debug/deps/libbbsched_metrics-5c3b471f5fba8513.rlib: crates/metrics/src/lib.rs crates/metrics/src/breakdown.rs crates/metrics/src/kiviat.rs crates/metrics/src/live.rs crates/metrics/src/stats.rs crates/metrics/src/summary.rs crates/metrics/src/usage.rs
 
-/root/repo/target/debug/deps/libbbsched_metrics-5c3b471f5fba8513.rmeta: crates/metrics/src/lib.rs crates/metrics/src/breakdown.rs crates/metrics/src/kiviat.rs crates/metrics/src/stats.rs crates/metrics/src/summary.rs crates/metrics/src/usage.rs
+/root/repo/target/debug/deps/libbbsched_metrics-5c3b471f5fba8513.rmeta: crates/metrics/src/lib.rs crates/metrics/src/breakdown.rs crates/metrics/src/kiviat.rs crates/metrics/src/live.rs crates/metrics/src/stats.rs crates/metrics/src/summary.rs crates/metrics/src/usage.rs
 
 crates/metrics/src/lib.rs:
 crates/metrics/src/breakdown.rs:
 crates/metrics/src/kiviat.rs:
+crates/metrics/src/live.rs:
 crates/metrics/src/stats.rs:
 crates/metrics/src/summary.rs:
 crates/metrics/src/usage.rs:

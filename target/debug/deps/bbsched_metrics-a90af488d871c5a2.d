@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/bbsched_metrics-a90af488d871c5a2.d: crates/metrics/src/lib.rs crates/metrics/src/breakdown.rs crates/metrics/src/kiviat.rs crates/metrics/src/live.rs crates/metrics/src/stats.rs crates/metrics/src/summary.rs crates/metrics/src/usage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbbsched_metrics-a90af488d871c5a2.rmeta: crates/metrics/src/lib.rs crates/metrics/src/breakdown.rs crates/metrics/src/kiviat.rs crates/metrics/src/live.rs crates/metrics/src/stats.rs crates/metrics/src/summary.rs crates/metrics/src/usage.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/breakdown.rs:
+crates/metrics/src/kiviat.rs:
+crates/metrics/src/live.rs:
+crates/metrics/src/stats.rs:
+crates/metrics/src/summary.rs:
+crates/metrics/src/usage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

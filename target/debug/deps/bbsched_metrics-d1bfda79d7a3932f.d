@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bbsched_metrics-d1bfda79d7a3932f.d: crates/metrics/src/lib.rs crates/metrics/src/breakdown.rs crates/metrics/src/kiviat.rs crates/metrics/src/live.rs crates/metrics/src/stats.rs crates/metrics/src/summary.rs crates/metrics/src/usage.rs
+
+/root/repo/target/debug/deps/bbsched_metrics-d1bfda79d7a3932f: crates/metrics/src/lib.rs crates/metrics/src/breakdown.rs crates/metrics/src/kiviat.rs crates/metrics/src/live.rs crates/metrics/src/stats.rs crates/metrics/src/summary.rs crates/metrics/src/usage.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/breakdown.rs:
+crates/metrics/src/kiviat.rs:
+crates/metrics/src/live.rs:
+crates/metrics/src/stats.rs:
+crates/metrics/src/summary.rs:
+crates/metrics/src/usage.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/bbsched_metrics-dc2d813e9f8a5bb6.d: crates/metrics/src/lib.rs crates/metrics/src/breakdown.rs crates/metrics/src/kiviat.rs crates/metrics/src/stats.rs crates/metrics/src/summary.rs crates/metrics/src/usage.rs Cargo.toml
+/root/repo/target/debug/deps/bbsched_metrics-dc2d813e9f8a5bb6.d: crates/metrics/src/lib.rs crates/metrics/src/breakdown.rs crates/metrics/src/kiviat.rs crates/metrics/src/live.rs crates/metrics/src/stats.rs crates/metrics/src/summary.rs crates/metrics/src/usage.rs Cargo.toml
 
-/root/repo/target/debug/deps/libbbsched_metrics-dc2d813e9f8a5bb6.rmeta: crates/metrics/src/lib.rs crates/metrics/src/breakdown.rs crates/metrics/src/kiviat.rs crates/metrics/src/stats.rs crates/metrics/src/summary.rs crates/metrics/src/usage.rs Cargo.toml
+/root/repo/target/debug/deps/libbbsched_metrics-dc2d813e9f8a5bb6.rmeta: crates/metrics/src/lib.rs crates/metrics/src/breakdown.rs crates/metrics/src/kiviat.rs crates/metrics/src/live.rs crates/metrics/src/stats.rs crates/metrics/src/summary.rs crates/metrics/src/usage.rs Cargo.toml
 
 crates/metrics/src/lib.rs:
 crates/metrics/src/breakdown.rs:
 crates/metrics/src/kiviat.rs:
+crates/metrics/src/live.rs:
 crates/metrics/src/stats.rs:
 crates/metrics/src/summary.rs:
 crates/metrics/src/usage.rs:

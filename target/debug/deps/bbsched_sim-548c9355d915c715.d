@@ -1,11 +1,16 @@
-/root/repo/target/debug/deps/bbsched_sim-548c9355d915c715.d: crates/sim/src/lib.rs crates/sim/src/base_sched.rs crates/sim/src/error.rs crates/sim/src/profile.rs crates/sim/src/record.rs crates/sim/src/simulator.rs Cargo.toml
+/root/repo/target/debug/deps/bbsched_sim-548c9355d915c715.d: crates/sim/src/lib.rs crates/sim/src/alloc.rs crates/sim/src/backfill.rs crates/sim/src/base_sched.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/observer.rs crates/sim/src/profile.rs crates/sim/src/queue.rs crates/sim/src/record.rs crates/sim/src/simulator.rs Cargo.toml
 
-/root/repo/target/debug/deps/libbbsched_sim-548c9355d915c715.rmeta: crates/sim/src/lib.rs crates/sim/src/base_sched.rs crates/sim/src/error.rs crates/sim/src/profile.rs crates/sim/src/record.rs crates/sim/src/simulator.rs Cargo.toml
+/root/repo/target/debug/deps/libbbsched_sim-548c9355d915c715.rmeta: crates/sim/src/lib.rs crates/sim/src/alloc.rs crates/sim/src/backfill.rs crates/sim/src/base_sched.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/observer.rs crates/sim/src/profile.rs crates/sim/src/queue.rs crates/sim/src/record.rs crates/sim/src/simulator.rs Cargo.toml
 
 crates/sim/src/lib.rs:
+crates/sim/src/alloc.rs:
+crates/sim/src/backfill.rs:
 crates/sim/src/base_sched.rs:
+crates/sim/src/engine.rs:
 crates/sim/src/error.rs:
+crates/sim/src/observer.rs:
 crates/sim/src/profile.rs:
+crates/sim/src/queue.rs:
 crates/sim/src/record.rs:
 crates/sim/src/simulator.rs:
 Cargo.toml:

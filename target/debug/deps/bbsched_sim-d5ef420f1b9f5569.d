@@ -1,12 +1,17 @@
-/root/repo/target/debug/deps/bbsched_sim-d5ef420f1b9f5569.d: crates/sim/src/lib.rs crates/sim/src/base_sched.rs crates/sim/src/error.rs crates/sim/src/profile.rs crates/sim/src/record.rs crates/sim/src/simulator.rs
+/root/repo/target/debug/deps/bbsched_sim-d5ef420f1b9f5569.d: crates/sim/src/lib.rs crates/sim/src/alloc.rs crates/sim/src/backfill.rs crates/sim/src/base_sched.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/observer.rs crates/sim/src/profile.rs crates/sim/src/queue.rs crates/sim/src/record.rs crates/sim/src/simulator.rs
 
-/root/repo/target/debug/deps/libbbsched_sim-d5ef420f1b9f5569.rlib: crates/sim/src/lib.rs crates/sim/src/base_sched.rs crates/sim/src/error.rs crates/sim/src/profile.rs crates/sim/src/record.rs crates/sim/src/simulator.rs
+/root/repo/target/debug/deps/libbbsched_sim-d5ef420f1b9f5569.rlib: crates/sim/src/lib.rs crates/sim/src/alloc.rs crates/sim/src/backfill.rs crates/sim/src/base_sched.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/observer.rs crates/sim/src/profile.rs crates/sim/src/queue.rs crates/sim/src/record.rs crates/sim/src/simulator.rs
 
-/root/repo/target/debug/deps/libbbsched_sim-d5ef420f1b9f5569.rmeta: crates/sim/src/lib.rs crates/sim/src/base_sched.rs crates/sim/src/error.rs crates/sim/src/profile.rs crates/sim/src/record.rs crates/sim/src/simulator.rs
+/root/repo/target/debug/deps/libbbsched_sim-d5ef420f1b9f5569.rmeta: crates/sim/src/lib.rs crates/sim/src/alloc.rs crates/sim/src/backfill.rs crates/sim/src/base_sched.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/observer.rs crates/sim/src/profile.rs crates/sim/src/queue.rs crates/sim/src/record.rs crates/sim/src/simulator.rs
 
 crates/sim/src/lib.rs:
+crates/sim/src/alloc.rs:
+crates/sim/src/backfill.rs:
 crates/sim/src/base_sched.rs:
+crates/sim/src/engine.rs:
 crates/sim/src/error.rs:
+crates/sim/src/observer.rs:
 crates/sim/src/profile.rs:
+crates/sim/src/queue.rs:
 crates/sim/src/record.rs:
 crates/sim/src/simulator.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_sim-24a8e1c81e5eb448.d: crates/bench/src/bin/bench_sim.rs
+
+/root/repo/target/debug/deps/bench_sim-24a8e1c81e5eb448: crates/bench/src/bin/bench_sim.rs
+
+crates/bench/src/bin/bench_sim.rs:

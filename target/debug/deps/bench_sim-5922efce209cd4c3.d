@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_sim-5922efce209cd4c3.d: crates/bench/src/bin/bench_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_sim-5922efce209cd4c3.rmeta: crates/bench/src/bin/bench_sim.rs Cargo.toml
+
+crates/bench/src/bin/bench_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

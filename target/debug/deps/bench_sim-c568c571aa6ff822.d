@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_sim-c568c571aa6ff822.d: crates/bench/src/bin/bench_sim.rs
+
+/root/repo/target/debug/deps/bench_sim-c568c571aa6ff822: crates/bench/src/bin/bench_sim.rs
+
+crates/bench/src/bin/bench_sim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_sim-f6c319fe3b30a8cc.d: crates/bench/src/bin/bench_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_sim-f6c319fe3b30a8cc.rmeta: crates/bench/src/bin/bench_sim.rs Cargo.toml
+
+crates/bench/src/bin/bench_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_invariants-725c0c8a0b35598a.d: crates/sim/tests/engine_invariants.rs
+
+/root/repo/target/debug/deps/engine_invariants-725c0c8a0b35598a: crates/sim/tests/engine_invariants.rs
+
+crates/sim/tests/engine_invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_invariants-9f70a62f66779265.d: crates/sim/tests/engine_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_invariants-9f70a62f66779265.rmeta: crates/sim/tests/engine_invariants.rs Cargo.toml
+
+crates/sim/tests/engine_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/golden_equivalence-0f823cff6e66867c.d: crates/sim/tests/golden_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_equivalence-0f823cff6e66867c.rmeta: crates/sim/tests/golden_equivalence.rs Cargo.toml
+
+crates/sim/tests/golden_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

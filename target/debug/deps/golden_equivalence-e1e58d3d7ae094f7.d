@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_equivalence-e1e58d3d7ae094f7.d: crates/sim/tests/golden_equivalence.rs
+
+/root/repo/target/debug/deps/golden_equivalence-e1e58d3d7ae094f7: crates/sim/tests/golden_equivalence.rs
+
+crates/sim/tests/golden_equivalence.rs:

@@ -1,12 +1,13 @@
-/root/repo/target/release/deps/bbsched_metrics-db3256e893aefeda.d: crates/metrics/src/lib.rs crates/metrics/src/breakdown.rs crates/metrics/src/kiviat.rs crates/metrics/src/stats.rs crates/metrics/src/summary.rs crates/metrics/src/usage.rs
+/root/repo/target/release/deps/bbsched_metrics-db3256e893aefeda.d: crates/metrics/src/lib.rs crates/metrics/src/breakdown.rs crates/metrics/src/kiviat.rs crates/metrics/src/live.rs crates/metrics/src/stats.rs crates/metrics/src/summary.rs crates/metrics/src/usage.rs
 
-/root/repo/target/release/deps/libbbsched_metrics-db3256e893aefeda.rlib: crates/metrics/src/lib.rs crates/metrics/src/breakdown.rs crates/metrics/src/kiviat.rs crates/metrics/src/stats.rs crates/metrics/src/summary.rs crates/metrics/src/usage.rs
+/root/repo/target/release/deps/libbbsched_metrics-db3256e893aefeda.rlib: crates/metrics/src/lib.rs crates/metrics/src/breakdown.rs crates/metrics/src/kiviat.rs crates/metrics/src/live.rs crates/metrics/src/stats.rs crates/metrics/src/summary.rs crates/metrics/src/usage.rs
 
-/root/repo/target/release/deps/libbbsched_metrics-db3256e893aefeda.rmeta: crates/metrics/src/lib.rs crates/metrics/src/breakdown.rs crates/metrics/src/kiviat.rs crates/metrics/src/stats.rs crates/metrics/src/summary.rs crates/metrics/src/usage.rs
+/root/repo/target/release/deps/libbbsched_metrics-db3256e893aefeda.rmeta: crates/metrics/src/lib.rs crates/metrics/src/breakdown.rs crates/metrics/src/kiviat.rs crates/metrics/src/live.rs crates/metrics/src/stats.rs crates/metrics/src/summary.rs crates/metrics/src/usage.rs
 
 crates/metrics/src/lib.rs:
 crates/metrics/src/breakdown.rs:
 crates/metrics/src/kiviat.rs:
+crates/metrics/src/live.rs:
 crates/metrics/src/stats.rs:
 crates/metrics/src/summary.rs:
 crates/metrics/src/usage.rs:

@@ -1,12 +1,17 @@
-/root/repo/target/release/deps/bbsched_sim-3d3b87851dda9432.d: crates/sim/src/lib.rs crates/sim/src/base_sched.rs crates/sim/src/error.rs crates/sim/src/profile.rs crates/sim/src/record.rs crates/sim/src/simulator.rs
+/root/repo/target/release/deps/bbsched_sim-3d3b87851dda9432.d: crates/sim/src/lib.rs crates/sim/src/alloc.rs crates/sim/src/backfill.rs crates/sim/src/base_sched.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/observer.rs crates/sim/src/profile.rs crates/sim/src/queue.rs crates/sim/src/record.rs crates/sim/src/simulator.rs
 
-/root/repo/target/release/deps/libbbsched_sim-3d3b87851dda9432.rlib: crates/sim/src/lib.rs crates/sim/src/base_sched.rs crates/sim/src/error.rs crates/sim/src/profile.rs crates/sim/src/record.rs crates/sim/src/simulator.rs
+/root/repo/target/release/deps/libbbsched_sim-3d3b87851dda9432.rlib: crates/sim/src/lib.rs crates/sim/src/alloc.rs crates/sim/src/backfill.rs crates/sim/src/base_sched.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/observer.rs crates/sim/src/profile.rs crates/sim/src/queue.rs crates/sim/src/record.rs crates/sim/src/simulator.rs
 
-/root/repo/target/release/deps/libbbsched_sim-3d3b87851dda9432.rmeta: crates/sim/src/lib.rs crates/sim/src/base_sched.rs crates/sim/src/error.rs crates/sim/src/profile.rs crates/sim/src/record.rs crates/sim/src/simulator.rs
+/root/repo/target/release/deps/libbbsched_sim-3d3b87851dda9432.rmeta: crates/sim/src/lib.rs crates/sim/src/alloc.rs crates/sim/src/backfill.rs crates/sim/src/base_sched.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/observer.rs crates/sim/src/profile.rs crates/sim/src/queue.rs crates/sim/src/record.rs crates/sim/src/simulator.rs
 
 crates/sim/src/lib.rs:
+crates/sim/src/alloc.rs:
+crates/sim/src/backfill.rs:
 crates/sim/src/base_sched.rs:
+crates/sim/src/engine.rs:
 crates/sim/src/error.rs:
+crates/sim/src/observer.rs:
 crates/sim/src/profile.rs:
+crates/sim/src/queue.rs:
 crates/sim/src/record.rs:
 crates/sim/src/simulator.rs:

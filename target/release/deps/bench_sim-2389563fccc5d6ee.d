@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_sim-2389563fccc5d6ee.d: crates/bench/src/bin/bench_sim.rs
+
+/root/repo/target/release/deps/bench_sim-2389563fccc5d6ee: crates/bench/src/bin/bench_sim.rs
+
+crates/bench/src/bin/bench_sim.rs:
