@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_decision_rules-057329b138b2e07c.d: crates/bench/src/bin/ablation_decision_rules.rs
+
+/root/repo/target/release/deps/ablation_decision_rules-057329b138b2e07c: crates/bench/src/bin/ablation_decision_rules.rs
+
+crates/bench/src/bin/ablation_decision_rules.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_estimates-8fc094ab312f4531.d: crates/bench/src/bin/ablation_estimates.rs
+
+/root/repo/target/release/deps/ablation_estimates-8fc094ab312f4531: crates/bench/src/bin/ablation_estimates.rs
+
+crates/bench/src/bin/ablation_estimates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_seed_stability-33bcf33e082901ad.d: crates/bench/src/bin/ablation_seed_stability.rs
+
+/root/repo/target/release/deps/ablation_seed_stability-33bcf33e082901ad: crates/bench/src/bin/ablation_seed_stability.rs
+
+crates/bench/src/bin/ablation_seed_stability.rs:

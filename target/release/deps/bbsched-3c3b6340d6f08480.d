@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bbsched-3c3b6340d6f08480.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/bbsched-3c3b6340d6f08480: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bbsched-92b001cbb8334151.d: src/lib.rs
+
+/root/repo/target/release/deps/bbsched-92b001cbb8334151: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/bbsched_bench-98c39cbe51118eed.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/figures.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/bbsched_bench-98c39cbe51118eed: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/figures.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bbsched_cli-6227ac74607caaf4.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/bbsched_cli-6227ac74607caaf4: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

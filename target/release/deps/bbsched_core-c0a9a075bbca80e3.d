@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/bbsched_core-c0a9a075bbca80e3.d: crates/core/src/lib.rs crates/core/src/chromosome.rs crates/core/src/decision.rs crates/core/src/exhaustive.rs crates/core/src/ga.rs crates/core/src/parallel.rs crates/core/src/pareto.rs crates/core/src/pools.rs crates/core/src/problem.rs crates/core/src/quality.rs crates/core/src/resource.rs crates/core/src/window.rs
+
+/root/repo/target/release/deps/bbsched_core-c0a9a075bbca80e3: crates/core/src/lib.rs crates/core/src/chromosome.rs crates/core/src/decision.rs crates/core/src/exhaustive.rs crates/core/src/ga.rs crates/core/src/parallel.rs crates/core/src/pareto.rs crates/core/src/pools.rs crates/core/src/problem.rs crates/core/src/quality.rs crates/core/src/resource.rs crates/core/src/window.rs
+
+crates/core/src/lib.rs:
+crates/core/src/chromosome.rs:
+crates/core/src/decision.rs:
+crates/core/src/exhaustive.rs:
+crates/core/src/ga.rs:
+crates/core/src/parallel.rs:
+crates/core/src/pareto.rs:
+crates/core/src/pools.rs:
+crates/core/src/problem.rs:
+crates/core/src/quality.rs:
+crates/core/src/resource.rs:
+crates/core/src/window.rs:

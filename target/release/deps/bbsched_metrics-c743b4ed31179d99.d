@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/bbsched_metrics-c743b4ed31179d99.d: crates/metrics/src/lib.rs crates/metrics/src/breakdown.rs crates/metrics/src/kiviat.rs crates/metrics/src/live.rs crates/metrics/src/stats.rs crates/metrics/src/summary.rs crates/metrics/src/usage.rs
+
+/root/repo/target/release/deps/bbsched_metrics-c743b4ed31179d99: crates/metrics/src/lib.rs crates/metrics/src/breakdown.rs crates/metrics/src/kiviat.rs crates/metrics/src/live.rs crates/metrics/src/stats.rs crates/metrics/src/summary.rs crates/metrics/src/usage.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/breakdown.rs:
+crates/metrics/src/kiviat.rs:
+crates/metrics/src/live.rs:
+crates/metrics/src/stats.rs:
+crates/metrics/src/summary.rs:
+crates/metrics/src/usage.rs:

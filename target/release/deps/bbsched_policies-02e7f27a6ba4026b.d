@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/bbsched_policies-02e7f27a6ba4026b.d: crates/policies/src/lib.rs crates/policies/src/adaptive.rs crates/policies/src/bbsched.rs crates/policies/src/bin_packing.rs crates/policies/src/constrained.rs crates/policies/src/kind.rs crates/policies/src/naive.rs crates/policies/src/weighted.rs
+
+/root/repo/target/release/deps/bbsched_policies-02e7f27a6ba4026b: crates/policies/src/lib.rs crates/policies/src/adaptive.rs crates/policies/src/bbsched.rs crates/policies/src/bin_packing.rs crates/policies/src/constrained.rs crates/policies/src/kind.rs crates/policies/src/naive.rs crates/policies/src/weighted.rs
+
+crates/policies/src/lib.rs:
+crates/policies/src/adaptive.rs:
+crates/policies/src/bbsched.rs:
+crates/policies/src/bin_packing.rs:
+crates/policies/src/constrained.rs:
+crates/policies/src/kind.rs:
+crates/policies/src/naive.rs:
+crates/policies/src/weighted.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/bbsched_sim-8582dd6927594550.d: crates/sim/src/lib.rs crates/sim/src/alloc.rs crates/sim/src/backfill.rs crates/sim/src/base_sched.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/observer.rs crates/sim/src/profile.rs crates/sim/src/queue.rs crates/sim/src/record.rs crates/sim/src/simulator.rs
+
+/root/repo/target/release/deps/bbsched_sim-8582dd6927594550: crates/sim/src/lib.rs crates/sim/src/alloc.rs crates/sim/src/backfill.rs crates/sim/src/base_sched.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/observer.rs crates/sim/src/profile.rs crates/sim/src/queue.rs crates/sim/src/record.rs crates/sim/src/simulator.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/alloc.rs:
+crates/sim/src/backfill.rs:
+crates/sim/src/base_sched.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/observer.rs:
+crates/sim/src/profile.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/record.rs:
+crates/sim/src/simulator.rs:

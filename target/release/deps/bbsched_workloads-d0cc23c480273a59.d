@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/bbsched_workloads-d0cc23c480273a59.d: crates/workloads/src/lib.rs crates/workloads/src/dag.rs crates/workloads/src/dist.rs crates/workloads/src/estimates.rs crates/workloads/src/generator.rs crates/workloads/src/job.rs crates/workloads/src/swf.rs crates/workloads/src/synthetic.rs crates/workloads/src/system.rs crates/workloads/src/trace.rs
+
+/root/repo/target/release/deps/bbsched_workloads-d0cc23c480273a59: crates/workloads/src/lib.rs crates/workloads/src/dag.rs crates/workloads/src/dist.rs crates/workloads/src/estimates.rs crates/workloads/src/generator.rs crates/workloads/src/job.rs crates/workloads/src/swf.rs crates/workloads/src/synthetic.rs crates/workloads/src/system.rs crates/workloads/src/trace.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/dag.rs:
+crates/workloads/src/dist.rs:
+crates/workloads/src/estimates.rs:
+crates/workloads/src/generator.rs:
+crates/workloads/src/job.rs:
+crates/workloads/src/swf.rs:
+crates/workloads/src/synthetic.rs:
+crates/workloads/src/system.rs:
+crates/workloads/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_sim-fe99463df1b36745.d: crates/bench/src/bin/bench_sim.rs
+
+/root/repo/target/release/deps/bench_sim-fe99463df1b36745: crates/bench/src/bin/bench_sim.rs
+
+crates/bench/src/bin/bench_sim.rs:

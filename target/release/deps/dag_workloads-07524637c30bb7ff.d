@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dag_workloads-07524637c30bb7ff.d: tests/dag_workloads.rs
+
+/root/repo/target/release/deps/dag_workloads-07524637c30bb7ff: tests/dag_workloads.rs
+
+tests/dag_workloads.rs:

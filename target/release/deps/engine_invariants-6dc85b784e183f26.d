@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine_invariants-6dc85b784e183f26.d: crates/sim/tests/engine_invariants.rs
+
+/root/repo/target/release/deps/engine_invariants-6dc85b784e183f26: crates/sim/tests/engine_invariants.rs
+
+crates/sim/tests/engine_invariants.rs:

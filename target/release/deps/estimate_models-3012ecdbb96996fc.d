@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/estimate_models-3012ecdbb96996fc.d: tests/estimate_models.rs
+
+/root/repo/target/release/deps/estimate_models-3012ecdbb96996fc: tests/estimate_models.rs
+
+tests/estimate_models.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_wait_by_bb-c26240370eefb772.d: crates/bench/src/bin/fig10_wait_by_bb.rs
+
+/root/repo/target/release/deps/fig10_wait_by_bb-c26240370eefb772: crates/bench/src/bin/fig10_wait_by_bb.rs
+
+crates/bench/src/bin/fig10_wait_by_bb.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_wait_by_runtime-346a4a8554d5fa59.d: crates/bench/src/bin/fig11_wait_by_runtime.rs
+
+/root/repo/target/release/deps/fig11_wait_by_runtime-346a4a8554d5fa59: crates/bench/src/bin/fig11_wait_by_runtime.rs
+
+crates/bench/src/bin/fig11_wait_by_runtime.rs:

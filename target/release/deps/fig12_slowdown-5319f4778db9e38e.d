@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_slowdown-5319f4778db9e38e.d: crates/bench/src/bin/fig12_slowdown.rs
+
+/root/repo/target/release/deps/fig12_slowdown-5319f4778db9e38e: crates/bench/src/bin/fig12_slowdown.rs
+
+crates/bench/src/bin/fig12_slowdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_kiviat-47974919507c52ae.d: crates/bench/src/bin/fig13_kiviat.rs
+
+/root/repo/target/release/deps/fig13_kiviat-47974919507c52ae: crates/bench/src/bin/fig13_kiviat.rs
+
+crates/bench/src/bin/fig13_kiviat.rs:

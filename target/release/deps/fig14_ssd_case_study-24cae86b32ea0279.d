@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_ssd_case_study-24cae86b32ea0279.d: crates/bench/src/bin/fig14_ssd_case_study.rs
+
+/root/repo/target/release/deps/fig14_ssd_case_study-24cae86b32ea0279: crates/bench/src/bin/fig14_ssd_case_study.rs
+
+crates/bench/src/bin/fig14_ssd_case_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_window_time-66bc37b45b43dbd0.d: crates/bench/src/bin/fig2_window_time.rs
+
+/root/repo/target/release/deps/fig2_window_time-66bc37b45b43dbd0: crates/bench/src/bin/fig2_window_time.rs
+
+crates/bench/src/bin/fig2_window_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_g_p_sweep-0281cdd24b537e54.d: crates/bench/src/bin/fig4_g_p_sweep.rs
+
+/root/repo/target/release/deps/fig4_g_p_sweep-0281cdd24b537e54: crates/bench/src/bin/fig4_g_p_sweep.rs
+
+crates/bench/src/bin/fig4_g_p_sweep.rs:

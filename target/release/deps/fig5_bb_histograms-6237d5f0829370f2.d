@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_bb_histograms-6237d5f0829370f2.d: crates/bench/src/bin/fig5_bb_histograms.rs
+
+/root/repo/target/release/deps/fig5_bb_histograms-6237d5f0829370f2: crates/bench/src/bin/fig5_bb_histograms.rs
+
+crates/bench/src/bin/fig5_bb_histograms.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_node_usage-136597191a695dbc.d: crates/bench/src/bin/fig6_node_usage.rs
+
+/root/repo/target/release/deps/fig6_node_usage-136597191a695dbc: crates/bench/src/bin/fig6_node_usage.rs
+
+crates/bench/src/bin/fig6_node_usage.rs:

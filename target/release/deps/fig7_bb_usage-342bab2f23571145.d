@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_bb_usage-342bab2f23571145.d: crates/bench/src/bin/fig7_bb_usage.rs
+
+/root/repo/target/release/deps/fig7_bb_usage-342bab2f23571145: crates/bench/src/bin/fig7_bb_usage.rs
+
+crates/bench/src/bin/fig7_bb_usage.rs:

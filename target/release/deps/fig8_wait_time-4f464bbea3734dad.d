@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_wait_time-4f464bbea3734dad.d: crates/bench/src/bin/fig8_wait_time.rs
+
+/root/repo/target/release/deps/fig8_wait_time-4f464bbea3734dad: crates/bench/src/bin/fig8_wait_time.rs
+
+crates/bench/src/bin/fig8_wait_time.rs:

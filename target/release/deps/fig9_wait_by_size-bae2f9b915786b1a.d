@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_wait_by_size-bae2f9b915786b1a.d: crates/bench/src/bin/fig9_wait_by_size.rs
+
+/root/repo/target/release/deps/fig9_wait_by_size-bae2f9b915786b1a: crates/bench/src/bin/fig9_wait_by_size.rs
+
+crates/bench/src/bin/fig9_wait_by_size.rs:

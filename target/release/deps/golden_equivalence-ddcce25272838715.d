@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/golden_equivalence-ddcce25272838715.d: crates/sim/tests/golden_equivalence.rs
+
+/root/repo/target/release/deps/golden_equivalence-ddcce25272838715: crates/sim/tests/golden_equivalence.rs
+
+crates/sim/tests/golden_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/property_invariants-e4a791098f85c91f.d: tests/property_invariants.rs
+
+/root/repo/target/release/deps/property_invariants-e4a791098f85c91f: tests/property_invariants.rs
+
+tests/property_invariants.rs:

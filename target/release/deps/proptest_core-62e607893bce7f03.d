@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_core-62e607893bce7f03.d: crates/core/tests/proptest_core.rs
+
+/root/repo/target/release/deps/proptest_core-62e607893bce7f03: crates/core/tests/proptest_core.rs
+
+crates/core/tests/proptest_core.rs:

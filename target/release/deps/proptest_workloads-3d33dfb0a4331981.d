@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_workloads-3d33dfb0a4331981.d: crates/workloads/tests/proptest_workloads.rs
+
+/root/repo/target/release/deps/proptest_workloads-3d33dfb0a4331981: crates/workloads/tests/proptest_workloads.rs
+
+crates/workloads/tests/proptest_workloads.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simulation_pipeline-482327b784c94ac4.d: tests/simulation_pipeline.rs
+
+/root/repo/target/release/deps/simulation_pipeline-482327b784c94ac4: tests/simulation_pipeline.rs
+
+tests/simulation_pipeline.rs:

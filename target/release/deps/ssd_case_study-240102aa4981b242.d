@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ssd_case_study-240102aa4981b242.d: tests/ssd_case_study.rs
+
+/root/repo/target/release/deps/ssd_case_study-240102aa4981b242: tests/ssd_case_study.rs
+
+tests/ssd_case_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-4c9d783ba064ab18.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-4c9d783ba064ab18: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_reproduction-01ca7a41a50dda6b.d: tests/table1_reproduction.rs
+
+/root/repo/target/release/deps/table1_reproduction-01ca7a41a50dda6b: tests/table1_reproduction.rs
+
+tests/table1_reproduction.rs:

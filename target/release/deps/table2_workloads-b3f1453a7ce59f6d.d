@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_workloads-b3f1453a7ce59f6d.d: crates/bench/src/bin/table2_workloads.rs
+
+/root/repo/target/release/deps/table2_workloads-b3f1453a7ce59f6d: crates/bench/src/bin/table2_workloads.rs
+
+crates/bench/src/bin/table2_workloads.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_window_sensitivity-18d5c3f7715e2b20.d: crates/bench/src/bin/table3_window_sensitivity.rs
+
+/root/repo/target/release/deps/table3_window_sensitivity-18d5c3f7715e2b20: crates/bench/src/bin/table3_window_sensitivity.rs
+
+crates/bench/src/bin/table3_window_sensitivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/backfill_disciplines-0df328bcccb875be.d: examples/backfill_disciplines.rs
+
+/root/repo/target/release/examples/backfill_disciplines-0df328bcccb875be: examples/backfill_disciplines.rs
+
+examples/backfill_disciplines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/illustrative_example-d192853a02ff9757.d: examples/illustrative_example.rs
+
+/root/repo/target/release/examples/illustrative_example-d192853a02ff9757: examples/illustrative_example.rs
+
+examples/illustrative_example.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/parameter_tuning-e303625711526fb3.d: examples/parameter_tuning.rs
+
+/root/repo/target/release/examples/parameter_tuning-e303625711526fb3: examples/parameter_tuning.rs
+
+examples/parameter_tuning.rs:

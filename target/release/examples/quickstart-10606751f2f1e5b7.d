@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-10606751f2f1e5b7.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-10606751f2f1e5b7: examples/quickstart.rs
+
+examples/quickstart.rs:

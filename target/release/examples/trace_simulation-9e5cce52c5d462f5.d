@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/trace_simulation-9e5cce52c5d462f5.d: examples/trace_simulation.rs
+
+/root/repo/target/release/examples/trace_simulation-9e5cce52c5d462f5: examples/trace_simulation.rs
+
+examples/trace_simulation.rs:
