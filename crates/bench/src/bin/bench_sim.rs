@@ -6,13 +6,23 @@
 //! scraping human-oriented bench output.
 //!
 //! Run: `cargo run --release -p bbsched-bench --bin bench_sim -- \
-//!         [--short] [--out PATH] [--baseline PATH]`
+//!         [--short] [--out PATH] [--baseline PATH] [--max-regression PCT]`
 //!
 //! * `--short` shrinks traces/generations to smoke-test sizes (CI); the
 //!   emitted JSON is tagged `"mode": "short"` so numbers are not compared
 //!   across modes.
 //! * `--baseline PATH` embeds a previously emitted file's results under
 //!   `"baseline"` and reports per-benchmark `delta_pct`.
+//! * `--max-regression PCT` (requires `--baseline`) turns the run into a
+//!   regression guard: exit nonzero if any benchmark's best-of-N floor
+//!   (`min_s`) exceeds the *baseline median* by more than `PCT`. On a
+//!   shared runner the floor is the only stable statistic a single run
+//!   produces, and on a quiet machine it sits well below the median — so
+//!   noise has headroom while a real slowdown (which lifts the floor past
+//!   the old typical time) still fails the build. `delta_pct` keeps
+//!   reporting the median-vs-median change. The baseline must have been
+//!   produced in the same mode — short and full numbers are not
+//!   comparable.
 
 use bbsched_core::pools::PoolState;
 use bbsched_core::problem::JobDemand;
@@ -94,18 +104,27 @@ fn main() {
         args.iter().position(|a| a == key).and_then(|i| args.get(i + 1)).map(String::as_str)
     };
     let out = opt("--out").unwrap_or("BENCH_sim.json").to_string();
+    let max_regression: Option<f64> = opt("--max-regression").map(|v| {
+        v.parse().unwrap_or_else(|e| panic!("--max-regression wants a percentage, got '{v}': {e}"))
+    });
     let baseline: Option<Vec<BenchEntry>> = opt("--baseline").map(|path| {
         let bytes = std::fs::read(path).unwrap_or_else(|e| panic!("cannot read '{path}': {e}"));
         let report: BenchReport =
             serde_json::from_slice(&bytes).unwrap_or_else(|e| panic!("cannot parse '{path}': {e}"));
+        let mode = if short { "short" } else { "full" };
+        assert_eq!(report.mode, mode, "baseline '{path}' mode mismatch: numbers not comparable");
         report.results
     });
+    if max_regression.is_some() && baseline.is_none() {
+        panic!("--max-regression needs --baseline to compare against");
+    }
 
-    let (samples, sim_samples) = if short { (2, 1) } else { (7, 7) };
+    let (samples, sim_samples) = if short { (7, 5) } else { (7, 7) };
     // Batch the fast simulation cases (sub-ms per run) so one sample is a
     // stable wall-clock chunk; single-iteration samples swing ±30% run to
-    // run. The heavy GA cases self-batch via their own cost.
-    let sim_min_s = if short { 0.0 } else { 0.02 };
+    // run. The heavy GA cases self-batch via their own cost. Short mode
+    // batches too: its minimums feed the CI regression guard.
+    let sim_min_s = 0.02;
     let (n_small, n_large) = if short { (60, 120) } else { (200, 500) };
     let (g_sched, g_heavy) = if short { (20, 60) } else { (100, 2_000) };
 
@@ -192,4 +211,25 @@ fn main() {
     let bytes = serde_json::to_vec_pretty(&report).expect("serialize report");
     std::fs::write(&out, bytes).unwrap_or_else(|e| panic!("cannot write '{out}': {e}"));
     println!("wrote {out}");
+
+    if let Some(limit) = max_regression {
+        let base = report.baseline.as_deref().expect("guard requires --baseline");
+        let regressed: Vec<(&str, f64)> = report
+            .results
+            .iter()
+            .filter_map(|e| {
+                let b = base.iter().find(|b| b.name == e.name)?;
+                let delta_floor = (e.min_s / b.median_s - 1.0) * 100.0;
+                (delta_floor > limit).then_some((e.name.as_str(), delta_floor))
+            })
+            .collect();
+        if !regressed.is_empty() {
+            eprintln!("\nregressions above +{limit}% vs baseline (run floor vs baseline median):");
+            for (name, delta) in &regressed {
+                eprintln!("  {name:<44} {delta:+.1}%");
+            }
+            std::process::exit(1);
+        }
+        println!("regression guard passed (every run floor <= baseline median +{limit}%)");
+    }
 }

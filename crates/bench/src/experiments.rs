@@ -232,6 +232,58 @@ pub fn cell_summary(
     )
 }
 
+/// One `machine × workload × policy` cell of the experiment grid.
+pub type GridCell = (Machine, Workload, PolicyKind);
+
+/// Worker threads for grid sweeps: `BBSCHED_THREADS`, default 1 (serial).
+pub fn sweep_threads() -> usize {
+    std::env::var("BBSCHED_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or(1)
+}
+
+/// Simulates a batch of grid cells on `threads` workers, with an explicit
+/// cache directory.
+///
+/// Whole cells are the parallel grain (see `bbsched_core::parallel`): each
+/// cell derives its seeds from the scale and its own coordinates, never
+/// from sweep order or thread identity, and [`run_batch`] returns results
+/// in input order — so a `threads > 1` sweep is byte-identical to a serial
+/// one.
+///
+/// [`run_batch`]: bbsched_core::parallel::run_batch
+pub fn sweep_results_in(
+    dir: &std::path::Path,
+    cells: &[GridCell],
+    scale: &Scale,
+    threads: usize,
+) -> Vec<SimResult> {
+    let jobs: Vec<_> = cells
+        .iter()
+        .map(|&(machine, workload, kind)| {
+            let (dir, scale) = (dir.to_path_buf(), *scale);
+            move || cell_result_in(&dir, machine, workload, kind, &scale, None)
+        })
+        .collect();
+    bbsched_core::parallel::run_batch(threads, jobs)
+}
+
+/// [`sweep_results_in`] against the shared on-disk cache.
+pub fn sweep_results(cells: &[GridCell], scale: &Scale, threads: usize) -> Vec<SimResult> {
+    sweep_results_in(&cache_dir(), cells, scale, threads)
+}
+
+/// Sweeps the cells and reduces each result to its §4.2 summary, in input
+/// order.
+pub fn sweep_summaries(cells: &[GridCell], scale: &Scale, threads: usize) -> Vec<MethodSummary> {
+    sweep_results(cells, scale, threads)
+        .iter()
+        .map(|r| MethodSummary::from_result(r, MeasurementWindow::default()))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -317,6 +369,37 @@ mod tests {
         assert!((0.0..=1.0 + 1e-9).contains(&m.bb_usage()), "bb usage {}", m.bb_usage());
         assert!(m.avg_wait >= 0.0);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_serial() {
+        let s = tiny();
+        let cells: Vec<GridCell> = vec![
+            (Machine::Theta, Workload::Original, PolicyKind::Baseline),
+            (Machine::Theta, Workload::S1, PolicyKind::BinPacking),
+            (Machine::Theta, Workload::Original, PolicyKind::BbSched),
+            (Machine::Cori, Workload::S2, PolicyKind::Baseline),
+            (Machine::Cori, Workload::Original, PolicyKind::BinPacking),
+        ];
+        let (dir_serial, dir_par) = (test_cache("sweep_serial"), test_cache("sweep_par"));
+        std::fs::remove_dir_all(&dir_serial).ok();
+        std::fs::remove_dir_all(&dir_par).ok();
+        let serial = sweep_results_in(&dir_serial, &cells, &s, 1);
+        let par = sweep_results_in(&dir_par, &cells, &s, 4);
+        let bytes = |rs: &[SimResult]| -> Vec<Vec<u8>> {
+            rs.iter().map(|r| serde_json::to_vec(r).unwrap()).collect()
+        };
+        assert_eq!(bytes(&serial), bytes(&par), "parallel sweep must match serial byte-for-byte");
+        std::fs::remove_dir_all(&dir_serial).ok();
+        std::fs::remove_dir_all(&dir_par).ok();
+    }
+
+    #[test]
+    fn sweep_threads_defaults_to_serial() {
+        // The test environment does not set BBSCHED_THREADS.
+        if std::env::var("BBSCHED_THREADS").is_err() {
+            assert_eq!(sweep_threads(), 1);
+        }
     }
 
     #[test]

@@ -6,19 +6,34 @@
 //! prints one table per machine with policies as rows and workloads as
 //! columns, mirroring the paper's bar-group layout.
 
-use crate::experiments::{cell_summary, Machine, Scale};
+use crate::experiments::{sweep_summaries, sweep_threads, GridCell, Machine, Scale};
 use crate::report::Table;
 use bbsched_metrics::MethodSummary;
 use bbsched_policies::PolicyKind;
 use bbsched_workloads::Workload;
 
 /// Prints the standard `machine × workload × policy` grid for one metric.
+///
+/// All cells (both machines) are simulated up front through the parallel
+/// sweep driver — `BBSCHED_THREADS` workers, serial by default — and then
+/// printed in the fixed grid order, so the output never depends on the
+/// thread count.
 pub fn print_metric_grid<F>(title: &str, scale: &Scale, metric: F)
 where
     F: Fn(&MethodSummary) -> String,
 {
     println!("{title}");
     println!("scale: {scale:?}\n");
+    let cells: Vec<GridCell> = Machine::both()
+        .into_iter()
+        .flat_map(|machine| {
+            PolicyKind::main_roster().into_iter().flat_map(move |kind| {
+                Workload::main_grid().into_iter().map(move |w| (machine, w, kind))
+            })
+        })
+        .collect();
+    let summaries = sweep_summaries(&cells, scale, sweep_threads());
+    let mut next = summaries.iter();
     for machine in Machine::both() {
         let mut header: Vec<String> = vec!["Method".to_string()];
         header.extend(
@@ -27,9 +42,8 @@ where
         let mut table = Table::new(header);
         for kind in PolicyKind::main_roster() {
             let mut row = vec![kind.name().to_string()];
-            for workload in Workload::main_grid() {
-                let summary = cell_summary(machine, workload, kind, scale);
-                row.push(metric(&summary));
+            for _ in Workload::main_grid() {
+                row.push(metric(next.next().expect("one summary per cell")));
             }
             table.row(row);
         }
@@ -39,15 +53,18 @@ where
     }
 }
 
-/// Collects the full grid of summaries for a machine (policy-major order).
+/// Collects the full grid of summaries for a machine (policy-major order),
+/// simulating the cells through the parallel sweep driver.
 pub fn machine_grid(machine: Machine, scale: &Scale) -> Vec<(PolicyKind, Vec<MethodSummary>)> {
+    let cells: Vec<GridCell> = PolicyKind::main_roster()
+        .into_iter()
+        .flat_map(|kind| Workload::main_grid().into_iter().map(move |w| (machine, w, kind)))
+        .collect();
+    let mut summaries = sweep_summaries(&cells, scale, sweep_threads()).into_iter();
     PolicyKind::main_roster()
         .into_iter()
         .map(|kind| {
-            let row = Workload::main_grid()
-                .into_iter()
-                .map(|w| cell_summary(machine, w, kind, scale))
-                .collect();
+            let row = Workload::main_grid().iter().map(|_| summaries.next().unwrap()).collect();
             (kind, row)
         })
         .collect()

@@ -42,12 +42,12 @@ COMMANDS
   simulate   Run one policy over a trace and print its metrics
              --trace PATH | (--machine + --jobs [--workload])
              --machine cori|theta  --scale F  --policy NAME  --gens G
-             --window N  --starvation-bound N
+             --window N  --starvation-bound N  --threads T
              --backfill easy|conservative  --backfill-scope window|queue
              --dynamic-window MIN,MAX,FRAC  [--out result.json]
   compare    Run the full §4.3 roster on one workload and print the grid
              --machine cori|theta  --workload W  --jobs N  --scale F
-             --gens G  (same scheduler knobs as simulate)
+             --gens G  --threads T  (same scheduler knobs as simulate)
   timeline   Export a utilization timeline CSV from a saved result
              --result PATH  --resource nodes|bb  --dt SECONDS  --out PATH
   gantt      ASCII utilization chart of a saved result
@@ -263,9 +263,20 @@ fn print_summary(result: &SimResult) {
     println!("makespan:        {:.2} days", result.makespan / 86_400.0);
 }
 
+/// Parses `--threads` (worker threads for GA evaluation and the compare
+/// roster; 1 = serial, the default).
+fn parse_threads(args: &Args) -> Result<usize, String> {
+    let threads: usize = args.get_parsed("threads", 1usize)?;
+    if threads == 0 {
+        return Err("--threads must be >= 1".to_string());
+    }
+    Ok(threads)
+}
+
 fn cmd_simulate(args: &Args) -> Result<(), String> {
     let mut known = vec![
-        "trace", "machine", "jobs", "seed", "scale", "load", "workload", "policy", "gens", "out",
+        "trace", "machine", "jobs", "seed", "scale", "load", "workload", "policy", "gens",
+        "threads", "out",
     ];
     known.extend_from_slice(SCHED_ARGS);
     args.check_known(&known)?;
@@ -275,6 +286,7 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     let ga = GaParams {
         generations: args.get_parsed("gens", 500usize)?,
         base_seed: args.get_parsed("seed", 7u64)?,
+        threads: parse_threads(args)?,
         ..GaParams::default()
     };
     let policy: Box<dyn SelectionPolicy> = kind.build(ga);
@@ -290,11 +302,13 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_compare(args: &Args) -> Result<(), String> {
-    let mut known = vec!["trace", "machine", "jobs", "seed", "scale", "load", "workload", "gens"];
+    let mut known =
+        vec!["trace", "machine", "jobs", "seed", "scale", "load", "workload", "gens", "threads"];
     known.extend_from_slice(SCHED_ARGS);
     args.check_known(&known)?;
     let (trace, profile) = trace_from_args(args)?;
     let cfg = sim_config(args, &profile)?;
+    let threads = parse_threads(args)?;
     let ga = GaParams {
         generations: args.get_parsed("gens", 200usize)?,
         base_seed: args.get_parsed("seed", 7u64)?,
@@ -305,12 +319,24 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
     } else {
         PolicyKind::main_roster().to_vec()
     };
+    // Each roster entry is an independent simulation over the same trace:
+    // run them as whole-task batch jobs and print in roster order, so the
+    // grid is byte-identical whatever the thread count.
+    let jobs: Vec<_> = roster
+        .iter()
+        .map(|&kind| {
+            let (system, trace, cfg) = (&profile.system, &trace, cfg.clone());
+            move || -> Result<SimResult, String> {
+                Ok(Simulator::new(system, trace, cfg)
+                    .map_err(|e| e.to_string())?
+                    .run(kind.build(ga)))
+            }
+        })
+        .collect();
+    let results = bbsched_core::parallel::run_batch(threads, jobs);
     println!("{:<16} {:>9} {:>9} {:>10} {:>10}", "Method", "Node", "BB", "Avg wait", "Slowdown");
-    for kind in roster {
-        let result = Simulator::new(&profile.system, &trace, cfg.clone())
-            .map_err(|e| e.to_string())?
-            .run(kind.build(ga));
-        let m = MethodSummary::from_result(&result, MeasurementWindow::default());
+    for (kind, result) in roster.iter().zip(results) {
+        let m = MethodSummary::from_result(&result?, MeasurementWindow::default());
         println!(
             "{:<16} {:>8.2}% {:>8.2}% {:>9.2}h {:>10.2}",
             kind.name(),
@@ -555,6 +581,35 @@ mod tests {
             let args = Args::parse(bad.clone()).unwrap();
             assert!(sim_config(&args, &profile).is_err(), "{bad:?} should be rejected");
         }
+    }
+
+    #[test]
+    fn threads_flag_parses_and_rejects_zero() {
+        let args = Args::parse(["simulate", "--threads", "4"]).unwrap();
+        assert_eq!(parse_threads(&args).unwrap(), 4);
+        let args = Args::parse(["simulate"]).unwrap();
+        assert_eq!(parse_threads(&args).unwrap(), 1, "default is serial");
+        let args = Args::parse(["simulate", "--threads", "0"]).unwrap();
+        assert!(parse_threads(&args).is_err());
+    }
+
+    #[test]
+    fn compare_runs_with_worker_threads() {
+        let args = Args::parse([
+            "compare",
+            "--machine",
+            "theta",
+            "--jobs",
+            "40",
+            "--scale",
+            "0.02",
+            "--gens",
+            "20",
+            "--threads",
+            "4",
+        ])
+        .unwrap();
+        run(&args).unwrap();
     }
 
     #[test]

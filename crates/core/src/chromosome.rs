@@ -15,10 +15,23 @@ const WORD_BITS: usize = 64;
 ///
 /// The bit at position `i` encodes whether the job at window slot `i` is
 /// selected to execute (`true`) or left waiting (`false`).
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(PartialEq, Eq, Hash)]
 pub struct Chromosome {
     words: Vec<u64>,
     len: usize,
+}
+
+impl Clone for Chromosome {
+    fn clone(&self) -> Self {
+        Self { words: self.words.clone(), len: self.len }
+    }
+
+    /// Reuses the existing word buffer — the GA's memo hit path restores
+    /// repaired chromosomes with `clone_from`, so hits allocate nothing.
+    fn clone_from(&mut self, source: &Self) {
+        self.words.clone_from(&source.words);
+        self.len = source.len;
+    }
 }
 
 impl Chromosome {
@@ -123,16 +136,33 @@ impl Chromosome {
     /// # Panics
     /// Panics if the parents have different lengths or `point > len`.
     pub fn crossover(&self, other: &Self, point: usize) -> (Self, Self) {
-        assert_eq!(self.len, other.len, "crossover requires equal-length parents");
-        assert!(point <= self.len);
         let mut a = self.clone();
         let mut b = other.clone();
-        for i in point..self.len {
-            let (ga, gb) = (self.get(i), other.get(i));
-            a.set(i, gb);
-            b.set(i, ga);
-        }
+        self.crossover_into(other, point, &mut a, &mut b);
         (a, b)
+    }
+
+    /// [`Chromosome::crossover`] writing into caller-provided children —
+    /// the GA's allocation-free hot path, which recycles the chromosomes
+    /// selection drops each generation instead of heap-allocating new ones.
+    ///
+    /// # Panics
+    /// Panics if the parents have different lengths or `point > len`.
+    pub fn crossover_into(&self, other: &Self, point: usize, a: &mut Self, b: &mut Self) {
+        assert_eq!(self.len, other.len, "crossover requires equal-length parents");
+        assert!(point <= self.len);
+        a.clone_from(self);
+        b.clone_from(other);
+        // Whole-word swap: the first affected word keeps its low `point % 64`
+        // bits and takes the rest from the other parent; later words swap
+        // entirely. Bits above `len` are zero in both parents, so they stay
+        // zero in both children.
+        let first = point / WORD_BITS;
+        for w in first..self.words.len() {
+            let keep = if w == first { (1u64 << (point % WORD_BITS)) - 1 } else { 0 };
+            a.words[w] = (self.words[w] & keep) | (other.words[w] & !keep);
+            b.words[w] = (other.words[w] & keep) | (self.words[w] & !keep);
+        }
     }
 
     /// Lexicographic "front of window first" comparison used by the decision
@@ -264,6 +294,43 @@ mod tests {
         let (c, d) = a.crossover(&b, 0);
         assert_eq!(c, b);
         assert_eq!(d, a);
+    }
+
+    #[test]
+    fn crossover_across_word_boundaries() {
+        let mut a = Chromosome::zeros(130);
+        let mut b = Chromosome::zeros(130);
+        for i in 0..130 {
+            if i % 3 == 0 {
+                a.set(i, true);
+            }
+            if i % 2 == 0 {
+                b.set(i, true);
+            }
+        }
+        for point in [0usize, 1, 63, 64, 65, 127, 128, 130] {
+            let (c, d) = a.crossover(&b, point);
+            for i in 0..130 {
+                let (want_c, want_d) =
+                    if i < point { (a.get(i), b.get(i)) } else { (b.get(i), a.get(i)) };
+                assert_eq!(c.get(i), want_c, "child c gene {i} at point {point}");
+                assert_eq!(d.get(i), want_d, "child d gene {i} at point {point}");
+            }
+        }
+    }
+
+    #[test]
+    fn clone_from_copies_content_at_any_length() {
+        let src = Chromosome::from_bits(&[true, false, true, true]);
+        let mut dst = Chromosome::zeros(4);
+        dst.clone_from(&src);
+        assert_eq!(dst, src);
+        // Growing and shrinking through clone_from both land on equality.
+        let long = Chromosome::from_bits(&[true; 100]);
+        dst.clone_from(&long);
+        assert_eq!(dst, long);
+        dst.clone_from(&src);
+        assert_eq!(dst, src);
     }
 
     #[test]

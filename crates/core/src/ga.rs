@@ -26,7 +26,7 @@ use crate::pareto::{dominates, ParetoFront, Solution};
 use crate::problem::MooProblem;
 use crate::Objectives;
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 
 /// How the GA turns objective vectors into survivor choices.
 #[derive(Clone, Debug, PartialEq)]
@@ -203,7 +203,11 @@ impl MooGa {
 
         let mut rng = SmallRng::seed_from_u64(self.config.seed);
         let p = self.config.population;
-        let mut pop = self.initial_population(problem, &mut rng);
+        // Memo of repair/evaluate results for the serial path; converged
+        // populations re-produce the same children over and over, so most
+        // late-run lookups hit.
+        let mut memo = parallel::EvalMemo::new();
+        let mut pop = self.initial_population(problem, &mut rng, &mut memo);
         let mut archive = ParetoFront::new();
         if self.config.archive {
             for ind in &pop {
@@ -219,6 +223,10 @@ impl MooGa {
         }
 
         let mut children_chroms: Vec<Chromosome> = Vec::with_capacity(p + 1);
+        // Chromosomes dropped by selection, recycled as crossover children so
+        // the steady-state loop allocates nothing.
+        let mut recycle: Vec<Chromosome> = Vec::with_capacity(2 * p);
+        let mut scratch = SelectScratch::default();
         for gen in 1..=self.config.generations {
             // --- crossover + mutation -> P children ---
             children_chroms.clear();
@@ -226,42 +234,36 @@ impl MooGa {
                 let pa = rng.random_range(0..pop.len());
                 let pb = rng.random_range(0..pop.len());
                 let point = rng.random_range(0..=w);
-                let (mut c1, mut c2) = pop[pa].chrom.crossover(&pop[pb].chrom, point);
+                let mut c1 = recycle.pop().unwrap_or_else(|| Chromosome::zeros(w));
+                let mut c2 = recycle.pop().unwrap_or_else(|| Chromosome::zeros(w));
+                pop[pa].chrom.crossover_into(&pop[pb].chrom, point, &mut c1, &mut c2);
                 self.mutate(&mut c1, &mut rng);
                 self.mutate(&mut c2, &mut rng);
                 children_chroms.push(c1);
                 if children_chroms.len() < p {
                     children_chroms.push(c2);
+                } else {
+                    recycle.push(c2);
                 }
             }
 
-            // --- repair + evaluate (optionally in parallel) ---
-            let objs = parallel::repair_and_evaluate(
-                problem,
-                &mut children_chroms,
-                self.config.threads,
-                self.config.saturate,
-            );
-            let children: Vec<Individual> = children_chroms
-                .drain(..)
-                .zip(objs)
-                .map(|(chrom, objs)| Individual { chrom, objs, age: 0 })
-                .collect();
-            if self.config.archive {
-                for ind in &children {
-                    archive
-                        .insert(Solution { chromosome: ind.chrom.clone(), objectives: ind.objs });
-                }
-            }
+            // --- repair + evaluate (memoized when serial) ---
+            let objs = self.repair_and_evaluate(problem, &mut children_chroms, &mut memo);
 
             // --- selection over parents + children ---
             let mut pool: Vec<Individual> = pop;
-            pool.extend(children);
+            pool.reserve(children_chroms.len());
+            for (chrom, objs) in children_chroms.drain(..).zip(objs) {
+                if self.config.archive {
+                    archive.insert(Solution { chromosome: chrom.clone(), objectives: objs });
+                }
+                pool.push(Individual { chrom, objs, age: 0 });
+            }
             pop = match &self.config.mode {
-                SolveMode::Pareto => select_pareto(pool, p),
+                SolveMode::Pareto => select_pareto(pool, p, &mut recycle, &mut scratch),
                 SolveMode::ParetoCrowding => select_crowding(pool, p),
                 SolveMode::Scalar(weights) => {
-                    select_scalar(pool, p, weights, problem.normalizers().as_slice())
+                    select_scalar(pool, p, weights, problem.normalizers().as_slice(), &mut recycle)
                 }
             };
             for ind in &mut pop {
@@ -296,10 +298,31 @@ impl MooGa {
         })
     }
 
+    /// Repairs and evaluates a batch: the serial path goes through the memo,
+    /// `threads > 1` keeps the unmemoized sharded path (results identical).
+    fn repair_and_evaluate<P: MooProblem + ?Sized>(
+        &self,
+        problem: &P,
+        chroms: &mut [Chromosome],
+        memo: &mut parallel::EvalMemo,
+    ) -> Vec<Objectives> {
+        if self.config.threads <= 1 {
+            parallel::repair_and_evaluate_memo(problem, chroms, self.config.saturate, memo)
+        } else {
+            parallel::repair_and_evaluate(
+                problem,
+                chroms,
+                self.config.threads,
+                self.config.saturate,
+            )
+        }
+    }
+
     fn initial_population<P: MooProblem + ?Sized>(
         &self,
         problem: &P,
         rng: &mut SmallRng,
+        memo: &mut parallel::EvalMemo,
     ) -> Vec<Individual> {
         let w = problem.len();
         let mut chroms: Vec<Chromosome> = (0..self.config.population)
@@ -313,12 +336,7 @@ impl MooGa {
                 c
             })
             .collect();
-        let objs = parallel::repair_and_evaluate(
-            problem,
-            &mut chroms,
-            self.config.threads,
-            self.config.saturate,
-        );
+        let objs = self.repair_and_evaluate(problem, &mut chroms, memo);
         chroms
             .into_iter()
             .zip(objs)
@@ -332,8 +350,20 @@ impl MooGa {
         if pm <= 0.0 {
             return;
         }
+        if pm >= 1.0 {
+            // `random_bool(1.0)` returns true without consuming a draw.
+            for i in 0..c.len() {
+                c.flip(i);
+            }
+            return;
+        }
+        // Same draw stream as `rng.random_bool(pm)` per gene with the
+        // threshold compare hoisted out of the loop: `pm * 2^53` is a pure
+        // exponent shift (exact), so `(word >> 11) as f64 < threshold`
+        // decides identically to `unit_f64(word) < pm`.
+        let threshold = pm * (1u64 << 53) as f64;
         for i in 0..c.len() {
-            if rng.random_bool(pm) {
+            if ((rng.next_u64() >> 11) as f64) < threshold {
                 c.flip(i);
             }
         }
@@ -383,21 +413,52 @@ fn scalar_fitness(objs: &Objectives, weights: &[f64], norm: &[f64]) -> f64 {
 
 /// Indices of the non-dominated members of `pool`. Equal objective vectors
 /// are both retained (the paper keeps all Set-1 chromosomes).
+///
+/// Members are first grouped by exactly-equal objective vectors: equal
+/// vectors never dominate each other and share every dominance verdict, so
+/// the O(n²) comparison loop runs over the *distinct* vectors only. A
+/// converged population collapses to a handful of distinct points, which is
+/// where the per-generation selection cost used to go.
 fn nondominated_indices(pool: &[Individual]) -> Vec<bool> {
-    let n = pool.len();
-    let mut in_set1 = vec![true; n];
-    for i in 0..n {
-        if !in_set1[i] {
-            continue;
-        }
-        for j in 0..n {
-            if i != j && dominates(pool[j].objs.as_slice(), pool[i].objs.as_slice()) {
-                in_set1[i] = false;
+    let mut uniq: Vec<&[f64]> = Vec::new();
+    let mut group: Vec<u32> = Vec::with_capacity(pool.len());
+    for ind in pool {
+        let v = ind.objs.as_slice();
+        let g = uniq.iter().position(|u| *u == v).unwrap_or_else(|| {
+            uniq.push(v);
+            uniq.len() - 1
+        });
+        group.push(g as u32);
+    }
+    let d = uniq.len();
+    let mut nondom = vec![true; d];
+    for i in 0..d {
+        for j in 0..d {
+            if i != j && dominates(uniq[j], uniq[i]) {
+                nondom[i] = false;
                 break;
             }
         }
     }
-    in_set1
+    group.into_iter().map(|g| nondom[g as usize]).collect()
+}
+
+/// Reusable buffers for [`select_pareto`], hoisted out of the
+/// per-generation loop so steady-state selection allocates nothing.
+#[derive(Default)]
+struct SelectScratch {
+    /// Pool index of the first member with each distinct objective vector.
+    uniq: Vec<u32>,
+    /// Distinct-vector group of each pool member.
+    group: Vec<u32>,
+    /// Non-domination verdict per distinct vector.
+    nondom: Vec<bool>,
+    /// Whether a Set-1 representative for the group was already taken.
+    rep_taken: Vec<bool>,
+    set1: Vec<u32>,
+    set2: Vec<u32>,
+    picks: Vec<u32>,
+    slots: Vec<Option<Individual>>,
 }
 
 /// The §3.2.2 selection: Set 1 (Pareto) first, then newest of Set 2; if
@@ -410,51 +471,101 @@ fn nondominated_indices(pool: &[Individual]) -> Vec<bool> {
 /// and the front silently degrades — the textbook elitism-loss failure.
 /// Duplicated points only fill leftover slots, newest first, exactly as the
 /// paper's age rule prescribes.
-fn select_pareto(pool: Vec<Individual>, p: usize) -> Vec<Individual> {
-    let in_set1 = nondominated_indices(&pool);
-    let mut set1 = Vec::new();
-    let mut set2 = Vec::new();
-    for (ind, is1) in pool.into_iter().zip(in_set1) {
-        if is1 {
-            set1.push(ind);
+///
+/// Members are grouped by exactly-equal objective vectors: equal vectors
+/// never dominate each other and share every dominance verdict, so the
+/// O(n²) comparison loop runs over the *distinct* vectors only, and Set-1
+/// duplicate detection is a per-group flag instead of a rescan.
+fn select_pareto(
+    pool: Vec<Individual>,
+    p: usize,
+    recycle: &mut Vec<Chromosome>,
+    s: &mut SelectScratch,
+) -> Vec<Individual> {
+    // All bookkeeping runs over indices; pool members move exactly once, at
+    // materialization.
+    s.uniq.clear();
+    s.group.clear();
+    for (i, ind) in pool.iter().enumerate() {
+        let v = ind.objs.as_slice();
+        let mut g = None;
+        for (gi, &u) in s.uniq.iter().enumerate() {
+            if pool[u as usize].objs.as_slice() == v {
+                g = Some(gi);
+                break;
+            }
+        }
+        let g = g.unwrap_or_else(|| {
+            s.uniq.push(i as u32);
+            s.uniq.len() - 1
+        });
+        s.group.push(g as u32);
+    }
+    let d = s.uniq.len();
+    s.nondom.clear();
+    s.nondom.resize(d, true);
+    for i in 0..d {
+        let vi = pool[s.uniq[i] as usize].objs.as_slice();
+        for j in 0..d {
+            if i != j && dominates(pool[s.uniq[j] as usize].objs.as_slice(), vi) {
+                s.nondom[i] = false;
+                break;
+            }
+        }
+    }
+    s.set1.clear();
+    s.set2.clear();
+    for (i, &g) in s.group.iter().enumerate() {
+        if s.nondom[g as usize] {
+            s.set1.push(i as u32);
         } else {
-            set2.push(ind);
+            s.set2.push(i as u32);
         }
     }
 
     // Partition Set 1 into one representative per distinct objective vector
-    // (newest representative wins) and the remaining duplicates.
-    set1.sort_by_key(|i| i.age);
-    let mut representatives: Vec<Individual> = Vec::with_capacity(set1.len());
-    let mut duplicates: Vec<Individual> = Vec::new();
-    'outer: for ind in set1 {
-        for rep in &representatives {
-            if rep.objs.as_slice() == ind.objs.as_slice() {
-                duplicates.push(ind);
-                continue 'outer;
-            }
+    // (newest representative wins) and the remaining duplicates; the
+    // representatives lead `picks`, duplicates follow.
+    s.set1.sort_by_key(|&i| pool[i as usize].age);
+    s.rep_taken.clear();
+    s.rep_taken.resize(d, false);
+    s.picks.clear();
+    let mut n_reps = 0;
+    for k in 0..s.set1.len() {
+        let i = s.set1[k];
+        let g = s.group[i as usize] as usize;
+        if s.rep_taken[g] {
+            s.picks.push(i); // duplicate: appended after the representatives
+        } else {
+            s.rep_taken[g] = true;
+            s.picks.insert(n_reps, i);
+            n_reps += 1;
         }
-        representatives.push(ind);
     }
-
-    let mut next = representatives;
-    if next.len() >= p {
+    if n_reps >= p {
         // More distinct Pareto points than slots: keep the newest ones
         // (ages ascending already).
-        next.truncate(p);
-        return next;
+        s.picks.truncate(p);
+    } else if s.picks.len() > p {
+        // Enough Set-1 duplicates (already age-sorted) to fill the gap.
+        s.picks.truncate(p);
+    } else if s.picks.len() < p {
+        // Fill with the newest of Set 2.
+        s.set2.sort_by_key(|&i| pool[i as usize].age);
+        let need = p - s.picks.len();
+        s.picks.extend(s.set2.iter().take(need));
     }
-    // Fill with Set-1 duplicates (already age-sorted), then newest of Set 2.
-    let need = p - next.len();
-    if duplicates.len() >= need {
-        next.extend(duplicates.into_iter().take(need));
-        return next;
-    }
-    next.extend(duplicates);
-    set2.sort_by_key(|i| i.age);
-    let need = p - next.len();
-    next.extend(set2.into_iter().take(need));
-    next
+
+    s.slots.clear();
+    s.slots.extend(pool.into_iter().map(Some));
+    let slots = &mut s.slots;
+    let survivors: Vec<Individual> = s
+        .picks
+        .iter()
+        .map(|&i| slots[i as usize].take().expect("selection picks each pool member at most once"))
+        .collect();
+    recycle.extend(slots.drain(..).flatten().map(|ind| ind.chrom));
+    survivors
 }
 
 /// NSGA-II-style selection: non-dominated sorting into successive fronts;
@@ -501,19 +612,22 @@ fn select_crowding(mut pool: Vec<Individual>, p: usize) -> Vec<Individual> {
 /// Scalarized selection: top `p` by weighted normalized sum, newest first on
 /// ties.
 fn select_scalar(
-    mut pool: Vec<Individual>,
+    pool: Vec<Individual>,
     p: usize,
     weights: &[f64],
     norm: &[f64],
+    recycle: &mut Vec<Chromosome>,
 ) -> Vec<Individual> {
-    pool.sort_by(|a, b| {
-        scalar_fitness(&b.objs, weights, norm)
-            .partial_cmp(&scalar_fitness(&a.objs, weights, norm))
+    // Fitness is computed once per member, not once per comparison.
+    let mut keyed: Vec<(f64, Individual)> =
+        pool.into_iter().map(|ind| (scalar_fitness(&ind.objs, weights, norm), ind)).collect();
+    keyed.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
             .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| a.age.cmp(&b.age))
+            .then_with(|| a.1.age.cmp(&b.1.age))
     });
-    pool.truncate(p);
-    pool
+    recycle.extend(keyed.drain(p.min(keyed.len())..).map(|(_, ind)| ind.chrom));
+    keyed.into_iter().map(|(_, ind)| ind).collect()
 }
 
 #[cfg(test)]

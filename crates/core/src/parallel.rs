@@ -1,41 +1,149 @@
-//! Parallel population evaluation.
+//! Parallel evaluation and the coarse-grained worker pool.
 //!
 //! §3.2.2 notes that the genetic solver "can be accelerated by leveraging
 //! parallel processing" and §3.3 that the `O(G × P)` cost "can be further
-//! lowered via parallel processing of the MOO". Repair and evaluation of a
-//! generation's chromosomes are embarrassingly parallel, so we shard the
-//! population across scoped `std::thread` workers.
+//! lowered via parallel processing of the MOO". Two grains are on offer
+//! here, and only one of them pays for the paper's own problems:
 //!
-//! Measured honestly (`ga_scaling` bench): per-generation scoped-thread
-//! spawning costs more than it saves even at `w = 256`, `P = 128` on this
-//! workload — chromosome evaluation is just too cheap. The hook matters
-//! for *expensive* `MooProblem::evaluate` implementations (e.g. problems
-//! that consult a placement simulator per candidate), which is the
-//! scenario the paper's "parallel processing" remark anticipates; for the
-//! paper's own knapsack objectives, keep `threads = 1`.
+//! * **Per-generation sharding** ([`repair_and_evaluate`] with
+//!   `threads > 1`): measured honestly (`ga_scaling` bench), scoped-thread
+//!   spawning per generation costs more than it saves even at `w = 256`,
+//!   `P = 128` — chromosome evaluation is just too cheap. The hook remains
+//!   for *expensive* `MooProblem::evaluate` implementations (e.g. problems
+//!   that consult a placement simulator per candidate); for the paper's
+//!   knapsack objectives, keep `threads = 1` and let the GA take the
+//!   serial, memoized path ([`repair_and_evaluate_memo`]).
+//! * **Whole-task batching** ([`run_batch`]): entire GA invocations,
+//!   simulations, or experiment-grid cells are seconds-scale and
+//!   embarrassingly parallel, so that is where threads go — the CLI's
+//!   `--threads` and the bench sweep driver both fan out over [`run_batch`],
+//!   which returns results in input order so parallel output is
+//!   byte-identical to serial output.
 //!
-//! Sharding uses `std::thread::scope` (stable since 1.63), which joins all
-//! workers on scope exit and propagates worker panics — the same
+//! Everything uses `std::thread::scope` (stable since 1.63), which joins
+//! all workers on scope exit and propagates worker panics — the same
 //! guarantees the earlier `crossbeam::scope` implementation relied on,
 //! without the external dependency.
 
 use crate::chromosome::Chromosome;
 use crate::problem::MooProblem;
 use crate::Objectives;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// FNV-1a hasher for the memo: chromosome keys are one or two `u64` words,
+/// for which SipHash's per-lookup cost is pure overhead on the GA hot path.
+#[derive(Default)]
+struct FnvHasher(u64);
+
+impl Hasher for FnvHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x1000_0000_01b3);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
 
 /// Greedy saturation: select every still-fitting unselected job, front of
 /// the window first. Because both MOO formulations have objectives that are
 /// monotone in the selection, the saturated chromosome weakly dominates the
 /// input — exact Pareto points are always saturated.
+///
+/// Feasibility probes go through the problem's scratch state
+/// ([`MooProblem::scratch_from`]), so one pass over the window costs O(w)
+/// aggregate work instead of the O(w²) of a full rescan per probe.
 pub fn saturate<P: MooProblem + ?Sized>(problem: &P, c: &mut Chromosome) {
+    let mut scratch = problem.scratch_from(c);
     for i in 0..c.len() {
         if !c.get(i) {
-            c.set(i, true);
-            if !problem.is_feasible(c) {
-                c.set(i, false);
+            problem.scratch_set(&mut scratch, i, true);
+            if problem.scratch_is_feasible(&scratch) {
+                c.set(i, true);
+            } else {
+                problem.scratch_set(&mut scratch, i, false);
             }
         }
     }
+}
+
+/// Memo of repair/saturate/evaluate results, keyed by the *pre-repair*
+/// chromosome.
+///
+/// Sound because repair and saturation are pure functions of the chromosome
+/// (the cyclic repair order derives from the content hash, not an RNG) and
+/// `evaluate` is pure by the [`MooProblem`] contract. Duplicate children
+/// proliferate once the population converges — crossover of equal parents
+/// reproduces them exactly — so late-run generations hit the memo almost
+/// every time. One memo must never be shared across different problems.
+#[derive(Default)]
+pub struct EvalMemo {
+    map: HashMap<Chromosome, (Chromosome, Objectives), BuildHasherDefault<FnvHasher>>,
+}
+
+impl EvalMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Distinct pre-repair chromosomes seen so far.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the memo has seen no chromosome yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Serial, memoized variant of [`repair_and_evaluate`]: each chromosome is
+/// looked up pre-repair, and only misses pay for repair + saturation +
+/// evaluation. Results (including the in-place repaired chromosomes) are
+/// identical to the unmemoized path.
+pub fn repair_and_evaluate_memo<P: MooProblem + ?Sized>(
+    problem: &P,
+    chroms: &mut [Chromosome],
+    saturate_after: bool,
+    memo: &mut EvalMemo,
+) -> Vec<Objectives> {
+    chroms
+        .iter_mut()
+        .map(|c| {
+            if let Some((fixed, objs)) = memo.map.get(c) {
+                c.clone_from(fixed);
+                return *objs;
+            }
+            let key = c.clone();
+            let objs = if saturate_after {
+                problem.repair(c);
+                saturate(problem, c);
+                problem.evaluate(c)
+            } else {
+                problem.repair_evaluate(c)
+            };
+            memo.map.insert(key, (c.clone(), objs));
+            objs
+        })
+        .collect()
 }
 
 /// Repairs (and optionally saturates) every chromosome in place and returns
@@ -90,6 +198,42 @@ pub fn repair_and_evaluate<P: MooProblem + ?Sized>(
     });
 
     out
+}
+
+/// Runs a batch of independent jobs on up to `threads` OS threads and
+/// returns their results **in input order** — the coarse parallel grain
+/// (whole GA invocations, whole simulations, whole experiment cells) where
+/// threading actually pays on this workload; see the module doc.
+///
+/// Jobs are handed out dynamically (an atomic cursor), so uneven job costs
+/// balance across workers. With `threads <= 1` or fewer than two jobs the
+/// batch runs inline on the caller's thread, spawning nothing. Worker
+/// panics propagate to the caller via `std::thread::scope`.
+pub fn run_batch<T, F>(threads: usize, jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    if threads <= 1 || jobs.len() < 2 {
+        return jobs.into_iter().map(|f| f()).collect();
+    }
+    let n = jobs.len();
+    let jobs: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|f| Mutex::new(Some(f))).collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(n) {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = jobs[i].lock().unwrap().take().expect("each job is taken once");
+                *slots[i].lock().unwrap() = Some(job());
+            });
+        }
+    });
+    slots.into_iter().map(|m| m.into_inner().unwrap().expect("every job slot is filled")).collect()
 }
 
 #[cfg(test)]
@@ -157,6 +301,42 @@ mod tests {
         let mut none: Vec<Chromosome> = vec![];
         let out = repair_and_evaluate(&problem, &mut none, 4, false);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn run_batch_preserves_input_order() {
+        let want: Vec<usize> = (0..40).map(|i| i * i).collect();
+        for threads in [1usize, 2, 4, 16, 64] {
+            let jobs: Vec<_> = (0..40).map(|i| move || i * i).collect();
+            assert_eq!(run_batch(threads, jobs), want, "order broke at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn run_batch_handles_empty_and_single() {
+        assert!(run_batch::<i32, fn() -> i32>(4, vec![]).is_empty());
+        assert_eq!(run_batch(4, vec![|| 7]), vec![7]);
+    }
+
+    #[test]
+    fn memoized_path_matches_unmemoized() {
+        let (problem, chroms) = random_problem(30, 31);
+        // Duplicate a prefix so the memo actually gets hits.
+        let mut with_dups = chroms.clone();
+        with_dups.extend(chroms.iter().take(8).cloned());
+        for saturate_after in [false, true] {
+            let mut plain = with_dups.clone();
+            let mut memoed = with_dups.clone();
+            let mut memo = EvalMemo::new();
+            assert!(memo.is_empty());
+            let po = repair_and_evaluate(&problem, &mut plain, 1, saturate_after);
+            let mo = repair_and_evaluate_memo(&problem, &mut memoed, saturate_after, &mut memo);
+            assert_eq!(plain, memoed, "memo hits must restore the repaired chromosome");
+            for (a, b) in po.iter().zip(&mo) {
+                assert_eq!(a.as_slice(), b.as_slice());
+            }
+            assert!(memo.len() <= with_dups.len() - 8, "duplicates must hit, not insert");
+        }
     }
 
     #[test]

@@ -92,6 +92,33 @@ impl Available {
     }
 }
 
+/// Incremental-evaluation state for repeated feasibility probes against one
+/// selection (see [`MooProblem::scratch_from`]).
+///
+/// Holds a mirror of the selection it describes plus, for problems that
+/// support constant-time deltas ([`KnapsackMooProblem`]), the running
+/// [`Aggregate`] of the mirrored selection. Probing feasibility after a
+/// single-gene change through the scratch is O(R) instead of the O(w)
+/// full rescan of [`MooProblem::is_feasible`], which turns the O(w²)
+/// flip-probe loops of saturation and unconditional repair into O(w).
+#[derive(Clone, Debug)]
+pub struct EvalScratch {
+    /// The selection this scratch describes. Default trait implementations
+    /// evaluate feasibility from it directly; incremental implementations
+    /// keep it as the debug-assert oracle.
+    mirror: Chromosome,
+    /// Running aggregate demand, maintained by delta; `None` for problems
+    /// without an incremental override.
+    agg: Option<Aggregate>,
+}
+
+impl EvalScratch {
+    /// The selection the scratch currently describes.
+    pub fn selection(&self) -> &Chromosome {
+        &self.mirror
+    }
+}
+
 /// A multi-objective window-selection problem.
 ///
 /// Implementations must guarantee that `evaluate` is a pure function of the
@@ -129,6 +156,43 @@ pub trait MooProblem: Sync {
     /// the decision maker and by scalarizing policies so that weights are
     /// comparable across resources.
     fn normalizers(&self) -> Objectives;
+
+    /// Creates scratch state describing the selection `x`, priming whatever
+    /// running aggregates the problem maintains incrementally.
+    ///
+    /// The default implementation (and the defaults of the other `scratch_*`
+    /// methods) falls back to full rescans of the mirrored selection, so
+    /// trait implementors get correct — if not faster — behavior for free.
+    fn scratch_from(&self, x: &Chromosome) -> EvalScratch {
+        EvalScratch { mirror: x.clone(), agg: None }
+    }
+
+    /// Sets gene `i` of the scratch's selection to `on`, applying the
+    /// matching ±item delta to any running aggregate. A no-op when the gene
+    /// already has that value.
+    fn scratch_set(&self, scratch: &mut EvalScratch, i: usize, on: bool) {
+        scratch.mirror.set(i, on);
+        let _ = self;
+    }
+
+    /// Whether the scratch's selection satisfies every capacity constraint;
+    /// the same contract as [`MooProblem::is_feasible`], answered from the
+    /// running aggregate when the problem maintains one.
+    fn scratch_is_feasible(&self, scratch: &EvalScratch) -> bool {
+        self.is_feasible(&scratch.mirror)
+    }
+
+    /// Repairs `x` and returns its objective vector — exactly
+    /// `repair(x); evaluate(x)`, which is also the default implementation.
+    ///
+    /// Problems that aggregate demand during repair may override this to
+    /// reuse that aggregate for evaluation when repair dropped nothing (the
+    /// common case once the GA population is mostly feasible), saving one
+    /// full window rescan per chromosome.
+    fn repair_evaluate(&self, x: &mut Chromosome) -> Objectives {
+        self.repair(x);
+        self.evaluate(x)
+    }
 }
 
 /// Floating-point slack for burst-buffer feasibility: requests are sums of
@@ -408,6 +472,100 @@ impl KnapsackMooProblem {
         matches!(self.per_node, Some((pr, _)) if pr == r)
     }
 
+    /// Adds (`on = true`) or removes (`on = false`) one item's demand from a
+    /// running aggregate — the O(R) delta behind the scratch API and both
+    /// repair loops.
+    #[inline]
+    fn apply_item(&self, agg: &mut Aggregate, it: &Item, on: bool) {
+        if on {
+            agg.nodes += u64::from(it.nodes);
+            for r in 1..self.n_res {
+                agg.sums[r] += it.totals.get(r);
+            }
+            if self.per_node.is_some() {
+                agg.class_nodes[usize::from(it.class)] += u64::from(it.nodes);
+            }
+        } else {
+            agg.nodes -= u64::from(it.nodes);
+            for r in 1..self.n_res {
+                agg.sums[r] -= it.totals.get(r);
+            }
+            if self.per_node.is_some() {
+                agg.class_nodes[usize::from(it.class)] -= u64::from(it.nodes);
+            }
+        }
+    }
+
+    /// Objective vector of a selection whose aggregate demand is `agg`.
+    fn objectives_from_agg(&self, agg: &Aggregate) -> Objectives {
+        let mut vals = [0.0; MAX_OBJECTIVES];
+        vals[0] = agg.nodes as f64;
+        vals[1..self.n_res].copy_from_slice(&agg.sums[1..self.n_res]);
+        let mut n = self.n_res;
+        if let Some((r, true)) = self.per_node {
+            let waste = (self.assigned_capacity(&agg.class_nodes) - agg.sums[r]).max(0.0);
+            vals[n] = -waste;
+            n += 1;
+        }
+        debug_assert_eq!(n, self.n_obj);
+        Objectives::from_slice(&vals[..n])
+    }
+
+    /// Shared repair engine: drops genes per the configured style, keeping
+    /// the aggregate current by O(R) deltas, and reports the final aggregate
+    /// plus whether any gene was actually dropped.
+    fn repair_impl(&self, x: &mut Chromosome) -> (Aggregate, bool) {
+        let mut agg = self.aggregate(x);
+        let mut changed = false;
+        match self.repair_style {
+            RepairStyle::DropUnconditionally => {
+                // One full aggregate up front, then O(R) deltas per drop —
+                // the historical per-drop `is_feasible` rescan made this
+                // loop O(w²).
+                if self.feasible_agg(&agg) {
+                    return (agg, false);
+                }
+                let w = self.window.len();
+                let start = (x.content_hash() % w as u64) as usize;
+                for k in 0..w {
+                    let i = (start + k) % w;
+                    if x.get(i) {
+                        x.set(i, false);
+                        self.apply_item(&mut agg, &self.items[i], false);
+                        changed = true;
+                        if self.feasible_agg(&agg) {
+                            break;
+                        }
+                    }
+                }
+                debug_assert!(self.is_feasible(x));
+            }
+            RepairStyle::DropIfRelieves => {
+                if self.repair_feasible(&agg) {
+                    return (agg, false);
+                }
+                let w = self.window.len();
+                let start = (x.content_hash() % w as u64) as usize;
+                for k in 0..w {
+                    if self.repair_feasible(&agg) {
+                        break;
+                    }
+                    let i = (start + k) % w;
+                    if x.get(i) {
+                        let it = &self.items[i];
+                        if self.relieves(&agg, it) {
+                            x.set(i, false);
+                            self.apply_item(&mut agg, it, false);
+                            changed = true;
+                        }
+                    }
+                }
+                debug_assert!(self.is_feasible(x));
+            }
+        }
+        (agg, changed)
+    }
+
     /// Whether dropping `item` would shrink a currently violated constraint.
     fn relieves(&self, agg: &Aggregate, item: &Item) -> bool {
         if agg.nodes > self.avail_nodes && item.nodes > 0 {
@@ -449,18 +607,7 @@ impl MooProblem for KnapsackMooProblem {
     }
 
     fn evaluate(&self, x: &Chromosome) -> Objectives {
-        let agg = self.aggregate(x);
-        let mut vals = [0.0; MAX_OBJECTIVES];
-        vals[0] = agg.nodes as f64;
-        vals[1..self.n_res].copy_from_slice(&agg.sums[1..self.n_res]);
-        let mut n = self.n_res;
-        if let Some((r, true)) = self.per_node {
-            let waste = (self.assigned_capacity(&agg.class_nodes) - agg.sums[r]).max(0.0);
-            vals[n] = -waste;
-            n += 1;
-        }
-        debug_assert_eq!(n, self.n_obj);
-        Objectives::from_slice(&vals[..n])
+        self.objectives_from_agg(&self.aggregate(x))
     }
 
     fn is_feasible(&self, x: &Chromosome) -> bool {
@@ -468,57 +615,50 @@ impl MooProblem for KnapsackMooProblem {
     }
 
     fn repair(&self, x: &mut Chromosome) {
-        match self.repair_style {
-            RepairStyle::DropUnconditionally => {
-                if self.is_feasible(x) {
-                    return;
-                }
-                let w = self.window.len();
-                let start = (x.content_hash() % w as u64) as usize;
-                for k in 0..w {
-                    let i = (start + k) % w;
-                    if x.get(i) {
-                        x.set(i, false);
-                        if self.is_feasible(x) {
-                            return;
-                        }
-                    }
-                }
-                debug_assert!(self.is_feasible(x));
-            }
-            RepairStyle::DropIfRelieves => {
-                let mut agg = self.aggregate(x);
-                if self.repair_feasible(&agg) {
-                    return;
-                }
-                let w = self.window.len();
-                let start = (x.content_hash() % w as u64) as usize;
-                for k in 0..w {
-                    if self.repair_feasible(&agg) {
-                        break;
-                    }
-                    let i = (start + k) % w;
-                    if x.get(i) {
-                        let it = &self.items[i];
-                        if self.relieves(&agg, it) {
-                            x.set(i, false);
-                            agg.nodes -= u64::from(it.nodes);
-                            for r in 1..self.n_res {
-                                agg.sums[r] -= it.totals.get(r);
-                            }
-                            if self.per_node.is_some() {
-                                agg.class_nodes[usize::from(it.class)] -= u64::from(it.nodes);
-                            }
-                        }
-                    }
-                }
-                debug_assert!(self.is_feasible(x));
-            }
-        }
+        let _ = self.repair_impl(x);
     }
 
     fn normalizers(&self) -> Objectives {
         self.norm
+    }
+
+    fn repair_evaluate(&self, x: &mut Chromosome) -> Objectives {
+        let (agg, changed) = self.repair_impl(x);
+        if changed {
+            // Drops updated `agg` by deltas; objectives must come from the
+            // same ascending full rescan `evaluate` performs so they are
+            // bit-identical to the unfused path.
+            self.evaluate(x)
+        } else {
+            // `agg` *is* the full rescan of the untouched selection.
+            self.objectives_from_agg(&agg)
+        }
+    }
+
+    fn scratch_from(&self, x: &Chromosome) -> EvalScratch {
+        EvalScratch { mirror: x.clone(), agg: Some(self.aggregate(x)) }
+    }
+
+    fn scratch_set(&self, scratch: &mut EvalScratch, i: usize, on: bool) {
+        if scratch.mirror.get(i) == on {
+            return;
+        }
+        scratch.mirror.set(i, on);
+        let agg = scratch.agg.as_mut().expect("scratch was built by KnapsackMooProblem");
+        self.apply_item(agg, &self.items[i], on);
+    }
+
+    fn scratch_is_feasible(&self, scratch: &EvalScratch) -> bool {
+        let agg = scratch.agg.as_ref().expect("scratch was built by KnapsackMooProblem");
+        let fast = self.feasible_agg(agg);
+        // Full-rescan oracle: the incremental aggregate must reach the same
+        // verdict as re-aggregating the mirrored selection from scratch.
+        debug_assert_eq!(
+            fast,
+            self.is_feasible(&scratch.mirror),
+            "incremental feasibility diverged from the full rescan"
+        );
+        fast
     }
 }
 
@@ -584,6 +724,18 @@ impl MooProblem for CpuBbProblem {
     }
     fn normalizers(&self) -> Objectives {
         self.inner.normalizers()
+    }
+    fn scratch_from(&self, x: &Chromosome) -> EvalScratch {
+        self.inner.scratch_from(x)
+    }
+    fn scratch_set(&self, scratch: &mut EvalScratch, i: usize, on: bool) {
+        self.inner.scratch_set(scratch, i, on)
+    }
+    fn scratch_is_feasible(&self, scratch: &EvalScratch) -> bool {
+        self.inner.scratch_is_feasible(scratch)
+    }
+    fn repair_evaluate(&self, x: &mut Chromosome) -> Objectives {
+        self.inner.repair_evaluate(x)
     }
 }
 
@@ -669,6 +821,18 @@ impl MooProblem for CpuBbSsdProblem {
     }
     fn normalizers(&self) -> Objectives {
         self.inner.normalizers()
+    }
+    fn scratch_from(&self, x: &Chromosome) -> EvalScratch {
+        self.inner.scratch_from(x)
+    }
+    fn scratch_set(&self, scratch: &mut EvalScratch, i: usize, on: bool) {
+        self.inner.scratch_set(scratch, i, on)
+    }
+    fn scratch_is_feasible(&self, scratch: &EvalScratch) -> bool {
+        self.inner.scratch_is_feasible(scratch)
+    }
+    fn repair_evaluate(&self, x: &mut Chromosome) -> Objectives {
+        self.inner.repair_evaluate(x)
     }
 }
 

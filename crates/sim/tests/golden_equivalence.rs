@@ -509,6 +509,40 @@ fn golden_dynamic_window() {
     }
 }
 
+/// Bit-exact end-to-end fingerprints: FNV-1a over the IEEE-754 bits of
+/// every record's `(start, end, wait)` for three GA-backed policies on a
+/// small Theta trace, captured immediately before the
+/// incremental-aggregate GA kernel landed. Unlike the reference-vs-engine
+/// tests above — which would pass if both sides drifted together — these
+/// constants pin the schedule itself across solver rewrites.
+#[test]
+fn golden_sim_fingerprints_are_bit_stable() {
+    let profile = MachineProfile::theta().scaled(0.02);
+    let trace = generate(
+        &profile,
+        &GeneratorConfig { n_jobs: 80, seed: 9, load_factor: 1.1, ..Default::default() },
+    );
+    let expected = [
+        (PolicyKind::BbSched, 0xc24e_70a0_c39f_c06b_u64),
+        (PolicyKind::Weighted, 0x96c5_ae74_93e8_bedf),
+        (PolicyKind::ConstrainedBb, 0x91e1_03d4_e8f2_4cdf),
+    ];
+    for (kind, want) in expected {
+        let ga = GaParams { generations: 60, ..GaParams::default() };
+        let result = Simulator::new(&profile.system, &trace, SimConfig::default())
+            .unwrap()
+            .run(kind.build(ga));
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for r in &result.records {
+            for v in [r.start, r.end, r.start - r.submit] {
+                h ^= v.to_bits();
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        }
+        assert_eq!(h, want, "{} record stream diverged from its golden fingerprint", kind.name());
+    }
+}
+
 #[test]
 fn golden_ssd_roster_on_heterogeneous_system() {
     let system = SystemConfig {
