@@ -43,7 +43,8 @@ COMMANDS
              --trace PATH | (--machine + --jobs [--workload])
              --machine cori|theta  --scale F  --policy NAME  --gens G
              --window N  --starvation-bound N  --threads T
-             --backfill easy|conservative  --backfill-scope window|queue
+             --backfill easy|conservative|conservative-rebuild
+             --backfill-scope window|queue
              --dynamic-window MIN,MAX,FRAC  [--out result.json]
   compare    Run the full §4.3 roster on one workload and print the grid
              --machine cori|theta  --workload W  --jobs N  --scale F
@@ -211,8 +212,15 @@ fn sim_config(args: &Args, machine: &MachineProfile) -> Result<SimConfig, String
     cfg.backfill_algorithm = match args.get("backfill") {
         Some(b) if b.eq_ignore_ascii_case("easy") => BackfillAlgorithm::Easy,
         Some(b) if b.eq_ignore_ascii_case("conservative") => BackfillAlgorithm::Conservative,
+        // The frozen rebuild-per-pass reference path (bit-identical
+        // schedules, pre-incremental cost) — for profiling comparisons.
+        Some(b) if b.eq_ignore_ascii_case("conservative-rebuild") => {
+            BackfillAlgorithm::ConservativeRebuild
+        }
         Some(other) => {
-            return Err(format!("unknown backfill algorithm '{other}' (easy|conservative)"))
+            return Err(format!(
+                "unknown backfill algorithm '{other}' (easy|conservative|conservative-rebuild)"
+            ))
         }
         None if args.flag("conservative") => BackfillAlgorithm::Conservative,
         None => BackfillAlgorithm::Easy,

@@ -16,10 +16,38 @@
 
 use bbsched_core::pools::{NodeAssignment, PoolState};
 use bbsched_core::problem::JobDemand;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 
 /// Slack tolerated in floating-point conservation checks (GB / nodes).
 const CONSERVE_EPS: f64 = 1e-6;
+
+/// Start/finish deltas retained for incremental consumers (see
+/// [`AllocLedger::deltas_since`]). 4096 entries cover every realistic gap
+/// between two backfill passes; a consumer that falls further behind
+/// resynchronizes from [`AllocLedger::release_order`] instead.
+const DELTA_LOG_CAP: usize = 4_096;
+
+/// One mutation of the running set, as replayed by incremental consumers
+/// (the conservative-backfill availability profile keeps a sorted mirror
+/// of the release order up to date by applying these).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LedgerDelta {
+    /// Job `idx` started and holds `entry`.
+    Start {
+        /// Index into the engine's job table.
+        idx: usize,
+        /// The new ledger entry.
+        entry: RunningJob,
+    },
+    /// Job `idx` (whose entry recorded `est_end`) finished and freed its
+    /// allocation.
+    Finish {
+        /// Index into the engine's job table.
+        idx: usize,
+        /// The estimated completion the entry was keyed under.
+        est_end: f64,
+    },
+}
 
 /// One running job's ledger entry.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -62,6 +90,13 @@ pub struct AllocLedger {
     by_est_end: BTreeSet<(OrdTime, usize)>,
     allocs: u64,
     frees: u64,
+    /// Monotone mutation counter (`allocs + frees`): the "time" axis of
+    /// the delta log below.
+    generation: u64,
+    /// Recent start/finish deltas; `log_floor` is the generation just
+    /// before the front entry was applied.
+    log: VecDeque<LedgerDelta>,
+    log_floor: u64,
 }
 
 impl AllocLedger {
@@ -74,7 +109,35 @@ impl AllocLedger {
             by_est_end: BTreeSet::new(),
             allocs: 0,
             frees: 0,
+            generation: 0,
+            log: VecDeque::new(),
+            log_floor: 0,
         }
+    }
+
+    /// The mutation generation: increments on every start and finish.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The start/finish deltas applied after generation `since`, oldest
+    /// first, or `None` if the log no longer reaches back that far (or
+    /// `since` is from the future) — the caller must then resynchronize
+    /// from [`AllocLedger::release_order`].
+    pub fn deltas_since(&self, since: u64) -> Option<impl Iterator<Item = &LedgerDelta> + '_> {
+        if since < self.log_floor || since > self.generation {
+            return None;
+        }
+        Some(self.log.range((since - self.log_floor) as usize..))
+    }
+
+    fn push_delta(&mut self, delta: LedgerDelta) {
+        if self.log.len() == DELTA_LOG_CAP {
+            self.log.pop_front();
+            self.log_floor += 1;
+        }
+        self.log.push_back(delta);
+        self.generation += 1;
     }
 
     /// The current free state (for fit queries and policy availability).
@@ -118,10 +181,12 @@ impl AllocLedger {
     pub fn start(&mut self, idx: usize, demand: JobDemand, est_end: f64) -> NodeAssignment {
         assert!(self.pool.fits(&demand), "allocation without a fit check (job index {idx})");
         let assignment = self.pool.alloc(&demand);
-        let prev = self.running.insert(idx, RunningJob { est_end, demand, assignment });
+        let entry = RunningJob { est_end, demand, assignment };
+        let prev = self.running.insert(idx, entry);
         assert!(prev.is_none(), "job index {idx} started twice");
         self.by_est_end.insert((OrdTime(est_end), idx));
         self.allocs += 1;
+        self.push_delta(LedgerDelta::Start { idx, entry });
         self.debug_check();
         assignment
     }
@@ -136,6 +201,7 @@ impl AllocLedger {
         self.by_est_end.remove(&(OrdTime(entry.est_end), idx));
         self.pool.free(&entry.demand, entry.assignment);
         self.frees += 1;
+        self.push_delta(LedgerDelta::Finish { idx, est_end: entry.est_end });
         self.debug_check();
         entry
     }
@@ -247,6 +313,40 @@ mod tests {
         let mut ledger = AllocLedger::new(PoolState::cpu_bb(2, 0.0));
         ledger.start(0, JobDemand::cpu_bb(1, 0.0), 1.0);
         ledger.assert_drained();
+    }
+
+    #[test]
+    fn delta_log_replays_mutations_in_order() {
+        let mut ledger = AllocLedger::new(PoolState::cpu_bb(10, 0.0));
+        let g0 = ledger.generation();
+        let d = JobDemand::cpu_bb(1, 0.0);
+        ledger.start(3, d, 30.0);
+        ledger.start(1, d, 10.0);
+        ledger.finish(3);
+        let deltas: Vec<LedgerDelta> = ledger.deltas_since(g0).unwrap().copied().collect();
+        assert_eq!(deltas.len(), 3);
+        assert!(matches!(deltas[0], LedgerDelta::Start { idx: 3, .. }));
+        assert!(matches!(deltas[1], LedgerDelta::Start { idx: 1, .. }));
+        assert_eq!(deltas[2], LedgerDelta::Finish { idx: 3, est_end: 30.0 });
+        // Syncing to the current generation yields nothing further.
+        assert_eq!(ledger.deltas_since(ledger.generation()).unwrap().count(), 0);
+        // A future generation is a caller bug -> resync.
+        assert!(ledger.deltas_since(ledger.generation() + 1).is_none());
+    }
+
+    #[test]
+    fn delta_log_truncates_to_resync() {
+        let mut ledger = AllocLedger::new(PoolState::cpu_bb(4, 0.0));
+        let g0 = ledger.generation();
+        let d = JobDemand::cpu_bb(1, 0.0);
+        for round in 0..(super::DELTA_LOG_CAP as u64) {
+            ledger.start(0, d, round as f64 + 1.0);
+            ledger.finish(0);
+        }
+        // 2 * CAP mutations: generation g0 fell off the log.
+        assert!(ledger.deltas_since(g0).is_none(), "ancient generation must force a resync");
+        let recent = ledger.generation() - 8;
+        assert_eq!(ledger.deltas_since(recent).unwrap().count(), 8);
     }
 
     #[test]

@@ -19,13 +19,24 @@
 //!
 //! This module also owns the EASY reservation math
 //! ([`shadow_and_leftover`]) and the piecewise-constant
-//! [`AvailabilityProfile`] behind conservative backfilling. Both plan
-//! against the allocation ledger's incrementally maintained
-//! estimated-completion order ([`AllocLedger::release_order`]) instead of
-//! rebuilding and re-sorting the running list per call, which is what made
-//! the monolithic loop's backfill phase quadratic on busy systems.
+//! [`AvailabilityProfile`] behind conservative backfilling. Three layers
+//! keep the conservative path off the quadratic cliff at large trace
+//! sizes (DESIGN.md §10):
+//!
+//! * [`ReleaseMirror`] — a persistent, sorted copy of the running jobs'
+//!   release schedule, kept current by replaying the allocation ledger's
+//!   start/finish deltas ([`AllocLedger::deltas_since`]) instead of
+//!   re-collecting and re-sorting the running set every pass;
+//! * buffer-reusing profile folds — [`AvailabilityProfile`] is owned by
+//!   the strategy across invocations and rebuilt in place from the
+//!   mirror's already-sorted releases (no sort, no allocation); only the
+//!   reservation carvings of the previous pass are discarded;
+//! * a **skyline index** — per-resource suffix minima over the profile's
+//!   segments, so `fits_interval`/`earliest_start` stop scanning every
+//!   segment: boundaries before the probe are skipped by binary search,
+//!   and the scan short-circuits as soon as the suffix minimum fits.
 
-use crate::alloc::AllocLedger;
+use crate::alloc::{AllocLedger, LedgerDelta, RunningJob};
 use bbsched_core::pools::{NodeAssignment, PoolState};
 use bbsched_core::problem::JobDemand;
 
@@ -100,7 +111,7 @@ impl<'e> BackfillCtx<'e, '_> {
 
     /// Whether job `idx` already started in this invocation.
     pub fn is_started(&self, idx: usize) -> bool {
-        self.core.started.contains(&idx)
+        self.core.started.contains(idx)
     }
 
     /// The capacity-clamped demand of job `idx`.
@@ -123,6 +134,11 @@ impl<'e> BackfillCtx<'e, '_> {
         self.core.ledger.fits(&self.core.demands[idx])
     }
 
+    /// Read access to the allocation ledger (release order, delta log).
+    pub fn ledger(&self) -> &AllocLedger {
+        &self.core.ledger
+    }
+
     /// Shadow time and leftover state for `head_idx` (see
     /// [`shadow_and_leftover`]).
     pub fn shadow_and_leftover(&self, head_idx: usize) -> (f64, PoolState) {
@@ -131,7 +147,9 @@ impl<'e> BackfillCtx<'e, '_> {
 
     /// The running jobs' `(est_end, demand, assignment)` release schedule
     /// in deterministic `(est_end, index)` order — what
-    /// [`AvailabilityProfile::new`] consumes.
+    /// [`AvailabilityProfile::new`] consumes. Allocates a fresh list per
+    /// call; incremental strategies should maintain a [`ReleaseMirror`]
+    /// instead.
     pub fn release_schedule(&self) -> Vec<(f64, JobDemand, NodeAssignment)> {
         self.core.ledger.release_schedule()
     }
@@ -158,7 +176,10 @@ impl<'e> BackfillCtx<'e, '_> {
 /// Called once per scheduling invocation, after the starvation and policy
 /// phases. The strategy may start any not-yet-started candidate from
 /// [`BackfillCtx::waiting`] (plus the blocked head), subject to its own
-/// no-delay rules; the engine handles all bookkeeping around it.
+/// no-delay rules; the engine handles all bookkeeping around it. The
+/// strategy object lives as long as the engine, so implementations may
+/// keep incremental state between passes (conservative backfilling keeps
+/// its availability profile).
 pub trait BackfillStrategy: Send {
     /// Display name (observer callbacks carry it).
     fn name(&self) -> &'static str;
@@ -236,8 +257,20 @@ impl BackfillStrategy for EasyBackfill {
 /// reservation on a future-availability profile; a job starts now only if
 /// it delays none of the reservations ahead of it. Stronger fairness,
 /// fewer backfill opportunities.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct ConservativeBackfill;
+///
+/// The strategy is stateful: it owns a [`ReleaseMirror`] synced from the
+/// ledger's delta log and a persistent [`AvailabilityProfile`] refolded in
+/// place each pass, so no pass allocates or sorts. Schedules are
+/// bit-identical to the rebuild-per-pass reference
+/// ([`crate::legacy_profile::RebuildPerPassConservative`]) — proven by the
+/// golden-equivalence suite.
+#[derive(Clone, Debug, Default)]
+pub struct ConservativeBackfill {
+    mirror: ReleaseMirror,
+    profile: AvailabilityProfile,
+    /// Per-pass candidate order scratch (blocked head first).
+    ordered: Vec<usize>,
+}
 
 impl BackfillStrategy for ConservativeBackfill {
     fn name(&self) -> &'static str {
@@ -245,32 +278,153 @@ impl BackfillStrategy for ConservativeBackfill {
     }
 
     fn pass(&mut self, ctx: &mut BackfillCtx<'_, '_>) {
-        let mut profile = AvailabilityProfile::new(ctx.now(), *ctx.pool(), ctx.release_schedule());
+        // Apply the starts/finishes since the previous pass to the sorted
+        // release mirror, then refold the profile over the reused buffers
+        // (dropping the previous pass's reservation carvings — the only
+        // segments not derivable from the mirror).
+        self.mirror.sync(ctx.ledger());
+        self.mirror.fold_into(ctx.now(), *ctx.pool(), &mut self.profile);
         // Reservations for everyone; the starved blocked job (if any)
         // reserves first.
-        let mut ordered: Vec<usize> = Vec::with_capacity(ctx.waiting().len() + 1);
+        self.ordered.clear();
         if let Some(b) = ctx.blocked_head() {
-            ordered.push(b);
+            self.ordered.push(b);
         }
-        ordered.extend(ctx.waiting().iter().copied().filter(|&i| Some(i) != ctx.blocked_head()));
-        for (scanned, idx) in ordered.into_iter().enumerate() {
-            if scanned >= ctx.max_scan() {
+        self.ordered
+            .extend(ctx.waiting().iter().copied().filter(|&i| Some(i) != ctx.blocked_head()));
+        for pos in 0..self.ordered.len() {
+            if pos >= ctx.max_scan() {
                 break;
             }
+            let idx = self.ordered[pos];
             if ctx.is_started(idx) {
                 continue;
             }
             let d = ctx.demand(idx);
             let walltime = ctx.walltime(idx).max(1.0);
-            let t = profile.earliest_start(&d, ctx.now(), walltime);
+            let t = self.profile.earliest_start(&d, ctx.now(), walltime);
             if t <= ctx.now() + TIME_EPS && ctx.pool().fits(&d) {
                 ctx.start(idx, true);
                 // Consume from the profile's "now" segments too.
-                profile.reserve(&d, t, walltime);
+                self.profile.reserve(&d, t, walltime);
             } else if t.is_finite() {
-                profile.reserve(&d, t, walltime);
+                self.profile.reserve(&d, t, walltime);
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The persistent release mirror feeding the profile fold.
+// ---------------------------------------------------------------------------
+
+/// One running job's release, as mirrored from the ledger.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Release {
+    est_end: f64,
+    idx: usize,
+    demand: JobDemand,
+    asn: NodeAssignment,
+}
+
+/// A persistent, `(est_end, index)`-sorted copy of the ledger's release
+/// schedule, kept current by replaying [`AllocLedger::deltas_since`]
+/// between passes (falling back to a full resync if the delta log was
+/// truncated). This is the "apply start/finish deltas instead of
+/// rebuilding" half of the incremental profile; the fold itself is
+/// [`ReleaseMirror::fold_into`].
+#[derive(Clone, Debug, Default)]
+pub struct ReleaseMirror {
+    releases: Vec<Release>,
+    /// Ledger generation the mirror reflects (`None` before first sync).
+    synced: Option<u64>,
+}
+
+impl ReleaseMirror {
+    /// An empty mirror (syncs fully on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of mirrored releases (= running jobs at last sync).
+    pub fn len(&self) -> usize {
+        self.releases.len()
+    }
+
+    /// Whether the mirror is empty.
+    pub fn is_empty(&self) -> bool {
+        self.releases.is_empty()
+    }
+
+    /// Brings the mirror up to date with `ledger` by applying the deltas
+    /// logged since the last sync (O(deltas · log n) search plus memmove),
+    /// or by a full resynchronization when the log has been truncated.
+    pub fn sync(&mut self, ledger: &AllocLedger) {
+        let applied = match self.synced {
+            Some(gen) => match ledger.deltas_since(gen) {
+                Some(deltas) => {
+                    for delta in deltas {
+                        match *delta {
+                            LedgerDelta::Start { idx, entry } => self.insert(idx, &entry),
+                            LedgerDelta::Finish { idx, est_end } => self.remove(idx, est_end),
+                        }
+                    }
+                    true
+                }
+                None => false,
+            },
+            None => false,
+        };
+        if !applied {
+            self.releases.clear();
+            self.releases.extend(ledger.release_order().map(|(idx, r)| Release {
+                est_end: r.est_end,
+                idx,
+                demand: r.demand,
+                asn: r.assignment,
+            }));
+        }
+        self.synced = Some(ledger.generation());
+        debug_assert!(
+            self.releases.len() == ledger.running_count()
+                && self
+                    .releases
+                    .iter()
+                    .zip(ledger.release_order())
+                    .all(|(m, (idx, r))| m.idx == idx && m.est_end == r.est_end),
+            "release mirror desynchronized from the ledger"
+        );
+    }
+
+    fn insert(&mut self, idx: usize, entry: &RunningJob) {
+        let pos = self
+            .releases
+            .partition_point(|r| r.est_end.total_cmp(&entry.est_end).then(r.idx.cmp(&idx)).is_lt());
+        self.releases.insert(
+            pos,
+            Release { est_end: entry.est_end, idx, demand: entry.demand, asn: entry.assignment },
+        );
+    }
+
+    fn remove(&mut self, idx: usize, est_end: f64) {
+        let pos = self
+            .releases
+            .binary_search_by(|r| r.est_end.total_cmp(&est_end).then(r.idx.cmp(&idx)))
+            .expect("mirror finish for a release it never saw");
+        self.releases.remove(pos);
+    }
+
+    /// Refolds `profile` in place from the mirrored releases: origin at
+    /// `now` with the live free state `pool`, one step per release. Same
+    /// fold — bit for bit — as [`AvailabilityProfile::new`] over
+    /// [`AllocLedger::release_schedule`], without the sort or the
+    /// allocations.
+    pub fn fold_into(&self, now: f64, pool: PoolState, profile: &mut AvailabilityProfile) {
+        profile.rebuild_from_sorted(
+            now,
+            pool,
+            self.releases.iter().map(|r| (r.est_end, r.demand, r.asn)),
+        );
     }
 }
 
@@ -293,10 +447,31 @@ impl BackfillStrategy for ConservativeBackfill {
 /// Invariant: `times` is strictly increasing, `times[0]` is the profile's
 /// origin ("now"), and `states[i]` holds on `[times[i], times[i+1])`
 /// (the last state holds forever).
-#[derive(Clone, Debug)]
+///
+/// Queries are indexed: boundaries before a probe are skipped by binary
+/// search, and a **skyline** of per-resource suffix minima
+/// ([`PoolState::component_min`] folded from the tail) lets a scan accept
+/// as soon as everything from the current segment onward fits. The skyline
+/// is rebuilt with the fold and partially invalidated by reservations
+/// (`skyline_clean_from`); queries fall back to exact per-segment checks
+/// inside the invalidated prefix, so results never depend on the index.
+#[derive(Clone, Debug, Default)]
 pub struct AvailabilityProfile {
     times: Vec<f64>,
     states: Vec<PoolState>,
+    /// `skyline[i]` = component-wise minimum of `states[i..]`; valid for
+    /// indices `>= skyline_clean_from`.
+    skyline: Vec<PoolState>,
+    skyline_clean_from: usize,
+}
+
+impl PartialEq for AvailabilityProfile {
+    /// Profiles are equal when their piecewise-constant functions are:
+    /// same boundaries, same states. The skyline is an acceleration index
+    /// and takes no part in equality.
+    fn eq(&self, other: &Self) -> bool {
+        self.times == other.times && self.states == other.states
+    }
 }
 
 impl AvailabilityProfile {
@@ -311,26 +486,73 @@ impl AvailabilityProfile {
         let mut rel: Vec<(f64, JobDemand, NodeAssignment)> =
             releases.into_iter().map(|(t, d, asn)| (t.max(now), d, asn)).collect();
         rel.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut profile = Self::default();
+        profile.rebuild_from_sorted(now, pool, rel);
+        profile
+    }
 
-        let mut times = vec![now];
-        let mut states = vec![pool];
-        for (t, d, asn) in rel {
-            let last = *states.last().expect("profile never empty");
+    /// Refolds the profile in place from releases **already sorted**
+    /// ascending by time (ties in any deterministic order; times below
+    /// `now` are clamped to it, which preserves sortedness). Reuses the
+    /// internal buffers — no allocation once capacity is warm — and
+    /// rebuilds the skyline index. This is the incremental path's fold:
+    /// bit-identical to [`AvailabilityProfile::new`] on the same releases.
+    ///
+    /// # Panics
+    /// Debug-panics if the releases are not sorted.
+    pub fn rebuild_from_sorted(
+        &mut self,
+        now: f64,
+        pool: PoolState,
+        releases: impl IntoIterator<Item = (f64, JobDemand, NodeAssignment)>,
+    ) {
+        self.times.clear();
+        self.states.clear();
+        self.times.push(now);
+        self.states.push(pool);
+        let mut prev = f64::NEG_INFINITY;
+        for (t, d, asn) in releases {
+            let t = t.max(now);
+            debug_assert!(t >= prev, "rebuild_from_sorted wants ascending releases");
+            prev = t;
+            let last = *self.states.last().expect("profile never empty");
             let mut next = last;
             next.free(&d, asn);
-            if (t - *times.last().unwrap()).abs() < 1e-12 {
-                *states.last_mut().unwrap() = next;
+            if (t - *self.times.last().unwrap()).abs() < 1e-12 {
+                *self.states.last_mut().unwrap() = next;
             } else {
-                times.push(t);
-                states.push(next);
+                self.times.push(t);
+                self.states.push(next);
             }
         }
-        Self { times, states }
+        self.rebuild_skyline();
+    }
+
+    /// Rebuilds the suffix-minima index over the current segments.
+    fn rebuild_skyline(&mut self) {
+        let n = self.states.len();
+        self.skyline.clear();
+        self.skyline.resize(n, self.states[n - 1]);
+        for i in (0..n - 1).rev() {
+            let folded = self.states[i].component_min(&self.skyline[i + 1]);
+            self.skyline[i] = folded;
+        }
+        self.skyline_clean_from = 0;
     }
 
     /// Number of segments (diagnostic).
     pub fn segments(&self) -> usize {
         self.times.len()
+    }
+
+    /// The boundary times (diagnostic / equivalence tests).
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// The per-segment states (diagnostic / equivalence tests).
+    pub fn states(&self) -> &[PoolState] {
+        &self.states
     }
 
     /// Free state at time `t` (clamped to the profile's origin).
@@ -343,17 +565,32 @@ impl AvailabilityProfile {
         self.states[idx]
     }
 
+    /// Whether the skyline entry at `i` is valid and fits `d` — meaning
+    /// every segment from `i` onward fits `d`, so a scan can stop.
+    #[inline]
+    fn tail_fits(&self, i: usize, d: &JobDemand) -> bool {
+        i >= self.skyline_clean_from && self.skyline[i].fits(d)
+    }
+
     /// Whether `d` fits everywhere on `[start, start + duration)`.
+    ///
+    /// Boundaries at or before `start` are skipped by binary search; the
+    /// in-range scan short-circuits once the suffix minimum fits.
     pub fn fits_interval(&self, d: &JobDemand, start: f64, duration: f64) -> bool {
         let end = start + duration;
-        // Check the segment containing `start` and every boundary in range.
         if !self.state_at(start).fits(d) {
             return false;
         }
-        for (i, &t) in self.times.iter().enumerate() {
-            if t > start && t < end && !self.states[i].fits(d) {
+        // First boundary strictly greater than `start`.
+        let mut i = self.times.partition_point(|t| *t <= start);
+        while i < self.times.len() && self.times[i] < end {
+            if self.tail_fits(i, d) {
+                return true;
+            }
+            if !self.states[i].fits(d) {
                 return false;
             }
+            i += 1;
         }
         true
     }
@@ -361,18 +598,61 @@ impl AvailabilityProfile {
     /// Earliest time `>= from` at which `d` fits for `duration`. Candidate
     /// instants are `from` and the profile's breakpoints (free resources
     /// only ever *increase* at breakpoints built from releases, but
-    /// reservations can carve arbitrary shapes, so every breakpoint is
-    /// tried). Returns `f64::INFINITY` if it never fits.
+    /// reservations can carve arbitrary shapes, so every breakpoint is a
+    /// candidate). Returns `f64::INFINITY` if it never fits.
+    ///
+    /// Implemented as a single forward walk: when a segment inside the
+    /// candidate's interval does not fit, every candidate up to that
+    /// segment's boundary is doomed (its interval would contain the
+    /// blocking segment), so the walk jumps straight to the next fitting
+    /// breakpoint. Each segment is visited at most once — O(S) worst case
+    /// instead of the O(S²) try-every-breakpoint scan — and the skyline
+    /// accepts in O(1) once the remaining tail fits.
     pub fn earliest_start(&self, d: &JobDemand, from: f64, duration: f64) -> f64 {
-        if self.fits_interval(d, from, duration) {
-            return from;
-        }
-        for (i, &t) in self.times.iter().enumerate() {
-            if t > from && self.states[i].fits(d) && self.fits_interval(d, t, duration) {
-                return t;
+        let n = self.times.len();
+        let mut cand = from;
+        // First boundary strictly after the candidate.
+        let mut i = self.times.partition_point(|t| *t <= from);
+        if !self.state_at(from).fits(d) {
+            // `from` fails in its own segment: advance to the first
+            // breakpoint whose segment fits.
+            while i < n && !self.states[i].fits(d) {
+                i += 1;
             }
+            if i == n {
+                return f64::INFINITY;
+            }
+            cand = self.times[i];
+            i += 1;
         }
-        f64::INFINITY
+        // Invariant: the segment containing `cand` fits, and every
+        // boundary in (cand, times[i]) — none so far — fits.
+        'candidate: loop {
+            let end = cand + duration;
+            while i < n && self.times[i] < end {
+                if self.tail_fits(i, d) {
+                    return cand;
+                }
+                if !self.states[i].fits(d) {
+                    // Segment i blocks every candidate in (cand, times[i]]
+                    // (their intervals all contain it, and times[i]'s own
+                    // segment does not fit). Jump to the next fitting
+                    // breakpoint.
+                    i += 1;
+                    while i < n && !self.states[i].fits(d) {
+                        i += 1;
+                    }
+                    if i == n {
+                        return f64::INFINITY;
+                    }
+                    cand = self.times[i];
+                    i += 1;
+                    continue 'candidate;
+                }
+                i += 1;
+            }
+            return cand;
+        }
     }
 
     /// Carves a reservation for `d` over `[start, start + duration)`.
@@ -384,7 +664,12 @@ impl AvailabilityProfile {
         let end = start + duration;
         self.split_at(start);
         self.split_at(end);
-        for i in 0..self.times.len() {
+        // First segment overlapping the reservation: the one containing
+        // `start` (everything before it would fail the `seg_end <= start`
+        // test anyway — skip it by binary search).
+        let first = self.times.partition_point(|t| *t <= start).saturating_sub(1);
+        let mut dirty_end = self.skyline_clean_from;
+        for i in first..self.times.len() {
             let seg_start = self.times[i];
             if seg_start >= end {
                 break;
@@ -397,7 +682,12 @@ impl AvailabilityProfile {
             let state = &mut self.states[i];
             debug_assert!(state.fits(d));
             let _ = state.alloc(d);
+            dirty_end = dirty_end.max(i + 1);
         }
+        // Suffix minima at or before a mutated segment may now overstate
+        // availability; invalidate them (queries fall back to exact
+        // per-segment checks there).
+        self.skyline_clean_from = dirty_end;
     }
 
     /// Ensures `t` is a breakpoint (no-op if it already is or precedes the
@@ -412,6 +702,21 @@ impl AvailabilityProfile {
                 let state = self.states[i - 1];
                 self.times.insert(i, t);
                 self.states.insert(i, state);
+                // Keep the skyline index-aligned. Entries before `i` are
+                // unchanged (the duplicate state was already folded into
+                // them via the original segment); the new entry folds the
+                // duplicate with the old suffix at `i`.
+                if i < self.skyline_clean_from {
+                    // Inside the invalidated prefix: value is never read.
+                    self.skyline.insert(i, state);
+                    self.skyline_clean_from += 1;
+                } else {
+                    let v = match self.skyline.get(i) {
+                        Some(next) => state.component_min(next),
+                        None => state,
+                    };
+                    self.skyline.insert(i, v);
+                }
             }
         }
     }
@@ -534,5 +839,66 @@ mod tests {
             30.0,
             "long job must queue behind the head's reservation"
         );
+    }
+
+    #[test]
+    fn mirror_tracks_ledger_incrementally() {
+        let mut ledger = AllocLedger::new(PoolState::cpu_bb(100, 1_000.0));
+        let mut mirror = ReleaseMirror::new();
+        mirror.sync(&ledger);
+        assert!(mirror.is_empty());
+        ledger.start(4, d(10, 50.0), 40.0);
+        ledger.start(2, d(5, 0.0), 10.0);
+        mirror.sync(&ledger);
+        assert_eq!(mirror.len(), 2);
+        ledger.finish(2);
+        ledger.start(7, d(1, 0.0), 25.0);
+        mirror.sync(&ledger);
+        // Mirror order matches the ledger's (est_end, idx) order.
+        let order: Vec<usize> = mirror.releases.iter().map(|r| r.idx).collect();
+        assert_eq!(order, vec![7, 4]);
+    }
+
+    #[test]
+    fn mirror_fold_equals_from_scratch_profile() {
+        let mut ledger = AllocLedger::new(PoolState::cpu_bb(64, 500.0));
+        let mut mirror = ReleaseMirror::new();
+        let mut profile = AvailabilityProfile::default();
+        ledger.start(0, d(8, 120.0), 90.0);
+        ledger.start(1, d(16, 0.0), 30.0);
+        ledger.start(2, d(4, 60.0), 90.0);
+        mirror.sync(&ledger);
+        mirror.fold_into(5.0, *ledger.pool(), &mut profile);
+        let fresh = AvailabilityProfile::new(5.0, *ledger.pool(), ledger.release_schedule());
+        assert_eq!(profile, fresh);
+        // Reservations carved into the working profile vanish at the next
+        // fold; only ledger deltas persist.
+        profile.reserve(&d(30, 0.0), 30.0, 20.0);
+        assert_ne!(profile, fresh);
+        ledger.finish(1);
+        mirror.sync(&ledger);
+        mirror.fold_into(12.0, *ledger.pool(), &mut profile);
+        let fresh = AvailabilityProfile::new(12.0, *ledger.pool(), ledger.release_schedule());
+        assert_eq!(profile, fresh);
+    }
+
+    #[test]
+    fn skyline_survives_reservation_splits() {
+        // A reservation splits segments and invalidates part of the
+        // skyline; queries must stay exact either way.
+        let mut p = AvailabilityProfile::new(
+            0.0,
+            PoolState::cpu_bb(4, 100.0),
+            vec![release(10.0, 4, 0.0), release(20.0, 2, 50.0)],
+        );
+        p.reserve(&d(6, 20.0), 10.0, 25.0);
+        // [10, 35) holds 4+4-6=2 nodes until 20, then 4; after 35, 10.
+        assert_eq!(p.state_at(12.0).nodes(), 2);
+        assert_eq!(p.state_at(22.0).nodes(), 4);
+        assert_eq!(p.state_at(40.0).nodes(), 10);
+        assert_eq!(p.earliest_start(&d(5, 0.0), 0.0, 5.0), 35.0);
+        assert_eq!(p.earliest_start(&d(10, 0.0), 0.0, 1.0), 35.0);
+        assert!(!p.fits_interval(&d(4, 0.0), 0.0, 12.0));
+        assert!(p.fits_interval(&d(2, 0.0), 0.0, 100.0));
     }
 }

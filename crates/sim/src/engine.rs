@@ -33,6 +33,7 @@
 
 use crate::alloc::AllocLedger;
 use crate::backfill::{BackfillCtx, BackfillStrategy};
+use crate::jobset::JobSet;
 use crate::observer::{JobStart, SimObserver};
 use crate::record::StartReason;
 use crate::simulator::{BackfillScope, SimConfig};
@@ -42,6 +43,18 @@ use bbsched_policies::SelectionPolicy;
 use bbsched_workloads::{Job, SystemConfig};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
+
+/// Per-invocation scratch buffers, owned by the engine and reused across
+/// invocations so the hot loop allocates nothing once capacities warm up.
+#[derive(Default)]
+struct Scratch {
+    window_idx: Vec<usize>,
+    window_ids: Vec<u64>,
+    remaining: Vec<usize>,
+    sel_demands: Vec<JobDemand>,
+    waiting: Vec<usize>,
+    started_ids: Vec<u64>,
+}
 
 /// One job entering the simulation: the trace job plus its
 /// capacity-clamped demand ([`crate::Simulator::new`] computes the
@@ -100,8 +113,9 @@ pub(crate) struct Core<'o> {
     pub(crate) events: BinaryHeap<Reverse<Event>>,
     pub(crate) seq: u64,
     pub(crate) observers: Vec<&'o mut dyn SimObserver>,
-    /// Jobs started during the current invocation.
-    pub(crate) started: HashSet<usize>,
+    /// Jobs started during the current invocation (bitset: probed inside
+    /// the queue-cleanup and backfill loops, cleared per invocation).
+    pub(crate) started: JobSet,
     /// Backfill starts the strategy credited this pass (see
     /// [`BackfillCtx::start`]).
     pub(crate) backfill_credit: usize,
@@ -151,6 +165,7 @@ pub struct Engine<'o> {
     completed_ids: HashSet<u64>,
     tracker: StarvationTracker,
     invocations: u64,
+    scratch: Scratch,
 }
 
 impl<'o> Engine<'o> {
@@ -173,7 +188,7 @@ impl<'o> Engine<'o> {
                 events: BinaryHeap::new(),
                 seq: 0,
                 observers,
-                started: HashSet::new(),
+                started: JobSet::new(),
                 backfill_credit: 0,
             },
             cfg,
@@ -182,6 +197,7 @@ impl<'o> Engine<'o> {
             completed_ids: HashSet::new(),
             tracker: StarvationTracker::new(),
             invocations: 0,
+            scratch: Scratch::default(),
         })
     }
 
@@ -264,10 +280,12 @@ impl<'o> Engine<'o> {
     }
 
     /// One scheduling invocation: phases (1)–(6) from the module docs.
+    /// All per-invocation lists live in [`Scratch`] and are reused.
     fn invoke(&mut self, now: f64, policy: &mut dyn SelectionPolicy) {
         let invocation = self.invocations;
         let queue_len = self.queue.len();
         self.core.notify(|o| o.on_invocation_begin(now, invocation, queue_len));
+        let mut scratch = std::mem::take(&mut self.scratch);
 
         // --- (1) base-scheduler priority order ---
         self.queue.order(&self.core.jobs, now);
@@ -275,18 +293,22 @@ impl<'o> Engine<'o> {
         // --- (2) fill the window with dependency-satisfied jobs ---
         let window_size =
             self.cfg.dynamic_window.map(|d| d.size_for(queue_len)).unwrap_or(self.cfg.window.size);
-        let (window_idx, window_ids) = {
+        scratch.window_idx.clear();
+        scratch.window_ids.clear();
+        {
             let jobs = &self.core.jobs;
             let queue = self.queue.as_slice();
             let completed = &self.completed_ids;
             let deps_met =
                 |qpos: usize| jobs[queue[qpos]].deps.iter().all(|d| completed.contains(d));
             let window_qpos = fill_window(queue_len, window_size, deps_met);
-            let window_idx: Vec<usize> = window_qpos.iter().map(|&q| queue[q]).collect();
-            let window_ids: Vec<u64> = window_idx.iter().map(|&i| jobs[i].id).collect();
-            (window_idx, window_ids)
-        };
-        self.core.notify(|o| o.on_window_built(now, &window_ids));
+            scratch.window_idx.extend(window_qpos.iter().map(|&q| queue[q]));
+            scratch.window_ids.extend(scratch.window_idx.iter().map(|&i| jobs[i].id));
+        }
+        {
+            let window_ids = &scratch.window_ids;
+            self.core.notify(|o| o.on_window_built(now, window_ids));
+        }
 
         self.core.started.clear();
 
@@ -295,7 +317,7 @@ impl<'o> Engine<'o> {
         // job that does not fit becomes the reservation head: optimization
         // continues, but only inside the slack that cannot delay it.
         let mut blocked_head: Option<usize> = None;
-        for &idx in &window_idx {
+        for &idx in &scratch.window_idx {
             if self.tracker.is_starved(self.core.jobs[idx].id, self.cfg.window.starvation_bound) {
                 if self.core.ledger.fits(&self.core.demands[idx]) {
                     self.core.start_job(idx, now, StartReason::Starvation);
@@ -322,44 +344,57 @@ impl<'o> Engine<'o> {
                 self.core.ledger.pool().component_min(&leftover)
             }
         };
-        let remaining: Vec<usize> = window_idx
-            .iter()
-            .copied()
-            .filter(|i| !self.core.started.contains(i) && Some(*i) != blocked_head)
-            .collect();
-        if !remaining.is_empty() {
-            let demands: Vec<JobDemand> = remaining.iter().map(|&i| self.core.demands[i]).collect();
-            let selection = policy.select(&demands, &policy_avail, invocation);
+        scratch.remaining.clear();
+        {
+            let started = &self.core.started;
+            scratch.remaining.extend(
+                scratch
+                    .window_idx
+                    .iter()
+                    .copied()
+                    .filter(|i| !started.contains(*i) && Some(*i) != blocked_head),
+            );
+        }
+        if !scratch.remaining.is_empty() {
+            scratch.sel_demands.clear();
+            scratch.sel_demands.extend(scratch.remaining.iter().map(|&i| self.core.demands[i]));
+            let selection = policy.select(&scratch.sel_demands, &policy_avail, invocation);
             debug_assert!(
-                bbsched_policies::selection_is_feasible(&demands, &policy_avail, &selection),
+                bbsched_policies::selection_is_feasible(
+                    &scratch.sel_demands,
+                    &policy_avail,
+                    &selection
+                ),
                 "policy {} returned an infeasible selection",
                 policy.name()
             );
             for &s in &selection {
-                self.core.start_job(remaining[s], now, StartReason::Policy);
+                self.core.start_job(scratch.remaining[s], now, StartReason::Policy);
             }
         }
 
         // --- (5) backfilling, behind the strategy object ---
-        let waiting: Vec<usize> = match self.cfg.backfill {
+        scratch.waiting.clear();
+        match self.cfg.backfill {
             BackfillScope::Window => {
-                window_idx.iter().copied().filter(|i| !self.core.started.contains(i)).collect()
+                let started = &self.core.started;
+                scratch
+                    .waiting
+                    .extend(scratch.window_idx.iter().copied().filter(|i| !started.contains(*i)));
             }
-            BackfillScope::Queue => self
-                .queue
-                .as_slice()
-                .iter()
-                .copied()
-                .filter(|i| {
-                    !self.core.started.contains(i)
-                        && self.core.jobs[*i].deps.iter().all(|d| self.completed_ids.contains(d))
-                })
-                .collect(),
-        };
+            BackfillScope::Queue => {
+                let started = &self.core.started;
+                let jobs = &self.core.jobs;
+                let completed = &self.completed_ids;
+                scratch.waiting.extend(self.queue.as_slice().iter().copied().filter(|i| {
+                    !started.contains(*i) && jobs[*i].deps.iter().all(|d| completed.contains(d))
+                }));
+            }
+        }
         self.core.backfill_credit = 0;
         let mut ctx = BackfillCtx {
             now,
-            waiting: &waiting,
+            waiting: &scratch.waiting,
             blocked_head,
             max_scan: self.cfg.max_backfill_scan,
             core: &mut self.core,
@@ -376,19 +411,27 @@ impl<'o> Engine<'o> {
         // them would make the bound fire on event frequency rather than on
         // actual priority inversion.
         if !self.core.started.is_empty() {
-            let started_ids: Vec<u64> = window_idx
-                .iter()
-                .filter(|i| self.core.started.contains(i))
-                .map(|&i| self.core.jobs[i].id)
-                .collect();
-            self.tracker.observe(&window_ids, &started_ids);
-            for &i in &self.core.started {
+            scratch.started_ids.clear();
+            {
+                let started = &self.core.started;
+                let jobs = &self.core.jobs;
+                scratch.started_ids.extend(
+                    scratch
+                        .window_idx
+                        .iter()
+                        .filter(|i| started.contains(**i))
+                        .map(|&i| jobs[i].id),
+                );
+            }
+            self.tracker.observe(&scratch.window_ids, &scratch.started_ids);
+            for i in self.core.started.iter() {
                 self.tracker.forget(self.core.jobs[i].id);
             }
         }
         self.queue.remove_started(&self.core.started);
         let started_count = self.core.started.len();
         self.core.notify(|o| o.on_invocation_end(now, started_count));
+        self.scratch = scratch;
     }
 }
 

@@ -1,0 +1,112 @@
+//! A sparse-clearing bitset over job indices.
+//!
+//! The engine tracks "which jobs started during this invocation" and the
+//! queue subtracts that set on cleanup. A `HashSet<usize>` makes every
+//! membership probe hash and chase buckets — inside `Vec::retain` over a
+//! long queue that is the dominant cleanup cost at large trace sizes.
+//! [`JobSet`] stores one bit per job index, so probes are a shift and a
+//! mask, and clearing touches only the words of bits actually set (the
+//! handful of jobs started per invocation, not the whole trace).
+
+/// A set of job indices backed by a bitset, with O(set bits) clearing.
+#[derive(Clone, Debug, Default)]
+pub struct JobSet {
+    words: Vec<u64>,
+    /// Members in insertion order (also the dirty-word list for clearing).
+    members: Vec<usize>,
+}
+
+impl JobSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether `idx` is a member.
+    #[inline]
+    pub fn contains(&self, idx: usize) -> bool {
+        self.words.get(idx / 64).is_some_and(|w| w & (1u64 << (idx % 64)) != 0)
+    }
+
+    /// Inserts `idx`, growing the bitset as needed. Returns whether the
+    /// index was newly inserted.
+    pub fn insert(&mut self, idx: usize) -> bool {
+        let word = idx / 64;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let mask = 1u64 << (idx % 64);
+        if self.words[word] & mask != 0 {
+            return false;
+        }
+        self.words[word] |= mask;
+        self.members.push(idx);
+        true
+    }
+
+    /// Members in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.members.iter().copied()
+    }
+
+    /// Empties the set, clearing only the words that have bits set.
+    pub fn clear(&mut self) {
+        for &idx in &self.members {
+            self.words[idx / 64] = 0;
+        }
+        self.members.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_roundtrip() {
+        let mut s = JobSet::new();
+        assert!(!s.contains(0));
+        assert!(!s.contains(1_000));
+        assert!(s.insert(5));
+        assert!(s.insert(64));
+        assert!(s.insert(1_000));
+        assert!(!s.insert(5), "double insert reports existing membership");
+        assert!(s.contains(5) && s.contains(64) && s.contains(1_000));
+        assert!(!s.contains(6) && !s.contains(63) && !s.contains(999));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![5, 64, 1_000]);
+    }
+
+    #[test]
+    fn clear_resets_all_members() {
+        let mut s = JobSet::new();
+        for i in [0usize, 63, 64, 127, 128, 900] {
+            s.insert(i);
+        }
+        s.clear();
+        assert!(s.is_empty());
+        for i in [0usize, 63, 64, 127, 128, 900] {
+            assert!(!s.contains(i), "bit {i} survived clear");
+        }
+        // The set is reusable after clearing.
+        assert!(s.insert(63));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn probes_beyond_capacity_are_false() {
+        let mut s = JobSet::new();
+        s.insert(3);
+        assert!(!s.contains(usize::MAX / 128));
+    }
+}

@@ -22,9 +22,17 @@
 //! * [`queue`] — the waiting queue under the base scheduler's order
 //!   (incrementally sorted for FCFS, re-scored per invocation for WFP);
 //! * [`alloc`] — the allocation ledger: pool accounting with conservation
-//!   checks and the incrementally maintained release order;
+//!   checks, the incrementally maintained release order, and a
+//!   generation-numbered start/finish delta log;
 //! * [`backfill`] — EASY and conservative backfilling behind the
-//!   [`BackfillStrategy`] trait, plus the availability-profile machinery;
+//!   [`BackfillStrategy`] trait, plus the availability-profile machinery:
+//!   a persistent profile refolded in place from a ledger-synced release
+//!   mirror, with binary-searched, skyline-indexed queries (DESIGN.md
+//!   §10);
+//! * [`legacy_profile`] — the frozen rebuild-per-pass conservative path,
+//!   kept as the equivalence oracle and benchmark reference;
+//! * [`jobset`] — the bitset over job indices used for per-invocation
+//!   started-job tracking and queue cleanup;
 //! * [`observer`] — the [`SimObserver`] callbacks everything observable
 //!   flows through; [`Recorder`] collects the classic [`SimResult`];
 //! * [`simulator`] — configuration, demand clamping, and the
@@ -53,20 +61,24 @@ pub mod backfill;
 pub mod base_sched;
 pub mod engine;
 pub mod error;
+pub mod jobset;
+pub mod legacy_profile;
 pub mod observer;
 pub mod profile;
 pub mod queue;
 pub mod record;
 pub mod simulator;
 
-pub use alloc::{AllocLedger, RunningJob};
+pub use alloc::{AllocLedger, LedgerDelta, RunningJob};
 pub use backfill::{
     shadow_and_leftover, AvailabilityProfile, BackfillCtx, BackfillStrategy, ConservativeBackfill,
-    EasyBackfill,
+    EasyBackfill, ReleaseMirror,
 };
 pub use base_sched::BaseScheduler;
 pub use engine::{Arrival, Engine, EngineSummary};
 pub use error::SimError;
+pub use jobset::JobSet;
+pub use legacy_profile::{LegacyProfile, RebuildPerPassConservative};
 pub use observer::{JobStart, Recorder, SimObserver};
 pub use queue::QueueManager;
 pub use record::{JobRecord, SimResult, StartReason};

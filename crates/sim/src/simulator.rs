@@ -113,8 +113,16 @@ pub enum BackfillAlgorithm {
     /// Conservative: every blocked candidate receives a reservation on a
     /// future-availability profile; a job starts now only if it delays
     /// none of the reservations ahead of it. Stronger fairness, fewer
-    /// backfill opportunities.
+    /// backfill opportunities. Uses the persistent, incrementally
+    /// maintained profile (DESIGN.md §10).
     Conservative,
+    /// The frozen pre-incremental conservative path: rebuilds the
+    /// availability profile from the full release schedule on every pass
+    /// ([`crate::legacy_profile::RebuildPerPassConservative`]). Produces
+    /// bit-identical schedules to [`BackfillAlgorithm::Conservative`];
+    /// kept only as the equivalence oracle and benchmark reference — do
+    /// not use it for new work.
+    ConservativeRebuild,
 }
 
 impl BackfillAlgorithm {
@@ -122,7 +130,12 @@ impl BackfillAlgorithm {
     pub fn strategy(self) -> Box<dyn crate::backfill::BackfillStrategy> {
         match self {
             BackfillAlgorithm::Easy => Box::new(crate::backfill::EasyBackfill),
-            BackfillAlgorithm::Conservative => Box::new(crate::backfill::ConservativeBackfill),
+            BackfillAlgorithm::Conservative => {
+                Box::new(crate::backfill::ConservativeBackfill::default())
+            }
+            BackfillAlgorithm::ConservativeRebuild => {
+                Box::new(crate::legacy_profile::RebuildPerPassConservative)
+            }
         }
     }
 }

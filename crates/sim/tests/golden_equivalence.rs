@@ -19,7 +19,7 @@ use bbsched_core::window::fill_window;
 use bbsched_core::window::StarvationTracker;
 use bbsched_policies::{GaParams, PolicyKind, SelectionPolicy};
 use bbsched_sim::{
-    AvailabilityProfile, BackfillAlgorithm, BackfillScope, BaseScheduler, DynamicWindow, JobRecord,
+    BackfillAlgorithm, BackfillScope, BaseScheduler, DynamicWindow, JobRecord, LegacyProfile,
     SimConfig, SimResult, Simulator, StartReason,
 };
 use bbsched_workloads::{generate, GeneratorConfig, Job, MachineProfile, SystemConfig, Trace};
@@ -267,7 +267,11 @@ fn reference_run(
         };
 
         if cfg.backfill_algorithm == BackfillAlgorithm::Conservative {
-            let mut profile = AvailabilityProfile::new(now, pool, {
+            // The reference stays frozen on the rebuild-per-pass profile
+            // (`LegacyProfile` preserves the pre-incremental code
+            // verbatim), so the incremental path is always compared
+            // against the original semantics.
+            let mut profile = LegacyProfile::new(now, pool, {
                 let mut keyed: Vec<(&usize, &Running)> = running.iter().collect();
                 keyed.sort_by(|(ia, a), (ib, b)| a.est_end.total_cmp(&b.est_end).then(ia.cmp(ib)));
                 keyed.into_iter().map(|(_, r)| (r.est_end, r.demand, r.asn)).collect::<Vec<_>>()
@@ -540,6 +544,34 @@ fn golden_sim_fingerprints_are_bit_stable() {
             }
         }
         assert_eq!(h, want, "{} record stream diverged from its golden fingerprint", kind.name());
+    }
+}
+
+/// The incremental conservative path (persistent mirror-fed profile,
+/// skyline-indexed queries) must produce bit-identical results to the
+/// frozen rebuild-per-pass strategy through the *real* engine — not just
+/// against the monolithic reference. This is the direct old-vs-new check
+/// for the persistent-profile tentpole.
+#[test]
+fn golden_incremental_conservative_equals_rebuild_per_pass() {
+    for (system, trace) in [cori_trace(), theta_trace()] {
+        for kind in [PolicyKind::BbSched, PolicyKind::BinPacking, PolicyKind::Baseline] {
+            for base in [BaseScheduler::Fcfs, BaseScheduler::Wfp] {
+                let run = |algo: BackfillAlgorithm| {
+                    let cfg = SimConfig { base, backfill_algorithm: algo, ..SimConfig::default() };
+                    Simulator::new(&system, &trace, cfg).unwrap().run(kind.build(ga()))
+                };
+                let incremental = run(BackfillAlgorithm::Conservative);
+                let rebuild = run(BackfillAlgorithm::ConservativeRebuild);
+                assert_eq!(
+                    incremental,
+                    rebuild,
+                    "incremental conservative diverged from rebuild-per-pass: policy {} base {:?}",
+                    kind.name(),
+                    base
+                );
+            }
+        }
     }
 }
 

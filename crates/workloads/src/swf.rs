@@ -127,15 +127,17 @@ pub fn read_swf(path: &Path) -> std::io::Result<Trace> {
     Trace::from_jobs(jobs).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
 }
 
-/// Writes a trace as SWF. Unknown-to-SWF fields (burst buffer, SSD) ride
-/// in a `;bb=...,ssd=...` comment suffix that [`parse_swf`] round-trips.
-pub fn write_swf(trace: &Trace, path: &Path) -> std::io::Result<()> {
-    let mut w = BufWriter::new(std::fs::File::create(path)?);
-    writeln!(w, "; SWF export from bbsched-workloads")?;
-    writeln!(w, "; Fields: job submit wait runtime procs avgcpu mem reqprocs reqtime reqmem status uid gid exe queue partition prevjob think")?;
+/// Renders a trace as SWF text — exactly the bytes [`write_swf`] puts on
+/// disk. Unknown-to-SWF fields (burst buffer, SSD) ride in a
+/// `;bb=...,ssd=...` comment suffix that [`parse_swf`] round-trips.
+pub fn to_swf_string(trace: &Trace) -> String {
+    use std::fmt::Write as _;
+    let mut w = String::with_capacity(trace.jobs().len() * 64 + 128);
+    w.push_str("; SWF export from bbsched-workloads\n");
+    w.push_str("; Fields: job submit wait runtime procs avgcpu mem reqprocs reqtime reqmem status uid gid exe queue partition prevjob think\n");
     for j in trace.jobs() {
         let prev = j.deps.first().map(|&d| d as i64).unwrap_or(-1);
-        write!(
+        let _ = write!(
             w,
             "{} {:.0} -1 {:.0} {} -1 -1 {} {:.0} -1 1 -1 -1 -1 -1 -1 {} -1",
             j.id,
@@ -145,12 +147,19 @@ pub fn write_swf(trace: &Trace, path: &Path) -> std::io::Result<()> {
             j.nodes,
             j.walltime,
             prev
-        )?;
+        );
         if j.bb_gb > 0.0 || j.ssd_gb_per_node > 0.0 {
-            write!(w, " ;bb={},ssd={}", j.bb_gb, j.ssd_gb_per_node)?;
+            let _ = write!(w, " ;bb={},ssd={}", j.bb_gb, j.ssd_gb_per_node);
         }
-        writeln!(w)?;
+        w.push('\n');
     }
+    w
+}
+
+/// Writes a trace as SWF (see [`to_swf_string`] for the format).
+pub fn write_swf(trace: &Trace, path: &Path) -> std::io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    w.write_all(to_swf_string(trace).as_bytes())?;
     w.flush()
 }
 
@@ -234,5 +243,30 @@ mod tests {
     fn comments_and_blanks_are_ignored() {
         let t = parse_swf("; just comments\n\n;\n").unwrap();
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn to_swf_string_roundtrips_without_disk() {
+        let jobs = vec![
+            Job::new(1, 0.0, 64, 3600.0, 7200.0).with_bb(2_048.0),
+            Job::new(2, 100.0, 128, 1800.0, 3600.0).with_ssd(96.0),
+        ];
+        let t = Trace::from_jobs(jobs).unwrap();
+        let text = to_swf_string(&t);
+        let back = parse_swf(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        for (a, b) in t.jobs().iter().zip(back.jobs()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.nodes, b.nodes);
+            assert_eq!(a.bb_gb, b.bb_gb);
+            assert_eq!(a.ssd_gb_per_node, b.ssd_gb_per_node);
+        }
+        // The string writer and the file writer are the same format.
+        let dir = std::env::temp_dir().join(format!("bbsched_swf_str_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.swf");
+        write_swf(&t, &path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), text);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
