@@ -2,7 +2,7 @@
 //! estimate quality?
 //!
 //! EASY backfilling trusts requested walltimes for its reservations; the
-//! paper's companion work ([15] in its bibliography) studies exactly this
+//! paper's companion work (\[15\] in its bibliography) studies exactly this
 //! accuracy trade-off. We rewrite Theta-S2's walltimes under four
 //! [`bbsched_workloads::EstimateModel`]s and rerun Baseline and BBSched.
 //!

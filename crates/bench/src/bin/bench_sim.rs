@@ -27,8 +27,9 @@
 use bbsched_core::pools::PoolState;
 use bbsched_core::problem::JobDemand;
 use bbsched_policies::{GaParams, PolicyKind};
+use bbsched_sched::{SchedConfig, SchedCore};
 use bbsched_sim::{BackfillAlgorithm, BackfillScope, BaseScheduler, SimConfig, Simulator};
-use bbsched_workloads::{generate, swf, GeneratorConfig, MachineProfile, Trace};
+use bbsched_workloads::{generate, swf, GeneratorConfig, Job, MachineProfile, Trace};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -249,6 +250,38 @@ fn main() {
             push(&format!("simulate_large/swf{big_label}_{label}"), big_samples, 0.0, &mut || {
                 let sim = Simulator::new(&profile.system, &swf_trace, cfg.clone()).unwrap();
                 sim.run(PolicyKind::Baseline.build(GaParams::default())).records.len()
+            });
+        }
+    }
+
+    // --- sched_invoke: one cold six-phase invocation of the service core ---
+    // Times the driver-agnostic `SchedCore` directly (no event loop): build
+    // a core, submit `w` queued jobs, run a single `invoke(0.0)`. Baseline
+    // policy, so the queue ordering / window fill / shadow-and-leftover /
+    // backfill machinery dominates rather than the optimizer.
+    {
+        let profile = MachineProfile::cori().scaled(0.05);
+        for w in [20usize, 50] {
+            let jobs: Vec<(Job, JobDemand)> = overhead_window(w)
+                .into_iter()
+                .enumerate()
+                .map(|(i, d)| {
+                    let job = Job::new(i as u64, 0.0, d.nodes, 1_800.0, 3_600.0).with_bb(d.bb_gb);
+                    (job, d)
+                })
+                .collect();
+            push(&format!("sched_invoke_w{w}/Baseline"), samples, 0.01, &mut || {
+                let mut core = SchedCore::new(
+                    &profile.system,
+                    SchedConfig::default(),
+                    PolicyKind::Baseline.build(GaParams::default()),
+                    Vec::new(),
+                )
+                .unwrap();
+                for (job, demand) in &jobs {
+                    core.submit(job.clone(), *demand).unwrap();
+                }
+                core.invoke(0.0).len()
             });
         }
     }

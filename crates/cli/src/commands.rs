@@ -1,28 +1,33 @@
 //! Subcommand implementations.
 
 use crate::args::Args;
+use crate::error::CliError;
 use bbsched_metrics::{DistributionStats, MeasurementWindow, MethodSummary, UsageKind};
 use bbsched_policies::{GaParams, PolicyKind, SelectionPolicy};
+use bbsched_sched::{Decision, JobEvent, Replayer, SchedObserver};
 use bbsched_sim::{
     BackfillAlgorithm, BaseScheduler, DynamicWindow, SimConfig, SimResult, Simulator,
 };
 use bbsched_workloads::{generate, swf, GeneratorConfig, MachineProfile, Trace, Workload};
+use std::io::{BufRead, Write};
 use std::path::Path;
 
-/// Top-level dispatch; returns the process exit code.
-pub fn run(args: &Args) -> Result<(), String> {
+/// Top-level dispatch. The error's [`CliError::exit_code`] becomes the
+/// process exit code.
+pub fn run(args: &Args) -> Result<(), CliError> {
     match args.command.as_str() {
         "generate" => cmd_generate(args),
         "stats" => cmd_stats(args),
         "simulate" => cmd_simulate(args),
         "compare" => cmd_compare(args),
+        "replay" => cmd_replay(args),
         "timeline" => cmd_timeline(args),
         "gantt" => cmd_gantt(args),
         "help" | "--help" | "-h" => {
             print!("{}", usage());
             Ok(())
         }
-        other => Err(format!("unknown command '{other}'\n\n{}", usage())),
+        other => Err(CliError::Usage(format!("unknown command '{other}'\n\n{}", usage()))),
     }
 }
 
@@ -49,6 +54,12 @@ COMMANDS
   compare    Run the full §4.3 roster on one workload and print the grid
              --machine cori|theta  --workload W  --jobs N  --scale F
              --gens G  --threads T  (same scheduler knobs as simulate)
+  replay     Drive the scheduler core online from a job-event stream and
+             print one JSON decision per line to stdout (summary on stderr)
+             --events PATH|-  --machine cori|theta  --scale F
+             --policy NAME  --gens G  (same scheduler knobs as simulate)
+             Events (one JSON object per line):
+               {\"type\":\"submit\",\"job\":{...}} | {\"type\":\"finish\",\"id\":N,\"time\":T}
   timeline   Export a utilization timeline CSV from a saved result
              --result PATH  --resource nodes|bb  --dt SECONDS  --out PATH
   gantt      ASCII utilization chart of a saved result
@@ -100,14 +111,14 @@ fn parse_policy(name: &str) -> Result<PolicyKind, String> {
         .ok_or_else(|| format!("unknown policy '{name}'"))
 }
 
-fn load_trace(path: &str) -> Result<Trace, String> {
+fn load_trace(path: &str) -> Result<Trace, CliError> {
     let p = Path::new(path);
     let result = if path.ends_with(".swf") { swf::read_swf(p) } else { Trace::load_jsonl(p) };
-    result.map_err(|e| format!("cannot load trace '{path}': {e}"))
+    result.map_err(|e| CliError::Input(format!("cannot load trace '{path}': {e}")))
 }
 
 /// Builds a trace either from `--trace` or by generation.
-fn trace_from_args(args: &Args) -> Result<(Trace, MachineProfile), String> {
+fn trace_from_args(args: &Args) -> Result<(Trace, MachineProfile), CliError> {
     let scale: f64 = args.get_parsed("scale", 0.05)?;
     let machine = parse_machine(args.get_or("machine", "theta"))?;
     let profile = if (scale - 1.0).abs() < f64::EPSILON { machine } else { machine.scaled(scale) };
@@ -128,7 +139,7 @@ fn trace_from_args(args: &Args) -> Result<(Trace, MachineProfile), String> {
     Ok((trace, profile))
 }
 
-fn cmd_generate(args: &Args) -> Result<(), String> {
+fn cmd_generate(args: &Args) -> Result<(), CliError> {
     args.check_known(&["machine", "jobs", "seed", "scale", "load", "workload", "out", "swf"])?;
     let (trace, _) = trace_from_args(args)?;
     let out = args.require("out")?;
@@ -137,7 +148,7 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     } else {
         trace.save_jsonl(Path::new(out))
     };
-    result.map_err(|e| format!("cannot write '{out}': {e}"))?;
+    result.map_err(|e| CliError::Output(format!("cannot write '{out}': {e}")))?;
     let s = trace.stats();
     println!(
         "wrote {} jobs to {out} ({:.2}% with burst buffer, span {:.1} days)",
@@ -148,7 +159,7 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_stats(args: &Args) -> Result<(), String> {
+fn cmd_stats(args: &Args) -> Result<(), CliError> {
     args.check_known(&["trace"])?;
     let trace = load_trace(args.require("trace")?)?;
     let s = trace.stats();
@@ -177,6 +188,14 @@ const SCHED_ARGS: &[&str] = &[
     "conservative",
     "queue-backfill",
 ];
+
+/// Loads a saved [`SimResult`] JSON file.
+fn load_result(path: &str) -> Result<SimResult, CliError> {
+    let bytes =
+        std::fs::read(path).map_err(|e| CliError::Input(format!("cannot read '{path}': {e}")))?;
+    serde_json::from_slice(&bytes)
+        .map_err(|e| CliError::Input(format!("cannot parse '{path}': {e}")))
+}
 
 /// Parses `--dynamic-window min,max,frac` (e.g. `10,50,0.25`).
 fn parse_dynamic_window(spec: &str) -> Result<DynamicWindow, String> {
@@ -281,7 +300,7 @@ fn parse_threads(args: &Args) -> Result<usize, String> {
     Ok(threads)
 }
 
-fn cmd_simulate(args: &Args) -> Result<(), String> {
+fn cmd_simulate(args: &Args) -> Result<(), CliError> {
     let mut known = vec![
         "trace", "machine", "jobs", "seed", "scale", "load", "workload", "policy", "gens",
         "threads", "out",
@@ -298,18 +317,21 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         ..GaParams::default()
     };
     let policy: Box<dyn SelectionPolicy> = kind.build(ga);
-    let result =
-        Simulator::new(&profile.system, &trace, cfg).map_err(|e| e.to_string())?.run(policy);
+    let result = Simulator::new(&profile.system, &trace, cfg)
+        .map_err(|e| CliError::Run(e.to_string()))?
+        .run(policy);
     print_summary(&result);
     if let Some(out) = args.get("out") {
-        let bytes = serde_json::to_vec_pretty(&result).map_err(|e| format!("serialize: {e}"))?;
-        std::fs::write(out, bytes).map_err(|e| format!("cannot write '{out}': {e}"))?;
+        let bytes = serde_json::to_vec_pretty(&result)
+            .map_err(|e| CliError::Output(format!("serialize: {e}")))?;
+        std::fs::write(out, bytes)
+            .map_err(|e| CliError::Output(format!("cannot write '{out}': {e}")))?;
         println!("full result written to {out}");
     }
     Ok(())
 }
 
-fn cmd_compare(args: &Args) -> Result<(), String> {
+fn cmd_compare(args: &Args) -> Result<(), CliError> {
     let mut known =
         vec!["trace", "machine", "jobs", "seed", "scale", "load", "workload", "gens", "threads"];
     known.extend_from_slice(SCHED_ARGS);
@@ -334,9 +356,9 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
         .iter()
         .map(|&kind| {
             let (system, trace, cfg) = (&profile.system, &trace, cfg.clone());
-            move || -> Result<SimResult, String> {
+            move || -> Result<SimResult, CliError> {
                 Ok(Simulator::new(system, trace, cfg)
-                    .map_err(|e| e.to_string())?
+                    .map_err(|e| CliError::Run(e.to_string()))?
                     .run(kind.build(ga)))
             }
         })
@@ -357,17 +379,96 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_timeline(args: &Args) -> Result<(), String> {
+/// A [`SchedObserver`] that streams each decision to a writer as it is
+/// made, in the canonical JSON-line encoding. IO failures are latched
+/// (the observer hooks cannot return errors) and surfaced after the run.
+struct DecisionStream<W: Write> {
+    out: W,
+    io_error: Option<std::io::Error>,
+}
+
+impl<W: Write> SchedObserver for DecisionStream<W> {
+    fn on_decision(&mut self, now: f64, decision: &Decision) {
+        if self.io_error.is_some() {
+            return;
+        }
+        if let Err(e) = writeln!(self.out, "{}", decision.json_line(now)) {
+            self.io_error = Some(e);
+        }
+    }
+}
+
+fn cmd_replay(args: &Args) -> Result<(), CliError> {
+    let mut known = vec!["events", "machine", "scale", "policy", "gens", "seed", "threads"];
+    known.extend_from_slice(SCHED_ARGS);
+    args.check_known(&known)?;
+    let scale: f64 = args.get_parsed("scale", 0.05)?;
+    let machine = parse_machine(args.get_or("machine", "theta"))?;
+    let profile = if (scale - 1.0).abs() < f64::EPSILON { machine } else { machine.scaled(scale) };
+    let kind = parse_policy(args.get_or("policy", "BBSched"))?;
+    let cfg = sim_config(args, &profile)?.sched();
+    let ga = GaParams {
+        generations: args.get_parsed("gens", 500usize)?,
+        base_seed: args.get_parsed("seed", 7u64)?,
+        threads: parse_threads(args)?,
+        ..GaParams::default()
+    };
+    let path = args.require("events")?;
+    let reader: Box<dyn BufRead> = if path == "-" {
+        Box::new(std::io::stdin().lock())
+    } else {
+        let file = std::fs::File::open(path)
+            .map_err(|e| CliError::Input(format!("cannot open '{path}': {e}")))?;
+        Box::new(std::io::BufReader::new(file))
+    };
+
+    let stdout = std::io::stdout();
+    let mut stream = DecisionStream { out: std::io::BufWriter::new(stdout.lock()), io_error: None };
+    {
+        let mut replayer = Replayer::new(&profile.system, cfg, kind.build(ga), vec![&mut stream])
+            .map_err(|e| CliError::Run(e.to_string()))?;
+        let mut events = 0usize;
+        for (n, line) in reader.lines().enumerate() {
+            let line = line.map_err(|e| CliError::Input(format!("{path} line {}: {e}", n + 1)))?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let event = JobEvent::parse(&line)
+                .map_err(|e| CliError::Input(format!("{path} line {}: {e}", n + 1)))?;
+            replayer
+                .feed(event)
+                .map_err(|e| CliError::Run(format!("{path} line {}: {e}", n + 1)))?;
+            events += 1;
+        }
+        let summary = replayer.finish().map_err(|e| CliError::Run(e.to_string()))?;
+        eprintln!(
+            "replayed {events} events: {} jobs ({} clamped), {} finishes, {} invocations, \
+             makespan {:.1} s, left {} waiting / {} running",
+            summary.jobs,
+            summary.clamped_jobs,
+            summary.finishes,
+            summary.invocations,
+            summary.makespan,
+            summary.left_waiting,
+            summary.left_running
+        );
+    }
+    stream.out.flush().ok();
+    if let Some(e) = stream.io_error {
+        return Err(CliError::Output(format!("cannot write decision stream: {e}")));
+    }
+    Ok(())
+}
+
+fn cmd_timeline(args: &Args) -> Result<(), CliError> {
     args.check_known(&["result", "resource", "dt", "out"])?;
     let path = args.require("result")?;
-    let bytes = std::fs::read(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
-    let result: SimResult =
-        serde_json::from_slice(&bytes).map_err(|e| format!("cannot parse '{path}': {e}"))?;
+    let result: SimResult = load_result(path)?;
     let kind = match args.get_or("resource", "nodes") {
         "nodes" => UsageKind::Nodes,
         "bb" => UsageKind::BurstBuffer,
         "ssd" => UsageKind::LocalSsdUsed,
-        other => return Err(format!("unknown resource '{other}' (nodes|bb|ssd)")),
+        other => return Err(CliError::Usage(format!("unknown resource '{other}' (nodes|bb|ssd)"))),
     };
     let dt: f64 = args.get_parsed("dt", 600.0)?;
     let t1 = result.makespan;
@@ -381,23 +482,21 @@ fn cmd_timeline(args: &Args) -> Result<(), String> {
     );
     let out = args.require("out")?;
     bbsched_metrics::stats::write_timeline_csv(&series, Path::new(out))
-        .map_err(|e| format!("cannot write '{out}': {e}"))?;
+        .map_err(|e| CliError::Output(format!("cannot write '{out}': {e}")))?;
     println!("wrote {} samples to {out}", series.len());
     Ok(())
 }
 
-fn cmd_gantt(args: &Args) -> Result<(), String> {
+fn cmd_gantt(args: &Args) -> Result<(), CliError> {
     args.check_known(&["result", "width", "resource"])?;
     let path = args.require("result")?;
-    let bytes = std::fs::read(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
-    let result: SimResult =
-        serde_json::from_slice(&bytes).map_err(|e| format!("cannot parse '{path}': {e}"))?;
+    let result: SimResult = load_result(path)?;
     let width: usize = args.get_parsed("width", 72usize)?;
     let kind = match args.get_or("resource", "nodes") {
         "nodes" => UsageKind::Nodes,
         "bb" => UsageKind::BurstBuffer,
         "ssd" => UsageKind::LocalSsdUsed,
-        other => return Err(format!("unknown resource '{other}' (nodes|bb|ssd)")),
+        other => return Err(CliError::Usage(format!("unknown resource '{other}' (nodes|bb|ssd)"))),
     };
     let t1 = result.makespan.max(1.0);
     let dt = t1 / width.max(1) as f64;

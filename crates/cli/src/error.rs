@@ -1,0 +1,83 @@
+//! Typed CLI errors with stable process exit codes.
+//!
+//! Every failure path in the command layer is one of four kinds, each
+//! with its own exit code so scripts can tell a typo from a bad input
+//! file without parsing stderr:
+//!
+//! | variant  | exit | meaning                                        |
+//! |----------|------|------------------------------------------------|
+//! | `Usage`  | 2    | bad invocation: unknown command/option/value   |
+//! | `Input`  | 3    | an input file is missing, unreadable, or malformed |
+//! | `Output` | 4    | an output file cannot be written               |
+//! | `Run`    | 1    | the simulation/replay itself failed            |
+
+/// A command-layer failure. See the module docs for the exit-code map.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CliError {
+    /// Bad invocation: unknown command, option, or unparsable value.
+    Usage(String),
+    /// An input file is missing, unreadable, or malformed.
+    Input(String),
+    /// An output file cannot be written.
+    Output(String),
+    /// The simulation or replay itself failed.
+    Run(String),
+}
+
+impl CliError {
+    /// The process exit code for this error kind.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Run(_) => 1,
+            CliError::Usage(_) => 2,
+            CliError::Input(_) => 3,
+            CliError::Output(_) => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Input(m) | CliError::Output(m) | CliError::Run(m) => {
+                f.write_str(m)
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+// The hand-rolled parser helpers (`Args::require`, `get_parsed`,
+// `check_known`, the `parse_*` functions) all speak `String`; every one
+// of those failures is a usage error, so `?` promotes them directly.
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Usage(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_stable() {
+        assert_eq!(CliError::Run("x".into()).exit_code(), 1);
+        assert_eq!(CliError::Usage("x".into()).exit_code(), 2);
+        assert_eq!(CliError::Input("x".into()).exit_code(), 3);
+        assert_eq!(CliError::Output("x".into()).exit_code(), 4);
+    }
+
+    #[test]
+    fn string_errors_become_usage_errors() {
+        fn helper() -> Result<(), String> {
+            Err("bad --thing".into())
+        }
+        fn cmd() -> Result<(), CliError> {
+            helper()?;
+            Ok(())
+        }
+        assert_eq!(cmd(), Err(CliError::Usage("bad --thing".into())));
+    }
+}

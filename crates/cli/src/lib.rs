@@ -19,5 +19,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod error;
 
 pub use args::Args;
+pub use error::CliError;

@@ -6,11 +6,11 @@ fn main() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n\n{}", bbsched_cli::commands::usage());
-            std::process::exit(2);
+            std::process::exit(bbsched_cli::CliError::Usage(e).exit_code());
         }
     };
     if let Err(e) = bbsched_cli::commands::run(&args) {
         eprintln!("error: {e}");
-        std::process::exit(1);
+        std::process::exit(e.exit_code());
     }
 }

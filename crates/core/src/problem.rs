@@ -9,7 +9,7 @@
 //!
 //! Both instantiations are now presets of one generic formulation,
 //! [`KnapsackMooProblem`], which works over any [`ResourceModel`] of up to
-//! [`MAX_RESOURCES`](crate::resource::MAX_RESOURCES) pooled or per-node
+//! [`crate::resource::MAX_RESOURCES`] pooled or per-node
 //! resources — the paper's stated extensibility goal ("BBSched can be
 //! easily extended to schedule other schedulable resources") realized as
 //! data instead of code. The historical [`CpuBbProblem`] and
@@ -97,7 +97,7 @@ impl Available {
 ///
 /// Holds a mirror of the selection it describes plus, for problems that
 /// support constant-time deltas ([`KnapsackMooProblem`]), the running
-/// [`Aggregate`] of the mirrored selection. Probing feasibility after a
+/// `Aggregate` of the mirrored selection. Probing feasibility after a
 /// single-gene change through the scratch is O(R) instead of the O(w)
 /// full rescan of [`MooProblem::is_feasible`], which turns the O(w²)
 /// flip-probe loops of saturation and unconditional repair into O(w).

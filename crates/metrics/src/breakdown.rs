@@ -4,7 +4,7 @@
 //! request, Fig. 11 by job runtime — all on Theta-S4. [`breakdown_by`] is
 //! the shared engine; the bench harness supplies the paper's bin edges.
 
-use bbsched_sim::JobRecord;
+use bbsched_sched::JobRecord;
 use serde::{Deserialize, Serialize};
 
 /// A half-open value bin `[lo, hi)` with a display label.
@@ -73,7 +73,7 @@ where
 mod tests {
     use super::*;
     use bbsched_core::pools::NodeAssignment;
-    use bbsched_sim::StartReason;
+    use bbsched_sched::StartReason;
 
     fn rec(nodes: u32, wait: f64) -> JobRecord {
         JobRecord {

@@ -1,18 +1,20 @@
 //! Observer-fed live metrics: summaries that accumulate *during* a run.
 //!
-//! [`LiveTally`] implements [`bbsched_sim::SimObserver`] and keeps running
-//! aggregates — waits, slowdowns, start reasons, backfill credits,
-//! invocation count, makespan — as the engine raises its callbacks,
-//! without ever materializing the full record vector. Attach it through
-//! [`bbsched_sim::Simulator::run_observed`] (or directly to an
-//! [`bbsched_sim::Engine`]) when a caller wants metrics from a trace too
-//! large to keep per-job records for, or wants progress mid-run.
+//! [`LiveTally`] implements [`bbsched_sched::SchedObserver`] and keeps
+//! running aggregates — waits, slowdowns, start reasons, backfill credits,
+//! invocation count, makespan — as the scheduler core raises its
+//! callbacks, without ever materializing the full record vector. Because
+//! the hooks are driver-agnostic, the same tally works attached to the
+//! simulator (`bbsched_sim::Simulator::run_observed`), to a standalone
+//! core, or to the online replay driver — use it when a caller wants
+//! metrics from a trace too large to keep per-job records for, or wants
+//! progress mid-run.
 //!
-//! On whole-run aggregates ([`MeasurementWindow::full`] semantics) the
+//! On whole-run aggregates ([`crate::MeasurementWindow::full`] semantics) the
 //! tally agrees exactly with [`crate::MethodSummary::from_result`]; the
 //! unit tests pin that equivalence.
 
-use bbsched_sim::{JobStart, SimObserver, StartReason};
+use bbsched_sched::{JobStart, SchedObserver, StartReason};
 use bbsched_workloads::Job;
 use serde::{Deserialize, Serialize};
 
@@ -45,7 +47,7 @@ pub struct LiveSummary {
     pub wasted_ssd_gb: f64,
 }
 
-/// A [`SimObserver`] that folds every callback into running aggregates.
+/// A [`SchedObserver`] that folds every callback into running aggregates.
 #[derive(Clone, Debug, Default)]
 pub struct LiveTally {
     /// Runtime floor for slowdown accounting (§4.2's abnormal-job filter;
@@ -81,7 +83,7 @@ impl LiveTally {
     }
 }
 
-impl SimObserver for LiveTally {
+impl SchedObserver for LiveTally {
     fn on_invocation_begin(&mut self, _now: f64, _invocation: u64, _queue_len: usize) {
         self.summary.invocations += 1;
     }

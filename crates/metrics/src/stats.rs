@@ -6,7 +6,7 @@
 //! extend the §4.2 metric set without changing it.
 
 use crate::usage::{capacity, slot_amount, slot_of, UsageKind};
-use bbsched_sim::JobRecord;
+use bbsched_sched::JobRecord;
 use bbsched_workloads::SystemConfig;
 use serde::{Deserialize, Serialize};
 use std::io::Write;
@@ -141,7 +141,7 @@ pub fn write_timeline_csv(series: &[(f64, f64)], path: &Path) -> std::io::Result
 mod tests {
     use super::*;
     use bbsched_core::pools::NodeAssignment;
-    use bbsched_sim::StartReason;
+    use bbsched_sched::StartReason;
 
     fn rec(submit: f64, start: f64, runtime: f64, nodes: u32) -> JobRecord {
         JobRecord {

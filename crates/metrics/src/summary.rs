@@ -1,7 +1,7 @@
 //! Per-run metric summaries: one row of the paper's figures.
 
 use crate::usage::{resource_usage, UsageKind};
-use bbsched_sim::{JobRecord, SimResult};
+use bbsched_sched::{JobRecord, SimResult};
 use serde::{Deserialize, Serialize};
 
 /// The measured portion of a run (§4.2: warm-up / cool-down trimming).
@@ -179,7 +179,7 @@ impl MethodSummary {
 mod tests {
     use super::*;
     use bbsched_core::pools::NodeAssignment;
-    use bbsched_sim::StartReason;
+    use bbsched_sched::StartReason;
     use bbsched_workloads::SystemConfig;
 
     fn rec(id: u64, submit: f64, start: f64, runtime: f64, nodes: u32) -> JobRecord {

@@ -6,7 +6,7 @@
 //! by integrating each job's occupancy clipped to the interval.
 
 use bbsched_core::resource::{DemandSlot, ResourceKind};
-use bbsched_sim::JobRecord;
+use bbsched_sched::JobRecord;
 use bbsched_workloads::SystemConfig;
 
 /// Which resource to integrate.
@@ -109,7 +109,7 @@ pub fn resource_usage(
 mod tests {
     use super::*;
     use bbsched_core::pools::NodeAssignment;
-    use bbsched_sim::StartReason;
+    use bbsched_sched::StartReason;
 
     fn sys() -> SystemConfig {
         SystemConfig {

@@ -14,6 +14,7 @@
 //! every use, which [`crate::backfill`] now avoids by iterating
 //! [`AllocLedger::release_order`] directly.
 
+use crate::idhash::BuildIdHasher;
 use bbsched_core::pools::{NodeAssignment, PoolState};
 use bbsched_core::problem::JobDemand;
 use std::collections::{BTreeSet, HashMap, VecDeque};
@@ -85,7 +86,7 @@ impl PartialOrd for OrdTime {
 pub struct AllocLedger {
     pool: PoolState,
     capacity: PoolState,
-    running: HashMap<usize, RunningJob>,
+    running: HashMap<usize, RunningJob, BuildIdHasher>,
     /// Running jobs keyed by `(est_end, index)` — the release order.
     by_est_end: BTreeSet<(OrdTime, usize)>,
     allocs: u64,
@@ -105,7 +106,7 @@ impl AllocLedger {
         Self {
             pool,
             capacity: pool,
-            running: HashMap::new(),
+            running: HashMap::default(),
             by_est_end: BTreeSet::new(),
             allocs: 0,
             frees: 0,

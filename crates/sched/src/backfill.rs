@@ -1,21 +1,24 @@
-//! Backfilling: the engine's hole-filling phase, as a strategy family.
+//! Backfilling: the scheduler core's hole-filling phase, as a strategy
+//! family.
 //!
 //! The paper's experiments run **EASY** backfilling (§2.1: reserve for the
-//! first blocked job only); the simulator also ships **conservative**
+//! first blocked job only); this crate also ships **conservative**
 //! backfilling (every blocked candidate gets a reservation on a
 //! future-availability profile). Both are implementations of
-//! [`BackfillStrategy`], invoked by the engine once per scheduling
-//! invocation after starvation forcing and policy selection; plan-based
-//! disciplines in the style of Kopanski & Rzadca can slot in as further
-//! implementations without touching the event loop.
+//! [`BackfillStrategy`], invoked by [`crate::SchedCore`] once per
+//! scheduling invocation after starvation forcing and policy selection;
+//! plan-based disciplines in the style of Kopanski & Rzadca can slot in
+//! as further implementations without touching any driver.
 //!
 //! A strategy sees the invocation through a [`BackfillCtx`]: the waiting
-//! candidates (already scoped to window or queue by the engine), the
+//! candidates (already scoped to window or queue by the core), the
 //! blocked reservation head if the starvation phase produced one, fit
-//! queries against the live pool, and [`BackfillCtx::start`] to dispatch a
-//! job. `start(idx, credited)` distinguishes jobs the strategy *credits*
-//! as backfilled from queue-head starts that merely consumed freed
-//! capacity — the paper's `backfilled` accounting counts only the former.
+//! queries against the live pool, [`BackfillCtx::start`] to dispatch a
+//! job, and [`BackfillCtx::reserve`] to publish a reservation into the
+//! decision stream. `start(idx, credited)` distinguishes jobs the
+//! strategy *credits* as backfilled from queue-head starts that merely
+//! consumed freed capacity — the paper's `backfilled` accounting counts
+//! only the former.
 //!
 //! This module also owns the EASY reservation math
 //! ([`shadow_and_leftover`]) and the piecewise-constant
@@ -72,17 +75,19 @@ pub fn shadow_and_leftover(ledger: &AllocLedger, head: &JobDemand, now: f64) -> 
     (f64::INFINITY, PoolState::cpu_bb(0, 0.0))
 }
 
-/// One invocation's view of the engine, handed to a [`BackfillStrategy`].
+/// One invocation's view of the scheduler core, handed to a
+/// [`BackfillStrategy`].
 ///
-/// Constructed by the engine; the mutable surface is exactly
-/// [`BackfillCtx::start`], so a strategy cannot corrupt accounting — every
-/// dispatch goes through the allocation ledger and the observers.
+/// Constructed by [`crate::SchedCore::invoke`]; the mutable surface is
+/// exactly [`BackfillCtx::start`] and [`BackfillCtx::reserve`], so a
+/// strategy cannot corrupt accounting — every dispatch goes through the
+/// allocation ledger and the observers.
 pub struct BackfillCtx<'e, 'o> {
     pub(crate) now: f64,
     pub(crate) waiting: &'e [usize],
     pub(crate) blocked_head: Option<usize>,
     pub(crate) max_scan: usize,
-    pub(crate) core: &'e mut crate::engine::Core<'o>,
+    pub(crate) core: &'e mut crate::service::CoreState<'o>,
 }
 
 impl<'e> BackfillCtx<'e, '_> {
@@ -169,6 +174,14 @@ impl<'e> BackfillCtx<'e, '_> {
             self.core.backfill_credit += 1;
         }
     }
+
+    /// Publishes a [`crate::Decision::Reserve`] for job `idx` at time
+    /// `at` into the invocation's decision stream. Purely observational:
+    /// the reservation's capacity bookkeeping stays inside the strategy;
+    /// the next invocation recomputes it from scratch.
+    pub fn reserve(&mut self, idx: usize, at: f64) {
+        self.core.note_reservation(idx, at);
+    }
 }
 
 /// A pluggable backfilling discipline.
@@ -231,6 +244,7 @@ impl BackfillStrategy for EasyBackfill {
 
         let Some(head_idx) = head else { return };
         let (shadow, mut leftover) = ctx.shadow_and_leftover(head_idx);
+        ctx.reserve(head_idx, shadow);
         for (scanned, &idx) in waiting.iter().enumerate() {
             if scanned >= ctx.max_scan() {
                 break;
@@ -309,6 +323,7 @@ impl BackfillStrategy for ConservativeBackfill {
                 self.profile.reserve(&d, t, walltime);
             } else if t.is_finite() {
                 self.profile.reserve(&d, t, walltime);
+                ctx.reserve(idx, t);
             }
         }
     }

@@ -1,0 +1,81 @@
+//! A multiply–xorshift hasher for the integer-keyed maps on the
+//! submit/finish hot path.
+//!
+//! Job ids and dense submission indexes are small trusted integers — the
+//! ledger's running map, the id→idx map, and the completed-id set are all
+//! touched once or twice per job, and SipHash (std's default, keyed for
+//! HashDoS resistance) dominates those operations. Scheduler state is not
+//! attacker-controlled input, so a single Fibonacci multiply with a
+//! high-bit fold is sufficient dispersion for both hashbrown's low-bit
+//! bucket index and its top-7-bit control tags.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `2^64 / φ`, the classic Fibonacci-hashing multiplier.
+const PHI: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Hasher specialized for single-integer keys; byte-slice input (e.g. a
+/// derived `Hash` writing through `write`) still mixes correctly, just
+/// less cheaply.
+#[derive(Clone, Copy, Default)]
+pub struct IdHasher(u64);
+
+impl Hasher for IdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(PHI);
+        }
+        self.0 ^= self.0 >> 32;
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        let h = (self.0 ^ i).wrapping_mul(PHI);
+        self.0 = h ^ (h >> 32);
+    }
+
+    fn write_usize(&mut self, i: usize) {
+        self.write_u64(i as u64);
+    }
+}
+
+/// Drop-in `BuildHasher` for `HashMap`/`HashSet` keyed by job ids or
+/// dense indexes.
+pub type BuildIdHasher = BuildHasherDefault<IdHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_keys_disperse_in_low_and_high_bits() {
+        // hashbrown masks low bits for the bucket and reads the top 7 for
+        // control tags; sequential ids must not collapse in either.
+        let mut low = std::collections::HashSet::new();
+        let mut high = std::collections::HashSet::new();
+        for i in 0..1024u64 {
+            let mut h = IdHasher::default();
+            h.write_u64(i);
+            let v = h.finish();
+            low.insert(v & 0x3FF);
+            high.insert(v >> 57);
+        }
+        assert!(low.len() > 600, "low bits collapse: {} distinct", low.len());
+        assert_eq!(high.len(), 128, "top-7-bit tags must all appear");
+    }
+
+    #[test]
+    fn maps_with_the_id_hasher_behave() {
+        let mut m: std::collections::HashMap<u64, usize, BuildIdHasher> =
+            std::collections::HashMap::default();
+        for i in 0..100 {
+            assert!(m.insert(i, i as usize).is_none());
+        }
+        assert!(m.insert(7, 0).is_some());
+        assert_eq!(m.len(), 100);
+        assert_eq!(m[&42], 42);
+    }
+}

@@ -1,31 +1,36 @@
-//! Observation hooks into the simulation engine.
+//! Observation hooks into the scheduler-service core.
 //!
-//! The engine ([`crate::engine::Engine`]) owns only the mechanics of the
-//! discrete-event loop; everything a consumer might want to *collect* —
-//! per-job records, live metrics, traces, a daemon's telemetry — attaches
-//! through the [`SimObserver`] trait instead of being welded into the loop.
+//! The core ([`crate::SchedCore`]) owns only the mechanics of a
+//! scheduling invocation; everything a consumer might want to *collect* —
+//! per-job records, live metrics, decision streams, a daemon's telemetry —
+//! attaches through the [`SchedObserver`] trait instead of being welded
+//! into the loop. The hooks are driver-agnostic: the same observer works
+//! unchanged under the discrete-event simulator and the online replay
+//! driver, because both raise exactly the callbacks the core raises.
 //! [`Recorder`] is the first observer: it rebuilds exactly the
-//! [`SimResult`] the historical monolithic `Simulator::run` produced, and
-//! every other consumer can ride alongside it via
-//! [`crate::Simulator::run_observed`].
+//! [`SimResult`] the historical monolithic `Simulator::run` produced.
+//! [`DecisionLog`] is the second: it captures the canonical decision
+//! stream ([`Decision::json_line`]) the replay driver emits.
 //!
 //! Callback order within one scheduling invocation:
 //!
-//! 1. [`SimObserver::on_invocation_begin`] — the queue is non-empty and a
-//!    scheduling pass is about to run;
-//! 2. [`SimObserver::on_window_built`] — the window phase selected its
+//! 1. [`SchedObserver::on_invocation_begin`] — the queue is non-empty and
+//!    a scheduling pass is about to run;
+//! 2. [`SchedObserver::on_window_built`] — the window phase selected its
 //!    candidate jobs;
-//! 3. zero or more [`SimObserver::on_job_started`] — starvation forcing,
-//!    then policy selection, then backfilling, in that order (the
-//!    [`StartReason`] tells which phase started the job);
-//! 4. [`SimObserver::on_backfill_pass`] — the backfill phase finished;
-//! 5. [`SimObserver::on_invocation_end`].
+//! 3. zero or more [`SchedObserver::on_job_started`] — starvation
+//!    forcing, then policy selection, then backfilling, in that order
+//!    (the [`StartReason`] tells which phase started the job); each start
+//!    and each reservation also raises [`SchedObserver::on_decision`];
+//! 4. [`SchedObserver::on_backfill_pass`] — the backfill phase finished;
+//! 5. [`SchedObserver::on_invocation_end`].
 //!
-//! [`SimObserver::on_job_finished`] fires between invocations as
-//! completion events are drained, and [`SimObserver::on_sim_end`] exactly
-//! once when the event loop runs dry.
+//! [`SchedObserver::on_job_finished`] fires between invocations as the
+//! driver reports completions, and [`SchedObserver::on_sim_end`] exactly
+//! once when the driver declares the event stream over.
 
 use crate::record::{JobRecord, SimResult, StartReason};
+use crate::service::Decision;
 use bbsched_core::pools::NodeAssignment;
 use bbsched_core::problem::JobDemand;
 use bbsched_workloads::{Job, SystemConfig};
@@ -33,9 +38,9 @@ use bbsched_workloads::{Job, SystemConfig};
 /// Everything known about a job at the instant it starts.
 #[derive(Clone, Debug)]
 pub struct JobStart<'a> {
-    /// Simulation time of the start.
+    /// Scheduling time of the start.
     pub now: f64,
-    /// The job, as it arrived in the trace.
+    /// The job, as it was submitted.
     pub job: &'a Job,
     /// Capacity-clamped demand actually allocated.
     pub demand: JobDemand,
@@ -45,27 +50,32 @@ pub struct JobStart<'a> {
     pub wasted_ssd_gb: f64,
     /// Estimated completion (`now + walltime`), the backfill planning time.
     pub est_end: f64,
-    /// Which engine phase started the job.
+    /// Which invocation phase started the job.
     pub reason: StartReason,
 }
 
-/// Callbacks the engine raises as the simulation unfolds.
+/// Callbacks the scheduler core raises as a run unfolds.
 ///
 /// All methods have empty default bodies so observers implement only what
-/// they care about. Observers run synchronously inside the loop; keep them
-/// cheap.
-pub trait SimObserver {
+/// they care about. Observers run synchronously inside the invocation;
+/// keep them cheap.
+pub trait SchedObserver {
     /// A scheduling invocation is starting (the queue is non-empty).
     fn on_invocation_begin(&mut self, _now: f64, _invocation: u64, _queue_len: usize) {}
 
-    /// The scheduling window was built; `window_ids` are the trace ids of
-    /// the member jobs in base-scheduler priority order.
+    /// The scheduling window was built; `window_ids` are the ids of the
+    /// member jobs in base-scheduler priority order.
     fn on_window_built(&mut self, _now: f64, _window_ids: &[u64]) {}
 
     /// A job started (any phase; see [`JobStart::reason`]).
     fn on_job_started(&mut self, _start: &JobStart<'_>) {}
 
-    /// A job's completion event was applied.
+    /// The core made a decision ([`Decision::Start`] fires alongside
+    /// [`SchedObserver::on_job_started`]; [`Decision::Reserve`] has no
+    /// other callback).
+    fn on_decision(&mut self, _now: f64, _decision: &Decision) {}
+
+    /// The driver reported a job's completion.
     fn on_job_finished(&mut self, _now: f64, _job: &Job, _demand: &JobDemand) {}
 
     /// The backfill phase of this invocation finished. `started` counts
@@ -78,11 +88,12 @@ pub trait SimObserver {
     /// of jobs started by all phases of this invocation.
     fn on_invocation_end(&mut self, _now: f64, _started: usize) {}
 
-    /// The event loop ran dry: the simulation is over.
+    /// The driver declared the event stream over (the simulator: its
+    /// event loop ran dry).
     fn on_sim_end(&mut self, _makespan: f64, _invocations: u64) {}
 }
 
-/// The engine's first observer: collects [`JobRecord`]s and the run
+/// The core's first observer: collects [`JobRecord`]s and the run
 /// counters, reproducing the historical `Simulator::run` result exactly.
 #[derive(Clone, Debug, Default)]
 pub struct Recorder {
@@ -128,7 +139,7 @@ impl Recorder {
     }
 }
 
-impl SimObserver for Recorder {
+impl SchedObserver for Recorder {
     fn on_invocation_begin(&mut self, _now: f64, _invocation: u64, _queue_len: usize) {
         self.invocations += 1;
     }
@@ -164,6 +175,39 @@ impl SimObserver for Recorder {
     }
 }
 
+/// Captures the canonical decision stream: one [`Decision::json_line`]
+/// per decision, in the order the core made them. Attaching one of these
+/// to the simulator yields the exact byte stream `cli replay` prints for
+/// the equivalent event file — the driver-equivalence suites diff the
+/// two.
+#[derive(Clone, Debug, Default)]
+pub struct DecisionLog {
+    lines: Vec<String>,
+}
+
+impl DecisionLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The captured decision lines, in decision order.
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// Consumes the log, returning the lines.
+    pub fn into_lines(self) -> Vec<String> {
+        self.lines
+    }
+}
+
+impl SchedObserver for DecisionLog {
+    fn on_decision(&mut self, now: f64, decision: &Decision) {
+        self.lines.push(decision.json_line(now));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +238,19 @@ mod tests {
         assert_eq!(result.backfilled, 2);
         assert_eq!(result.invocations, 1);
         assert_eq!(result.makespan, 15.0);
+    }
+
+    #[test]
+    fn decision_log_captures_json_lines_in_order() {
+        let mut log = DecisionLog::new();
+        let start = Decision::Start { idx: 0, id: 1, reason: StartReason::Policy, est_end: 10.0 };
+        let reserve = Decision::Reserve { idx: 1, id: 2, at: 10.0 };
+        log.on_decision(0.0, &start);
+        log.on_decision(0.0, &reserve);
+        assert_eq!(log.lines().len(), 2);
+        assert_eq!(log.lines()[0], start.json_line(0.0));
+        assert_eq!(log.lines()[1], reserve.json_line(0.0));
+        assert_eq!(log.into_lines().len(), 2);
     }
 
     fn test_system() -> SystemConfig {

@@ -16,6 +16,18 @@ pub enum StartReason {
     Starvation,
 }
 
+impl StartReason {
+    /// Lower-case wire label used in decision-stream lines
+    /// ([`crate::Decision::json_line`]).
+    pub fn label(self) -> &'static str {
+        match self {
+            StartReason::Policy => "policy",
+            StartReason::Backfill => "backfill",
+            StartReason::Starvation => "starvation",
+        }
+    }
+}
+
 /// The outcome of one job's passage through the simulated system.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct JobRecord {

@@ -1,0 +1,295 @@
+//! The online replay driver: step a [`SchedCore`] through a stream of
+//! job events.
+//!
+//! Where the discrete-event simulator *generates* completions from job
+//! runtimes, this driver consumes them: a newline-delimited JSON stream
+//! of submit/finish events (a production scheduler's feed, a recorded
+//! log, or a file synthesized from a simulation) drives the same core,
+//! one invocation per event instant. Feeding a simulation's own event
+//! stream back through [`Replayer`] reproduces the simulator's decision
+//! sequence byte for byte — the driver-equivalence suites prove it —
+//! which is what makes the core an embeddable service rather than a
+//! simulator internal.
+//!
+//! ## Event wire format
+//!
+//! One JSON object per line:
+//!
+//! ```json
+//! {"type":"submit","job":{"id":0,"submit":0.0,"nodes":4,"runtime":100.0,"walltime":200.0,"bb_gb":0.0,"ssd_gb_per_node":0.0,"deps":[],"extra":[]}}
+//! {"type":"finish","id":0,"time":100.0}
+//! ```
+//!
+//! Events must be non-decreasing in time across *instants*; events
+//! sharing an instant may arrive in any order (submits are applied
+//! before finishes, then one invocation runs — exactly the simulator's
+//! same-instant batch drain, so within-tick order never changes the
+//! schedule). Demands are capacity-clamped on submission with the same
+//! [`crate::clamp_demand`] rule the simulator applies to traces.
+//!
+//! Decisions flow out through the attached [`SchedObserver`]s (attach a
+//! [`crate::DecisionLog`] to collect them, or a streaming observer to
+//! print them as they happen).
+
+use crate::clamp::clamp_demand;
+use crate::config::SchedConfig;
+use crate::error::SchedError;
+use crate::observer::SchedObserver;
+use crate::service::SchedCore;
+use bbsched_policies::SelectionPolicy;
+use bbsched_workloads::{Job, SystemConfig};
+use serde::{Deserialize, Serialize, Value};
+
+/// One job event on the replay wire.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobEvent {
+    /// A job entered the system.
+    Submit(Job),
+    /// A running job completed.
+    Finish {
+        /// Id of the finishing job.
+        id: u64,
+        /// Completion time (s).
+        time: f64,
+    },
+}
+
+fn get<'a>(map: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match *v {
+        Value::F64(f) => Some(f),
+        Value::U64(n) => Some(n as f64),
+        Value::I64(n) => Some(n as f64),
+        _ => None,
+    }
+}
+
+fn as_u64(v: &Value) -> Option<u64> {
+    match *v {
+        Value::U64(n) => Some(n),
+        Value::I64(n) if n >= 0 => Some(n as u64),
+        _ => None,
+    }
+}
+
+impl JobEvent {
+    /// The event's instant (a submit's `job.submit`, a finish's `time`).
+    pub fn time(&self) -> f64 {
+        match self {
+            JobEvent::Submit(job) => job.submit,
+            JobEvent::Finish { time, .. } => *time,
+        }
+    }
+
+    /// Parses one wire line (see the module docs for the format).
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let v = serde_json::value_from_slice(line.as_bytes()).map_err(|e| e.to_string())?;
+        let map = v.as_map().ok_or("event line is not a JSON object")?;
+        let ty = get(map, "type")
+            .and_then(Value::as_str)
+            .ok_or("event is missing the string field `type`")?;
+        match ty {
+            "submit" => {
+                let job_v = get(map, "job").ok_or("submit event is missing `job`")?;
+                let job = Job::from_value(job_v).map_err(|e| format!("bad `job`: {e}"))?;
+                Ok(JobEvent::Submit(job))
+            }
+            "finish" => {
+                let id = get(map, "id")
+                    .and_then(as_u64)
+                    .ok_or("finish event is missing the integer field `id`")?;
+                let time = get(map, "time")
+                    .and_then(as_f64)
+                    .ok_or("finish event is missing the number field `time`")?;
+                Ok(JobEvent::Finish { id, time })
+            }
+            other => Err(format!("unknown event type `{other}` (expected submit|finish)")),
+        }
+    }
+
+    /// Renders the event as one wire line (the exact encoding
+    /// [`JobEvent::parse`] accepts; floats round-trip bit-exactly).
+    pub fn to_json_line(&self) -> String {
+        let map = match self {
+            JobEvent::Submit(job) => vec![
+                ("type".to_string(), Value::Str("submit".to_string())),
+                ("job".to_string(), job.to_value()),
+            ],
+            JobEvent::Finish { id, time } => vec![
+                ("type".to_string(), Value::Str("finish".to_string())),
+                ("id".to_string(), Value::U64(*id)),
+                ("time".to_string(), Value::F64(*time)),
+            ],
+        };
+        serde_json::to_string(&crate::service::RawValue(Value::Map(map)))
+            .expect("event maps always serialize")
+    }
+}
+
+/// What can go wrong replaying an event stream.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ReplayError {
+    /// The core rejected an event (duplicate submit, unknown finish, …).
+    Sched(SchedError),
+    /// An event's instant precedes an instant already replayed.
+    TimeRegression {
+        /// The offending event's time.
+        time: f64,
+        /// The instant the stream had already reached.
+        reached: f64,
+    },
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Sched(e) => write!(f, "{e}"),
+            ReplayError::TimeRegression { time, reached } => {
+                write!(f, "event at t={time} regresses behind already-replayed instant t={reached}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl From<SchedError> for ReplayError {
+    fn from(e: SchedError) -> Self {
+        ReplayError::Sched(e)
+    }
+}
+
+/// End-of-stream accounting from [`Replayer::finish`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReplaySummary {
+    /// Jobs submitted.
+    pub jobs: usize,
+    /// Finish events applied.
+    pub finishes: usize,
+    /// Submitted jobs whose demand had to be capacity-clamped.
+    pub clamped_jobs: usize,
+    /// Scheduling invocations run (one per event instant with a
+    /// non-empty queue).
+    pub invocations: u64,
+    /// Latest finish instant seen (0 when nothing finished).
+    pub makespan: f64,
+    /// Jobs still waiting in the queue when the stream ended.
+    pub left_waiting: usize,
+    /// Jobs still running when the stream ended.
+    pub left_running: usize,
+}
+
+/// The streaming step-driver: feed [`JobEvent`]s in time order, get
+/// scheduling invocations at every instant.
+///
+/// Events sharing an instant are batched; the batch is applied (submits,
+/// then finishes) followed by exactly one [`SchedCore::invoke`] when the
+/// next instant begins — mirroring the simulator's same-instant batch
+/// drain, so within-tick event order is immaterial.
+pub struct Replayer<'o> {
+    core: SchedCore<'o>,
+    system: SystemConfig,
+    /// Submits and finishes pending at `batch_time`, split so the flush
+    /// applies submits first regardless of arrival interleaving.
+    pending_submits: Vec<Job>,
+    pending_finishes: Vec<u64>,
+    batch_time: Option<f64>,
+    /// The latest instant already flushed (−∞ before the first flush);
+    /// later batches must not regress behind it.
+    last_flushed: f64,
+    makespan: f64,
+    finishes: usize,
+    clamped: usize,
+}
+
+impl<'o> Replayer<'o> {
+    /// A replayer over `system` with the given configuration, policy,
+    /// and observers.
+    pub fn new(
+        system: &SystemConfig,
+        cfg: SchedConfig,
+        policy: Box<dyn SelectionPolicy>,
+        observers: Vec<&'o mut dyn SchedObserver>,
+    ) -> Result<Self, SchedError> {
+        Ok(Self {
+            core: SchedCore::new(system, cfg, policy, observers)?,
+            system: system.clone(),
+            pending_submits: Vec::new(),
+            pending_finishes: Vec::new(),
+            batch_time: None,
+            last_flushed: f64::NEG_INFINITY,
+            makespan: 0.0,
+            finishes: 0,
+            clamped: 0,
+        })
+    }
+
+    /// Feeds one event. Flushes the pending batch (running a scheduling
+    /// invocation) whenever the event opens a later instant.
+    pub fn feed(&mut self, event: JobEvent) -> Result<(), ReplayError> {
+        let t = event.time();
+        if !t.is_finite() {
+            return Err(ReplayError::TimeRegression { time: t, reached: self.reached() });
+        }
+        match self.batch_time {
+            Some(bt) if t == bt => {}
+            Some(bt) if t > bt => self.flush()?,
+            Some(bt) => return Err(ReplayError::TimeRegression { time: t, reached: bt }),
+            None => {
+                if t < self.reached() {
+                    return Err(ReplayError::TimeRegression { time: t, reached: self.reached() });
+                }
+            }
+        }
+        self.batch_time = Some(t);
+        match event {
+            JobEvent::Submit(job) => self.pending_submits.push(job),
+            JobEvent::Finish { id, .. } => self.pending_finishes.push(id),
+        }
+        Ok(())
+    }
+
+    /// Ends the stream: flushes the final batch, raises
+    /// [`SchedObserver::on_sim_end`], and returns the accounting.
+    pub fn finish(mut self) -> Result<ReplaySummary, ReplayError> {
+        self.flush()?;
+        self.core.end_of_stream(self.makespan);
+        Ok(ReplaySummary {
+            jobs: self.core.jobs_submitted(),
+            finishes: self.finishes,
+            clamped_jobs: self.clamped,
+            invocations: self.core.invocations(),
+            makespan: self.makespan,
+            left_waiting: self.core.queue_len(),
+            left_running: self.core.ledger().running_count(),
+        })
+    }
+
+    /// The latest instant already replayed (−∞ before the first flush).
+    fn reached(&self) -> f64 {
+        self.last_flushed
+    }
+
+    /// Applies the pending batch and runs one scheduling invocation.
+    fn flush(&mut self) -> Result<(), ReplayError> {
+        let Some(now) = self.batch_time.take() else { return Ok(()) };
+        for job in self.pending_submits.drain(..) {
+            let (demand, was_clamped) = clamp_demand(&self.system, &job);
+            if was_clamped {
+                self.clamped += 1;
+            }
+            self.core.submit(job, demand)?;
+        }
+        for id in self.pending_finishes.drain(..) {
+            self.core.job_finished(id, now)?;
+            self.finishes += 1;
+            self.makespan = self.makespan.max(now);
+        }
+        self.core.invoke(now);
+        self.last_flushed = now;
+        Ok(())
+    }
+}

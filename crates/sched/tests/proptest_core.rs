@@ -1,0 +1,153 @@
+//! Property test: arbitrary interleavings of `submit` / `job_finished` /
+//! `invoke` through the public [`SchedCore`] API never violate resource
+//! conservation, never start a job twice, and always drain.
+//!
+//! This is the service-core analogue of the engine-invariants suite: no
+//! driver, no event heap — just the raw API a production integration
+//! would call, driven in randomized orders with randomized job shapes.
+//! After every step the allocation ledger must balance against capacity
+//! (`assert_conserved`), and once every submitted job is finished the
+//! ledger must be empty (`assert_drained`).
+
+use bbsched_policies::{GaParams, PolicyKind};
+use bbsched_sched::{clamp_demand, Decision, SchedConfig, SchedCore, StartReason};
+use bbsched_workloads::{Job, SystemConfig};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn system(nodes: u32, bb_gb: f64) -> SystemConfig {
+    SystemConfig {
+        name: "prop".into(),
+        nodes,
+        bb_gb,
+        bb_reserved_gb: 0.0,
+        nodes_128: 0,
+        nodes_256: 0,
+        extra_resources: Vec::new(),
+    }
+}
+
+/// One encoded step: `(kind, a, b)`; `kind % 3` selects
+/// submit / finish-one-running / invoke.
+type Op = (u8, u16, u16);
+
+fn check_interleaving(ops: &[Op]) -> Result<(), TestCaseError> {
+    let sys = system(16, 900.0);
+    let mut core = SchedCore::new(
+        &sys,
+        SchedConfig::default(),
+        PolicyKind::Baseline.build(GaParams::default()),
+        Vec::new(),
+    )
+    .expect("valid config");
+
+    let mut now = 0.0f64;
+    let mut next_id = 0u64;
+    let mut running: Vec<u64> = Vec::new();
+    let mut ever_started: HashSet<u64> = HashSet::new();
+    let mut submitted = 0usize;
+    let mut finished = 0usize;
+
+    let step = |core: &mut SchedCore<'_>,
+                now: f64,
+                running: &mut Vec<u64>,
+                ever_started: &mut HashSet<u64>|
+     -> Result<(), TestCaseError> {
+        for d in core.invoke(now).to_vec() {
+            if let Decision::Start { id, reason, est_end, .. } = d {
+                prop_assert!(ever_started.insert(id), "job {id} started twice (reason {reason:?})");
+                prop_assert!(est_end >= now, "est_end must not precede the start");
+                prop_assert!(matches!(
+                    reason,
+                    StartReason::Policy | StartReason::Backfill | StartReason::Starvation
+                ));
+                running.push(id);
+            }
+        }
+        core.ledger().assert_conserved();
+        Ok(())
+    };
+
+    for &(kind, a, b) in ops {
+        now += f64::from(a % 5) * 0.5;
+        match kind % 3 {
+            0 => {
+                // Submit a job of randomized shape (possibly oversized —
+                // clamped exactly as every driver clamps).
+                let nodes = 1 + u32::from(a) % 20;
+                let bb = f64::from(b % 1_100);
+                let walltime = 10.0 + f64::from(b % 300);
+                let job = Job::new(next_id, now, nodes, walltime * 0.5, walltime).with_bb(bb);
+                let (demand, _) = clamp_demand(&sys, &job);
+                prop_assert!(demand.nodes <= sys.nodes);
+                core.submit(job, demand).expect("fresh id");
+                next_id += 1;
+                submitted += 1;
+            }
+            1 => {
+                // Finish a random running job.
+                if !running.is_empty() {
+                    let pos = usize::from(b) % running.len();
+                    let id = running.swap_remove(pos);
+                    core.job_finished(id, now).expect("running job finishes cleanly");
+                    finished += 1;
+                    core.ledger().assert_conserved();
+                }
+            }
+            _ => {
+                step(&mut core, now, &mut running, &mut ever_started)?;
+            }
+        }
+    }
+
+    // Drain: alternate finishing everything running with invoking, until
+    // the queue empties. Every job fits post-clamp, so this terminates.
+    let mut guard = 0;
+    while core.queue_len() > 0 || !running.is_empty() {
+        now += 1.0;
+        for id in running.drain(..) {
+            core.job_finished(id, now).expect("running job finishes cleanly");
+            finished += 1;
+        }
+        step(&mut core, now, &mut running, &mut ever_started)?;
+        guard += 1;
+        prop_assert!(guard < 10_000, "drain loop did not converge");
+    }
+
+    prop_assert_eq!(submitted, finished, "every submitted job must finish");
+    prop_assert_eq!(ever_started.len(), submitted, "every submitted job must start");
+    core.ledger().assert_conserved();
+    core.assert_drained();
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96 })]
+
+    /// Satellite: interleaved submit/finish/invoke keep the ledger
+    /// conserved and drain completely through the bare service API.
+    #[test]
+    fn prop_core_api_interleavings_conserve_resources(
+        ops in proptest::collection::vec((0u8..3, 0u16..10_000, 0u16..10_000), 1..80),
+    ) {
+        check_interleaving(&ops)?;
+    }
+}
+
+/// JSON wire round-trip for randomized events (submit and finish), so the
+/// replay driver's parser is exercised over the full float range the
+/// generators produce.
+#[test]
+fn event_wire_roundtrip_on_awkward_floats() {
+    use bbsched_sched::JobEvent;
+    for (i, t) in
+        [0.0, 0.1, 1.0 / 3.0, 86_399.999_999, 1e9 + 0.25, 123_456.789].into_iter().enumerate()
+    {
+        let job = Job::new(i as u64, t, 3, t * 0.5 + 1.0, t + 2.0).with_bb(t * 1.5);
+        for event in [JobEvent::Submit(job), JobEvent::Finish { id: i as u64, time: t }] {
+            let line = event.to_json_line();
+            let back = JobEvent::parse(&line).expect("round-trip parses");
+            assert_eq!(back, event, "lossy wire encoding for {line}");
+        }
+    }
+}

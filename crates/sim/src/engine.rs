@@ -1,10 +1,13 @@
-//! The discrete-event engine: the scheduling loop, and nothing else.
+//! The discrete-event driver: virtual time, and nothing else.
 //!
-//! [`Engine`] owns the mechanics that used to live in one monolithic
-//! `Simulator::run`: the event loop, the waiting queue
-//! ([`crate::QueueManager`]), resource accounting
-//! ([`crate::AllocLedger`]), and the per-invocation phase sequence. What
-//! it deliberately does *not* own:
+//! [`Engine`] is the first *driver* of the scheduler-service core
+//! ([`bbsched_sched::SchedCore`]). The core owns the scheduling state —
+//! queue, ledger, backfill strategy, starvation bookkeeping, policy —
+//! and decides *what* to do at each invocation; the engine owns *when*:
+//! it advances virtual time along the merged stream of arrivals and
+//! completions, feeds both into the core, and applies the core's
+//! [`Decision::Start`]s by scheduling completion events at
+//! `start + runtime`. What it deliberately does *not* own:
 //!
 //! * **trace storage** — arrivals stream in through any iterator of
 //!   [`Arrival`]s sorted by submit time, so multi-day traces never need to
@@ -12,58 +15,32 @@
 //! * **result collection** — everything observable flows out through
 //!   [`crate::SimObserver`] callbacks ([`crate::Recorder`] rebuilds the
 //!   classic [`crate::SimResult`]);
-//! * **backfilling policy** — a [`crate::BackfillStrategy`] object.
-//!
-//! Every arrival and completion triggers a *scheduling invocation*:
-//!
-//! 1. the base scheduler establishes queue priority order (§2.1);
-//! 2. the window (§3.1) is filled with the highest-priority jobs whose
-//!    dependencies are complete;
-//! 3. jobs past the starvation bound are force-started (or, if they no
-//!    longer fit, become the reservation head so nothing delays them);
-//! 4. the multi-resource selection policy picks window jobs to start;
-//! 5. the backfill strategy starts any remaining candidate that fits now
-//!    without delaying the reservation head, using *walltime estimates*
-//!    exactly like a production scheduler;
-//! 6. starvation bookkeeping and queue cleanup.
+//! * **scheduling logic** — the six-phase invocation lives in
+//!   [`bbsched_sched::SchedCore::invoke`]; the online replay driver
+//!   (`bbsched_sched::replay`, surfaced as `cli replay`) drives the same
+//!   core from an event file and produces byte-identical decisions.
 //!
 //! Events at the same instant are drained as one batch before the
 //! invocation runs, so the schedule depends only on the set of
 //! same-instant events, never on their internal order.
 
-use crate::alloc::AllocLedger;
-use crate::backfill::{BackfillCtx, BackfillStrategy};
-use crate::jobset::JobSet;
-use crate::observer::{JobStart, SimObserver};
-use crate::record::StartReason;
-use crate::simulator::{BackfillScope, SimConfig};
+use crate::simulator::SimConfig;
 use bbsched_core::problem::JobDemand;
-use bbsched_core::window::{fill_window, StarvationTracker};
 use bbsched_policies::SelectionPolicy;
+use bbsched_sched::{Decision, SchedCore, SchedObserver};
 use bbsched_workloads::{Job, SystemConfig};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
-
-/// Per-invocation scratch buffers, owned by the engine and reused across
-/// invocations so the hot loop allocates nothing once capacities warm up.
-#[derive(Default)]
-struct Scratch {
-    window_idx: Vec<usize>,
-    window_ids: Vec<u64>,
-    remaining: Vec<usize>,
-    sel_demands: Vec<JobDemand>,
-    waiting: Vec<usize>,
-    started_ids: Vec<u64>,
-}
+use std::collections::BinaryHeap;
 
 /// One job entering the simulation: the trace job plus its
 /// capacity-clamped demand ([`crate::Simulator::new`] computes the
-/// clamping; standalone engine users supply their own).
+/// clamping via [`bbsched_sched::clamp_demand`]; standalone engine users
+/// supply their own).
 #[derive(Clone, Debug)]
 pub struct Arrival {
     /// The job as submitted.
     pub job: Job,
-    /// The demand the engine will allocate (must fit total capacity).
+    /// The demand the core will allocate (must fit total capacity).
     pub demand: JobDemand,
 }
 
@@ -102,103 +79,28 @@ pub struct EngineSummary {
     pub jobs: usize,
 }
 
-/// Mutable state shared between the engine and the backfill phase: the
-/// job/demand tables, the allocation ledger, the completion-event heap,
-/// and the observer set. Split out so [`BackfillCtx`] can borrow it while
-/// the engine keeps hold of the queue and tracker.
-pub(crate) struct Core<'o> {
-    pub(crate) jobs: Vec<Job>,
-    pub(crate) demands: Vec<JobDemand>,
-    pub(crate) ledger: AllocLedger,
-    pub(crate) events: BinaryHeap<Reverse<Event>>,
-    pub(crate) seq: u64,
-    pub(crate) observers: Vec<&'o mut dyn SimObserver>,
-    /// Jobs started during the current invocation (bitset: probed inside
-    /// the queue-cleanup and backfill loops, cleared per invocation).
-    pub(crate) started: JobSet,
-    /// Backfill starts the strategy credited this pass (see
-    /// [`BackfillCtx::start`]).
-    pub(crate) backfill_credit: usize,
-}
-
-impl Core<'_> {
-    fn notify(&mut self, mut f: impl FnMut(&mut dyn SimObserver)) {
-        for o in self.observers.iter_mut() {
-            f(*o);
-        }
-    }
-
-    /// Allocates, schedules the completion event, and notifies observers.
-    /// The single funnel every phase starts jobs through.
-    pub(crate) fn start_job(&mut self, idx: usize, now: f64, reason: StartReason) {
-        let job = &self.jobs[idx];
-        let demand = self.demands[idx];
-        let est_end = now + job.walltime;
-        let assignment = self.ledger.start(idx, demand, est_end);
-        let end = now + job.runtime;
-        self.events.push(Reverse(Event { time: end, seq: self.seq, idx }));
-        self.seq += 1;
-        let wasted_ssd_gb = self.ledger.pool().wasted_capacity_gb(&demand, &assignment);
-        let start = JobStart {
-            now,
-            job: &self.jobs[idx],
-            demand,
-            assignment,
-            wasted_ssd_gb,
-            est_end,
-            reason,
-        };
-        for o in self.observers.iter_mut() {
-            o.on_job_started(&start);
-        }
-        self.started.insert(idx);
-    }
-}
-
-/// The discrete-event scheduling engine. Construct with [`Engine::new`],
+/// The discrete-event scheduling driver. Construct with [`Engine::new`],
 /// drive with [`Engine::run`].
 pub struct Engine<'o> {
-    cfg: SimConfig,
-    core: Core<'o>,
-    queue: crate::queue::QueueManager,
-    backfill: Box<dyn BackfillStrategy>,
-    completed_ids: HashSet<u64>,
-    tracker: StarvationTracker,
-    invocations: u64,
-    scratch: Scratch,
+    core: SchedCore<'o>,
+    events: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    /// Start indices of the current invocation (reused buffer).
+    started: Vec<usize>,
 }
 
 impl<'o> Engine<'o> {
-    /// An engine over `system`'s resources with the given observers
-    /// attached. Fails on an invalid system or configuration.
+    /// An engine over `system`'s resources running `policy`, with the
+    /// given observers attached. Fails on an invalid system or
+    /// configuration.
     pub fn new(
         system: &SystemConfig,
         cfg: SimConfig,
-        observers: Vec<&'o mut dyn SimObserver>,
-    ) -> Result<Self, crate::error::SimError> {
-        system.validate()?;
-        cfg.validate()?;
-        let queue = crate::queue::QueueManager::new(cfg.base);
-        let backfill = cfg.backfill_algorithm.strategy();
-        Ok(Self {
-            core: Core {
-                jobs: Vec::new(),
-                demands: Vec::new(),
-                ledger: AllocLedger::new(system.pool_state()),
-                events: BinaryHeap::new(),
-                seq: 0,
-                observers,
-                started: JobSet::new(),
-                backfill_credit: 0,
-            },
-            cfg,
-            queue,
-            backfill,
-            completed_ids: HashSet::new(),
-            tracker: StarvationTracker::new(),
-            invocations: 0,
-            scratch: Scratch::default(),
-        })
+        policy: Box<dyn SelectionPolicy>,
+        observers: Vec<&'o mut dyn SchedObserver>,
+    ) -> Result<Self, crate::SimError> {
+        let core = SchedCore::new(system, cfg.sched(), policy, observers)?;
+        Ok(Self { core, events: BinaryHeap::new(), seq: 0, started: Vec::new() })
     }
 
     /// Runs the simulation to completion: consumes `arrivals` (which MUST
@@ -206,24 +108,19 @@ impl<'o> Engine<'o> {
     /// this; streaming sources must too) and drains every completion.
     ///
     /// # Panics
-    /// Panics if arrivals regress in time, or (via the ledger) on any
-    /// resource-conservation violation.
-    pub fn run(
-        mut self,
-        arrivals: impl IntoIterator<Item = Arrival>,
-        policy: &mut dyn SelectionPolicy,
-    ) -> EngineSummary {
+    /// Panics if arrivals regress in time or reuse a job id, or (via the
+    /// ledger) on any resource-conservation violation.
+    pub fn run(mut self, arrivals: impl IntoIterator<Item = Arrival>) -> EngineSummary {
         let mut arrivals = arrivals.into_iter().peekable();
         let mut last_submit = f64::NEG_INFINITY;
         let mut makespan = 0.0f64;
 
         loop {
             // The next instant is the earlier of the next arrival and the
-            // next completion. Seqs order finishes after arrivals within
-            // an instant, matching the historical heap order; the batch
-            // drain makes within-instant order immaterial anyway.
+            // next completion; the batch drain makes within-instant order
+            // immaterial.
             let next_arrival = arrivals.peek().map(|a| a.job.submit);
-            let next_finish = self.core.events.peek().map(|Reverse(e)| e.time);
+            let next_finish = self.events.peek().map(|Reverse(e)| e.time);
             let now = match (next_arrival, next_finish) {
                 (None, None) => break,
                 (Some(a), None) => a,
@@ -242,204 +139,50 @@ impl<'o> Engine<'o> {
                     last_submit
                 );
                 last_submit = a.job.submit;
-                let idx = self.core.jobs.len();
-                self.core.jobs.push(a.job);
-                self.core.demands.push(a.demand);
-                self.queue.push(idx, &self.core.jobs);
+                self.core.submit(a.job, a.demand).expect("arrival stream reused a job id");
             }
 
             // Apply every completion at this instant.
-            while self.core.events.peek().is_some_and(|Reverse(e)| e.time <= now) {
-                let Reverse(ev) = self.core.events.pop().expect("peeked event vanished");
-                let entry = self.core.ledger.finish(ev.idx);
-                let job = &self.core.jobs[ev.idx];
-                self.completed_ids.insert(job.id);
+            while self.events.peek().is_some_and(|Reverse(e)| e.time <= now) {
+                let Reverse(ev) = self.events.pop().expect("peeked event vanished");
+                let id = self.core.job(ev.idx).id;
+                self.core.job_finished(id, now).expect("completion event for a job not running");
                 makespan = makespan.max(now);
-                let start = self.core.observers.iter_mut();
-                for o in start {
-                    o.on_job_finished(now, &self.core.jobs[ev.idx], &entry.demand);
-                }
             }
 
-            if self.queue.is_empty() {
-                continue;
+            // One scheduling invocation (a no-op on an empty queue);
+            // apply its start decisions as future completion events.
+            self.started.clear();
+            self.started.extend(self.core.invoke(now).iter().filter_map(|d| match *d {
+                Decision::Start { idx, .. } => Some(idx),
+                Decision::Reserve { .. } => None,
+            }));
+            for i in 0..self.started.len() {
+                let idx = self.started[i];
+                let end = now + self.core.job(idx).runtime;
+                self.events.push(Reverse(Event { time: end, seq: self.seq, idx }));
+                self.seq += 1;
             }
-            self.invocations += 1;
-            self.invoke(now, policy);
         }
 
-        self.core.ledger.assert_drained();
-        debug_assert!(
-            self.queue.is_empty(),
+        self.core.assert_drained();
+        debug_assert_eq!(
+            self.core.queue_len(),
+            0,
             "{} jobs left waiting at drain (dependency cycle?)",
-            self.queue.len()
+            self.core.queue_len()
         );
-        let invocations = self.invocations;
-        self.core.notify(|o| o.on_sim_end(makespan, invocations));
-        EngineSummary { makespan, invocations, jobs: self.core.jobs.len() }
-    }
-
-    /// One scheduling invocation: phases (1)–(6) from the module docs.
-    /// All per-invocation lists live in [`Scratch`] and are reused.
-    fn invoke(&mut self, now: f64, policy: &mut dyn SelectionPolicy) {
-        let invocation = self.invocations;
-        let queue_len = self.queue.len();
-        self.core.notify(|o| o.on_invocation_begin(now, invocation, queue_len));
-        let mut scratch = std::mem::take(&mut self.scratch);
-
-        // --- (1) base-scheduler priority order ---
-        self.queue.order(&self.core.jobs, now);
-
-        // --- (2) fill the window with dependency-satisfied jobs ---
-        let window_size =
-            self.cfg.dynamic_window.map(|d| d.size_for(queue_len)).unwrap_or(self.cfg.window.size);
-        scratch.window_idx.clear();
-        scratch.window_ids.clear();
-        {
-            let jobs = &self.core.jobs;
-            let queue = self.queue.as_slice();
-            let completed = &self.completed_ids;
-            let deps_met =
-                |qpos: usize| jobs[queue[qpos]].deps.iter().all(|d| completed.contains(d));
-            let window_qpos = fill_window(queue_len, window_size, deps_met);
-            scratch.window_idx.extend(window_qpos.iter().map(|&q| queue[q]));
-            scratch.window_ids.extend(scratch.window_idx.iter().map(|&i| jobs[i].id));
-        }
-        {
-            let window_ids = &scratch.window_ids;
-            self.core.notify(|o| o.on_window_built(now, window_ids));
-        }
-
-        self.core.started.clear();
-
-        // --- (3) starvation bound (§3.1) ---
-        // Jobs past the bound start immediately when they fit. A starved
-        // job that does not fit becomes the reservation head: optimization
-        // continues, but only inside the slack that cannot delay it.
-        let mut blocked_head: Option<usize> = None;
-        for &idx in &scratch.window_idx {
-            if self.tracker.is_starved(self.core.jobs[idx].id, self.cfg.window.starvation_bound) {
-                if self.core.ledger.fits(&self.core.demands[idx]) {
-                    self.core.start_job(idx, now, StartReason::Starvation);
-                } else {
-                    blocked_head = Some(idx);
-                    break;
-                }
-            }
-        }
-
-        // --- (4) multi-resource selection from the window ---
-        // With a starved reservation head, the policy sees only the
-        // component-wise minimum of "free now" and "left over at the
-        // head's shadow time" — any selection within that bound cannot
-        // delay the head.
-        let policy_avail = match blocked_head {
-            None => *self.core.ledger.pool(),
-            Some(b) => {
-                let (_, leftover) = crate::backfill::shadow_and_leftover(
-                    &self.core.ledger,
-                    &self.core.demands[b],
-                    now,
-                );
-                self.core.ledger.pool().component_min(&leftover)
-            }
-        };
-        scratch.remaining.clear();
-        {
-            let started = &self.core.started;
-            scratch.remaining.extend(
-                scratch
-                    .window_idx
-                    .iter()
-                    .copied()
-                    .filter(|i| !started.contains(*i) && Some(*i) != blocked_head),
-            );
-        }
-        if !scratch.remaining.is_empty() {
-            scratch.sel_demands.clear();
-            scratch.sel_demands.extend(scratch.remaining.iter().map(|&i| self.core.demands[i]));
-            let selection = policy.select(&scratch.sel_demands, &policy_avail, invocation);
-            debug_assert!(
-                bbsched_policies::selection_is_feasible(
-                    &scratch.sel_demands,
-                    &policy_avail,
-                    &selection
-                ),
-                "policy {} returned an infeasible selection",
-                policy.name()
-            );
-            for &s in &selection {
-                self.core.start_job(scratch.remaining[s], now, StartReason::Policy);
-            }
-        }
-
-        // --- (5) backfilling, behind the strategy object ---
-        scratch.waiting.clear();
-        match self.cfg.backfill {
-            BackfillScope::Window => {
-                let started = &self.core.started;
-                scratch
-                    .waiting
-                    .extend(scratch.window_idx.iter().copied().filter(|i| !started.contains(*i)));
-            }
-            BackfillScope::Queue => {
-                let started = &self.core.started;
-                let jobs = &self.core.jobs;
-                let completed = &self.completed_ids;
-                scratch.waiting.extend(self.queue.as_slice().iter().copied().filter(|i| {
-                    !started.contains(*i) && jobs[*i].deps.iter().all(|d| completed.contains(d))
-                }));
-            }
-        }
-        self.core.backfill_credit = 0;
-        let mut ctx = BackfillCtx {
-            now,
-            waiting: &scratch.waiting,
-            blocked_head,
-            max_scan: self.cfg.max_backfill_scan,
-            core: &mut self.core,
-        };
-        self.backfill.pass(&mut ctx);
-        let credited = self.core.backfill_credit;
-        let algorithm = self.backfill.name();
-        self.core.notify(|o| o.on_backfill_pass(now, algorithm, credited));
-
-        // --- (6) starvation bookkeeping & queue cleanup ---
-        // A pass only counts against the bound when the job was
-        // *bypassed*: some other job started while it sat in the window.
-        // Idle invocations (nothing startable) are not bypasses — counting
-        // them would make the bound fire on event frequency rather than on
-        // actual priority inversion.
-        if !self.core.started.is_empty() {
-            scratch.started_ids.clear();
-            {
-                let started = &self.core.started;
-                let jobs = &self.core.jobs;
-                scratch.started_ids.extend(
-                    scratch
-                        .window_idx
-                        .iter()
-                        .filter(|i| started.contains(**i))
-                        .map(|&i| jobs[i].id),
-                );
-            }
-            self.tracker.observe(&scratch.window_ids, &scratch.started_ids);
-            for i in self.core.started.iter() {
-                self.tracker.forget(self.core.jobs[i].id);
-            }
-        }
-        self.queue.remove_started(&self.core.started);
-        let started_count = self.core.started.len();
-        self.core.notify(|o| o.on_invocation_end(now, started_count));
-        self.scratch = scratch;
+        let invocations = self.core.invocations();
+        self.core.end_of_stream(makespan);
+        EngineSummary { makespan, invocations, jobs: self.core.jobs_submitted() }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::observer::Recorder;
     use bbsched_policies::{GaParams, PolicyKind};
+    use bbsched_sched::{JobStart, Recorder};
 
     fn system(nodes: u32) -> SystemConfig {
         SystemConfig {
@@ -460,16 +203,20 @@ mod tests {
         }
     }
 
+    fn policy() -> Box<dyn SelectionPolicy> {
+        PolicyKind::Baseline.build(GaParams::default())
+    }
+
     #[test]
     fn engine_streams_arrivals_from_iterator() {
         // The arrival source is a lazy generator, never a materialized
         // trace: 50 jobs, one every 2 s, on a 4-node machine.
         let sys = system(4);
         let mut recorder = Recorder::new();
-        let engine = Engine::new(&sys, SimConfig::default(), vec![&mut recorder]).unwrap();
+        let engine =
+            Engine::new(&sys, SimConfig::default(), policy(), vec![&mut recorder]).unwrap();
         let arrivals = (0..50u64).map(|i| arrival(i, i as f64 * 2.0, 2, 10.0));
-        let mut policy = PolicyKind::Baseline.build(GaParams::default());
-        let summary = engine.run(arrivals, policy.as_mut());
+        let summary = engine.run(arrivals);
         assert_eq!(summary.jobs, 50);
         assert_eq!(recorder.records().len(), 50);
         assert!(summary.makespan > 0.0);
@@ -478,12 +225,10 @@ mod tests {
     #[test]
     fn unsorted_arrivals_panic() {
         let sys = system(4);
-        let engine = Engine::new(&sys, SimConfig::default(), vec![]).unwrap();
+        let engine = Engine::new(&sys, SimConfig::default(), policy(), vec![]).unwrap();
         let arrivals = vec![arrival(0, 10.0, 1, 5.0), arrival(1, 3.0, 1, 5.0)];
-        let mut policy = PolicyKind::Baseline.build(GaParams::default());
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            engine.run(arrivals, policy.as_mut())
-        }));
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.run(arrivals)));
         assert!(result.is_err(), "time-regressing arrivals must be rejected");
     }
 
@@ -491,10 +236,10 @@ mod tests {
     fn summary_counts_match_recorder() {
         let sys = system(8);
         let mut recorder = Recorder::new();
-        let engine = Engine::new(&sys, SimConfig::default(), vec![&mut recorder]).unwrap();
+        let engine =
+            Engine::new(&sys, SimConfig::default(), policy(), vec![&mut recorder]).unwrap();
         let arrivals: Vec<Arrival> = (0..20u64).map(|i| arrival(i, i as f64, 3, 40.0)).collect();
-        let mut policy = PolicyKind::Baseline.build(GaParams::default());
-        let summary = engine.run(arrivals, policy.as_mut());
+        let summary = engine.run(arrivals);
         let result = recorder.into_result("Baseline".into(), "FCFS".into(), sys.clone(), 0);
         assert_eq!(result.invocations, summary.invocations);
         assert_eq!(result.makespan, summary.makespan);
@@ -510,7 +255,7 @@ mod tests {
             windows: usize,
             sim_ends: usize,
         }
-        impl SimObserver for Counter {
+        impl SchedObserver for Counter {
             fn on_job_started(&mut self, _s: &JobStart<'_>) {
                 self.starts += 1;
             }
@@ -528,10 +273,10 @@ mod tests {
         let mut recorder = Recorder::new();
         let mut counter = Counter::default();
         let engine =
-            Engine::new(&sys, SimConfig::default(), vec![&mut recorder, &mut counter]).unwrap();
+            Engine::new(&sys, SimConfig::default(), policy(), vec![&mut recorder, &mut counter])
+                .unwrap();
         let arrivals: Vec<Arrival> = (0..12u64).map(|i| arrival(i, i as f64, 2, 20.0)).collect();
-        let mut policy = PolicyKind::Baseline.build(GaParams::default());
-        let summary = engine.run(arrivals, policy.as_mut());
+        let summary = engine.run(arrivals);
         assert_eq!(counter.starts, 12);
         assert_eq!(counter.finishes, 12);
         assert_eq!(counter.sim_ends, 1);

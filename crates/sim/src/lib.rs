@@ -15,28 +15,28 @@
 //!
 //! ## Architecture
 //!
-//! The crate is layered around a small discrete-event core:
+//! Since the service-core extraction, this crate is a *driver* of the
+//! scheduler-service core in `bbsched-sched`: the six-phase scheduling
+//! invocation, the queue, the allocation ledger, the backfilling
+//! strategies, and the observer callbacks all live there, behind the
+//! snapshot-in/decisions-out [`bbsched_sched::SchedCore`] API. What
+//! remains here is exactly the discrete-event machinery:
 //!
-//! * [`engine`] — the event loop and the six-phase scheduling invocation;
-//!   consumes arrivals from any sorted iterator (traces can stream);
-//! * [`queue`] — the waiting queue under the base scheduler's order
-//!   (incrementally sorted for FCFS, re-scored per invocation for WFP);
-//! * [`alloc`] — the allocation ledger: pool accounting with conservation
-//!   checks, the incrementally maintained release order, and a
-//!   generation-numbered start/finish delta log;
-//! * [`backfill`] — EASY and conservative backfilling behind the
-//!   [`BackfillStrategy`] trait, plus the availability-profile machinery:
-//!   a persistent profile refolded in place from a ledger-synced release
-//!   mirror, with binary-searched, skyline-indexed queries (DESIGN.md
-//!   §10);
-//! * [`legacy_profile`] — the frozen rebuild-per-pass conservative path,
-//!   kept as the equivalence oracle and benchmark reference;
-//! * [`jobset`] — the bitset over job indices used for per-invocation
-//!   started-job tracking and queue cleanup;
-//! * [`observer`] — the [`SimObserver`] callbacks everything observable
-//!   flows through; [`Recorder`] collects the classic [`SimResult`];
-//! * [`simulator`] — configuration, demand clamping, and the
+//! * [`engine`] — the event loop: virtual time, the completion-event
+//!   heap, and the translation of [`bbsched_sched::Decision::Start`]s
+//!   into future completion events; consumes arrivals from any sorted
+//!   iterator (traces can stream);
+//! * [`simulator`] — configuration, trace-intake demand clamping, and the
 //!   [`Simulator`] facade that wires a trace into the engine.
+//!
+//! Everything the core owns is re-exported here under its historical
+//! name ([`SimObserver`] for [`bbsched_sched::SchedObserver`],
+//! [`SimError`] for [`bbsched_sched::SchedError`], and the rest
+//! unchanged), so existing simulator clients and the frozen golden
+//! suites compile untouched. The second driver of the same core — the
+//! online streaming replayer behind `cli replay` — lives in
+//! [`bbsched_sched::replay`]; both drivers emit byte-identical decision
+//! streams for the same events.
 //!
 //! ```
 //! use bbsched_sim::{SimConfig, Simulator};
@@ -56,30 +56,24 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-pub mod alloc;
-pub mod backfill;
-pub mod base_sched;
 pub mod engine;
-pub mod error;
-pub mod jobset;
-pub mod legacy_profile;
-pub mod observer;
-pub mod profile;
-pub mod queue;
-pub mod record;
 pub mod simulator;
 
-pub use alloc::{AllocLedger, LedgerDelta, RunningJob};
-pub use backfill::{
-    shadow_and_leftover, AvailabilityProfile, BackfillCtx, BackfillStrategy, ConservativeBackfill,
-    EasyBackfill, ReleaseMirror,
-};
-pub use base_sched::BaseScheduler;
 pub use engine::{Arrival, Engine, EngineSummary};
-pub use error::SimError;
-pub use jobset::JobSet;
-pub use legacy_profile::{LegacyProfile, RebuildPerPassConservative};
-pub use observer::{JobStart, Recorder, SimObserver};
-pub use queue::QueueManager;
-pub use record::{JobRecord, SimResult, StartReason};
-pub use simulator::{BackfillAlgorithm, BackfillScope, DynamicWindow, SimConfig, Simulator};
+pub use simulator::{SimConfig, Simulator};
+
+// The scheduling machinery moved to the service core; re-export it under
+// the names this crate always had so simulator clients keep compiling.
+pub use bbsched_sched::{
+    clamp_demand, shadow_and_leftover, AllocLedger, AvailabilityProfile, BackfillAlgorithm,
+    BackfillCtx, BackfillScope, BackfillStrategy, BaseScheduler, ConservativeBackfill, Decision,
+    DecisionLog, DynamicWindow, EasyBackfill, JobRecord, JobSet, JobStart, LedgerDelta,
+    LegacyProfile, QueueManager, RebuildPerPassConservative, Recorder, ReleaseMirror, RunningJob,
+    SchedCore, SimResult, StartReason,
+};
+
+/// The core's observer trait under its historical simulator name.
+pub use bbsched_sched::SchedObserver as SimObserver;
+
+/// The core's error type under its historical simulator name.
+pub use bbsched_sched::SchedError as SimError;

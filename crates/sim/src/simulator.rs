@@ -1,25 +1,27 @@
 //! Simulation configuration and the trace-driven [`Simulator`] facade.
 //!
-//! The discrete-event mechanics live in [`crate::engine`]; this module
-//! holds what surrounds them: [`SimConfig`] (validated up front), demand
-//! clamping against machine capacity, and [`Simulator`] — the
-//! compatibility wrapper that wires a [`bbsched_workloads::Trace`] into
-//! the engine with a [`crate::Recorder`] attached and returns the classic
-//! [`SimResult`]. Additional observers ride along via
-//! [`Simulator::run_observed`].
+//! The discrete-event mechanics live in [`crate::engine`]; the scheduling
+//! logic itself lives in the service core (`bbsched-sched`). This module
+//! holds what surrounds them: [`SimConfig`] (validated up front, converted
+//! to a [`bbsched_sched::SchedConfig`] for the core), demand clamping
+//! against machine capacity via [`bbsched_sched::clamp_demand`], and
+//! [`Simulator`] — the compatibility wrapper that wires a
+//! [`bbsched_workloads::Trace`] into the engine with a [`crate::Recorder`]
+//! attached and returns the classic [`SimResult`]. Additional observers
+//! ride along via [`Simulator::run_observed`].
 
-use crate::base_sched::BaseScheduler;
 use crate::engine::{Arrival, Engine};
-use crate::error::SimError;
-use crate::observer::{Recorder, SimObserver};
-use crate::record::SimResult;
+use crate::{Recorder, SimError, SimObserver, SimResult};
 use bbsched_core::problem::JobDemand;
-use bbsched_core::resource::MAX_EXTRA;
 use bbsched_core::window::WindowConfig;
 use bbsched_policies::SelectionPolicy;
+use bbsched_sched::{
+    clamp_demand, BackfillAlgorithm, BackfillScope, BaseScheduler, DynamicWindow, SchedConfig,
+};
 use bbsched_workloads::{SystemConfig, Trace};
 
-/// Simulator configuration.
+/// Simulator configuration: the core's [`SchedConfig`] knobs plus the
+/// simulator-only `clamp_impossible` trace-intake policy.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
     /// Base scheduler ordering the queue (FCFS for Cori, WFP for Theta).
@@ -27,6 +29,8 @@ pub struct SimConfig {
     /// Window size and starvation bound (§3.1).
     pub window: WindowConfig,
     /// Clamp jobs whose demand exceeds total capacity instead of erroring.
+    /// This governs trace intake only and never reaches the core (the
+    /// online replay driver always clamps).
     pub clamp_impossible: bool,
     /// Maximum queued jobs examined per backfilling pass (guards the
     /// per-invocation cost on pathological queues; only relevant with
@@ -43,133 +47,39 @@ pub struct SimConfig {
 }
 
 impl SimConfig {
+    /// The core configuration this simulator configuration describes —
+    /// everything except `clamp_impossible`, which is trace-intake policy,
+    /// not scheduling policy.
+    pub fn sched(&self) -> SchedConfig {
+        SchedConfig {
+            base: self.base,
+            window: self.window,
+            max_backfill_scan: self.max_backfill_scan,
+            backfill: self.backfill,
+            backfill_algorithm: self.backfill_algorithm,
+            dynamic_window: self.dynamic_window,
+        }
+    }
+
     /// Validates the whole configuration. Called by [`Simulator::new`] and
     /// [`Engine::new`], so an invalid config is a typed [`SimError`], never
     /// a mid-simulation panic.
     pub fn validate(&self) -> Result<(), SimError> {
-        self.window.validate().map_err(SimError::InvalidWindow)?;
-        if let Some(d) = self.dynamic_window {
-            d.validate()?;
-        }
-        Ok(())
+        self.sched().validate()
     }
-}
-
-/// Queue-length-driven window sizing: the window tracks a fraction of the
-/// waiting queue, clamped to `[min, max]`. Larger queues get more
-/// optimization; short queues preserve the site's order (§3.1's stated
-/// trade-off).
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct DynamicWindow {
-    /// Smallest window ever used.
-    pub min: usize,
-    /// Largest window ever used (bounds the optimizer's search space).
-    pub max: usize,
-    /// Fraction of the queue length targeted.
-    pub queue_fraction: f64,
-}
-
-impl Default for DynamicWindow {
-    fn default() -> Self {
-        Self { min: 10, max: 50, queue_fraction: 0.25 }
-    }
-}
-
-impl DynamicWindow {
-    /// Checks the bounds are usable: `min <= max` and a finite,
-    /// non-negative queue fraction.
-    pub fn validate(&self) -> Result<(), SimError> {
-        if self.min > self.max {
-            return Err(SimError::InvalidDynamicWindow(format!(
-                "min ({}) exceeds max ({})",
-                self.min, self.max
-            )));
-        }
-        if !self.queue_fraction.is_finite() || self.queue_fraction < 0.0 {
-            return Err(SimError::InvalidDynamicWindow(format!(
-                "queue_fraction ({}) must be finite and >= 0",
-                self.queue_fraction
-            )));
-        }
-        Ok(())
-    }
-
-    /// Window size for a queue of `queue_len` jobs. Total for any inputs
-    /// (validation rejects `min > max` up front, but this never panics
-    /// regardless — a scheduling invocation is no place for one).
-    pub fn size_for(&self, queue_len: usize) -> usize {
-        let target = (queue_len as f64 * self.queue_fraction).round() as usize;
-        target.max(self.min).min(self.max).max(1)
-    }
-}
-
-/// The backfilling discipline.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub enum BackfillAlgorithm {
-    /// EASY (§2.1, used throughout the paper): reserve for the first
-    /// blocked job only; candidates may not delay it.
-    #[default]
-    Easy,
-    /// Conservative: every blocked candidate receives a reservation on a
-    /// future-availability profile; a job starts now only if it delays
-    /// none of the reservations ahead of it. Stronger fairness, fewer
-    /// backfill opportunities. Uses the persistent, incrementally
-    /// maintained profile (DESIGN.md §10).
-    Conservative,
-    /// The frozen pre-incremental conservative path: rebuilds the
-    /// availability profile from the full release schedule on every pass
-    /// ([`crate::legacy_profile::RebuildPerPassConservative`]). Produces
-    /// bit-identical schedules to [`BackfillAlgorithm::Conservative`];
-    /// kept only as the equivalence oracle and benchmark reference — do
-    /// not use it for new work.
-    ConservativeRebuild,
-}
-
-impl BackfillAlgorithm {
-    /// The [`crate::BackfillStrategy`] implementing this discipline.
-    pub fn strategy(self) -> Box<dyn crate::backfill::BackfillStrategy> {
-        match self {
-            BackfillAlgorithm::Easy => Box::new(crate::backfill::EasyBackfill),
-            BackfillAlgorithm::Conservative => {
-                Box::new(crate::backfill::ConservativeBackfill::default())
-            }
-            BackfillAlgorithm::ConservativeRebuild => {
-                Box::new(crate::legacy_profile::RebuildPerPassConservative)
-            }
-        }
-    }
-}
-
-/// Candidate scope for the EASY backfilling pass.
-///
-/// The paper runs window-based selection with EASY backfilling on top
-/// (§4.3); with a full-queue scope, greedy backfilling over thousands of
-/// queued jobs dominates the schedule and erases most of the difference
-/// between selection policies — every method degenerates to queue-wide
-/// first-fit. Restricting candidates to the scheduling window (the
-/// default) keeps backfilling's fragmentation-mitigation role while
-/// leaving job selection to the policy under study, which is the
-/// experimental design the paper's comparisons require. The scope applies
-/// identically to every method, so comparisons stay fair either way.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum BackfillScope {
-    /// Only jobs inside the scheduling window may backfill.
-    Window,
-    /// Any waiting job may backfill (classic site-wide EASY), capped by
-    /// `max_backfill_scan`.
-    Queue,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
+        let core = SchedConfig::default();
         Self {
-            base: BaseScheduler::Fcfs,
-            window: WindowConfig::default(),
+            base: core.base,
+            window: core.window,
             clamp_impossible: true,
-            max_backfill_scan: 2_000,
-            backfill: BackfillScope::Window,
-            backfill_algorithm: BackfillAlgorithm::Easy,
-            dynamic_window: None,
+            max_backfill_scan: core.max_backfill_scan,
+            backfill: core.backfill,
+            backfill_algorithm: core.backfill_algorithm,
+            dynamic_window: core.dynamic_window,
         }
     }
 }
@@ -178,10 +88,14 @@ impl Default for SimConfig {
 /// consume with [`Simulator::run`] (or [`Simulator::run_observed`] to
 /// attach extra observers).
 ///
-/// This is a compatibility facade: it clamps the trace's demands to
-/// machine capacity, streams the jobs into an [`Engine`] with a
-/// [`Recorder`] attached, and packages the recording as the classic
-/// [`SimResult`].
+/// This is a compatibility facade over the driver API: it clamps the
+/// trace's demands to machine capacity, streams the jobs into an
+/// [`Engine`] (a discrete-event driver of the scheduler-service core)
+/// with a [`Recorder`] attached, and packages the recording as the
+/// classic [`SimResult`]. Code that needs finer-grained control — online
+/// submission, custom completion sources, raw decision streams — should
+/// drive [`bbsched_sched::SchedCore`] directly or use
+/// [`bbsched_sched::Replayer`].
 pub struct Simulator<'t> {
     system: SystemConfig,
     trace: &'t Trace,
@@ -201,42 +115,10 @@ impl<'t> Simulator<'t> {
     pub fn new(system: &SystemConfig, trace: &'t Trace, cfg: SimConfig) -> Result<Self, SimError> {
         system.validate()?;
         cfg.validate()?;
-        let usable_bb = system.bb_usable_gb();
         let mut clamped = 0usize;
         let mut demands = Vec::with_capacity(trace.len());
         for job in trace.jobs() {
-            let mut d = JobDemand {
-                nodes: job.nodes,
-                bb_gb: job.bb_gb,
-                ssd_gb_per_node: if system.has_local_ssd() { job.ssd_gb_per_node } else { 0.0 },
-                ..JobDemand::default()
-            };
-            let mut job_clamped = false;
-            if d.nodes > system.nodes {
-                d.nodes = system.nodes;
-                job_clamped = true;
-            }
-            if d.bb_gb > usable_bb {
-                d.bb_gb = usable_bb;
-                job_clamped = true;
-            }
-            if d.ssd_gb_per_node > 256.0 {
-                d.ssd_gb_per_node = 256.0;
-                job_clamped = true;
-            }
-            if d.ssd_gb_per_node > 128.0 && d.nodes > system.nodes_256 {
-                // More >128 GB/node-SSD nodes requested than 256 GB nodes
-                // exist: downgrade the request so the job stays schedulable.
-                d.ssd_gb_per_node = 128.0;
-                job_clamped = true;
-            }
-            for (i, extra) in system.extra_resources.iter().take(MAX_EXTRA).enumerate() {
-                d.extra[i] = job.extra_demand(i);
-                if d.extra[i] > extra.amount {
-                    d.extra[i] = extra.amount;
-                    job_clamped = true;
-                }
-            }
+            let (d, job_clamped) = clamp_demand(system, job);
             if job_clamped {
                 if !cfg.clamp_impossible {
                     return Err(SimError::ImpossibleJob {
@@ -273,9 +155,10 @@ impl<'t> Simulator<'t> {
     /// the result-collecting [`Recorder`].
     pub fn run_observed(
         self,
-        mut policy: Box<dyn SelectionPolicy>,
+        policy: Box<dyn SelectionPolicy>,
         extra: &mut [&mut dyn SimObserver],
     ) -> SimResult {
+        let policy_name = policy.name().to_string();
         let mut recorder = Recorder::new();
         {
             let mut observers: Vec<&mut dyn SimObserver> = Vec::with_capacity(1 + extra.len());
@@ -283,7 +166,7 @@ impl<'t> Simulator<'t> {
             for o in extra.iter_mut() {
                 observers.push(&mut **o);
             }
-            let engine = Engine::new(&self.system, self.cfg.clone(), observers)
+            let engine = Engine::new(&self.system, self.cfg.clone(), policy, observers)
                 .expect("configuration validated at construction");
             let arrivals = self
                 .trace
@@ -292,11 +175,11 @@ impl<'t> Simulator<'t> {
                 .cloned()
                 .zip(self.demands.iter().copied())
                 .map(|(job, demand)| Arrival { job, demand });
-            let summary = engine.run(arrivals, policy.as_mut());
+            let summary = engine.run(arrivals);
             debug_assert_eq!(summary.jobs, self.trace.len(), "every job must run exactly once");
         }
         recorder.into_result(
-            policy.name().to_string(),
+            policy_name,
             self.cfg.base.name().to_string(),
             self.system,
             self.clamped,

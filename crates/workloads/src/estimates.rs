@@ -3,7 +3,7 @@
 //! EASY backfilling lives and dies by walltime estimates: reservations and
 //! "ends before the shadow" checks use the *requested* time, and users
 //! overestimate heavily (Mu'alem & Feitelson; the paper's own companion
-//! work [15] studies the accuracy/underestimation trade-off). This module
+//! work \[15\] studies the accuracy/underestimation trade-off). This module
 //! provides estimator models that rewrite a trace's walltimes, so the
 //! sensitivity of any result to estimate quality is one transform away.
 

@@ -15,8 +15,13 @@
 //!   the S1–S7 stress transforms ([`bbsched_workloads`]).
 //! * [`policies`] — the eight multi-resource selection methods compared in
 //!   the paper ([`bbsched_policies`]).
-//! * [`sim`] — the discrete-event cluster simulator with FCFS/WFP base
-//!   scheduling and multi-resource EASY backfilling ([`bbsched_sim`]).
+//! * [`sched`] — the driver-agnostic scheduler-service core: queue, window,
+//!   starvation bound, allocation ledger, backfilling, and the six-phase
+//!   invocation behind `submit`/`job_finished`/`invoke`, plus the online
+//!   replay driver ([`bbsched_sched`]).
+//! * [`sim`] — the discrete-event cluster simulator, now a trace-driven
+//!   *driver* of the service core, with FCFS/WFP base scheduling and
+//!   multi-resource EASY backfilling ([`bbsched_sim`]).
 //! * [`metrics`] — node/burst-buffer usage, wait time, bounded slowdown,
 //!   breakdowns, and Kiviat normalization ([`bbsched_metrics`]).
 //!
@@ -26,5 +31,6 @@
 pub use bbsched_core as core;
 pub use bbsched_metrics as metrics;
 pub use bbsched_policies as policies;
+pub use bbsched_sched as sched;
 pub use bbsched_sim as sim;
 pub use bbsched_workloads as workloads;
