@@ -286,6 +286,50 @@ fn main() {
         }
     }
 
+    // --- snapshot_restore: the explicit-state round trip (DESIGN.md §12) ---
+    // Times extract + JSON wire encode + decode + inject of a warmed core
+    // with `w` known jobs: the full cost a checkpoint write plus a resume
+    // pays per checkpoint. Kept separate from `sched_invoke` so the guard
+    // can show that snapshot plumbing adds nothing to the simulate_* path.
+    {
+        let profile = MachineProfile::cori().scaled(0.05);
+        for w in [20usize, 50] {
+            let jobs: Vec<(Job, JobDemand)> = overhead_window(w)
+                .into_iter()
+                .enumerate()
+                .map(|(i, d)| {
+                    let job = Job::new(i as u64, 0.0, d.nodes, 1_800.0, 3_600.0).with_bb(d.bb_gb);
+                    (job, d)
+                })
+                .collect();
+            let mut core = SchedCore::new(
+                &profile.system,
+                SchedConfig {
+                    backfill_algorithm: BackfillAlgorithm::Conservative,
+                    ..SchedConfig::default()
+                },
+                PolicyKind::Baseline.build(GaParams::default()),
+                Vec::new(),
+            )
+            .unwrap();
+            for (job, demand) in &jobs {
+                core.submit(job.clone(), *demand).unwrap();
+            }
+            core.invoke(0.0);
+            push(&format!("snapshot_restore_w{w}/Baseline"), samples, 0.01, &mut || {
+                let json = core.snapshot().to_json();
+                let decoded = bbsched_sched::CoreSnapshot::from_json(&json).unwrap();
+                let restored = SchedCore::restore(
+                    decoded,
+                    PolicyKind::Baseline.build(GaParams::default()),
+                    Vec::new(),
+                )
+                .unwrap();
+                restored.jobs_submitted() + json.len()
+            });
+        }
+    }
+
     // --- policy_overhead ---
     let w = overhead_window(50);
     let avail = PoolState::cpu_bb(800, 60_000.0);

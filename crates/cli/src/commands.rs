@@ -2,9 +2,11 @@
 
 use crate::args::Args;
 use crate::error::CliError;
-use bbsched_metrics::{DistributionStats, MeasurementWindow, MethodSummary, UsageKind};
+use bbsched_metrics::{
+    DistributionStats, ForkSummary, MeasurementWindow, MethodSummary, UsageKind,
+};
 use bbsched_policies::{GaParams, PolicyKind, SelectionPolicy};
-use bbsched_sched::{Decision, JobEvent, Replayer, SchedObserver};
+use bbsched_sched::{Decision, JobEvent, ReplaySnapshot, Replayer, SchedObserver};
 use bbsched_sim::{
     BackfillAlgorithm, BaseScheduler, DynamicWindow, SimConfig, SimResult, Simulator,
 };
@@ -54,10 +56,19 @@ COMMANDS
   compare    Run the full §4.3 roster on one workload and print the grid
              --machine cori|theta  --workload W  --jobs N  --scale F
              --gens G  --threads T  (same scheduler knobs as simulate)
+             --fork-at T [--warm-policy NAME]  warm one run to virtual
+               time T, then branch every roster policy from that snapshot
+               (what-if forking; metrics cover the continuations)
   replay     Drive the scheduler core online from a job-event stream and
              print one JSON decision per line to stdout (summary on stderr)
              --events PATH|-  --machine cori|theta  --scale F
              --policy NAME  --gens G  (same scheduler knobs as simulate)
+             Checkpointed replay (DESIGN.md \u{a7}12):
+             --checkpoint PATH [--checkpoint-every N]  write a resumable
+               snapshot (every N fed events, and on --stop-after)
+             --stop-after N   stop after feeding N events (no final flush)
+             --resume PATH    continue from a checkpoint in a fresh
+               process; the first events-fed lines of --events are skipped
              Events (one JSON object per line):
                {\"type\":\"submit\",\"job\":{...}} | {\"type\":\"finish\",\"id\":N,\"time\":T}
   timeline   Export a utilization timeline CSV from a saved result
@@ -332,8 +343,19 @@ fn cmd_simulate(args: &Args) -> Result<(), CliError> {
 }
 
 fn cmd_compare(args: &Args) -> Result<(), CliError> {
-    let mut known =
-        vec!["trace", "machine", "jobs", "seed", "scale", "load", "workload", "gens", "threads"];
+    let mut known = vec![
+        "trace",
+        "machine",
+        "jobs",
+        "seed",
+        "scale",
+        "load",
+        "workload",
+        "gens",
+        "threads",
+        "fork-at",
+        "warm-policy",
+    ];
     known.extend_from_slice(SCHED_ARGS);
     args.check_known(&known)?;
     let (trace, profile) = trace_from_args(args)?;
@@ -349,32 +371,105 @@ fn cmd_compare(args: &Args) -> Result<(), CliError> {
     } else {
         PolicyKind::main_roster().to_vec()
     };
-    // Each roster entry is an independent simulation over the same trace:
-    // run them as whole-task batch jobs and print in roster order, so the
-    // grid is byte-identical whatever the thread count.
+    // With `--fork-at T`, the trace is warmed up once under the warm
+    // policy to virtual time T, and every roster entry continues from the
+    // same mid-trace snapshot (what-if forking): the grid then measures
+    // only the diverging continuations. Without it, each entry is an
+    // independent full simulation. Either way, whole-task batch jobs in
+    // roster order keep the grid byte-identical whatever the thread count.
+    let fork_at: Option<f64> = match args.get("fork-at") {
+        None => None,
+        Some(_) => {
+            let t = args.get_parsed("fork-at", 0.0f64)?;
+            if !t.is_finite() || t < 0.0 {
+                return Err(CliError::Usage("--fork-at must be a non-negative time".to_string()));
+            }
+            Some(t)
+        }
+    };
+    if args.get("warm-policy").is_some() && fork_at.is_none() {
+        return Err(CliError::Usage("--warm-policy needs --fork-at".to_string()));
+    }
+    let sim =
+        Simulator::new(&profile.system, &trace, cfg).map_err(|e| CliError::Run(e.to_string()))?;
+    let warm = match fork_at {
+        None => None,
+        Some(t) => {
+            let warm_kind = parse_policy(args.get_or("warm-policy", "Baseline"))?;
+            let warm =
+                sim.warm_until(warm_kind.build(ga), t).map_err(|e| CliError::Run(e.to_string()))?;
+            println!(
+                "forked at t={t} s after {} of {} jobs (warmed under {}); \
+                 metrics cover the continuations only",
+                warm.consumed,
+                trace.len(),
+                warm_kind.name()
+            );
+            Some(warm)
+        }
+    };
     let jobs: Vec<_> = roster
         .iter()
         .map(|&kind| {
-            let (system, trace, cfg) = (&profile.system, &trace, cfg.clone());
+            let (sim, warm) = (&sim, warm.as_ref());
             move || -> Result<SimResult, CliError> {
-                Ok(Simulator::new(system, trace, cfg)
-                    .map_err(|e| CliError::Run(e.to_string()))?
-                    .run(kind.build(ga)))
+                Ok(match warm {
+                    Some(w) => sim
+                        .continue_from(w, kind.build(ga))
+                        .map_err(|e| CliError::Run(e.to_string()))?,
+                    None => sim.run_shared(kind.build(ga)),
+                })
             }
         })
         .collect();
-    let results = bbsched_core::parallel::run_batch(threads, jobs);
-    println!("{:<16} {:>9} {:>9} {:>10} {:>10}", "Method", "Node", "BB", "Avg wait", "Slowdown");
-    for (kind, result) in roster.iter().zip(results) {
-        let m = MethodSummary::from_result(&result?, MeasurementWindow::default());
-        println!(
-            "{:<16} {:>8.2}% {:>8.2}% {:>9.2}h {:>10.2}",
-            kind.name(),
-            m.node_usage() * 100.0,
-            m.bb_usage() * 100.0,
-            m.avg_wait / 3600.0,
-            m.avg_slowdown
-        );
+    let results: Vec<SimResult> =
+        bbsched_core::parallel::run_batch(threads, jobs).into_iter().collect::<Result<_, _>>()?;
+    match &warm {
+        // Forked grid: per-branch continuation metrics plus the wait delta
+        // against the first roster entry (the branches share their prefix,
+        // so the delta is attributable to the policy alone).
+        Some(w) => {
+            let fork = ForkSummary::from_continuations(
+                fork_at.expect("warm implies fork-at"),
+                w.consumed,
+                &results,
+                MeasurementWindow::default(),
+            );
+            let base = roster[0].name();
+            println!(
+                "{:<16} {:>9} {:>9} {:>10} {:>10} {:>12}",
+                "Method", "Node", "BB", "Avg wait", "Slowdown", "Dwait(base)"
+            );
+            for (kind, m) in roster.iter().zip(&fork.branches) {
+                let delta = fork.wait_delta(kind.name(), base).unwrap_or(0.0);
+                println!(
+                    "{:<16} {:>8.2}% {:>8.2}% {:>9.2}h {:>10.2} {:>11.2}h",
+                    kind.name(),
+                    m.node_usage() * 100.0,
+                    m.bb_usage() * 100.0,
+                    m.avg_wait / 3600.0,
+                    m.avg_slowdown,
+                    delta / 3600.0
+                );
+            }
+        }
+        None => {
+            println!(
+                "{:<16} {:>9} {:>9} {:>10} {:>10}",
+                "Method", "Node", "BB", "Avg wait", "Slowdown"
+            );
+            for (kind, result) in roster.iter().zip(&results) {
+                let m = MethodSummary::from_result(result, MeasurementWindow::default());
+                println!(
+                    "{:<16} {:>8.2}% {:>8.2}% {:>9.2}h {:>10.2}",
+                    kind.name(),
+                    m.node_usage() * 100.0,
+                    m.bb_usage() * 100.0,
+                    m.avg_wait / 3600.0,
+                    m.avg_slowdown
+                );
+            }
+        }
     }
     Ok(())
 }
@@ -398,21 +493,83 @@ impl<W: Write> SchedObserver for DecisionStream<W> {
     }
 }
 
+/// A `cli replay` checkpoint file: the replayer's [`ReplaySnapshot`]
+/// plus the policy identity and GA hyper-parameters needed to rebuild
+/// the policy object in the resuming process (a policy is a trait object
+/// the snapshot itself cannot carry).
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+struct ReplayCheckpoint {
+    replay: ReplaySnapshot,
+    policy: PolicyKind,
+    ga: GaParams,
+}
+
+/// Atomically writes a checkpoint (temp file + rename, so a crash
+/// mid-write never leaves a torn checkpoint behind).
+fn write_checkpoint(path: &str, ckpt: &ReplayCheckpoint) -> Result<(), CliError> {
+    let bytes = serde_json::to_vec(ckpt)
+        .map_err(|e| CliError::Output(format!("serialize checkpoint: {e}")))?;
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, bytes)
+        .map_err(|e| CliError::Output(format!("cannot write '{tmp}': {e}")))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| CliError::Output(format!("cannot rename '{tmp}' to '{path}': {e}")))?;
+    Ok(())
+}
+
+fn read_checkpoint(path: &str) -> Result<ReplayCheckpoint, CliError> {
+    let bytes =
+        std::fs::read(path).map_err(|e| CliError::Input(format!("cannot read '{path}': {e}")))?;
+    serde_json::from_slice(&bytes)
+        .map_err(|e| CliError::Input(format!("cannot parse checkpoint '{path}': {e}")))
+}
+
 fn cmd_replay(args: &Args) -> Result<(), CliError> {
-    let mut known = vec!["events", "machine", "scale", "policy", "gens", "seed", "threads"];
+    let mut known = vec![
+        "events",
+        "machine",
+        "scale",
+        "policy",
+        "gens",
+        "seed",
+        "threads",
+        "checkpoint",
+        "checkpoint-every",
+        "resume",
+        "stop-after",
+    ];
     known.extend_from_slice(SCHED_ARGS);
     args.check_known(&known)?;
-    let scale: f64 = args.get_parsed("scale", 0.05)?;
-    let machine = parse_machine(args.get_or("machine", "theta"))?;
-    let profile = if (scale - 1.0).abs() < f64::EPSILON { machine } else { machine.scaled(scale) };
-    let kind = parse_policy(args.get_or("policy", "BBSched"))?;
-    let cfg = sim_config(args, &profile)?.sched();
-    let ga = GaParams {
-        generations: args.get_parsed("gens", 500usize)?,
-        base_seed: args.get_parsed("seed", 7u64)?,
-        threads: parse_threads(args)?,
-        ..GaParams::default()
+    let checkpoint_path = args.get("checkpoint");
+    let checkpoint_every: Option<u64> = match args.get("checkpoint-every") {
+        None => None,
+        Some(_) => {
+            if checkpoint_path.is_none() {
+                return Err(CliError::Usage(
+                    "--checkpoint-every needs --checkpoint PATH".to_string(),
+                ));
+            }
+            let every: u64 = args.get_parsed("checkpoint-every", 0u64)?;
+            if every == 0 {
+                return Err(CliError::Usage("--checkpoint-every must be >= 1".to_string()));
+            }
+            Some(every)
+        }
     };
+    let stop_after: Option<u64> = match args.get("stop-after") {
+        None => None,
+        Some(_) => Some(args.get_parsed("stop-after", 0u64)?),
+    };
+
+    // A fresh run builds everything from flags; a resumed run rebuilds
+    // everything from the checkpoint (system, configuration, policy and
+    // its cross-invocation state all come from the snapshot — scheduler
+    // flags are not consulted).
+    let resume = match args.get("resume") {
+        Some(path) => Some(read_checkpoint(path)?),
+        None => None,
+    };
+
     let path = args.require("events")?;
     let reader: Box<dyn BufRead> = if path == "-" {
         Box::new(std::io::stdin().lock())
@@ -425,33 +582,96 @@ fn cmd_replay(args: &Args) -> Result<(), CliError> {
     let stdout = std::io::stdout();
     let mut stream = DecisionStream { out: std::io::BufWriter::new(stdout.lock()), io_error: None };
     {
-        let mut replayer = Replayer::new(&profile.system, cfg, kind.build(ga), vec![&mut stream])
-            .map_err(|e| CliError::Run(e.to_string()))?;
-        let mut events = 0usize;
+        let (mut replayer, kind, ga, skip) = match resume {
+            Some(ckpt) => {
+                let policy = ckpt.policy.build(ckpt.ga);
+                let skip = ckpt.replay.events_fed;
+                let replayer = Replayer::restore(ckpt.replay, policy, vec![&mut stream])
+                    .map_err(|e| CliError::Run(format!("cannot resume: {e}")))?;
+                eprintln!("resumed from checkpoint at event {skip}");
+                (replayer, ckpt.policy, ckpt.ga, skip)
+            }
+            None => {
+                let scale: f64 = args.get_parsed("scale", 0.05)?;
+                let machine = parse_machine(args.get_or("machine", "theta"))?;
+                let profile = if (scale - 1.0).abs() < f64::EPSILON {
+                    machine
+                } else {
+                    machine.scaled(scale)
+                };
+                let kind = parse_policy(args.get_or("policy", "BBSched"))?;
+                let cfg = sim_config(args, &profile)?.sched();
+                let ga = GaParams {
+                    generations: args.get_parsed("gens", 500usize)?,
+                    base_seed: args.get_parsed("seed", 7u64)?,
+                    threads: parse_threads(args)?,
+                    ..GaParams::default()
+                };
+                let replayer =
+                    Replayer::new(&profile.system, cfg, kind.build(ga), vec![&mut stream])
+                        .map_err(|e| CliError::Run(e.to_string()))?;
+                (replayer, kind, ga, 0)
+            }
+        };
+
+        let mut events = 0u64; // events seen in the stream, fed or skipped
+        let mut stopped = false;
         for (n, line) in reader.lines().enumerate() {
             let line = line.map_err(|e| CliError::Input(format!("{path} line {}: {e}", n + 1)))?;
             if line.trim().is_empty() {
                 continue;
+            }
+            events += 1;
+            if events <= skip {
+                continue; // already applied before the checkpoint
             }
             let event = JobEvent::parse(&line)
                 .map_err(|e| CliError::Input(format!("{path} line {}: {e}", n + 1)))?;
             replayer
                 .feed(event)
                 .map_err(|e| CliError::Run(format!("{path} line {}: {e}", n + 1)))?;
-            events += 1;
+            if let (Some(every), Some(ckpt_path)) = (checkpoint_every, checkpoint_path) {
+                if replayer.events_fed() % every == 0 {
+                    let ckpt = ReplayCheckpoint { replay: replayer.snapshot(), policy: kind, ga };
+                    write_checkpoint(ckpt_path, &ckpt)?;
+                }
+            }
+            if stop_after.is_some_and(|limit| replayer.events_fed() >= limit) {
+                stopped = true;
+                break;
+            }
         }
-        let summary = replayer.finish().map_err(|e| CliError::Run(e.to_string()))?;
-        eprintln!(
-            "replayed {events} events: {} jobs ({} clamped), {} finishes, {} invocations, \
-             makespan {:.1} s, left {} waiting / {} running",
-            summary.jobs,
-            summary.clamped_jobs,
-            summary.finishes,
-            summary.invocations,
-            summary.makespan,
-            summary.left_waiting,
-            summary.left_running
-        );
+
+        if stopped {
+            // Stop *without* flushing the pending batch: the continuation
+            // (via --resume) owns every decision from here on, so the
+            // concatenated decision streams of the two processes equal
+            // the uninterrupted run byte for byte.
+            if let Some(ckpt_path) = checkpoint_path {
+                let ckpt = ReplayCheckpoint { replay: replayer.snapshot(), policy: kind, ga };
+                write_checkpoint(ckpt_path, &ckpt)?;
+                eprintln!(
+                    "stopped after {} events; checkpoint written to {ckpt_path}",
+                    replayer.events_fed()
+                );
+            } else {
+                eprintln!("stopped after {} events", replayer.events_fed());
+            }
+        } else {
+            let fed = replayer.events_fed();
+            let summary = replayer.finish().map_err(|e| CliError::Run(e.to_string()))?;
+            eprintln!(
+                "replayed {fed} events ({skip} skipped): {} jobs ({} clamped), {} finishes, \
+                 {} invocations, makespan {:.1} s, left {} waiting / {} running",
+                summary.jobs,
+                summary.clamped_jobs,
+                summary.finishes,
+                summary.invocations,
+                summary.makespan,
+                summary.left_waiting,
+                summary.left_running
+            );
+        }
     }
     stream.out.flush().ok();
     if let Some(e) = stream.io_error {
@@ -717,6 +937,35 @@ mod tests {
         ])
         .unwrap();
         run(&args).unwrap();
+    }
+
+    #[test]
+    fn compare_forks_mid_trace() {
+        let args = Args::parse([
+            "compare",
+            "--machine",
+            "theta",
+            "--jobs",
+            "40",
+            "--scale",
+            "0.02",
+            "--gens",
+            "20",
+            "--threads",
+            "2",
+            "--fork-at",
+            "5000",
+        ])
+        .unwrap();
+        run(&args).unwrap();
+
+        // --warm-policy without --fork-at, and bad fork times, are usage
+        // errors.
+        let args =
+            Args::parse(["compare", "--machine", "theta", "--warm-policy", "Baseline"]).unwrap();
+        assert!(matches!(run(&args), Err(CliError::Usage(_))));
+        let args = Args::parse(["compare", "--machine", "theta", "--fork-at", "-3"]).unwrap();
+        assert!(matches!(run(&args), Err(CliError::Usage(_))));
     }
 
     #[test]

@@ -95,6 +95,20 @@ impl StarvationTracker {
     pub fn is_empty(&self) -> bool {
         self.passes.is_empty()
     }
+
+    /// The tracked `(job id, passes)` pairs sorted by job id: a canonical,
+    /// order-independent export of the tracker's state for snapshotting.
+    pub fn entries(&self) -> Vec<(u64, u32)> {
+        let mut out: Vec<(u64, u32)> = self.passes.iter().map(|(&id, &p)| (id, p)).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Rebuilds a tracker from exported [`StarvationTracker::entries`].
+    /// Later duplicates of a job id overwrite earlier ones.
+    pub fn from_entries(entries: &[(u64, u32)]) -> Self {
+        Self { passes: entries.iter().copied().collect() }
+    }
 }
 
 /// Builds the scheduling window from a priority-ordered queue, honouring
@@ -163,6 +177,19 @@ mod tests {
         t.forget(9);
         assert_eq!(t.passes(9), 0);
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn entries_roundtrip_is_canonical() {
+        let mut t = StarvationTracker::new();
+        t.observe(&[9, 4, 7], &[]);
+        t.observe(&[9, 4], &[]);
+        let entries = t.entries();
+        assert_eq!(entries, vec![(4, 2), (7, 1), (9, 2)]);
+        let back = StarvationTracker::from_entries(&entries);
+        assert_eq!(back.entries(), entries);
+        assert_eq!(back.passes(4), 2);
+        assert_eq!(back.passes(7), 1);
     }
 
     #[test]

@@ -14,20 +14,27 @@ use std::path::Path;
 
 /// Linear-interpolated percentile of `values` (p in `[0, 100]`).
 ///
-/// Returns `None` for an empty slice.
+/// NaN samples carry no order information and are dropped before
+/// ranking; the percentile is computed over the finite-ordered remainder.
+/// Returns `None` for an empty slice or when every sample is NaN.
 ///
 /// # Panics
-/// Panics if `p` is outside `[0, 100]` or values contain NaN.
+/// Panics if `p` is outside `[0, 100]`.
 pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
     assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
-    if values.is_empty() {
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+    if sorted.is_empty() {
         return None;
     }
-    let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    sorted.sort_by(f64::total_cmp);
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
+    if lo == hi {
+        // Exact rank: no interpolation (which would produce NaN for
+        // infinite samples via `inf - inf`).
+        return Some(sorted[lo]);
+    }
     let frac = rank - lo as f64;
     Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
 }
@@ -177,6 +184,26 @@ mod tests {
         let v = [0.0, 10.0];
         assert_eq!(percentile(&v, 50.0), Some(5.0));
         assert_eq!(percentile(&v, 75.0), Some(7.5));
+    }
+
+    /// Regression: NaN samples used to panic inside the sort comparator.
+    /// They are now filtered explicitly, and an all-NaN input propagates
+    /// `None` instead of crashing the metrics path.
+    #[test]
+    fn percentile_handles_nan_without_panicking() {
+        let v = [3.0, f64::NAN, 1.0, 2.0, f64::NAN];
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 50.0), Some(2.0));
+        assert_eq!(percentile(&v, 100.0), Some(3.0));
+        assert_eq!(percentile(&[f64::NAN, f64::NAN], 50.0), None);
+        // Infinities are ordered values, not dropped.
+        assert_eq!(
+            percentile(&[f64::NEG_INFINITY, 0.0, f64::INFINITY], 0.0),
+            Some(f64::NEG_INFINITY)
+        );
+        // DistributionStats rides the same path.
+        let s = DistributionStats::from_values(&[f64::NAN, 4.0, 2.0]);
+        assert_eq!(s.p50, 3.0);
     }
 
     #[test]

@@ -74,6 +74,21 @@ impl SelectionPolicy for AdaptiveBbschedPolicy {
         let mut inner = BbschedPolicy::new(self.ga).with_tradeoff_factor(factor);
         inner.select(window, avail, invocation)
     }
+
+    fn snapshot_state(&self) -> Option<serde::Value> {
+        self.ewma.map(|e| serde::Value::Map(vec![(String::from("ewma"), serde::Value::F64(e))]))
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), String> {
+        let entries = state.as_map().ok_or("adaptive policy state must be a map")?;
+        match entries.iter().find(|(k, _)| k == "ewma").map(|(_, v)| v) {
+            Some(serde::Value::F64(e)) if e.is_finite() => {
+                self.ewma = Some(*e);
+                Ok(())
+            }
+            other => Err(format!("adaptive policy state needs a finite `ewma`, got {other:?}")),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -145,6 +160,18 @@ mod tests {
             let sel = p.select(&window, &avail, inv);
             assert!(selection_is_feasible(&window, &avail, &sel), "{sel:?}");
         }
+    }
+
+    #[test]
+    fn ewma_state_roundtrips_through_snapshot() {
+        let mut p = AdaptiveBbschedPolicy::new(ga());
+        assert!(p.snapshot_state().is_none(), "fresh policy has no state");
+        assert!(p.restore_state(&serde::Value::Null).is_err());
+        let _ = p.adapt(&PoolState::cpu_bb(100, 100_000.0));
+        let state = p.snapshot_state().expect("adapted policy exports its EWMA");
+        let mut q = AdaptiveBbschedPolicy::new(ga());
+        q.restore_state(&state).unwrap();
+        assert_eq!(q.current_factor(), p.current_factor());
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub use weighted::{WeightProfile, WeightedPolicy};
 
 use bbsched_core::pools::PoolState;
 use bbsched_core::problem::JobDemand;
+use serde::{Deserialize, Serialize, Value};
 
 /// A multi-resource window-selection policy.
 ///
@@ -72,12 +73,32 @@ pub trait SelectionPolicy: Send {
     /// Chooses which window jobs start now. Returns ascending window
     /// indices.
     fn select(&mut self, window: &[JobDemand], avail: &PoolState, invocation: u64) -> Vec<usize>;
+
+    /// State this policy carries *across* invocations, as a serde value
+    /// tree, or `None` when there is none. The roster policies are
+    /// stateless between calls (their per-call seed is derived from
+    /// `base_seed` and the invocation counter), so the default is `None`;
+    /// policies with persistent state (e.g. an EWMA) override both this
+    /// and [`SelectionPolicy::restore_state`].
+    fn snapshot_state(&self) -> Option<Value> {
+        None
+    }
+
+    /// Injects state previously exported by
+    /// [`SelectionPolicy::snapshot_state`]. Returns a message when the
+    /// value is not state this policy understands. The default accepts
+    /// nothing — a stateless policy restored with leftover state from a
+    /// stateful one is a caller bug worth diagnosing.
+    fn restore_state(&mut self, state: &Value) -> Result<(), String> {
+        let _ = state;
+        Err(format!("policy `{}` carries no cross-invocation state", self.name()))
+    }
 }
 
 /// Shared hyper-parameters for the GA-backed policies (weighted,
 /// constrained, BBSched). Defaults match §4.3: `G = 500`, `P = 20`,
 /// `p_m = 0.05 %`.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct GaParams {
     /// Population size `P`.
     pub population: usize,

@@ -14,9 +14,11 @@
 //! every use, which [`crate::backfill`] now avoids by iterating
 //! [`AllocLedger::release_order`] directly.
 
+use crate::error::SchedError;
 use crate::idhash::BuildIdHasher;
 use bbsched_core::pools::{NodeAssignment, PoolState};
 use bbsched_core::problem::JobDemand;
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
 /// Slack tolerated in floating-point conservation checks (GB / nodes).
@@ -31,7 +33,7 @@ const DELTA_LOG_CAP: usize = 4_096;
 /// One mutation of the running set, as replayed by incremental consumers
 /// (the conservative-backfill availability profile keeps a sorted mirror
 /// of the release order up to date by applying these).
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub enum LedgerDelta {
     /// Job `idx` started and holds `entry`.
     Start {
@@ -51,7 +53,7 @@ pub enum LedgerDelta {
 }
 
 /// One running job's ledger entry.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct RunningJob {
     /// Estimated completion (`start + walltime`) — what a production
     /// scheduler would plan with.
@@ -196,15 +198,27 @@ impl AllocLedger {
     ///
     /// # Panics
     /// Panics if `idx` is not running (a finish event for a job the ledger
-    /// never started would silently corrupt the pool otherwise).
+    /// never started would silently corrupt the pool otherwise). Restore
+    /// paths, where "not running" means a corrupt snapshot rather than a
+    /// driver bug, use [`AllocLedger::try_finish`] instead.
     pub fn finish(&mut self, idx: usize) -> RunningJob {
-        let entry = self.running.remove(&idx).expect("finish for job not running");
+        self.try_finish(idx).expect("finish for job not running")
+    }
+
+    /// Frees job `idx`'s allocation, returning its ledger entry, or a
+    /// [`SchedError::CorruptSnapshot`] when `idx` is not running — the
+    /// fallible twin of [`AllocLedger::finish`] for paths fed by
+    /// deserialized state instead of a live driver.
+    pub fn try_finish(&mut self, idx: usize) -> Result<RunningJob, SchedError> {
+        let entry = self.running.remove(&idx).ok_or_else(|| {
+            SchedError::CorruptSnapshot(format!("finish for job index {idx}, which is not running"))
+        })?;
         self.by_est_end.remove(&(OrdTime(entry.est_end), idx));
         self.pool.free(&entry.demand, entry.assignment);
         self.frees += 1;
         self.push_delta(LedgerDelta::Finish { idx, est_end: entry.est_end });
         self.debug_check();
-        entry
+        Ok(entry)
     }
 
     /// Running jobs in `(est_end, index)` order — the deterministic
@@ -256,6 +270,92 @@ impl AllocLedger {
         #[cfg(debug_assertions)]
         self.assert_conserved();
     }
+
+    /// Extracts the ledger's owned state: the free pool **bit-exact** (it
+    /// is serialized, not recomputed, so a restored run continues with the
+    /// same floating-point values the interrupted run held), capacity,
+    /// the running set in release order, the churn counters, and the
+    /// delta log with its generation window.
+    pub fn snapshot(&self) -> LedgerState {
+        LedgerState {
+            pool: self.pool,
+            capacity: self.capacity,
+            running: self.release_order().map(|(idx, r)| (idx, *r)).collect(),
+            allocs: self.allocs,
+            frees: self.frees,
+            generation: self.generation,
+            log: self.log.iter().copied().collect(),
+            log_floor: self.log_floor,
+        }
+    }
+
+    /// Rebuilds a ledger from extracted state, validating internal
+    /// consistency: duplicate running indices, conservation violations,
+    /// and a delta log that disagrees with its generation window all fail
+    /// with a typed [`SchedError::CorruptSnapshot`] instead of corrupting
+    /// the pool or panicking later.
+    pub fn restore(state: LedgerState) -> Result<Self, SchedError> {
+        let mut running: HashMap<usize, RunningJob, BuildIdHasher> = HashMap::default();
+        let mut by_est_end = BTreeSet::new();
+        for &(idx, entry) in &state.running {
+            if running.insert(idx, entry).is_some() {
+                return Err(SchedError::CorruptSnapshot(format!(
+                    "job index {idx} appears twice in the running set"
+                )));
+            }
+            by_est_end.insert((OrdTime(entry.est_end), idx));
+        }
+        if state.log.len() as u64 != state.generation.wrapping_sub(state.log_floor) {
+            return Err(SchedError::CorruptSnapshot(format!(
+                "delta log holds {} entries but generations {}..{} are claimed",
+                state.log.len(),
+                state.log_floor,
+                state.generation
+            )));
+        }
+        let ledger = Self {
+            pool: state.pool,
+            capacity: state.capacity,
+            running,
+            by_est_end,
+            allocs: state.allocs,
+            frees: state.frees,
+            generation: state.generation,
+            log: state.log.into(),
+            log_floor: state.log_floor,
+        };
+        for r in 0..ledger.pool.num_resources() {
+            let free = ledger.pool.free_of(r);
+            let cap = ledger.capacity.free_of(r);
+            if !(free >= -CONSERVE_EPS && free <= cap + CONSERVE_EPS) {
+                return Err(SchedError::CorruptSnapshot(format!(
+                    "resource {r} free {free} outside [0, {cap}]"
+                )));
+            }
+        }
+        Ok(ledger)
+    }
+}
+
+/// Owned state of an [`AllocLedger`] (see [`AllocLedger::snapshot`]).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LedgerState {
+    /// The free pool, bit-exact as held at snapshot time.
+    pub pool: PoolState,
+    /// Full machine capacity (the conservation bound).
+    pub capacity: PoolState,
+    /// Running entries as `(job index, entry)` in release order.
+    pub running: Vec<(usize, RunningJob)>,
+    /// Total allocations performed.
+    pub allocs: u64,
+    /// Total frees performed.
+    pub frees: u64,
+    /// Mutation generation at snapshot time.
+    pub generation: u64,
+    /// Retained delta log, oldest first.
+    pub log: Vec<LedgerDelta>,
+    /// Generation just before the front log entry was applied.
+    pub log_floor: u64,
 }
 
 #[cfg(test)]
@@ -348,6 +448,56 @@ mod tests {
         assert!(ledger.deltas_since(g0).is_none(), "ancient generation must force a resync");
         let recent = ledger.generation() - 8;
         assert_eq!(ledger.deltas_since(recent).unwrap().count(), 8);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips_and_continues() {
+        let mut ledger = AllocLedger::new(PoolState::cpu_bb(10, 100.0));
+        let d = JobDemand::cpu_bb(2, 10.0);
+        ledger.start(3, d, 30.0);
+        ledger.start(1, d, 10.0);
+        ledger.finish(1);
+
+        let state = ledger.snapshot();
+        let json = serde_json::to_string(&state).unwrap();
+        let back: LedgerState = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, state);
+        let mut restored = AllocLedger::restore(back).unwrap();
+
+        assert_eq!(restored.generation(), ledger.generation());
+        assert_eq!(restored.churn(), ledger.churn());
+        assert_eq!(restored.release_schedule(), ledger.release_schedule());
+        assert_eq!(restored.pool().nodes(), ledger.pool().nodes());
+        assert_eq!(restored.pool().bb_gb().to_bits(), ledger.pool().bb_gb().to_bits());
+        // Continues exactly like the original.
+        restored.finish(3);
+        ledger.finish(3);
+        restored.assert_drained();
+        ledger.assert_drained();
+    }
+
+    #[test]
+    fn corrupt_snapshots_fail_typed() {
+        let mut ledger = AllocLedger::new(PoolState::cpu_bb(10, 100.0));
+        ledger.start(0, JobDemand::cpu_bb(2, 10.0), 5.0);
+        let good = ledger.snapshot();
+
+        let mut dup = good.clone();
+        dup.running.push(dup.running[0]);
+        assert!(matches!(AllocLedger::restore(dup), Err(SchedError::CorruptSnapshot(_))));
+
+        let mut torn_log = good.clone();
+        torn_log.log_floor += 1;
+        assert!(matches!(AllocLedger::restore(torn_log), Err(SchedError::CorruptSnapshot(_))));
+
+        let mut leaked = good.clone();
+        leaked.pool.set_free_nodes(99);
+        assert!(matches!(AllocLedger::restore(leaked), Err(SchedError::CorruptSnapshot(_))));
+
+        // And try_finish on a job that is not running is a typed error.
+        let mut restored = AllocLedger::restore(good).unwrap();
+        assert!(matches!(restored.try_finish(7), Err(SchedError::CorruptSnapshot(_))));
+        assert!(restored.try_finish(0).is_ok());
     }
 
     #[test]

@@ -40,8 +40,10 @@
 //!   and the scan short-circuits as soon as the suffix minimum fits.
 
 use crate::alloc::{AllocLedger, LedgerDelta, RunningJob};
+use crate::error::SchedError;
 use bbsched_core::pools::{NodeAssignment, PoolState};
 use bbsched_core::problem::JobDemand;
+use serde::{Deserialize, Serialize};
 
 /// Tolerance for "finishes before the shadow time" comparisons.
 pub(crate) const TIME_EPS: f64 = 1e-6;
@@ -199,6 +201,30 @@ pub trait BackfillStrategy: Send {
 
     /// Runs one backfill pass.
     fn pass(&mut self, ctx: &mut BackfillCtx<'_, '_>);
+
+    /// State this strategy carries across invocations as a serde value
+    /// tree, or `None` when it is stateless (EASY, the rebuild-per-pass
+    /// reference). Stateful strategies override this together with
+    /// [`BackfillStrategy::restore_state`].
+    fn snapshot_state(&self) -> Option<serde::Value> {
+        None
+    }
+
+    /// Injects state exported by [`BackfillStrategy::snapshot_state`],
+    /// validating it against the restored `ledger`. The default accepts
+    /// nothing — handing persistent state to a stateless strategy is a
+    /// corrupt snapshot worth diagnosing.
+    fn restore_state(
+        &mut self,
+        state: &serde::Value,
+        ledger: &AllocLedger,
+    ) -> Result<(), SchedError> {
+        let _ = (state, ledger);
+        Err(SchedError::CorruptSnapshot(format!(
+            "backfill strategy `{}` carries no cross-invocation state",
+            self.name()
+        )))
+    }
 }
 
 /// EASY backfilling (§2.1, the paper's choice): reserve for the first
@@ -286,9 +312,47 @@ pub struct ConservativeBackfill {
     ordered: Vec<usize>,
 }
 
+impl ConservativeBackfill {
+    /// Extracts the strategy's owned cross-invocation state: the release
+    /// mirror and the persistent availability profile (with its skyline
+    /// watermark). The per-pass candidate ordering is scratch and is not
+    /// part of the state.
+    pub fn snapshot(&self) -> ConservativeState {
+        ConservativeState { mirror: self.mirror.snapshot(), profile: self.profile.snapshot() }
+    }
+
+    /// Rebuilds the strategy from extracted state, validating the mirror
+    /// against the restored `ledger` (see [`ReleaseMirror::restore`]) and
+    /// the profile's shape. Corrupt state fails with a typed
+    /// [`SchedError::CorruptSnapshot`] instead of panicking mid-pass.
+    pub fn restore(state: ConservativeState, ledger: &AllocLedger) -> Result<Self, SchedError> {
+        Ok(Self {
+            mirror: ReleaseMirror::restore(state.mirror, ledger)?,
+            profile: AvailabilityProfile::restore(state.profile)?,
+            ordered: Vec::new(),
+        })
+    }
+}
+
 impl BackfillStrategy for ConservativeBackfill {
     fn name(&self) -> &'static str {
         "conservative"
+    }
+
+    fn snapshot_state(&self) -> Option<serde::Value> {
+        Some(serde::Serialize::to_value(&self.snapshot()))
+    }
+
+    fn restore_state(
+        &mut self,
+        state: &serde::Value,
+        ledger: &AllocLedger,
+    ) -> Result<(), SchedError> {
+        let state: ConservativeState = serde::Deserialize::from_value(state).map_err(|e| {
+            SchedError::CorruptSnapshot(format!("conservative backfill state: {e}"))
+        })?;
+        *self = Self::restore(state, ledger)?;
+        Ok(())
     }
 
     fn pass(&mut self, ctx: &mut BackfillCtx<'_, '_>) {
@@ -378,26 +442,31 @@ impl ReleaseMirror {
         let applied = match self.synced {
             Some(gen) => match ledger.deltas_since(gen) {
                 Some(deltas) => {
+                    let mut ok = true;
                     for delta in deltas {
                         match *delta {
                             LedgerDelta::Start { idx, entry } => self.insert(idx, &entry),
-                            LedgerDelta::Finish { idx, est_end } => self.remove(idx, est_end),
+                            LedgerDelta::Finish { idx, est_end } => {
+                                if self.remove(idx, est_end).is_err() {
+                                    // Desynchronized mirror (a finish for a
+                                    // release it never saw): self-heal with
+                                    // a full resync. Restore paths surface
+                                    // this as a typed error instead — see
+                                    // [`ConservativeBackfill::restore`].
+                                    ok = false;
+                                    break;
+                                }
+                            }
                         }
                     }
-                    true
+                    ok
                 }
                 None => false,
             },
             None => false,
         };
         if !applied {
-            self.releases.clear();
-            self.releases.extend(ledger.release_order().map(|(idx, r)| Release {
-                est_end: r.est_end,
-                idx,
-                demand: r.demand,
-                asn: r.assignment,
-            }));
+            self.resync_from(ledger);
         }
         self.synced = Some(ledger.generation());
         debug_assert!(
@@ -421,12 +490,100 @@ impl ReleaseMirror {
         );
     }
 
-    fn remove(&mut self, idx: usize, est_end: f64) {
+    fn remove(&mut self, idx: usize, est_end: f64) -> Result<(), SchedError> {
         let pos = self
             .releases
             .binary_search_by(|r| r.est_end.total_cmp(&est_end).then(r.idx.cmp(&idx)))
-            .expect("mirror finish for a release it never saw");
+            .map_err(|_| {
+                SchedError::CorruptSnapshot(format!(
+                    "mirror finish for job index {idx} (est_end {est_end}), which it never saw"
+                ))
+            })?;
         self.releases.remove(pos);
+        Ok(())
+    }
+
+    /// Rebuilds the mirror wholesale from the ledger's release order.
+    fn resync_from(&mut self, ledger: &AllocLedger) {
+        self.releases.clear();
+        self.releases.extend(ledger.release_order().map(|(idx, r)| Release {
+            est_end: r.est_end,
+            idx,
+            demand: r.demand,
+            asn: r.assignment,
+        }));
+    }
+
+    /// Extracts the mirror's owned state: the sorted releases and the
+    /// ledger generation they reflect.
+    pub fn snapshot(&self) -> MirrorState {
+        MirrorState {
+            releases: self.releases.iter().map(|r| (r.est_end, r.idx, r.demand, r.asn)).collect(),
+            synced: self.synced,
+        }
+    }
+
+    /// Rebuilds a mirror from extracted state, *verbatim*, and validates
+    /// it against the restored `ledger`: releases must be strictly
+    /// `(est_end, index)` sorted, and replaying the ledger's deltas from
+    /// the mirrored generation (on a probe copy — the restored mirror
+    /// keeps its recorded lag, so restore is a fixed point of
+    /// [`ReleaseMirror::snapshot`]) must land exactly on the ledger's
+    /// release order. A mirror that desynchronizes during that replay —
+    /// the condition the live path self-heals by resyncing — is reported
+    /// here as a typed [`SchedError::CorruptSnapshot`] instead.
+    pub fn restore(state: MirrorState, ledger: &AllocLedger) -> Result<Self, SchedError> {
+        let releases: Vec<Release> = state
+            .releases
+            .iter()
+            .map(|&(est_end, idx, demand, asn)| Release { est_end, idx, demand, asn })
+            .collect();
+        for w in releases.windows(2) {
+            if !w[0].est_end.total_cmp(&w[1].est_end).then(w[0].idx.cmp(&w[1].idx)).is_lt() {
+                return Err(SchedError::CorruptSnapshot(format!(
+                    "mirror releases out of (est_end, index) order at job index {}",
+                    w[1].idx
+                )));
+            }
+        }
+        let mirror = Self { releases, synced: state.synced };
+        // Strict replay on a probe copy: every delta must apply cleanly
+        // and the result must equal the ledger's live release order. A
+        // truncated delta log leaves nothing to verify incrementally (the
+        // next pass will full-resync, exactly as the uninterrupted run
+        // would have).
+        let mut probe = mirror.clone();
+        match probe.synced {
+            Some(gen) => {
+                if let Some(deltas) = ledger.deltas_since(gen) {
+                    for delta in deltas {
+                        match *delta {
+                            LedgerDelta::Start { idx, entry } => probe.insert(idx, &entry),
+                            LedgerDelta::Finish { idx, est_end } => probe.remove(idx, est_end)?,
+                        }
+                    }
+                    if probe.releases.len() != ledger.running_count()
+                        || !probe
+                            .releases
+                            .iter()
+                            .zip(ledger.release_order())
+                            .all(|(m, (idx, r))| m.idx == idx && m.est_end == r.est_end)
+                    {
+                        return Err(SchedError::CorruptSnapshot(
+                            "mirror disagrees with the ledger's release order".into(),
+                        ));
+                    }
+                }
+            }
+            None => {
+                if !mirror.releases.is_empty() {
+                    return Err(SchedError::CorruptSnapshot(
+                        "mirror holds releases but records no synced generation".into(),
+                    ));
+                }
+            }
+        }
+        Ok(mirror)
     }
 
     /// Refolds `profile` in place from the mirrored releases: origin at
@@ -705,6 +862,60 @@ impl AvailabilityProfile {
         self.skyline_clean_from = dirty_end;
     }
 
+    /// Extracts the profile's owned state: boundaries, per-segment states,
+    /// and the skyline watermark. The skyline values themselves are an
+    /// index and are rebuilt on restore; entries at or beyond the
+    /// watermark come out identical to the maintained ones (they are
+    /// suffix minima over unmutated segments), and entries below it are
+    /// never read, so queries answer exactly as the original would have.
+    pub fn snapshot(&self) -> ProfileState {
+        ProfileState {
+            times: self.times.clone(),
+            states: self.states.clone(),
+            skyline_clean_from: self.skyline_clean_from,
+        }
+    }
+
+    /// Rebuilds a profile from extracted state, validating shape: equal
+    /// `times`/`states` lengths, strictly increasing finite boundaries,
+    /// and a watermark within range.
+    pub fn restore(state: ProfileState) -> Result<Self, SchedError> {
+        if state.times.is_empty() && state.states.is_empty() && state.skyline_clean_from == 0 {
+            // A never-folded profile (fresh strategy, no pass yet).
+            return Ok(Self::default());
+        }
+        if state.times.is_empty() || state.times.len() != state.states.len() {
+            return Err(SchedError::CorruptSnapshot(format!(
+                "profile has {} boundaries for {} states",
+                state.times.len(),
+                state.states.len()
+            )));
+        }
+        if state.times.iter().any(|t| !t.is_finite())
+            || state.times.windows(2).any(|w| w[0] >= w[1])
+        {
+            return Err(SchedError::CorruptSnapshot(
+                "profile boundaries must be finite and strictly increasing".into(),
+            ));
+        }
+        if state.skyline_clean_from > state.times.len() {
+            return Err(SchedError::CorruptSnapshot(format!(
+                "profile skyline watermark {} exceeds {} segments",
+                state.skyline_clean_from,
+                state.times.len()
+            )));
+        }
+        let mut profile = Self {
+            times: state.times,
+            states: state.states,
+            skyline: Vec::new(),
+            skyline_clean_from: 0,
+        };
+        profile.rebuild_skyline();
+        profile.skyline_clean_from = state.skyline_clean_from;
+        Ok(profile)
+    }
+
     /// Ensures `t` is a breakpoint (no-op if it already is or precedes the
     /// origin; infinite times are ignored).
     fn split_at(&mut self, t: f64) {
@@ -735,6 +946,43 @@ impl AvailabilityProfile {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Owned state types for the snapshot/restore contract (DESIGN.md §12).
+// ---------------------------------------------------------------------------
+
+/// Owned state of a [`ReleaseMirror`] (see [`ReleaseMirror::snapshot`]):
+/// the `(est_end, index, demand, assignment)` releases in sorted order and
+/// the ledger generation they reflect.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MirrorState {
+    /// Mirrored releases, `(est_end, index)`-sorted.
+    pub releases: Vec<(f64, usize, JobDemand, NodeAssignment)>,
+    /// Ledger generation the releases reflect (`None` before first sync).
+    pub synced: Option<u64>,
+}
+
+/// Owned state of an [`AvailabilityProfile`] (see
+/// [`AvailabilityProfile::snapshot`]).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProfileState {
+    /// Segment boundaries, strictly increasing; `times[0]` is the origin.
+    pub times: Vec<f64>,
+    /// Free state on `[times[i], times[i+1])`.
+    pub states: Vec<PoolState>,
+    /// Skyline validity watermark: suffix-minima entries before this index
+    /// are invalidated by reservation carvings.
+    pub skyline_clean_from: usize,
+}
+
+/// Owned cross-invocation state of a [`ConservativeBackfill`] strategy.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ConservativeState {
+    /// The persistent release mirror.
+    pub mirror: MirrorState,
+    /// The persistent availability profile.
+    pub profile: ProfileState,
 }
 
 #[cfg(test)]
@@ -895,6 +1143,108 @@ mod tests {
         mirror.fold_into(12.0, *ledger.pool(), &mut profile);
         let fresh = AvailabilityProfile::new(12.0, *ledger.pool(), ledger.release_schedule());
         assert_eq!(profile, fresh);
+    }
+
+    #[test]
+    fn conservative_state_roundtrips_against_ledger() {
+        let mut ledger = AllocLedger::new(PoolState::cpu_bb(64, 500.0));
+        let mut strat = ConservativeBackfill::default();
+        ledger.start(0, d(8, 120.0), 90.0);
+        ledger.start(1, d(16, 0.0), 30.0);
+        strat.mirror.sync(&ledger);
+        strat.mirror.fold_into(5.0, *ledger.pool(), &mut strat.profile);
+        strat.profile.reserve(&d(40, 0.0), 30.0, 20.0);
+
+        let state = strat.snapshot();
+        let json = serde_json::to_string(&state).unwrap();
+        let back: ConservativeState = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, state);
+
+        let restored = ConservativeBackfill::restore(back, &ledger).unwrap();
+        assert_eq!(restored.profile, strat.profile);
+        assert_eq!(
+            restored.profile.snapshot().skyline_clean_from,
+            strat.profile.skyline_clean_from
+        );
+        assert_eq!(restored.mirror.snapshot().releases, strat.mirror.snapshot().releases);
+
+        // The mirror keeps tracking the ledger after restore.
+        let mut restored = restored;
+        ledger.finish(1);
+        restored.mirror.sync(&ledger);
+        assert_eq!(restored.mirror.len(), 1);
+    }
+
+    #[test]
+    fn mirror_restore_lagging_behind_ledger_replays_deltas() {
+        let mut ledger = AllocLedger::new(PoolState::cpu_bb(64, 0.0));
+        let mut mirror = ReleaseMirror::new();
+        ledger.start(0, d(8, 0.0), 90.0);
+        mirror.sync(&ledger);
+        let state = mirror.snapshot();
+        // Ledger moves on after the snapshot (as happens when backfill
+        // starts jobs after the pass-start sync): restore validates by
+        // replaying the deltas on a probe, but keeps the recorded lag so
+        // it is a fixed point of snapshot.
+        ledger.start(1, d(4, 0.0), 30.0);
+        ledger.finish(0);
+        let mut restored = ReleaseMirror::restore(state.clone(), &ledger).unwrap();
+        assert_eq!(restored.snapshot(), state, "restore preserves the recorded lag verbatim");
+        // The next live sync applies the same deltas the probe verified.
+        restored.sync(&ledger);
+        assert_eq!(restored.len(), 1);
+        assert_eq!(restored.snapshot().synced, Some(ledger.generation()));
+    }
+
+    #[test]
+    fn corrupt_backfill_state_fails_typed() {
+        let mut ledger = AllocLedger::new(PoolState::cpu_bb(64, 0.0));
+        ledger.start(0, d(8, 0.0), 90.0);
+        let mut mirror = ReleaseMirror::new();
+        mirror.sync(&ledger);
+        let good = mirror.snapshot();
+
+        // Unsorted releases.
+        let mut unsorted = good.clone();
+        unsorted.releases.push(unsorted.releases[0]);
+        assert!(matches!(
+            ReleaseMirror::restore(unsorted, &ledger),
+            Err(SchedError::CorruptSnapshot(_))
+        ));
+
+        // A mirrored release the ledger's delta replay then contradicts:
+        // claim sync at the current generation but with bogus content.
+        let mut bogus = good.clone();
+        bogus.releases[0].0 = 123.0;
+        assert!(matches!(
+            ReleaseMirror::restore(bogus, &ledger),
+            Err(SchedError::CorruptSnapshot(_))
+        ));
+
+        // Deltas that finish a release the mirror never saw.
+        let empty = MirrorState { releases: Vec::new(), synced: Some(ledger.generation()) };
+        ledger.finish(0);
+        assert!(matches!(
+            ReleaseMirror::restore(empty, &ledger),
+            Err(SchedError::CorruptSnapshot(_))
+        ));
+
+        // Malformed profile shapes.
+        let torn = ProfileState {
+            times: vec![0.0, 10.0],
+            states: vec![PoolState::cpu_bb(1, 0.0)],
+            skyline_clean_from: 0,
+        };
+        assert!(matches!(AvailabilityProfile::restore(torn), Err(SchedError::CorruptSnapshot(_))));
+        let unordered = ProfileState {
+            times: vec![10.0, 0.0],
+            states: vec![PoolState::cpu_bb(1, 0.0); 2],
+            skyline_clean_from: 0,
+        };
+        assert!(matches!(
+            AvailabilityProfile::restore(unordered),
+            Err(SchedError::CorruptSnapshot(_))
+        ));
     }
 
     #[test]

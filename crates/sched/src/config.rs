@@ -10,9 +10,10 @@
 use crate::base_sched::BaseScheduler;
 use crate::error::SchedError;
 use bbsched_core::window::WindowConfig;
+use serde::{Deserialize, Serialize};
 
 /// Configuration of the scheduler-service core.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SchedConfig {
     /// Base scheduler ordering the queue (FCFS for Cori, WFP for Theta).
     pub base: BaseScheduler,
@@ -62,7 +63,7 @@ impl Default for SchedConfig {
 /// waiting queue, clamped to `[min, max]`. Larger queues get more
 /// optimization; short queues preserve the site's order (§3.1's stated
 /// trade-off).
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct DynamicWindow {
     /// Smallest window ever used.
     pub min: usize,
@@ -107,7 +108,7 @@ impl DynamicWindow {
 }
 
 /// The backfilling discipline.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum BackfillAlgorithm {
     /// EASY (§2.1, used throughout the paper): reserve for the first
     /// blocked job only; candidates may not delay it.
@@ -154,7 +155,7 @@ impl BackfillAlgorithm {
 /// leaving job selection to the policy under study, which is the
 /// experimental design the paper's comparisons require. The scope applies
 /// identically to every method, so comparisons stay fair either way.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum BackfillScope {
     /// Only jobs inside the scheduling window may backfill.
     Window,

@@ -35,6 +35,18 @@ pub enum SchedError {
     /// [`crate::SchedCore::job_finished`] named a job that was never
     /// submitted or is not currently running.
     UnknownJob(u64),
+    /// A snapshot failed validation while being restored: internally
+    /// inconsistent state (a running job the ledger never saw, a mirror
+    /// release for no running job, demands exceeding machine capacity, …).
+    /// The message names the first inconsistency found.
+    CorruptSnapshot(String),
+    /// A snapshot was written by an incompatible wire-schema version.
+    SnapshotVersion {
+        /// Version found in the snapshot.
+        found: u32,
+        /// Version this build reads and writes.
+        expected: u32,
+    },
 }
 
 impl std::fmt::Display for SchedError {
@@ -50,6 +62,10 @@ impl std::fmt::Display for SchedError {
             SchedError::DuplicateJob(id) => write!(f, "job {id} was already submitted"),
             SchedError::UnknownJob(id) => {
                 write!(f, "job {id} is not running (never submitted, never started, or already finished)")
+            }
+            SchedError::CorruptSnapshot(msg) => write!(f, "corrupt snapshot: {msg}"),
+            SchedError::SnapshotVersion { found, expected } => {
+                write!(f, "snapshot schema version {found} is not supported (expected {expected})")
             }
         }
     }

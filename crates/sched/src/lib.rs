@@ -42,7 +42,10 @@
 //!   [`DecisionLog`] the canonical decision stream;
 //! * [`clamp`] — the capacity-clamping rule both drivers apply to
 //!   submitted demands;
-//! * [`replay`] — the online streaming driver.
+//! * [`replay`] — the online streaming driver;
+//! * [`state`] — the explicit-state contract: [`CoreSnapshot`] and the
+//!   versioned JSON wire encoding behind [`SchedCore::snapshot`],
+//!   [`SchedCore::restore`], and [`SchedCore::fork`] (DESIGN.md §12).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -61,11 +64,12 @@ pub mod queue;
 pub mod record;
 pub mod replay;
 pub mod service;
+pub mod state;
 
-pub use alloc::{AllocLedger, LedgerDelta, RunningJob};
+pub use alloc::{AllocLedger, LedgerDelta, LedgerState, RunningJob};
 pub use backfill::{
     shadow_and_leftover, AvailabilityProfile, BackfillCtx, BackfillStrategy, ConservativeBackfill,
-    EasyBackfill, ReleaseMirror,
+    ConservativeState, EasyBackfill, MirrorState, ProfileState, ReleaseMirror,
 };
 pub use base_sched::BaseScheduler;
 pub use clamp::clamp_demand;
@@ -74,7 +78,8 @@ pub use error::SchedError;
 pub use jobset::JobSet;
 pub use legacy_profile::{LegacyProfile, RebuildPerPassConservative};
 pub use observer::{DecisionLog, JobStart, Recorder, SchedObserver};
-pub use queue::QueueManager;
+pub use queue::{QueueManager, QueueState};
 pub use record::{JobRecord, SimResult, StartReason};
-pub use replay::{JobEvent, ReplayError, ReplaySummary, Replayer};
+pub use replay::{JobEvent, ReplayError, ReplaySnapshot, ReplaySummary, Replayer};
 pub use service::{Decision, SchedCore};
+pub use state::{CoreSnapshot, PolicySnapshot};

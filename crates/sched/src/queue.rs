@@ -131,6 +131,29 @@ impl QueueManager {
             self.queue.retain(|&i| !started.contains(i));
         }
     }
+
+    /// Extracts the queue's owned state: the discipline and the waiting
+    /// indices in their current order. The WFP score buffer is per-
+    /// invocation scratch and is not part of the state.
+    pub fn snapshot(&self) -> QueueState {
+        QueueState { base: self.base, queue: self.queue.clone() }
+    }
+
+    /// Rebuilds a queue from extracted state. The next
+    /// [`QueueManager::order`] call re-establishes any time-dependent
+    /// (WFP) ordering exactly as it would have mid-run.
+    pub fn restore(state: QueueState) -> Self {
+        Self { base: state.base, queue: state.queue, scores: Vec::new() }
+    }
+}
+
+/// Owned state of a [`QueueManager`] (see [`QueueManager::snapshot`]).
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct QueueState {
+    /// The ordering discipline.
+    pub base: BaseScheduler,
+    /// Waiting job indices in the order they were held.
+    pub queue: Vec<usize>,
 }
 
 #[cfg(test)]

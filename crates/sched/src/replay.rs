@@ -182,6 +182,38 @@ pub struct ReplaySummary {
     pub left_running: usize,
 }
 
+/// A checkpoint of a [`Replayer`] mid-stream: the core's complete
+/// [`crate::CoreSnapshot`] plus the driver's own position in the event stream.
+/// Serializes through the same versioned JSON conventions (the nested
+/// core snapshot carries the schema version); `cli replay` writes one
+/// with `--checkpoint` and resumes from one — in a fresh process — with
+/// `--resume`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ReplaySnapshot {
+    /// The scheduler core's complete cross-invocation state.
+    pub core: crate::state::CoreSnapshot,
+    /// The system whose capacities submits are clamped against.
+    pub system: SystemConfig,
+    /// Submits pending in the open same-instant batch.
+    pub pending_submits: Vec<Job>,
+    /// Finish ids pending in the open same-instant batch.
+    pub pending_finishes: Vec<u64>,
+    /// The open batch's instant (`None` when no batch is open).
+    pub batch_time: Option<f64>,
+    /// Latest flushed instant; `None` encodes "nothing flushed yet"
+    /// (−∞ in the live driver, which JSON cannot carry as a number).
+    pub last_flushed: Option<f64>,
+    /// Latest finish instant seen.
+    pub makespan: f64,
+    /// Finish events applied.
+    pub finishes: usize,
+    /// Submitted jobs whose demand had to be capacity-clamped.
+    pub clamped: usize,
+    /// Events accepted by [`Replayer::feed`] when the checkpoint was
+    /// taken: a resuming process skips exactly this many stream events.
+    pub events_fed: u64,
+}
+
 /// The streaming step-driver: feed [`JobEvent`]s in time order, get
 /// scheduling invocations at every instant.
 ///
@@ -203,6 +235,10 @@ pub struct Replayer<'o> {
     makespan: f64,
     finishes: usize,
     clamped: usize,
+    /// Events accepted by [`Replayer::feed`] so far. Recorded in
+    /// checkpoints so a resuming process knows how many stream events to
+    /// skip before continuing.
+    events_fed: u64,
 }
 
 impl<'o> Replayer<'o> {
@@ -224,6 +260,76 @@ impl<'o> Replayer<'o> {
             makespan: 0.0,
             finishes: 0,
             clamped: 0,
+            events_fed: 0,
+        })
+    }
+
+    /// Events accepted by [`Replayer::feed`] so far (see
+    /// [`ReplaySnapshot::events_fed`]).
+    pub fn events_fed(&self) -> u64 {
+        self.events_fed
+    }
+
+    /// Extracts the replayer's complete state — the core's
+    /// [`crate::CoreSnapshot`] plus the driver's own stream position: the
+    /// pending same-instant batch, the flushed-instant watermark, and the
+    /// running accounting. Valid at *any* event boundary, including
+    /// mid-batch.
+    pub fn snapshot(&self) -> ReplaySnapshot {
+        ReplaySnapshot {
+            core: self.core.snapshot(),
+            system: self.system.clone(),
+            pending_submits: self.pending_submits.clone(),
+            pending_finishes: self.pending_finishes.clone(),
+            batch_time: self.batch_time,
+            last_flushed: if self.last_flushed.is_finite() {
+                Some(self.last_flushed)
+            } else {
+                None
+            },
+            makespan: self.makespan,
+            finishes: self.finishes,
+            clamped: self.clamped,
+            events_fed: self.events_fed,
+        }
+    }
+
+    /// Rebuilds a replayer from a checkpoint — in a fresh process, with a
+    /// fresh policy and observer set — and continues the event stream
+    /// byte-identically to the uninterrupted run. The caller skips the
+    /// first [`ReplaySnapshot::events_fed`] events of the stream and
+    /// feeds the rest.
+    pub fn restore(
+        snapshot: ReplaySnapshot,
+        policy: Box<dyn SelectionPolicy>,
+        observers: Vec<&'o mut dyn SchedObserver>,
+    ) -> Result<Self, SchedError> {
+        snapshot.system.validate()?;
+        if let Some(bt) = snapshot.batch_time {
+            if !bt.is_finite() {
+                return Err(SchedError::CorruptSnapshot(format!(
+                    "non-finite pending batch time {bt}"
+                )));
+            }
+        }
+        if let Some(lf) = snapshot.last_flushed {
+            if !lf.is_finite() {
+                return Err(SchedError::CorruptSnapshot(format!(
+                    "non-finite flushed-instant watermark {lf}"
+                )));
+            }
+        }
+        Ok(Self {
+            core: SchedCore::restore(snapshot.core, policy, observers)?,
+            system: snapshot.system,
+            pending_submits: snapshot.pending_submits,
+            pending_finishes: snapshot.pending_finishes,
+            batch_time: snapshot.batch_time,
+            last_flushed: snapshot.last_flushed.unwrap_or(f64::NEG_INFINITY),
+            makespan: snapshot.makespan,
+            finishes: snapshot.finishes,
+            clamped: snapshot.clamped,
+            events_fed: snapshot.events_fed,
         })
     }
 
@@ -249,6 +355,7 @@ impl<'o> Replayer<'o> {
             JobEvent::Submit(job) => self.pending_submits.push(job),
             JobEvent::Finish { id, .. } => self.pending_finishes.push(id),
         }
+        self.events_fed += 1;
         Ok(())
     }
 
@@ -291,5 +398,102 @@ impl<'o> Replayer<'o> {
         self.core.invoke(now);
         self.last_flushed = now;
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::DecisionLog;
+    use bbsched_policies::{GaParams, PolicyKind};
+
+    fn system() -> SystemConfig {
+        SystemConfig {
+            name: "t".into(),
+            nodes: 8,
+            bb_gb: 1_000.0,
+            bb_reserved_gb: 0.0,
+            nodes_128: 0,
+            nodes_256: 0,
+            extra_resources: Vec::new(),
+        }
+    }
+
+    fn events() -> Vec<JobEvent> {
+        let mut ev = Vec::new();
+        for i in 0..6u64 {
+            ev.push(JobEvent::Submit(Job::new(
+                i,
+                i as f64,
+                2 + (i % 3) as u32 * 2,
+                30.0 + i as f64,
+                60.0 + 2.0 * i as f64,
+            )));
+        }
+        ev.push(JobEvent::Finish { id: 0, time: 35.0 });
+        ev.push(JobEvent::Finish { id: 1, time: 36.0 });
+        ev.push(JobEvent::Submit(Job::new(10, 36.0, 4, 20.0, 40.0)));
+        ev.push(JobEvent::Finish { id: 3, time: 40.0 });
+        ev
+    }
+
+    fn policy() -> Box<dyn bbsched_policies::SelectionPolicy> {
+        PolicyKind::Baseline.build(GaParams::default())
+    }
+
+    /// Checkpoint at *every* event boundary: the split run's concatenated
+    /// decision stream must equal the uninterrupted run's, byte for byte.
+    #[test]
+    fn checkpoint_resume_is_byte_identical_at_every_boundary() {
+        let sys = system();
+        let stream = events();
+        let mut full_log = DecisionLog::new();
+        {
+            let mut r =
+                Replayer::new(&sys, SchedConfig::default(), policy(), vec![&mut full_log]).unwrap();
+            for e in &stream {
+                r.feed(e.clone()).unwrap();
+            }
+            r.finish().unwrap();
+        }
+        let full = full_log.lines().to_vec();
+
+        for cut in 0..=stream.len() {
+            let mut head_log = DecisionLog::new();
+            let mut r =
+                Replayer::new(&sys, SchedConfig::default(), policy(), vec![&mut head_log]).unwrap();
+            for e in &stream[..cut] {
+                r.feed(e.clone()).unwrap();
+            }
+            let wire = serde_json::to_string(&r.snapshot()).unwrap();
+            drop(r);
+
+            let snap: ReplaySnapshot = serde_json::from_str(&wire).unwrap();
+            assert_eq!(snap.events_fed, cut as u64);
+            let mut tail_log = DecisionLog::new();
+            let mut r = Replayer::restore(snap, policy(), vec![&mut tail_log]).unwrap();
+            for e in &stream[cut..] {
+                r.feed(e.clone()).unwrap();
+            }
+            let summary = r.finish().unwrap();
+            assert_eq!(summary.jobs, 7);
+
+            let mut joined = head_log.into_lines();
+            joined.extend(tail_log.into_lines());
+            assert_eq!(joined, full, "decision stream diverged at checkpoint boundary {cut}");
+        }
+    }
+
+    #[test]
+    fn snapshot_is_a_fixed_point_of_restore() {
+        let sys = system();
+        let mut r = Replayer::new(&sys, SchedConfig::default(), policy(), Vec::new()).unwrap();
+        for e in events().into_iter().take(7) {
+            r.feed(e).unwrap();
+        }
+        let snap = r.snapshot();
+        let restored = Replayer::restore(snap.clone(), policy(), Vec::new()).unwrap();
+        assert_eq!(restored.snapshot(), snap);
+        assert_eq!(restored.events_fed(), 7);
     }
 }

@@ -46,6 +46,7 @@ use crate::idhash::BuildIdHasher;
 use crate::jobset::JobSet;
 use crate::observer::{JobStart, SchedObserver};
 use crate::record::StartReason;
+use crate::state::{CoreSnapshot, PolicySnapshot};
 use bbsched_core::problem::JobDemand;
 use bbsched_core::window::{fill_window, StarvationTracker};
 use bbsched_policies::SelectionPolicy;
@@ -513,6 +514,146 @@ impl<'o> SchedCore<'o> {
     pub fn assert_drained(&self) {
         self.state.ledger.assert_drained();
     }
+
+    /// Extracts the core's complete cross-invocation state as one owned
+    /// [`CoreSnapshot`] (see [`crate::state`] for the contract and for
+    /// what a snapshot deliberately does *not* capture). Only meaningful
+    /// *between* invocations — never call it from an observer callback.
+    pub fn snapshot(&self) -> CoreSnapshot {
+        let mut completed: Vec<u64> = self.completed_ids.iter().copied().collect();
+        completed.sort_unstable();
+        CoreSnapshot {
+            schema_version: CoreSnapshot::SCHEMA_VERSION,
+            config: self.cfg.clone(),
+            jobs: self.state.jobs.clone(),
+            demands: self.state.demands.clone(),
+            queue: self.queue.snapshot(),
+            ledger: self.state.ledger.snapshot(),
+            backfill: self.backfill.snapshot_state(),
+            starvation: self.tracker.entries(),
+            completed,
+            invocations: self.invocations,
+            clock: self.state.now,
+            policy: PolicySnapshot {
+                name: self.policy.name().to_string(),
+                state: self.policy.snapshot_state(),
+            },
+        }
+    }
+
+    /// Rebuilds a core from an extracted [`CoreSnapshot`], continuing
+    /// byte-identically where the snapshotted core left off.
+    ///
+    /// The policy and observers are supplied fresh: observers are
+    /// driver-owned borrows a snapshot cannot capture, and the policy is
+    /// a trait object the caller rebuilds (or *replaces* — restoring
+    /// under a different policy is the what-if fork primitive). Policy
+    /// state recorded in the snapshot is injected only when the supplied
+    /// policy has the same name; a same-name policy that rejects the
+    /// state makes the snapshot [`SchedError::CorruptSnapshot`].
+    ///
+    /// Every structural invariant of the snapshot is validated up front —
+    /// schema version, config, id uniqueness, queue/ledger consistency —
+    /// so a corrupt snapshot is a typed error, never a later panic.
+    pub fn restore(
+        snapshot: CoreSnapshot,
+        policy: Box<dyn SelectionPolicy>,
+        observers: Vec<&'o mut dyn SchedObserver>,
+    ) -> Result<Self, SchedError> {
+        if snapshot.schema_version != CoreSnapshot::SCHEMA_VERSION {
+            return Err(SchedError::SnapshotVersion {
+                found: snapshot.schema_version,
+                expected: CoreSnapshot::SCHEMA_VERSION,
+            });
+        }
+        snapshot.config.validate()?;
+        if snapshot.jobs.len() != snapshot.demands.len() {
+            return Err(SchedError::CorruptSnapshot(format!(
+                "{} jobs but {} demands",
+                snapshot.jobs.len(),
+                snapshot.demands.len()
+            )));
+        }
+        let mut id_to_idx: HashMap<u64, usize, BuildIdHasher> = HashMap::default();
+        for (idx, job) in snapshot.jobs.iter().enumerate() {
+            if id_to_idx.insert(job.id, idx).is_some() {
+                return Err(SchedError::CorruptSnapshot(format!("duplicate job id {}", job.id)));
+            }
+        }
+        if snapshot.queue.base != snapshot.config.base {
+            return Err(SchedError::CorruptSnapshot(format!(
+                "queue discipline {:?} disagrees with configured base {:?}",
+                snapshot.queue.base, snapshot.config.base
+            )));
+        }
+        let ledger = AllocLedger::restore(snapshot.ledger)?;
+        for (idx, _) in ledger.release_order() {
+            if idx >= snapshot.jobs.len() {
+                return Err(SchedError::CorruptSnapshot(format!(
+                    "running job index {idx} out of range ({} jobs)",
+                    snapshot.jobs.len()
+                )));
+            }
+        }
+        for &idx in &snapshot.queue.queue {
+            if idx >= snapshot.jobs.len() {
+                return Err(SchedError::CorruptSnapshot(format!(
+                    "queued job index {idx} out of range ({} jobs)",
+                    snapshot.jobs.len()
+                )));
+            }
+            if ledger.get(idx).is_some() {
+                return Err(SchedError::CorruptSnapshot(format!(
+                    "queued job index {idx} is also running"
+                )));
+            }
+        }
+        let mut backfill = snapshot.config.backfill_algorithm.strategy();
+        if let Some(state) = &snapshot.backfill {
+            backfill.restore_state(state, &ledger)?;
+        }
+        let mut policy = policy;
+        if let Some(state) = &snapshot.policy.state {
+            if policy.name() == snapshot.policy.name {
+                policy.restore_state(state).map_err(SchedError::CorruptSnapshot)?;
+            }
+        }
+        Ok(Self {
+            state: CoreState {
+                jobs: snapshot.jobs,
+                demands: snapshot.demands,
+                ledger,
+                observers,
+                started: JobSet::new(),
+                backfill_credit: 0,
+                decisions: Vec::new(),
+                now: snapshot.clock,
+            },
+            cfg: snapshot.config,
+            policy,
+            queue: crate::queue::QueueManager::restore(snapshot.queue),
+            backfill,
+            completed_ids: snapshot.completed.iter().copied().collect(),
+            id_to_idx,
+            tracker: StarvationTracker::from_entries(&snapshot.starvation),
+            invocations: snapshot.invocations,
+            scratch: Scratch::default(),
+        })
+    }
+
+    /// Branches the live core: an independent copy that continues from
+    /// the current state under the supplied `policy` and `observers`
+    /// (what-if forking — same state, possibly a different policy).
+    /// Equivalent to `SchedCore::restore(self.snapshot(), …)`, which is
+    /// exactly how it is implemented, so fork and checkpoint/resume can
+    /// never diverge.
+    pub fn fork<'n>(
+        &self,
+        policy: Box<dyn SelectionPolicy>,
+        observers: Vec<&'n mut dyn SchedObserver>,
+    ) -> Result<SchedCore<'n>, SchedError> {
+        SchedCore::restore(self.snapshot(), policy, observers)
+    }
 }
 
 #[cfg(test)]
@@ -614,6 +755,120 @@ mod tests {
         );
         let reserve = Decision::Reserve { idx: 1, id: 4, at: 100.0 };
         assert_eq!(reserve.json_line(2.5), r#"{"t":2.5,"decision":"reserve","job":4,"at":100.0}"#);
+    }
+
+    #[test]
+    fn snapshot_restore_continues_byte_identically() {
+        for algorithm in
+            [crate::config::BackfillAlgorithm::Easy, crate::config::BackfillAlgorithm::Conservative]
+        {
+            let cfg = SchedConfig { backfill_algorithm: algorithm, ..SchedConfig::default() };
+            let mut c = SchedCore::new(
+                &system(8),
+                cfg,
+                PolicyKind::Baseline.build(GaParams::default()),
+                Vec::new(),
+            )
+            .unwrap();
+            for i in 0..6u64 {
+                let (j, d) = job(i, i as f64, 2 + (i % 3) as u32 * 2, 30.0 + i as f64);
+                c.submit(j, d).unwrap();
+            }
+            let first = c.invoke(5.0).to_vec();
+            let started: Vec<u64> = first
+                .iter()
+                .filter_map(|d| match d {
+                    Decision::Start { id, .. } => Some(*id),
+                    _ => None,
+                })
+                .collect();
+            assert!(!started.is_empty());
+
+            let snap = c.snapshot();
+            let wire = snap.to_json();
+            let decoded = crate::state::CoreSnapshot::from_json(&wire).unwrap();
+            assert_eq!(decoded, snap, "wire encoding round-trips");
+            let mut r = SchedCore::restore(
+                decoded,
+                PolicyKind::Baseline.build(GaParams::default()),
+                Vec::new(),
+            )
+            .unwrap();
+            assert_eq!(r.snapshot(), snap, "restore is a fixed point of snapshot");
+
+            // Identical event feed → byte-identical decision streams.
+            for (k, &id) in started.iter().enumerate() {
+                let t = 40.0 + k as f64;
+                c.job_finished(id, t).unwrap();
+                r.job_finished(id, t).unwrap();
+                let a: Vec<String> = c.invoke(t).iter().map(|d| d.json_line(t)).collect();
+                let b: Vec<String> = r.invoke(t).iter().map(|d| d.json_line(t)).collect();
+                assert_eq!(a, b, "{algorithm:?} diverged after restore");
+            }
+            assert_eq!(c.snapshot(), r.snapshot(), "{algorithm:?} end states diverged");
+        }
+    }
+
+    #[test]
+    fn fork_under_a_different_policy_starts_fresh() {
+        let mut c = core(8);
+        for i in 0..4u64 {
+            let (j, d) = job(i, 0.0, 4, 20.0);
+            c.submit(j, d).unwrap();
+        }
+        c.invoke(0.0);
+        // What-if branch: same state, a different policy. Policy state
+        // from the snapshot (none here, but names differ anyway) is not
+        // injected into the replacement.
+        let f = c
+            .fork(PolicyKind::BbSched.build(GaParams::default()), Vec::new())
+            .expect("fork under a different policy");
+        assert_eq!(f.policy_name(), "BBSched");
+        assert_eq!(f.invocations(), c.invocations());
+        assert_eq!(f.queue_len(), c.queue_len());
+    }
+
+    #[test]
+    fn corrupt_snapshots_fail_restore_with_typed_errors() {
+        let mut c = core(4);
+        let (a, da) = job(0, 0.0, 3, 50.0);
+        let (b, db) = job(1, 0.0, 3, 10.0); // blocked behind job 0
+        c.submit(a, da).unwrap();
+        c.submit(b, db).unwrap();
+        c.invoke(0.0);
+        let good = c.snapshot();
+        let build = || PolicyKind::Baseline.build(GaParams::default());
+
+        let mut bad = good.clone();
+        bad.schema_version = 2;
+        assert!(matches!(
+            SchedCore::restore(bad, build(), Vec::new()),
+            Err(SchedError::SnapshotVersion { found: 2, expected: 1 })
+        ));
+
+        let mut bad = good.clone();
+        bad.queue.queue = vec![7]; // out of range
+        assert!(matches!(
+            SchedCore::restore(bad, build(), Vec::new()),
+            Err(SchedError::CorruptSnapshot(_))
+        ));
+
+        let mut bad = good.clone();
+        bad.queue.base = crate::base_sched::BaseScheduler::Wfp; // disagrees with config
+        assert!(matches!(
+            SchedCore::restore(bad, build(), Vec::new()),
+            Err(SchedError::CorruptSnapshot(_))
+        ));
+
+        let mut bad = good.clone();
+        bad.demands.pop(); // jobs/demands misaligned
+        assert!(matches!(
+            SchedCore::restore(bad, build(), Vec::new()),
+            Err(SchedError::CorruptSnapshot(_))
+        ));
+
+        // The untouched snapshot still restores.
+        assert!(SchedCore::restore(good, build(), Vec::new()).is_ok());
     }
 
     #[test]

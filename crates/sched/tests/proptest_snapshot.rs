@@ -1,0 +1,225 @@
+//! Property test for the explicit-state contract (DESIGN.md §12):
+//! snapshotting [`SchedCore`] at a random point of a random
+//! submit/finish/invoke interleaving, round-tripping the snapshot
+//! through its JSON wire encoding, and restoring into a fresh core must
+//! yield a *byte-identical continuation* — every subsequent invocation
+//! of the restored core returns exactly the decisions of the
+//! uninterrupted core, and the end-of-run snapshots are equal as JSON.
+//!
+//! The configuration matrix covers the paper's axes: R ∈ {2, 3}
+//! resources (nodes+BB, nodes+BB+SSD), FCFS × WFP base scheduling,
+//! EASY × conservative backfilling, and Baseline × BBSched (GA)
+//! selection — the GA case exercises the snapshotted invocation counter
+//! that seeds each per-invocation RNG stream.
+
+use bbsched_policies::{GaParams, PolicyKind};
+use bbsched_sched::{
+    clamp_demand, BackfillAlgorithm, BaseScheduler, Decision, SchedConfig, SchedCore,
+};
+use bbsched_workloads::{Job, SystemConfig};
+use proptest::prelude::*;
+
+fn system(r3: bool) -> SystemConfig {
+    SystemConfig {
+        name: "prop".into(),
+        nodes: 16,
+        bb_gb: 900.0,
+        bb_reserved_gb: 0.0,
+        nodes_128: if r3 { 8 } else { 0 },
+        nodes_256: if r3 { 8 } else { 0 },
+        extra_resources: Vec::new(),
+    }
+}
+
+/// One encoded step: `(kind, a, b)`; `kind % 3` selects
+/// submit / finish-one-running / invoke (same encoding as the
+/// conservation proptest).
+type Op = (u8, u16, u16);
+
+/// Decodes the configuration selector into the §4 matrix cell.
+fn config_of(sel: u8) -> (bool, SchedConfig, PolicyKind, GaParams) {
+    let r3 = sel & 1 != 0;
+    let cfg = SchedConfig {
+        base: if sel & 2 != 0 { BaseScheduler::Wfp } else { BaseScheduler::Fcfs },
+        backfill_algorithm: if sel & 4 != 0 {
+            BackfillAlgorithm::Conservative
+        } else {
+            BackfillAlgorithm::Easy
+        },
+        ..SchedConfig::default()
+    };
+    let kind = if sel & 8 != 0 { PolicyKind::BbSched } else { PolicyKind::Baseline };
+    let ga = GaParams { generations: 25, ..GaParams::default() };
+    (r3, cfg, kind, ga)
+}
+
+fn check_snapshot_continuation(ops: &[Op], cut: usize, sel: u8) -> Result<(), TestCaseError> {
+    let (r3, cfg, kind, ga) = config_of(sel);
+    let sys = system(r3);
+    let mut core =
+        SchedCore::new(&sys, cfg.clone(), kind.build(ga), Vec::new()).expect("valid config");
+
+    let mut now = 0.0f64;
+    let mut next_id = 0u64;
+    let mut running: Vec<u64> = Vec::new();
+
+    // Applies one op to a core; `shadow` receives the same op and must
+    // produce the identical decisions. `None` before the cut.
+    let apply = |core: &mut SchedCore<'_>,
+                 shadow: Option<&mut SchedCore<'_>>,
+                 op: Op,
+                 now: &mut f64,
+                 next_id: &mut u64,
+                 running: &mut Vec<u64>|
+     -> Result<(), TestCaseError> {
+        let (kind, a, b) = op;
+        *now += f64::from(a % 5) * 0.5;
+        match kind % 3 {
+            0 => {
+                let nodes = 1 + u32::from(a) % 20;
+                let bb = f64::from(b % 1_100);
+                let ssd = f64::from(b % 300);
+                let walltime = 10.0 + f64::from(b % 300);
+                let mut job = Job::new(*next_id, *now, nodes, walltime * 0.5, walltime).with_bb(bb);
+                if r3 {
+                    job = job.with_ssd(ssd);
+                }
+                let (demand, _) = clamp_demand(&sys, &job);
+                core.submit(job.clone(), demand).expect("fresh id");
+                if let Some(s) = shadow {
+                    s.submit(job, demand).expect("fresh id in shadow");
+                }
+                *next_id += 1;
+            }
+            1 => {
+                if !running.is_empty() {
+                    let pos = usize::from(b) % running.len();
+                    let id = running.swap_remove(pos);
+                    core.job_finished(id, *now).expect("running job finishes");
+                    if let Some(s) = shadow {
+                        s.job_finished(id, *now).expect("running job finishes in shadow");
+                    }
+                }
+            }
+            _ => {
+                let decisions: Vec<Decision> = core.invoke(*now).to_vec();
+                for d in &decisions {
+                    if let Decision::Start { id, .. } = *d {
+                        running.push(id);
+                    }
+                }
+                if let Some(s) = shadow {
+                    let echoed: Vec<Decision> = s.invoke(*now).to_vec();
+                    prop_assert_eq!(
+                        &echoed,
+                        &decisions,
+                        "restored core diverged at t={} (sel {})",
+                        *now,
+                        sel
+                    );
+                }
+            }
+        }
+        Ok(())
+    };
+
+    let cut = cut % (ops.len() + 1);
+    for &op in &ops[..cut] {
+        apply(&mut core, None, op, &mut now, &mut next_id, &mut running)?;
+    }
+
+    // Snapshot through the JSON wire encoding, restore under a freshly
+    // built policy of the same kind.
+    let snap = core.snapshot();
+    let json = snap.to_json();
+    let decoded = bbsched_sched::CoreSnapshot::from_json(&json).expect("wire round-trip");
+    prop_assert_eq!(&decoded, &snap, "JSON wire encoding must be lossless");
+    let mut restored =
+        SchedCore::restore(decoded, kind.build(ga), Vec::new()).expect("snapshot restores");
+    prop_assert_eq!(restored.snapshot().to_json(), json, "restore must be a fixed point");
+
+    // Continue both cores in lockstep over the remaining ops.
+    for &op in &ops[cut..] {
+        apply(&mut core, Some(&mut restored), op, &mut now, &mut next_id, &mut running)?;
+    }
+
+    prop_assert_eq!(
+        core.snapshot().to_json(),
+        restored.snapshot().to_json(),
+        "end-of-run state diverged (sel {})",
+        sel
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48 })]
+
+    /// Satellite: a snapshot at any boundary of any interleaving, in any
+    /// cell of the R × base × backfill × policy matrix, restores to a
+    /// byte-identical continuation.
+    #[test]
+    fn prop_snapshot_restores_to_byte_identical_continuation(
+        ops in proptest::collection::vec((0u8..3, 0u16..10_000, 0u16..10_000), 1..48),
+        cut in 0usize..48,
+        sel in 0u8..16,
+    ) {
+        check_snapshot_continuation(&ops, cut, sel)?;
+    }
+}
+
+/// Golden test pinning the `CoreSnapshot` JSON schema (version 1): a
+/// deterministic scenario's snapshot must serialize to exactly the
+/// checked-in bytes. A diff here means the wire schema changed — bump
+/// [`bbsched_sched::CoreSnapshot::SCHEMA_VERSION`] and regenerate with
+/// `cargo test -p bbsched-sched --test proptest_snapshot -- --ignored`.
+fn golden_snapshot() -> bbsched_sched::CoreSnapshot {
+    let sys = system(false);
+    let cfg = SchedConfig {
+        backfill_algorithm: BackfillAlgorithm::Conservative,
+        ..SchedConfig::default()
+    };
+    let mut core =
+        SchedCore::new(&sys, cfg, PolicyKind::Baseline.build(GaParams::default()), Vec::new())
+            .expect("valid config");
+    for (id, nodes, wall) in [(0u64, 10u32, 100.0f64), (1, 10, 80.0), (2, 4, 60.0), (3, 2, 40.0)] {
+        let job = Job::new(id, id as f64, nodes, wall * 0.5, wall).with_bb(100.0 * id as f64);
+        let (demand, _) = clamp_demand(&sys, &job);
+        core.submit(job, demand).expect("fresh id");
+    }
+    core.invoke(5.0);
+    core.job_finished(0, 50.0).expect("job 0 runs");
+    core.invoke(50.0);
+    core.snapshot()
+}
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/core_snapshot.json")
+}
+
+#[test]
+fn golden_core_snapshot_schema_is_pinned() {
+    let snap = golden_snapshot();
+    let on_disk = std::fs::read_to_string(golden_path())
+        .expect("tests/golden/core_snapshot.json exists — regenerate with `-- --ignored`");
+    assert_eq!(
+        snap.to_json(),
+        on_disk.trim_end(),
+        "CoreSnapshot wire schema changed: bump SCHEMA_VERSION and regenerate the golden file"
+    );
+    // And the pinned bytes still decode and restore.
+    let decoded = bbsched_sched::CoreSnapshot::from_json(on_disk.trim_end()).expect("decodes");
+    assert_eq!(decoded.schema_version, bbsched_sched::CoreSnapshot::SCHEMA_VERSION);
+    let restored =
+        SchedCore::restore(decoded, PolicyKind::Baseline.build(GaParams::default()), Vec::new())
+            .expect("golden snapshot restores");
+    assert_eq!(restored.snapshot().to_json(), on_disk.trim_end());
+}
+
+#[test]
+#[ignore = "writes the checked-in golden snapshot; run after intentional schema changes"]
+fn regenerate_golden_core_snapshot() {
+    let snap = golden_snapshot();
+    std::fs::create_dir_all(golden_path().parent().unwrap()).unwrap();
+    std::fs::write(golden_path(), format!("{}\n", snap.to_json())).unwrap();
+}
