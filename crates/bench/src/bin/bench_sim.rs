@@ -27,7 +27,7 @@
 use bbsched_core::pools::PoolState;
 use bbsched_core::problem::JobDemand;
 use bbsched_policies::{GaParams, PolicyKind};
-use bbsched_sched::{SchedConfig, SchedCore};
+use bbsched_sched::{AvailabilityProfile, SchedConfig, SchedCore};
 use bbsched_sim::{BackfillAlgorithm, BackfillScope, BaseScheduler, SimConfig, Simulator};
 use bbsched_workloads::{generate, swf, GeneratorConfig, Job, MachineProfile, Trace};
 use rand::rngs::SmallRng;
@@ -118,6 +118,7 @@ fn main() {
         args.iter().position(|a| a == key).and_then(|i| args.get(i + 1)).map(String::as_str)
     };
     let out = opt("--out").unwrap_or("BENCH_sim.json").to_string();
+    let only = opt("--only").map(str::to_string);
     let max_regression: Option<f64> = opt("--max-regression").map(|v| {
         v.parse().unwrap_or_else(|e| panic!("--max-regression wants a percentage, got '{v}': {e}"))
     });
@@ -144,6 +145,12 @@ fn main() {
 
     let mut results: Vec<BenchEntry> = Vec::new();
     let mut push = |name: &str, samples: usize, min_s: f64, routine: &mut dyn FnMut() -> usize| {
+        // `--only SUBSTR` runs the matching subset (iteration speed when
+        // chasing one number); subset reports are for eyeballs, not for
+        // pinning as baselines.
+        if only.as_deref().is_some_and(|f| !name.contains(f)) {
+            return;
+        }
         let (median_s, min_sample) = measure(samples, min_s, routine);
         eprintln!("{name:<44} {:.4} ms", median_s * 1e3);
         results.push(BenchEntry {
@@ -254,6 +261,61 @@ fn main() {
         }
     }
 
+    // --- profile_ops: availability-profile query/reserve micro-benches ---
+    // Isolates the hierarchical profile index from the simulator: build an
+    // S-segment profile (S-1 staggered releases on a large machine), then
+    // time `earliest_start` probes and `reserve` carvings directly. Runs
+    // in both modes at both sizes — the ops are microseconds either way,
+    // so short mode pays nothing for keeping the CI guard's coverage.
+    for s in [256usize, 4096] {
+        // One single-node running job per future segment plus a little
+        // head-room free now: the machine scales with S so both sizes
+        // start from the same "nearly drained" shape.
+        let nodes_total = u32::try_from(s).unwrap() + 63;
+        let mut pool = PoolState::cpu_bb(nodes_total, (s as f64) * 120.0);
+        let mut rng = SmallRng::seed_from_u64(1_234);
+        let releases: Vec<(f64, JobDemand, bbsched_core::pools::NodeAssignment)> = (1..s)
+            .map(|i| {
+                let d = JobDemand::cpu_bb(
+                    1,
+                    if rng.random_bool(0.5) { rng.random_range(10.0..100.0) } else { 0.0 },
+                );
+                let asn = pool.alloc(&d);
+                (i as f64 * 60.0, d, asn)
+            })
+            .collect();
+        let base = AvailabilityProfile::new(0.0, pool, releases);
+        assert_eq!(base.segments(), s);
+        let probes: Vec<(JobDemand, f64, f64)> = (0..64)
+            .map(|_| {
+                (
+                    JobDemand::cpu_bb(rng.random_range(1..256), rng.random_range(0.0..2_000.0)),
+                    rng.random_range(0.0..(s as f64 * 60.0)),
+                    rng.random_range(60.0..86_400.0),
+                )
+            })
+            .collect();
+        push(&format!("profile_ops/earliest_start_s{s}"), samples, 0.01, &mut || {
+            let mut hits = 0usize;
+            for (d, from, dur) in &probes {
+                if base.earliest_start(d, *from, *dur).is_finite() {
+                    hits += 1;
+                }
+            }
+            hits
+        });
+        push(&format!("profile_ops/reserve_s{s}"), samples, 0.01, &mut || {
+            let mut p = base.clone();
+            for (d, from, dur) in &probes {
+                let t = p.earliest_start(d, *from, *dur);
+                if t.is_finite() {
+                    p.reserve(d, t, *dur);
+                }
+            }
+            p.segments()
+        });
+    }
+
     // --- sched_invoke: one cold six-phase invocation of the service core ---
     // Times the driver-agnostic `SchedCore` directly (no event loop): build
     // a core, submit `w` queued jobs, run a single `invoke(0.0)`. Baseline
@@ -354,10 +416,24 @@ fn main() {
     }
 
     if let Some(base) = &baseline {
+        let mut fresh = 0usize;
         for entry in results.iter_mut() {
             if let Some(b) = base.iter().find(|b| b.name == entry.name) {
                 entry.delta_pct = Some((entry.median_s / b.median_s - 1.0) * 100.0);
+            } else {
+                // Not in the baseline: the regression guard cannot cover
+                // it. Say so explicitly instead of omitting it silently,
+                // so CI output shows the coverage gap until the baseline
+                // is re-pinned.
+                eprintln!("  {:<44} new (no baseline)", entry.name);
+                fresh += 1;
             }
+        }
+        if fresh > 0 {
+            eprintln!(
+                "{fresh} benchmark(s) have no baseline entry and are exempt from the \
+                 regression guard; re-pin the baseline to cover them"
+            );
         }
     }
 

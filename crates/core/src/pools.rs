@@ -17,6 +17,14 @@ use crate::resource::{
 };
 use serde::{Deserialize, Serialize};
 
+/// Absolute slack granted to pooled-resource fit checks
+/// ([`PoolState::free_fits`]): a demand fits when it exceeds the free
+/// amount by at most this much, absorbing accumulated float error from
+/// repeated alloc/free round trips. Public so alternative fit evaluators
+/// (e.g. the scheduler's vectorized profile scan) can reproduce the
+/// comparison bit-for-bit.
+pub const FIT_EPS: f64 = 1e-9;
+
 /// Node counts a started job drew from each flavour of the per-node
 /// resource (index = flavour, ascending capacity). On systems without a
 /// per-node resource all nodes are recorded under the last flavour slot,
@@ -82,6 +90,23 @@ struct PoolTopology {
     /// Whether that resource tracks a waste objective.
     track_waste: bool,
     flavors: FlavorSet,
+}
+
+/// The mutable slice of a [`PoolState`]: per-resource free amounts and
+/// per-flavour free node counts, without the topology and capacity tables
+/// that are identical for every state describing the same machine.
+///
+/// Availability profiles hold thousands of states of one machine; packing
+/// only the ~64 mutable bytes per segment (instead of the full ~240-byte
+/// [`PoolState`]) keeps their scan/splice working set in L1. All fit and
+/// allocation arithmetic is interpreted against an owning state via
+/// [`PoolState::free_fits`] / [`PoolState::free_alloc`], which share their
+/// implementation with [`PoolState::fits`] / [`PoolState::alloc`] — the two
+/// representations cannot drift.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FreeState {
+    free: ResourceVector,
+    flavor_free: [u32; MAX_FLAVORS],
 }
 
 /// Mutable free-resource state at one scheduling invocation.
@@ -347,7 +372,49 @@ impl PoolState {
 
     /// Whether `d` fits in the current free state.
     pub fn fits(&self, d: &JobDemand) -> bool {
-        if f64::from(d.nodes) > self.free.get(0) {
+        let f = FreeState { free: self.free, flavor_free: self.flavor_free };
+        self.free_fits(&f, d)
+    }
+
+    /// This state's mutable slice (free amounts and flavour pools).
+    pub fn free_state(&self) -> FreeState {
+        FreeState { free: self.free, flavor_free: self.flavor_free }
+    }
+
+    /// Number of modelled resources (the demand components
+    /// [`PoolState::fits`] checks).
+    pub fn resource_len(&self) -> usize {
+        self.topo.len
+    }
+
+    /// Free amount of pooled resource `r` in the free slice `f` (the
+    /// value [`PoolState::free_fits`] compares a demand against; for the
+    /// per-node resource the fit check goes through the flavour pools
+    /// instead, see [`PoolState::ssd_aware`]).
+    pub fn free_component(&self, f: &FreeState, r: usize) -> f64 {
+        f.free.get(r)
+    }
+
+    /// A full state with this state's topology and capacities but `f`'s
+    /// free amounts (the inverse of [`PoolState::free_state`]).
+    pub fn with_free(&self, f: &FreeState) -> PoolState {
+        let mut out = *self;
+        out.free = f.free;
+        out.flavor_free = f.flavor_free;
+        out
+    }
+
+    /// Whether this state and `other` describe the same machine: equal
+    /// topologies and capacity tables (free amounts may differ).
+    pub fn same_machine(&self, other: &PoolState) -> bool {
+        self.topo == other.topo && self.cap == other.cap && self.flavor_cap == other.flavor_cap
+    }
+
+    /// Whether `d` fits in the free slice `f`, interpreted against this
+    /// state's topology. `self.fits(d)` delegates here, so the answer for
+    /// `self.free_state()` is exactly `self.fits(d)`.
+    pub fn free_fits(&self, f: &FreeState, d: &JobDemand) -> bool {
+        if f64::from(d.nodes) > f.free.get(0) {
             return false;
         }
         for r in 1..self.topo.len {
@@ -356,11 +423,11 @@ impl PoolState {
                 // Enough nodes of a sufficient flavour: suffix-count check.
                 let class = self.topo.flavors.class_of(demand);
                 let suffix: u64 =
-                    (class..self.topo.flavors.len()).map(|k| u64::from(self.flavor_free[k])).sum();
+                    (class..self.topo.flavors.len()).map(|k| u64::from(f.flavor_free[k])).sum();
                 if u64::from(d.nodes) > suffix {
                     return false;
                 }
-            } else if demand > self.free.get(r) + 1e-9 {
+            } else if demand > f.free.get(r) + FIT_EPS {
                 return false;
             }
         }
@@ -373,13 +440,48 @@ impl PoolState {
     /// Panics if the demand does not fit (call [`PoolState::fits`] first).
     pub fn alloc(&mut self, d: &JobDemand) -> NodeAssignment {
         assert!(self.fits(d), "alloc called with non-fitting demand {d:?} on {self:?}");
+        let mut f = FreeState { free: self.free, flavor_free: self.flavor_free };
+        let asn = self.free_alloc_unchecked(&mut f, d);
+        self.free = f.free;
+        self.flavor_free = f.flavor_free;
+        asn
+    }
+
+    /// Allocates `d` from the free slice `f` (interpreted against this
+    /// state's topology), returning the per-flavour node split.
+    /// `self.alloc(d)` delegates here, so the mutation applied to
+    /// `self.free_state()` is exactly the one `alloc` applies to `self`.
+    ///
+    /// # Panics
+    /// Panics if the demand does not fit `f` (call
+    /// [`PoolState::free_fits`] first).
+    pub fn free_alloc(&self, f: &mut FreeState, d: &JobDemand) -> NodeAssignment {
+        assert!(self.free_fits(f, d), "alloc called with non-fitting demand {d:?} on {f:?}");
+        self.free_alloc_unchecked(f, d)
+    }
+
+    /// [`PoolState::free_alloc`] without the fit assertion, for callers
+    /// that have already verified the demand fits — e.g. an availability
+    /// profile carving a reservation across an interval it has just
+    /// fit-checked as a whole. Applies the exact same mutation as
+    /// `free_alloc` (same subtractions, in the same order), so results
+    /// are bit-identical; fitting is debug-asserted only.
+    pub fn free_carve(&self, f: &mut FreeState, d: &JobDemand) -> NodeAssignment {
+        debug_assert!(
+            self.free_fits(f, d),
+            "free_carve called with non-fitting demand {d:?} on {f:?}"
+        );
+        self.free_alloc_unchecked(f, d)
+    }
+
+    fn free_alloc_unchecked(&self, f: &mut FreeState, d: &JobDemand) -> NodeAssignment {
         for r in 1..self.topo.len {
             if self.topo.per_node != Some(r as u8) {
-                let v = self.free.get(r) - self.demand_of(d, r);
-                self.free.set(r, v);
+                let v = f.free.get(r) - self.demand_of(d, r);
+                f.free.set(r, v);
             }
         }
-        self.free.set(0, self.free.get(0) - f64::from(d.nodes));
+        f.free.set(0, f.free.get(0) - f64::from(d.nodes));
         let Some(pr) = self.topo.per_node else {
             // No per-node resource: record everything in the last flavour
             // slot of a two-tier table (the historical n256 encoding).
@@ -390,9 +492,9 @@ impl PoolState {
         let mut asn = NodeAssignment::default();
         let mut need = d.nodes;
         for k in class..self.topo.flavors.len() {
-            let take = need.min(self.flavor_free[k]);
+            let take = need.min(f.flavor_free[k]);
             asn.per_flavor[k] = take;
-            self.flavor_free[k] -= take;
+            f.flavor_free[k] -= take;
             need -= take;
             if need == 0 {
                 break;
@@ -411,12 +513,21 @@ impl PoolState {
     /// machine).
     pub fn component_min(&self, other: &PoolState) -> PoolState {
         assert_eq!(self.topo, other.topo, "component_min requires matching pool topologies");
-        let mut out = *self;
-        out.free = self.free.component_min(&other.free);
+        let a = FreeState { free: self.free, flavor_free: self.flavor_free };
+        let b = FreeState { free: other.free, flavor_free: other.flavor_free };
+        self.with_free(&self.free_component_min(&a, &b))
+    }
+
+    /// Component-wise minimum of two free slices of this machine:
+    /// [`PoolState::component_min`] on the packed representation (and the
+    /// implementation the full-state version delegates to).
+    pub fn free_component_min(&self, a: &FreeState, b: &FreeState) -> FreeState {
+        let mut out = *a;
+        out.free = a.free.component_min(&b.free);
         if self.topo.per_node.is_some() {
             let mut sum = 0u32;
             for k in 0..self.topo.flavors.len() {
-                out.flavor_free[k] = self.flavor_free[k].min(other.flavor_free[k]);
+                out.flavor_free[k] = a.flavor_free[k].min(b.flavor_free[k]);
                 sum += out.flavor_free[k];
             }
             // Flavoured states maintain nodes == Σ flavour pools; taking
@@ -424,7 +535,6 @@ impl PoolState {
             // the node count must follow it.
             out.free.set(0, f64::from(sum));
         }
-        // Both states describe the same machine; keep self's capacities.
         out
     }
 

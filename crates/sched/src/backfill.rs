@@ -22,7 +22,7 @@
 //!
 //! This module also owns the EASY reservation math
 //! ([`shadow_and_leftover`]) and the piecewise-constant
-//! [`AvailabilityProfile`] behind conservative backfilling. Three layers
+//! [`AvailabilityProfile`] behind conservative backfilling. Four layers
 //! keep the conservative path off the quadratic cliff at large trace
 //! sizes (DESIGN.md §10):
 //!
@@ -34,19 +34,54 @@
 //!   the strategy across invocations and rebuilt in place from the
 //!   mirror's already-sorted releases (no sort, no allocation); only the
 //!   reservation carvings of the previous pass are discarded;
-//! * a **skyline index** — per-resource suffix minima over the profile's
-//!   segments, so `fits_interval`/`earliest_start` stop scanning every
-//!   segment: boundaries before the probe are skipped by binary search,
-//!   and the scan short-circuits as soon as the suffix minimum fits.
+//! * **memoized pass replay** — an invocation that left the ledger
+//!   untouched (a pure arrival) re-publishes the previous pass's
+//!   reservations and advances the profile's origin in place
+//!   ([`AvailabilityProfile::advance_origin`]) instead of refolding and
+//!   re-querying every candidate, bit-identically (see the fast path in
+//!   [`ConservativeBackfill`]'s pass);
+//! * **query indexes** over the profile's segments, picked per machine
+//!   shape: machines whose resources are all pooled (no per-node
+//!   flavours) mirror the free counters into column-major arrays and
+//!   answer `fits_interval`/`earliest_start` with a branchless
+//!   SIMD-friendly chunk scan; machines with flavoured per-node
+//!   resources at [`TREE_MIN_SEGMENTS`]-plus segments use a balanced
+//!   tree ([`crate::tree`]) with per-resource minimum subtree
+//!   aggregates to locate the first blocking segment in O(log S). The
+//!   suffix-minima skyline accelerates the linear walk that remains the
+//!   debug-build oracle for both.
+//!
+//! The EASY shadow walk ([`shadow_and_leftover`]) deliberately does *not*
+//! use the indexes: it is a single early-exiting pass over the release
+//! order per invocation, with no repeated queries over which an index
+//! build could amortize (DESIGN.md §10).
 
 use crate::alloc::{AllocLedger, LedgerDelta, RunningJob};
 use crate::error::SchedError;
-use bbsched_core::pools::{NodeAssignment, PoolState};
+use crate::tree::ProfileTree;
+use bbsched_core::pools::{FreeState, NodeAssignment, PoolState, FIT_EPS};
 use bbsched_core::problem::JobDemand;
+use bbsched_core::resource::MAX_RESOURCES;
 use serde::{Deserialize, Serialize};
 
 /// Tolerance for "finishes before the shadow time" comparisons.
 pub(crate) const TIME_EPS: f64 = 1e-6;
+
+/// Fit bitmask of the 8-segment chunk starting at `i` on a two-column
+/// profile: bit `k` is set when segment `i + k` **fails** (`c0` short of
+/// `n0`, exact, or `c1` short of `n1` beyond [`FIT_EPS`] — the
+/// [`PoolState::free_fits`] comparisons). Branchless so the compiler can
+/// turn it into SIMD compares.
+#[inline]
+fn scan_fail_mask8(c0: &[f64], c1: &[f64], n0: f64, n1: f64, i: usize) -> u32 {
+    let a = &c0[i..i + 8];
+    let b = &c1[i..i + 8];
+    let mut m = 0u32;
+    for k in 0..8 {
+        m |= u32::from((a[k] < n0) | (b[k] + FIT_EPS < n1)) << k;
+    }
+    m
+}
 
 /// EASY reservation math: the *shadow time* at which `head` could start if
 /// nothing new ran past it (walltime estimates of running jobs, as a real
@@ -300,7 +335,10 @@ impl BackfillStrategy for EasyBackfill {
 ///
 /// The strategy is stateful: it owns a [`ReleaseMirror`] synced from the
 /// ledger's delta log and a persistent [`AvailabilityProfile`] refolded in
-/// place each pass, so no pass allocates or sorts. Schedules are
+/// place each pass, so no pass allocates or sorts. Invocations that left
+/// the ledger untouched (pure arrivals) replay the previous pass's
+/// memoized reservations instead of re-querying every candidate — see
+/// the fast path in [`BackfillStrategy::pass`]. Schedules are
 /// bit-identical to the rebuild-per-pass reference
 /// ([`crate::legacy_profile::RebuildPerPassConservative`]) — proven by the
 /// golden-equivalence suite.
@@ -310,6 +348,16 @@ pub struct ConservativeBackfill {
     profile: AvailabilityProfile,
     /// Per-pass candidate order scratch (blocked head first).
     ordered: Vec<usize>,
+    /// Memoized previous pass: the candidate prefix actually scanned
+    /// (`cache_ordered`, position-aligned with `cache_outcome`) and each
+    /// position's outcome — the reservation start for reserved jobs,
+    /// `+inf` for candidates that never fit, `NaN` for already-started
+    /// skips. Pure accelerator state for the replay fast path in
+    /// [`ConservativeBackfill::pass`]: never serialized (snapshots are
+    /// unchanged by it), cold after restore, and invalidated by any
+    /// ledger change or queue reordering.
+    cache_ordered: Vec<usize>,
+    cache_outcome: Vec<f64>,
 }
 
 impl ConservativeBackfill {
@@ -329,8 +377,56 @@ impl ConservativeBackfill {
         Ok(Self {
             mirror: ReleaseMirror::restore(state.mirror, ledger)?,
             profile: AvailabilityProfile::restore(state.profile)?,
-            ordered: Vec::new(),
+            ..Self::default()
         })
+    }
+
+    /// Whether the memoized previous pass can replay against the current
+    /// invocation (see the fast path in the `pass` body; the caller has
+    /// already established that the ledger is unchanged): the scanned
+    /// candidate prefix must be identical — position for position, which
+    /// also pins the blocked head — must still fall inside the scan cap,
+    /// and every memoized reservation must still lie strictly in the
+    /// future (a start time that has come due must re-evaluate against
+    /// the live pool instead).
+    fn replay_valid(&self, ctx: &BackfillCtx<'_, '_>) -> bool {
+        !self.cache_ordered.is_empty()
+            && self.cache_ordered.len() <= self.ordered.len().min(ctx.max_scan())
+            && self.ordered[..self.cache_ordered.len()] == self.cache_ordered[..]
+            && self.cache_outcome.iter().all(|&t| !t.is_finite() || t > ctx.now() + TIME_EPS)
+    }
+
+    /// Debug-only oracle for the replay fast path: re-derives the whole
+    /// memoized prefix from a scratch refold — every query recomputed
+    /// and asserted against its memoized outcome, every carve re-applied
+    /// — and asserts the origin-advanced persistent profile is
+    /// bit-identical (boundaries, free counters, skyline watermark) to
+    /// that from-scratch recompute.
+    #[cfg(debug_assertions)]
+    fn verify_replay(&self, ctx: &BackfillCtx<'_, '_>) {
+        let mut scratch = AvailabilityProfile::default();
+        self.mirror.fold_into(ctx.now(), *ctx.pool(), &mut scratch);
+        for (&idx, &t) in self.cache_ordered.iter().zip(&self.cache_outcome) {
+            if t.is_nan() {
+                assert!(ctx.is_started(idx), "memoized skip for job {idx}, which never started");
+                continue;
+            }
+            let d = ctx.demand(idx);
+            let walltime = ctx.walltime(idx).max(1.0);
+            assert_eq!(
+                t,
+                scratch.earliest_start(&d, ctx.now(), walltime),
+                "memoized outcome diverged from recompute for job {idx}"
+            );
+            if t.is_finite() {
+                scratch.reserve(&d, t, walltime);
+            }
+        }
+        assert!(
+            scratch == self.profile
+                && scratch.skyline_clean_from == self.profile.skyline_clean_from,
+            "origin-advanced profile diverged from refold + recompute"
+        );
     }
 }
 
@@ -360,8 +456,7 @@ impl BackfillStrategy for ConservativeBackfill {
         // release mirror, then refold the profile over the reused buffers
         // (dropping the previous pass's reservation carvings — the only
         // segments not derivable from the mirror).
-        self.mirror.sync(ctx.ledger());
-        self.mirror.fold_into(ctx.now(), *ctx.pool(), &mut self.profile);
+        let unchanged = self.mirror.sync(ctx.ledger());
         // Reservations for everyone; the starved blocked job (if any)
         // reserves first.
         self.ordered.clear();
@@ -370,12 +465,52 @@ impl BackfillStrategy for ConservativeBackfill {
         }
         self.ordered
             .extend(ctx.waiting().iter().copied().filter(|&i| Some(i) != ctx.blocked_head()));
-        for pos in 0..self.ordered.len() {
+        // Replay fast path. When the ledger is untouched since the
+        // previous pass (a pure-arrival invocation — about half of all
+        // passes under event-driven scheduling), a refold would produce
+        // the same piecewise function on `[now, ∞)` as last pass's fold,
+        // and every candidate the previous pass scanned gets the *same*
+        // earliest start: free capacity only grows over time below the
+        // first reservation, so a recompute rejects every candidate
+        // start before the memoized one and accepts the memoized one.
+        // The pass therefore skips both the refold and the per-candidate
+        // query/reserve work entirely: the origin advances in place
+        // (keeping the carves, which re-carving on the refold would
+        // reproduce bit for bit — see
+        // [`AvailabilityProfile::advance_origin`]) and only the memoized
+        // reservation decisions are re-published. The memo applies only
+        // while the scanned candidate prefix is unchanged (new arrivals
+        // append at the tail under order-stable policies; any reorder,
+        // removal, blocked-head change, or a memoized start time falling
+        // due bails to a full recompute), so the published decisions
+        // match the rebuild-per-pass reference exactly. New tail
+        // candidates below are queried for real against the advanced
+        // profile. Debug builds re-derive the whole pass from a scratch
+        // refold and assert both the outcomes and the profile state.
+        let begin = if unchanged && self.replay_valid(ctx) && self.profile.advance_origin(ctx.now())
+        {
+            for (&idx, &t) in self.cache_ordered.iter().zip(&self.cache_outcome) {
+                if t.is_finite() {
+                    ctx.reserve(idx, t);
+                }
+            }
+            #[cfg(debug_assertions)]
+            self.verify_replay(ctx);
+            self.cache_ordered.len()
+        } else {
+            self.mirror.fold_into(ctx.now(), *ctx.pool(), &mut self.profile);
+            self.cache_ordered.clear();
+            self.cache_outcome.clear();
+            0
+        };
+        for pos in begin..self.ordered.len() {
             if pos >= ctx.max_scan() {
                 break;
             }
             let idx = self.ordered[pos];
             if ctx.is_started(idx) {
+                self.cache_ordered.push(idx);
+                self.cache_outcome.push(f64::NAN);
                 continue;
             }
             let d = ctx.demand(idx);
@@ -383,11 +518,20 @@ impl BackfillStrategy for ConservativeBackfill {
             let t = self.profile.earliest_start(&d, ctx.now(), walltime);
             if t <= ctx.now() + TIME_EPS && ctx.pool().fits(&d) {
                 ctx.start(idx, true);
-                // Consume from the profile's "now" segments too.
+                // Consume from the profile's "now" segments too. The
+                // start bumps the ledger generation, so this pass's memo
+                // can never replay — record the position as a skip.
                 self.profile.reserve(&d, t, walltime);
+                self.cache_ordered.push(idx);
+                self.cache_outcome.push(f64::NAN);
             } else if t.is_finite() {
                 self.profile.reserve(&d, t, walltime);
                 ctx.reserve(idx, t);
+                self.cache_ordered.push(idx);
+                self.cache_outcome.push(t);
+            } else {
+                self.cache_ordered.push(idx);
+                self.cache_outcome.push(f64::INFINITY);
             }
         }
     }
@@ -438,7 +582,13 @@ impl ReleaseMirror {
     /// Brings the mirror up to date with `ledger` by applying the deltas
     /// logged since the last sync (O(deltas · log n) search plus memmove),
     /// or by a full resynchronization when the log has been truncated.
-    pub fn sync(&mut self, ledger: &AllocLedger) {
+    ///
+    /// Returns whether the mirror was **already current** — the ledger's
+    /// generation is the one recorded at the previous sync, so no start
+    /// or finish happened in between and nothing was applied. Callers use
+    /// this as the "nothing changed" signal gating memoized-pass replay.
+    pub fn sync(&mut self, ledger: &AllocLedger) -> bool {
+        let unchanged = self.synced == Some(ledger.generation());
         let applied = match self.synced {
             Some(gen) => match ledger.deltas_since(gen) {
                 Some(deltas) => {
@@ -478,6 +628,7 @@ impl ReleaseMirror {
                     .all(|(m, (idx, r))| m.idx == idx && m.est_end == r.est_end),
             "release mirror desynchronized from the ledger"
         );
+        unchanged
     }
 
     fn insert(&mut self, idx: usize, entry: &RunningJob) {
@@ -620,29 +771,120 @@ impl ReleaseMirror {
 /// origin ("now"), and `states[i]` holds on `[times[i], times[i+1])`
 /// (the last state holds forever).
 ///
-/// Queries are indexed: boundaries before a probe are skipped by binary
-/// search, and a **skyline** of per-resource suffix minima
-/// ([`PoolState::component_min`] folded from the tail) lets a scan accept
-/// as soon as everything from the current segment onward fits. The skyline
-/// is rebuilt with the fold and partially invalidated by reservations
-/// (`skyline_clean_from`); queries fall back to exact per-segment checks
-/// inside the invalidated prefix, so results never depend on the index.
-#[derive(Clone, Debug, Default)]
+/// Storage is split: one [`PoolState`] **machine template** (topology,
+/// capacities — identical across every segment of a profile by
+/// construction, since all segments derive from the same pool) plus a
+/// packed [`FreeState`] per segment holding only the mutable free
+/// counters. Walks, suffix minima, and tree aggregates all operate on
+/// the packed 64-byte states; full `PoolState`s are materialized only at
+/// the API boundary (`state_at`, `states`, `snapshot`) by stamping the
+/// free counters onto the template, so the snapshot wire format is
+/// unchanged.
+///
+/// Queries dispatch to one of three evaluators, picked per machine
+/// shape and segment count:
+///
+/// * **Column scan** (machines whose resources are all pooled — no
+///   per-node flavours — which covers the CPU + burst-buffer
+///   configurations the paper studies): the free counters are mirrored
+///   into column-major arrays (`cols`) and the fit test over a run of
+///   segments becomes a branchless 8-wide chunked compare per resource
+///   column ([`scan_fail_mask8`], compiled to SIMD), with window
+///   boundaries checked once per chunk rather than once per candidate.
+/// * **Hierarchical tree** (flavoured machines at
+///   [`TREE_MIN_SEGMENTS`]-plus segments): a balanced [`ProfileTree`]
+///   with per-resource minimum subtree aggregates answers
+///   `earliest_start` in a single traversal that visits every node at
+///   most once and `fits_interval` via "first blocking segment at or
+///   after rank i" in O(log S), maintained through reservations
+///   (`split_at` inserts, `reserve` refreshes a rank range). On pooled
+///   machines the scan beats it — its subtree pruning degenerates to
+///   near-linear visit counts with worse constants — so they never
+///   build it (measured; see DESIGN.md §10).
+/// * **Linear walk** (everything else, and the oracle): the sequential
+///   packed-state walk with the suffix-minima skyline (O(1) accept once
+///   the remaining tail fits).
+///
+/// The scan, tree, and skyline are acceleration indexes only — results
+/// never depend on which evaluator answered, and debug builds
+/// cross-check every scan and tree answer against the frozen
+/// linear-scan queries
+/// ([`AvailabilityProfile::fits_interval_linear`],
+/// [`AvailabilityProfile::earliest_start_linear`]).
+#[derive(Clone, Debug)]
 pub struct AvailabilityProfile {
     times: Vec<f64>,
-    states: Vec<PoolState>,
-    /// `skyline[i]` = component-wise minimum of `states[i..]`; valid for
-    /// indices `>= skyline_clean_from`.
-    skyline: Vec<PoolState>,
+    /// Packed free counters of the segment on `[times[i], times[i+1])`
+    /// (the last holds forever). The full state of segment `i` is
+    /// `machine.with_free(&frees[i])`.
+    frees: Vec<FreeState>,
+    /// Topology/capacity template shared by every segment: the pool the
+    /// profile was folded from. Its own free counters are never read —
+    /// segment state always comes from `frees`.
+    machine: PoolState,
+    /// Hierarchical min index over `frees`; in-order rank `i` mirrors
+    /// `frees[i]`. Engaged only on flavoured machines at or above
+    /// [`TREE_MIN_SEGMENTS`] segments (column-scan machines never build
+    /// it — see [`AvailabilityProfile::sync_tree`]).
+    tree: ProfileTree,
+    /// `skyline[i]` = component-wise minimum of `frees[i..]`; valid for
+    /// indices `>= skyline_clean_from`. Accelerates the linear queries;
+    /// left empty in release builds when the column scan serves this
+    /// machine (see [`AvailabilityProfile::rebuild_skyline`]).
+    skyline: Vec<FreeState>,
+    /// Watermark below which skyline entries are invalidated by
+    /// reservations. Part of the snapshot wire format ([`ProfileState`])
+    /// and evolves identically whichever query path is active.
     skyline_clean_from: usize,
+    /// Column-major (structure-of-arrays) mirror of `frees` for machines
+    /// without a per-node resource: `cols[r][i]` is segment `i`'s free
+    /// amount of resource `r`. Empty on flavoured machines. Lets the fit
+    /// scan over segments run as a branchless chunked compare per
+    /// resource column instead of a per-segment 64-byte state walk.
+    cols: Vec<Vec<f64>>,
+}
+
+/// Segment count at or above which the hierarchical [`ProfileTree`]
+/// engages, on the flavoured machines the column scan does not cover.
+/// Below it the linear skyline walk answers queries: at small S a
+/// sequential scan of packed 64-byte states beats the tree's
+/// pointer-chasing descent, and skipping the tree also skips its
+/// per-reservation aggregate maintenance (the dominant tree cost on
+/// profiles with many reservations). Chosen from the `profile_ops/*`
+/// micro-benches and the 2k/20k conservative simulation benches. On
+/// pooled-resource machines no threshold rehabilitates the tree — its
+/// aggregate pruning is exact arithmetic there, so a query's visit count
+/// approaches the segment count with worse per-visit constants than the
+/// column scan's SIMD compare — hence scan-served profiles keep it off
+/// at every size (measured at 20k jobs; DESIGN.md §10).
+const TREE_MIN_SEGMENTS: usize = 192;
+
+impl Default for AvailabilityProfile {
+    /// An empty, never-folded profile. `machine` is a zero-capacity
+    /// placeholder; every caller folds (which replaces it) before
+    /// querying.
+    fn default() -> Self {
+        Self {
+            times: Vec::new(),
+            frees: Vec::new(),
+            machine: PoolState::cpu_bb(0, 0.0),
+            tree: ProfileTree::default(),
+            skyline: Vec::new(),
+            skyline_clean_from: 0,
+            cols: Vec::new(),
+        }
+    }
 }
 
 impl PartialEq for AvailabilityProfile {
     /// Profiles are equal when their piecewise-constant functions are:
-    /// same boundaries, same states. The skyline is an acceleration index
-    /// and takes no part in equality.
+    /// same boundaries, same machine shape, same per-segment free
+    /// counters. The tree and skyline are acceleration indexes and take
+    /// no part in equality.
     fn eq(&self, other: &Self) -> bool {
-        self.times == other.times && self.states == other.states
+        self.times == other.times
+            && self.frees == other.frees
+            && (self.frees.is_empty() || self.machine.same_machine(&other.machine))
     }
 }
 
@@ -663,6 +905,53 @@ impl AvailabilityProfile {
         profile
     }
 
+    /// Advances the profile's origin to `now` in place, *keeping* the
+    /// reservation carves — the memoized-replay alternative to a refold.
+    /// Valid only when the release set and pool are unchanged since the
+    /// fold that produced this profile and every carve lies strictly
+    /// beyond `now` (the caller establishes both): then the refold +
+    /// carve-replay this replaces is the same piecewise function, and
+    /// dropping the segments that ended at or before `now` reproduces it
+    /// bit for bit — boundaries beyond `now` are untouched, the origin
+    /// segment's counters already accumulate the releases a refold would
+    /// clamp into the origin, and the skyline watermark shifts with the
+    /// dropped segment count (its index-shifted evolution is identical).
+    ///
+    /// Returns `false` without mutating when the advance cannot
+    /// reproduce the refold exactly: a boundary inside `(now, now +
+    /// 1e-12)` would have been merged into the origin by the fold's
+    /// boundary-dedup window, so the caller must refold instead.
+    ///
+    /// # Panics
+    /// Debug-panics on a never-folded profile or if `now` precedes the
+    /// current origin.
+    pub fn advance_origin(&mut self, now: f64) -> bool {
+        debug_assert!(!self.times.is_empty(), "advance_origin on a never-folded profile");
+        debug_assert!(now >= self.times[0], "advance_origin cannot rewind the origin");
+        let k = self.seg_index(now);
+        if let Some(&t) = self.times.get(k + 1) {
+            if t - now < 1e-12 {
+                return false;
+            }
+        }
+        if k > 0 {
+            self.times.drain(..k);
+            self.frees.drain(..k);
+            for col in &mut self.cols {
+                col.drain(..k);
+            }
+            if !self.skyline.is_empty() {
+                self.skyline.drain(..k);
+            }
+            self.skyline_clean_from = self.skyline_clean_from.saturating_sub(k);
+            // Ranks shifted: resync the tree index (scan machines keep it
+            // off; threshold crossings mirror what a refold would do).
+            self.sync_tree();
+        }
+        self.times[0] = now;
+        true
+    }
+
     /// Refolds the profile in place from releases **already sorted**
     /// ascending by time (ties in any deterministic order; times below
     /// `now` are clamped to it, which preserves sortedness). Reuses the
@@ -679,37 +968,88 @@ impl AvailabilityProfile {
         releases: impl IntoIterator<Item = (f64, JobDemand, NodeAssignment)>,
     ) {
         self.times.clear();
-        self.states.clear();
+        self.frees.clear();
+        self.machine = pool;
         self.times.push(now);
-        self.states.push(pool);
+        // Fold with a full-state accumulator (identical `free` arithmetic
+        // to the pre-packing profile), storing only the packed free
+        // counters per segment.
+        let mut acc = pool;
+        self.frees.push(acc.free_state());
         let mut prev = f64::NEG_INFINITY;
         for (t, d, asn) in releases {
             let t = t.max(now);
             debug_assert!(t >= prev, "rebuild_from_sorted wants ascending releases");
             prev = t;
-            let last = *self.states.last().expect("profile never empty");
-            let mut next = last;
-            next.free(&d, asn);
+            acc.free(&d, asn);
             if (t - *self.times.last().unwrap()).abs() < 1e-12 {
-                *self.states.last_mut().unwrap() = next;
+                *self.frees.last_mut().unwrap() = acc.free_state();
             } else {
                 self.times.push(t);
-                self.states.push(next);
+                self.frees.push(acc.free_state());
             }
         }
+        self.sync_scan();
         self.rebuild_skyline();
+        self.sync_tree();
+    }
+
+    /// Engages or clears the tree index according to the segment count
+    /// (see [`TREE_MIN_SEGMENTS`]). Machines served by the column scan
+    /// never build the tree: the scan answers every query the tree would,
+    /// faster, so the per-reservation aggregate maintenance would be pure
+    /// overhead.
+    fn sync_tree(&mut self) {
+        if self.cols.is_empty() && self.frees.len() >= TREE_MIN_SEGMENTS {
+            self.tree.rebuild(&self.machine, &self.frees);
+        } else {
+            self.tree.clear();
+        }
+    }
+
+    /// Rebuilds the column-major free mirror (see
+    /// [`AvailabilityProfile::scan_active`]) — cleared on machines with a
+    /// per-node resource, whose fit checks go through the flavour pools.
+    fn sync_scan(&mut self) {
+        if self.machine.ssd_aware() {
+            self.cols.clear();
+            return;
+        }
+        let rlen = self.machine.resource_len();
+        self.cols.truncate(rlen);
+        self.cols.resize_with(rlen, Vec::new);
+        for (r, col) in self.cols.iter_mut().enumerate() {
+            col.clear();
+            col.extend(self.frees.iter().map(|f| self.machine.free_component(f, r)));
+        }
+    }
+
+    /// Whether the column scan answers queries for this profile.
+    #[inline]
+    fn scan_active(&self) -> bool {
+        !self.cols.is_empty()
     }
 
     /// Rebuilds the suffix-minima index over the current segments.
+    ///
+    /// On column-scan machines in release builds the vector is left
+    /// empty: the scan answers every production query, so the skyline
+    /// would only accelerate the unused linear path while costing a
+    /// 64-byte memmove on every reservation split. Debug builds keep it
+    /// so the linear oracle the scan is cross-checked against stays
+    /// exact and fast. The `skyline_clean_from` watermark is wire state
+    /// and is maintained identically whether or not the vector exists.
     fn rebuild_skyline(&mut self) {
-        let n = self.states.len();
         self.skyline.clear();
-        self.skyline.resize(n, self.states[n - 1]);
-        for i in (0..n - 1).rev() {
-            let folded = self.states[i].component_min(&self.skyline[i + 1]);
-            self.skyline[i] = folded;
-        }
         self.skyline_clean_from = 0;
+        if self.scan_active() && !cfg!(debug_assertions) {
+            return;
+        }
+        let n = self.frees.len();
+        self.skyline.resize(n, self.frees[n - 1]);
+        for i in (0..n - 1).rev() {
+            self.skyline[i] = self.machine.free_component_min(&self.frees[i], &self.skyline[i + 1]);
+        }
     }
 
     /// Number of segments (diagnostic).
@@ -722,35 +1062,85 @@ impl AvailabilityProfile {
         &self.times
     }
 
-    /// The per-segment states (diagnostic / equivalence tests).
-    pub fn states(&self) -> &[PoolState] {
-        &self.states
+    /// The per-segment states, materialized (diagnostic / equivalence
+    /// tests): segment `i` is the machine template stamped with the
+    /// packed free counters `frees[i]`.
+    pub fn states(&self) -> Vec<PoolState> {
+        self.frees.iter().map(|f| self.machine.with_free(f)).collect()
+    }
+
+    /// Index of the segment containing time `t` (clamped to the origin).
+    #[inline]
+    fn seg_index(&self, t: f64) -> usize {
+        match self.times.binary_search_by(|x| x.total_cmp(&t)) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        }
     }
 
     /// Free state at time `t` (clamped to the profile's origin).
     pub fn state_at(&self, t: f64) -> PoolState {
-        let idx = match self.times.binary_search_by(|x| x.total_cmp(&t)) {
-            Ok(i) => i,
-            Err(0) => 0,
-            Err(i) => i - 1,
-        };
-        self.states[idx]
+        self.machine.with_free(&self.frees[self.seg_index(t)])
+    }
+
+    /// Whether `d` fits segment `i` (exact, on the packed state).
+    #[inline]
+    fn seg_fits(&self, i: usize, d: &JobDemand) -> bool {
+        self.machine.free_fits(&self.frees[i], d)
     }
 
     /// Whether the skyline entry at `i` is valid and fits `d` — meaning
     /// every segment from `i` onward fits `d`, so a scan can stop.
     #[inline]
     fn tail_fits(&self, i: usize, d: &JobDemand) -> bool {
-        i >= self.skyline_clean_from && self.skyline[i].fits(d)
+        i >= self.skyline_clean_from
+            && i < self.skyline.len()
+            && self.machine.free_fits(&self.skyline[i], d)
     }
 
     /// Whether `d` fits everywhere on `[start, start + duration)`.
     ///
-    /// Boundaries at or before `start` are skipped by binary search; the
-    /// in-range scan short-circuits once the suffix minimum fits.
+    /// With the tree engaged, boundaries at or before `start` are skipped
+    /// by binary search and the index locates the first blocking boundary
+    /// in O(log S) — the interval fits iff that boundary is absent or
+    /// at/after the interval's end (debug builds cross-check against
+    /// [`AvailabilityProfile::fits_interval_linear`]). Small profiles
+    /// take the linear skyline walk directly.
     pub fn fits_interval(&self, d: &JobDemand, start: f64, duration: f64) -> bool {
+        if self.scan_active() {
+            let fits = self.fits_interval_scan(d, start, duration);
+            debug_assert_eq!(fits, self.fits_interval_linear(d, start, duration));
+            return fits;
+        }
+        if !self.tree.is_active() {
+            return self.fits_interval_linear(d, start, duration);
+        }
         let end = start + duration;
-        if !self.state_at(start).fits(d) {
+        let fits = self.seg_fits(self.seg_index(start), d) && {
+            // First boundary strictly greater than `start`.
+            let i = self.times.partition_point(|t| *t <= start);
+            match self.tree.first_blocking_at_or_after(i, d, &self.machine, &self.frees) {
+                None => true,
+                Some(b) => self.times[b] >= end,
+            }
+        };
+        debug_assert_eq!(fits, self.fits_interval_linear(d, start, duration));
+        fits
+    }
+
+    /// The frozen linear-scan `fits_interval` (suffix-minima skyline
+    /// acceleration in debug builds): the oracle the tree-indexed
+    /// [`AvailabilityProfile::fits_interval`] is checked against, kept
+    /// public so equivalence tests can compare the two paths explicitly.
+    pub fn fits_interval_linear(&self, d: &JobDemand, start: f64, duration: f64) -> bool {
+        let end = start + duration;
+        let i0 = self.seg_index(start);
+        if self.tail_fits(i0, d) {
+            // Every segment from `start`'s onward fits.
+            return true;
+        }
+        if !self.seg_fits(i0, d) {
             return false;
         }
         // First boundary strictly greater than `start`.
@@ -759,7 +1149,7 @@ impl AvailabilityProfile {
             if self.tail_fits(i, d) {
                 return true;
             }
-            if !self.states[i].fits(d) {
+            if !self.seg_fits(i, d) {
                 return false;
             }
             i += 1;
@@ -773,6 +1163,37 @@ impl AvailabilityProfile {
     /// reservations can carve arbitrary shapes, so every breakpoint is a
     /// candidate). Returns `f64::INFINITY` if it never fits.
     ///
+    /// With the tree engaged, the answer comes from a **single
+    /// traversal** ([`ProfileTree::find_earliest`]): every tree node is
+    /// visited at most once, subtrees whose minimum aggregate fits `d`
+    /// are skipped whole, and candidate accept/advance decisions happen
+    /// in-order during the descent — no per-candidate restart from the
+    /// root. Identical returns to the walk, debug-asserted against
+    /// [`AvailabilityProfile::earliest_start_linear`]. Small profiles
+    /// take the linear skyline walk directly.
+    pub fn earliest_start(&self, d: &JobDemand, from: f64, duration: f64) -> f64 {
+        if self.scan_active() {
+            let found = self.earliest_start_scan(d, from, duration);
+            debug_assert_eq!(
+                found.to_bits(),
+                self.earliest_start_linear(d, from, duration).to_bits()
+            );
+            return found;
+        }
+        if !self.tree.is_active() {
+            return self.earliest_start_linear(d, from, duration);
+        }
+        let found =
+            self.tree.find_earliest(&self.machine, &self.times, &self.frees, d, from, duration);
+        debug_assert_eq!(found.to_bits(), self.earliest_start_linear(d, from, duration).to_bits());
+        found
+    }
+
+    /// The frozen linear-walk `earliest_start` (suffix-minima skyline
+    /// acceleration in debug builds): the oracle the tree-indexed
+    /// [`AvailabilityProfile::earliest_start`] is checked against, kept
+    /// public so equivalence tests can compare the two paths explicitly.
+    ///
     /// Implemented as a single forward walk: when a segment inside the
     /// candidate's interval does not fit, every candidate up to that
     /// segment's boundary is doomed (its interval would contain the
@@ -780,15 +1201,19 @@ impl AvailabilityProfile {
     /// breakpoint. Each segment is visited at most once — O(S) worst case
     /// instead of the O(S²) try-every-breakpoint scan — and the skyline
     /// accepts in O(1) once the remaining tail fits.
-    pub fn earliest_start(&self, d: &JobDemand, from: f64, duration: f64) -> f64 {
+    pub fn earliest_start_linear(&self, d: &JobDemand, from: f64, duration: f64) -> f64 {
         let n = self.times.len();
+        if self.tail_fits(self.seg_index(from), d) {
+            // Every segment from `from`'s onward fits: accept in O(1).
+            return from;
+        }
         let mut cand = from;
         // First boundary strictly after the candidate.
         let mut i = self.times.partition_point(|t| *t <= from);
-        if !self.state_at(from).fits(d) {
+        if !self.seg_fits(i.saturating_sub(1), d) {
             // `from` fails in its own segment: advance to the first
             // breakpoint whose segment fits.
-            while i < n && !self.states[i].fits(d) {
+            while i < n && !self.seg_fits(i, d) {
                 i += 1;
             }
             if i == n {
@@ -805,13 +1230,13 @@ impl AvailabilityProfile {
                 if self.tail_fits(i, d) {
                     return cand;
                 }
-                if !self.states[i].fits(d) {
+                if !self.seg_fits(i, d) {
                     // Segment i blocks every candidate in (cand, times[i]]
                     // (their intervals all contain it, and times[i]'s own
                     // segment does not fit). Jump to the next fitting
                     // breakpoint.
                     i += 1;
-                    while i < n && !self.states[i].fits(d) {
+                    while i < n && !self.seg_fits(i, d) {
                         i += 1;
                     }
                     if i == n {
@@ -824,6 +1249,213 @@ impl AvailabilityProfile {
                 i += 1;
             }
             return cand;
+        }
+    }
+
+    /// Per-resource fit thresholds of `d` for the column scan: segment
+    /// `i` fits iff `cols[0][i] >= need[0]` (nodes, exact) and
+    /// `cols[r][i] + 1e-9 >= need[r]` for every further resource — the
+    /// same comparisons, in the same floating-point arithmetic, as
+    /// [`PoolState::free_fits`] on an unflavoured machine.
+    #[inline]
+    fn scan_need(&self, d: &JobDemand) -> [f64; MAX_RESOURCES] {
+        let mut need = [f64::NEG_INFINITY; MAX_RESOURCES];
+        for (r, n) in need.iter_mut().enumerate().take(self.cols.len()) {
+            *n = self.machine.demand_of(d, r);
+        }
+        need
+    }
+
+    /// Whether segment `j` fails the demand whose thresholds are `need`.
+    #[inline]
+    fn scan_fails_at(&self, need: &[f64; MAX_RESOURCES], j: usize) -> bool {
+        if self.cols[0][j] < need[0] {
+            return true;
+        }
+        for r in 1..self.cols.len() {
+            if self.cols[r][j] + FIT_EPS < need[r] {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// First segment in `[i, lim)` that fails `need`, or `lim`. The
+    /// two-resource layout (the paper's CPU + burst-buffer machine) runs
+    /// as a chunked branchless compare over the columns so the compiler
+    /// can vectorize it; other widths take the scalar loop.
+    fn scan_next_fail(&self, need: &[f64; MAX_RESOURCES], mut i: usize, lim: usize) -> usize {
+        if self.cols.len() == 2 && i < lim {
+            let c0 = &self.cols[0][..lim];
+            let c1 = &self.cols[1][..lim];
+            let (n0, n1) = (need[0], need[1]);
+            const W: usize = 8;
+            while i + W <= lim {
+                let a = &c0[i..i + W];
+                let b = &c1[i..i + W];
+                let mut any = false;
+                for k in 0..W {
+                    any |= (a[k] < n0) | (b[k] + FIT_EPS < n1);
+                }
+                if any {
+                    break;
+                }
+                i += W;
+            }
+            while i < lim {
+                if (c0[i] < n0) | (c1[i] + FIT_EPS < n1) {
+                    return i;
+                }
+                i += 1;
+            }
+            return lim;
+        }
+        while i < lim {
+            if self.scan_fails_at(need, i) {
+                return i;
+            }
+            i += 1;
+        }
+        lim
+    }
+
+    /// First segment in `[i, lim)` that fits `need`, or `lim`.
+    fn scan_next_fit(&self, need: &[f64; MAX_RESOURCES], mut i: usize, lim: usize) -> usize {
+        if self.cols.len() == 2 && i < lim {
+            let c0 = &self.cols[0][..lim];
+            let c1 = &self.cols[1][..lim];
+            let (n0, n1) = (need[0], need[1]);
+            const W: usize = 8;
+            while i + W <= lim {
+                let a = &c0[i..i + W];
+                let b = &c1[i..i + W];
+                let mut all_fail = true;
+                for k in 0..W {
+                    all_fail &= (a[k] < n0) | (b[k] + FIT_EPS < n1);
+                }
+                if !all_fail {
+                    break;
+                }
+                i += W;
+            }
+            while i < lim {
+                if !((c0[i] < n0) | (c1[i] + FIT_EPS < n1)) {
+                    return i;
+                }
+                i += 1;
+            }
+            return lim;
+        }
+        while i < lim {
+            if !self.scan_fails_at(need, i) {
+                return i;
+            }
+            i += 1;
+        }
+        lim
+    }
+
+    /// Column-scan `fits_interval`: same walk as
+    /// [`AvailabilityProfile::fits_interval_linear`], with the in-window
+    /// segment sweep vectorized over the resource columns.
+    fn fits_interval_scan(&self, d: &JobDemand, start: f64, duration: f64) -> bool {
+        let end = start + duration;
+        let need = self.scan_need(d);
+        if self.scan_fails_at(&need, self.seg_index(start)) {
+            return false;
+        }
+        // First boundary strictly greater than `start`; scan stops at the
+        // first boundary at or beyond the interval's end.
+        let i = self.times.partition_point(|t| *t <= start);
+        let lim = i + self.times[i..].partition_point(|t| *t < end);
+        self.scan_next_fail(&need, i, lim) == lim
+    }
+
+    /// Column-scan `earliest_start`: the same candidate-advancing walk as
+    /// [`AvailabilityProfile::earliest_start_linear`] — each segment is
+    /// still visited at most once — but the forward sweep evaluates the
+    /// fit predicate as a branchless 8-segment bitmask over the resource
+    /// columns, with the window boundary checked once per chunk instead
+    /// of once per segment (and no per-candidate binary search).
+    fn earliest_start_scan(&self, d: &JobDemand, from: f64, duration: f64) -> f64 {
+        let n = self.times.len();
+        let need = self.scan_need(d);
+        let mut cand = from;
+        // First boundary strictly after the candidate.
+        let mut i = self.times.partition_point(|t| *t <= from);
+        if self.scan_fails_at(&need, i.saturating_sub(1)) {
+            // `from` fails in its own segment: advance to the first
+            // breakpoint whose segment fits.
+            i = self.scan_next_fit(&need, i, n);
+            if i == n {
+                return f64::INFINITY;
+            }
+            cand = self.times[i];
+            i += 1;
+        }
+        if self.cols.len() == 2 {
+            let c0 = &self.cols[0][..n];
+            let c1 = &self.cols[1][..n];
+            let times = &self.times[..n];
+            let (n0, n1) = (need[0], need[1]);
+            'candidate: loop {
+                let end = cand + duration;
+                while i + 8 <= n {
+                    if times[i] >= end {
+                        // The candidate's window closed with no block.
+                        return cand;
+                    }
+                    let m = scan_fail_mask8(c0, c1, n0, n1, i);
+                    if m != 0 {
+                        let b = i + m.trailing_zeros() as usize;
+                        if times[b] >= end {
+                            return cand;
+                        }
+                        // Segment b blocks every candidate in
+                        // (cand, times[b]]: jump to the next fit.
+                        i = self.scan_next_fit(&need, b + 1, n);
+                        if i == n {
+                            return f64::INFINITY;
+                        }
+                        cand = times[i];
+                        i += 1;
+                        continue 'candidate;
+                    }
+                    i += 8;
+                }
+                while i < n {
+                    if times[i] >= end {
+                        return cand;
+                    }
+                    if (c0[i] < n0) | (c1[i] + FIT_EPS < n1) {
+                        i = self.scan_next_fit(&need, i + 1, n);
+                        if i == n {
+                            return f64::INFINITY;
+                        }
+                        cand = times[i];
+                        i += 1;
+                        continue 'candidate;
+                    }
+                    i += 1;
+                }
+                return cand;
+            }
+        }
+        loop {
+            let end = cand + duration;
+            let lim = i + self.times[i..].partition_point(|t| *t < end);
+            let b = self.scan_next_fail(&need, i, lim);
+            if b == lim {
+                return cand;
+            }
+            // Segment b blocks every candidate in (cand, times[b]]: jump
+            // to the next fitting breakpoint.
+            i = self.scan_next_fit(&need, b + 1, n);
+            if i == n {
+                return f64::INFINITY;
+            }
+            cand = self.times[i];
+            i += 1;
         }
     }
 
@@ -841,6 +1473,8 @@ impl AvailabilityProfile {
         // test anyway — skip it by binary search).
         let first = self.times.partition_point(|t| *t <= start).saturating_sub(1);
         let mut dirty_end = self.skyline_clean_from;
+        let (mut lo_mut, mut hi_mut) = (usize::MAX, 0usize);
+        let machine = self.machine;
         for i in first..self.times.len() {
             let seg_start = self.times[i];
             if seg_start >= end {
@@ -850,28 +1484,62 @@ impl AvailabilityProfile {
             if seg_end <= start {
                 continue;
             }
-            // Segment overlaps the reservation: subtract.
-            let state = &mut self.states[i];
-            debug_assert!(state.fits(d));
-            let _ = state.alloc(d);
+            // Segment overlaps the reservation: subtract. The interval
+            // fit was established by the caller (debug-asserted above),
+            // so the unchecked carve applies — same arithmetic as
+            // `free_alloc`, minus the per-segment fit re-check.
+            let _ = machine.free_carve(&mut self.frees[i], d);
+            lo_mut = lo_mut.min(i);
+            hi_mut = i + 1;
             dirty_end = dirty_end.max(i + 1);
+        }
+        // Mirror the carve into the columns as one tight subtraction per
+        // resource: the same `free - demand` arithmetic `free_alloc`
+        // applied to the packed states, so the mirrored values stay
+        // bit-identical (debug-checked below).
+        if lo_mut < hi_mut {
+            for (r, col) in self.cols.iter_mut().enumerate() {
+                let demand = machine.demand_of(d, r);
+                for v in &mut col[lo_mut..hi_mut] {
+                    *v -= demand;
+                }
+            }
+            debug_assert!((lo_mut..hi_mut).all(|i| {
+                (0..self.cols.len())
+                    .all(|r| self.cols[r][i] == machine.free_component(&self.frees[i], r))
+            }));
+        }
+        // Repair the tree index's aggregates over the mutated rank range
+        // (the flat packed states above are its single source of truth).
+        if self.tree.is_active() && lo_mut < hi_mut {
+            self.tree.refresh_range(lo_mut, hi_mut, &self.machine, &self.frees);
         }
         // Suffix minima at or before a mutated segment may now overstate
         // availability; invalidate them (queries fall back to exact
-        // per-segment checks there).
+        // per-segment checks there). Repairing the skyline in place was
+        // measured instead and lost: carved minima propagate nearly the
+        // whole prefix down, and valid-but-congestion-tight suffix entries
+        // almost never accept mid-profile while costing a full state
+        // compare per visited boundary.
         self.skyline_clean_from = dirty_end;
     }
 
-    /// Extracts the profile's owned state: boundaries, per-segment states,
-    /// and the skyline watermark. The skyline values themselves are an
-    /// index and are rebuilt on restore; entries at or beyond the
-    /// watermark come out identical to the maintained ones (they are
-    /// suffix minima over unmutated segments), and entries below it are
-    /// never read, so queries answer exactly as the original would have.
+    /// Extracts the profile's owned state: boundaries, per-segment states
+    /// (materialized from the packed free counters — byte-identical to
+    /// the pre-packing full states, since every segment shares the fold
+    /// pool's topology and capacities), and the skyline watermark. The
+    /// tree and skyline are **indexes, not state** — neither appears on
+    /// the wire, and restore rebuilds them from the flat segments: the
+    /// tree deterministically from the exact states, and the skyline with
+    /// entries at or beyond the watermark identical to the maintained
+    /// ones (they are suffix minima over unmutated segments) while
+    /// entries below it are never read. Queries therefore answer exactly
+    /// as the original would have, and the snapshot schema is unchanged
+    /// by the indexing strategy.
     pub fn snapshot(&self) -> ProfileState {
         ProfileState {
             times: self.times.clone(),
-            states: self.states.clone(),
+            states: self.states(),
             skyline_clean_from: self.skyline_clean_from,
         }
     }
@@ -905,13 +1573,27 @@ impl AvailabilityProfile {
                 state.times.len()
             )));
         }
+        // Every segment of a folded profile derives from one pool, so all
+        // must agree on topology and capacities — that shared machine
+        // becomes the template the packed free counters are read against.
+        let machine = state.states[0];
+        if state.states.iter().any(|s| !s.same_machine(&machine)) {
+            return Err(SchedError::CorruptSnapshot(
+                "profile segments must share one machine topology and capacity".into(),
+            ));
+        }
         let mut profile = Self {
             times: state.times,
-            states: state.states,
+            frees: state.states.iter().map(|s| s.free_state()).collect(),
+            machine,
+            tree: ProfileTree::default(),
             skyline: Vec::new(),
             skyline_clean_from: 0,
+            cols: Vec::new(),
         };
+        profile.sync_scan();
         profile.rebuild_skyline();
+        profile.sync_tree();
         profile.skyline_clean_from = state.skyline_clean_from;
         Ok(profile)
     }
@@ -925,21 +1607,40 @@ impl AvailabilityProfile {
         match self.times.binary_search_by(|x| x.total_cmp(&t)) {
             Ok(_) => {}
             Err(i) => {
-                let state = self.states[i - 1];
+                let f = self.frees[i - 1];
                 self.times.insert(i, t);
-                self.states.insert(i, state);
-                // Keep the skyline index-aligned. Entries before `i` are
-                // unchanged (the duplicate state was already folded into
-                // them via the original segment); the new entry folds the
-                // duplicate with the old suffix at `i`.
+                self.frees.insert(i, f);
+                for (r, col) in self.cols.iter_mut().enumerate() {
+                    col.insert(i, self.machine.free_component(&f, r));
+                }
+                // Mirror the duplicate segment into the tree at the same
+                // rank (O(log S) balanced insert; reads the new state
+                // from the just-updated flat vector). Growing across the
+                // activation threshold engages the index mid-pass.
+                if self.tree.is_active() {
+                    self.tree.insert(i, &self.machine, &self.frees);
+                } else if self.cols.is_empty() && self.frees.len() >= TREE_MIN_SEGMENTS {
+                    // Mid-pass activation (column-scan machines never
+                    // engage the tree; see `sync_tree`).
+                    self.tree.rebuild(&self.machine, &self.frees);
+                }
+                // Keep the skyline index-aligned (when maintained — see
+                // `rebuild_skyline`). Entries before `i` are unchanged
+                // (the duplicate state was already folded into them via
+                // the original segment); the new entry folds the
+                // duplicate with the old suffix at `i`. Inside the
+                // invalidated prefix the value is never read. The
+                // watermark shift below the invalidation point is wire
+                // state and applies whether or not the vector exists.
                 if i < self.skyline_clean_from {
-                    // Inside the invalidated prefix: value is never read.
-                    self.skyline.insert(i, state);
+                    if !self.skyline.is_empty() {
+                        self.skyline.insert(i, f);
+                    }
                     self.skyline_clean_from += 1;
-                } else {
+                } else if !self.skyline.is_empty() {
                     let v = match self.skyline.get(i) {
-                        Some(next) => state.component_min(next),
-                        None => state,
+                        Some(next) => self.machine.free_component_min(&f, next),
+                        None => f,
                     };
                     self.skyline.insert(i, v);
                 }

@@ -41,6 +41,12 @@ pub enum SchedError {
     /// The message names the first inconsistency found.
     CorruptSnapshot(String),
     /// A snapshot was written by an incompatible wire-schema version.
+    ///
+    /// There is no migration path by policy: a snapshot is a
+    /// continuation token consumed by a build with the same schema
+    /// version (today, exactly v1), not an archival format. Regenerate
+    /// the snapshot from its producer rather than patching it — see
+    /// DESIGN.md §12 ("resume requires `schema_version: 1`").
     SnapshotVersion {
         /// Version found in the snapshot.
         found: u32,

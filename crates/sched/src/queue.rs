@@ -111,14 +111,24 @@ impl QueueManager {
                 // to the cached values: descending score, then submit,
                 // then id; stable sort. Identical permutation, one score
                 // evaluation per entry instead of one per comparison.
-                scores.sort_by(|a, b| {
+                let cmp = |a: &(f64, f64, u64, usize), b: &(f64, f64, u64, usize)| {
                     b.0.partial_cmp(&a.0)
                         .unwrap_or(std::cmp::Ordering::Equal)
                         .then_with(|| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
                         .then_with(|| a.2.cmp(&b.2))
-                });
-                self.queue.clear();
-                self.queue.extend(scores.iter().map(|e| e.3));
+                };
+                // Fast path: WFP scores drift with waiting time but their
+                // *order* is usually stable between invocations, so one
+                // O(Q) adjacent-pair pass decides whether the O(Q log Q)
+                // sort would be the identity. With no adjacent pair out
+                // of order the sequence is sorted under `cmp`, a stable
+                // sort cannot move anything, and the queue rebuild would
+                // reproduce the held order — skip both.
+                if scores.windows(2).any(|w| cmp(&w[0], &w[1]) == std::cmp::Ordering::Greater) {
+                    scores.sort_by(cmp);
+                    self.queue.clear();
+                    self.queue.extend(scores.iter().map(|e| e.3));
+                }
                 self.scores = scores;
             }
         }

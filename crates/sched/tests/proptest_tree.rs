@@ -1,0 +1,246 @@
+//! Property test: every query index inside [`AvailabilityProfile`] is
+//! bit-identical to the linear evaluators it accelerates.
+//!
+//! The profile dispatches queries to one of three evaluators — the
+//! column scan (pooled-resource machines), the hierarchical segment tree
+//! (flavoured machines at 192+ segments), or the linear skyline walk
+//! (everything else) — and the dispatch must be pure acceleration:
+//! indistinguishable from the linear walk, which in turn must match the
+//! frozen scan-everything [`LegacyProfile`]. This harness seeds large
+//! machines with enough staggered releases to push profiles past the
+//! tree threshold, then drives random start / finish / reserve
+//! interleavings over R ∈ {2, 3, 4} systems (heterogeneous SSD flavours
+//! included), asserting at every pass:
+//!
+//! 1. `earliest_start` / `fits_interval` / `state_at` from the
+//!    dispatched path `==` the `*_linear` oracles `==` `LegacyProfile`,
+//!    both on a freshly folded profile and after reservations have
+//!    split segments and invalidated the skyline watermark;
+//! 2. post-`reserve` boundaries and states are bit-identical between
+//!    the indexed profile and `LegacyProfile`;
+//! 3. `advance_origin` (the replay fast path's origin drop) agrees with
+//!    a from-scratch clamp-fold at the advanced instant.
+//!
+//! Debug builds double the coverage for free: the dispatched queries
+//! internally cross-check the scan and tree answers against the linear
+//! walk via `debug_assert!` oracles on every call made here.
+
+use bbsched_core::pools::PoolState;
+use bbsched_core::problem::{JobDemand, SSD_LARGE_GB, SSD_SMALL_GB};
+use bbsched_core::resource::{DemandSlot, FlavorSet, ResourceModel, ResourceSpec};
+use bbsched_sched::{AllocLedger, AvailabilityProfile, LegacyProfile, ReleaseMirror};
+use proptest::prelude::*;
+
+/// One encoded operation: `(kind, a, b, c)` with `kind % 3` selecting
+/// finish / query-pass / reserve-pass and the rest seeding demands.
+type Op = (u8, u16, u16, u16);
+
+/// Mirror of the profile's private tree threshold: the seed phase must
+/// push flavoured profiles past it so the tree actually serves queries.
+const TREE_MIN_SEGMENTS: usize = 192;
+
+/// A system under test: its full pool, a demand generator mapping raw op
+/// words onto (sometimes infeasible) probe demands, and how many
+/// staggered seed jobs to start before the random interleaving begins.
+struct SystemUnderTest {
+    pool: PoolState,
+    demand: fn(u16, u16, u16) -> JobDemand,
+    seed_jobs: usize,
+    /// Seed-phase per-node SSD demand (flavoured systems only).
+    seed_ssd: fn(usize) -> f64,
+}
+
+fn systems() -> Vec<SystemUnderTest> {
+    // R = 2, pooled only: big enough for 230 concurrent single-node
+    // jobs, so the column scan works 192-plus-segment profiles.
+    let pooled = SystemUnderTest {
+        pool: PoolState::cpu_bb(512, 50_000.0),
+        demand: |a, b, _| JobDemand::cpu_bb(1 + u32::from(a) % 600, f64::from(b % 800) * 70.0),
+        seed_jobs: 230,
+        seed_ssd: |_| 0.0,
+    };
+    // R = 3, heterogeneous two-tier local SSDs: 256 flavoured nodes, so
+    // the hierarchical tree engages once the seed jobs are running.
+    let ssd = SystemUnderTest {
+        pool: PoolState::with_ssd(128, 128, 30_000.0),
+        demand: |a, b, c| {
+            let ssd = match c % 4 {
+                0 => 0.0,
+                1 => 64.0,
+                2 => 150.0,
+                _ => 240.0,
+            };
+            JobDemand::cpu_bb_ssd(1 + u32::from(a) % 300, f64::from(b % 700) * 45.0, ssd)
+        },
+        seed_jobs: 225,
+        seed_ssd: |i| match i % 8 {
+            0..=3 => 0.0,
+            4 | 5 => 64.0,
+            6 => 150.0,
+            _ => 240.0,
+        },
+    };
+    // R = 4: flavoured SSDs plus an extra pooled resource (GPUs).
+    let model = ResourceModel::new(vec![
+        ResourceSpec::pooled("nodes", 256.0, DemandSlot::Nodes),
+        ResourceSpec::pooled("bb_gb", 25_000.0, DemandSlot::BbGb),
+        ResourceSpec::per_node(
+            "ssd",
+            FlavorSet::two_tier(SSD_SMALL_GB, 128, SSD_LARGE_GB, 128),
+            DemandSlot::SsdPerNode,
+        ),
+        ResourceSpec::pooled("gpus", 512.0, DemandSlot::Extra(0)),
+    ])
+    .expect("4-resource test model is valid");
+    let four = SystemUnderTest {
+        pool: PoolState::from_model(&model),
+        demand: |a, b, c| {
+            let ssd = if c % 3 == 0 { 0.0 } else { f64::from(c % 200) };
+            JobDemand::cpu_bb_ssd(1 + u32::from(a) % 280, f64::from(b % 600) * 35.0, ssd)
+                .with_extra(0, f64::from(c % 520))
+        },
+        seed_jobs: 225,
+        seed_ssd: |i| if i % 3 == 0 { 64.0 } else { 0.0 },
+    };
+    vec![pooled, ssd, four]
+}
+
+/// Asserts the three evaluators agree on one query shape.
+fn check_queries(
+    profile: &AvailabilityProfile,
+    legacy: &LegacyProfile,
+    d: &JobDemand,
+    now: f64,
+    dur: f64,
+) -> Result<(), TestCaseError> {
+    let t = profile.earliest_start(d, now, dur);
+    prop_assert_eq!(t, profile.earliest_start_linear(d, now, dur), "dispatch vs linear walk");
+    prop_assert_eq!(t, legacy.earliest_start(d, now, dur), "dispatch vs LegacyProfile");
+    for off in [0.0, 0.25, 4.0, 33.0] {
+        let fits = profile.fits_interval(d, now + off, dur);
+        prop_assert_eq!(fits, profile.fits_interval_linear(d, now + off, dur));
+        prop_assert_eq!(fits, legacy.fits_interval(d, now + off, dur));
+        prop_assert_eq!(profile.state_at(now + off), legacy.state_at(now + off));
+    }
+    Ok(())
+}
+
+/// Drives one interleaving on one system, checking evaluator agreement
+/// at every pass.
+fn check_interleaving(sut: &SystemUnderTest, ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut ledger = AllocLedger::new(sut.pool);
+    let mut mirror = ReleaseMirror::new();
+    let mut profile = AvailabilityProfile::default();
+    let mut now = 0.0f64;
+    let mut running: Vec<usize> = Vec::new();
+
+    // Seed: staggered single-node jobs with distinct release times, so
+    // the profile opens with one segment per seed job and the tree (on
+    // flavoured machines) is the evaluator actually under test.
+    for i in 0..sut.seed_jobs {
+        let d = JobDemand::cpu_bb_ssd(1, f64::from(i as u16 % 50) * 4.0, (sut.seed_ssd)(i));
+        if ledger.fits(&d) {
+            ledger.start(i, d, 400.0 + i as f64 * 7.0);
+            running.push(i);
+        }
+    }
+    mirror.sync(&ledger);
+    mirror.fold_into(now, *ledger.pool(), &mut profile);
+    prop_assert!(
+        profile.times().len() >= TREE_MIN_SEGMENTS,
+        "seed phase must cross the tree threshold, got {} segments",
+        profile.times().len()
+    );
+    let mut next_idx = sut.seed_jobs;
+
+    for &(kind, a, b, c) in ops {
+        now += f64::from(a % 9) * 0.75;
+        match kind % 3 {
+            0 => {
+                // Finish a random running job, then start a probe-shaped
+                // one when it fits (like the engine: no forced starts).
+                if !running.is_empty() {
+                    let pos = usize::from(a) % running.len();
+                    ledger.finish(running.swap_remove(pos));
+                }
+                let d = (sut.demand)(a % 97, b, c);
+                if ledger.fits(&d) {
+                    ledger.start(next_idx, d, now + 1.0 + f64::from(b % 800));
+                    running.push(next_idx);
+                    next_idx += 1;
+                }
+            }
+            1 => {
+                // Query pass on a freshly folded profile: the fold must
+                // equal a from-scratch build, and every evaluator must
+                // agree — including after an `advance_origin`, the
+                // replay fast path's in-place origin drop.
+                mirror.sync(&ledger);
+                mirror.fold_into(now, *ledger.pool(), &mut profile);
+                let fresh =
+                    AvailabilityProfile::new(now, *ledger.pool(), ledger.release_schedule());
+                prop_assert_eq!(&profile, &fresh, "incremental fold diverged at t={}", now);
+                let legacy = LegacyProfile::new(now, *ledger.pool(), ledger.release_schedule());
+                let probe = (sut.demand)(b, c, a);
+                check_queries(&profile, &legacy, &probe, now, 1.0 + f64::from(c % 300))?;
+
+                let adv = now + f64::from(c % 40) * 0.3;
+                let mut advanced = profile.clone();
+                if advanced.advance_origin(adv) {
+                    let at_adv =
+                        AvailabilityProfile::new(adv, *ledger.pool(), ledger.release_schedule());
+                    prop_assert_eq!(
+                        &advanced,
+                        &at_adv,
+                        "advance_origin diverged from a fresh clamp-fold at t={}",
+                        adv
+                    );
+                    let legacy_adv =
+                        LegacyProfile::new(adv, *ledger.pool(), ledger.release_schedule());
+                    check_queries(&advanced, &legacy_adv, &probe, adv, 1.0 + f64::from(b % 120))?;
+                }
+            }
+            _ => {
+                // Reserve pass: carve reservations identically into the
+                // indexed profile and the legacy oracle (exactly how the
+                // conservative strategy uses them), then re-query with
+                // split segments and a partially invalidated skyline.
+                mirror.sync(&ledger);
+                mirror.fold_into(now, *ledger.pool(), &mut profile);
+                let mut legacy = LegacyProfile::new(now, *ledger.pool(), ledger.release_schedule());
+                for salt in 0..3u16 {
+                    let rd = (sut.demand)(a ^ salt, c, b ^ salt);
+                    let rdur = 1.0 + f64::from((b ^ salt) % 400);
+                    let t = profile.earliest_start(&rd, now, rdur);
+                    prop_assert_eq!(t, legacy.earliest_start(&rd, now, rdur));
+                    if t.is_finite() {
+                        profile.reserve(&rd, t, rdur);
+                        legacy.reserve(&rd, t, rdur);
+                    }
+                }
+                prop_assert_eq!(profile.times(), legacy.times(), "post-reserve boundaries");
+                prop_assert_eq!(profile.states(), legacy.states(), "post-reserve states");
+                check_queries(&profile, &legacy, &(sut.demand)(c, a, b), now, 2.0)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24 })]
+
+    /// Satellite: tree / column-scan / linear-skyline dispatch is
+    /// bit-identical to the linear oracles and to `LegacyProfile` under
+    /// random start/finish/reserve interleavings on R ∈ {2, 3, 4}
+    /// systems with 192-plus-segment profiles.
+    #[test]
+    fn tree_profile_matches_skyline(
+        ops in proptest::collection::vec(
+            (0u8..3, 0u16..10_000, 0u16..10_000, 0u16..10_000), 1..40),
+    ) {
+        for sut in systems() {
+            check_interleaving(&sut, &ops)?;
+        }
+    }
+}

@@ -575,6 +575,43 @@ fn golden_incremental_conservative_equals_rebuild_per_pass() {
     }
 }
 
+/// Bench-scale old-vs-new: the exact `simulate_large/20k_conservative_fcfs`
+/// workload (same machine, generator seed, and queue-scoped config as
+/// `bench_sim`) through both conservative strategies, asserting the full
+/// 20k-record `SimResult`s are identical. At this depth the profiles carry
+/// hundreds of segments per pass, so the memoized replay path and the
+/// column-scan / tree query indexes all engage — none of which the small
+/// golden traces above reach. Ignored by default: the rebuild-per-pass
+/// oracle alone takes ~13 minutes in release (hours in debug). Run with
+/// `cargo test --release -p bbsched-sim --test golden_equivalence -- --ignored`.
+#[test]
+#[ignore = "bench-scale (~15 min in release); run explicitly with -- --ignored"]
+fn golden_20k_conservative_equals_rebuild_at_bench_scale() {
+    let profile = MachineProfile::theta().scaled(0.2);
+    let trace = generate(
+        &profile,
+        &GeneratorConfig { n_jobs: 20_000, seed: 77, load_factor: 1.05, ..Default::default() },
+    );
+    let run = |algo: BackfillAlgorithm| {
+        let cfg = SimConfig {
+            base: BaseScheduler::Fcfs,
+            backfill_algorithm: algo,
+            backfill: BackfillScope::Queue,
+            ..SimConfig::default()
+        };
+        Simulator::new(&profile.system, &trace, cfg)
+            .unwrap()
+            .run(PolicyKind::Baseline.build(GaParams::default()))
+    };
+    let incremental = run(BackfillAlgorithm::Conservative);
+    let rebuild = run(BackfillAlgorithm::ConservativeRebuild);
+    assert_eq!(incremental.records.len(), 20_000);
+    assert_eq!(
+        incremental, rebuild,
+        "20k conservative SimResult diverged from the rebuild-per-pass oracle"
+    );
+}
+
 #[test]
 fn golden_ssd_roster_on_heterogeneous_system() {
     let system = SystemConfig {
