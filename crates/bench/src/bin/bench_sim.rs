@@ -348,6 +348,73 @@ fn main() {
         }
     }
 
+    // --- queue_resort: kinetic WFP priority maintenance ---
+    // Drives `QueueManager` directly: seed `w` waiting jobs, then run 64
+    // scheduling invocations at advancing `now`, each re-establishing the
+    // exact WFP permutation. `wfp_kinetic` is the engine's path — the
+    // certificate index pays per *crossing*, so a quiescent invocation is
+    // a heap peek; `wfp_full_resort` is the pre-kinetic discipline (score
+    // every job, stable-sort the cached scores) on the same job stream,
+    // kept as the honest old-vs-new contrast for DESIGN.md §10.2. Two
+    // regimes bracket real workloads: `burst` starts invoking right after
+    // the submit window, when every wait is still small and score
+    // crossings are dense (the kinetic worst case — the storm guard falls
+    // back to the rebuild there); `aged` starts invoking two days later,
+    // when the order has largely converged and crossings are sparse (the
+    // regime a live queue spends almost all wall-clock time in).
+    {
+        let mut rng = SmallRng::seed_from_u64(4_242);
+        for w in [1_000usize, 10_000] {
+            let label = if w == 1_000 { "1k" } else { "10k" };
+            let jobs: Vec<Job> = (0..w)
+                .map(|i| {
+                    let submit = rng.random_range(0.0..7_200.0);
+                    let nodes = 1u32 << rng.random_range(0..9);
+                    let wall =
+                        [300.0, 1_800.0, 3_600.0, 14_400.0, 43_200.0][rng.random_range(0..5usize)];
+                    Job::new(i as u64, submit, nodes, wall * 0.7, wall)
+                })
+                .collect();
+            for (regime, start) in [("burst", 7_260.0f64), ("aged", 180_000.0f64)] {
+                push(
+                    &format!("queue_resort_w{label}/wfp_kinetic_{regime}"),
+                    samples,
+                    0.02,
+                    &mut || {
+                        let mut q = bbsched_sched::QueueManager::new(BaseScheduler::Wfp);
+                        for i in 0..jobs.len() {
+                            q.push(i, &jobs);
+                        }
+                        let mut acc = 0usize;
+                        let mut now = start;
+                        for _ in 0..64 {
+                            q.order(&jobs, now);
+                            acc ^= q.as_slice()[0];
+                            now += 30.0;
+                        }
+                        acc
+                    },
+                );
+                push(
+                    &format!("queue_resort_w{label}/wfp_full_resort_{regime}"),
+                    samples,
+                    0.02,
+                    &mut || {
+                        let mut q: Vec<usize> = (0..jobs.len()).collect();
+                        let mut acc = 0usize;
+                        let mut now = start;
+                        for _ in 0..64 {
+                            BaseScheduler::Wfp.order(&mut q, &jobs, now);
+                            acc ^= q[0];
+                            now += 30.0;
+                        }
+                        acc
+                    },
+                );
+            }
+        }
+    }
+
     // --- snapshot_restore: the explicit-state round trip (DESIGN.md §12) ---
     // Times extract + JSON wire encode + decode + inject of a warmed core
     // with `w` known jobs: the full cost a checkpoint write plus a resume

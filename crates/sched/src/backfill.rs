@@ -45,8 +45,8 @@
 //!   flavours) mirror the free counters into column-major arrays and
 //!   answer `fits_interval`/`earliest_start` with a branchless
 //!   SIMD-friendly chunk scan; machines with flavoured per-node
-//!   resources at [`TREE_MIN_SEGMENTS`]-plus segments use a balanced
-//!   tree ([`crate::tree`]) with per-resource minimum subtree
+//!   resources at `TREE_MIN_SEGMENTS`-plus segments use a balanced
+//!   tree (`crate::tree`) with per-resource minimum subtree
 //!   aggregates to locate the first blocking segment in O(log S). The
 //!   suffix-minima skyline accelerates the linear walk that remains the
 //!   debug-build oracle for both.
@@ -124,6 +124,7 @@ pub struct BackfillCtx<'e, 'o> {
     pub(crate) waiting: &'e [usize],
     pub(crate) blocked_head: Option<usize>,
     pub(crate) max_scan: usize,
+    pub(crate) stable_prefix: usize,
     pub(crate) core: &'e mut crate::service::CoreState<'o>,
 }
 
@@ -149,6 +150,17 @@ impl<'e> BackfillCtx<'e, '_> {
     /// Maximum candidates the strategy may examine.
     pub fn max_scan(&self) -> usize {
         self.max_scan
+    }
+
+    /// Number of leading [`BackfillCtx::waiting`] entries certified
+    /// unchanged — same jobs, same order — since the previous
+    /// invocation's candidate list. `0` whenever the engine cannot prove
+    /// the witness cheaply (window scope, jobs started this invocation,
+    /// dependency filtering in play, a restore); strategies must then
+    /// fall back to comparing. Conservative backfilling uses this for an
+    /// O(1) replay-prefix check instead of an O(k) elementwise compare.
+    pub fn stable_prefix(&self) -> usize {
+        self.stable_prefix
     }
 
     /// Whether job `idx` already started in this invocation.
@@ -358,6 +370,17 @@ pub struct ConservativeBackfill {
     /// ledger change or queue reordering.
     cache_ordered: Vec<usize>,
     cache_outcome: Vec<f64>,
+    /// Whether the memo was recorded by a pass with no blocked head —
+    /// i.e. `cache_ordered` is literally a prefix of that pass's waiting
+    /// list, with no reservation head prepended. Precondition for the
+    /// O(1) stable-prefix replay witness in
+    /// [`ConservativeBackfill::replay_valid`].
+    cache_head_clean: bool,
+    /// Minimum finite entry of `cache_outcome` (`+inf` when none):
+    /// maintained on record so the "every memoized reservation still
+    /// lies strictly in the future" replay condition is one comparison
+    /// instead of an O(k) scan.
+    cache_min_outcome: f64,
 }
 
 impl ConservativeBackfill {
@@ -388,12 +411,39 @@ impl ConservativeBackfill {
     /// also pins the blocked head — must still fall inside the scan cap,
     /// and every memoized reservation must still lie strictly in the
     /// future (a start time that has come due must re-evaluate against
-    /// the live pool instead).
+    /// the live pool instead). The future check is one comparison
+    /// against the maintained [`ConservativeBackfill::cache_min_outcome`];
+    /// the prefix check is O(1) whenever the engine's kinetic
+    /// stable-prefix witness ([`BackfillCtx::stable_prefix`]) covers the
+    /// memo, falling back to the elementwise compare otherwise.
     fn replay_valid(&self, ctx: &BackfillCtx<'_, '_>) -> bool {
-        !self.cache_ordered.is_empty()
-            && self.cache_ordered.len() <= self.ordered.len().min(ctx.max_scan())
-            && self.ordered[..self.cache_ordered.len()] == self.cache_ordered[..]
-            && self.cache_outcome.iter().all(|&t| !t.is_finite() || t > ctx.now() + TIME_EPS)
+        if self.cache_ordered.is_empty()
+            || self.cache_ordered.len() > self.ordered.len().min(ctx.max_scan())
+            || self.cache_min_outcome <= ctx.now() + TIME_EPS
+        {
+            return false;
+        }
+        // O(1) prefix witness: when the memo was recorded head-clean and
+        // this pass is head-clean too, `ordered` is the waiting list in
+        // both passes, and the queue's kinetic stable prefix certifies
+        // the first `stable_prefix` waiting entries unchanged (the
+        // engine only reports a non-zero witness when waiting == queue:
+        // queue scope, nothing started this invocation, no dependency
+        // filtering — and a pure-arrival ledger, which the caller
+        // already established, pins the filter predicates themselves).
+        // A memo no longer than the witness therefore matches without
+        // being read.
+        if self.cache_head_clean
+            && ctx.blocked_head().is_none()
+            && self.cache_ordered.len() <= ctx.stable_prefix()
+        {
+            debug_assert!(
+                self.ordered[..self.cache_ordered.len()] == self.cache_ordered[..],
+                "stable-prefix witness disagrees with the elementwise prefix compare"
+            );
+            return true;
+        }
+        self.ordered[..self.cache_ordered.len()] == self.cache_ordered[..]
     }
 
     /// Debug-only oracle for the replay fast path: re-derives the whole
@@ -501,8 +551,21 @@ impl BackfillStrategy for ConservativeBackfill {
             self.mirror.fold_into(ctx.now(), *ctx.pool(), &mut self.profile);
             self.cache_ordered.clear();
             self.cache_outcome.clear();
+            self.cache_min_outcome = f64::INFINITY;
             0
         };
+        // Per-pass dominance memo (see [`DominanceMemo`] for the
+        // bit-exactness argument). On a replayed prefix, seed it from
+        // the memoized outcomes so the fresh tail candidates start with
+        // the same bounds a full scan would have accumulated by then.
+        let mut memo = DominanceMemo::new();
+        if begin > 0 {
+            for (&idx, &t) in self.cache_ordered.iter().zip(&self.cache_outcome) {
+                if t.is_finite() && t > ctx.now() + TIME_EPS {
+                    memo.note(&ctx.demand(idx), ctx.walltime(idx).max(1.0), t);
+                }
+            }
+        }
         for pos in begin..self.ordered.len() {
             if pos >= ctx.max_scan() {
                 break;
@@ -515,7 +578,10 @@ impl BackfillStrategy for ConservativeBackfill {
             }
             let d = ctx.demand(idx);
             let walltime = ctx.walltime(idx).max(1.0);
-            let t = self.profile.earliest_start(&d, ctx.now(), walltime);
+            let t = match memo.bound(&d, walltime, ctx.now()) {
+                None => f64::INFINITY,
+                Some(from) => self.profile.earliest_start(&d, from, walltime),
+            };
             if t <= ctx.now() + TIME_EPS && ctx.pool().fits(&d) {
                 ctx.start(idx, true);
                 // Consume from the profile's "now" segments too. The
@@ -529,11 +595,154 @@ impl BackfillStrategy for ConservativeBackfill {
                 ctx.reserve(idx, t);
                 self.cache_ordered.push(idx);
                 self.cache_outcome.push(t);
+                self.cache_min_outcome = self.cache_min_outcome.min(t);
+                if t > ctx.now() + TIME_EPS {
+                    memo.note(&d, walltime, t);
+                }
             } else {
                 self.cache_ordered.push(idx);
                 self.cache_outcome.push(f64::INFINITY);
+                memo.note_inf(&d, walltime);
             }
         }
+        self.cache_head_clean = ctx.blocked_head().is_none();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-pass dominance memo for earliest-start queries.
+// ---------------------------------------------------------------------------
+
+/// Per-pass lower bounds on [`AvailabilityProfile::earliest_start`]
+/// answers, transferred between candidates by demand dominance
+/// (DESIGN.md §10.2).
+///
+/// Within one conservative pass every query starts from `now` and the
+/// profile only ever *loses* free capacity — each reservation carves
+/// space out, nothing is freed mid-pass. So when an earlier candidate
+/// with demand `e` and duration `de` was answered `te`, a later
+/// candidate asking for componentwise at least as much (`d ≥ e`,
+/// `dur ≥ de`) cannot start before `te` either: every candidate start
+/// `< te` already failed for the smaller, shorter request against a
+/// profile that had at least as much free space then. The later query
+/// may therefore begin its profile walk at `te` instead of `now`, and
+/// the answer is **bit-identical** to the full walk's: `te` is itself a
+/// profile boundary (the reservation at `te` split it in), and a start
+/// strictly inside a segment never wins — if `[u, u+dur)` fits for an
+/// interior `u`, the covering segment's left edge fits too and is
+/// earlier — so the walk from `te` examines exactly the boundaries the
+/// full walk would have accepted. An earlier *infinite* answer
+/// transfers the same way: the dominated query is `+inf` without
+/// walking at all. The replay oracle
+/// ([`ConservativeBackfill::verify_replay`]) and the legacy-equivalence
+/// golden suites re-derive every memoized outcome with plain full-walk
+/// queries, so the argument is machine-checked continuously.
+///
+/// Entries are restricted to *plain* demands — no SSD, no extra
+/// resources — which dominate on the three `(nodes, bb_gb, dur)`
+/// components alone (their zero SSD/extra components are `≤` any
+/// query's). Finite answers live in a prefix-max grid over
+/// `⌈log₂ nodes⌉ × duration-bucket` cells, so a lookup probes two
+/// cells — each re-validated componentwise — instead of scanning all
+/// prior entries.
+struct DominanceMemo {
+    /// `grid[i][j]` = the latest-answered entry `(nodes, bb_gb, dur,
+    /// t)` among noted entries with `nodes ≤ 2^i` and `dur ≤ DUR[j]`
+    /// (prefix-max in both axes; `t = -inf` when empty).
+    grid: [[(u32, f64, f64, f64); Self::DB]; Self::NB],
+    /// Plain demands answered `+inf`, first few only (the check is
+    /// linear; one infinite answer usually dominates the rest of the
+    /// pass's big jobs).
+    inf: [(u32, f64, f64); Self::INF_CAP],
+    inf_len: usize,
+}
+
+impl DominanceMemo {
+    const NB: usize = 12;
+    const DB: usize = 8;
+    const INF_CAP: usize = 8;
+    /// Duration-bucket upper bounds (seconds): 1 min .. 2 days, then
+    /// unbounded.
+    const DUR: [f64; Self::DB] =
+        [60.0, 300.0, 900.0, 3600.0, 10800.0, 43200.0, 172800.0, f64::INFINITY];
+
+    fn new() -> Self {
+        Self {
+            grid: [[(0, 0.0, 0.0, f64::NEG_INFINITY); Self::DB]; Self::NB],
+            inf: [(0, 0.0, 0.0); Self::INF_CAP],
+            inf_len: 0,
+        }
+    }
+
+    /// Whether `d` asks for nodes and burst buffer only — the demands
+    /// whose dominance is decided by `(nodes, bb_gb, dur)` alone.
+    fn plain(d: &JobDemand) -> bool {
+        d.ssd_gb_per_node == 0.0 && d.extra.iter().all(|&x| x == 0.0)
+    }
+
+    /// Records the finite answer `t` for a reservation of `d` over
+    /// `dur` seconds. Callers only note answers strictly beyond `now`
+    /// (a bound of `now` is what queries start with anyway).
+    fn note(&mut self, d: &JobDemand, dur: f64, t: f64) {
+        if !Self::plain(d) {
+            return;
+        }
+        let i0 = (32 - (d.nodes.max(1) - 1).leading_zeros()) as usize;
+        if i0 >= Self::NB {
+            return;
+        }
+        let j0 = Self::DUR.iter().position(|&e| dur <= e).unwrap_or(Self::DB - 1);
+        // Prefix-max grid: cells are monotone along both axes, so stop
+        // as soon as one already holds a later answer.
+        for row in self.grid.iter_mut().skip(i0) {
+            if t <= row[j0].3 {
+                break;
+            }
+            for cell in row.iter_mut().skip(j0) {
+                if t <= cell.3 {
+                    break;
+                }
+                *cell = (d.nodes, d.bb_gb, dur, t);
+            }
+        }
+    }
+
+    /// Records that `d` over `dur` can never be placed this pass.
+    fn note_inf(&mut self, d: &JobDemand, dur: f64) {
+        if Self::plain(d) && self.inf_len < Self::INF_CAP {
+            self.inf[self.inf_len] = (d.nodes, d.bb_gb, dur);
+            self.inf_len += 1;
+        }
+    }
+
+    /// The dominance bound for querying `d` over `dur` at `now`:
+    /// `None` when a recorded infinite answer dominates (the query is
+    /// `+inf`, skip the walk), otherwise the time the profile walk may
+    /// start from. Probes the floor cell (largest bucket fully within
+    /// the query's class) and the query's own ceiling cell; both are
+    /// re-validated componentwise, so a miss can only weaken the bound
+    /// back toward `now`, never unsound.
+    fn bound(&self, d: &JobDemand, dur: f64, now: f64) -> Option<f64> {
+        if self.inf[..self.inf_len]
+            .iter()
+            .any(|&(n, b, du)| n <= d.nodes && b <= d.bb_gb && du <= dur)
+        {
+            return None;
+        }
+        let mut from = now;
+        if d.nodes >= 1 {
+            let i1 = (31 - d.nodes.leading_zeros()) as usize;
+            let i0 = ((32 - (d.nodes - 1).leading_zeros()) as usize).min(Self::NB - 1);
+            let j1 = Self::DUR.iter().rposition(|&e| e <= dur).unwrap_or(0);
+            let j0 = Self::DUR.iter().position(|&e| dur <= e).unwrap_or(Self::DB - 1);
+            for &(i, j) in &[(i1, j1), (i0.max(i1), j0.max(j1))] {
+                let cell = self.grid[i.min(Self::NB - 1)][j];
+                if cell.3 > from && cell.0 <= d.nodes && cell.1 <= d.bb_gb && cell.2 <= dur {
+                    from = cell.3;
+                }
+            }
+        }
+        Some(from)
     }
 }
 
@@ -789,10 +998,10 @@ impl ReleaseMirror {
 ///   configurations the paper studies): the free counters are mirrored
 ///   into column-major arrays (`cols`) and the fit test over a run of
 ///   segments becomes a branchless 8-wide chunked compare per resource
-///   column ([`scan_fail_mask8`], compiled to SIMD), with window
+///   column (`scan_fail_mask8`, compiled to SIMD), with window
 ///   boundaries checked once per chunk rather than once per candidate.
 /// * **Hierarchical tree** (flavoured machines at
-///   [`TREE_MIN_SEGMENTS`]-plus segments): a balanced [`ProfileTree`]
+///   `TREE_MIN_SEGMENTS`-plus segments): a balanced `ProfileTree`
 ///   with per-resource minimum subtree aggregates answers
 ///   `earliest_start` in a single traversal that visits every node at
 ///   most once and `fits_interval` via "first blocking segment at or
@@ -824,7 +1033,7 @@ pub struct AvailabilityProfile {
     machine: PoolState,
     /// Hierarchical min index over `frees`; in-order rank `i` mirrors
     /// `frees[i]`. Engaged only on flavoured machines at or above
-    /// [`TREE_MIN_SEGMENTS`] segments (column-scan machines never build
+    /// `TREE_MIN_SEGMENTS` segments (column-scan machines never build
     /// it — see [`AvailabilityProfile::sync_tree`]).
     tree: ProfileTree,
     /// `skyline[i]` = component-wise minimum of `frees[i..]`; valid for
@@ -844,7 +1053,7 @@ pub struct AvailabilityProfile {
     cols: Vec<Vec<f64>>,
 }
 
-/// Segment count at or above which the hierarchical [`ProfileTree`]
+/// Segment count at or above which the hierarchical `ProfileTree`
 /// engages, on the flavoured machines the column scan does not cover.
 /// Below it the linear skyline walk answers queries: at small S a
 /// sequential scan of packed 64-byte states beats the tree's
@@ -995,7 +1204,7 @@ impl AvailabilityProfile {
     }
 
     /// Engages or clears the tree index according to the segment count
-    /// (see [`TREE_MIN_SEGMENTS`]). Machines served by the column scan
+    /// (see `TREE_MIN_SEGMENTS`). Machines served by the column scan
     /// never build the tree: the scan answers every query the tree would,
     /// faster, so the per-reservation aggregate maintenance would be pure
     /// overhead.
@@ -1164,7 +1373,7 @@ impl AvailabilityProfile {
     /// candidate). Returns `f64::INFINITY` if it never fits.
     ///
     /// With the tree engaged, the answer comes from a **single
-    /// traversal** ([`ProfileTree::find_earliest`]): every tree node is
+    /// traversal** (`ProfileTree::find_earliest`): every tree node is
     /// visited at most once, subtrees whose minimum aggregate fits `d`
     /// are skipped whole, and candidate accept/advance decisions happen
     /// in-order during the descent — no per-candidate restart from the
@@ -1272,8 +1481,8 @@ impl AvailabilityProfile {
         if self.cols[0][j] < need[0] {
             return true;
         }
-        for r in 1..self.cols.len() {
-            if self.cols[r][j] + FIT_EPS < need[r] {
+        for (col, &n) in self.cols.iter().zip(need.iter()).skip(1) {
+            if col[j] + FIT_EPS < n {
                 return true;
             }
         }
@@ -1466,33 +1675,21 @@ impl AvailabilityProfile {
     pub fn reserve(&mut self, d: &JobDemand, start: f64, duration: f64) {
         debug_assert!(self.fits_interval(d, start, duration), "reserve without fit check");
         let end = start + duration;
-        self.split_at(start);
-        self.split_at(end);
-        // First segment overlapping the reservation: the one containing
-        // `start` (everything before it would fail the `seg_end <= start`
-        // test anyway — skip it by binary search).
-        let first = self.times.partition_point(|t| *t <= start).saturating_sub(1);
-        let mut dirty_end = self.skyline_clean_from;
-        let (mut lo_mut, mut hi_mut) = (usize::MAX, 0usize);
+        // The splits return the rank of the boundary equal to (or at the
+        // profile edge, clamping) each endpoint, so the carve range is
+        // exactly `lo..hi` — no per-segment overlap tests needed.
+        let lo = self.split_at(start);
+        let hi = self.split_at(end);
+        let (lo_mut, hi_mut) = (lo, hi);
         let machine = self.machine;
-        for i in first..self.times.len() {
-            let seg_start = self.times[i];
-            if seg_start >= end {
-                break;
-            }
-            let seg_end = self.times.get(i + 1).copied().unwrap_or(f64::INFINITY);
-            if seg_end <= start {
-                continue;
-            }
-            // Segment overlaps the reservation: subtract. The interval
-            // fit was established by the caller (debug-asserted above),
-            // so the unchecked carve applies — same arithmetic as
-            // `free_alloc`, minus the per-segment fit re-check.
-            let _ = machine.free_carve(&mut self.frees[i], d);
-            lo_mut = lo_mut.min(i);
-            hi_mut = i + 1;
-            dirty_end = dirty_end.max(i + 1);
+        // Subtract over the contiguous span. The interval fit was
+        // established by the caller (debug-asserted above), so the
+        // unchecked carve applies — same arithmetic as `free_alloc`,
+        // minus the per-segment fit re-check.
+        for f in &mut self.frees[lo_mut..hi_mut] {
+            let _ = machine.free_carve(f, d);
         }
+        let dirty_end = self.skyline_clean_from.max(hi_mut);
         // Mirror the carve into the columns as one tight subtraction per
         // resource: the same `free - demand` arithmetic `free_alloc`
         // applied to the packed states, so the mirrored values stay
@@ -1600,12 +1797,15 @@ impl AvailabilityProfile {
 
     /// Ensures `t` is a breakpoint (no-op if it already is or precedes the
     /// origin; infinite times are ignored).
-    fn split_at(&mut self, t: f64) {
-        if !t.is_finite() || t <= self.times[0] {
-            return;
+    fn split_at(&mut self, t: f64) -> usize {
+        if !t.is_finite() {
+            return self.times.len();
+        }
+        if t <= self.times[0] {
+            return 0;
         }
         match self.times.binary_search_by(|x| x.total_cmp(&t)) {
-            Ok(_) => {}
+            Ok(i) => i,
             Err(i) => {
                 let f = self.frees[i - 1];
                 self.times.insert(i, t);
@@ -1644,6 +1844,7 @@ impl AvailabilityProfile {
                     };
                     self.skyline.insert(i, v);
                 }
+                i
             }
         }
     }

@@ -1,0 +1,701 @@
+//! Kinetic priority index for the WFP queue: crossing-driven incremental
+//! re-ordering (DESIGN.md §10.2).
+//!
+//! WFP scores drift continuously — `(wait/walltime)³ × nodes` grows with
+//! every second of waiting — so the monolithic approach re-scores and
+//! re-sorts the whole queue at every scheduling invocation. But the
+//! *relative* order of two queued jobs changes only when their score
+//! curves cross, and between invocations almost no pairs cross. This
+//! module maintains the sorted order *kinetically*: alongside the sorted
+//! queue it keeps, for every adjacent pair, a **certificate** — a sound
+//! lower bound on the earliest future instant at which the pair's
+//! comparator outcome could change — in a min-heap. An invocation at
+//! `now` pops only the certificates that have expired, re-checks those
+//! pairs with the exact comparator, bubbles any that actually inverted,
+//! and re-certifies: amortised `O((k + 1)·log Q)` for `k` expiries
+//! instead of `O(Q log Q)` re-sorting plus `O(Q)` re-scoring.
+//!
+//! When `k` approaches `Q` the incremental path is strictly worse than
+//! sorting, so a **storm guard** bails the drain out to the full rebuild
+//! past a settle budget, and sustained storms degrade gracefully to the
+//! monolithic sort's cost: sort-only rebuilds that skip certification
+//! entirely, with a certified rebuild every eighth invocation probing
+//! for the storm's end (see [`KineticIndex::order`]).
+//!
+//! # Exactness
+//!
+//! The produced permutation is **byte-identical** to the cached-score
+//! stable sort it replaces. Two facts carry the proof:
+//!
+//! * Swaps are decided solely by the *exact* comparator — descending
+//!   f64 score ([`BaseScheduler::score`], bit-for-bit the evaluation the
+//!   full sort uses), then ascending `(submit, id)`. Certificates only
+//!   decide *when pairs get re-checked*, never what order results. Since
+//!   `id` is unique the comparator is a strict total order, so "no
+//!   adjacent pair inverted" pins the unique sorted permutation —
+//!   stability never has to arbitrate, and bubbling adjacent inversions
+//!   converges to exactly the order any correct sort would produce.
+//! * Certificates are sound **lower bounds** (see below), so a pair that
+//!   is *not* re-checked at `now` provably compares the same as when it
+//!   was certified. No inversion can hide behind an unexpired
+//!   certificate.
+//!
+//! Debug builds additionally assert the result against a full
+//! re-sort oracle on **every** invocation (see
+//! [`QueueManager::order`](crate::queue::QueueManager::order)).
+//!
+//! # Certificate soundness under floating point
+//!
+//! Work in cube-root space: with `c = ∛nodes / max(walltime, 1)` the
+//! (real-valued) transformed score of a queued job is the line
+//! `f(t) = c · (t − submit)`, and `score_A > score_B ⟺ f_A > f_B` over
+//! reals. The evaluated f64 score applies 5 rounding steps (subtract,
+//! divide, two `powi(3)` multiplies, one nodes multiply), each with
+//! relative error ≤ 2⁻⁵³ **of its result** (no absolute/cancellation
+//! term: `submit` and `now` are exact f64 inputs), so the evaluated
+//! score is `s·(1+δ)` with `|δ| ≤ 5·2⁻⁵³`. We budget `ε = 2⁻⁴⁶`, a
+//! 128× cushion that also swallows the rounding of the certificate
+//! computation itself. An evaluated comparison (or an evaluated *tie*,
+//! which would hand the decision to the `(submit, id)` tie-break) can
+//! therefore disagree with the real one only inside the band
+//! `|s_A − s_B| ≤ ε·(s_A + s_B)`. In cube-root space, with
+//! `g = f_A − f_B ≥ 0` and `F = max(f_A, f_B)`:
+//! `s_A − s_B = g·(f_A² + f_A f_B + f_B²) ≥ g·F²` while
+//! `s_A + s_B ≤ 2F³`, so the band requires `g ≤ 2ε·F`. A pair is
+//! certified safe while `g(t) > 2ε·F(t)`; bounding
+//! `F(t) ≤ (c_A + c_B)·(t − min(submit))` and solving the linear
+//! inequality gives the expiry, shaved by a relative `10⁻⁹` (≫ the
+//! ~10⁻¹⁵ rounding of the solve) to stay strictly below the real
+//! boundary. Pairs whose gap already sits inside the margin, or where a
+//! job's submit lies in the future (degenerate in live use), get a
+//! certificate of `next_up(now)`: checked again at the very next
+//! distinct instant. Jobs with bit-equal `(nodes, walltime, submit)`
+//! have bit-equal scores at every `now`, so the unique-`id` tie-break
+//! fixes their order permanently: certificate `+∞`, never enqueued.
+//!
+//! # Transience
+//!
+//! The index is **never serialized**. [`QueueState`] stays the `(base,
+//! queue)` pair of schema v1; restore (and any structural surgery the
+//! incremental paths don't model) just marks the index dirty, and the
+//! next [`KineticIndex::order`] rebuilds it from scratch with the same
+//! full sort the monolithic path used — byte-identical by construction.
+//!
+//! [`BaseScheduler::score`]: crate::base_sched::BaseScheduler::score
+//! [`QueueState`]: crate::queue::QueueState
+
+use crate::base_sched::BaseScheduler;
+use crate::jobset::JobSet;
+use bbsched_workloads::Job;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Position sentinel: job not in the kinetically sorted prefix.
+const ABSENT: u32 = u32::MAX;
+
+/// Relative-error budget for one evaluated WFP score: 5 rounding steps
+/// at ≤ 2⁻⁵³ each, budgeted at `2⁻⁴⁶` (128× cushion; see module docs).
+const SCORE_EPS: f64 = 1.0 / (1u64 << 46) as f64;
+
+/// Relative shave applied to a solved certificate expiry so rounding in
+/// the solve itself (≈ 10⁻¹⁵ relative) can never push the certificate
+/// past the real safety boundary.
+const CERT_SHAVE: f64 = 1.0 - 1e-9;
+
+/// A certificate heap entry: pair `(l, r)` of **job indices** (not
+/// positions) certified until `t`. Entries are lazily invalidated: one
+/// is live iff `l` and `r` are still adjacent (`pos[r] == pos[l] + 1`)
+/// *and* `t` still bit-matches `cert[l]`. Re-pairing or re-certifying
+/// overwrites `cert[l]`, orphaning any queued entries for the old pair;
+/// a coincidental bit-match merely triggers a harmless idempotent
+/// re-check.
+#[derive(Clone, Copy, Debug)]
+struct CertEntry {
+    t: f64,
+    l: u32,
+    r: u32,
+}
+
+impl PartialEq for CertEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for CertEntry {}
+impl PartialOrd for CertEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for CertEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.t
+            .total_cmp(&other.t)
+            .then_with(|| self.l.cmp(&other.l))
+            .then_with(|| self.r.cmp(&other.r))
+    }
+}
+
+/// Kinetic sorted-order index over the WFP waiting queue.
+///
+/// Owned by [`QueueManager`](crate::queue::QueueManager); every vector
+/// indexed by job index is sized on demand. All of this is derived,
+/// transient state — see the module docs.
+#[derive(Clone, Debug)]
+pub struct KineticIndex {
+    /// Job index → position in the sorted prefix; [`ABSENT`] otherwise.
+    pos: Vec<u32>,
+    /// Job index → certificate expiry for the pair it *leads* (it and
+    /// its right neighbour). `+∞` = permanent (or no pair).
+    cert: Vec<f64>,
+    /// Job index → `∛nodes / max(walltime, 1)` (cube-root-space slope),
+    /// computed once per job.
+    coeff: Vec<f64>,
+    /// Min-heap of certificate expiries (via `Reverse`).
+    heap: BinaryHeap<std::cmp::Reverse<CertEntry>>,
+    /// Length of the kinetically sorted queue prefix; entries beyond it
+    /// are arrivals pushed since the last [`KineticIndex::order`].
+    sorted_len: usize,
+    /// Minimum queue position whose occupant changed since the last
+    /// order sealed, `usize::MAX` if none (see
+    /// [`KineticIndex::stable_prefix`]).
+    touched: usize,
+    /// Sealed value of `touched` as of the last order.
+    stable: usize,
+    /// Structural state unknown (fresh/restored): next order rebuilds.
+    dirty: bool,
+    /// Crossing-storm streak. `0`: kinetic steady state. `1`: the drain
+    /// guard just fired once (the rebuild stays certified — the storm
+    /// may be a one-off catch-up batch). `≥2`: sustained storm — the
+    /// rebuild skips certification entirely (sort-only, `dirty` stays
+    /// set, cost ≈ the monolithic sort), probing with a certified
+    /// rebuild every eighth rebuild to detect the storm ending. A drain
+    /// that completes without tripping the guard resets the streak.
+    storm: u32,
+}
+
+impl Default for KineticIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KineticIndex {
+    /// A fresh (dirty) index; the first [`KineticIndex::order`] builds it.
+    pub fn new() -> Self {
+        Self {
+            pos: Vec::new(),
+            cert: Vec::new(),
+            coeff: Vec::new(),
+            heap: BinaryHeap::new(),
+            sorted_len: 0,
+            touched: usize::MAX,
+            stable: 0,
+            dirty: true,
+            storm: 0,
+        }
+    }
+
+    /// Forgets all derived state; the next order rebuilds from the queue
+    /// (used by restore, where only the wire-format queue survives).
+    pub fn invalidate(&mut self) {
+        self.heap.clear();
+        self.sorted_len = 0;
+        self.touched = usize::MAX;
+        self.stable = 0;
+        self.dirty = true;
+        self.storm = 0;
+    }
+
+    /// Number of leading queue positions guaranteed to hold the same job
+    /// as when the *previous* order call sealed — i.e. the prefix of the
+    /// priority order that provably did not change across this
+    /// invocation. Swaps, mid-queue inserts and removals lower it; pure
+    /// tail appends do not. A rebuild (restore, first order) seals `0`.
+    pub fn stable_prefix(&self) -> usize {
+        self.stable
+    }
+
+    /// Records that `p` (and implicitly everything after it, which the
+    /// caller shifted) no longer matches the last sealed order.
+    pub fn touch(&mut self, p: usize) {
+        self.touched = self.touched.min(p);
+    }
+
+    /// Removes every started job from `queue` (order-preserving compact,
+    /// exactly `Vec::retain`'s result), repairing positions and marking
+    /// the severed adjacencies for immediate re-certification.
+    pub fn remove_started(&mut self, queue: &mut Vec<usize>, started: &JobSet) {
+        let mut w = 0usize;
+        let mut first_removed = usize::MAX;
+        let mut removed_in_prefix = 0usize;
+        for r in 0..queue.len() {
+            let j = queue[r];
+            if started.contains(j) {
+                if first_removed == usize::MAX {
+                    first_removed = r;
+                }
+                if r < self.sorted_len {
+                    removed_in_prefix += 1;
+                    self.pos[j] = ABSENT;
+                    self.cert[j] = f64::INFINITY;
+                    // The kept job to the left now faces a new right
+                    // neighbour (or none): force a re-check at the next
+                    // order. The heap entry for the *old* pair dies on
+                    // the adjacency test; `-∞` expires instantly.
+                    if w > 0 && w - 1 < self.sorted_len {
+                        let l = queue[w - 1];
+                        self.cert[l] = f64::NEG_INFINITY;
+                        self.heap.push(std::cmp::Reverse(CertEntry {
+                            t: f64::NEG_INFINITY,
+                            l: l as u32,
+                            r: l as u32, // re-resolved at expiry; see order()
+                        }));
+                    }
+                }
+            } else {
+                if w != r {
+                    queue[w] = j;
+                    if r < self.sorted_len {
+                        self.pos[j] = w as u32;
+                    }
+                }
+                w += 1;
+            }
+        }
+        let removed = queue.len() - w;
+        queue.truncate(w);
+        if removed > 0 {
+            // Positions shifted within the old prefix stay members of the
+            // sorted region; the prefix merely shrank.
+            self.sorted_len -= removed_in_prefix;
+            self.touch(first_removed);
+        }
+    }
+
+    /// Establishes the exact WFP priority order of `queue` at `now` and
+    /// seals the stable prefix. See the module docs for the algorithm
+    /// and the exactness argument.
+    pub fn order(&mut self, base: BaseScheduler, queue: &mut Vec<usize>, jobs: &[Job], now: f64) {
+        self.ensure(jobs.len());
+        debug_assert_eq!(base, BaseScheduler::Wfp);
+        let pending = queue.len() - self.sorted_len;
+        // Rebuild outright when the incremental path cannot win: unknown
+        // structure, or more pending arrivals than sorted context. The
+        // comparator is a strict total order, so sort and incremental
+        // maintenance produce the same (unique) permutation.
+        if self.dirty || pending > self.sorted_len {
+            if self.storm > 0 {
+                // Sort-only rebuilds leave `dirty` set; count them so the
+                // periodic certified probe comes around.
+                self.storm += 1;
+            }
+            self.rebuild(base, queue, jobs, now);
+            self.seal(queue.len());
+            return;
+        }
+        // 1. Drain expired certificates; re-check and bubble. A crossing
+        // storm (a large batch of certificates expiring in one step, e.g.
+        // right after a submit burst while every wait is still small) makes
+        // the incremental path strictly worse than one rebuild: each
+        // expired pair pays heap churn plus re-certification, while a
+        // rebuild pays one sort plus exactly Q certifications. Bail out to
+        // the rebuild once the drained count passes a fraction of Q —
+        // the permutation is identical either way (unique total order),
+        // so this is purely a cost regime switch. While a storm streak is
+        // live the threshold drops to a cheap probe: the drain only needs
+        // to prove the storm is over, not ride it out.
+        let storm_bail = if self.storm > 0 { 64 } else { queue.len() / 8 + 16 };
+        let mut drained = 0usize;
+        while let Some(&std::cmp::Reverse(top)) = self.heap.peek() {
+            if top.t > now {
+                break;
+            }
+            self.heap.pop();
+            let l = top.l as usize;
+            if self.cert[l].to_bits() != top.t.to_bits() {
+                continue; // re-certified since; entry is stale
+            }
+            let p = self.pos[l];
+            if p == ABSENT {
+                continue; // left job started/removed; pair is gone
+            }
+            let p = p as usize;
+            if p + 1 >= self.sorted_len {
+                // No right neighbour any more: nothing to maintain.
+                self.cert[l] = f64::INFINITY;
+                continue;
+            }
+            if top.r != top.l && self.pos[top.r as usize] != self.pos[top.l as usize] + 1 {
+                continue; // pair split apart; entry is stale
+            }
+            drained += 1;
+            if drained > storm_bail {
+                self.storm += 1;
+                self.rebuild(base, queue, jobs, now);
+                self.seal(queue.len());
+                return;
+            }
+            self.settle(base, queue, jobs, now, p);
+        }
+        // The drain completed under the bail threshold: any storm is over.
+        self.storm = 0;
+        // 2. Binary-insert arrivals pushed since the last invocation.
+        // At the insertion instant an arrival's wait is zero, so under
+        // live event-driven use it lands at the tail (score 0, newest
+        // submit) and the memmove is empty; batched catch-up invocations
+        // pay the general mid-queue insert.
+        if pending > 0 {
+            let mut incoming: Vec<usize> = queue.split_off(self.sorted_len);
+            for j in incoming.drain(..) {
+                self.insert_sorted(base, queue, jobs, now, j);
+            }
+        }
+        self.seal(queue.len());
+        // Housekeeping: lazily-invalidated entries accumulate; rebuild
+        // the heap from live pairs when stale entries dominate.
+        if self.heap.len() > 4 * queue.len() + 64 {
+            self.reheap(queue);
+        }
+    }
+
+    /// O(1) probe: would [`KineticIndex::order`] at `now` be a no-op
+    /// (no pending arrivals, no expired or structurally stale
+    /// certificates)? Used to skip even the drain loop's setup on the
+    /// overwhelmingly common quiescent invocation.
+    pub fn is_quiescent(&self, queue_len: usize, now: f64) -> bool {
+        if self.dirty || self.sorted_len != queue_len {
+            return false;
+        }
+        match self.heap.peek() {
+            Some(&std::cmp::Reverse(top)) => top.t > now,
+            None => true,
+        }
+    }
+
+    /// Seals the stable prefix for this invocation and re-arms tracking.
+    fn seal(&mut self, len: usize) {
+        self.stable = self.touched.min(len);
+        self.touched = usize::MAX;
+    }
+
+    /// Seal for a statically-ordered discipline (FCFS): the queue is
+    /// already exact, only the touch ledger (mid-queue inserts,
+    /// removals) feeds the stable prefix. No certificates are kept. The
+    /// first seal of a fresh index seals `0`: across a restore the
+    /// pre-snapshot touch ledger is gone, so nothing is certifiable.
+    pub fn seal_static(&mut self, len: usize) {
+        if self.dirty {
+            self.touched = 0;
+            self.dirty = false;
+        }
+        self.seal(len);
+    }
+
+    /// Re-checks pair `(p, p+1)` with the exact comparator at `now`,
+    /// swapping and cascading to the disturbed neighbours if inverted,
+    /// and re-certifies every pair it touches.
+    fn settle(
+        &mut self,
+        base: BaseScheduler,
+        queue: &mut [usize],
+        jobs: &[Job],
+        now: f64,
+        p: usize,
+    ) {
+        let mut work = [0usize; 64];
+        let mut work_len = 0usize;
+        let mut overflow: Vec<usize> = Vec::new();
+        let push = |work: &mut [usize; 64], work_len: &mut usize, ov: &mut Vec<usize>, p: usize| {
+            if *work_len < work.len() {
+                work[*work_len] = p;
+                *work_len += 1;
+            } else {
+                ov.push(p);
+            }
+        };
+        push(&mut work, &mut work_len, &mut overflow, p);
+        while work_len > 0 || !overflow.is_empty() {
+            let p = if work_len > 0 {
+                work_len -= 1;
+                work[work_len]
+            } else {
+                overflow.pop().unwrap()
+            };
+            if p + 1 >= self.sorted_len {
+                continue;
+            }
+            let (a, b) = (queue[p], queue[p + 1]);
+            if Self::exact_cmp(base, jobs, a, b, now) == Ordering::Greater {
+                queue.swap(p, p + 1);
+                self.pos[a] = (p + 1) as u32;
+                self.pos[b] = p as u32;
+                self.touch(p);
+                // The swap disturbs the pairs on either side; each swap
+                // strictly reduces the inversion count at `now`, so this
+                // local cascade terminates in the sorted order.
+                if p > 0 {
+                    push(&mut work, &mut work_len, &mut overflow, p - 1);
+                }
+                push(&mut work, &mut work_len, &mut overflow, p + 1);
+                self.certify(queue, jobs, now, p);
+            } else {
+                self.certify(queue, jobs, now, p);
+            }
+        }
+    }
+
+    /// Inserts arrival `j` at its exact comparator position within the
+    /// sorted prefix (binary search; `O(log Q)` score evaluations).
+    fn insert_sorted(
+        &mut self,
+        base: BaseScheduler,
+        queue: &mut Vec<usize>,
+        jobs: &[Job],
+        now: f64,
+        j: usize,
+    ) {
+        let p = queue[..self.sorted_len]
+            .partition_point(|&q| Self::exact_cmp(base, jobs, q, j, now) == Ordering::Less);
+        queue.insert(p, j);
+        for (off, &q) in queue[p..].iter().enumerate() {
+            self.pos[q] = (p + off) as u32;
+        }
+        self.sorted_len += 1;
+        if p < self.sorted_len - 1 {
+            self.touch(p);
+        }
+        // New adjacencies: `j` leads `(j, old queue[p])`, and the old
+        // left neighbour now leads `(queue[p-1], j)`.
+        self.certify(queue, jobs, now, p);
+        if p > 0 {
+            self.certify(queue, jobs, now, p - 1);
+        }
+    }
+
+    /// Full rebuild: the cached-score stable sort of the monolithic
+    /// path (identical permutation — unique total order), then fresh
+    /// positions and certificates for every adjacent pair.
+    fn rebuild(&mut self, base: BaseScheduler, queue: &mut [usize], jobs: &[Job], now: f64) {
+        let mut scored: Vec<(f64, f64, u64, usize)> = queue
+            .iter()
+            .map(|&i| {
+                let j = &jobs[i];
+                (base.score(j, now), j.submit, j.id, i)
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal))
+                .then_with(|| a.2.cmp(&b.2))
+        });
+        for (p, e) in scored.iter().enumerate() {
+            queue[p] = e.3;
+            self.pos[e.3] = p as u32;
+        }
+        self.sorted_len = queue.len();
+        // Storm hysteresis: in a sustained storm (streak ≥ 2) the
+        // certificates built here would all expire by the next invocation
+        // anyway, so skip certification and leave `dirty` set — the next
+        // order re-sorts, at the monolithic path's cost. Every eighth
+        // rebuild stays certified as a probe; the drain after it either
+        // completes (storm over, streak resets) or trips the lowered bail
+        // threshold immediately.
+        if self.storm >= 2 && !self.storm.is_multiple_of(8) {
+            self.heap.clear();
+            self.dirty = true;
+            self.touched = 0;
+            return;
+        }
+        if self.storm > 1 {
+            self.storm = 1; // probe issued; keep the streak live but bounded
+        }
+        // Batch the fresh certificates through `BinaryHeap::from` — O(Q)
+        // heapify instead of Q individual O(log Q) pushes. This is the
+        // hot cost of a crossing-storm rebuild (the sort itself is shared
+        // with the monolithic path).
+        let mut entries: Vec<std::cmp::Reverse<CertEntry>> = Vec::with_capacity(queue.len());
+        for p in 0..queue.len() {
+            let t = self.cert_time(queue, jobs, now, p);
+            if t < f64::INFINITY {
+                entries.push(std::cmp::Reverse(CertEntry {
+                    t,
+                    l: queue[p] as u32,
+                    r: queue[p + 1] as u32,
+                }));
+            }
+        }
+        self.heap = std::collections::BinaryHeap::from(entries);
+        self.dirty = false;
+        self.touched = 0; // a rebuild certifies nothing about stability
+    }
+
+    /// Rebuilds the heap from the live pairs only (stale-entry purge).
+    fn reheap(&mut self, queue: &[usize]) {
+        let mut entries: Vec<std::cmp::Reverse<CertEntry>> = Vec::new();
+        for p in 0..self.sorted_len.saturating_sub(1) {
+            let l = queue[p];
+            let t = self.cert[l];
+            if t < f64::INFINITY {
+                entries.push(std::cmp::Reverse(CertEntry {
+                    t,
+                    l: l as u32,
+                    r: queue[p + 1] as u32,
+                }));
+            }
+        }
+        self.heap = std::collections::BinaryHeap::from(entries);
+    }
+
+    /// Computes and stores the certificate for the pair led by
+    /// `queue[p]` (no-op when `p` is the last position) and pushes it
+    /// onto the expiry heap. Requires the pair to compare non-inverted
+    /// at `now`.
+    fn certify(&mut self, queue: &[usize], jobs: &[Job], now: f64, p: usize) {
+        let t = self.cert_time(queue, jobs, now, p);
+        if t < f64::INFINITY {
+            self.heap.push(std::cmp::Reverse(CertEntry {
+                t,
+                l: queue[p] as u32,
+                r: queue[p + 1] as u32,
+            }));
+        }
+    }
+
+    /// Computes and stores the certificate expiry for the pair led by
+    /// `queue[p]` without touching the heap (the rebuild batches its
+    /// heap construction). Requires the pair to compare non-inverted at
+    /// `now`.
+    fn cert_time(&mut self, queue: &[usize], jobs: &[Job], now: f64, p: usize) -> f64 {
+        let l = queue[p];
+        if p + 1 >= self.sorted_len {
+            self.cert[l] = f64::INFINITY;
+            return f64::INFINITY;
+        }
+        let r = queue[p + 1];
+        let (ja, jb) = (&jobs[l], &jobs[r]);
+        let t = if ja.nodes == jb.nodes && ja.walltime == jb.walltime && ja.submit == jb.submit {
+            // Bit-equal score inputs ⇒ bit-equal scores at every `now`;
+            // the unique-id tie-break pins the order permanently.
+            f64::INFINITY
+        } else if now < ja.submit || now < jb.submit {
+            // A wait is still clamped at zero: the linear model below
+            // does not apply yet. Degenerate outside tests; re-check at
+            // the next distinct instant.
+            next_up(now)
+        } else {
+            let ca = self.slope(l, jobs);
+            let cb = self.slope(r, jobs);
+            // Cube-root space: g(t) = f_A(t) − f_B(t) must stay above
+            // the float-ambiguity band 2ε·F(t) (module docs). Both sides
+            // are linear in t; solve for the boundary.
+            let g0 = ca * (now - ja.submit) - cb * (now - jb.submit);
+            let band_slope = 2.0 * SCORE_EPS * (ca + cb);
+            let band0 = band_slope * (now - ja.submit.min(jb.submit));
+            let gap = g0 - band0;
+            if gap <= 0.0 {
+                // Already inside the ambiguity band (typically a fresh
+                // zero-wait tie): safe *now* by the exact check that
+                // preceded this call, but not certifiably beyond it.
+                next_up(now)
+            } else if ca - cb >= band_slope {
+                // The real gap grows at least as fast as the band: safe
+                // forever.
+                f64::INFINITY
+            } else {
+                let expiry = now + gap / (band_slope - (ca - cb)) * CERT_SHAVE;
+                if expiry <= now {
+                    next_up(now)
+                } else {
+                    expiry.min(f64::MAX)
+                }
+            }
+        };
+        self.cert[l] = t;
+        t
+    }
+
+    /// The exact comparator the full sort applies: descending evaluated
+    /// score, then ascending submit, then ascending id.
+    fn exact_cmp(base: BaseScheduler, jobs: &[Job], a: usize, b: usize, now: f64) -> Ordering {
+        let (ja, jb) = (&jobs[a], &jobs[b]);
+        let (sa, sb) = (base.score(ja, now), base.score(jb, now));
+        sb.partial_cmp(&sa)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| ja.submit.partial_cmp(&jb.submit).unwrap_or(Ordering::Equal))
+            .then_with(|| ja.id.cmp(&jb.id))
+    }
+
+    /// Cube-root-space slope of a job's score line, memoized per job.
+    fn slope(&mut self, j: usize, jobs: &[Job]) -> f64 {
+        let c = self.coeff[j];
+        if c > 0.0 {
+            return c;
+        }
+        let job = &jobs[j];
+        let c = f64::from(job.nodes).cbrt() / job.walltime.max(1.0);
+        self.coeff[j] = c;
+        c
+    }
+
+    /// Sizes the job-indexed vectors.
+    fn ensure(&mut self, n: usize) {
+        if self.pos.len() < n {
+            self.pos.resize(n, ABSENT);
+            self.cert.resize(n, f64::INFINITY);
+            self.coeff.resize(n, 0.0);
+        }
+    }
+}
+
+/// Smallest f64 strictly greater than `x` (finite `x`); any future
+/// invocation instant `now' > x` satisfies `now' ≥ next_up(x)`, so a
+/// certificate of `next_up(x)` is re-checked at the very next distinct
+/// instant while never expiring *at* `x` itself (which would loop).
+fn next_up(x: f64) -> f64 {
+    debug_assert!(x.is_finite());
+    if x == 0.0 {
+        return f64::from_bits(1); // ±0.0 → smallest positive subnormal
+    }
+    let bits = x.to_bits();
+    if x > 0.0 {
+        f64::from_bits(bits + 1)
+    } else {
+        f64::from_bits(bits - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_up_is_strictly_greater_and_tight() {
+        for &x in &[0.0, -0.0, 1.0, -1.0, 1.5e9, f64::MIN_POSITIVE, -f64::MIN_POSITIVE] {
+            let up = next_up(x);
+            assert!(up > x, "next_up({x}) = {up} not greater");
+            // Tight: stepping one bit back down lands at or below x
+            // (i.e. nothing representable lies strictly between).
+            let back = if up > 0.0 {
+                f64::from_bits(up.to_bits() - 1)
+            } else if up == 0.0 {
+                -f64::MIN_POSITIVE.min(f64::from_bits(1))
+            } else {
+                f64::from_bits(up.to_bits() + 1)
+            };
+            assert!(back <= x, "next_up({x}) = {up} skipped over {back}");
+        }
+    }
+
+    #[test]
+    fn cert_entry_orders_by_time_first() {
+        let a = CertEntry { t: 1.0, l: 9, r: 10 };
+        let b = CertEntry { t: 2.0, l: 0, r: 1 };
+        assert!(a < b);
+        let mut h = BinaryHeap::new();
+        h.push(std::cmp::Reverse(b));
+        h.push(std::cmp::Reverse(a));
+        assert_eq!(h.pop().unwrap().0.t, 1.0);
+    }
+}

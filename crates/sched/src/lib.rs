@@ -58,6 +58,7 @@ pub mod config;
 pub mod error;
 pub mod idhash;
 pub mod jobset;
+pub mod kinetic;
 pub mod legacy_profile;
 pub mod observer;
 pub mod queue;

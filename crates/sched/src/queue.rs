@@ -29,6 +29,7 @@
 
 use crate::base_sched::BaseScheduler;
 use crate::jobset::JobSet;
+use crate::kinetic::KineticIndex;
 use bbsched_workloads::Job;
 
 /// The engine's waiting queue, ordered by base-scheduler priority.
@@ -37,14 +38,17 @@ pub struct QueueManager {
     base: BaseScheduler,
     /// Indices into the engine's job table, highest priority first.
     queue: Vec<usize>,
-    /// Reused WFP re-sort buffer: `(score, submit, id, index)` per entry.
-    scores: Vec<(f64, f64, u64, usize)>,
+    /// Kinetic sorted-order index (WFP only): certificates on adjacent
+    /// pairs turn the per-invocation re-sort into crossing-driven
+    /// incremental maintenance. Transient — never serialized; rebuilt
+    /// from `queue` after restore (see `crate::kinetic`).
+    kinetic: KineticIndex,
 }
 
 impl QueueManager {
     /// An empty queue under the given base scheduler.
     pub fn new(base: BaseScheduler) -> Self {
-        Self { base, queue: Vec::new(), scores: Vec::new() }
+        Self { base, queue: Vec::new(), kinetic: KineticIndex::new() }
     }
 
     /// The ordering discipline.
@@ -80,80 +84,111 @@ impl QueueManager {
                     let (qs, qid) = key(q);
                     qs.total_cmp(&submit).then(qid.cmp(&id)).is_lt()
                 });
+                if pos < self.queue.len() {
+                    // A mid-queue insert disturbs the sealed order; a
+                    // tail append does not (see `stable_prefix`).
+                    self.kinetic.touch(pos);
+                }
                 self.queue.insert(pos, idx);
             }
+            // WFP arrivals append; `order` folds them into the kinetic
+            // index at the next invocation (where, with zero wait, they
+            // land at the tail anyway under live event-driven use).
             BaseScheduler::Wfp => self.queue.push(idx),
         }
     }
 
-    /// Establishes priority order for a scheduling invocation at `now`.
-    /// FCFS is already sorted (checked in debug builds); WFP re-scores
-    /// into the reused buffer and sorts on the cached values.
+    /// Establishes priority order for a scheduling invocation at `now`
+    /// and seals the invocation's [`QueueManager::stable_prefix`].
+    ///
+    /// FCFS is already sorted (checked in debug builds). WFP delegates
+    /// to the kinetic index: only adjacent pairs whose score-crossing
+    /// certificates expired by `now` are re-checked (and bubbled if they
+    /// actually inverted), and arrivals are binary-inserted — amortised
+    /// `O((k + 1)·log Q)` against the old `O(Q)` re-score plus
+    /// `O(Q log Q)` sort, with the quiescent no-crossing case a single
+    /// heap peek. The permutation is byte-identical to the cached-score
+    /// stable sort (see `crate::kinetic` for the argument); debug builds
+    /// assert that against a full re-sort oracle on every invocation.
     pub fn order(&mut self, jobs: &[Job], now: f64) {
         match self.base {
-            BaseScheduler::Fcfs => debug_assert!(
-                self.queue.windows(2).all(|w| {
-                    let a = (jobs[w[0]].submit, jobs[w[0]].id);
-                    let b = (jobs[w[1]].submit, jobs[w[1]].id);
-                    a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).is_lt()
-                }),
-                "incremental FCFS order violated"
-            ),
+            BaseScheduler::Fcfs => {
+                debug_assert!(
+                    self.queue.windows(2).all(|w| {
+                        let a = (jobs[w[0]].submit, jobs[w[0]].id);
+                        let b = (jobs[w[1]].submit, jobs[w[1]].id);
+                        a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).is_lt()
+                    }),
+                    "incremental FCFS order violated"
+                );
+                self.kinetic.seal_static(self.queue.len());
+            }
             BaseScheduler::Wfp => {
-                let base = self.base;
-                let mut scores = std::mem::take(&mut self.scores);
-                scores.clear();
-                scores.extend(self.queue.iter().map(|&i| {
-                    let j = &jobs[i];
-                    (base.score(j, now), j.submit, j.id, i)
-                }));
-                // Same comparator chain as `BaseScheduler::order`, applied
-                // to the cached values: descending score, then submit,
-                // then id; stable sort. Identical permutation, one score
-                // evaluation per entry instead of one per comparison.
-                let cmp = |a: &(f64, f64, u64, usize), b: &(f64, f64, u64, usize)| {
-                    b.0.partial_cmp(&a.0)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then_with(|| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
-                        .then_with(|| a.2.cmp(&b.2))
-                };
-                // Fast path: WFP scores drift with waiting time but their
-                // *order* is usually stable between invocations, so one
-                // O(Q) adjacent-pair pass decides whether the O(Q log Q)
-                // sort would be the identity. With no adjacent pair out
-                // of order the sequence is sorted under `cmp`, a stable
-                // sort cannot move anything, and the queue rebuild would
-                // reproduce the held order — skip both.
-                if scores.windows(2).any(|w| cmp(&w[0], &w[1]) == std::cmp::Ordering::Greater) {
-                    scores.sort_by(cmp);
-                    self.queue.clear();
-                    self.queue.extend(scores.iter().map(|e| e.3));
-                }
-                self.scores = scores;
+                self.kinetic.order(self.base, &mut self.queue, jobs, now);
+                #[cfg(debug_assertions)]
+                self.assert_wfp_oracle(jobs, now);
             }
         }
     }
 
+    /// Number of leading queue positions that provably hold the same
+    /// jobs, in the same order, as the previous invocation's sealed
+    /// order (valid after [`QueueManager::order`]; a restore or rebuild
+    /// seals `0`). Backfill's memoized replay uses this as an O(1)
+    /// cache-prefix-unchanged witness.
+    pub fn stable_prefix(&self) -> usize {
+        self.kinetic.stable_prefix()
+    }
+
+    /// Debug oracle: the kinetic order must equal the full cached-score
+    /// stable sort, every invocation (crate::kinetic's exactness claim).
+    #[cfg(debug_assertions)]
+    fn assert_wfp_oracle(&self, jobs: &[Job], now: f64) {
+        let mut scores: Vec<(f64, f64, u64, usize)> = self
+            .queue
+            .iter()
+            .map(|&i| {
+                let j = &jobs[i];
+                (self.base.score(j, now), j.submit, j.id, i)
+            })
+            .collect();
+        scores.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .then_with(|| a.2.cmp(&b.2))
+        });
+        let oracle: Vec<usize> = scores.iter().map(|e| e.3).collect();
+        assert_eq!(
+            self.queue, oracle,
+            "kinetic WFP order diverged from the full re-sort oracle at now={now}"
+        );
+    }
+
     /// Removes every started job, preserving the order of the rest.
-    /// One linear pass with O(1) bitset probes.
+    /// One linear pass with O(1) bitset probes; the kinetic index
+    /// repairs its positions and re-certifies the severed adjacencies
+    /// in the same pass.
     pub fn remove_started(&mut self, started: &JobSet) {
         if !started.is_empty() {
-            self.queue.retain(|&i| !started.contains(i));
+            self.kinetic.remove_started(&mut self.queue, started);
         }
     }
 
     /// Extracts the queue's owned state: the discipline and the waiting
-    /// indices in their current order. The WFP score buffer is per-
-    /// invocation scratch and is not part of the state.
+    /// indices in their current order. The kinetic index is derived,
+    /// per-run scratch and is not part of the state (schema v1's
+    /// `(base, queue)` pair is unchanged).
     pub fn snapshot(&self) -> QueueState {
         QueueState { base: self.base, queue: self.queue.clone() }
     }
 
-    /// Rebuilds a queue from extracted state. The next
-    /// [`QueueManager::order`] call re-establishes any time-dependent
-    /// (WFP) ordering exactly as it would have mid-run.
+    /// Rebuilds a queue from extracted state. The kinetic index starts
+    /// dirty, so the next [`QueueManager::order`] call re-establishes
+    /// any time-dependent (WFP) ordering — and rebuilds the index —
+    /// exactly as the full sort would have mid-run.
     pub fn restore(state: QueueState) -> Self {
-        Self { base: state.base, queue: state.queue, scores: Vec::new() }
+        Self { base: state.base, queue: state.queue, kinetic: KineticIndex::new() }
     }
 }
 
@@ -267,6 +302,69 @@ mod tests {
             BaseScheduler::Fcfs.order(&mut full, &jobs, 1_000.0);
 
             prop_assert_eq!(incremental.as_slice(), &full[..]);
+        }
+
+        /// Tentpole invariant (kinetic WFP queue): the incremental order
+        /// must equal the full cached-score re-sort at **every**
+        /// invocation of a lifelike interleaving — arrival batches
+        /// (including same-instant submits), mid-queue removals (job
+        /// starts), and invocations at strictly advancing times. Job
+        /// parameters are drawn from tiny sets (`r ∈ {2, 3}` distinct
+        /// walltimes, power-of-two node counts, submits pinned to the
+        /// arrival instant) so exact score ties and bit-equal
+        /// `(submit, nodes, walltime)` classes are common — the regime
+        /// where certificate and tie-break handling could silently
+        /// diverge from the sort's stability.
+        #[test]
+        fn prop_kinetic_interleaved_equals_full_resort_every_invocation(
+            r in 2usize..=3,
+            steps in proptest::collection::vec((0u8..6, 0usize..5, 0u32..240), 1..40),
+        ) {
+            const WALLS: [f64; 3] = [600.0, 3_600.0, 60.0];
+            let mut jobs: Vec<Job> = Vec::new();
+            let mut q = QueueManager::new(BaseScheduler::Wfp);
+            let mut now = 0.0f64;
+            let check = |q: &QueueManager, jobs: &[Job], now: f64| {
+                let mut full: Vec<usize> = q.as_slice().to_vec();
+                full.sort(); // oracle input order must not leak hints
+                BaseScheduler::Wfp.order(&mut full, jobs, now);
+                full
+            };
+            for (op, a, b) in steps {
+                match op {
+                    // Arrival batch: a+1 jobs submitted at this instant
+                    // (same-submit ties guaranteed within the batch).
+                    0 | 1 => {
+                        for k in 0..=a {
+                            let idx = jobs.len();
+                            let nodes = 1u32 << ((b as usize + k) % 4);
+                            let wall = WALLS[(b as usize + k) % r];
+                            jobs.push(Job::new(idx as u64, now, nodes, wall * 0.5, wall));
+                            q.push(idx, &jobs);
+                        }
+                    }
+                    // Starts: remove a deterministic mid-queue subset.
+                    2 | 3 => {
+                        let mut started = JobSet::new();
+                        for (p, &i) in q.as_slice().iter().enumerate() {
+                            if (p + a) % 4 == 0 {
+                                started.insert(i);
+                            }
+                        }
+                        q.remove_started(&started);
+                    }
+                    // Invocation: advance time, order, compare to the
+                    // full re-sort oracle.
+                    _ => {
+                        now += 1.0 + f64::from(b) * 7.0;
+                        q.order(&jobs, now);
+                        prop_assert_eq!(q.as_slice(), &check(&q, &jobs, now)[..]);
+                    }
+                }
+            }
+            now += 13.0;
+            q.order(&jobs, now);
+            prop_assert_eq!(q.as_slice(), &check(&q, &jobs, now)[..]);
         }
 
         /// The cached-score WFP re-sort must be the identical permutation

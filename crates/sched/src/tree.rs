@@ -48,6 +48,11 @@ const NIL: u32 = u32::MAX;
 struct Node {
     /// Component-wise minimum over the whole subtree's segment states.
     min: FreeState,
+    /// Component-wise maximum over the whole subtree's segment states —
+    /// the pruning dual: a demand that fails the max fails *every*
+    /// segment ([`PoolState::free_fits`] is monotone in each component),
+    /// so whole all-blocking runs are skipped when seeking the next fit.
+    max: FreeState,
     left: u32,
     right: u32,
     /// Subtree node count (ranks are derived from it during descent).
@@ -107,28 +112,32 @@ impl ProfileTree {
         let mid = frees.len() / 2;
         let idx = self.push(frees[mid]);
         let mut min = frees[mid];
+        let mut max = frees[mid];
         let (mut left, mut right) = (NIL, NIL);
         if mid > 0 {
             left = self.build(machine, &frees[..mid]);
             min = machine.free_component_min(&min, &self.nodes[left as usize].min);
+            max = machine.free_component_max(&max, &self.nodes[left as usize].max);
         }
         if mid + 1 < frees.len() {
             right = self.build(machine, &frees[mid + 1..]);
             min = machine.free_component_min(&min, &self.nodes[right as usize].min);
+            max = machine.free_component_max(&max, &self.nodes[right as usize].max);
         }
         let height = 1 + self.height(left).max(self.height(right));
         let node = &mut self.nodes[idx as usize];
         node.left = left;
         node.right = right;
         node.min = min;
+        node.max = max;
         node.size = u32::try_from(frees.len()).expect("profile segment count fits u32");
         node.height = height;
         idx
     }
 
-    fn push(&mut self, min: FreeState) -> u32 {
+    fn push(&mut self, state: FreeState) -> u32 {
         let idx = u32::try_from(self.nodes.len()).expect("profile segment count fits u32");
-        self.nodes.push(Node { min, left: NIL, right: NIL, size: 1, height: 1 });
+        self.nodes.push(Node { min: state, max: state, left: NIL, right: NIL, size: 1, height: 1 });
         idx
     }
 
@@ -159,18 +168,21 @@ impl ProfileTree {
         let mut size = 1usize;
         let mut height = 0u8;
         let mut min = frees[rank];
+        let mut max = frees[rank];
         for child in [node.left, node.right] {
             if child != NIL {
                 let c = &self.nodes[child as usize];
                 size += c.size as usize;
                 height = height.max(c.height);
                 min = machine.free_component_min(&min, &c.min);
+                max = machine.free_component_max(&max, &c.max);
             }
         }
         let node = &mut self.nodes[n as usize];
         node.size = u32::try_from(size).expect("profile segment count fits u32");
         node.height = height + 1;
         node.min = min;
+        node.max = max;
     }
 
     /// Inserts the segment at rank `pos` (O(log S) AVL insert); `frees`
@@ -358,6 +370,10 @@ impl ProfileTree {
         if base + node.size as usize <= from || machine.free_fits(&node.min, d) {
             return None;
         }
+        if !machine.free_fits(&node.max, d) {
+            // The whole subtree blocks: its first in-range rank answers.
+            return Some(from.max(base));
+        }
         let rank = base + self.size(node.left);
         if let Some(r) = self.first_blocking(node.left, base, from, d, machine, frees) {
             return Some(r);
@@ -477,6 +493,18 @@ impl ProfileTree {
                             return cand;
                         }
                         // Otherwise skip the subtree whole.
+                    } else if !machine.free_fits(&nd.max, d) {
+                        // Every segment in the subtree blocks (the demand
+                        // fails even the component-wise upper envelope):
+                        // skip it whole. When a candidate was live, its
+                        // window either closed at the subtree's first
+                        // boundary or is blocked by it.
+                        if !seeking_fit {
+                            if times[base] >= end {
+                                return cand;
+                            }
+                            seeking_fit = true;
+                        }
                     } else {
                         // Mixed subtree: descend its left spine — pushed
                         // root-first, popped leftmost-first, and every
@@ -514,7 +542,7 @@ impl ProfileTree {
         machine: &PoolState,
         frees: &[FreeState],
         rank: &mut usize,
-    ) -> Option<FreeState> {
+    ) -> Option<(FreeState, FreeState)> {
         if n == NIL {
             return None;
         }
@@ -529,11 +557,14 @@ impl ProfileTree {
         *rank += 1;
         let right = self.check(node.right, machine, frees, rank);
         let mut min = frees[my_rank];
-        for agg in [left, right].into_iter().flatten() {
-            min = machine.free_component_min(&min, &agg);
+        let mut max = frees[my_rank];
+        for (lo, hi) in [left, right].into_iter().flatten() {
+            min = machine.free_component_min(&min, &lo);
+            max = machine.free_component_max(&max, &hi);
         }
         assert_eq!(node.min, min, "min aggregate at rank {my_rank}");
-        Some(min)
+        assert_eq!(node.max, max, "max aggregate at rank {my_rank}");
+        Some((min, max))
     }
 }
 

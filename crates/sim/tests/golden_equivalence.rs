@@ -575,6 +575,43 @@ fn golden_incremental_conservative_equals_rebuild_per_pass() {
     }
 }
 
+/// WFP memo-replay vs always-refold, mid-scale. The incremental
+/// conservative strategy replays a pure-arrival pass's memoized
+/// reservations verbatim whenever the kinetic WFP queue had no score
+/// crossings in the replayed prefix (stable-prefix witness); the frozen
+/// rebuild-per-pass strategy refolds and re-queries every pass and
+/// never memoizes — the literal "always refold" discipline. A
+/// fifth-scale Theta at 700 jobs keeps queue depths high enough that
+/// replayed passes, crossing-driven bails, and fresh-tail queries all
+/// occur under WFP, while the rebuild oracle stays affordable in debug
+/// test runs. The `SimResult`s must be byte-identical.
+#[test]
+fn golden_wfp_memo_replay_equals_always_refold_midscale() {
+    let profile = MachineProfile::theta().scaled(0.2);
+    let trace = generate(
+        &profile,
+        &GeneratorConfig { n_jobs: 700, seed: 77, load_factor: 1.05, ..Default::default() },
+    );
+    let run = |algo: BackfillAlgorithm| {
+        let cfg = SimConfig {
+            base: BaseScheduler::Wfp,
+            backfill_algorithm: algo,
+            backfill: BackfillScope::Queue,
+            ..SimConfig::default()
+        };
+        Simulator::new(&profile.system, &trace, cfg)
+            .unwrap()
+            .run(PolicyKind::Baseline.build(GaParams::default()))
+    };
+    let replayed = run(BackfillAlgorithm::Conservative);
+    let refolded = run(BackfillAlgorithm::ConservativeRebuild);
+    assert_eq!(replayed.records.len(), 700);
+    assert_eq!(
+        replayed, refolded,
+        "WFP memo-replayed conservative SimResult diverged from always-refold"
+    );
+}
+
 /// Bench-scale old-vs-new: the exact `simulate_large/20k_conservative_fcfs`
 /// workload (same machine, generator seed, and queue-scoped config as
 /// `bench_sim`) through both conservative strategies, asserting the full
