@@ -47,6 +47,11 @@ struct BenchEntry {
     samples: usize,
     /// Change vs the baseline's median, percent (positive = slower).
     delta_pct: Option<f64>,
+    /// Encoded artifact size, for the snapshot wire-format benches
+    /// (`snapshot_encode_w50/*`): binary vs JSON is a size claim as much
+    /// as a speed claim, so the report carries both.
+    #[serde(default)]
+    bytes: Option<u64>,
 }
 
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -159,8 +164,10 @@ fn main() {
             min_s: min_sample,
             samples,
             delta_pct: None,
+            bytes: None,
         });
     };
+    let mut sizes: Vec<(String, u64)> = Vec::new();
 
     // --- simulator_throughput ---
     for n in [n_small, n_large] {
@@ -459,6 +466,55 @@ fn main() {
         }
     }
 
+    // --- snapshot_encode: durability wire encodings (DESIGN.md §13) ---
+    // Encode + decode a warmed w50 core snapshot through both checkpoint
+    // encodings. JSON is the golden wire form; the length-prefixed binary
+    // container trades readability for size (string interning + varints)
+    // — the report carries the encoded byte counts so the ≥2× reduction
+    // claim is a pinned number, not prose.
+    {
+        use bbsched_sched::durability::{from_bytes, to_bytes, Encoding};
+        let profile = MachineProfile::cori().scaled(0.05);
+        let jobs: Vec<(Job, JobDemand)> = overhead_window(50)
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| {
+                let job = Job::new(i as u64, 0.0, d.nodes, 1_800.0, 3_600.0).with_bb(d.bb_gb);
+                (job, d)
+            })
+            .collect();
+        let mut core = SchedCore::new(
+            &profile.system,
+            SchedConfig {
+                backfill_algorithm: BackfillAlgorithm::Conservative,
+                ..SchedConfig::default()
+            },
+            PolicyKind::Baseline.build(GaParams::default()),
+            Vec::new(),
+        )
+        .unwrap();
+        for (job, demand) in &jobs {
+            core.submit(job.clone(), *demand).unwrap();
+        }
+        core.invoke(0.0);
+        let snap = core.snapshot();
+        for encoding in [Encoding::Json, Encoding::Binary] {
+            let encoded = to_bytes(&snap, encoding);
+            eprintln!("snapshot_encode_w50/{encoding}: {} bytes", encoded.len());
+            sizes.push((format!("snapshot_encode_w50/{encoding}"), encoded.len() as u64));
+            sizes.push((format!("snapshot_decode_w50/{encoding}"), encoded.len() as u64));
+            push(&format!("snapshot_encode_w50/{encoding}"), samples, 0.01, &mut || {
+                to_bytes(&snap, encoding).len()
+            });
+            push(&format!("snapshot_decode_w50/{encoding}"), samples, 0.01, &mut || {
+                let (decoded, e) =
+                    from_bytes::<bbsched_sched::CoreSnapshot>(&encoded).expect("round trip");
+                assert_eq!(e, encoding);
+                decoded.schema_version as usize
+            });
+        }
+    }
+
     // --- policy_overhead ---
     let w = overhead_window(50);
     let avail = PoolState::cpu_bb(800, 60_000.0);
@@ -480,6 +536,12 @@ fn main() {
             inv += 1;
             policy.select(std::hint::black_box(&w), &avail, inv).len()
         });
+    }
+
+    for (name, b) in sizes {
+        if let Some(entry) = results.iter_mut().find(|e| e.name == name) {
+            entry.bytes = Some(b);
+        }
     }
 
     if let Some(base) = &baseline {

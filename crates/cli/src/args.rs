@@ -2,7 +2,8 @@
 
 use std::collections::BTreeMap;
 
-/// Parsed command line: a subcommand plus `--key value` options.
+/// Parsed command line: a subcommand, positional words, and `--key
+/// value` options.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Args {
     /// The subcommand ("generate", "simulate", ...).
@@ -10,13 +11,17 @@ pub struct Args {
     options: BTreeMap<String, String>,
     /// Bare `--flag` switches (no value).
     flags: Vec<String>,
+    /// Bare words after the subcommand (`snapshot inspect FILE`).
+    positionals: Vec<String>,
 }
 
 impl Args {
     /// Parses `argv` (excluding the program name).
     ///
-    /// Grammar: `<command> (--key value | --flag)*`. A `--key` followed by
-    /// another `--...` token or end of input is a flag.
+    /// Grammar: `<command> (positional | --key value | --flag)*`. A
+    /// `--key` followed by another `--...` token or end of input is a
+    /// flag; a bare word next to a `--key` is that key's value, while a
+    /// bare word elsewhere is a positional.
     pub fn parse<I, S>(argv: I) -> Result<Self, String>
     where
         I: IntoIterator<Item = S>,
@@ -31,13 +36,14 @@ impl Args {
             None => return Err("no subcommand given (try 'help')".into()),
         };
         while let Some(tok) = it.next() {
-            let key = tok
-                .strip_prefix("--")
-                .ok_or_else(|| format!("expected --option, got '{tok}'"))?
-                .to_string();
+            let Some(key) = tok.strip_prefix("--") else {
+                args.positionals.push(tok);
+                continue;
+            };
             if key.is_empty() {
                 return Err("empty option name".into());
             }
+            let key = key.to_string();
             match it.peek() {
                 Some(v) if !v.starts_with("--") => {
                     let v = it.next().expect("peeked value vanished");
@@ -81,9 +87,29 @@ impl Args {
         self.flags.iter().any(|f| f == name)
     }
 
-    /// Rejects unknown options (catch typos early). `known` lists valid
-    /// option keys and flags.
+    /// Bare words after the subcommand, in order.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// Rejects unknown options (catch typos early) and — since most
+    /// commands take none — any positional words. `known` lists valid
+    /// option keys and flags; commands with positionals (`snapshot
+    /// inspect FILE`) validate [`Args::positionals`] themselves before
+    /// calling this with them consumed via `max_positionals`.
     pub fn check_known(&self, known: &[&str]) -> Result<(), String> {
+        self.check_known_with(known, 0)
+    }
+
+    /// [`Args::check_known`] for commands accepting up to
+    /// `max_positionals` bare words.
+    pub fn check_known_with(&self, known: &[&str], max_positionals: usize) -> Result<(), String> {
+        if self.positionals.len() > max_positionals {
+            return Err(format!(
+                "unexpected argument '{}' for '{}'",
+                self.positionals[max_positionals], self.command
+            ));
+        }
         for k in self.options.keys().chain(self.flags.iter()) {
             if !known.contains(&k.as_str()) {
                 return Err(format!(
@@ -123,8 +149,21 @@ mod tests {
     fn rejects_malformed_input() {
         assert!(Args::parse(Vec::<String>::new()).is_err());
         assert!(Args::parse(["--oops"]).is_err());
-        assert!(Args::parse(["cmd", "stray"]).is_err());
         assert!(Args::parse(["cmd", "--a", "1", "--a", "2"]).is_err());
+    }
+
+    #[test]
+    fn positionals_are_collected_and_guarded() {
+        let a = Args::parse(["snapshot", "inspect", "file.ckpt", "--format", "json"]).unwrap();
+        assert_eq!(a.positionals(), ["inspect", "file.ckpt"]);
+        assert_eq!(a.get("format"), Some("json"));
+        assert!(a.check_known(&["format"]).is_err(), "positionals rejected by default");
+        assert!(a.check_known_with(&["format"], 2).is_ok());
+        assert!(a.check_known_with(&["format"], 1).is_err());
+        // A bare word adjacent to a --key is still that key's value.
+        let a = Args::parse(["cmd", "--k", "v", "w"]).unwrap();
+        assert_eq!(a.get("k"), Some("v"));
+        assert_eq!(a.positionals(), ["w"]);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use bbsched_metrics::{
     DistributionStats, ForkSummary, MeasurementWindow, MethodSummary, UsageKind,
 };
 use bbsched_policies::{GaParams, PolicyKind, SelectionPolicy};
+use bbsched_sched::durability::{self, Driver, Encoding};
 use bbsched_sched::{Decision, JobEvent, ReplaySnapshot, Replayer, SchedObserver};
 use bbsched_sim::{
     BackfillAlgorithm, BaseScheduler, DynamicWindow, SimConfig, SimResult, Simulator,
@@ -23,6 +24,8 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         "simulate" => cmd_simulate(args),
         "compare" => cmd_compare(args),
         "replay" => cmd_replay(args),
+        "serve" => crate::serve::cmd_serve(args),
+        "snapshot" => cmd_snapshot(args),
         "timeline" => cmd_timeline(args),
         "gantt" => cmd_gantt(args),
         "help" | "--help" | "-h" => {
@@ -66,11 +69,30 @@ COMMANDS
              Checkpointed replay (DESIGN.md \u{a7}12):
              --checkpoint PATH [--checkpoint-every N]  write a resumable
                snapshot (every N fed events, and on --stop-after)
+             --checkpoint-encoding json|binary  (default json)
              --stop-after N   stop after feeding N events (no final flush)
              --resume PATH    continue from a checkpoint in a fresh
                process; the first events-fed lines of --events are skipped
              Events (one JSON object per line):
                {\"type\":\"submit\",\"job\":{...}} | {\"type\":\"finish\",\"id\":N,\"time\":T}
+  serve      Long-running scheduler daemon: journaled events, rolling
+             snapshots, crash recovery, live policy hot-swap (DESIGN.md \u{a7}13)
+             --events PATH|-  (same scheduler knobs as replay for a
+               fresh start)
+             --journal DIR          write-ahead journal + snapshots here
+             --snapshot-every N     rolling snapshot every N input lines
+             --snapshot-retain K    keep the newest K snapshots (default 3)
+             --snapshot-format json|binary  (default binary)
+             --recover DIR          resume from DIR's newest valid
+               snapshot + journal tail, then continue with --events
+             --stats-every N        JSON stats line to stderr every N
+               scheduling invocations
+             Control events (journaled, replayed on recovery):
+               {\"type\":\"set-policy\",\"name\":\"Baseline\"}
+             SIGTERM drains gracefully: final snapshot, then exit 0.
+  snapshot   Inspect checkpoint/snapshot files without loading a core
+             snapshot inspect FILE   print schema version, encoding,
+               invocations, queue depth, running jobs
   timeline   Export a utilization timeline CSV from a saved result
              --result PATH  --resource nodes|bb  --dt SECONDS  --out PATH
   gantt      ASCII utilization chart of a saved result
@@ -83,7 +105,7 @@ Constrained_BB, Constrained_SSD, Bin_Packing, BBSched
     .to_string()
 }
 
-fn parse_machine(name: &str) -> Result<MachineProfile, String> {
+pub(crate) fn parse_machine(name: &str) -> Result<MachineProfile, String> {
     match name.to_ascii_lowercase().as_str() {
         "cori" => Ok(MachineProfile::cori()),
         "theta" => Ok(MachineProfile::theta()),
@@ -105,7 +127,7 @@ fn parse_workload(name: &str) -> Result<Workload, String> {
     }
 }
 
-fn parse_policy(name: &str) -> Result<PolicyKind, String> {
+pub(crate) fn parse_policy(name: &str) -> Result<PolicyKind, String> {
     let all = [
         PolicyKind::Baseline,
         PolicyKind::Weighted,
@@ -188,8 +210,9 @@ fn cmd_stats(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
-/// The scheduler knobs shared by `simulate` and `compare`.
-const SCHED_ARGS: &[&str] = &[
+/// The scheduler knobs shared by `simulate`, `compare`, `replay`, and
+/// `serve`.
+pub(crate) const SCHED_ARGS: &[&str] = &[
     "base",
     "window",
     "starvation-bound",
@@ -226,7 +249,7 @@ fn parse_dynamic_window(spec: &str) -> Result<DynamicWindow, String> {
 }
 
 #[allow(clippy::field_reassign_with_default)]
-fn sim_config(args: &Args, machine: &MachineProfile) -> Result<SimConfig, String> {
+pub(crate) fn sim_config(args: &Args, machine: &MachineProfile) -> Result<SimConfig, String> {
     let mut cfg = SimConfig::default();
     cfg.base =
         match args.get_or("base", if machine.system.name == "theta" { "wfp" } else { "fcfs" }) {
@@ -303,7 +326,7 @@ fn print_summary(result: &SimResult) {
 
 /// Parses `--threads` (worker threads for GA evaluation and the compare
 /// roster; 1 = serial, the default).
-fn parse_threads(args: &Args) -> Result<usize, String> {
+pub(crate) fn parse_threads(args: &Args) -> Result<usize, String> {
     let threads: usize = args.get_parsed("threads", 1usize)?;
     if threads == 0 {
         return Err("--threads must be >= 1".to_string());
@@ -477,9 +500,18 @@ fn cmd_compare(args: &Args) -> Result<(), CliError> {
 /// A [`SchedObserver`] that streams each decision to a writer as it is
 /// made, in the canonical JSON-line encoding. IO failures are latched
 /// (the observer hooks cannot return errors) and surfaced after the run.
-struct DecisionStream<W: Write> {
-    out: W,
-    io_error: Option<std::io::Error>,
+pub(crate) struct DecisionStream<W: Write> {
+    pub(crate) out: W,
+    pub(crate) io_error: Option<std::io::Error>,
+    /// Flush after every line — the daemon's mode, where a downstream
+    /// consumer acts on each decision as it appears.
+    pub(crate) flush_each: bool,
+}
+
+impl<W: Write> DecisionStream<W> {
+    pub(crate) fn new(out: W) -> Self {
+        Self { out, io_error: None, flush_each: false }
+    }
 }
 
 impl<W: Write> SchedObserver for DecisionStream<W> {
@@ -487,7 +519,14 @@ impl<W: Write> SchedObserver for DecisionStream<W> {
         if self.io_error.is_some() {
             return;
         }
-        if let Err(e) = writeln!(self.out, "{}", decision.json_line(now)) {
+        let result = writeln!(self.out, "{}", decision.json_line(now)).and_then(|()| {
+            if self.flush_each {
+                self.out.flush()
+            } else {
+                Ok(())
+            }
+        });
+        if let Err(e) = result {
             self.io_error = Some(e);
         }
     }
@@ -498,30 +537,49 @@ impl<W: Write> SchedObserver for DecisionStream<W> {
 /// the policy object in the resuming process (a policy is a trait object
 /// the snapshot itself cannot carry).
 #[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
-struct ReplayCheckpoint {
-    replay: ReplaySnapshot,
+pub(crate) struct ReplayCheckpoint {
+    pub(crate) replay: ReplaySnapshot,
+    pub(crate) policy: PolicyKind,
+    pub(crate) ga: GaParams,
+}
+
+/// [`Driver`] view of a replayer plus the policy identity its
+/// checkpoint must carry — the adapter that routes `cli replay
+/// --checkpoint` through the durability layer's single write path.
+struct ReplayDriver<'a, 'o> {
+    replayer: &'a Replayer<'o>,
     policy: PolicyKind,
     ga: GaParams,
 }
 
-/// Atomically writes a checkpoint (temp file + rename, so a crash
-/// mid-write never leaves a torn checkpoint behind).
-fn write_checkpoint(path: &str, ckpt: &ReplayCheckpoint) -> Result<(), CliError> {
-    let bytes = serde_json::to_vec(ckpt)
-        .map_err(|e| CliError::Output(format!("serialize checkpoint: {e}")))?;
-    let tmp = format!("{path}.tmp");
-    std::fs::write(&tmp, bytes)
-        .map_err(|e| CliError::Output(format!("cannot write '{tmp}': {e}")))?;
-    std::fs::rename(&tmp, path)
-        .map_err(|e| CliError::Output(format!("cannot rename '{tmp}' to '{path}': {e}")))?;
-    Ok(())
+impl Driver for ReplayDriver<'_, '_> {
+    type Snapshot = ReplayCheckpoint;
+
+    fn snapshot(&self) -> ReplayCheckpoint {
+        ReplayCheckpoint { replay: self.replayer.snapshot(), policy: self.policy, ga: self.ga }
+    }
+
+    fn position(&self) -> u64 {
+        self.replayer.events_fed()
+    }
 }
 
-fn read_checkpoint(path: &str) -> Result<ReplayCheckpoint, CliError> {
-    let bytes =
-        std::fs::read(path).map_err(|e| CliError::Input(format!("cannot read '{path}': {e}")))?;
-    serde_json::from_slice(&bytes)
-        .map_err(|e| CliError::Input(format!("cannot parse checkpoint '{path}': {e}")))
+/// Writes a replay checkpoint through [`durability::write_checkpoint`]
+/// (atomic temp + fsync + rename; the pre-durability path skipped the
+/// fsync, so a power cut could surface an empty rename target).
+fn write_replay_checkpoint(
+    driver: &ReplayDriver<'_, '_>,
+    path: &str,
+    encoding: Encoding,
+) -> Result<(), CliError> {
+    durability::write_checkpoint(driver, Path::new(path), encoding)
+        .map_err(|e| CliError::Output(format!("cannot write checkpoint '{path}': {e}")))
+}
+
+fn read_replay_checkpoint(path: &str) -> Result<ReplayCheckpoint, CliError> {
+    durability::read_checkpoint(Path::new(path))
+        .map(|(ckpt, _)| ckpt)
+        .map_err(|e| CliError::Input(format!("cannot read checkpoint '{path}': {e}")))
 }
 
 fn cmd_replay(args: &Args) -> Result<(), CliError> {
@@ -535,12 +593,15 @@ fn cmd_replay(args: &Args) -> Result<(), CliError> {
         "threads",
         "checkpoint",
         "checkpoint-every",
+        "checkpoint-encoding",
         "resume",
         "stop-after",
     ];
     known.extend_from_slice(SCHED_ARGS);
     args.check_known(&known)?;
     let checkpoint_path = args.get("checkpoint");
+    let checkpoint_encoding: Encoding =
+        args.get_or("checkpoint-encoding", "json").parse().map_err(CliError::Usage)?;
     let checkpoint_every: Option<u64> = match args.get("checkpoint-every") {
         None => None,
         Some(_) => {
@@ -566,7 +627,7 @@ fn cmd_replay(args: &Args) -> Result<(), CliError> {
     // its cross-invocation state all come from the snapshot — scheduler
     // flags are not consulted).
     let resume = match args.get("resume") {
-        Some(path) => Some(read_checkpoint(path)?),
+        Some(path) => Some(read_replay_checkpoint(path)?),
         None => None,
     };
 
@@ -580,7 +641,7 @@ fn cmd_replay(args: &Args) -> Result<(), CliError> {
     };
 
     let stdout = std::io::stdout();
-    let mut stream = DecisionStream { out: std::io::BufWriter::new(stdout.lock()), io_error: None };
+    let mut stream = DecisionStream::new(std::io::BufWriter::new(stdout.lock()));
     {
         let (mut replayer, kind, ga, skip) = match resume {
             Some(ckpt) => {
@@ -632,8 +693,8 @@ fn cmd_replay(args: &Args) -> Result<(), CliError> {
                 .map_err(|e| CliError::Run(format!("{path} line {}: {e}", n + 1)))?;
             if let (Some(every), Some(ckpt_path)) = (checkpoint_every, checkpoint_path) {
                 if replayer.events_fed() % every == 0 {
-                    let ckpt = ReplayCheckpoint { replay: replayer.snapshot(), policy: kind, ga };
-                    write_checkpoint(ckpt_path, &ckpt)?;
+                    let driver = ReplayDriver { replayer: &replayer, policy: kind, ga };
+                    write_replay_checkpoint(&driver, ckpt_path, checkpoint_encoding)?;
                 }
             }
             if stop_after.is_some_and(|limit| replayer.events_fed() >= limit) {
@@ -648,8 +709,8 @@ fn cmd_replay(args: &Args) -> Result<(), CliError> {
             // concatenated decision streams of the two processes equal
             // the uninterrupted run byte for byte.
             if let Some(ckpt_path) = checkpoint_path {
-                let ckpt = ReplayCheckpoint { replay: replayer.snapshot(), policy: kind, ga };
-                write_checkpoint(ckpt_path, &ckpt)?;
+                let driver = ReplayDriver { replayer: &replayer, policy: kind, ga };
+                write_replay_checkpoint(&driver, ckpt_path, checkpoint_encoding)?;
                 eprintln!(
                     "stopped after {} events; checkpoint written to {ckpt_path}",
                     replayer.events_fed()
@@ -677,6 +738,36 @@ fn cmd_replay(args: &Args) -> Result<(), CliError> {
     if let Some(e) = stream.io_error {
         return Err(CliError::Output(format!("cannot write decision stream: {e}")));
     }
+    Ok(())
+}
+
+/// `snapshot inspect FILE`: shallow facts about a checkpoint/snapshot
+/// file — schema version, encoding, invocation count, queue depth,
+/// running jobs — read from the value tree without ever constructing a
+/// scheduler core.
+fn cmd_snapshot(args: &Args) -> Result<(), CliError> {
+    args.check_known_with(&[], 2)?;
+    let [verb, file] = args.positionals() else {
+        return Err(CliError::Usage("usage: snapshot inspect FILE".to_string()));
+    };
+    if verb != "inspect" {
+        return Err(CliError::Usage(format!("unknown snapshot verb '{verb}' (inspect)")));
+    }
+    let bytes =
+        std::fs::read(file).map_err(|e| CliError::Input(format!("cannot read '{file}': {e}")))?;
+    let info = durability::inspect_bytes(&bytes)
+        .map_err(|e| CliError::Input(format!("cannot inspect '{file}': {e}")))?;
+    let opt = |v: Option<String>| v.unwrap_or_else(|| "-".to_string());
+    println!("file:           {file} ({} bytes)", bytes.len());
+    println!("kind:           {}", info.kind);
+    println!("encoding:       {}", info.encoding);
+    println!("schema version: {}", opt(info.schema_version.map(|v| v.to_string())));
+    println!("policy:         {}", opt(info.policy));
+    println!("invocations:    {}", opt(info.invocations.map(|v| v.to_string())));
+    println!("clock:          {}", opt(info.clock.map(|v| format!("{v:.1} s"))));
+    println!("jobs submitted: {}", opt(info.jobs_submitted.map(|v| v.to_string())));
+    println!("queue depth:    {}", opt(info.queue_depth.map(|v| v.to_string())));
+    println!("running jobs:   {}", opt(info.running_jobs.map(|v| v.to_string())));
     Ok(())
 }
 
@@ -979,7 +1070,9 @@ mod tests {
     #[test]
     fn usage_mentions_every_command() {
         let u = usage();
-        for cmd in ["generate", "stats", "simulate", "compare", "timeline"] {
+        for cmd in
+            ["generate", "stats", "simulate", "compare", "replay", "serve", "snapshot", "timeline"]
+        {
             assert!(u.contains(cmd), "usage must document '{cmd}'");
         }
     }

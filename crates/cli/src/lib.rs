@@ -20,6 +20,7 @@
 pub mod args;
 pub mod commands;
 pub mod error;
+mod serve;
 
 pub use args::Args;
 pub use error::CliError;

@@ -1,0 +1,499 @@
+//! `cli serve` — the long-running scheduler daemon.
+//!
+//! Reads job events from stdin or a path, emits one JSON decision per
+//! line to stdout (flushed per line, so a downstream consumer can act
+//! on each decision as it appears), and layers the `bbsched_sched`
+//! durability module over the online replay driver:
+//!
+//! * `--journal DIR` — every consumed input line is appended to a
+//!   write-ahead journal (fsync'd per line) in `DIR/events.wal`, and
+//!   rolling snapshots land in the same directory;
+//! * `--recover DIR` — crash recovery: newest valid snapshot + journal
+//!   tail replay, then the live stream continues (the first
+//!   already-journaled lines of `--events` are skipped);
+//! * `{"type":"set-policy","name":…}` — live policy hot-swap: the
+//!   daemon snapshots, restores under the new policy (the PR 7 what-if
+//!   primitive), and journals the control line so recovery replays the
+//!   swap deterministically;
+//! * SIGTERM — graceful drain: a final snapshot at the exact consumed
+//!   position, no final flush, exit 0. A `--recover` restart then owns
+//!   every remaining decision, so the concatenated decision streams of
+//!   the two processes equal the uninterrupted run byte for byte.
+//!
+//! Recovery *re-derives* decisions: replaying the journal tail emits
+//! the decisions it implies. After a graceful SIGTERM the tail is empty
+//! (the final snapshot sits at the journal head position) and the
+//! concatenation is exact; after a hard kill the tail re-emits
+//! decisions made since the last snapshot, and consumers resume from
+//! the `recovered:` stderr marker (DESIGN.md §13).
+
+use crate::args::Args;
+use crate::commands::{
+    parse_machine, parse_policy, parse_threads, sim_config, DecisionStream, SCHED_ARGS,
+};
+use crate::error::CliError;
+use bbsched_metrics::LiveStatsLines;
+use bbsched_policies::{GaParams, PolicyKind};
+use bbsched_sched::durability::{Driver, Encoding, Journal, SnapshotStore};
+use bbsched_sched::{JobEvent, ReplaySnapshot, Replayer, SchedConfig, SchedObserver};
+use bbsched_workloads::SystemConfig;
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+/// A `cli serve` checkpoint: the replayer's state plus the policy
+/// identity to rebuild it under, and the daemon's input position
+/// (consumed journaled lines — job events *and* control lines, which
+/// the replayer's own `events_fed` does not count).
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+struct DaemonCheckpoint {
+    replay: ReplaySnapshot,
+    policy: PolicyKind,
+    ga: GaParams,
+    consumed: u64,
+}
+
+/// [`Driver`] view of the daemon: position is the consumed-line
+/// counter, so snapshot names line up with journal record counts.
+struct DaemonDriver<'a, 'o> {
+    replayer: &'a Replayer<'o>,
+    policy: PolicyKind,
+    ga: GaParams,
+    consumed: u64,
+}
+
+impl Driver for DaemonDriver<'_, '_> {
+    type Snapshot = DaemonCheckpoint;
+
+    fn snapshot(&self) -> DaemonCheckpoint {
+        DaemonCheckpoint {
+            replay: self.replayer.snapshot(),
+            policy: self.policy,
+            ga: self.ga,
+            consumed: self.consumed,
+        }
+    }
+
+    fn position(&self) -> u64 {
+        self.consumed
+    }
+}
+
+#[cfg(unix)]
+mod term {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERM: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_term(_signum: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the SIGTERM flag handler (no `libc` dependency: the
+    /// workspace allows none, and `signal(2)` is all the drain needs).
+    pub(super) fn install() {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_term);
+        }
+    }
+
+    pub(super) fn requested() -> bool {
+        TERM.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod term {
+    pub(super) fn install() {}
+
+    pub(super) fn requested() -> bool {
+        false
+    }
+}
+
+/// One input line, classified: a control line or a wire job event.
+enum ServeLine {
+    Event(JobEvent),
+    SetPolicy(PolicyKind),
+}
+
+fn classify_line(line: &str) -> Result<ServeLine, String> {
+    let value = serde_json::value_from_slice(line.as_bytes()).map_err(|e| e.to_string())?;
+    let is_set_policy = value
+        .as_map()
+        .and_then(|m| m.iter().find(|(k, _)| k == "type"))
+        .and_then(|(_, v)| v.as_str())
+        .is_some_and(|t| t == "set-policy");
+    if is_set_policy {
+        let name = value
+            .as_map()
+            .and_then(|m| m.iter().find(|(k, _)| k == "name"))
+            .and_then(|(_, v)| v.as_str())
+            .ok_or("set-policy needs a string 'name'")?;
+        Ok(ServeLine::SetPolicy(parse_policy(name)?))
+    } else {
+        Ok(ServeLine::Event(JobEvent::parse(line)?))
+    }
+}
+
+/// The durability side of the daemon: the WAL and the rolling store,
+/// both living in the `--journal`/`--recover` directory.
+struct Durable {
+    journal: Journal,
+    store: SnapshotStore,
+    snapshot_every: u64,
+    encoding: Encoding,
+}
+
+impl Durable {
+    fn save(&self, driver: &DaemonDriver<'_, '_>) -> Result<(), CliError> {
+        self.store
+            .save(driver.position(), &driver.snapshot(), self.encoding)
+            .map_err(|e| CliError::Output(format!("cannot write snapshot: {e}")))?;
+        Ok(())
+    }
+}
+
+/// Why the inner segment loop returned control.
+enum SegmentEnd {
+    /// Hot-swap to this policy from this snapshot.
+    Swap(PolicyKind, Box<ReplaySnapshot>),
+    /// Input exhausted: run the final flush and summarize.
+    Eof,
+    /// SIGTERM: final snapshot, no flush.
+    Term,
+}
+
+/// `cli serve` entry point.
+pub(crate) fn cmd_serve(args: &Args) -> Result<(), CliError> {
+    let mut known = vec![
+        "events",
+        "machine",
+        "scale",
+        "policy",
+        "gens",
+        "seed",
+        "threads",
+        "journal",
+        "recover",
+        "snapshot-every",
+        "snapshot-retain",
+        "snapshot-format",
+        "stats-every",
+    ];
+    known.extend_from_slice(SCHED_ARGS);
+    args.check_known(&known)?;
+
+    let snapshot_every: u64 = args.get_parsed("snapshot-every", 0u64)?;
+    let retain: usize = args.get_parsed("snapshot-retain", 3usize)?;
+    let encoding: Encoding =
+        args.get_or("snapshot-format", "binary").parse().map_err(CliError::Usage)?;
+    let stats_every: u64 = args.get_parsed("stats-every", 0u64)?;
+    let recover_dir = args.get("recover");
+    // --recover implies journaling into the same directory.
+    let journal_dir = args.get("journal").or(recover_dir);
+    if args.get("journal").is_some() && recover_dir.is_some_and(|r| Some(r) != args.get("journal"))
+    {
+        return Err(CliError::Usage(
+            "--journal and --recover must name the same directory".to_string(),
+        ));
+    }
+    if snapshot_every > 0 && journal_dir.is_none() {
+        return Err(CliError::Usage("--snapshot-every needs --journal DIR".to_string()));
+    }
+
+    term::install();
+
+    let durable = match journal_dir {
+        Some(dir) => {
+            let store = SnapshotStore::open(dir, retain)
+                .map_err(|e| CliError::Output(format!("cannot open '{dir}': {e}")))?;
+            let (journal, recovery) = Journal::open(&Path::new(dir).join("events.wal"))
+                .map_err(|e| CliError::Input(format!("cannot open journal in '{dir}': {e}")))?;
+            if recovery.dropped_bytes > 0 {
+                eprintln!(
+                    "journal: dropped {} torn trailing bytes ({} records intact)",
+                    recovery.dropped_bytes,
+                    recovery.records.len()
+                );
+            }
+            Some((Durable { journal, store, snapshot_every, encoding }, recovery.records))
+        }
+        None => None,
+    };
+
+    // Fresh start vs recovery: a fresh daemon builds system/config/policy
+    // from flags; a recovering one takes everything from the newest valid
+    // snapshot and replays the journal tail through the same code path.
+    let mut kind: PolicyKind;
+    let ga: GaParams;
+    let mut pending_restore: Option<ReplaySnapshot> = None;
+    let mut fresh: Option<(SystemConfig, SchedConfig)> = None;
+    let mut consumed: u64;
+    let mut tail: std::collections::VecDeque<String> = std::collections::VecDeque::new();
+    let skip_lines: u64;
+
+    if recover_dir.is_some() {
+        let (durable_ref, records) = durable.as_ref().expect("recover implies journaling");
+        let loaded = durable_ref
+            .store
+            .load_newest::<DaemonCheckpoint>()
+            .map_err(|e| CliError::Input(format!("cannot scan snapshots: {e}")))?
+            .ok_or_else(|| CliError::Input("no usable snapshot to recover from".to_string()))?;
+        if loaded.skipped > 0 {
+            eprintln!("recovery: skipped {} unreadable newer snapshot(s)", loaded.skipped);
+        }
+        let ckpt = loaded.value;
+        if ckpt.consumed as usize > records.len() {
+            return Err(CliError::Input(format!(
+                "snapshot at consumed line {} is ahead of the journal ({} records) — wrong \
+                 directory?",
+                ckpt.consumed,
+                records.len()
+            )));
+        }
+        for record in &records[ckpt.consumed as usize..] {
+            let line = String::from_utf8(record.clone())
+                .map_err(|e| CliError::Input(format!("journal record is not UTF-8: {e}")))?;
+            tail.push_back(line);
+        }
+        eprintln!(
+            "recovered: snapshot at line {}, replaying {} journal records, resuming input at \
+             line {}",
+            ckpt.consumed,
+            tail.len(),
+            records.len()
+        );
+        kind = ckpt.policy;
+        ga = ckpt.ga;
+        consumed = ckpt.consumed;
+        skip_lines = records.len() as u64;
+        pending_restore = Some(ckpt.replay);
+    } else {
+        let scale: f64 = args.get_parsed("scale", 0.05)?;
+        let machine = parse_machine(args.get_or("machine", "theta"))?;
+        let profile =
+            if (scale - 1.0).abs() < f64::EPSILON { machine } else { machine.scaled(scale) };
+        kind = parse_policy(args.get_or("policy", "BBSched"))?;
+        let cfg = sim_config(args, &profile)?.sched();
+        ga = GaParams {
+            generations: args.get_parsed("gens", 500usize)?,
+            base_seed: args.get_parsed("seed", 7u64)?,
+            threads: parse_threads(args)?,
+            ..GaParams::default()
+        };
+        // A non-recovery start must not silently adopt half a previous
+        // run's directory: an existing journal means the operator wanted
+        // --recover.
+        if let Some((d, records)) = &durable {
+            if !records.is_empty() || d.journal.records() > 0 {
+                return Err(CliError::Usage(
+                    "journal directory already has records; use --recover DIR to continue it"
+                        .to_string(),
+                ));
+            }
+        }
+        fresh = Some((profile.system.clone(), cfg));
+        consumed = 0;
+        skip_lines = 0;
+    }
+    let mut durable = durable.map(|(d, _)| d);
+
+    let path = args.require("events")?;
+    let reader: Box<dyn BufRead> = if path == "-" {
+        Box::new(std::io::stdin().lock())
+    } else {
+        let file = std::fs::File::open(path)
+            .map_err(|e| CliError::Input(format!("cannot open '{path}': {e}")))?;
+        Box::new(std::io::BufReader::new(file))
+    };
+    let mut input = reader.lines();
+    let mut input_line = 0u64; // non-empty lines pulled from --events
+    let mut seen_eof = false;
+
+    let stdout = std::io::stdout();
+    let mut stream = DecisionStream::new(stdout.lock());
+    stream.flush_each = true;
+    let mut stats = (stats_every > 0).then(|| LiveStatsLines::new(stats_every, std::io::stderr()));
+
+    // Each hot-swap ends a *segment*: the replayer (which borrows the
+    // observers) is torn down, and the next iteration rebuilds it from
+    // the snapshot under the new policy with fresh borrows.
+    //
+    // `segment_checkpointed` gates the checkpoint written at segment
+    // top: a fresh start checkpoints position 0 (so every journaled
+    // directory is recoverable from its first record), a live hot-swap
+    // checkpoints the post-swap position, and a recovery skips it (the
+    // loaded checkpoint is already on disk).
+    let mut segment_checkpointed = recover_dir.is_some();
+    'segments: loop {
+        let mut observers: Vec<&mut dyn SchedObserver> = vec![&mut stream];
+        if let Some(s) = stats.as_mut() {
+            observers.push(s);
+        }
+        let mut replayer = match pending_restore.take() {
+            Some(snapshot) => Replayer::restore(snapshot, kind.build(ga), observers)
+                .map_err(|e| CliError::Run(format!("cannot restore: {e}")))?,
+            None => {
+                let (system, cfg) = fresh.take().expect("first segment is fresh or restored");
+                Replayer::new(&system, cfg, kind.build(ga), observers)
+                    .map_err(|e| CliError::Run(e.to_string()))?
+            }
+        };
+        if let Some(d) = &durable {
+            if !segment_checkpointed {
+                d.save(&DaemonDriver { replayer: &replayer, policy: kind, ga, consumed })?;
+            }
+        }
+
+        let end: SegmentEnd = 'lines: loop {
+            if term::requested() {
+                break 'lines SegmentEnd::Term;
+            }
+            // Journal tail first (replayed without re-journaling), then
+            // the live stream.
+            let (line, live) = match tail.pop_front() {
+                Some(line) => (line, false),
+                None if seen_eof => break 'lines SegmentEnd::Eof,
+                None => {
+                    let mut next = None;
+                    for read in input.by_ref() {
+                        let read = read
+                            .map_err(|e| CliError::Input(format!("cannot read '{path}': {e}")))?;
+                        if read.trim().is_empty() {
+                            continue;
+                        }
+                        input_line += 1;
+                        if input_line <= skip_lines {
+                            continue; // already journaled and applied
+                        }
+                        next = Some(read);
+                        break;
+                    }
+                    match next {
+                        Some(line) => (line, true),
+                        None => {
+                            seen_eof = true;
+                            // A TERM that raced the final reads still
+                            // means "drain, don't flush".
+                            if term::requested() {
+                                break 'lines SegmentEnd::Term;
+                            }
+                            break 'lines SegmentEnd::Eof;
+                        }
+                    }
+                }
+            };
+
+            match classify_line(&line)
+                .map_err(|e| CliError::Input(format!("input line {consumed}: {e}")))?
+            {
+                ServeLine::SetPolicy(new_kind) => {
+                    if live {
+                        if let Some(d) = &mut durable {
+                            d.journal.append_sync(line.as_bytes()).map_err(|e| {
+                                CliError::Output(format!("cannot journal event: {e}"))
+                            })?;
+                        }
+                    }
+                    consumed += 1;
+                    break 'lines SegmentEnd::Swap(new_kind, Box::new(replayer.snapshot()));
+                }
+                ServeLine::Event(event) => {
+                    // Apply, then journal: a rejected event (time
+                    // regression, duplicate id) is a fatal input error
+                    // and must never poison the journal for recovery.
+                    replayer
+                        .feed(event)
+                        .map_err(|e| CliError::Run(format!("input line {}: {e}", consumed + 1)))?;
+                    if live {
+                        if let Some(d) = &mut durable {
+                            d.journal.append_sync(line.as_bytes()).map_err(|e| {
+                                CliError::Output(format!("cannot journal event: {e}"))
+                            })?;
+                        }
+                    }
+                    consumed += 1;
+                    if live {
+                        if let Some(d) = &durable {
+                            if d.snapshot_every > 0 && consumed.is_multiple_of(d.snapshot_every) {
+                                d.save(&DaemonDriver {
+                                    replayer: &replayer,
+                                    policy: kind,
+                                    ga,
+                                    consumed,
+                                })?;
+                            }
+                        }
+                    }
+                }
+            }
+        };
+
+        match end {
+            SegmentEnd::Swap(new_kind, snapshot) => {
+                eprintln!(
+                    "policy hot-swap at line {consumed}: {} -> {}",
+                    kind.name(),
+                    new_kind.name()
+                );
+                kind = new_kind;
+                pending_restore = Some(*snapshot);
+                // A live swap re-checkpoints immediately at the
+                // post-swap position, so a crash right after it recovers
+                // under the new policy without replaying the swap; a
+                // swap replayed from the journal tail does not (its
+                // checkpoints already exist or were pruned).
+                segment_checkpointed = !tail.is_empty();
+                continue 'segments;
+            }
+            SegmentEnd::Term => {
+                if let Some(d) = &durable {
+                    d.save(&DaemonDriver { replayer: &replayer, policy: kind, ga, consumed })?;
+                    eprintln!(
+                        "sigterm: drained at line {consumed}; final snapshot written (recover \
+                         with --recover)"
+                    );
+                } else {
+                    eprintln!("sigterm: drained at line {consumed} (no journal directory)");
+                }
+                break 'segments;
+            }
+            SegmentEnd::Eof => {
+                if let Some(d) = &durable {
+                    // Pre-flush state: recovering a completed run
+                    // re-derives the final flush (see module docs).
+                    d.save(&DaemonDriver { replayer: &replayer, policy: kind, ga, consumed })?;
+                }
+                let fed = replayer.events_fed();
+                let summary = replayer.finish().map_err(|e| CliError::Run(e.to_string()))?;
+                eprintln!(
+                    "served {consumed} lines ({fed} job events): {} jobs ({} clamped), {} \
+                     finishes, {} invocations, makespan {:.1} s, left {} waiting / {} running",
+                    summary.jobs,
+                    summary.clamped_jobs,
+                    summary.finishes,
+                    summary.invocations,
+                    summary.makespan,
+                    summary.left_waiting,
+                    summary.left_running
+                );
+                break 'segments;
+            }
+        }
+    }
+
+    if let Some(stats) = &stats {
+        if let Some(e) = stats.io_error() {
+            eprintln!("warning: stats stream: {e}");
+        }
+    }
+    stream.out.flush().ok();
+    if let Some(e) = stream.io_error {
+        return Err(CliError::Output(format!("cannot write decision stream: {e}")));
+    }
+    Ok(())
+}

@@ -17,6 +17,7 @@
 use bbsched_sched::{JobStart, SchedObserver, StartReason};
 use bbsched_workloads::Job;
 use serde::{Deserialize, Serialize};
+use std::io::Write;
 
 /// Aggregates a [`LiveTally`] has accumulated so far.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
@@ -115,6 +116,91 @@ impl SchedObserver for LiveTally {
     }
 }
 
+/// One periodic stats line emitted by [`LiveStatsLines`]: serialized as
+/// `{"type":"stats","now":…,"stats":{…}}` so the lines interleave with
+/// other line-oriented output without ambiguity.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StatsLine {
+    /// The instant of the invocation that triggered the line (s).
+    pub now: f64,
+    /// The tally's aggregates at that instant.
+    pub stats: LiveSummary,
+}
+
+impl Serialize for StatsLine {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("type".to_string(), serde::Value::Str("stats".to_string())),
+            ("now".to_string(), self.now.to_value()),
+            ("stats".to_string(), self.stats.to_value()),
+        ])
+    }
+}
+
+/// A [`SchedObserver`] wrapping a [`LiveTally`] that writes one JSON
+/// stats line to `out` every `every` scheduling invocations — the
+/// daemon's (`cli serve`) periodic progress feed. `every == 0` disables
+/// emission; the tally still accumulates for a final summary.
+///
+/// Write failures are latched, not raised: observer callbacks cannot
+/// return errors, so the caller checks [`LiveStatsLines::io_error`]
+/// after the run.
+#[derive(Debug)]
+pub struct LiveStatsLines<W: Write> {
+    tally: LiveTally,
+    every: u64,
+    out: W,
+    io_error: Option<std::io::Error>,
+}
+
+impl<W: Write> LiveStatsLines<W> {
+    /// A stats emitter over a fresh tally, writing to `out` every
+    /// `every` invocations (0 = never).
+    pub fn new(every: u64, out: W) -> Self {
+        Self { tally: LiveTally::new(), every, out, io_error: None }
+    }
+
+    /// The aggregates accumulated so far.
+    pub fn summary(&self) -> LiveSummary {
+        self.tally.summary()
+    }
+
+    /// The first write failure, if any line failed to emit.
+    pub fn io_error(&self) -> Option<&std::io::Error> {
+        self.io_error.as_ref()
+    }
+}
+
+impl<W: Write> SchedObserver for LiveStatsLines<W> {
+    fn on_invocation_begin(&mut self, now: f64, invocation: u64, queue_len: usize) {
+        self.tally.on_invocation_begin(now, invocation, queue_len);
+    }
+
+    fn on_job_started(&mut self, start: &JobStart<'_>) {
+        self.tally.on_job_started(start);
+    }
+
+    fn on_job_finished(&mut self, now: f64, job: &Job, d: &bbsched_core::problem::JobDemand) {
+        self.tally.on_job_finished(now, job, d);
+    }
+
+    fn on_backfill_pass(&mut self, now: f64, algorithm: &'static str, started: usize) {
+        self.tally.on_backfill_pass(now, algorithm, started);
+    }
+
+    fn on_invocation_end(&mut self, now: f64, _started: usize) {
+        let invocations = self.tally.summary.invocations;
+        if self.io_error.is_some() || self.every == 0 || !invocations.is_multiple_of(self.every) {
+            return;
+        }
+        let line = StatsLine { now, stats: self.tally.summary() };
+        let json = serde_json::to_string(&line).expect("stats lines always serialize");
+        if let Err(e) = writeln!(self.out, "{json}") {
+            self.io_error = Some(e);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,5 +262,33 @@ mod tests {
         assert_eq!(s.avg_wait, 30.0);
         // Response 130 over runtime 100.
         assert!((s.avg_slowdown - 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_lines_emit_on_cadence() {
+        let mut out: Vec<u8> = Vec::new();
+        {
+            let mut stats = LiveStatsLines::new(2, &mut out);
+            for i in 0..5u64 {
+                stats.on_invocation_begin(i as f64 * 10.0, i, 0);
+                stats.on_invocation_end(i as f64 * 10.0, 0);
+            }
+            assert!(stats.io_error().is_none());
+            assert_eq!(stats.summary().invocations, 5);
+        }
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "5 invocations at every=2 emit at 2 and 4");
+        assert!(lines[0].starts_with("{\"type\":\"stats\",\"now\":10.0,"));
+        assert!(lines[1].contains("\"invocations\":4"));
+
+        // every == 0 never emits.
+        let mut silent: Vec<u8> = Vec::new();
+        {
+            let mut stats = LiveStatsLines::new(0, &mut silent);
+            stats.on_invocation_begin(0.0, 0, 0);
+            stats.on_invocation_end(0.0, 0);
+        }
+        assert!(silent.is_empty());
     }
 }

@@ -45,7 +45,11 @@
 //! * [`replay`] — the online streaming driver;
 //! * [`state`] — the explicit-state contract: [`CoreSnapshot`] and the
 //!   versioned JSON wire encoding behind [`SchedCore::snapshot`],
-//!   [`SchedCore::restore`], and [`SchedCore::fork`] (DESIGN.md §12).
+//!   [`SchedCore::restore`], and [`SchedCore::fork`] (DESIGN.md §12);
+//! * [`durability`] — the crash-safety layer: the [`Journal`]
+//!   write-ahead log, rolling [`SnapshotStore`] checkpoints, the
+//!   [`Driver`] trait the drivers implement, and the binary snapshot
+//!   encoding negotiated alongside JSON (DESIGN.md §13).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -55,6 +59,7 @@ pub mod backfill;
 pub mod base_sched;
 pub mod clamp;
 pub mod config;
+pub mod durability;
 pub mod error;
 pub mod idhash;
 pub mod jobset;
@@ -76,6 +81,10 @@ pub use backfill::{
 pub use base_sched::BaseScheduler;
 pub use clamp::clamp_demand;
 pub use config::{BackfillAlgorithm, BackfillScope, DynamicWindow, SchedConfig};
+pub use durability::{
+    Checkpointer, Driver, Encoding, Journal, JournalRecovery, LoadedSnapshot, SnapshotInfo,
+    SnapshotStore,
+};
 pub use error::SchedError;
 pub use jobset::JobSet;
 pub use legacy_profile::{LegacyProfile, RebuildPerPassConservative};

@@ -401,6 +401,20 @@ impl<'o> Replayer<'o> {
     }
 }
 
+impl crate::durability::Driver for Replayer<'_> {
+    type Snapshot = ReplaySnapshot;
+
+    fn snapshot(&self) -> ReplaySnapshot {
+        Replayer::snapshot(self)
+    }
+
+    /// Position in the event stream = events fed: a checkpoint at
+    /// position N resumes by skipping the stream's first N events.
+    fn position(&self) -> u64 {
+        self.events_fed
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
